@@ -1,0 +1,52 @@
+#ifndef BACO_BENCH_HARNESS_UTIL_HPP_
+#define BACO_BENCH_HARNESS_UTIL_HPP_
+
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses: minimal
+ * command-line parsing (--reps N, --seed S) and geometric-mean helpers.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "linalg/stats.hpp"
+
+namespace baco::bench {
+
+/** Common harness options. */
+struct HarnessArgs {
+  int reps;
+  std::uint64_t seed = 12345;
+
+  static HarnessArgs
+  parse(int argc, char** argv, int default_reps)
+  {
+      HarnessArgs args;
+      args.reps = default_reps;
+      for (int i = 1; i < argc; ++i) {
+          if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+              args.reps = std::atoi(argv[++i]);
+          } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+              args.seed = std::strtoull(argv[++i], nullptr, 10);
+          }
+      }
+      return args;
+  }
+};
+
+/** Geometric mean that tolerates zeros by flooring at a tiny epsilon. */
+inline double
+safe_geomean(std::vector<double> v)
+{
+    for (double& x : v)
+        x = std::max(x, 1e-6);
+    return geometric_mean(v);
+}
+
+}  // namespace baco::bench
+
+#endif  // BACO_BENCH_HARNESS_UTIL_HPP_

@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks of the Chain-of-Trees: construction,
+// both sampling modes, and membership checks on the MM_GPU space.
+
+#include <benchmark/benchmark.h>
+
+#include "core/chain_of_trees.hpp"
+#include "rise/benchmarks.hpp"
+
+namespace {
+
+using namespace baco;
+
+std::shared_ptr<SearchSpace>
+mm_gpu_space()
+{
+    static std::shared_ptr<SearchSpace> space =
+        rise::make_rise_benchmark("MM_GPU").make_space(SpaceVariant{});
+    return space;
+}
+
+void
+BM_CotBuild(benchmark::State& state)
+{
+    auto space = mm_gpu_space();
+    for (auto _ : state) {
+        ChainOfTrees cot = ChainOfTrees::build(*space);
+        benchmark::DoNotOptimize(cot.num_feasible());
+    }
+}
+BENCHMARK(BM_CotBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_CotSampleUniformLeaves(benchmark::State& state)
+{
+    auto space = mm_gpu_space();
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(1);
+    for (auto _ : state) {
+        Configuration c = cot.sample(rng, true);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CotSampleUniformLeaves)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CotSampleBiasedWalk(benchmark::State& state)
+{
+    auto space = mm_gpu_space();
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(1);
+    for (auto _ : state) {
+        Configuration c = cot.sample(rng, false);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CotSampleBiasedWalk)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RejectionSample(benchmark::State& state)
+{
+    auto space = mm_gpu_space();
+    RngEngine rng(1);
+    for (auto _ : state) {
+        auto c = space->sample_feasible(rng, 100000);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_RejectionSample)->Unit(benchmark::kMicrosecond);
+
+// The Asum space is far sparser (~1% feasible): the CoT-vs-rejection gap
+// widens accordingly.
+void
+BM_CotSampleSparseAsum(benchmark::State& state)
+{
+    static std::shared_ptr<SearchSpace> space =
+        rise::make_rise_benchmark("Asum_GPU").make_space(SpaceVariant{});
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(1);
+    for (auto _ : state) {
+        Configuration c = cot.sample(rng, true);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CotSampleSparseAsum)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RejectionSampleSparseAsum(benchmark::State& state)
+{
+    static std::shared_ptr<SearchSpace> space =
+        rise::make_rise_benchmark("Asum_GPU").make_space(SpaceVariant{});
+    RngEngine rng(1);
+    for (auto _ : state) {
+        auto c = space->sample_feasible(rng, 1000000);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_RejectionSampleSparseAsum)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CotContains(benchmark::State& state)
+{
+    auto space = mm_gpu_space();
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(1);
+    Configuration c = cot.sample(rng, true);
+    for (auto _ : state) {
+        bool member = cot.contains(c);
+        benchmark::DoNotOptimize(member);
+    }
+}
+BENCHMARK(BM_CotContains)->Unit(benchmark::kNanosecond);
+
+void
+BM_ConstraintSatisfies(benchmark::State& state)
+{
+    auto space = mm_gpu_space();
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(1);
+    Configuration c = cot.sample(rng, true);
+    for (auto _ : state) {
+        bool ok = space->satisfies(c);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_ConstraintSatisfies)->Unit(benchmark::kNanosecond);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Google-benchmark microbenchmarks of the GP substrate: fitting and
+// prediction cost as a function of the training-set size (the dominant
+// per-iteration cost inside BaCO's loop, cf. Appendix B).
+
+#include <benchmark/benchmark.h>
+
+#include "gp/gp_model.hpp"
+
+namespace {
+
+using namespace baco;
+
+SearchSpace
+make_space()
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, true);
+    s.add_ordinal("unroll", {1, 2, 4, 8, 16}, true);
+    s.add_categorical("sched", {"static", "dynamic"});
+    s.add_permutation("perm", 5);
+    return s;
+}
+
+void
+make_data(const SearchSpace& s, int n, std::vector<Configuration>* xs,
+          std::vector<double>* ys)
+{
+    RngEngine rng(42);
+    for (int i = 0; i < n; ++i) {
+        Configuration c = s.sample_unconstrained(rng);
+        ys->push_back(1.0 + rng.uniform());
+        xs->push_back(std::move(c));
+    }
+}
+
+void
+BM_GpFit(benchmark::State& state)
+{
+    SearchSpace s = make_space();
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    make_data(s, static_cast<int>(state.range(0)), &xs, &ys);
+    RngEngine rng(7);
+    for (auto _ : state) {
+        GpModel gp(s);
+        gp.fit(xs, ys, rng);
+        benchmark::DoNotOptimize(gp.hyperparams());
+    }
+}
+BENCHMARK(BM_GpFit)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void
+BM_GpPredict(benchmark::State& state)
+{
+    SearchSpace s = make_space();
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    make_data(s, static_cast<int>(state.range(0)), &xs, &ys);
+    RngEngine rng(7);
+    GpModel gp(s);
+    gp.fit(xs, ys, rng);
+    Configuration probe = s.sample_unconstrained(rng);
+    for (auto _ : state) {
+        GpPrediction p = gp.predict(probe);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_GpPredict)->Arg(20)->Arg(80)->Unit(benchmark::kMicrosecond);
+
+void
+BM_LogMarginalLikelihood(benchmark::State& state)
+{
+    SearchSpace s = make_space();
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    make_data(s, 60, &xs, &ys);
+    RngEngine rng(7);
+    GpModel gp(s);
+    gp.fit(xs, ys, rng);
+    GpHyperparams hp = gp.hyperparams();
+    for (auto _ : state) {
+        double v = gp.objective(hp);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_LogMarginalLikelihood)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

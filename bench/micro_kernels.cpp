@@ -1,0 +1,83 @@
+// Google-benchmark microbenchmarks of the executable TACO-substrate sparse
+// kernels, demonstrating that the ExecSchedule parameters really change the
+// measured performance of the C++ kernels (the examples autotune these).
+
+#include <benchmark/benchmark.h>
+
+#include "taco/generators.hpp"
+#include "taco/kernels.hpp"
+
+namespace {
+
+using namespace baco;
+using namespace baco::taco;
+
+const CsrMatrix&
+matrix()
+{
+    static const CsrMatrix m = [] {
+        RngEngine rng(11);
+        return generate_matrix(profile("scircuit"), 0.05, rng);
+    }();
+    return m;
+}
+
+void
+BM_SpmvScheduled(benchmark::State& state)
+{
+    const CsrMatrix& b = matrix();
+    RngEngine rng(1);
+    std::vector<double> c(static_cast<std::size_t>(b.cols));
+    for (double& v : c)
+        v = rng.uniform();
+    ExecSchedule s;
+    s.row_chunk = static_cast<int>(state.range(0));
+    s.unroll = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        std::vector<double> a = spmv_scheduled(b, c, s);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_SpmvScheduled)
+    ->Args({16, 1})->Args({256, 1})->Args({256, 4})->Args({4096, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SpmmScheduled(benchmark::State& state)
+{
+    const CsrMatrix& b = matrix();
+    RngEngine rng(2);
+    Matrix c(static_cast<std::size_t>(b.cols), 32);
+    for (double& v : c.data())
+        v = rng.uniform();
+    ExecSchedule s;
+    s.row_chunk = static_cast<int>(state.range(0));
+    s.col_tile = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        Matrix a = spmm_scheduled(b, c, s);
+        benchmark::DoNotOptimize(a.data().data());
+    }
+}
+BENCHMARK(BM_SpmmScheduled)
+    ->Args({64, 8})->Args({64, 32})->Args({1024, 32})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Sddmm(benchmark::State& state)
+{
+    const CsrMatrix& b = matrix();
+    RngEngine rng(3);
+    Matrix c(static_cast<std::size_t>(b.rows), 16);
+    Matrix d(static_cast<std::size_t>(b.cols), 16);
+    for (double& v : c.data())
+        v = rng.uniform();
+    for (double& v : d.data())
+        v = rng.uniform();
+    for (auto _ : state) {
+        std::vector<double> out = sddmm(b, c, d);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Sddmm)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Google-benchmark microbenchmarks of the random forest (feasibility model
+// and Ytopt-surrogate workloads: small-N fits, many predictions).
+
+#include <benchmark/benchmark.h>
+
+#include "rf/random_forest.hpp"
+
+namespace {
+
+using namespace baco;
+
+void
+make_data(int n, int f, std::vector<std::vector<double>>* x,
+          std::vector<double>* y, bool classify)
+{
+    RngEngine rng(3);
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> row;
+        for (int j = 0; j < f; ++j)
+            row.push_back(rng.uniform());
+        double target = row[0] + 0.5 * row[1 % static_cast<std::size_t>(f)];
+        y->push_back(classify ? (target > 0.7 ? 1.0 : 0.0) : target);
+        x->push_back(std::move(row));
+    }
+}
+
+void
+BM_ForestFitRegression(benchmark::State& state)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    make_data(static_cast<int>(state.range(0)), 12, &x, &y, false);
+    RngEngine rng(4);
+    for (auto _ : state) {
+        RandomForest rf;
+        rf.fit(x, y, rng);
+        benchmark::DoNotOptimize(rf.num_trees());
+    }
+}
+BENCHMARK(BM_ForestFitRegression)->Arg(40)->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ForestFitClassifier(benchmark::State& state)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    make_data(static_cast<int>(state.range(0)), 12, &x, &y, true);
+    RngEngine rng(4);
+    ForestOptions opt;
+    opt.task = TreeTask::kClassification;
+    for (auto _ : state) {
+        RandomForest rf(opt);
+        rf.fit(x, y, rng);
+        benchmark::DoNotOptimize(rf.num_trees());
+    }
+}
+BENCHMARK(BM_ForestFitClassifier)->Arg(40)->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ForestPredict(benchmark::State& state)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    make_data(120, 12, &x, &y, false);
+    RngEngine rng(4);
+    RandomForest rf;
+    rf.fit(x, y, rng);
+    std::vector<double> probe = x[7];
+    for (auto _ : state) {
+        ForestPrediction p = rf.predict_with_variance(probe);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_ForestPredict)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Extension experiment (paper Sec. 6 / related work on expert priors):
+// BaCO's acquisition multiplied by a user prior over the optimum.
+// Compares no prior vs a good prior (peaked near the expert configuration)
+// vs a misleading prior, on two representative benchmarks.
+//
+// This regenerates no paper figure — it evaluates the future-work extension
+// the paper sketches ("a simple adaptation of the BaCO acquisition function
+// can benefit the same user priors when available").
+//
+// Usage: prior_extension [--reps N] [--seed S]
+
+#include <cmath>
+#include <iostream>
+
+#include "harness_util.hpp"
+#include "suite/registry.hpp"
+#include "suite/report.hpp"
+#include "suite/runner.hpp"
+
+using namespace baco;
+using namespace baco::suite;
+using baco::bench::HarnessArgs;
+
+namespace {
+
+/** Gaussian-bump prior around a center configuration, over the encoded
+ *  feature space. */
+std::function<double(const Configuration&)>
+make_prior(std::shared_ptr<SearchSpace> space, Configuration center,
+           double width)
+{
+    std::vector<double> c = space->encode(center);
+    return [space, c, width](const Configuration& x) {
+        std::vector<double> e = space->encode(x);
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < e.size(); ++i)
+            d2 += (e[i] - c[i]) * (e[i] - c[i]);
+        return std::exp(-d2 / (2.0 * width * width));
+    };
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    HarnessArgs args = HarnessArgs::parse(argc, argv, /*default_reps=*/3);
+    const char* names[] = {"SpMM/scircuit", "MM_GPU"};
+
+    print_banner(std::cout,
+                 "Extension: user priors for the optimum (mean perf. "
+                 "relative to expert at the tiny budget)");
+
+    TextTable table({"Benchmark", "no prior", "good prior",
+                     "misleading prior"});
+    for (const char* name : names) {
+        const Benchmark& b = find_benchmark(name);
+        auto space = b.make_space(SpaceVariant{});
+        int budget = b.tiny_budget();
+
+        // Good prior: centered on the expert; misleading: on the default.
+        auto good = make_prior(space, *b.expert, 0.4);
+        auto bad = make_prior(space, *b.default_config, 0.2);
+
+        std::vector<std::string> row{b.name};
+        for (auto* prior : {(decltype(&good))nullptr, &good, &bad}) {
+            std::vector<double> rels;
+            for (int r = 0; r < args.reps; ++r) {
+                TunerOptions opt = TunerOptions::baco_defaults();
+                opt.budget = budget;
+                opt.doe_samples = std::min(b.doe_samples, budget);
+                opt.seed = args.seed + static_cast<std::uint64_t>(r);
+                if (prior)
+                    opt.user_prior = *prior;
+                TuningHistory h = run_baco_custom(b, opt, SpaceVariant{});
+                rels.push_back(std::isfinite(h.best_value)
+                                   ? b.reference_cost / h.best_value
+                                   : 0.0);
+            }
+            row.push_back(fmt(mean(rels), 2) + "x");
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: the good prior matches or improves the "
+                 "tiny-budget result; the misleading prior costs some "
+                 "early performance but cannot derail the search (its "
+                 "influence decays as 1/#observations).\n";
+    return 0;
+}

@@ -1,0 +1,300 @@
+#include "baselines/opentuner_like.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+
+#include "core/chain_of_trees.hpp"
+
+namespace baco {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** The ensemble's sub-techniques. */
+enum class Technique : int {
+  kMutateUniform = 0,   ///< re-randomize 1-2 parameters of an elite parent
+  kMutateLocal,         ///< step elite parent to a neighbouring value
+  kDifferentialEvo,     ///< recombine elite with two random members
+  kHillClimb,           ///< neighbour of the incumbent best
+  kRandom,              ///< global uniform sample
+  kCount,
+};
+
+/** Per-evaluation record ranked by (feasible, value). */
+struct Member {
+  Configuration config;
+  double value = std::numeric_limits<double>::infinity();  // inf = infeasible
+};
+
+}  // namespace
+
+OpenTunerLike::OpenTunerLike(const SearchSpace& space, Options opt)
+    : space_(&space), opt_(opt)
+{
+}
+
+TuningHistory
+OpenTunerLike::run(const BlackBoxFn& objective)
+{
+    const SearchSpace& space = *space_;
+    RngEngine rng(opt_.seed);
+    RngEngine eval_rng = rng.split();
+    TuningHistory history;
+    auto t0 = Clock::now();
+
+    std::unique_ptr<ChainOfTrees> cot;
+    if (space.has_constraints() && space.is_fully_discrete()) {
+        try {
+            cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
+        } catch (const std::runtime_error&) {
+            cot.reset();
+        }
+    }
+
+    auto feasible_known = [&](const Configuration& c) {
+        return cot ? cot->contains(c) : space.satisfies(c);
+    };
+
+    auto random_config = [&]() -> Configuration {
+        if (cot)
+            return cot->sample(rng, /*uniform_leaves=*/false);
+        auto s = space.sample_feasible(rng, 2000);
+        return s ? std::move(*s) : space.sample_unconstrained(rng);
+    };
+
+    /**
+     * Repair a mutated configuration: when the known constraints broke,
+     * resample the CoT trees containing the touched parameters (ATF keeps
+     * proposals inside the constrained space).
+     */
+    auto repair = [&](Configuration& c,
+                      const std::vector<std::size_t>& touched) -> bool {
+        if (feasible_known(c))
+            return true;
+        if (!cot)
+            return false;
+        for (std::size_t p : touched) {
+            std::size_t t = cot->tree_of(p);
+            if (t != ChainOfTrees::kNoTree)
+                cot->resample_tree(t, c, rng, /*uniform_leaves=*/false);
+        }
+        return feasible_known(c);
+    };
+
+    std::vector<Member> population;
+    std::unordered_set<std::size_t> seen;
+
+    auto evaluate = [&](Configuration c) {
+        seen.insert(config_hash(c));
+        auto te = Clock::now();
+        EvalResult r = objective(c, eval_rng);
+        history.eval_seconds +=
+            std::chrono::duration<double>(Clock::now() - te).count();
+        Member m;
+        m.config = c;
+        if (r.feasible)
+            m.value = r.value;
+        population.push_back(m);
+        history.add(std::move(c), r);
+    };
+
+    // Elite access: indices of the best configurations.
+    auto elites = [&]() {
+        std::vector<std::size_t> idx(population.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::size_t k = std::min<std::size_t>(
+            static_cast<std::size_t>(opt_.elite_size), idx.size());
+        std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                          idx.end(), [&](std::size_t a, std::size_t b) {
+                              return population[a].value < population[b].value;
+                          });
+        idx.resize(k);
+        return idx;
+    };
+
+    // ---- Seed population. ----
+    for (int i = 0; i < std::min(opt_.initial_random, opt_.budget); ++i)
+        evaluate(random_config());
+
+    // ---- AUC bandit state. ----
+    const int n_tech = static_cast<int>(Technique::kCount);
+    std::vector<int> uses(static_cast<std::size_t>(n_tech), 0);
+    // Sliding window of (technique, improved?) outcomes.
+    std::deque<std::pair<int, bool>> window;
+
+    auto select_technique = [&]() -> Technique {
+        int total_uses = 0;
+        for (int u : uses)
+            total_uses += u;
+        double best_score = -1.0;
+        int best_t = 0;
+        for (int t = 0; t < n_tech; ++t) {
+            double score;
+            if (uses[static_cast<std::size_t>(t)] == 0) {
+                score = std::numeric_limits<double>::infinity();
+            } else {
+                // AUC credit: recency-weighted improvements in the window.
+                double auc = 0.0, norm = 0.0;
+                double w = 1.0;
+                for (auto it = window.rbegin(); it != window.rend(); ++it) {
+                    if (it->first == t) {
+                        auc += w * (it->second ? 1.0 : 0.0);
+                        norm += w;
+                    }
+                    w *= 0.98;
+                }
+                double exploit = norm > 0.0 ? auc / norm : 0.0;
+                score = exploit +
+                        opt_.bandit_c *
+                            std::sqrt(2.0 * std::log(std::max(1, total_uses)) /
+                                      uses[static_cast<std::size_t>(t)]);
+            }
+            if (score > best_score) {
+                best_score = score;
+                best_t = t;
+            }
+        }
+        return static_cast<Technique>(best_t);
+    };
+
+    // ---- Proposal generators. ----
+    auto propose = [&](Technique t) -> Configuration {
+        std::vector<std::size_t> elite = elites();
+        const std::size_t n_params = space.num_params();
+        switch (t) {
+          case Technique::kRandom:
+            return random_config();
+
+          case Technique::kMutateUniform: {
+            Configuration c =
+                population[elite[rng.index(elite.size())]].config;
+            int n_mut = 1 + static_cast<int>(rng.bernoulli(0.3));
+            std::vector<std::size_t> touched;
+            for (int m = 0; m < n_mut; ++m) {
+                std::size_t p = rng.index(n_params);
+                touched.push_back(p);
+                if (cot && cot->tree_of(p) != ChainOfTrees::kNoTree) {
+                    cot->resample_tree(cot->tree_of(p), c, rng, false);
+                } else {
+                    c[p] = space.param(p).sample(rng);
+                }
+            }
+            if (!repair(c, touched))
+                return random_config();
+            return c;
+          }
+
+          case Technique::kMutateLocal: {
+            Configuration c =
+                population[elite[rng.index(elite.size())]].config;
+            std::size_t p = rng.index(n_params);
+            std::vector<ParamValue> nb = space.param(p).neighbors(c[p], rng);
+            if (!nb.empty())
+                c[p] = nb[rng.index(nb.size())];
+            if (!repair(c, {p}))
+                return random_config();
+            return c;
+          }
+
+          case Technique::kHillClimb: {
+            const Configuration& best =
+                population[elite[0]].config;
+            Configuration c = best;
+            std::size_t p = rng.index(n_params);
+            std::vector<ParamValue> nb = space.param(p).neighbors(c[p], rng);
+            if (!nb.empty())
+                c[p] = nb[rng.index(nb.size())];
+            if (!repair(c, {p}))
+                return random_config();
+            return c;
+          }
+
+          case Technique::kDifferentialEvo: {
+            const Configuration& base =
+                population[elite[rng.index(elite.size())]].config;
+            const Configuration& a =
+                population[rng.index(population.size())].config;
+            const Configuration& b =
+                population[rng.index(population.size())].config;
+            Configuration c = base;
+            std::vector<std::size_t> touched;
+            for (std::size_t p = 0; p < n_params; ++p) {
+                if (!rng.bernoulli(0.4))
+                    continue;
+                touched.push_back(p);
+                const Parameter& par = space.param(p);
+                if (par.is_discrete() &&
+                    par.kind() != ParamKind::kPermutation) {
+                    // Index-space DE step: i_base + F * (i_a - i_b).
+                    auto ia = static_cast<double>(par.index_of(a[p]));
+                    auto ib = static_cast<double>(par.index_of(b[p]));
+                    auto ic = static_cast<double>(par.index_of(base[p]));
+                    double step = ic + 0.6 * (ia - ib);
+                    auto idx = static_cast<std::int64_t>(std::llround(step));
+                    idx = std::clamp<std::int64_t>(
+                        idx, 0,
+                        static_cast<std::int64_t>(par.num_values()) - 1);
+                    c[p] = par.value_at(static_cast<std::size_t>(idx));
+                } else if (par.kind() == ParamKind::kPermutation) {
+                    c[p] = rng.bernoulli(0.5) ? a[p] : b[p];
+                } else {
+                    double va = as_real(a[p]), vb = as_real(b[p]);
+                    double vc = as_real(base[p]) + 0.6 * (va - vb);
+                    const auto& rp = static_cast<const RealParameter&>(par);
+                    c[p] = std::clamp(vc, rp.lo(), rp.hi());
+                }
+            }
+            if (!repair(c, touched))
+                return random_config();
+            return c;
+          }
+
+          case Technique::kCount:
+            break;
+        }
+        return random_config();
+    };
+
+    // ---- Main loop. ----
+    while (static_cast<int>(history.size()) < opt_.budget) {
+        Technique t = select_technique();
+        Configuration c;
+        bool found = false;
+        for (int tries = 0; tries < 8; ++tries) {
+            c = propose(t);
+            if (!seen.count(config_hash(c))) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            for (int tries = 0; tries < 200 && !found; ++tries) {
+                c = random_config();
+                found = !seen.count(config_hash(c));
+            }
+        }
+
+        double before = history.best_value;
+        evaluate(std::move(c));
+        bool improved = history.best_value < before;
+
+        uses[static_cast<std::size_t>(t)] += 1;
+        window.emplace_back(static_cast<int>(t), improved);
+        if (static_cast<int>(window.size()) > opt_.bandit_window)
+            window.pop_front();
+    }
+
+    history.tuner_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count() -
+        history.eval_seconds;
+    return history;
+}
+
+}  // namespace baco

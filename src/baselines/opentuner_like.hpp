@@ -1,0 +1,51 @@
+#ifndef BACO_BASELINES_OPENTUNER_LIKE_HPP_
+#define BACO_BASELINES_OPENTUNER_LIKE_HPP_
+
+/**
+ * @file
+ * "ATF with OpenTuner" baseline (paper Sec. 5.1): a C++ re-implementation
+ * of OpenTuner's ensemble search (Ansel et al., PACT 2014) extended with
+ * ATF's known-constraint handling (Rasch et al., TACO 2021).
+ *
+ * OpenTuner runs a pool of search techniques — greedy mutation at two
+ * scales, a differential-evolution style recombiner, pattern-style hill
+ * climbing and pure random sampling — and allocates trials among them with
+ * an AUC-credit multi-armed bandit. ATF contributes the Chain-of-Trees so
+ * every proposal respects the known constraints.
+ *
+ * Hidden-constraint failures are handled the OpenTuner way: the
+ * configuration is kept in the history with an effectively infinite
+ * objective (no feasibility model — this is exactly the behaviour BaCO
+ * improves on).
+ */
+
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+
+namespace baco {
+
+/** OpenTuner-like ensemble search. */
+class OpenTunerLike {
+ public:
+  struct Options {
+    int budget = 60;
+    int initial_random = 10;  ///< seed population size
+    std::uint64_t seed = 0;
+    int elite_size = 5;       ///< parents are drawn from the best k
+    double bandit_c = 0.05;   ///< AUC bandit exploration constant
+    int bandit_window = 50;   ///< sliding credit window
+  };
+
+  OpenTunerLike(const SearchSpace& space, Options opt);
+
+  /** Run the ensemble search loop. */
+  TuningHistory run(const BlackBoxFn& objective);
+
+ private:
+  const SearchSpace* space_;
+  Options opt_;
+};
+
+}  // namespace baco
+
+#endif  // BACO_BASELINES_OPENTUNER_LIKE_HPP_

@@ -1,0 +1,78 @@
+#include "baselines/random_search.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "core/chain_of_trees.hpp"
+
+namespace baco {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::unique_ptr<ChainOfTrees>
+try_build_cot(const SearchSpace& space)
+{
+    if (!space.has_constraints() || !space.is_fully_discrete())
+        return nullptr;
+    try {
+        return std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
+    } catch (const std::runtime_error&) {
+        return nullptr;
+    }
+}
+
+TuningHistory
+run_sampling(const SearchSpace& space, const BlackBoxFn& objective,
+             const RandomSearchOptions& opt, bool biased_walk)
+{
+    RngEngine rng(opt.seed);
+    RngEngine eval_rng = rng.split();
+    TuningHistory history;
+    auto t0 = Clock::now();
+
+    std::unique_ptr<ChainOfTrees> cot = try_build_cot(space);
+
+    for (int i = 0; i < opt.budget; ++i) {
+        Configuration c;
+        if (biased_walk && cot) {
+            c = cot->sample(rng, /*uniform_leaves=*/false);
+        } else if (cot) {
+            // Leaf-uniform CoT sampling is exactly uniform over the
+            // feasible region, so use it directly instead of rejection.
+            c = cot->sample(rng, /*uniform_leaves=*/true);
+        } else {
+            auto s = space.sample_feasible(rng, 5000);
+            c = s ? std::move(*s) : space.sample_unconstrained(rng);
+        }
+        auto te = Clock::now();
+        EvalResult r = objective(c, eval_rng);
+        history.eval_seconds +=
+            std::chrono::duration<double>(Clock::now() - te).count();
+        history.add(std::move(c), r);
+    }
+
+    history.tuner_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count() -
+        history.eval_seconds;
+    return history;
+}
+
+}  // namespace
+
+TuningHistory
+run_uniform_sampling(const SearchSpace& space, const BlackBoxFn& objective,
+                     const RandomSearchOptions& opt)
+{
+    return run_sampling(space, objective, opt, /*biased_walk=*/false);
+}
+
+TuningHistory
+run_cot_sampling(const SearchSpace& space, const BlackBoxFn& objective,
+                 const RandomSearchOptions& opt)
+{
+    return run_sampling(space, objective, opt, /*biased_walk=*/true);
+}
+
+}  // namespace baco

@@ -1,0 +1,39 @@
+#ifndef BACO_BASELINES_RANDOM_SEARCH_HPP_
+#define BACO_BASELINES_RANDOM_SEARCH_HPP_
+
+/**
+ * @file
+ * The two random-sampling baselines (paper Sec. 5.1).
+ *
+ * - Uniform sampling: uniform over the *feasible* region (rejection
+ *   sampling, falling back to leaf-uniform CoT sampling — the same
+ *   distribution — when rejection keeps failing in sparse spaces).
+ * - CoT sampling: ATF's biased root-to-leaf random walk over the
+ *   Chain-of-Trees, used to study the bias discussed in Sec. 4.2.
+ */
+
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+
+namespace baco {
+
+/** Shared options for the sampling baselines. */
+struct RandomSearchOptions {
+  int budget = 60;
+  std::uint64_t seed = 0;
+};
+
+/** Uniform (bias-free) sampling over the feasible region. */
+TuningHistory run_uniform_sampling(const SearchSpace& space,
+                                   const BlackBoxFn& objective,
+                                   const RandomSearchOptions& opt);
+
+/** Biased CoT root-to-leaf walk sampling. Falls back to rejection sampling
+ *  when the space has no (tree-compatible) known constraints. */
+TuningHistory run_cot_sampling(const SearchSpace& space,
+                               const BlackBoxFn& objective,
+                               const RandomSearchOptions& opt);
+
+}  // namespace baco
+
+#endif  // BACO_BASELINES_RANDOM_SEARCH_HPP_

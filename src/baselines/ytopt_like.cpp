@@ -1,0 +1,161 @@
+#include "baselines/ytopt_like.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+
+#include "core/acquisition.hpp"
+#include "core/chain_of_trees.hpp"
+#include "core/doe.hpp"
+#include "gp/gp_model.hpp"
+#include "rf/random_forest.hpp"
+
+namespace baco {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+YtoptLike::YtoptLike(const SearchSpace& space, Options opt)
+    : space_(&space), opt_(opt)
+{
+}
+
+TuningHistory
+YtoptLike::run(const BlackBoxFn& objective)
+{
+    const SearchSpace& space = *space_;
+    RngEngine rng(opt_.seed);
+    RngEngine eval_rng = rng.split();
+    TuningHistory history;
+    auto t0 = Clock::now();
+
+    bool use_gp = opt_.surrogate == Surrogate::kGaussianProcess;
+
+    // The RF mode supports known constraints (like Ytopt's ConfigSpace
+    // path); the GP mode does not (matching the real tool) and samples the
+    // dense space.
+    std::unique_ptr<ChainOfTrees> cot;
+    if (!use_gp && space.has_constraints() && space.is_fully_discrete()) {
+        try {
+            cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
+        } catch (const std::runtime_error&) {
+            cot.reset();
+        }
+    }
+
+    std::unordered_set<std::size_t> seen;
+    auto evaluate = [&](Configuration c) {
+        seen.insert(config_hash(c));
+        auto te = Clock::now();
+        EvalResult r = objective(c, eval_rng);
+        history.eval_seconds +=
+            std::chrono::duration<double>(Clock::now() - te).count();
+        history.add(std::move(c), r);
+    };
+
+    auto sample_candidate = [&]() -> Configuration {
+        if (use_gp)
+            return space.sample_unconstrained(rng);
+        if (cot)
+            return cot->sample(rng, /*uniform_leaves=*/true);
+        auto s = space.sample_feasible(rng, 2000);
+        return s ? std::move(*s) : space.sample_unconstrained(rng);
+    };
+
+    // ---- DoE. ----
+    int doe_n = std::min(opt_.doe_samples, opt_.budget);
+    if (use_gp) {
+        for (int i = 0; i < doe_n; ++i)
+            evaluate(space.sample_unconstrained(rng));
+    } else {
+        for (Configuration& c :
+             doe_random_sample(space, cot.get(), doe_n, rng, true))
+            evaluate(std::move(c));
+    }
+
+    RandomForest forest([] {
+        ForestOptions o;
+        o.task = TreeTask::kRegression;
+        o.num_trees = 40;
+        return o;
+    }());
+    GpOptions gp_opt;
+    gp_opt.use_priors = false;     // plain GP, no BaCO customizations
+    gp_opt.advanced_fit = false;
+    GpModel gp(space, gp_opt);
+
+    while (static_cast<int>(history.size()) < opt_.budget) {
+        // Training set: all observations; infeasible ones get a penalty.
+        double worst = 0.0;
+        bool any_feasible = false;
+        for (const Observation& o : history.observations) {
+            if (o.feasible) {
+                worst = std::max(worst, o.value);
+                any_feasible = true;
+            }
+        }
+        double penalty = any_feasible ? worst * opt_.penalty_factor : 1.0;
+
+        std::vector<Configuration> xs;
+        std::vector<double> ys;
+        for (const Observation& o : history.observations) {
+            xs.push_back(o.config);
+            ys.push_back(o.feasible ? o.value : penalty);
+        }
+        if (xs.size() < 2) {
+            evaluate(sample_candidate());
+            continue;
+        }
+
+        std::vector<std::vector<double>> enc;
+        if (use_gp) {
+            gp.fit(xs, ys, rng);
+        } else {
+            enc.reserve(xs.size());
+            for (const Configuration& c : xs)
+                enc.push_back(space.encode(c));
+            forest.fit(enc, ys, rng);
+        }
+
+        double best = *std::min_element(ys.begin(), ys.end());
+
+        // Acquisition over a random candidate pool (skopt-style).
+        Configuration best_cand;
+        double best_score = -std::numeric_limits<double>::infinity();
+        for (int i = 0; i < opt_.pool_size; ++i) {
+            Configuration c = sample_candidate();
+            if (seen.count(config_hash(c)))
+                continue;
+            double mean, var;
+            if (use_gp) {
+                GpPrediction p = gp.predict(c);
+                mean = p.mean;
+                var = p.var;
+            } else {
+                ForestPrediction p =
+                    forest.predict_with_variance(space.encode(c));
+                mean = p.mean;
+                var = p.var;
+            }
+            double score = expected_improvement(mean, var, best);
+            if (score > best_score) {
+                best_score = score;
+                best_cand = std::move(c);
+            }
+        }
+        if (best_cand.empty())
+            best_cand = sample_candidate();
+        evaluate(std::move(best_cand));
+    }
+
+    history.tuner_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count() -
+        history.eval_seconds;
+    return history;
+}
+
+}  // namespace baco

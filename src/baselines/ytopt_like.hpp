@@ -1,0 +1,56 @@
+#ifndef BACO_BASELINES_YTOPT_LIKE_HPP_
+#define BACO_BASELINES_YTOPT_LIKE_HPP_
+
+/**
+ * @file
+ * Ytopt-like baseline (paper Sec. 5.1): skopt-style Bayesian optimization
+ * with a random-forest surrogate (Wu et al. 2021).
+ *
+ * Differences from BaCO that this baseline deliberately keeps:
+ *  - infeasible (hidden-constraint) evaluations are *not* modelled
+ *    separately; they are added to the training set with a large penalty
+ *    objective value;
+ *  - the acquisition function is optimized by scoring a random candidate
+ *    pool (no local search);
+ *  - no output/input log transforms, priors, or permutation structure.
+ *
+ * A GP-surrogate variant exists for the Fig. 8 comparison ("Ytopt (GP)"):
+ * a plain GP without BaCO's customizations. Like the real Ytopt GP mode, it
+ * does not support known constraints, so it samples candidates from the
+ * dense space (the Fig. 8 benchmark uses a manually pruned space, matching
+ * the paper's setup).
+ */
+
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+
+namespace baco {
+
+/** Ytopt-like BO baseline. */
+class YtoptLike {
+ public:
+  enum class Surrogate { kRandomForest, kGaussianProcess };
+
+  struct Options {
+    int budget = 60;
+    int doe_samples = 10;
+    std::uint64_t seed = 0;
+    Surrogate surrogate = Surrogate::kRandomForest;
+    /** Penalty multiple of the worst feasible value for failed configs. */
+    double penalty_factor = 10.0;
+    /** Acquisition candidate pool size. */
+    int pool_size = 800;
+  };
+
+  YtoptLike(const SearchSpace& space, Options opt);
+
+  TuningHistory run(const BlackBoxFn& objective);
+
+ private:
+  const SearchSpace* space_;
+  Options opt_;
+};
+
+}  // namespace baco
+
+#endif  // BACO_BASELINES_YTOPT_LIKE_HPP_

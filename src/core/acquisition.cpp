@@ -1,0 +1,30 @@
+#include "core/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.hpp"
+
+namespace baco {
+
+double
+expected_improvement(double mean, double var, double best)
+{
+    double sigma = std::sqrt(std::max(var, 0.0));
+    if (sigma < 1e-12)
+        return std::max(best - mean, 0.0);
+    double z = (best - mean) / sigma;
+    double ei = (best - mean) * normal_cdf(z) + sigma * normal_pdf(z);
+    return std::max(ei, 0.0);
+}
+
+double
+constrained_ei(double mean, double var, double best, double p_feasible,
+               double eps_f)
+{
+    if (p_feasible < eps_f)
+        return -1.0;
+    return expected_improvement(mean, var, best) * p_feasible;
+}
+
+}  // namespace baco

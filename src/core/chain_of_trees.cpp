@@ -1,0 +1,345 @@
+#include "core/chain_of_trees.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace baco {
+
+namespace {
+
+/** Union-find over parameter indices. */
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t
+  find(std::size_t x)
+  {
+      while (parent_[x] != x) {
+          parent_[x] = parent_[parent_[x]];
+          x = parent_[x];
+      }
+      return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ChainOfTrees
+ChainOfTrees::build(const SearchSpace& space, Options opt)
+{
+    ChainOfTrees cot;
+    cot.space_ = &space;
+    cot.param_to_tree_.assign(space.num_params(), kNoTree);
+
+    std::size_t n = space.num_params();
+
+    // 1. Group co-dependent parameters with union-find.
+    UnionFind uf(n);
+    std::vector<bool> constrained(n, false);
+    for (const Constraint& k : space.constraints()) {
+        std::size_t first = kNoTree;
+        for (const std::string& name : k.vars()) {
+            std::size_t idx = space.index_of(name);
+            constrained[idx] = true;
+            if (first == kNoTree)
+                first = idx;
+            else
+                uf.unite(first, idx);
+        }
+    }
+
+    // 2. Collect groups (ordered by parameter index for determinism).
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<std::size_t> root_to_group(n, kNoTree);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!constrained[i]) {
+            cot.free_params_.push_back(i);
+            continue;
+        }
+        std::size_t r = uf.find(i);
+        if (root_to_group[r] == kNoTree) {
+            root_to_group[r] = groups.size();
+            groups.emplace_back();
+        }
+        groups[root_to_group[r]].push_back(i);
+    }
+
+    // 3. Assign each constraint to its group, keyed by "last parameter of
+    //    the constraint in group order" so it can be checked as early as
+    //    possible during the DFS.
+    struct GroupInfo {
+      std::vector<std::size_t> params;  // group params in index order
+      // For each level d: constraints fully determined once params[0..d]
+      // are assigned.
+      std::vector<std::vector<const Constraint*>> checks;
+    };
+    std::vector<GroupInfo> infos(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        infos[g].params = groups[g];
+        infos[g].checks.resize(groups[g].size());
+    }
+    for (const Constraint& k : space.constraints()) {
+        std::size_t g = root_to_group[uf.find(space.index_of(k.vars()[0]))];
+        // Level at which all of the constraint's vars are assigned.
+        std::size_t level = 0;
+        for (const std::string& name : k.vars()) {
+            std::size_t idx = space.index_of(name);
+            auto it = std::find(infos[g].params.begin(), infos[g].params.end(),
+                                idx);
+            level = std::max(level, static_cast<std::size_t>(
+                                        it - infos[g].params.begin()));
+        }
+        infos[g].checks[level].push_back(&k);
+    }
+
+    // 4. Enumerate each group into a tree via DFS with early pruning.
+    for (const GroupInfo& info : infos) {
+        for (std::size_t p : info.params) {
+            if (!space.param(p).is_discrete()) {
+                throw std::runtime_error(
+                    "Chain-of-Trees requires discrete parameters; '" +
+                    space.param(p).name() + "' is continuous but constrained");
+            }
+        }
+
+        Tree tree;
+        tree.nodes.push_back(Node{});  // virtual root
+
+        // Scratch configuration: constraints only read assigned group
+        // params, so other coordinates can hold arbitrary valid values.
+        Configuration scratch;
+        scratch.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Parameter& p = space.param(i);
+            scratch.push_back(p.is_discrete() ? p.value_at(0)
+                                              : ParamValue{0.0});
+        }
+
+        std::uint64_t leaves = 0;
+        std::size_t depth = info.params.size();
+
+        // Iterative DFS carrying the current node chain.
+        struct Frame {
+          std::size_t level;
+          std::uint32_t node;       // tree node for this assignment
+          std::size_t next_value;   // next child value index to try
+        };
+
+        // Expand: try to add child with value v at level; returns node id or
+        // 0 when pruned.
+        auto try_child = [&](std::size_t level, std::size_t v,
+                             std::uint32_t parent) -> std::uint32_t {
+            std::size_t pidx = info.params[level];
+            const Parameter& p = space.param(pidx);
+            scratch[pidx] = p.value_at(v);
+            // Check all constraints that become fully bound at this level.
+            for (const Constraint* k : info.checks[level]) {
+                bool ok;
+                if (k->is_expression()) {
+                    EvalContext ctx;
+                    for (std::size_t d = 0; d <= level; ++d) {
+                        std::size_t q = info.params[d];
+                        if (space.param(q).kind() == ParamKind::kPermutation)
+                            continue;
+                        ctx[space.param(q).name()] =
+                            space.param(q).numeric_value(scratch[q]);
+                    }
+                    ok = k->eval_expression(ctx);
+                } else {
+                    ok = k->eval_function(scratch);
+                }
+                if (!ok)
+                    return 0;
+            }
+            Node child;
+            child.value_idx = static_cast<std::uint32_t>(v);
+            tree.nodes.push_back(child);
+            auto id = static_cast<std::uint32_t>(tree.nodes.size() - 1);
+            tree.nodes[parent].children.push_back(id);
+            return id;
+        };
+
+        std::vector<Frame> stack;
+        stack.push_back(Frame{0, 0, 0});
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            if (f.level == depth) {
+                // A full feasible partial configuration: its node is a leaf.
+                ++leaves;
+                if (leaves > opt.max_leaves_per_tree) {
+                    throw std::runtime_error(
+                        "Chain-of-Trees: tree exceeds max_leaves_per_tree; "
+                        "reduce the constrained subspace");
+                }
+                stack.pop_back();
+                continue;
+            }
+            std::size_t pidx = info.params[f.level];
+            std::size_t nvals = space.param(pidx).num_values();
+            if (f.next_value >= nvals) {
+                // Drop childless interior nodes so every path reaches a leaf.
+                if (f.level > 0 && tree.nodes[f.node].children.empty() &&
+                    f.level != depth) {
+                    auto& siblings = tree.nodes[stack[stack.size() - 2].node]
+                                         .children;
+                    siblings.pop_back();
+                }
+                stack.pop_back();
+                // Restore scratch for the parent level's subsequent values:
+                // nothing to do — try_child overwrites scratch each time.
+                continue;
+            }
+            std::size_t v = f.next_value++;
+            std::uint32_t child = try_child(f.level, v, f.node);
+            if (child != 0)
+                stack.push_back(Frame{f.level + 1, child, 0});
+        }
+
+        // Compute leaf counts bottom-up. Node ids are assigned in DFS
+        // preorder, so iterating in reverse visits children before parents.
+        for (std::size_t i = tree.nodes.size(); i-- > 0;) {
+            Node& node = tree.nodes[i];
+            if (node.children.empty()) {
+                // Interior childless nodes were pruned above, so any
+                // remaining childless node is a true leaf — except a
+                // childless root, which means the group is fully infeasible.
+                node.leaf_count = (i == 0) ? 0 : 1;
+                continue;
+            }
+            std::uint64_t acc = 0;
+            for (std::uint32_t ch : node.children)
+                acc += tree.nodes[ch].leaf_count;
+            node.leaf_count = acc;
+        }
+        if (depth == 0 || tree.nodes[0].leaf_count == 0) {
+            throw std::runtime_error(
+                "Chain-of-Trees: a constrained group has no feasible values");
+        }
+
+        std::size_t tree_idx = cot.trees_.size();
+        for (std::size_t p : info.params)
+            cot.param_to_tree_[p] = tree_idx;
+        cot.trees_.push_back(std::move(tree));
+        cot.tree_params_.push_back(info.params);
+    }
+
+    return cot;
+}
+
+bool
+ChainOfTrees::contains(const Configuration& c) const
+{
+    const SearchSpace& space = *space_;
+    // Free parameters must merely be in range.
+    for (std::size_t p : free_params_) {
+        const Parameter& par = space.param(p);
+        if (par.is_discrete() && par.index_of(c[p]) >= par.num_values())
+            return false;
+    }
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+        const Tree& tree = trees_[t];
+        std::uint32_t node = 0;
+        for (std::size_t level = 0; level < tree_params_[t].size(); ++level) {
+            std::size_t pidx = tree_params_[t][level];
+            std::size_t want = space.param(pidx).index_of(c[pidx]);
+            std::uint32_t next = 0;
+            for (std::uint32_t ch : tree.nodes[node].children) {
+                if (tree.nodes[ch].value_idx == want) {
+                    next = ch;
+                    break;
+                }
+            }
+            if (next == 0)
+                return false;
+            node = next;
+        }
+    }
+    return true;
+}
+
+void
+ChainOfTrees::walk_tree(std::size_t tree_idx, Configuration& c,
+                        RngEngine& rng, bool uniform_leaves) const
+{
+    const SearchSpace& space = *space_;
+    const Tree& tree = trees_[tree_idx];
+    const auto& params = tree_params_[tree_idx];
+    std::uint32_t node = 0;
+    for (std::size_t level = 0; level < params.size(); ++level) {
+        const auto& children = tree.nodes[node].children;
+        std::uint32_t pick;
+        if (uniform_leaves) {
+            // Weight children by subtree leaf counts -> uniform over leaves.
+            std::uint64_t total = tree.nodes[node].leaf_count;
+            std::uint64_t r = static_cast<std::uint64_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+            pick = children.back();
+            for (std::uint32_t ch : children) {
+                std::uint64_t w = tree.nodes[ch].leaf_count;
+                if (r < w) {
+                    pick = ch;
+                    break;
+                }
+                r -= w;
+            }
+        } else {
+            pick = children[rng.index(children.size())];
+        }
+        std::size_t pidx = params[level];
+        c[pidx] = space.param(pidx).value_at(tree.nodes[pick].value_idx);
+        node = pick;
+    }
+}
+
+Configuration
+ChainOfTrees::sample(RngEngine& rng, bool uniform_leaves) const
+{
+    const SearchSpace& space = *space_;
+    Configuration c(space.num_params());
+    for (std::size_t p : free_params_)
+        c[p] = space.param(p).sample(rng);
+    // Also give tree params placeholder values before the walks fill them.
+    for (std::size_t t = 0; t < trees_.size(); ++t)
+        walk_tree(t, c, rng, uniform_leaves);
+    return c;
+}
+
+void
+ChainOfTrees::resample_tree(std::size_t tree_idx, Configuration& c,
+                            RngEngine& rng, bool uniform_leaves) const
+{
+    walk_tree(tree_idx, c, rng, uniform_leaves);
+}
+
+std::uint64_t
+ChainOfTrees::tree_leaves(std::size_t tree_idx) const
+{
+    return trees_[tree_idx].nodes[0].leaf_count;
+}
+
+double
+ChainOfTrees::num_feasible() const
+{
+    double total = 1.0;
+    for (std::size_t t = 0; t < trees_.size(); ++t)
+        total *= static_cast<double>(tree_leaves(t));
+    for (std::size_t p : free_params_) {
+        const Parameter& par = space_->param(p);
+        if (!par.is_discrete())
+            return std::numeric_limits<double>::infinity();
+        total *= static_cast<double>(par.num_values());
+    }
+    return total;
+}
+
+}  // namespace baco

@@ -1,0 +1,118 @@
+#ifndef BACO_CORE_CHAIN_OF_TREES_HPP_
+#define BACO_CORE_CHAIN_OF_TREES_HPP_
+
+/**
+ * @file
+ * Chain-of-Trees (CoT) for sparse constrained spaces (paper Sec. 4.2,
+ * Fig. 4; originally Rasch et al., ATF).
+ *
+ * Parameters are grouped into co-dependent sets (connected components of the
+ * "appears in the same constraint" relation). For each group, all feasible
+ * partial configurations are enumerated ahead of time into a tree whose
+ * levels correspond to the group's parameters. Any combination of paths from
+ * the different trees — together with arbitrary values for unconstrained
+ * (free) parameters — is a feasible configuration.
+ *
+ * Two sampling modes:
+ *  - biased root-to-leaf walk (uniform child at each node): ATF's scheme,
+ *    biased toward sparse subtrees;
+ *  - uniform over leaves (children weighted by leaf counts): BaCO's
+ *    bias-free scheme.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/search_space.hpp"
+
+namespace baco {
+
+/** Pre-enumerated feasible region of a constrained discrete space. */
+class ChainOfTrees {
+ public:
+  struct Options {
+    /** Abort tree construction past this many leaves in a single tree. */
+    std::size_t max_leaves_per_tree = 4u << 20;
+  };
+
+  static constexpr std::size_t kNoTree = std::numeric_limits<std::size_t>::max();
+
+  /**
+   * Enumerate the feasible region of space.
+   * @throws std::runtime_error if a constraint touches a continuous
+   *         parameter or a tree exceeds Options::max_leaves_per_tree.
+   */
+  static ChainOfTrees build(const SearchSpace& space, Options opt);
+  static ChainOfTrees build(const SearchSpace& space) {
+    return build(space, Options{});
+  }
+
+  /** Number of trees (co-dependent groups). */
+  std::size_t num_trees() const { return trees_.size(); }
+
+  /** Parameter indices covered by each tree, in tree-level order. */
+  const std::vector<std::vector<std::size_t>>& tree_params() const {
+    return tree_params_;
+  }
+
+  /** Indices of parameters not constrained by anything. */
+  const std::vector<std::size_t>& free_params() const { return free_params_; }
+
+  /** Tree index owning a parameter, or kNoTree when free. */
+  std::size_t tree_of(std::size_t param_idx) const {
+    return param_to_tree_[param_idx];
+  }
+
+  /** Membership test: c's constrained coordinates lie on some leaf path of
+   *  every tree. Much cheaper than re-evaluating the constraints. */
+  bool contains(const Configuration& c) const;
+
+  /**
+   * Sample a feasible configuration. uniform_leaves=true gives BaCO's
+   * bias-free leaf-uniform sampling; false gives ATF's biased walk. Free
+   * parameters are sampled uniformly either way.
+   */
+  Configuration sample(RngEngine& rng, bool uniform_leaves) const;
+
+  /** Resample only the coordinates of one tree inside c (a local-search
+   *  "macro move" that stays feasible by construction). */
+  void resample_tree(std::size_t tree_idx, Configuration& c, RngEngine& rng,
+                     bool uniform_leaves) const;
+
+  /** Leaves of one tree = number of feasible partial configurations. */
+  std::uint64_t tree_leaves(std::size_t tree_idx) const;
+
+  /**
+   * Total feasible configurations: product of tree leaf counts and free
+   * discrete parameter cardinalities. Infinity when a free parameter is
+   * continuous.
+   */
+  double num_feasible() const;
+
+ private:
+  struct Node {
+    std::uint32_t value_idx = 0;       ///< index into the level parameter's values
+    std::uint64_t leaf_count = 0;      ///< leaves in this subtree
+    std::vector<std::uint32_t> children;
+  };
+
+  struct Tree {
+    std::vector<Node> nodes;  ///< nodes[0] is the virtual root
+  };
+
+  ChainOfTrees() = default;
+
+  void walk_tree(std::size_t tree_idx, Configuration& c, RngEngine& rng,
+                 bool uniform_leaves) const;
+
+  const SearchSpace* space_ = nullptr;
+  std::vector<Tree> trees_;
+  std::vector<std::vector<std::size_t>> tree_params_;
+  std::vector<std::size_t> free_params_;
+  std::vector<std::size_t> param_to_tree_;
+};
+
+}  // namespace baco
+
+#endif  // BACO_CORE_CHAIN_OF_TREES_HPP_

@@ -1,0 +1,32 @@
+#include "core/constraint.hpp"
+
+namespace baco {
+
+Constraint
+Constraint::from_expression(const std::string& src)
+{
+    Constraint c;
+    c.expr_ = parse_expression(src);
+    c.vars_ = expression_vars(*c.expr_);
+    c.source_ = src;
+    return c;
+}
+
+Constraint
+Constraint::from_function(std::function<bool(const Configuration&)> fn,
+                          std::vector<std::string> vars, std::string label)
+{
+    Constraint c;
+    c.fn_ = std::move(fn);
+    c.vars_ = std::move(vars);
+    c.source_ = std::move(label);
+    return c;
+}
+
+bool
+Constraint::eval_expression(const EvalContext& ctx) const
+{
+    return expr_->eval(ctx) != 0.0;
+}
+
+}  // namespace baco

@@ -1,0 +1,66 @@
+#ifndef BACO_CORE_CONSTRAINT_HPP_
+#define BACO_CORE_CONSTRAINT_HPP_
+
+/**
+ * @file
+ * Known constraints (paper Sec. 4.2): conditions on parameter values that
+ * are available to the autotuner ahead of time.
+ *
+ * Two flavours:
+ *  - expression constraints, parsed from strings over scalar parameters
+ *    ("p5 >= 2*p4", "n % tile == 0");
+ *  - functional constraints, arbitrary C++ predicates over a whole
+ *    Configuration (needed e.g. for permutation concordance rules, which are
+ *    not scalar). Functional constraints must declare the parameter names
+ *    they depend on so the Chain-of-Trees can group co-dependent parameters.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/expression.hpp"
+#include "core/types.hpp"
+
+namespace baco {
+
+/** A single known constraint. Copyable value type. */
+class Constraint {
+ public:
+  /** Parse src as a boolean expression over scalar parameter names. */
+  static Constraint from_expression(const std::string& src);
+
+  /**
+   * Wrap a predicate. @param vars names of the parameters the predicate
+   * reads (drives co-dependence grouping); @param label for reports.
+   */
+  static Constraint from_function(
+      std::function<bool(const Configuration&)> fn,
+      std::vector<std::string> vars, std::string label = "<function>");
+
+  bool is_expression() const { return expr_ != nullptr; }
+
+  /** Evaluate an expression constraint under ctx. */
+  bool eval_expression(const EvalContext& ctx) const;
+
+  /** Evaluate a functional constraint on a full configuration. */
+  bool eval_function(const Configuration& c) const { return fn_(c); }
+
+  /** Parameter names this constraint depends on. */
+  const std::vector<std::string>& vars() const { return vars_; }
+
+  /** Source text (expression) or label (functional). */
+  const std::string& source() const { return source_; }
+
+ private:
+  Constraint() = default;
+
+  ExpressionPtr expr_;
+  std::function<bool(const Configuration&)> fn_;
+  std::vector<std::string> vars_;
+  std::string source_;
+};
+
+}  // namespace baco
+
+#endif  // BACO_CORE_CONSTRAINT_HPP_

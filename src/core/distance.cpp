@@ -1,0 +1,89 @@
+#include "core/distance.hpp"
+
+#include <cassert>
+
+namespace baco {
+
+int
+kendall_distance(const Permutation& pi, const Permutation& pi2)
+{
+    assert(pi.size() == pi2.size());
+    int n = static_cast<int>(pi.size());
+    int discordant = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            bool a = pi[i] < pi[j];
+            bool b = pi2[i] < pi2[j];
+            if (a != b)
+                ++discordant;
+        }
+    }
+    return discordant;
+}
+
+long long
+spearman_distance(const Permutation& pi, const Permutation& pi2)
+{
+    assert(pi.size() == pi2.size());
+    long long acc = 0;
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+        long long d = pi[i] - pi2[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+int
+hamming_distance(const Permutation& pi, const Permutation& pi2)
+{
+    assert(pi.size() == pi2.size());
+    int acc = 0;
+    for (std::size_t i = 0; i < pi.size(); ++i)
+        acc += (pi[i] != pi2[i]) ? 1 : 0;
+    return acc;
+}
+
+long long
+max_kendall(int m)
+{
+    return static_cast<long long>(m) * (m - 1) / 2;
+}
+
+long long
+max_spearman(int m)
+{
+    // Achieved by the full reversal: sum over i of (2i - (m-1))^2.
+    long long mm = m;
+    return (mm * mm * mm - mm) / 3;
+}
+
+long long
+max_hamming(int m)
+{
+    return m;
+}
+
+double
+permutation_distance(const Permutation& a, const Permutation& b,
+                     PermutationMetric metric)
+{
+    int m = static_cast<int>(a.size());
+    if (m <= 1)
+        return 0.0;
+    switch (metric) {
+      case PermutationMetric::kKendall:
+        return static_cast<double>(kendall_distance(a, b)) /
+               static_cast<double>(max_kendall(m));
+      case PermutationMetric::kSpearman:
+        return static_cast<double>(spearman_distance(a, b)) /
+               static_cast<double>(max_spearman(m));
+      case PermutationMetric::kHamming:
+        return static_cast<double>(hamming_distance(a, b)) /
+               static_cast<double>(max_hamming(m));
+      case PermutationMetric::kNaive:
+        return (a == b) ? 0.0 : 1.0;
+    }
+    return 0.0;
+}
+
+}  // namespace baco

@@ -1,0 +1,33 @@
+#include "core/doe.hpp"
+
+#include <unordered_set>
+
+namespace baco {
+
+std::vector<Configuration>
+doe_random_sample(const SearchSpace& space, const ChainOfTrees* cot, int n,
+                  RngEngine& rng, bool uniform_leaves)
+{
+    std::vector<Configuration> out;
+    std::unordered_set<std::size_t> seen;
+    int tries = 0;
+    const int max_tries = 200 * n + 1000;
+    while (static_cast<int>(out.size()) < n && tries < max_tries) {
+        ++tries;
+        Configuration c;
+        if (cot) {
+            c = cot->sample(rng, uniform_leaves);
+        } else {
+            auto s = space.sample_feasible(rng, 1000);
+            if (!s)
+                continue;
+            c = std::move(*s);
+        }
+        std::size_t h = config_hash(c);
+        if (seen.insert(h).second)
+            out.push_back(std::move(c));
+    }
+    return out;
+}
+
+}  // namespace baco

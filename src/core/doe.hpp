@@ -1,0 +1,33 @@
+#ifndef BACO_CORE_DOE_HPP_
+#define BACO_CORE_DOE_HPP_
+
+/**
+ * @file
+ * Design of experiments: the initial uniform sampling phase that seeds the
+ * predictive models (paper Sec. 3, "Initial Phase").
+ */
+
+#include <vector>
+
+#include "core/chain_of_trees.hpp"
+#include "core/search_space.hpp"
+
+namespace baco {
+
+/**
+ * Draw n feasible configurations, deduplicated where the space allows it.
+ *
+ * When cot is non-null, samples come from the Chain-of-Trees
+ * (uniform_leaves selects BaCO's bias-free scheme vs ATF's biased walk);
+ * otherwise rejection sampling against the known constraints is used.
+ * Returns fewer than n configurations only when the feasible set itself is
+ * smaller than n (or rejection sampling keeps failing).
+ */
+std::vector<Configuration> doe_random_sample(const SearchSpace& space,
+                                             const ChainOfTrees* cot, int n,
+                                             RngEngine& rng,
+                                             bool uniform_leaves = true);
+
+}  // namespace baco
+
+#endif  // BACO_CORE_DOE_HPP_

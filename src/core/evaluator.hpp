@@ -1,0 +1,87 @@
+#ifndef BACO_CORE_EVALUATOR_HPP_
+#define BACO_CORE_EVALUATOR_HPP_
+
+/**
+ * @file
+ * The black-box evaluation interface and tuning history.
+ *
+ * A compiler toolchain is modelled as a function from configuration to
+ * EvalResult: it schedules, compiles and runs (or simulates) the program and
+ * reports the measured objective, or infeasibility when a hidden constraint
+ * is violated (paper Fig. 2's "Compiler Toolchain" box).
+ */
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "linalg/rng.hpp"
+
+namespace baco {
+
+/**
+ * Black-box objective. The RngEngine carries the measurement-noise stream so
+ * whole experiments are reproducible from a single seed.
+ */
+using BlackBoxFn =
+    std::function<EvalResult(const Configuration&, RngEngine&)>;
+
+/** One evaluated configuration. */
+struct Observation {
+  Configuration config;
+  double value = 0.0;
+  bool feasible = true;
+};
+
+/** The full record of one autotuning run. */
+struct TuningHistory {
+  std::vector<Observation> observations;
+
+  /** Best feasible value seen; +inf when none. */
+  double best_value = std::numeric_limits<double>::infinity();
+  /** Configuration achieving best_value. */
+  std::optional<Configuration> best_config;
+
+  /** Wall-clock seconds spent inside the search method itself. */
+  double tuner_seconds = 0.0;
+  /** Wall-clock seconds spent evaluating the black box. */
+  double eval_seconds = 0.0;
+
+  /** Record an evaluation and update the incumbent. */
+  void
+  add(Configuration c, EvalResult r)
+  {
+      observations.push_back(Observation{c, r.value, r.feasible});
+      if (r.feasible && r.value < best_value) {
+          best_value = r.value;
+          best_config = std::move(c);
+      }
+  }
+
+  /**
+   * Best-so-far trajectory: entry i is the best feasible value among the
+   * first i+1 evaluations (+inf before the first feasible one).
+   */
+  std::vector<double>
+  best_trajectory() const
+  {
+      std::vector<double> t;
+      t.reserve(observations.size());
+      double best = std::numeric_limits<double>::infinity();
+      for (const Observation& o : observations) {
+          if (o.feasible && o.value < best)
+              best = o.value;
+          t.push_back(best);
+      }
+      return t;
+  }
+
+  /** Number of evaluations performed. */
+  std::size_t size() const { return observations.size(); }
+};
+
+}  // namespace baco
+
+#endif  // BACO_CORE_EVALUATOR_HPP_

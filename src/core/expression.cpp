@@ -1,0 +1,431 @@
+#include "core/expression.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace baco {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------------
+
+class NumberExpr : public Expression {
+ public:
+  explicit NumberExpr(double v) : v_(v) {}
+  double eval(const EvalContext&) const override { return v_; }
+  void collect_vars(std::vector<std::string>&) const override {}
+
+ private:
+  double v_;
+};
+
+class VarExpr : public Expression {
+ public:
+  explicit VarExpr(std::string name) : name_(std::move(name)) {}
+
+  double
+  eval(const EvalContext& ctx) const override
+  {
+      auto it = ctx.find(name_);
+      if (it == ctx.end())
+          throw std::runtime_error("unbound variable '" + name_ +
+                                   "' in constraint expression");
+      return it->second;
+  }
+
+  void
+  collect_vars(std::vector<std::string>& out) const override
+  {
+      out.push_back(name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+class BinaryExpr : public Expression {
+ public:
+  BinaryExpr(BinOp op, ExpressionPtr lhs, ExpressionPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  double
+  eval(const EvalContext& ctx) const override
+  {
+      // Short-circuit logical operators.
+      if (op_ == BinOp::kAnd) {
+          if (lhs_->eval(ctx) == 0.0)
+              return 0.0;
+          return rhs_->eval(ctx) != 0.0 ? 1.0 : 0.0;
+      }
+      if (op_ == BinOp::kOr) {
+          if (lhs_->eval(ctx) != 0.0)
+              return 1.0;
+          return rhs_->eval(ctx) != 0.0 ? 1.0 : 0.0;
+      }
+      double a = lhs_->eval(ctx);
+      double b = rhs_->eval(ctx);
+      switch (op_) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv: return a / b;
+        case BinOp::kMod: {
+            long long ia = std::llround(a);
+            long long ib = std::llround(b);
+            if (ib == 0)
+                throw std::runtime_error("modulo by zero in constraint");
+            return static_cast<double>(ia % ib);
+        }
+        case BinOp::kLt: return a < b ? 1.0 : 0.0;
+        case BinOp::kLe: return a <= b ? 1.0 : 0.0;
+        case BinOp::kGt: return a > b ? 1.0 : 0.0;
+        case BinOp::kGe: return a >= b ? 1.0 : 0.0;
+        case BinOp::kEq: return a == b ? 1.0 : 0.0;
+        case BinOp::kNe: return a != b ? 1.0 : 0.0;
+        default: break;
+      }
+      throw std::logic_error("unreachable binary op");
+  }
+
+  void
+  collect_vars(std::vector<std::string>& out) const override
+  {
+      lhs_->collect_vars(out);
+      rhs_->collect_vars(out);
+  }
+
+ private:
+  BinOp op_;
+  ExpressionPtr lhs_, rhs_;
+};
+
+enum class UnOp { kNeg, kNot };
+
+class UnaryExpr : public Expression {
+ public:
+  UnaryExpr(UnOp op, ExpressionPtr arg) : op_(op), arg_(std::move(arg)) {}
+
+  double
+  eval(const EvalContext& ctx) const override
+  {
+      double v = arg_->eval(ctx);
+      return op_ == UnOp::kNeg ? -v : (v == 0.0 ? 1.0 : 0.0);
+  }
+
+  void
+  collect_vars(std::vector<std::string>& out) const override
+  {
+      arg_->collect_vars(out);
+  }
+
+ private:
+  UnOp op_;
+  ExpressionPtr arg_;
+};
+
+class CallExpr : public Expression {
+ public:
+  CallExpr(std::string fn, std::vector<ExpressionPtr> args)
+      : fn_(std::move(fn)), args_(std::move(args))
+  {
+      std::size_t want = (fn_ == "min" || fn_ == "max" || fn_ == "pow") ? 2 : 1;
+      if (fn_ != "log" && fn_ != "log2" && fn_ != "abs" && fn_ != "min" &&
+          fn_ != "max" && fn_ != "pow" && fn_ != "floor" && fn_ != "ceil") {
+          throw std::runtime_error("unknown function '" + fn_ +
+                                   "' in constraint expression");
+      }
+      if (args_.size() != want) {
+          throw std::runtime_error("function '" + fn_ + "' expects " +
+                                   std::to_string(want) + " argument(s)");
+      }
+  }
+
+  double
+  eval(const EvalContext& ctx) const override
+  {
+      double a = args_[0]->eval(ctx);
+      if (fn_ == "log") return std::log(a);
+      if (fn_ == "log2") return std::log2(a);
+      if (fn_ == "abs") return std::abs(a);
+      if (fn_ == "floor") return std::floor(a);
+      if (fn_ == "ceil") return std::ceil(a);
+      double b = args_[1]->eval(ctx);
+      if (fn_ == "min") return std::min(a, b);
+      if (fn_ == "max") return std::max(a, b);
+      return std::pow(a, b);
+  }
+
+  void
+  collect_vars(std::vector<std::string>& out) const override
+  {
+      for (const auto& a : args_)
+          a->collect_vars(out);
+  }
+
+ private:
+  std::string fn_;
+  std::vector<ExpressionPtr> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Tokenizer + recursive descent parser
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kNumber, kIdent, kOp, kEnd } kind;
+  std::string text;
+  double number = 0.0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token
+  next()
+  {
+      Token t = cur_;
+      advance();
+      return t;
+  }
+
+ private:
+  void
+  advance()
+  {
+      while (i_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[i_])))
+          ++i_;
+      cur_.pos = i_;
+      if (i_ >= src_.size()) {
+          cur_ = {Token::kEnd, "", 0.0, i_};
+          return;
+      }
+      char c = src_[i_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+          std::size_t end = i_;
+          while (end < src_.size() &&
+                 (std::isdigit(static_cast<unsigned char>(src_[end])) ||
+                  src_[end] == '.' || src_[end] == 'e' || src_[end] == 'E' ||
+                  ((src_[end] == '+' || src_[end] == '-') && end > i_ &&
+                   (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
+              ++end;
+          }
+          std::string text = src_.substr(i_, end - i_);
+          cur_ = {Token::kNumber, text, std::stod(text), i_};
+          i_ = end;
+          return;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          std::size_t end = i_;
+          while (end < src_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+                  src_[end] == '_' || src_[end] == '.')) {
+              ++end;
+          }
+          cur_ = {Token::kIdent, src_.substr(i_, end - i_), 0.0, i_};
+          i_ = end;
+          return;
+      }
+      // Two-character operators first.
+      static const char* two_char[] = {"<=", ">=", "==", "!=", "&&", "||"};
+      for (const char* op : two_char) {
+          if (src_.compare(i_, 2, op) == 0) {
+              cur_ = {Token::kOp, op, 0.0, i_};
+              i_ += 2;
+              return;
+          }
+      }
+      static const std::string one_char = "+-*/%<>!(),";
+      if (one_char.find(c) != std::string::npos) {
+          cur_ = {Token::kOp, std::string(1, c), 0.0, i_};
+          ++i_;
+          return;
+      }
+      throw std::runtime_error("unexpected character '" + std::string(1, c) +
+                               "' at position " + std::to_string(i_) +
+                               " in constraint expression");
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  ExpressionPtr
+  parse()
+  {
+      ExpressionPtr e = parse_or();
+      if (lex_.peek().kind != Token::kEnd) {
+          throw std::runtime_error("unexpected trailing input at position " +
+                                   std::to_string(lex_.peek().pos));
+      }
+      return e;
+  }
+
+ private:
+  bool
+  accept_op(const std::string& op)
+  {
+      if (lex_.peek().kind == Token::kOp && lex_.peek().text == op) {
+          lex_.next();
+          return true;
+      }
+      return false;
+  }
+
+  void
+  expect_op(const std::string& op)
+  {
+      if (!accept_op(op)) {
+          throw std::runtime_error("expected '" + op + "' at position " +
+                                   std::to_string(lex_.peek().pos));
+      }
+  }
+
+  ExpressionPtr
+  parse_or()
+  {
+      ExpressionPtr e = parse_and();
+      while (accept_op("||"))
+          e = std::make_shared<BinaryExpr>(BinOp::kOr, e, parse_and());
+      return e;
+  }
+
+  ExpressionPtr
+  parse_and()
+  {
+      ExpressionPtr e = parse_cmp();
+      while (accept_op("&&"))
+          e = std::make_shared<BinaryExpr>(BinOp::kAnd, e, parse_cmp());
+      return e;
+  }
+
+  ExpressionPtr
+  parse_cmp()
+  {
+      ExpressionPtr e = parse_add();
+      struct { const char* text; BinOp op; } ops[] = {
+          {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"==", BinOp::kEq},
+          {"!=", BinOp::kNe}, {"<", BinOp::kLt}, {">", BinOp::kGt},
+      };
+      for (const auto& o : ops) {
+          if (accept_op(o.text))
+              return std::make_shared<BinaryExpr>(o.op, e, parse_add());
+      }
+      return e;
+  }
+
+  ExpressionPtr
+  parse_add()
+  {
+      ExpressionPtr e = parse_mul();
+      while (true) {
+          if (accept_op("+"))
+              e = std::make_shared<BinaryExpr>(BinOp::kAdd, e, parse_mul());
+          else if (accept_op("-"))
+              e = std::make_shared<BinaryExpr>(BinOp::kSub, e, parse_mul());
+          else
+              return e;
+      }
+  }
+
+  ExpressionPtr
+  parse_mul()
+  {
+      ExpressionPtr e = parse_unary();
+      while (true) {
+          if (accept_op("*"))
+              e = std::make_shared<BinaryExpr>(BinOp::kMul, e, parse_unary());
+          else if (accept_op("/"))
+              e = std::make_shared<BinaryExpr>(BinOp::kDiv, e, parse_unary());
+          else if (accept_op("%"))
+              e = std::make_shared<BinaryExpr>(BinOp::kMod, e, parse_unary());
+          else
+              return e;
+      }
+  }
+
+  ExpressionPtr
+  parse_unary()
+  {
+      if (accept_op("-"))
+          return std::make_shared<UnaryExpr>(UnOp::kNeg, parse_unary());
+      if (accept_op("!"))
+          return std::make_shared<UnaryExpr>(UnOp::kNot, parse_unary());
+      return parse_primary();
+  }
+
+  ExpressionPtr
+  parse_primary()
+  {
+      const Token& t = lex_.peek();
+      if (t.kind == Token::kNumber) {
+          double v = t.number;
+          lex_.next();
+          return std::make_shared<NumberExpr>(v);
+      }
+      if (t.kind == Token::kIdent) {
+          std::string name = t.text;
+          lex_.next();
+          if (accept_op("(")) {
+              std::vector<ExpressionPtr> args;
+              if (!accept_op(")")) {
+                  args.push_back(parse_or());
+                  while (accept_op(","))
+                      args.push_back(parse_or());
+                  expect_op(")");
+              }
+              return std::make_shared<CallExpr>(name, std::move(args));
+          }
+          return std::make_shared<VarExpr>(name);
+      }
+      if (accept_op("(")) {
+          ExpressionPtr e = parse_or();
+          expect_op(")");
+          return e;
+      }
+      throw std::runtime_error("unexpected token at position " +
+                               std::to_string(t.pos) +
+                               " in constraint expression");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+ExpressionPtr
+parse_expression(const std::string& source)
+{
+    Parser p(source);
+    return p.parse();
+}
+
+std::vector<std::string>
+expression_vars(const Expression& expr)
+{
+    std::vector<std::string> vars;
+    expr.collect_vars(vars);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    return vars;
+}
+
+}  // namespace baco

@@ -1,0 +1,66 @@
+#ifndef BACO_CORE_EXPRESSION_HPP_
+#define BACO_CORE_EXPRESSION_HPP_
+
+/**
+ * @file
+ * A small expression language for known constraints (paper Sec. 4.2).
+ *
+ * Unlike ConfigSpace-style conjunctions of linear conditions, arbitrary
+ * arithmetic (including non-linear terms such as products and modulo) is
+ * supported, e.g. "p5 >= 2*p4", "n % (tile_i * tile_j) == 0",
+ * "log2(ls0) + log2(ls1) <= 10".
+ *
+ * Grammar (standard precedence, lowest first):
+ *   or    := and ('||' and)*
+ *   and   := cmp ('&&' cmp)*
+ *   cmp   := add (('<='|'>='|'=='|'!='|'<'|'>') add)?
+ *   add   := mul (('+'|'-') mul)*
+ *   mul   := unary (('*'|'/'|'%') unary)*
+ *   unary := ('-'|'!') unary | primary
+ *   primary := number | ident | ident '(' args ')' | '(' or ')'
+ *
+ * Built-in functions: log(x), log2(x), abs(x), min(a,b), max(a,b),
+ * pow(a,b), floor(x), ceil(x).
+ *
+ * Values are doubles; booleans are encoded as 0/1 and any non-zero value is
+ * truthy. '%' rounds both operands to the nearest integer first, since it is
+ * used exclusively for divisibility constraints over integral parameters.
+ */
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace baco {
+
+/** Variable bindings for expression evaluation. */
+using EvalContext = std::unordered_map<std::string, double>;
+
+/** A parsed constraint expression. */
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /** Evaluate under the given variable bindings.
+   *  @throws std::runtime_error on unbound variables. */
+  virtual double eval(const EvalContext& ctx) const = 0;
+
+  /** Append the names of all variables referenced to out. */
+  virtual void collect_vars(std::vector<std::string>& out) const = 0;
+};
+
+using ExpressionPtr = std::shared_ptr<const Expression>;
+
+/**
+ * Parse source into an expression tree.
+ * @throws std::runtime_error with position information on syntax errors.
+ */
+ExpressionPtr parse_expression(const std::string& source);
+
+/** Sorted, deduplicated variable names referenced by expr. */
+std::vector<std::string> expression_vars(const Expression& expr);
+
+}  // namespace baco
+
+#endif  // BACO_CORE_EXPRESSION_HPP_

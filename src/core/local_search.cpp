@@ -1,0 +1,105 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace baco {
+
+namespace {
+
+/** Feasibility filter shared by pool and neighbour candidates. */
+bool
+is_feasible(const SearchSpace& space, const ChainOfTrees* cot,
+            const Configuration& c)
+{
+    if (cot)
+        return cot->contains(c);
+    return space.satisfies(c);
+}
+
+}  // namespace
+
+std::optional<Configuration>
+local_search_maximize(const SearchSpace& space, const ChainOfTrees* cot,
+                      const ScoreFn& score, RngEngine& rng,
+                      const LocalSearchOptions& opt)
+{
+    // ---- Candidate pool. ----
+    struct Scored {
+      Configuration config;
+      double value;
+    };
+    std::vector<Scored> pool;
+    pool.reserve(static_cast<std::size_t>(opt.random_samples));
+    for (int i = 0; i < opt.random_samples; ++i) {
+        Configuration c;
+        if (cot) {
+            c = cot->sample(rng, opt.cot_uniform_leaves);
+        } else {
+            auto s = space.sample_feasible(rng, 200);
+            if (!s)
+                continue;
+            c = std::move(*s);
+        }
+        double v = score(c);
+        pool.push_back(Scored{std::move(c), v});
+    }
+    if (pool.empty())
+        return std::nullopt;
+
+    std::size_t n_starts = std::min<std::size_t>(
+        static_cast<std::size_t>(opt.starts), pool.size());
+    std::partial_sort(pool.begin(),
+                      pool.begin() + static_cast<std::ptrdiff_t>(n_starts),
+                      pool.end(), [](const Scored& a, const Scored& b) {
+                          return a.value > b.value;
+                      });
+
+    Configuration best = pool[0].config;
+    double best_score = pool[0].value;
+
+    if (!opt.hill_climb)
+        return best;
+
+    // ---- Hill climbing from each start. ----
+    for (std::size_t s = 0; s < n_starts; ++s) {
+        Configuration cur = pool[s].config;
+        double cur_score = pool[s].value;
+        for (int step = 0; step < opt.max_steps; ++step) {
+            // Single-parameter moves...
+            std::vector<Configuration> moves = space.neighbors(cur, rng);
+            // ...plus whole-tree resampling for co-dependent groups.
+            if (cot) {
+                for (std::size_t t = 0; t < cot->num_trees(); ++t) {
+                    for (int m = 0; m < opt.tree_moves; ++m) {
+                        Configuration c = cur;
+                        cot->resample_tree(t, c, rng, opt.cot_uniform_leaves);
+                        moves.push_back(std::move(c));
+                    }
+                }
+            }
+            double best_move_score = cur_score;
+            std::optional<Configuration> best_move;
+            for (Configuration& c : moves) {
+                if (!is_feasible(space, cot, c))
+                    continue;
+                double v = score(c);
+                if (v > best_move_score) {
+                    best_move_score = v;
+                    best_move = std::move(c);
+                }
+            }
+            if (!best_move)
+                break;  // local optimum
+            cur = std::move(*best_move);
+            cur_score = best_move_score;
+        }
+        if (cur_score > best_score) {
+            best_score = cur_score;
+            best = std::move(cur);
+        }
+    }
+    return best;
+}
+
+}  // namespace baco

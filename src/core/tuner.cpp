@@ -1,0 +1,196 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "core/acquisition.hpp"
+#include "core/doe.hpp"
+#include "core/feasibility_model.hpp"
+#include "rf/random_forest.hpp"
+
+namespace baco {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Tuner::Tuner(const SearchSpace& space, TunerOptions opt)
+    : space_(&space), opt_(opt)
+{
+}
+
+TuningHistory
+Tuner::run(const BlackBoxFn& objective)
+{
+    const SearchSpace& space = *space_;
+    RngEngine rng(opt_.seed);
+    RngEngine eval_rng = rng.split();
+
+    TuningHistory history;
+    auto run_start = Clock::now();
+
+    // ---- Known constraints: Chain-of-Trees when possible. ----
+    std::unique_ptr<ChainOfTrees> cot;
+    if (opt_.use_cot && space.has_constraints() && space.is_fully_discrete()) {
+        try {
+            cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
+        } catch (const std::runtime_error&) {
+            cot.reset();  // fall back to rejection sampling
+        }
+    }
+
+    std::unordered_set<std::size_t> seen;
+    auto evaluate = [&](Configuration c) {
+        seen.insert(config_hash(c));
+        auto t0 = Clock::now();
+        EvalResult r = objective(c, eval_rng);
+        history.eval_seconds += seconds_since(t0);
+        history.add(std::move(c), r);
+    };
+
+    auto random_unique = [&]() -> Configuration {
+        for (int t = 0; t < 500; ++t) {
+            Configuration c;
+            if (cot) {
+                c = cot->sample(rng, opt_.cot_uniform_leaves);
+            } else {
+                auto s = space.sample_feasible(rng, 500);
+                if (!s)
+                    continue;
+                c = std::move(*s);
+            }
+            if (!seen.count(config_hash(c)))
+                return c;
+        }
+        // The space may be (nearly) exhausted: allow a duplicate.
+        if (cot)
+            return cot->sample(rng, opt_.cot_uniform_leaves);
+        auto s = space.sample_feasible(rng, 5000);
+        if (s)
+            return *s;
+        return space.sample_unconstrained(rng);
+    };
+
+    // ---- Initial phase (DoE). ----
+    int doe_n = std::min(opt_.doe_samples, opt_.budget);
+    for (Configuration& c :
+         doe_random_sample(space, cot.get(), doe_n, rng,
+                           opt_.cot_uniform_leaves)) {
+        if (static_cast<int>(history.size()) >= opt_.budget)
+            break;
+        evaluate(std::move(c));
+    }
+
+    // ---- Models. ----
+    GpModel gp(space, opt_.gp);
+    RandomForest rf_surrogate([] {
+        ForestOptions o;
+        o.task = TreeTask::kRegression;
+        o.num_trees = 40;
+        return o;
+    }());
+    FeasibilityModel feasibility(space);
+
+    // ---- Learning phase. ----
+    while (static_cast<int>(history.size()) < opt_.budget) {
+        // Gather feasible training data.
+        std::vector<Configuration> xs;
+        std::vector<double> ys;
+        bool log_ok = opt_.log_objective;
+        for (const Observation& o : history.observations) {
+            if (!o.feasible)
+                continue;
+            xs.push_back(o.config);
+            ys.push_back(o.value);
+            if (o.value <= 0.0)
+                log_ok = false;
+        }
+        if (xs.size() < 2) {
+            evaluate(random_unique());
+            continue;
+        }
+        if (log_ok) {
+            for (double& y : ys)
+                y = std::log(y);
+        }
+
+        // Fit the value model.
+        bool use_gp = opt_.surrogate == TunerOptions::Surrogate::kGaussianProcess;
+        std::vector<std::vector<double>> rf_x;
+        if (use_gp) {
+            gp.fit(xs, ys, rng);
+        } else {
+            rf_x.clear();
+            rf_x.reserve(xs.size());
+            for (const Configuration& c : xs)
+                rf_x.push_back(space.encode(c));
+            rf_surrogate.fit(rf_x, ys, rng);
+        }
+
+        // Fit the feasibility model.
+        if (opt_.use_feasibility_model)
+            feasibility.fit(history.observations, rng);
+
+        // Minimum feasibility threshold eps_f, resampled each iteration
+        // with P(eps_f = 0) > 0 (Sec. 4.2).
+        double eps_f = 0.0;
+        if (feasibility.active() && opt_.use_feasibility_limit)
+            eps_f = rng.bernoulli(1.0 / 3.0) ? 0.0 : rng.uniform(0.0, 0.6);
+
+        double best = *std::min_element(ys.begin(), ys.end());
+
+        ScoreFn score = [&](const Configuration& c) -> double {
+            if (seen.count(config_hash(c)))
+                return -2.0;  // worse than any admissible candidate
+            double mean, var;
+            if (use_gp) {
+                GpPrediction p = gp.predict(c);
+                mean = p.mean;
+                var = p.var;
+            } else {
+                ForestPrediction p =
+                    rf_surrogate.predict_with_variance(space.encode(c));
+                mean = p.mean;
+                var = p.var;
+            }
+            double pf = opt_.use_feasibility_model ? feasibility.probability(c)
+                                                   : 1.0;
+            double score = constrained_ei(mean, var, best, pf, eps_f);
+            if (score > 0.0 && opt_.user_prior) {
+                double exponent =
+                    opt_.prior_strength /
+                    static_cast<double>(std::max<std::size_t>(
+                        1, history.size()));
+                score *= std::pow(std::max(opt_.user_prior(c), 1e-9),
+                                  exponent);
+            }
+            return score;
+        };
+
+        LocalSearchOptions ls = opt_.ls;
+        ls.cot_uniform_leaves = opt_.cot_uniform_leaves;
+        ls.hill_climb = opt_.local_search;
+        std::optional<Configuration> cand =
+            local_search_maximize(space, cot.get(), score, rng, ls);
+
+        if (!cand || seen.count(config_hash(*cand)))
+            cand = random_unique();
+        evaluate(std::move(*cand));
+    }
+
+    history.tuner_seconds = seconds_since(run_start) - history.eval_seconds;
+    return history;
+}
+
+}  // namespace baco

@@ -1,0 +1,100 @@
+#ifndef BACO_CORE_TUNER_HPP_
+#define BACO_CORE_TUNER_HPP_
+
+/**
+ * @file
+ * The BaCO autotuner (paper Fig. 2): a configuration
+ * recommendation-evaluation loop around a GP value model, an RF feasibility
+ * model, EI acquisition and multi-start local search, seeded by a uniform
+ * DoE phase.
+ *
+ * Every design choice studied in the paper's ablations (Sec. 5.3) is an
+ * explicit switch in TunerOptions, so BaCO-- and the Fig. 9/10 variants are
+ * configurations of this one class.
+ */
+
+#include "core/chain_of_trees.hpp"
+#include "core/evaluator.hpp"
+#include "core/local_search.hpp"
+#include "core/search_space.hpp"
+#include "gp/gp_model.hpp"
+
+namespace baco {
+
+/** All tuner knobs; defaults are the paper's BaCO configuration. */
+struct TunerOptions {
+  int budget = 60;          ///< total evaluations (DoE included)
+  int doe_samples = 10;     ///< initial uniform samples
+  std::uint64_t seed = 0;
+
+  /** Log-transform the objective before modelling (Fig. 9 ablation). */
+  bool log_objective = true;
+  /** Use the Chain-of-Trees for known constraints (Sec. 4.2). */
+  bool use_cot = true;
+  /** Bias-free leaf-uniform CoT sampling (vs ATF's biased walk). */
+  bool cot_uniform_leaves = true;
+  /** RF feasibility model for hidden constraints (Fig. 10 ablation). */
+  bool use_feasibility_model = true;
+  /** Random minimum-feasibility threshold eps_f (Fig. 10 ablation). */
+  bool use_feasibility_limit = true;
+  /** Hill-climbing acquisition optimization; false = best-of-random-pool
+   *  (part of BaCO--). */
+  bool local_search = true;
+
+  /** Value-model surrogate (Fig. 8 compares GP vs RF). */
+  enum class Surrogate { kGaussianProcess, kRandomForest };
+  Surrogate surrogate = Surrogate::kGaussianProcess;
+
+  /**
+   * Optional expert prior over the optimum's location (the paper's Sec. 6
+   * extension, after Souza et al.): a nonnegative weight pi(x). The
+   * acquisition is multiplied by pi(x)^(prior_strength / #observations),
+   * so the prior steers early iterations and washes out as evidence
+   * accumulates — a misleading prior cannot prevent convergence.
+   */
+  std::function<double(const Configuration&)> user_prior;
+  double prior_strength = 10.0;
+
+  GpOptions gp;            ///< priors / advanced-fit switches live here
+  LocalSearchOptions ls;   ///< acquisition-optimizer budgets
+
+  /** The paper's default configuration. */
+  static TunerOptions baco_defaults() { return TunerOptions{}; }
+
+  /**
+   * BaCO-- (Fig. 8): no output transform, no lengthscale priors, no local
+   * search, no advanced multistart GP fitting. (The naive permutation
+   * distance and disabled input log-transforms are properties of the
+   * search space; benchmark definitions expose variants for those.)
+   */
+  static TunerOptions
+  baco_minus_minus()
+  {
+      TunerOptions o;
+      o.log_objective = false;
+      o.local_search = false;
+      o.gp.use_priors = false;
+      o.gp.advanced_fit = false;
+      return o;
+  }
+};
+
+/** The BaCO autotuner. */
+class Tuner {
+ public:
+  /**
+   * @param space must outlive the tuner.
+   */
+  Tuner(const SearchSpace& space, TunerOptions opt = TunerOptions{});
+
+  /** Run the full tuning loop against a black-box objective. */
+  TuningHistory run(const BlackBoxFn& objective);
+
+ private:
+  const SearchSpace* space_;
+  TunerOptions opt_;
+};
+
+}  // namespace baco
+
+#endif  // BACO_CORE_TUNER_HPP_

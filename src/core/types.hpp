@@ -1,0 +1,61 @@
+#ifndef BACO_CORE_TYPES_HPP_
+#define BACO_CORE_TYPES_HPP_
+
+/**
+ * @file
+ * Fundamental value types shared across the autotuner.
+ */
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace baco {
+
+/**
+ * A permutation of m elements. perm[i] = j means element i of the original
+ * sequence is placed at index j in the new order (the paper's pi_i = j
+ * convention from Sec. 4.1).
+ */
+using Permutation = std::vector<int>;
+
+/**
+ * The value a single parameter takes in a configuration:
+ * - double        for real parameters,
+ * - std::int64_t  for integer and ordinal values and categorical indices,
+ * - Permutation   for permutation parameters.
+ */
+using ParamValue = std::variant<double, std::int64_t, Permutation>;
+
+/** One point of the search space: one ParamValue per parameter, in order. */
+using Configuration = std::vector<ParamValue>;
+
+/**
+ * Outcome of evaluating a configuration through a compiler toolchain.
+ *
+ * `feasible == false` models a hidden-constraint violation (e.g. the GPU
+ * kernel failed to launch); `value` is meaningless in that case.
+ */
+struct EvalResult {
+  double value = 0.0;
+  bool feasible = true;
+
+  static EvalResult infeasible() { return EvalResult{0.0, false}; }
+};
+
+/** Equality over ParamValue (permutations compared elementwise). */
+bool param_value_equal(const ParamValue& a, const ParamValue& b);
+
+/** Equality over whole configurations. */
+bool configs_equal(const Configuration& a, const Configuration& b);
+
+/** Stable hash of a configuration, for dedup sets. */
+std::size_t config_hash(const Configuration& c);
+
+/** Human-readable rendering of a ParamValue. */
+std::string param_value_to_string(const ParamValue& v);
+
+}  // namespace baco
+
+#endif  // BACO_CORE_TYPES_HPP_

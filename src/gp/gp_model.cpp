@@ -1,0 +1,322 @@
+#include "gp/gp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace baco {
+
+namespace {
+
+const double kLogTwoPi = 1.8378770664093453;
+const double kThetaBound = 8.0;  // soft box on log-hyperparameters
+
+/** Quadratic penalty outside [-bound, bound], with gradient. */
+double
+box_penalty(double theta, double* grad)
+{
+    double excess = std::abs(theta) - kThetaBound;
+    if (excess <= 0.0) {
+        *grad = 0.0;
+        return 0.0;
+    }
+    *grad = 2.0 * excess * (theta > 0 ? 1.0 : -1.0);
+    return excess * excess;
+}
+
+}  // namespace
+
+GpModel::GpModel(const SearchSpace& space, GpOptions opt)
+    : space_(&space), opt_(opt)
+{
+}
+
+GpHyperparams
+GpModel::default_hyperparams() const
+{
+    GpHyperparams hp;
+    hp.log_lengthscales.assign(space_->num_params(), std::log(0.5));
+    hp.log_outputscale = 0.0;       // variance 1 on standardized outputs
+    hp.log_noise = std::log(1e-4);
+    return hp;
+}
+
+void
+GpModel::fit(const std::vector<Configuration>& xs,
+             const std::vector<double>& ys, RngEngine& rng)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        throw std::runtime_error("GpModel::fit needs >= 2 matching points");
+
+    xs_ = xs;
+    standardizer_.fit(ys);
+    ys_std_.resize(ys.size());
+    for (std::size_t i = 0; i < ys.size(); ++i)
+        ys_std_[i] = standardizer_.transform(ys[i]);
+
+    // Pairwise per-dimension distances.
+    std::size_t n = xs_.size();
+    std::size_t d = space_->num_params();
+    tensor_.n = n;
+    tensor_.dists.assign(d, Matrix(n, n));
+    for (std::size_t k = 0; k < d; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                double v = space_->dim_distance(k, xs_[i], xs_[j]);
+                tensor_.dists[k](i, j) = v;
+                tensor_.dists[k](j, i) = v;
+            }
+        }
+    }
+
+    // ---- Hyperparameter optimization (multistart MAP). ----
+    auto objective_fn = [this](const std::vector<double>& theta,
+                               std::vector<double>& grad) {
+        return nll(theta, &grad);
+    };
+
+    std::vector<std::vector<double>> starts;
+    starts.push_back(default_hyperparams().to_vector());
+    if (warm_start_)
+        starts.push_back(warm_start_->to_vector());
+
+    LbfgsOptions lopt;
+    std::vector<double> best_theta;
+    double best_f = std::numeric_limits<double>::infinity();
+
+    if (opt_.advanced_fit) {
+        // Random hyperparameter draws, screened by objective value.
+        std::vector<std::pair<double, std::vector<double>>> screened;
+        for (int s = 0; s < opt_.multistart_samples; ++s) {
+            std::vector<double> theta(d + 2);
+            for (std::size_t k = 0; k < d; ++k)
+                theta[k] = rng.uniform(std::log(0.05), std::log(2.0));
+            theta[d] = rng.uniform(std::log(0.1), std::log(5.0));
+            theta[d + 1] = rng.uniform(std::log(1e-6), std::log(1e-2));
+            double f = nll(theta, nullptr);
+            if (std::isfinite(f))
+                screened.emplace_back(f, std::move(theta));
+        }
+        std::sort(screened.begin(), screened.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (int k = 0; k < opt_.multistart_keep &&
+                        k < static_cast<int>(screened.size()); ++k) {
+            starts.push_back(screened[static_cast<std::size_t>(k)].second);
+        }
+        lopt.max_iters = opt_.lbfgs_iters;
+    } else {
+        lopt.max_iters = opt_.naive_lbfgs_iters;
+    }
+
+    for (const auto& start : starts) {
+        LbfgsResult r = lbfgs_minimize(objective_fn, start, lopt);
+        if (std::isfinite(r.f) && r.f < best_f) {
+            best_f = r.f;
+            best_theta = r.x;
+        }
+    }
+    if (best_theta.empty())
+        best_theta = default_hyperparams().to_vector();
+
+    hp_ = GpHyperparams::from_vector(best_theta);
+    // Clamp to the same box the objective used so the posterior matrix is
+    // exactly the one the optimizer scored (and numerically factorizable).
+    for (double& v : hp_.log_lengthscales)
+        v = std::clamp(v, -kThetaBound, kThetaBound);
+    hp_.log_outputscale = std::clamp(hp_.log_outputscale, -kThetaBound,
+                                     kThetaBound);
+    hp_.log_noise = std::clamp(hp_.log_noise, -kThetaBound * 2, kThetaBound);
+    warm_start_ = hp_;
+
+    // ---- Posterior state. ----
+    lengthscales_.resize(d);
+    for (std::size_t k = 0; k < d; ++k)
+        lengthscales_[k] = std::exp(hp_.log_lengthscales[k]);
+    // Permutation semimetrics are not strict metrics, so the kernel matrix
+    // can be indefinite; after jitter rescues the factorization the solve
+    // may still be badly conditioned (huge alpha => wild extrapolation).
+    // Escalate an explicit diagonal boost until the posterior weights are
+    // sane on the standardized outputs.
+    Matrix kmat = kernel_matrix(tensor_, hp_);
+    double boost = 0.0;
+    double s2 = std::exp(hp_.log_outputscale);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        Matrix kj = kmat;
+        for (std::size_t i = 0; i < kj.rows(); ++i)
+            kj(i, i) += boost;
+        chol_ = cholesky_with_jitter(kj);
+        alpha_ = chol_->solve(ys_std_);
+        double amax = 0.0;
+        bool finite = true;
+        for (double a : alpha_) {
+            amax = std::max(amax, std::abs(a));
+            finite &= std::isfinite(a);
+        }
+        if (finite && amax <= 1e4)
+            break;
+        boost = boost == 0.0 ? 1e-4 * std::max(s2, 1.0) : boost * 10.0;
+    }
+    fitted_ = true;
+}
+
+double
+GpModel::nll(const std::vector<double>& theta, std::vector<double>* grad) const
+{
+    std::size_t n = tensor_.n;
+    std::size_t d = tensor_.dims();
+    GpHyperparams hp = GpHyperparams::from_vector(theta);
+
+    if (grad)
+        grad->assign(theta.size(), 0.0);
+
+    // Soft box to keep exp() finite.
+    double penalty = 0.0;
+    for (std::size_t k = 0; k < theta.size(); ++k) {
+        double g = 0.0;
+        penalty += box_penalty(theta[k], &g);
+        if (grad)
+            (*grad)[k] += g;
+    }
+    // Clamp for the kernel evaluation itself.
+    GpHyperparams hpc = hp;
+    for (double& v : hpc.log_lengthscales)
+        v = std::clamp(v, -kThetaBound, kThetaBound);
+    hpc.log_outputscale = std::clamp(hpc.log_outputscale, -kThetaBound,
+                                     kThetaBound);
+    hpc.log_noise = std::clamp(hpc.log_noise, -kThetaBound * 2, kThetaBound);
+
+    Matrix kmat = kernel_matrix(tensor_, hpc);
+    auto chol = cholesky(kmat);
+    if (!chol)
+        return std::numeric_limits<double>::infinity();
+
+    std::vector<double> alpha = chol->solve(ys_std_);
+    double data_fit = 0.5 * dot(ys_std_, alpha);
+    double nll_val = data_fit + 0.5 * chol->log_det() +
+                     0.5 * static_cast<double>(n) * kLogTwoPi + penalty;
+
+    // Priors (MAP in log space; density includes the log-space Jacobian):
+    // -log p(theta) = -shape*theta + rate*exp(theta) + const.
+    auto add_prior = [&](std::size_t idx, double shape, double rate) {
+        double t = theta[idx];
+        double v = std::exp(std::clamp(t, -kThetaBound * 2, kThetaBound));
+        nll_val += -shape * t + rate * v;
+        if (grad)
+            (*grad)[idx] += -shape + rate * v;
+    };
+    if (opt_.use_priors) {
+        for (std::size_t k = 0; k < d; ++k)
+            add_prior(k, opt_.lengthscale_shape, opt_.lengthscale_rate);
+        add_prior(d, opt_.outputscale_shape, opt_.outputscale_rate);
+        add_prior(d + 1, opt_.noise_shape, opt_.noise_rate);
+    }
+
+    if (!grad)
+        return nll_val;
+
+    // dNLL/dtheta = -0.5 tr((alpha alpha' - K^{-1}) dK/dtheta).
+    Matrix kinv = chol->inverse();
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) = alpha[i] * alpha[j] - kinv(i, j);
+
+    double s2 = std::exp(hpc.log_outputscale);
+    double noise = std::exp(hpc.log_noise);
+    std::vector<double> ls(d);
+    for (std::size_t k = 0; k < d; ++k)
+        ls[k] = std::exp(hpc.log_lengthscales[k]);
+
+    // Precompute scaled distances r_ij once.
+    Matrix r(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double v = scaled_distance(tensor_, i, j, ls);
+            r(i, j) = v;
+            r(j, i) = v;
+        }
+
+    // Lengthscale gradients.
+    for (std::size_t k = 0; k < d; ++k) {
+        double acc = 0.0;
+        double l2 = ls[k] * ls[k];
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                double dd = tensor_.dists[k](i, j);
+                if (dd == 0.0)
+                    continue;
+                double dk = s2 * matern52_dlog_lengthscale_factor(r(i, j)) *
+                            (dd * dd) / l2;
+                acc += 2.0 * a(i, j) * dk;  // symmetric off-diagonal pair
+            }
+        }
+        (*grad)[k] += -0.5 * acc;
+    }
+
+    // Output scale: dK/dlog s2 = s2 * matern(r) (including the diagonal s2).
+    {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += a(i, i) * s2;
+            for (std::size_t j = i + 1; j < n; ++j)
+                acc += 2.0 * a(i, j) * s2 * matern52(r(i, j));
+        }
+        (*grad)[d] += -0.5 * acc;
+    }
+
+    // Noise: dK/dlog noise = noise * I.
+    {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += a(i, i);
+        (*grad)[d + 1] += -0.5 * acc * noise;
+    }
+
+    return nll_val;
+}
+
+double
+GpModel::objective(const GpHyperparams& hp) const
+{
+    return nll(hp.to_vector(), nullptr);
+}
+
+double
+GpModel::objective_with_gradient(const GpHyperparams& hp,
+                                 std::vector<double>* grad) const
+{
+    return nll(hp.to_vector(), grad);
+}
+
+GpPrediction
+GpModel::predict(const Configuration& x) const
+{
+    if (!fitted_)
+        throw std::runtime_error("GpModel::predict called before fit");
+
+    std::size_t n = xs_.size();
+    std::size_t d = space_->num_params();
+    double s2 = std::exp(hp_.log_outputscale);
+
+    std::vector<double> kvec(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double r2 = 0.0;
+        for (std::size_t k = 0; k < d; ++k) {
+            double v = space_->dim_distance(k, x, xs_[i]) / lengthscales_[k];
+            r2 += v * v;
+        }
+        kvec[i] = s2 * matern52(std::sqrt(r2));
+    }
+
+    double mean_std = dot(kvec, alpha_);
+    std::vector<double> v = chol_->solve_lower(kvec);
+    double var_std = s2 - dot(v, v);
+    var_std = std::max(var_std, 1e-12);
+
+    GpPrediction p;
+    p.mean = standardizer_.inverse(mean_std);
+    p.var = standardizer_.inverse_variance(var_std);
+    return p;
+}
+
+}  // namespace baco

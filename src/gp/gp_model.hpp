@@ -1,0 +1,113 @@
+#ifndef BACO_GP_GP_MODEL_HPP_
+#define BACO_GP_GP_MODEL_HPP_
+
+/**
+ * @file
+ * Gaussian-process surrogate over a mixed-type compiler search space
+ * (paper Sec. 3.2).
+ *
+ * The model is fit by MAP estimation: multistart L-BFGS on the negative log
+ * marginal likelihood with gamma priors on the lengthscales (and weakly
+ * informative priors on output scale and noise). Predictions return the
+ * *latent* (noise-free) mean/variance used by the modified EI acquisition
+ * (paper Sec. 3.3).
+ *
+ * Objective values are standardized internally; any log-transform of the
+ * objective is applied by the caller (the tuner), so the ablation switches
+ * compose cleanly.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "core/search_space.hpp"
+#include "gp/kernel.hpp"
+#include "gp/lbfgs.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/stats.hpp"
+
+namespace baco {
+
+/** Fitting options; the defaults are BaCO's. */
+struct GpOptions {
+  /** Gamma lengthscale priors (paper Sec. 3.2). Off in BaCO--. */
+  bool use_priors = true;
+  /** Multistart MAP fitting. Off in BaCO-- (single short descent). */
+  bool advanced_fit = true;
+
+  int multistart_samples = 10;  ///< random hyperparameter draws
+  int multistart_keep = 2;      ///< best starts refined with L-BFGS
+  int lbfgs_iters = 40;         ///< refinement iterations per start
+  int naive_lbfgs_iters = 12;   ///< iterations when advanced_fit is false
+
+  // Prior shapes/rates (on the natural-scale hyperparameters).
+  double lengthscale_shape = 2.0;
+  double lengthscale_rate = 3.0;
+  double outputscale_shape = 2.0;
+  double outputscale_rate = 1.0;
+  double noise_shape = 1.1;
+  double noise_rate = 20.0;
+};
+
+/** GP posterior summary at one point (standardized-output units undone). */
+struct GpPrediction {
+  double mean = 0.0;
+  double var = 0.0;  ///< latent variance (no observation noise)
+};
+
+/** Gaussian-process regression model. */
+class GpModel {
+ public:
+  /** @param space the search space providing per-dimension distances. */
+  explicit GpModel(const SearchSpace& space, GpOptions opt = GpOptions{});
+
+  /**
+   * Fit hyperparameters and the posterior to (xs, ys).
+   * Requires xs.size() == ys.size() >= 2.
+   */
+  void fit(const std::vector<Configuration>& xs,
+           const std::vector<double>& ys, RngEngine& rng);
+
+  /** Posterior latent mean/variance at x (requires a prior fit()). */
+  GpPrediction predict(const Configuration& x) const;
+
+  /** Negative log posterior (NLL + priors) at hp, for tests/diagnostics. */
+  double objective(const GpHyperparams& hp) const;
+
+  /** objective() plus its analytic gradient w.r.t. the log-hyperparameter
+   *  vector [lengthscales..., outputscale, noise], for tests/diagnostics. */
+  double objective_with_gradient(const GpHyperparams& hp,
+                                 std::vector<double>* grad) const;
+
+  /** Hyperparameters from the last fit. */
+  const GpHyperparams& hyperparams() const { return hp_; }
+
+  /** Number of training points. */
+  std::size_t size() const { return xs_.size(); }
+
+ private:
+  /** NLL + negative log priors and its gradient at theta (log space). */
+  double nll(const std::vector<double>& theta,
+             std::vector<double>* grad) const;
+
+  GpHyperparams default_hyperparams() const;
+
+  const SearchSpace* space_;
+  GpOptions opt_;
+
+  std::vector<Configuration> xs_;
+  std::vector<double> ys_std_;
+  Standardizer standardizer_;
+  DistanceTensor tensor_;
+
+  GpHyperparams hp_;
+  std::optional<GpHyperparams> warm_start_;
+  std::optional<CholeskyFactor> chol_;
+  std::vector<double> alpha_;
+  std::vector<double> lengthscales_;  // exp of fitted log lengthscales
+  bool fitted_ = false;
+};
+
+}  // namespace baco
+
+#endif  // BACO_GP_GP_MODEL_HPP_

@@ -1,0 +1,79 @@
+#include "gp/kernel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace baco {
+
+namespace {
+const double kSqrt5 = 2.23606797749978969;
+}
+
+std::vector<double>
+GpHyperparams::to_vector() const
+{
+    std::vector<double> v = log_lengthscales;
+    v.push_back(log_outputscale);
+    v.push_back(log_noise);
+    return v;
+}
+
+GpHyperparams
+GpHyperparams::from_vector(const std::vector<double>& v)
+{
+    assert(v.size() >= 2);
+    GpHyperparams hp;
+    hp.log_lengthscales.assign(v.begin(), v.end() - 2);
+    hp.log_outputscale = v[v.size() - 2];
+    hp.log_noise = v[v.size() - 1];
+    return hp;
+}
+
+double
+matern52(double r)
+{
+    double a = kSqrt5 * r;
+    return (1.0 + a + 5.0 * r * r / 3.0) * std::exp(-a);
+}
+
+double
+matern52_dlog_lengthscale_factor(double r)
+{
+    return (5.0 / 3.0) * (1.0 + kSqrt5 * r) * std::exp(-kSqrt5 * r);
+}
+
+double
+scaled_distance(const DistanceTensor& t, std::size_t i, std::size_t j,
+                const std::vector<double>& ls)
+{
+    double r2 = 0.0;
+    for (std::size_t d = 0; d < t.dists.size(); ++d) {
+        double v = t.dists[d](i, j) / ls[d];
+        r2 += v * v;
+    }
+    return std::sqrt(r2);
+}
+
+Matrix
+kernel_matrix(const DistanceTensor& t, const GpHyperparams& hp)
+{
+    std::size_t n = t.n;
+    double s2 = std::exp(hp.log_outputscale);
+    double noise = std::exp(hp.log_noise);
+    std::vector<double> ls(hp.log_lengthscales.size());
+    for (std::size_t d = 0; d < ls.size(); ++d)
+        ls[d] = std::exp(hp.log_lengthscales[d]);
+
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        k(i, i) = s2 + noise;
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double v = s2 * matern52(scaled_distance(t, i, j, ls));
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+    }
+    return k;
+}
+
+}  // namespace baco

@@ -1,0 +1,32 @@
+#ifndef BACO_HPVM_BENCHMARKS_HPP_
+#define BACO_HPVM_BENCHMARKS_HPP_
+
+/**
+ * @file
+ * The HPVM2FPGA benchmark suite (paper Table 3, HPVM2FPGA rows): BFS and
+ * PreEuler from Rodinia and the ILLIXR 3D spatial audio encoder, as
+ * integer/categorical transformation-flag spaces with *hidden* constraints
+ * only (no known constraints, matching Table 3).
+ *
+ * Parameter layout per benchmark: one unroll-exponent integer per pipeline
+ * stage, then fusion booleans per stage boundary, then privatization
+ * booleans. No expert configurations exist (the paper reports only the
+ * default); the reference cost is the virtual best from an offline
+ * exhaustive/sampled search.
+ */
+
+#include <vector>
+
+#include "suite/benchmark.hpp"
+
+namespace baco::hpvm {
+
+/** One HPVM2FPGA benchmark: "BFS", "Audio", or "PreEuler". */
+Benchmark make_hpvm_benchmark(const std::string& name);
+
+/** All three instances. */
+std::vector<Benchmark> hpvm_suite();
+
+}  // namespace baco::hpvm
+
+#endif  // BACO_HPVM_BENCHMARKS_HPP_

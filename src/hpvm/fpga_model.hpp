@@ -1,0 +1,72 @@
+#ifndef BACO_HPVM_FPGA_MODEL_HPP_
+#define BACO_HPVM_FPGA_MODEL_HPP_
+
+/**
+ * @file
+ * Analytic FPGA design-space estimator for the HPVM2FPGA benchmarks
+ * (paper Sec. 2 and 5.2).
+ *
+ * HPVM2FPGA itself reports *estimated* execution times from its internal
+ * model targeting an Intel Arria 10 GX, so an analytic estimator is the
+ * faithful substrate here (DESIGN.md, substitution 3). Each benchmark is a
+ * pipeline of stages; the transformation flags are loop unrolling
+ * (exponent-valued integers), greedy stage fusion and argument
+ * privatization (booleans). Hidden constraints arise from the device's
+ * DSP/BRAM budgets and from estimator failures on specific flag
+ * combinations — the spaces have *no* known constraints, matching Table 3.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace baco::hpvm {
+
+/** Estimated time (ms) or an estimator/resource failure. */
+struct EstimateResult {
+  double ms = 0.0;
+  bool feasible = true;
+};
+
+/** One accelerator pipeline stage. */
+struct Stage {
+  double base_cycles;   ///< latency at unroll 1
+  double port_limit;    ///< max useful unroll (memory ports)
+  double dsp_per_lane;  ///< DSP blocks consumed per unroll lane
+  double bram_per_lane; ///< BRAM blocks per unroll lane
+};
+
+/** A benchmark's static description. */
+struct FpgaDesign {
+  std::string name;
+  std::vector<Stage> stages;
+  double clock_mhz = 200.0;
+  /** Per-stage-boundary buffer cycles saved when fused. */
+  double fusion_saving_cycles = 0.0;
+  /** BRAM cost of fusing a boundary. */
+  double fusion_bram = 0.0;
+  /** Stall factor removed by privatizing arguments. */
+  double privatization_gain = 0.0;
+  double privatization_bram = 0.0;
+};
+
+/** Built-in designs: "BFS", "Audio", "PreEuler". */
+const FpgaDesign& design(const std::string& name);
+
+/**
+ * Estimate a configuration of the design.
+ *
+ * @param unroll_exps  log2 unroll factor per unrollable stage
+ * @param fuse         fusion toggle per stage boundary (may be shorter than
+ *                     stages-1; missing entries default to off)
+ * @param privatize    privatization toggle per privatizable argument
+ */
+EstimateResult estimate(const FpgaDesign& d,
+                        const std::vector<int>& unroll_exps,
+                        const std::vector<bool>& fuse,
+                        const std::vector<bool>& privatize);
+
+}  // namespace baco::hpvm
+
+#endif  // BACO_HPVM_FPGA_MODEL_HPP_

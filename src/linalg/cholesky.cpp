@@ -1,0 +1,125 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace baco {
+
+std::vector<double>
+CholeskyFactor::solve_lower(const std::vector<double>& b) const
+{
+    std::size_t n = l_.rows();
+    assert(b.size() == n);
+    std::vector<double> z(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= l_(i, j) * z[j];
+        z[i] = acc / l_(i, i);
+    }
+    return z;
+}
+
+std::vector<double>
+CholeskyFactor::solve_upper(const std::vector<double>& b) const
+{
+    std::size_t n = l_.rows();
+    assert(b.size() == n);
+    std::vector<double> z(n, 0.0);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        std::size_t i = ii - 1;
+        double acc = b[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc -= l_(j, i) * z[j];
+        z[i] = acc / l_(i, i);
+    }
+    return z;
+}
+
+std::vector<double>
+CholeskyFactor::solve(const std::vector<double>& b) const
+{
+    return solve_upper(solve_lower(b));
+}
+
+Matrix
+CholeskyFactor::solve_matrix(const Matrix& b) const
+{
+    std::size_t n = l_.rows();
+    assert(b.rows() == n);
+    Matrix x(n, b.cols());
+    std::vector<double> col(n);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = b(i, j);
+        std::vector<double> sol = solve(col);
+        for (std::size_t i = 0; i < n; ++i)
+            x(i, j) = sol[i];
+    }
+    return x;
+}
+
+double
+CholeskyFactor::log_det() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i)
+        acc += std::log(l_(i, i));
+    return 2.0 * acc;
+}
+
+Matrix
+CholeskyFactor::inverse() const
+{
+    return solve_matrix(Matrix::identity(l_.rows()));
+}
+
+std::optional<CholeskyFactor>
+cholesky(const Matrix& a)
+{
+    assert(a.rows() == a.cols());
+    std::size_t n = a.rows();
+    Matrix l(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l(i, k) * l(j, k);
+            if (i == j) {
+                if (acc <= 0.0 || !std::isfinite(acc))
+                    return std::nullopt;
+                l(i, i) = std::sqrt(acc);
+            } else {
+                l(i, j) = acc / l(j, j);
+            }
+        }
+    }
+    return CholeskyFactor(std::move(l));
+}
+
+CholeskyFactor
+cholesky_with_jitter(const Matrix& a, double initial_jitter, int max_tries)
+{
+    if (auto f = cholesky(a))
+        return *f;
+    // Scale the jitter to the matrix magnitude so very large kernels still
+    // stabilize within max_tries.
+    double scale = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        scale = std::max(scale, std::abs(a(i, i)));
+    if (scale == 0.0)
+        scale = 1.0;
+    double jitter = initial_jitter * scale;
+    for (int t = 0; t < max_tries; ++t) {
+        Matrix aj = a;
+        for (std::size_t i = 0; i < aj.rows(); ++i)
+            aj(i, i) += jitter;
+        if (auto f = cholesky(aj))
+            return *f;
+        jitter *= 10.0;
+    }
+    throw std::runtime_error("cholesky_with_jitter: matrix is not SPD even "
+                             "with maximum jitter");
+}
+
+}  // namespace baco

@@ -1,0 +1,74 @@
+#ifndef BACO_LINALG_CHOLESKY_HPP_
+#define BACO_LINALG_CHOLESKY_HPP_
+
+/**
+ * @file
+ * Cholesky factorization and SPD solves for Gaussian-process inference.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace baco {
+
+/**
+ * Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+ *
+ * Produced by cholesky() / cholesky_with_jitter(); provides the solves and
+ * the log-determinant needed for GP marginal-likelihood computations.
+ */
+class CholeskyFactor {
+ public:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+
+  const Matrix& lower() const { return l_; }
+
+  /** Solve L z = b (forward substitution). */
+  std::vector<double> solve_lower(const std::vector<double>& b) const;
+
+  /** Solve L^T z = b (backward substitution). */
+  std::vector<double> solve_upper(const std::vector<double>& b) const;
+
+  /** Solve A x = b where A = L L^T. */
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /** Solve A X = B column-by-column; returns X. */
+  Matrix solve_matrix(const Matrix& b) const;
+
+  /** log |A| = 2 * sum_i log L_ii. */
+  double log_det() const;
+
+  /** A^{-1} computed via solves against the identity. */
+  Matrix inverse() const;
+
+ private:
+  Matrix l_;
+};
+
+/**
+ * Attempt a Cholesky factorization of a. Returns nullopt when a is not
+ * (numerically) positive definite.
+ */
+std::optional<CholeskyFactor> cholesky(const Matrix& a);
+
+/**
+ * Cholesky with escalating diagonal jitter. Starts from initial_jitter and
+ * multiplies by 10 until the factorization succeeds (at most max_tries
+ * attempts). Used to keep GP kernel matrices factorizable when points are
+ * near-duplicates — and when permutation *semimetrics* (which are not
+ * strict metrics, paper Sec. 4.1) produce a slightly indefinite matrix.
+ * The ceiling exceeds any possible negative eigenvalue (bounded by the
+ * largest row sum), so a finite symmetric input always factorizes.
+ *
+ * @throws std::runtime_error when the matrix cannot be factorized even with
+ *         the maximum jitter (e.g. non-finite entries).
+ */
+CholeskyFactor cholesky_with_jitter(const Matrix& a,
+                                    double initial_jitter = 1e-10,
+                                    int max_tries = 16);
+
+}  // namespace baco
+
+#endif  // BACO_LINALG_CHOLESKY_HPP_

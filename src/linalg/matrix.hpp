@@ -1,0 +1,74 @@
+#ifndef BACO_LINALG_MATRIX_HPP_
+#define BACO_LINALG_MATRIX_HPP_
+
+/**
+ * @file
+ * Minimal dense linear algebra used by the Gaussian-process substrate.
+ *
+ * Row-major dense matrix plus the handful of BLAS-like operations the GP
+ * needs. Sizes in this library are small (kernel matrices up to a few
+ * hundred rows), so clarity is preferred over blocking/vectorization tricks.
+ */
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace baco {
+
+/** Dense row-major matrix of doubles. */
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /** rows x cols matrix, all entries initialized to fill. */
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /** Raw storage access (row-major). */
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /** The n x n identity. */
+  static Matrix identity(std::size_t n);
+
+  /** Matrix transpose. */
+  Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/** y = A x. Requires x.size() == A.cols(). */
+std::vector<double> mat_vec(const Matrix& a, const std::vector<double>& x);
+
+/** C = A B. Requires a.cols() == b.rows(). */
+Matrix mat_mat(const Matrix& a, const Matrix& b);
+
+/** Dot product of two equal-length vectors. */
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/** Elementwise a + s*b. */
+std::vector<double> axpy(const std::vector<double>& a, double s,
+                         const std::vector<double>& b);
+
+/** Euclidean norm. */
+double norm2(const std::vector<double>& v);
+
+}  // namespace baco
+
+#endif  // BACO_LINALG_MATRIX_HPP_

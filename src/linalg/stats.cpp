@@ -1,0 +1,91 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace baco {
+
+double
+mean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+variance(const std::vector<double>& v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(v.size() - 1);
+}
+
+double
+stddev(const std::vector<double>& v)
+{
+    return std::sqrt(variance(v));
+}
+
+double
+geometric_mean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v) {
+        assert(x > 0.0);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double
+median(std::vector<double> v)
+{
+    return quantile(std::move(v), 0.5);
+}
+
+double
+quantile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    double pos = p * static_cast<double>(v.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double
+normal_pdf(double z)
+{
+    static const double inv_sqrt_2pi = 0.3989422804014327;
+    return inv_sqrt_2pi * std::exp(-0.5 * z * z);
+}
+
+double
+normal_cdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+void
+Standardizer::fit(const std::vector<double>& v)
+{
+    mean_ = mean(v);
+    double s = stddev(v);
+    scale_ = (s > 1e-12) ? s : 1.0;
+}
+
+}  // namespace baco

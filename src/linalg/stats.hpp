@@ -1,0 +1,61 @@
+#ifndef BACO_LINALG_STATS_HPP_
+#define BACO_LINALG_STATS_HPP_
+
+/**
+ * @file
+ * Scalar statistics helpers shared by models and the experiment harness.
+ */
+
+#include <vector>
+
+namespace baco {
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double>& v);
+
+/** Unbiased sample variance; 0 when fewer than two samples. */
+double variance(const std::vector<double>& v);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double>& v);
+
+/** Geometric mean; requires strictly positive entries. */
+double geometric_mean(const std::vector<double>& v);
+
+/** Median (averages the two central values for even sizes). */
+double median(std::vector<double> v);
+
+/** p-quantile in [0,1] using linear interpolation. */
+double quantile(std::vector<double> v, double p);
+
+/** Standard normal probability density. */
+double normal_pdf(double z);
+
+/** Standard normal cumulative distribution. */
+double normal_cdf(double z);
+
+/**
+ * Z-score standardization state: y -> (y - mean) / std. Guards against zero
+ * standard deviation by falling back to scale 1.
+ */
+class Standardizer {
+ public:
+  /** Fit mean/scale from data. */
+  void fit(const std::vector<double>& v);
+
+  double transform(double y) const { return (y - mean_) / scale_; }
+  double inverse(double z) const { return z * scale_ + mean_; }
+  /** Map a standardized variance back to the original scale. */
+  double inverse_variance(double var) const { return var * scale_ * scale_; }
+
+  double mean_value() const { return mean_; }
+  double scale() const { return scale_; }
+
+ private:
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace baco
+
+#endif  // BACO_LINALG_STATS_HPP_

@@ -1,0 +1,31 @@
+#ifndef BACO_RISE_BENCHMARKS_HPP_
+#define BACO_RISE_BENCHMARKS_HPP_
+
+/**
+ * @file
+ * The RISE & ELEVATE benchmark suite (paper Table 3, RISE rows): seven
+ * benchmarks over ordinal(+permutation) spaces with known divisibility /
+ * capacity constraints and — for MM_CPU, MM_GPU, Scal and K-means — hidden
+ * resource constraints discovered only by evaluation.
+ *
+ * Expert configurations are derived by a fixed-seed semi-automated search
+ * (best of 1200 uniform feasible samples), mirroring how the paper's expert
+ * schedules came from prior publications' manual/semi-automated tuning.
+ */
+
+#include <vector>
+
+#include "suite/benchmark.hpp"
+
+namespace baco::rise {
+
+/** One RISE benchmark by name: "MM_CPU", "MM_GPU", "Asum_GPU", "Scal_GPU",
+ *  "K-means_GPU", "Harris_GPU", or "Stencil_GPU". */
+Benchmark make_rise_benchmark(const std::string& name);
+
+/** All seven instances. */
+std::vector<Benchmark> rise_suite();
+
+}  // namespace baco::rise
+
+#endif  // BACO_RISE_BENCHMARKS_HPP_

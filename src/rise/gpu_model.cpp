@@ -1,0 +1,271 @@
+#include "rise/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace baco::rise {
+
+namespace {
+
+// Modelled device limits (K80-class).
+const double kSmCount = 13.0;
+const double kThreadsPerSm = 2048.0;
+const double kMaxWgThreads = 1024.0;
+const double kLocalBytes = 48.0 * 1024.0;
+const double kDramBw = 240e9;       // bytes/s
+const double kFlops = 2.8e12;       // FP32 flop/s
+const double kLaunchOverheadMs = 0.015;
+
+// CPU model (MM_CPU host: 8-core Xeon E5-2650 v3).
+const double kCpuFlops = 2.2e9;     // per-core scalar flop/s
+const double kCpuCores = 8.0;
+const double kCpuL2 = 256.0 * 1024.0;
+
+double
+clamp01(double x)
+{
+    return std::clamp(x, 0.0, 1.0);
+}
+
+}  // namespace
+
+double
+occupancy(double threads_per_wg, double local_bytes_per_wg)
+{
+    double by_threads = std::floor(kThreadsPerSm / std::max(1.0, threads_per_wg));
+    double by_local = local_bytes_per_wg > 0.0
+                          ? std::floor(kLocalBytes / local_bytes_per_wg)
+                          : 16.0;
+    double wgs = std::min({by_threads, by_local, 16.0});
+    return clamp01(wgs * threads_per_wg / kThreadsPerSm);
+}
+
+double
+coalescing(double ls0, double vec)
+{
+    // A 32-thread warp achieves full bandwidth when the contiguous span
+    // (adjacent threads x vector width) covers the 128-byte transaction.
+    double span = ls0 * vec;
+    return clamp01(std::pow(std::min(1.0, span / 32.0), 0.7));
+}
+
+ModelResult
+mm_cpu(double tile_i, double tile_j, double tile_k, double vec,
+       const Permutation& loop_order)
+{
+    const double n = 1024.0;
+
+    // Hidden constraint: oversized register tiles make the generated C
+    // kernel fail to compile (alloca blow-up) — discovered only by trying.
+    if (tile_i * tile_j > 16384.0)
+        return ModelResult{0.0, false};
+
+    double flops = 2.0 * n * n * n;
+
+    // Cache residency of one (tile_i x tile_k) + (tile_k x tile_j) +
+    // (tile_i x tile_j) working set.
+    double ws = (tile_i * tile_k + tile_k * tile_j + tile_i * tile_j) * 8.0;
+    double excess = std::max(0.0, std::log2(ws / kCpuL2));
+    double loc = 1.0 + 0.4 * std::pow(excess, 1.2);
+    loc += 0.2 * std::max(0.0, std::log2(8.0 / tile_k));
+
+    // Loop order: positions of i, j, k. Innermost (position 2) decides
+    // vectorizability; k-innermost causes a reduction dependence chain.
+    double order_f;
+    bool j_inner = loop_order[1] == 2;
+    if (loop_order[2] == 2) {
+        order_f = 2.2;   // k innermost: serialized accumulation
+    } else if (j_inner) {
+        order_f = 1.0;   // unit-stride stores, vectorizable
+    } else {
+        order_f = 1.45;  // i innermost: strided access
+    }
+    // k outermost re-reads C tile_k times.
+    if (loop_order[2] == 0)
+        order_f *= 1.25;
+
+    double vec_f = j_inner ? std::pow(std::min(vec, 8.0), 0.75) : 1.0;
+
+    double time_s = flops * loc * order_f / (kCpuFlops * vec_f * kCpuCores);
+    return ModelResult{time_s * 1e3, true};
+}
+
+ModelResult
+mm_gpu(double ls0, double ls1, double tile_m, double tile_n, double tile_k,
+       double thread_m, double thread_n, double vec, double stages,
+       double swizzle)
+{
+    const double n = 1024.0;
+    double threads = ls0 * ls1;
+
+    // ---- Hidden constraints (launch/compile failures). ----
+    if (threads > kMaxWgThreads)
+        return ModelResult{0.0, false};
+    double local_bytes = (tile_m * tile_k + tile_k * tile_n) * 4.0 * stages;
+    if (local_bytes > kLocalBytes)
+        return ModelResult{0.0, false};
+    double regs = thread_m * thread_n * vec * 2.0 + 24.0;
+    if (regs > 255.0)
+        return ModelResult{0.0, false};
+
+    double flops = 2.0 * n * n * n;
+    double occ = occupancy(threads, local_bytes);
+
+    // Register-tile ILP: more work per thread hides latency, to a point.
+    double ilp = std::pow(std::min(thread_m * thread_n, 16.0) / 16.0, 0.35);
+    double compute_s = flops / (kFlops * occ * std::max(ilp, 0.15));
+    if (stages >= 2.0)
+        compute_s *= 0.85;  // double buffering hides load latency
+
+    // DRAM traffic shrinks with larger work-group tiles; L2 swizzling adds
+    // modest reuse.
+    double traffic =
+        n * n * n * (1.0 / tile_m + 1.0 / tile_n) * 4.0 / (0.9 + 0.1 * swizzle);
+    double mem_s = traffic / (kDramBw * coalescing(ls0, vec));
+
+    // Tail effect: too few work-groups underutilize the SMs.
+    double wgs = (n / tile_m) * (n / tile_n);
+    double tail = std::max(1.0, kSmCount * 2.0 / wgs);
+
+    double time_ms = std::max(compute_s, mem_s) * tail * 1e3 +
+                     kLaunchOverheadMs;
+    return ModelResult{time_ms, true};
+}
+
+ModelResult
+asum_gpu(double gs, double ls, double seq, double vec, double unroll)
+{
+    const double n = 33554432.0;  // 2^25 elements
+
+    double local_bytes = ls * 4.0;
+    double occ = occupancy(ls, local_bytes);
+    double eff = coalescing(ls, vec);
+
+    // Per-thread sequential accumulation is free bandwidth-wise; the
+    // tree reduction costs log2(ls) barrier rounds per work-group.
+    double mem_s = n * 4.0 / (kDramBw * eff * std::max(occ, 0.05));
+    double rounds = std::log2(std::max(2.0, ls));
+    double reduce_s = (gs / ls) * rounds * 2e-8;
+    // A second, tiny kernel reduces the gs/ls partial sums.
+    double final_s = (gs / ls) * 4.0 / kDramBw + kLaunchOverheadMs * 1e-3;
+
+    double unroll_f = 1.0 - 0.05 * std::min(std::log2(unroll), 2.0) +
+                      0.04 * std::max(0.0, std::log2(unroll) - 2.0);
+    // Very long sequential runs serialize the grid.
+    double seq_f = 1.0 + 0.03 * std::max(0.0, std::log2(seq) - 5.0);
+
+    double time_ms =
+        (mem_s * unroll_f * seq_f + reduce_s + final_s) * 1e3 +
+        kLaunchOverheadMs;
+    return ModelResult{time_ms, true};
+}
+
+ModelResult
+scal_gpu(double gs0, double gs1, double ls0, double ls1, double vec,
+         double seq, double unroll)
+{
+    const double n = 16777216.0;  // 2^24 elements
+
+    // Hidden constraint: the work-group shape is only validated at launch.
+    if (ls0 * ls1 > kMaxWgThreads)
+        return ModelResult{0.0, false};
+
+    double occ = occupancy(ls0 * ls1, 0.0);
+    double eff = coalescing(ls0, vec);
+    // Row-major traversal: wide gs1 grids stripe the array and break
+    // contiguity between rows.
+    double stripe = 1.0 + 0.08 * std::log2(std::max(1.0, gs1));
+
+    double mem_s =
+        2.0 * n * 4.0 * stripe / (kDramBw * eff * std::max(occ, 0.05));
+    double grid_overhead = (gs0 * gs1 / (ls0 * ls1)) * 1e-8;
+    double unroll_f = 1.0 - 0.03 * std::min(std::log2(unroll), 2.0);
+    double seq_f = 1.0 + 0.02 * std::max(0.0, std::log2(seq) - 4.0);
+
+    double time_ms = (mem_s * unroll_f * seq_f + grid_overhead) * 1e3 +
+                     kLaunchOverheadMs;
+    return ModelResult{time_ms, true};
+}
+
+ModelResult
+kmeans_gpu(double ls, double points_per_thread, double tile_c, double vec)
+{
+    const double n = 131072.0;  // points
+    const double k = 10.0;      // clusters
+    const double d = 34.0;      // features
+
+    // Hidden constraint: per-work-group centroid tile in local memory.
+    double local_bytes = ls * tile_c * d * 4.0;
+    if (local_bytes > kLocalBytes)
+        return ModelResult{0.0, false};
+
+    double flops = n * k * d * 3.0;
+    double occ = occupancy(ls, local_bytes);
+    double eff = coalescing(ls, vec);
+
+    double compute_s = flops / (kFlops * 0.25 * std::max(occ, 0.05));
+    double mem_s = n * d * 4.0 / (kDramBw * eff);
+    // Too few points per thread wastes launch width; too many serializes.
+    double ppt_f = 1.0 +
+                   0.06 * std::abs(std::log2(points_per_thread / 8.0));
+    double tile_f = 1.0 + 0.15 * std::max(0.0, std::log2(tile_c) - 2.0);
+
+    double time_ms =
+        std::max(compute_s, mem_s) * ppt_f * tile_f * 1e3 + kLaunchOverheadMs;
+    return ModelResult{time_ms, true};
+}
+
+ModelResult
+harris_gpu(double tile_x, double tile_y, double ls0, double ls1, double vec,
+           double lines_per_thread, double unroll)
+{
+    const double w = 4096.0, h = 4096.0;
+    const double halo = 2.0;  // 5-point derivative + 3x3 sum windows
+
+    double threads = ls0 * ls1;
+    if (threads > kMaxWgThreads)
+        return ModelResult{0.0, false};  // hidden launch limit
+
+    // Local-memory tile with halo; fused pipeline reads the image once.
+    double local_bytes = (tile_x + 2 * halo) * (tile_y + 2 * halo) * 4.0;
+    double occ = occupancy(threads, local_bytes);
+    if (local_bytes > kLocalBytes)
+        return ModelResult{0.0, false};
+
+    double halo_f = ((tile_x + 2 * halo) * (tile_y + 2 * halo)) /
+                    (tile_x * tile_y);
+    double mem_s = w * h * 4.0 * (1.0 + halo_f) /
+                   (kDramBw * coalescing(ls0, vec));
+    double flops = w * h * 60.0;  // derivative products + corner response
+    double compute_s = flops / (kFlops * 0.3 * std::max(occ, 0.05));
+
+    double lpt_f = 1.0 + 0.05 * std::abs(std::log2(lines_per_thread / 4.0));
+    double unroll_f = 1.0 - 0.04 * std::min(std::log2(unroll), 2.0);
+
+    double time_ms = std::max(compute_s, mem_s) * halo_f * lpt_f * unroll_f *
+                         1e3 +
+                     kLaunchOverheadMs;
+    return ModelResult{time_ms, true};
+}
+
+ModelResult
+stencil_gpu(double ls0, double ls1, double elems_per_thread, double vec)
+{
+    const double w = 4096.0, h = 4096.0;
+
+    double threads = ls0 * ls1;
+    double local_bytes = (ls0 * vec + 2.0) * (ls1 * elems_per_thread + 2.0) *
+                         4.0;
+    double occ = occupancy(threads, local_bytes);
+    double eff = coalescing(ls0, vec);
+
+    double mem_s = 2.0 * w * h * 4.0 / (kDramBw * eff * std::max(occ, 0.05));
+    double halo_f = ((ls0 * vec + 2.0) * (ls1 * elems_per_thread + 2.0)) /
+                    std::max(1.0, ls0 * vec * ls1 * elems_per_thread);
+    double ept_f = 1.0 + 0.05 * std::abs(std::log2(elems_per_thread / 4.0));
+
+    double time_ms = mem_s * halo_f * ept_f * 1e3 + kLaunchOverheadMs;
+    return ModelResult{time_ms, true};
+}
+
+}  // namespace baco::rise

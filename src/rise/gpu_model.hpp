@@ -1,0 +1,73 @@
+#ifndef BACO_RISE_GPU_MODEL_HPP_
+#define BACO_RISE_GPU_MODEL_HPP_
+
+/**
+ * @file
+ * Analytic performance models for the RISE & ELEVATE benchmarks
+ * (paper Sec. 5.2): one CPU matrix-multiply model and six OpenCL/GPU
+ * kernel models in the style of the NVIDIA K80 the paper used.
+ *
+ * These replace compiling rewritten RISE programs and executing them on
+ * real hardware (DESIGN.md, substitution 2). Hidden constraints are
+ * reproduced mechanically: resource overflows (work-group limits, shared
+ * memory, registers) make the evaluation *fail*, exactly like the paper's
+ * kernels that compile but cannot launch; the tuner can only learn these by
+ * trying. Known constraints (divisibility, coverage) are declared in the
+ * search spaces (rise/benchmarks.cpp).
+ *
+ * Modelled device: 13 SMs, 2048 threads/SM, 48 KiB local memory per
+ * work-group, 1024 threads/work-group, ~240 GB/s DRAM, ~2.8 TFLOP/s FP32.
+ */
+
+#include "core/types.hpp"
+
+namespace baco::rise {
+
+/** Result of a model evaluation: milliseconds, or infeasible. */
+struct ModelResult {
+  double ms = 0.0;
+  bool feasible = true;
+};
+
+/** Occupancy fraction given per-work-group threads and local memory use. */
+double occupancy(double threads_per_wg, double local_bytes_per_wg);
+
+/** Global-memory efficiency of a warp issuing vec-wide contiguous loads
+ *  across ls0 adjacent threads. */
+double coalescing(double ls0, double vec);
+
+// ---- Per-benchmark models. Parameters are documented with the search
+// ---- space definitions in rise/benchmarks.cpp.
+
+/** Tiled CPU matrix multiply (MM_CPU), 8-core Xeon model. */
+ModelResult mm_cpu(double tile_i, double tile_j, double tile_k, double vec,
+                   const Permutation& loop_order);
+
+/** Register+local-memory tiled GPU matrix multiply (MM_GPU). */
+ModelResult mm_gpu(double ls0, double ls1, double tile_m, double tile_n,
+                   double tile_k, double thread_m, double thread_n,
+                   double vec, double stages, double swizzle);
+
+/** Absolute-sum reduction (Asum_GPU). */
+ModelResult asum_gpu(double gs, double ls, double seq, double vec,
+                     double unroll);
+
+/** Vector scaling (Scal_GPU), 2D launch grid. */
+ModelResult scal_gpu(double gs0, double gs1, double ls0, double ls1,
+                     double vec, double seq, double unroll);
+
+/** K-means point assignment (K-means_GPU). */
+ModelResult kmeans_gpu(double ls, double points_per_thread, double tile_c,
+                       double vec);
+
+/** Harris corner detection pipeline (Harris_GPU). */
+ModelResult harris_gpu(double tile_x, double tile_y, double ls0, double ls1,
+                       double vec, double lines_per_thread, double unroll);
+
+/** Jacobi-style 2D stencil (Stencil_GPU). */
+ModelResult stencil_gpu(double ls0, double ls1, double elems_per_thread,
+                        double vec);
+
+}  // namespace baco::rise
+
+#endif  // BACO_RISE_GPU_MODEL_HPP_

@@ -1,0 +1,71 @@
+#ifndef BACO_SUITE_BENCHMARK_HPP_
+#define BACO_SUITE_BENCHMARK_HPP_
+
+/**
+ * @file
+ * The benchmark abstraction shared by the three compiler substrates: a
+ * search-space factory, a black-box evaluator, reference configurations and
+ * the evaluation budget from the paper's Table 3.
+ */
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+
+namespace baco {
+
+/**
+ * Space construction variants used by the ablation studies (Fig. 8/9):
+ * input log-transforms on/off and the permutation semimetric choice.
+ */
+struct SpaceVariant {
+  bool log_transforms = true;
+  PermutationMetric permutation_metric = PermutationMetric::kSpearman;
+};
+
+/** One autotuning benchmark instance (kernel x dataset/backend). */
+struct Benchmark {
+  std::string framework;  ///< "TACO", "RISE", or "HPVM2FPGA"
+  std::string name;       ///< e.g. "SpMM/scircuit"
+
+  int full_budget = 60;   ///< Table 3's Full Budget
+  int doe_samples = 10;   ///< initial-phase size
+
+  /** Build the search space (the same parameter order for all variants). */
+  std::function<std::shared_ptr<SearchSpace>(const SpaceVariant&)> make_space;
+
+  /** The compiler toolchain: evaluate one configuration (with noise). */
+  BlackBoxFn evaluate;
+
+  /** Noise-free objective, for expert references and landscape tests. */
+  std::function<double(const Configuration&)> true_cost;
+
+  /** Hidden-constraint check without evaluation, for tests. */
+  std::function<bool(const Configuration&)> hidden_feasible;
+
+  /** True when some configurations fail at evaluation time (Table 3's H). */
+  bool has_hidden_constraints = false;
+
+  std::optional<Configuration> expert;          ///< absent for HPVM2FPGA
+  std::optional<Configuration> default_config;
+
+  /**
+   * Noise-free reference objective used for "performance relative to
+   * expert": the expert's cost when an expert exists, otherwise the
+   * virtual-best cost from an offline search (HPVM2FPGA, whose relative
+   * performance the paper reports against the best-known design).
+   */
+  double reference_cost = 0.0;
+
+  /** Budget tiers (Sec. 5.2): tiny = 1/3, small = 2/3 of full. */
+  int tiny_budget() const { return std::max(1, full_budget / 3); }
+  int small_budget() const { return std::max(1, 2 * full_budget / 3); }
+};
+
+}  // namespace baco
+
+#endif  // BACO_SUITE_BENCHMARK_HPP_

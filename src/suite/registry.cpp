@@ -1,0 +1,101 @@
+#include "suite/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/chain_of_trees.hpp"
+#include "hpvm/benchmarks.hpp"
+#include "rise/benchmarks.hpp"
+#include "taco/benchmarks.hpp"
+
+namespace baco::suite {
+
+const std::vector<Benchmark>&
+all_benchmarks()
+{
+    static const std::vector<Benchmark> kAll = [] {
+        std::vector<Benchmark> out;
+        for (Benchmark& b : taco::taco_suite())
+            out.push_back(std::move(b));
+        for (Benchmark& b : rise::rise_suite())
+            out.push_back(std::move(b));
+        for (Benchmark& b : hpvm::hpvm_suite())
+            out.push_back(std::move(b));
+        return out;
+    }();
+    return kAll;
+}
+
+std::vector<const Benchmark*>
+benchmarks_for(const std::string& framework)
+{
+    std::vector<const Benchmark*> out;
+    for (const Benchmark& b : all_benchmarks())
+        if (b.framework == framework)
+            out.push_back(&b);
+    return out;
+}
+
+const Benchmark&
+find_benchmark(const std::string& name)
+{
+    for (const Benchmark& b : all_benchmarks())
+        if (b.name == name)
+            return b;
+    throw std::runtime_error("unknown benchmark '" + name + "'");
+}
+
+SpaceInfo
+space_info(const Benchmark& b)
+{
+    SpaceInfo info;
+    info.framework = b.framework;
+    info.name = b.name;
+    info.full_budget = b.full_budget;
+
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+    info.dims = space->num_params();
+
+    bool r = false, i = false, o = false, c = false, p = false;
+    for (std::size_t k = 0; k < space->num_params(); ++k) {
+        switch (space->param(k).kind()) {
+          case ParamKind::kReal: r = true; break;
+          case ParamKind::kInteger: i = true; break;
+          case ParamKind::kOrdinal: o = true; break;
+          case ParamKind::kCategorical: c = true; break;
+          case ParamKind::kPermutation: p = true; break;
+        }
+    }
+    std::string types;
+    auto append = [&types](bool flag, const char* s) {
+        if (!flag)
+            return;
+        if (!types.empty())
+            types += "/";
+        types += s;
+    };
+    append(r, "R");
+    append(i, "I");
+    append(o, "O");
+    append(c, "C");
+    append(p, "P");
+    info.param_types = types;
+
+    bool known = space->has_constraints();
+    std::string constr;
+    if (known)
+        constr = "K";
+    if (b.has_hidden_constraints)
+        constr += constr.empty() ? "H" : "/H";
+    info.constraint_types = constr.empty() ? "-" : constr;
+
+    info.dense_size = space->dense_size();
+    if (known && space->is_fully_discrete()) {
+        ChainOfTrees cot = ChainOfTrees::build(*space);
+        info.feasible_size = cot.num_feasible();
+    } else {
+        info.feasible_size = info.dense_size;
+    }
+    return info;
+}
+
+}  // namespace baco::suite

@@ -1,0 +1,44 @@
+#ifndef BACO_SUITE_REGISTRY_HPP_
+#define BACO_SUITE_REGISTRY_HPP_
+
+/**
+ * @file
+ * Central registry of all benchmark instances (paper Table 3) and
+ * Table 3-style metadata extraction.
+ */
+
+#include <string>
+#include <vector>
+
+#include "suite/benchmark.hpp"
+
+namespace baco::suite {
+
+/** All 25 instances: 15 TACO, 7 RISE, 3 HPVM2FPGA. */
+const std::vector<Benchmark>& all_benchmarks();
+
+/** Instances of one framework ("TACO", "RISE", "HPVM2FPGA"). */
+std::vector<const Benchmark*> benchmarks_for(const std::string& framework);
+
+/** Find an instance by name (e.g. "SpMM/scircuit").
+ *  @throws std::runtime_error when absent. */
+const Benchmark& find_benchmark(const std::string& name);
+
+/** Table 3 row: space structure metadata. */
+struct SpaceInfo {
+  std::string framework;
+  std::string name;
+  std::size_t dims = 0;
+  std::string param_types;      ///< subset of "R/I/O/C/P"
+  std::string constraint_types; ///< "K", "H", "K/H", or "-"
+  double dense_size = 0.0;
+  double feasible_size = 0.0;   ///< w.r.t. known constraints only
+  int full_budget = 0;
+};
+
+/** Compute the Table 3 row for one benchmark (builds the space + CoT). */
+SpaceInfo space_info(const Benchmark& b);
+
+}  // namespace baco::suite
+
+#endif  // BACO_SUITE_REGISTRY_HPP_

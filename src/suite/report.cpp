@@ -1,0 +1,74 @@
+#include "suite/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace baco::suite {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "") << std::left
+               << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+std::string
+fmt(double v, int prec)
+{
+    if (!std::isfinite(v))
+        return "-";
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+std::string
+fmt_factor(double v, int prec)
+{
+    if (!std::isfinite(v) || v < 0.0)
+        return "-";
+    return fmt(v, prec) + "x";
+}
+
+void
+print_banner(std::ostream& os, const std::string& title)
+{
+    os << "\n" << std::string(72, '=') << "\n"
+       << title << "\n"
+       << std::string(72, '=') << "\n";
+}
+
+}  // namespace baco::suite

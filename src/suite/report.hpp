@@ -1,0 +1,43 @@
+#ifndef BACO_SUITE_REPORT_HPP_
+#define BACO_SUITE_REPORT_HPP_
+
+/**
+ * @file
+ * Plain-text table/series rendering for the figure/table harnesses in
+ * bench/. Output mimics the rows the paper reports so measured results can
+ * be compared side by side with the published ones (EXPERIMENTS.md).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace baco::suite {
+
+/** Fixed-width text table. */
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /** Render with column alignment and a header rule. */
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with `prec` decimals ("-" for NaN/inf). */
+std::string fmt(double v, int prec = 2);
+
+/** Format as a multiplier, e.g. "3.33x" ("-" for non-finite/negative). */
+std::string fmt_factor(double v, int prec = 2);
+
+/** Section banner for bench output. */
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace baco::suite
+
+#endif  // BACO_SUITE_REPORT_HPP_

@@ -1,0 +1,198 @@
+#include "suite/runner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "baselines/opentuner_like.hpp"
+#include "baselines/random_search.hpp"
+#include "baselines/ytopt_like.hpp"
+
+namespace baco::suite {
+
+namespace {
+const double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::string
+method_name(Method m)
+{
+    switch (m) {
+      case Method::kBaco: return "BaCO";
+      case Method::kBacoMinusMinus: return "BaCO--";
+      case Method::kAtfOpenTuner: return "ATF";
+      case Method::kYtopt: return "Ytopt";
+      case Method::kYtoptGp: return "Ytopt(GP)";
+      case Method::kUniform: return "Uniform";
+      case Method::kCotSampling: return "CoT";
+    }
+    return "?";
+}
+
+const std::vector<Method>&
+headline_methods()
+{
+    static const std::vector<Method> kMethods = {
+        Method::kBaco, Method::kAtfOpenTuner, Method::kYtopt,
+        Method::kUniform, Method::kCotSampling,
+    };
+    return kMethods;
+}
+
+TuningHistory
+run_method(const Benchmark& b, Method m, int budget, std::uint64_t seed,
+           const SpaceVariant& variant)
+{
+    std::shared_ptr<SearchSpace> space = b.make_space(variant);
+
+    switch (m) {
+      case Method::kBaco:
+      case Method::kBacoMinusMinus: {
+        TunerOptions opt = m == Method::kBaco
+                               ? TunerOptions::baco_defaults()
+                               : TunerOptions::baco_minus_minus();
+        opt.budget = budget;
+        opt.doe_samples = std::min(b.doe_samples, budget);
+        opt.seed = seed;
+        Tuner tuner(*space, opt);
+        return tuner.run(b.evaluate);
+      }
+      case Method::kAtfOpenTuner: {
+        OpenTunerLike::Options opt;
+        opt.budget = budget;
+        opt.initial_random = std::min(b.doe_samples, budget);
+        opt.seed = seed;
+        OpenTunerLike tuner(*space, opt);
+        return tuner.run(b.evaluate);
+      }
+      case Method::kYtopt:
+      case Method::kYtoptGp: {
+        YtoptLike::Options opt;
+        opt.budget = budget;
+        opt.doe_samples = std::min(b.doe_samples, budget);
+        opt.seed = seed;
+        opt.surrogate = m == Method::kYtopt
+                            ? YtoptLike::Surrogate::kRandomForest
+                            : YtoptLike::Surrogate::kGaussianProcess;
+        YtoptLike tuner(*space, opt);
+        return tuner.run(b.evaluate);
+      }
+      case Method::kUniform: {
+        RandomSearchOptions opt;
+        opt.budget = budget;
+        opt.seed = seed;
+        return run_uniform_sampling(*space, b.evaluate, opt);
+      }
+      case Method::kCotSampling: {
+        RandomSearchOptions opt;
+        opt.budget = budget;
+        opt.seed = seed;
+        return run_cot_sampling(*space, b.evaluate, opt);
+      }
+    }
+    throw std::runtime_error("unhandled method");
+}
+
+TuningHistory
+run_baco_custom(const Benchmark& b, TunerOptions opt,
+                const SpaceVariant& variant)
+{
+    std::shared_ptr<SearchSpace> space = b.make_space(variant);
+    Tuner tuner(*space, opt);
+    return tuner.run(b.evaluate);
+}
+
+double
+RepStats::mean_best_at(int evals) const
+{
+    double acc = 0.0;
+    int n = 0;
+    for (const auto& t : trajectories) {
+        if (t.empty())
+            continue;
+        std::size_t at = std::min<std::size_t>(
+            t.size() - 1, static_cast<std::size_t>(std::max(0, evals - 1)));
+        acc += t[at];
+        ++n;
+    }
+    return n > 0 ? acc / n : kInf;
+}
+
+double
+RepStats::mean_rel_to_reference(double ref, int evals) const
+{
+    double acc = 0.0;
+    int n = 0;
+    for (const auto& t : trajectories) {
+        if (t.empty())
+            continue;
+        std::size_t at = std::min<std::size_t>(
+            t.size() - 1, static_cast<std::size_t>(std::max(0, evals - 1)));
+        acc += std::isfinite(t[at]) ? ref / t[at] : 0.0;
+        ++n;
+    }
+    return n > 0 ? acc / n : 0.0;
+}
+
+int
+RepStats::count_reached(double ref) const
+{
+    int count = 0;
+    for (const auto& t : trajectories)
+        if (!t.empty() && t.back() <= ref)
+            ++count;
+    return count;
+}
+
+std::vector<double>
+RepStats::mean_trajectory() const
+{
+    if (trajectories.empty())
+        return {};
+    std::size_t len = 0;
+    for (const auto& t : trajectories)
+        len = std::max(len, t.size());
+    std::vector<double> mean(len, 0.0);
+    std::vector<int> counts(len, 0);
+    for (const auto& t : trajectories) {
+        for (std::size_t i = 0; i < len; ++i) {
+            double v = i < t.size() ? t[i] : t.back();
+            if (std::isfinite(v)) {
+                mean[i] += v;
+                counts[i] += 1;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < len; ++i)
+        mean[i] = counts[i] > 0 ? mean[i] / counts[i] : kInf;
+    return mean;
+}
+
+RepStats
+run_repetitions(const Benchmark& b, Method m, int budget, int reps,
+                std::uint64_t seed0, const SpaceVariant& variant)
+{
+    RepStats stats;
+    for (int r = 0; r < reps; ++r) {
+        TuningHistory h = run_method(b, m, budget, seed0 + static_cast<std::uint64_t>(r), variant);
+        stats.trajectories.push_back(h.best_trajectory());
+        stats.mean_tuner_seconds += h.tuner_seconds;
+        stats.mean_eval_seconds += h.eval_seconds;
+    }
+    if (reps > 0) {
+        stats.mean_tuner_seconds /= reps;
+        stats.mean_eval_seconds /= reps;
+    }
+    return stats;
+}
+
+int
+evals_to_reach(const std::vector<double>& trajectory, double target)
+{
+    for (std::size_t i = 0; i < trajectory.size(); ++i)
+        if (trajectory[i] <= target)
+            return static_cast<int>(i) + 1;
+    return -1;
+}
+
+}  // namespace baco::suite

@@ -1,0 +1,43 @@
+#ifndef BACO_TACO_BENCHMARKS_HPP_
+#define BACO_TACO_BENCHMARKS_HPP_
+
+/**
+ * @file
+ * The TACO benchmark suite (paper Table 3, TACO rows): five tensor
+ * expressions x Table 4 datasets, 15 instances in the main suite plus
+ * extra kernel/tensor combinations used by the Fig. 8/9 ablations.
+ *
+ * Parameter layout (fixed across kernels; indices matter for decoding):
+ *   0 chunk_size      ordinal {8..4096}, log-scaled
+ *   1 chunk_size2     ordinal {2..1024}, log-scaled
+ *   2 unroll_factor   ordinal {1..64},   log-scaled
+ *   3 omp_scheduling  categorical {static, dynamic}
+ *   4 omp_chunk_size  ordinal {1..256},  log-scaled
+ *   5 omp_num_threads ordinal {1..128},  log-scaled   (SpMV and TTV only)
+ *   last: loop_perm   permutation over the kernel's loop slots
+ *
+ * Known constraints (all kernels except SpMV, matching the paper's RQ4
+ * observation that one benchmark has none): unroll <= chunk_size2, and
+ * concordant-traversal ordering of the loop permutation. TTV additionally
+ * has the hidden workspace constraint (Table 3's H).
+ */
+
+#include <vector>
+
+#include "suite/benchmark.hpp"
+#include "taco/cost_model.hpp"
+
+namespace baco::taco {
+
+/** Decode a configuration of the layout above into a schedule. */
+TacoSchedule decode_schedule(TacoKernel k, const Configuration& c);
+
+/** Build one benchmark instance (any kernel x any Table 4 profile). */
+Benchmark make_taco_benchmark(TacoKernel k, const std::string& tensor_name);
+
+/** The 15 main-suite instances (Tables 5-9 coverage). */
+std::vector<Benchmark> taco_suite();
+
+}  // namespace baco::taco
+
+#endif  // BACO_TACO_BENCHMARKS_HPP_

@@ -1,0 +1,172 @@
+#include "taco/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distance.hpp"
+
+namespace baco::taco {
+
+namespace {
+
+/** Dense-operand width per kernel (columns of C / factor rank). */
+double
+dense_width(TacoKernel k)
+{
+    switch (k) {
+      case TacoKernel::kSpMV: return 1.0;
+      case TacoKernel::kSpMM: return 128.0;
+      case TacoKernel::kSDDMM: return 128.0;
+      case TacoKernel::kTTV: return 1.0;
+      case TacoKernel::kMTTKRP: return 32.0;
+    }
+    return 1.0;
+}
+
+/** Useful flops per nonzero. */
+double
+flops_per_nnz(TacoKernel k)
+{
+    switch (k) {
+      case TacoKernel::kSpMV: return 2.0;
+      case TacoKernel::kSpMM: return 2.0 * dense_width(k);
+      case TacoKernel::kSDDMM: return 2.0 * dense_width(k) + 1.0;
+      case TacoKernel::kTTV: return 2.0;
+      case TacoKernel::kMTTKRP: return 3.0 * dense_width(k);
+    }
+    return 2.0;
+}
+
+const double kSingleThreadFlops = 1.2e9;  // modelled scalar throughput
+const double kL2Bytes = 1.0 * 1024 * 1024;
+
+}  // namespace
+
+int
+kernel_perm_size(TacoKernel k)
+{
+    return k == TacoKernel::kMTTKRP ? 4 : 5;
+}
+
+bool
+perm_concordant(TacoKernel k, const Permutation& perm)
+{
+    // Loop slots for 5-slot kernels: [i0, i1, k0, k1, u]; concordant CSR/CSF
+    // traversal requires i0 < i1, k0 < k1 and i0 < k0 (positions).
+    if (kernel_perm_size(k) == 5) {
+        return perm[0] < perm[1] && perm[2] < perm[3] && perm[0] < perm[2];
+    }
+    // 4-slot kernels (MTTKRP): [i, k, l, m]; require i < k and l < m.
+    return perm[0] < perm[1] && perm[2] < perm[3];
+}
+
+Permutation
+ideal_perm(TacoKernel k, const TensorProfile& t)
+{
+    if (kernel_perm_size(k) == 5) {
+        // Identity is [0,1,2,3,4]. Skewed datasets prefer hoisting the
+        // nonzero loop split (k0) above the inner row split (i1); regular
+        // banded datasets prefer the unrolled slot (u) between the k splits.
+        if (t.skew > 0.5)
+            return Permutation{0, 2, 1, 3, 4};  // i0 k0 i1 k1 u
+        return Permutation{0, 1, 2, 4, 3};      // i0 i1 k0 u k1
+    }
+    // MTTKRP [i,k,l,m]: long mode first after i for skewed tensors.
+    if (t.skew > 0.5)
+        return Permutation{0, 2, 1, 3};
+    return Permutation{0, 1, 3, 2};
+}
+
+bool
+taco_hidden_feasible(TacoKernel k, const TensorProfile& t,
+                     const TacoSchedule& s)
+{
+    if (k != TacoKernel::kTTV)
+        return true;
+    // TTV materializes a per-thread chunk workspace; oversized
+    // chunk x thread products exhaust memory and crash at runtime.
+    (void)t;
+    return s.chunk * s.threads <= 65536.0;
+}
+
+double
+taco_cost_ms(TacoKernel k, const TensorProfile& t, const TacoSchedule& s)
+{
+    const double nnz = t.nnz;
+    const double rows = t.rows();
+    const double width = dense_width(k);
+
+    // ---- Serial baseline. ----
+    double serial_s = nnz * flops_per_nnz(k) / kSingleThreadFlops;
+
+    // ---- Locality factor: working set of one (chunk, chunk2) tile. ----
+    double nnz_per_row = std::max(1.0, t.avg_nnz_per_row());
+    double ws_bytes = s.chunk * nnz_per_row * 16.0 + s.chunk2 * width * 8.0;
+    double excess = std::max(0.0, std::log2(ws_bytes / kL2Bytes));
+    double locality_sensitivity = 1.0 - 0.6 * t.locality;
+    double loc = 1.0 + locality_sensitivity * 0.55 * std::pow(excess, 1.3);
+    // Tiny chunks cost loop overhead.
+    loc += 0.45 * std::max(0.0, std::log2(16.0 / s.chunk));
+    // Inner tile far below the dense width wastes the streamed operand.
+    if (width > 1.0)
+        loc += 0.08 * std::max(0.0, std::log2(width / 4.0 / s.chunk2));
+
+    // ---- Loop-order factor. ----
+    Permutation ideal = ideal_perm(k, t);
+    double perm_f;
+    if (!perm_concordant(k, s.perm)) {
+        // Each violated chain multiplies the traversal cost: the compressed
+        // level must be searched instead of streamed.
+        int violations = 0;
+        if (kernel_perm_size(k) == 5) {
+            violations += s.perm[0] < s.perm[1] ? 0 : 1;
+            violations += s.perm[2] < s.perm[3] ? 0 : 1;
+            violations += s.perm[0] < s.perm[2] ? 0 : 1;
+        } else {
+            violations += s.perm[0] < s.perm[1] ? 0 : 1;
+            violations += s.perm[2] < s.perm[3] ? 0 : 1;
+        }
+        perm_f = std::pow(7.0, violations);
+    } else if (s.perm == ideal) {
+        perm_f = 1.0;
+    } else {
+        perm_f = 1.05 +
+                 0.30 * permutation_distance(s.perm, ideal,
+                                             PermutationMetric::kSpearman);
+    }
+
+    // ---- Unroll factor. ----
+    double opt_u = t.locality > 0.5 ? 8.0 : 2.0;
+    double dev = std::log2(s.unroll / opt_u);
+    double unroll_f = 0.92 + 0.025 * dev * dev;
+    // Unrolling past the inner tile thrashes registers.
+    if (s.unroll > s.chunk2)
+        unroll_f += 0.4;
+
+    // ---- Parallel execution. ----
+    double tasks = std::max(1.0, rows / s.chunk);
+    double quanta = std::max(1.0, tasks / s.omp_chunk);
+    double bw_cap = 6.0 + 26.0 * t.locality;  // memory-bound scaling limit
+    double eff_t = std::min({s.threads, bw_cap, tasks});
+
+    double imbalance;
+    double sched_overhead_s = 0.0;
+    if (s.dynamic_sched) {
+        imbalance = 1.0 + 0.12 * t.skew;
+        sched_overhead_s = quanta * 1.5e-6;  // per-quantum dispatch cost
+    } else {
+        double quanta_per_thread = quanta / std::max(1.0, s.threads);
+        imbalance =
+            1.0 + t.skew * 2.2 / std::sqrt(std::max(1.0, quanta_per_thread));
+    }
+    // Oversubscription beyond the node's 32 cores costs context switching.
+    double oversub = s.threads > 32.0 ? 1.0 + 0.2 * std::log2(s.threads / 32.0)
+                                      : 1.0;
+
+    double time_s = serial_s * loc * perm_f * unroll_f * imbalance * oversub /
+                        eff_t +
+                    sched_overhead_s + 2e-5;
+    return time_s * 1e3;
+}
+
+}  // namespace baco::taco

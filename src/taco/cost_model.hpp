@@ -1,0 +1,73 @@
+#ifndef BACO_TACO_COST_MODEL_HPP_
+#define BACO_TACO_COST_MODEL_HPP_
+
+/**
+ * @file
+ * Deterministic analytic performance model of TACO-generated OpenMP sparse
+ * kernels on a two-socket Xeon node (the paper's TACO testbed).
+ *
+ * The model is the benchmark harness's substitute for compiling and running
+ * real TACO code (see DESIGN.md, substitution 1). It reproduces the
+ * mechanisms that make the schedule space interesting:
+ *
+ *  - cache-capacity locality term, U-shaped in the log of the tile
+ *    parameters, with dataset-dependent optima;
+ *  - loop-order term driven by the Spearman distance to a
+ *    dataset-dependent ideal order; *discordant* orders (violating the
+ *    format's concordant-traversal chains) cost multiples, which is why
+ *    ill-scheduled SpMV runs orders of magnitude slower (paper RQ4);
+ *  - OpenMP scheduling: static suffers from row-imbalance (skew), dynamic
+ *    pays a per-quantum overhead — the best choice depends on the dataset;
+ *  - unrolling with a locality-dependent sweet spot;
+ *  - a hidden memory constraint for TTV (per-thread workspace overflow),
+ *    observable only by evaluating.
+ */
+
+#include "core/types.hpp"
+#include "taco/generators.hpp"
+
+namespace baco::taco {
+
+/** The five tensor expressions (paper Sec. 5.2). */
+enum class TacoKernel { kSpMV, kSpMM, kSDDMM, kTTV, kMTTKRP };
+
+/** Number of loop slots in the kernel's permutation parameter. */
+int kernel_perm_size(TacoKernel k);
+
+/** Decoded schedule (see taco/benchmarks.cpp for the parameter layout). */
+struct TacoSchedule {
+  double chunk = 256;       ///< i-loop split factor
+  double chunk2 = 32;       ///< inner/dense tile
+  double unroll = 1;
+  bool dynamic_sched = false;
+  double omp_chunk = 8;     ///< tasks per OpenMP scheduling quantum
+  double threads = 32;
+  Permutation perm;         ///< loop order over the kernel's loop slots
+};
+
+/**
+ * Modelled kernel runtime in milliseconds (noise-free).
+ */
+double taco_cost_ms(TacoKernel k, const TensorProfile& t,
+                    const TacoSchedule& s);
+
+/**
+ * Hidden-constraint check: false when the configuration would crash at
+ * runtime (only TTV has a hidden constraint in the TACO suite, Table 3).
+ */
+bool taco_hidden_feasible(TacoKernel k, const TensorProfile& t,
+                          const TacoSchedule& s);
+
+/**
+ * The dataset-dependent ideal loop order. Deliberately *not* the identity
+ * (the default order the paper's experts used), so permutation exploration
+ * is worth roughly the ~1.1x the paper reports for TACO (RQ4).
+ */
+Permutation ideal_perm(TacoKernel k, const TensorProfile& t);
+
+/** True when perm respects the format's concordant-traversal chains. */
+bool perm_concordant(TacoKernel k, const Permutation& perm);
+
+}  // namespace baco::taco
+
+#endif  // BACO_TACO_COST_MODEL_HPP_

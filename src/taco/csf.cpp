@@ -1,0 +1,142 @@
+#include "taco/csf.hpp"
+
+#include <algorithm>
+
+namespace baco::taco {
+
+CsfTensor3
+CsfTensor3::from_coo(CooTensor3 coo)
+{
+    coo.sort_entries();
+    CsfTensor3 t;
+    t.dims = coo.dims;
+
+    int prev_i = -1, prev_j = -1, prev_k = -1;
+    for (const Coord3& e : coo.entries) {
+        bool new_i = e.idx[0] != prev_i;
+        bool new_j = new_i || e.idx[1] != prev_j;
+        bool new_k = new_j || e.idx[2] != prev_k;
+        if (!new_k) {
+            t.vals.back() += e.val;  // duplicate coordinate
+            continue;
+        }
+        if (new_i) {
+            t.idx0.push_back(e.idx[0]);
+            t.pos1.push_back(static_cast<int>(t.idx1.size()));
+        }
+        if (new_j) {
+            t.idx1.push_back(e.idx[1]);
+            t.pos2.push_back(static_cast<int>(t.idx2.size()));
+        }
+        t.idx2.push_back(e.idx[2]);
+        t.vals.push_back(e.val);
+        prev_i = e.idx[0];
+        prev_j = e.idx[1];
+        prev_k = e.idx[2];
+    }
+    t.pos1.push_back(static_cast<int>(t.idx1.size()));
+    t.pos2.push_back(static_cast<int>(t.idx2.size()));
+    return t;
+}
+
+CsfTensor4
+CsfTensor4::from_coo(CooTensor4 coo)
+{
+    coo.sort_entries();
+    CsfTensor4 t;
+    t.dims = coo.dims;
+
+    int prev0 = -1, prev1 = -1, prev2 = -1, prev3 = -1;
+    for (const Coord4& e : coo.entries) {
+        bool new0 = e.idx[0] != prev0;
+        bool new1 = new0 || e.idx[1] != prev1;
+        bool new2 = new1 || e.idx[2] != prev2;
+        bool new3 = new2 || e.idx[3] != prev3;
+        if (!new3) {
+            t.vals.back() += e.val;
+            continue;
+        }
+        if (new0) {
+            t.idx0.push_back(e.idx[0]);
+            t.pos1.push_back(static_cast<int>(t.idx1.size()));
+        }
+        if (new1) {
+            t.idx1.push_back(e.idx[1]);
+            t.pos2.push_back(static_cast<int>(t.idx2.size()));
+        }
+        if (new2) {
+            t.idx2.push_back(e.idx[2]);
+            t.pos3.push_back(static_cast<int>(t.idx3.size()));
+        }
+        t.idx3.push_back(e.idx[3]);
+        t.vals.push_back(e.val);
+        prev0 = e.idx[0];
+        prev1 = e.idx[1];
+        prev2 = e.idx[2];
+        prev3 = e.idx[3];
+    }
+    t.pos1.push_back(static_cast<int>(t.idx1.size()));
+    t.pos2.push_back(static_cast<int>(t.idx2.size()));
+    t.pos3.push_back(static_cast<int>(t.idx3.size()));
+    return t;
+}
+
+Matrix
+ttv_csf(const CsfTensor3& b, const std::vector<double>& c)
+{
+    Matrix a(static_cast<std::size_t>(b.dims[0]),
+             static_cast<std::size_t>(b.dims[1]));
+    for (std::size_t r = 0; r < b.idx0.size(); ++r) {
+        auto i = static_cast<std::size_t>(b.idx0[r]);
+        for (int s = b.pos1[r]; s < b.pos1[r + 1]; ++s) {
+            auto su = static_cast<std::size_t>(s);
+            auto j = static_cast<std::size_t>(b.idx1[su]);
+            double acc = 0.0;
+            for (int p = b.pos2[su]; p < b.pos2[su + 1]; ++p) {
+                auto pu = static_cast<std::size_t>(p);
+                acc += b.vals[pu] *
+                       c[static_cast<std::size_t>(b.idx2[pu])];
+            }
+            a(i, j) += acc;
+        }
+    }
+    return a;
+}
+
+Matrix
+mttkrp4_csf(const CsfTensor4& b, const Matrix& c, const Matrix& d,
+            const Matrix& e)
+{
+    std::size_t rank = c.cols();
+    Matrix a(static_cast<std::size_t>(b.dims[0]), rank);
+    std::vector<double> kl_partial(rank);  // C(k,:) * D(l,:) per l-fiber
+    std::vector<double> row_acc(rank);     // per-i accumulator
+
+    for (std::size_t r = 0; r < b.idx0.size(); ++r) {
+        auto i = static_cast<std::size_t>(b.idx0[r]);
+        std::fill(row_acc.begin(), row_acc.end(), 0.0);
+        for (int s = b.pos1[r]; s < b.pos1[r + 1]; ++s) {
+            auto su = static_cast<std::size_t>(s);
+            auto k = static_cast<std::size_t>(b.idx1[su]);
+            for (int q = b.pos2[su]; q < b.pos2[su + 1]; ++q) {
+                auto qu = static_cast<std::size_t>(q);
+                auto l = static_cast<std::size_t>(b.idx2[qu]);
+                // Hoist the C*D product across the innermost fiber.
+                for (std::size_t j = 0; j < rank; ++j)
+                    kl_partial[j] = c(k, j) * d(l, j);
+                for (int p = b.pos3[qu]; p < b.pos3[qu + 1]; ++p) {
+                    auto pu = static_cast<std::size_t>(p);
+                    auto m = static_cast<std::size_t>(b.idx3[pu]);
+                    double v = b.vals[pu];
+                    for (std::size_t j = 0; j < rank; ++j)
+                        row_acc[j] += v * kl_partial[j] * e(m, j);
+                }
+            }
+        }
+        for (std::size_t j = 0; j < rank; ++j)
+            a(i, j) += row_acc[j];
+    }
+    return a;
+}
+
+}  // namespace baco::taco

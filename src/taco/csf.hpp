@@ -1,0 +1,69 @@
+#ifndef BACO_TACO_CSF_HPP_
+#define BACO_TACO_CSF_HPP_
+
+/**
+ * @file
+ * Compressed Sparse Fiber (CSF) storage for higher-order sparse tensors —
+ * the hierarchical format TACO compiles to for tensor expressions like TTV
+ * and MTTKRP (Smith & Karypis's CSF; Kjolstad et al.'s sparse levels).
+ *
+ * Each level l stores segment pointers pos[l] and coordinates idx[l]; a
+ * path root->leaf is one nonzero. Kernels traverse fibers hierarchically,
+ * which is exactly the "concordant traversal" the TACO cost model rewards:
+ * iterating modes in CSF level order streams memory, iterating against it
+ * requires searching.
+ */
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "taco/tensor.hpp"
+
+namespace baco::taco {
+
+/** CSF for 3-mode tensors (levels: i -> j -> k). */
+struct CsfTensor3 {
+  std::array<int, 3> dims{0, 0, 0};
+  // Level 0: root fibers.
+  std::vector<int> idx0;              ///< distinct i coordinates
+  std::vector<int> pos1;              ///< idx0[r] owns idx1[pos1[r]..pos1[r+1])
+  std::vector<int> idx1;              ///< j coordinates per i-fiber
+  std::vector<int> pos2;              ///< idx1[s] owns idx2[pos2[s]..pos2[s+1])
+  std::vector<int> idx2;              ///< k coordinates per (i,j)-fiber
+  std::vector<double> vals;           ///< aligned with idx2
+
+  int nnz() const { return static_cast<int>(vals.size()); }
+
+  /** Build from a (sorted or unsorted) COO tensor; duplicates are summed. */
+  static CsfTensor3 from_coo(CooTensor3 coo);
+};
+
+/** CSF for 4-mode tensors (levels: i -> k -> l -> m). */
+struct CsfTensor4 {
+  std::array<int, 4> dims{0, 0, 0, 0};
+  std::vector<int> idx0;
+  std::vector<int> pos1;
+  std::vector<int> idx1;
+  std::vector<int> pos2;
+  std::vector<int> idx2;
+  std::vector<int> pos3;
+  std::vector<int> idx3;
+  std::vector<double> vals;
+
+  int nnz() const { return static_cast<int>(vals.size()); }
+
+  static CsfTensor4 from_coo(CooTensor4 coo);
+};
+
+/** A(i,j) = sum_k B(i,j,k) c_k over CSF (fiber-hierarchical traversal). */
+Matrix ttv_csf(const CsfTensor3& b, const std::vector<double>& c);
+
+/** A(i,j) = sum_klm B(i,k,l,m) C(k,j) D(l,j) E(m,j) over CSF, with factor
+ *  products hoisted per fiber level (the classic CSF MTTKRP optimization:
+ *  C-row reuse across the k-fiber, C*D partial product across the l-fiber). */
+Matrix mttkrp4_csf(const CsfTensor4& b, const Matrix& c, const Matrix& d,
+                   const Matrix& e);
+
+}  // namespace baco::taco
+
+#endif  // BACO_TACO_CSF_HPP_

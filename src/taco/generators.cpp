@@ -1,0 +1,177 @@
+#include "taco/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace baco::taco {
+
+const std::vector<TensorProfile>&
+tensor_profiles()
+{
+    // Dimensions and nonzero counts follow the paper's Table 4; skew and
+    // locality are chosen to match each dataset's documented structure.
+    static const std::vector<TensorProfile> kProfiles = {
+        // name, order, dims, nnz, skew, locality, pattern, source
+        {"ACTIVSg10K", 2, {20000, 20000, 1, 1}, 135888, 0.25, 0.55,
+         SparsityPattern::kBanded, "SuiteSparse power grid (synthetic)"},
+        {"email-Enron", 2, {36692, 36692, 1, 1}, 367662, 0.95, 0.10,
+         SparsityPattern::kPowerLaw, "SuiteSparse social graph (synthetic)"},
+        {"Goodwin_040", 2, {17922, 17922, 1, 1}, 561677, 0.15, 0.80,
+         SparsityPattern::kBanded, "SuiteSparse FEM (synthetic)"},
+        {"scircuit", 2, {170998, 170998, 1, 1}, 958936, 0.60, 0.35,
+         SparsityPattern::kPowerLaw, "SuiteSparse circuit (synthetic)"},
+        {"filter3D", 2, {106437, 106437, 1, 1}, 2707179, 0.20, 0.85,
+         SparsityPattern::kBanded, "SuiteSparse 3D filter (synthetic)"},
+        {"laminar_duct3D", 2, {67173, 67173, 1, 1}, 3788857, 0.25, 0.85,
+         SparsityPattern::kBanded, "SuiteSparse fluid dynamics (synthetic)"},
+        {"cage12", 2, {130228, 130228, 1, 1}, 2032536, 0.10, 0.50,
+         SparsityPattern::kUniform, "SuiteSparse DNA electrophoresis (synthetic)"},
+        {"smt", 2, {25710, 25710, 1, 1}, 3749582, 0.30, 0.70,
+         SparsityPattern::kBanded, "SuiteSparse thermal (synthetic)"},
+        {"amazon0312", 2, {400727, 400727, 1, 1}, 3200440, 0.85, 0.15,
+         SparsityPattern::kPowerLaw, "SNAP co-purchase graph (synthetic)"},
+        {"random2", 2, {10000, 10000, 1, 1}, 5000000, 0.05, 0.0,
+         SparsityPattern::kUniform, "synthetic uniform"},
+        {"random1", 3, {1000, 500, 100, 1}, 5000000, 0.05, 0.0,
+         SparsityPattern::kUniform, "synthetic uniform 3-tensor"},
+        {"facebook", 3, {1504, 42390, 39986, 1}, 737934, 0.90, 0.10,
+         SparsityPattern::kPowerLaw, "Facebook activities (synthetic)"},
+        {"uber", 4, {183, 24, 1140, 1717}, 3309490, 0.55, 0.30,
+         SparsityPattern::kPowerLaw, "FROSTT uber (synthetic)"},
+        {"nips", 4, {2482, 2482, 14036, 17}, 3101609, 0.70, 0.20,
+         SparsityPattern::kPowerLaw, "FROSTT nips (synthetic)"},
+        {"chicago", 4, {6186, 24, 77, 32}, 5330673, 0.40, 0.40,
+         SparsityPattern::kUniform, "FROSTT chicago crime (synthetic)"},
+        {"uber3", 3, {183, 1140, 1717, 1}, 1117629, 0.70, 0.25,
+         SparsityPattern::kPowerLaw, "FROSTT uber 3-mode (synthetic)"},
+    };
+    return kProfiles;
+}
+
+const TensorProfile&
+profile(const std::string& name)
+{
+    for (const TensorProfile& p : tensor_profiles())
+        if (p.name == name)
+            return p;
+    throw std::runtime_error("unknown tensor profile '" + name + "'");
+}
+
+namespace {
+
+/** Power-law row index in [0, n): row ~ u^alpha scaled (small index = hub). */
+int
+powerlaw_index(RngEngine& rng, int n, double skew)
+{
+    double alpha = 1.0 + 4.0 * skew;  // heavier tails for higher skew
+    double u = rng.uniform(1e-9, 1.0);
+    double x = std::pow(u, alpha);
+    int idx = static_cast<int>(x * n);
+    return std::min(idx, n - 1);
+}
+
+/** Column near the diagonal for banded patterns. */
+int
+banded_col(RngEngine& rng, int row, int cols, double locality)
+{
+    double width = std::max(2.0, (1.0 - locality) * cols * 0.25 + 4.0);
+    int col = row + static_cast<int>(std::llround(rng.normal(0.0, width)));
+    return std::clamp(col, 0, cols - 1);
+}
+
+}  // namespace
+
+CsrMatrix
+generate_matrix(const TensorProfile& p, double scale, RngEngine& rng)
+{
+    if (p.order != 2)
+        throw std::runtime_error("profile '" + p.name + "' is not a matrix");
+    int rows = std::max(8, static_cast<int>(p.dims[0] * scale));
+    int cols = std::max(8, static_cast<int>(p.dims[1] * scale));
+    auto nnz = static_cast<std::size_t>(std::max(1.0, p.nnz * scale));
+
+    std::vector<std::array<int, 2>> coords;
+    std::vector<double> vals;
+    coords.reserve(nnz);
+    vals.reserve(nnz);
+    for (std::size_t e = 0; e < nnz; ++e) {
+        int r, c;
+        switch (p.pattern) {
+          case SparsityPattern::kBanded:
+            r = static_cast<int>(rng.index(static_cast<std::size_t>(rows)));
+            c = banded_col(rng, r, cols, p.locality);
+            break;
+          case SparsityPattern::kPowerLaw:
+            r = powerlaw_index(rng, rows, p.skew);
+            c = powerlaw_index(rng, cols, p.skew * 0.5);
+            break;
+          case SparsityPattern::kUniform:
+          default:
+            r = static_cast<int>(rng.index(static_cast<std::size_t>(rows)));
+            c = static_cast<int>(rng.index(static_cast<std::size_t>(cols)));
+            break;
+        }
+        coords.push_back({r, c});
+        vals.push_back(rng.uniform(-1.0, 1.0));
+    }
+    return csr_from_triplets(rows, cols, std::move(coords), std::move(vals));
+}
+
+CooTensor3
+generate_tensor3(const TensorProfile& p, double scale, RngEngine& rng)
+{
+    if (p.order != 3)
+        throw std::runtime_error("profile '" + p.name + "' is not a 3-tensor");
+    CooTensor3 t;
+    for (int m = 0; m < 3; ++m)
+        t.dims[static_cast<std::size_t>(m)] =
+            std::max(4, static_cast<int>(p.dims[static_cast<std::size_t>(m)] *
+                                         scale));
+    auto nnz = static_cast<std::size_t>(std::max(1.0, p.nnz * scale));
+    t.entries.reserve(nnz);
+    for (std::size_t e = 0; e < nnz; ++e) {
+        Coord3 c;
+        for (int m = 0; m < 3; ++m) {
+            int dim = t.dims[static_cast<std::size_t>(m)];
+            c.idx[static_cast<std::size_t>(m)] =
+                p.pattern == SparsityPattern::kPowerLaw
+                    ? powerlaw_index(rng, dim, p.skew)
+                    : static_cast<int>(rng.index(static_cast<std::size_t>(dim)));
+        }
+        c.val = rng.uniform(-1.0, 1.0);
+        t.entries.push_back(c);
+    }
+    t.sort_entries();
+    return t;
+}
+
+CooTensor4
+generate_tensor4(const TensorProfile& p, double scale, RngEngine& rng)
+{
+    if (p.order != 4)
+        throw std::runtime_error("profile '" + p.name + "' is not a 4-tensor");
+    CooTensor4 t;
+    for (int m = 0; m < 4; ++m)
+        t.dims[static_cast<std::size_t>(m)] =
+            std::max(2, static_cast<int>(p.dims[static_cast<std::size_t>(m)] *
+                                         scale));
+    auto nnz = static_cast<std::size_t>(std::max(1.0, p.nnz * scale));
+    t.entries.reserve(nnz);
+    for (std::size_t e = 0; e < nnz; ++e) {
+        Coord4 c;
+        for (int m = 0; m < 4; ++m) {
+            int dim = t.dims[static_cast<std::size_t>(m)];
+            c.idx[static_cast<std::size_t>(m)] =
+                p.pattern == SparsityPattern::kPowerLaw
+                    ? powerlaw_index(rng, dim, p.skew)
+                    : static_cast<int>(rng.index(static_cast<std::size_t>(dim)));
+        }
+        c.val = rng.uniform(-1.0, 1.0);
+        t.entries.push_back(c);
+    }
+    t.sort_entries();
+    return t;
+}
+
+}  // namespace baco::taco

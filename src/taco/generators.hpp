@@ -1,0 +1,71 @@
+#ifndef BACO_TACO_GENERATORS_HPP_
+#define BACO_TACO_GENERATORS_HPP_
+
+/**
+ * @file
+ * Synthetic stand-ins for the paper's Table 4 tensors.
+ *
+ * The real evaluation uses SuiteSparse matrices, the Facebook activities
+ * graph and FROSTT tensors. Those datasets are not available offline, so
+ * each is described by a TensorProfile carrying its published dimensions
+ * and nonzero count plus two structural statistics that drive the cost
+ * model: row-imbalance (skew) and structural locality (banded-ness).
+ * Profiles can also be *materialized* as real sparse tensors (optionally
+ * scaled down) with the matching sparsity pattern, for the executable
+ * kernels, examples and tests.
+ */
+
+#include <string>
+#include <vector>
+
+#include "linalg/rng.hpp"
+#include "taco/tensor.hpp"
+
+namespace baco::taco {
+
+/** Structural class of the synthetic generator. */
+enum class SparsityPattern {
+  kUniform,   ///< uniformly random coordinates
+  kBanded,    ///< entries concentrated near the diagonal (FEM/fluids)
+  kPowerLaw,  ///< skewed row degrees (social networks, circuits)
+};
+
+/** Statistics describing one Table 4 dataset. */
+struct TensorProfile {
+  std::string name;
+  int order = 2;                       ///< 2, 3 or 4 modes
+  std::array<double, 4> dims{1, 1, 1, 1};
+  double nnz = 0;
+  double skew = 0.0;       ///< 0 = balanced rows, 1 = extremely skewed
+  double locality = 0.0;   ///< 0 = scattered, 1 = tightly banded
+  SparsityPattern pattern = SparsityPattern::kUniform;
+  std::string source;      ///< provenance note (substituted dataset)
+
+  double rows() const { return dims[0]; }
+  double avg_nnz_per_row() const { return nnz / dims[0]; }
+};
+
+/** All built-in profiles (Table 4 plus amazon0312 used by Fig. 8). */
+const std::vector<TensorProfile>& tensor_profiles();
+
+/** Look up a profile by name. @throws std::runtime_error when unknown. */
+const TensorProfile& profile(const std::string& name);
+
+/**
+ * Materialize a matrix profile as a real CSR matrix, scaled down by
+ * `scale` in rows/cols/nnz (1.0 = full size). Requires order == 2.
+ */
+CsrMatrix generate_matrix(const TensorProfile& p, double scale,
+                          RngEngine& rng);
+
+/** Materialize a 3-tensor profile (order == 3). */
+CooTensor3 generate_tensor3(const TensorProfile& p, double scale,
+                            RngEngine& rng);
+
+/** Materialize a 4-tensor profile (order == 4). */
+CooTensor4 generate_tensor4(const TensorProfile& p, double scale,
+                            RngEngine& rng);
+
+}  // namespace baco::taco
+
+#endif  // BACO_TACO_GENERATORS_HPP_

@@ -1,0 +1,213 @@
+#include "taco/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace baco::taco {
+
+std::vector<double>
+spmv(const CsrMatrix& b, const std::vector<double>& c)
+{
+    assert(static_cast<int>(c.size()) == b.cols);
+    std::vector<double> a(static_cast<std::size_t>(b.rows), 0.0);
+    for (int i = 0; i < b.rows; ++i) {
+        double acc = 0.0;
+        for (int p = b.row_ptr[static_cast<std::size_t>(i)];
+             p < b.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+            acc += b.vals[static_cast<std::size_t>(p)] *
+                   c[static_cast<std::size_t>(
+                       b.col_idx[static_cast<std::size_t>(p)])];
+        }
+        a[static_cast<std::size_t>(i)] = acc;
+    }
+    return a;
+}
+
+std::vector<double>
+spmv_scheduled(const CsrMatrix& b, const std::vector<double>& c,
+               const ExecSchedule& s)
+{
+    assert(static_cast<int>(c.size()) == b.cols);
+    assert(s.row_chunk >= 1 && s.unroll >= 1);
+    std::vector<double> a(static_cast<std::size_t>(b.rows), 0.0);
+    for (int i0 = 0; i0 < b.rows; i0 += s.row_chunk) {
+        int i_end = std::min(b.rows, i0 + s.row_chunk);
+        for (int i = i0; i < i_end; ++i) {
+            int lo = b.row_ptr[static_cast<std::size_t>(i)];
+            int hi = b.row_ptr[static_cast<std::size_t>(i) + 1];
+            double acc = 0.0;
+            int p = lo;
+            // Unrolled body (manual strip-mining).
+            for (; p + s.unroll <= hi; p += s.unroll) {
+                for (int u = 0; u < s.unroll; ++u) {
+                    auto q = static_cast<std::size_t>(p + u);
+                    acc += b.vals[q] *
+                           c[static_cast<std::size_t>(b.col_idx[q])];
+                }
+            }
+            for (; p < hi; ++p) {
+                auto q = static_cast<std::size_t>(p);
+                acc += b.vals[q] * c[static_cast<std::size_t>(b.col_idx[q])];
+            }
+            a[static_cast<std::size_t>(i)] = acc;
+        }
+    }
+    return a;
+}
+
+Matrix
+spmm(const CsrMatrix& b, const Matrix& c)
+{
+    assert(static_cast<std::size_t>(b.cols) == c.rows());
+    Matrix a(static_cast<std::size_t>(b.rows), c.cols());
+    for (int i = 0; i < b.rows; ++i) {
+        for (int p = b.row_ptr[static_cast<std::size_t>(i)];
+             p < b.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+            auto q = static_cast<std::size_t>(p);
+            auto k = static_cast<std::size_t>(b.col_idx[q]);
+            double v = b.vals[q];
+            for (std::size_t j = 0; j < c.cols(); ++j)
+                a(static_cast<std::size_t>(i), j) += v * c(k, j);
+        }
+    }
+    return a;
+}
+
+Matrix
+spmm_scheduled(const CsrMatrix& b, const Matrix& c, const ExecSchedule& s)
+{
+    assert(static_cast<std::size_t>(b.cols) == c.rows());
+    assert(s.row_chunk >= 1 && s.col_tile >= 1);
+    Matrix a(static_cast<std::size_t>(b.rows), c.cols());
+    std::size_t nc = c.cols();
+    for (int i0 = 0; i0 < b.rows; i0 += s.row_chunk) {
+        int i_end = std::min(b.rows, i0 + s.row_chunk);
+        for (std::size_t j0 = 0; j0 < nc;
+             j0 += static_cast<std::size_t>(s.col_tile)) {
+            std::size_t j_end =
+                std::min(nc, j0 + static_cast<std::size_t>(s.col_tile));
+            for (int i = i0; i < i_end; ++i) {
+                for (int p = b.row_ptr[static_cast<std::size_t>(i)];
+                     p < b.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+                    auto q = static_cast<std::size_t>(p);
+                    auto k = static_cast<std::size_t>(b.col_idx[q]);
+                    double v = b.vals[q];
+                    for (std::size_t j = j0; j < j_end; ++j)
+                        a(static_cast<std::size_t>(i), j) += v * c(k, j);
+                }
+            }
+        }
+    }
+    return a;
+}
+
+std::vector<double>
+sddmm(const CsrMatrix& b, const Matrix& c, const Matrix& d)
+{
+    // A_ij = B_ij * sum_k C_ik D_jk ; C is rows x K, D is cols x K.
+    assert(c.rows() == static_cast<std::size_t>(b.rows));
+    assert(d.rows() == static_cast<std::size_t>(b.cols));
+    assert(c.cols() == d.cols());
+    std::vector<double> out(b.vals.size(), 0.0);
+    std::size_t kk = c.cols();
+    for (int i = 0; i < b.rows; ++i) {
+        for (int p = b.row_ptr[static_cast<std::size_t>(i)];
+             p < b.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+            auto q = static_cast<std::size_t>(p);
+            auto j = static_cast<std::size_t>(b.col_idx[q]);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < kk; ++k)
+                acc += c(static_cast<std::size_t>(i), k) * d(j, k);
+            out[q] = b.vals[q] * acc;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+sddmm_scheduled(const CsrMatrix& b, const Matrix& c, const Matrix& d,
+                const ExecSchedule& s)
+{
+    assert(c.cols() == d.cols());
+    std::vector<double> out(b.vals.size(), 0.0);
+    std::size_t kk = c.cols();
+    auto tile = static_cast<std::size_t>(std::max(1, s.col_tile));
+    for (int i0 = 0; i0 < b.rows; i0 += s.row_chunk) {
+        int i_end = std::min(b.rows, i0 + s.row_chunk);
+        for (std::size_t k0 = 0; k0 < kk; k0 += tile) {
+            std::size_t k_end = std::min(kk, k0 + tile);
+            for (int i = i0; i < i_end; ++i) {
+                for (int p = b.row_ptr[static_cast<std::size_t>(i)];
+                     p < b.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+                    auto q = static_cast<std::size_t>(p);
+                    auto j = static_cast<std::size_t>(b.col_idx[q]);
+                    double acc = 0.0;
+                    for (std::size_t k = k0; k < k_end; ++k)
+                        acc += c(static_cast<std::size_t>(i), k) * d(j, k);
+                    out[q] += acc;  // accumulate partial dot products
+                }
+            }
+        }
+    }
+    for (std::size_t q = 0; q < out.size(); ++q)
+        out[q] *= b.vals[q];
+    return out;
+}
+
+Matrix
+ttv(const CooTensor3& b, const std::vector<double>& c)
+{
+    assert(static_cast<int>(c.size()) == b.dims[2]);
+    Matrix a(static_cast<std::size_t>(b.dims[0]),
+             static_cast<std::size_t>(b.dims[1]));
+    for (const Coord3& e : b.entries) {
+        a(static_cast<std::size_t>(e.idx[0]),
+          static_cast<std::size_t>(e.idx[1])) +=
+            e.val * c[static_cast<std::size_t>(e.idx[2])];
+    }
+    return a;
+}
+
+Matrix
+mttkrp4(const CooTensor4& b, const Matrix& c, const Matrix& d,
+        const Matrix& e)
+{
+    assert(c.rows() == static_cast<std::size_t>(b.dims[1]));
+    assert(d.rows() == static_cast<std::size_t>(b.dims[2]));
+    assert(e.rows() == static_cast<std::size_t>(b.dims[3]));
+    std::size_t rank = c.cols();
+    assert(d.cols() == rank && e.cols() == rank);
+    Matrix a(static_cast<std::size_t>(b.dims[0]), rank);
+    for (const Coord4& t : b.entries) {
+        auto i = static_cast<std::size_t>(t.idx[0]);
+        auto k = static_cast<std::size_t>(t.idx[1]);
+        auto l = static_cast<std::size_t>(t.idx[2]);
+        auto m = static_cast<std::size_t>(t.idx[3]);
+        for (std::size_t j = 0; j < rank; ++j)
+            a(i, j) += t.val * c(k, j) * d(l, j) * e(m, j);
+    }
+    return a;
+}
+
+Matrix
+mttkrp4_scheduled(const CooTensor4& b, const Matrix& c, const Matrix& d,
+                  const Matrix& e, const ExecSchedule& s)
+{
+    std::size_t rank = c.cols();
+    Matrix a(static_cast<std::size_t>(b.dims[0]), rank);
+    auto tile = static_cast<std::size_t>(std::max(1, s.col_tile));
+    for (std::size_t j0 = 0; j0 < rank; j0 += tile) {
+        std::size_t j_end = std::min(rank, j0 + tile);
+        for (const Coord4& t : b.entries) {
+            auto i = static_cast<std::size_t>(t.idx[0]);
+            auto k = static_cast<std::size_t>(t.idx[1]);
+            auto l = static_cast<std::size_t>(t.idx[2]);
+            auto m = static_cast<std::size_t>(t.idx[3]);
+            for (std::size_t j = j0; j < j_end; ++j)
+                a(i, j) += t.val * c(k, j) * d(l, j) * e(m, j);
+        }
+    }
+    return a;
+}
+
+}  // namespace baco::taco

@@ -1,0 +1,72 @@
+#ifndef BACO_TACO_KERNELS_HPP_
+#define BACO_TACO_KERNELS_HPP_
+
+/**
+ * @file
+ * Executable sparse tensor kernels for the five TACO expressions of the
+ * paper's Sec. 5.2:
+ *
+ *   SpMV    a_i   = sum_k B_ik c_k
+ *   SpMM    A_ij  = sum_k B_ik C_kj
+ *   SDDMM   A_ij  = sum_k B_ij C_ik D_jk
+ *   TTV     A_ij  = sum_k B_ijk c_k
+ *   MTTKRP  A_ij  = sum_klm B_iklm C_kj D_lj E_mj
+ *
+ * Each has a reference implementation and a *scheduled* variant whose loop
+ * structure is driven by tiling/unroll parameters; property tests verify
+ * that schedules never change results — the TACO guarantee that makes
+ * autoscheduling safe.
+ */
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "taco/tensor.hpp"
+
+namespace baco::taco {
+
+/** Loop-level schedule for the executable kernels. */
+struct ExecSchedule {
+  int row_chunk = 64;  ///< i-loop split factor
+  int col_tile = 32;   ///< dense-column tile
+  int unroll = 1;      ///< inner-loop unroll factor
+};
+
+/** a = B c (reference). */
+std::vector<double> spmv(const CsrMatrix& b, const std::vector<double>& c);
+
+/** a = B c with row chunking and inner unrolling. */
+std::vector<double> spmv_scheduled(const CsrMatrix& b,
+                                   const std::vector<double>& c,
+                                   const ExecSchedule& s);
+
+/** A = B C (reference). */
+Matrix spmm(const CsrMatrix& b, const Matrix& c);
+
+/** A = B C with row chunking and dense-column tiling. */
+Matrix spmm_scheduled(const CsrMatrix& b, const Matrix& c,
+                      const ExecSchedule& s);
+
+/** SDDMM values: out[p] = B.vals[p] * sum_k C(i,k) D(j,k) for entry p=(i,j). */
+std::vector<double> sddmm(const CsrMatrix& b, const Matrix& c,
+                          const Matrix& d);
+
+/** SDDMM with k-tiling. */
+std::vector<double> sddmm_scheduled(const CsrMatrix& b, const Matrix& c,
+                                    const Matrix& d, const ExecSchedule& s);
+
+/** A(i,j) = sum_k B(i,j,k) c_k over a sorted COO 3-tensor. */
+Matrix ttv(const CooTensor3& b, const std::vector<double>& c);
+
+/** A(i,j) = sum_klm B(i,k,l,m) C(k,j) D(l,j) E(m,j). */
+Matrix mttkrp4(const CooTensor4& b, const Matrix& c, const Matrix& d,
+               const Matrix& e);
+
+/** MTTKRP with rank (j) tiling. */
+Matrix mttkrp4_scheduled(const CooTensor4& b, const Matrix& c,
+                         const Matrix& d, const Matrix& e,
+                         const ExecSchedule& s);
+
+}  // namespace baco::taco
+
+#endif  // BACO_TACO_KERNELS_HPP_

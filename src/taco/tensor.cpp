@@ -1,0 +1,71 @@
+#include "taco/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace baco::taco {
+
+Matrix
+CsrMatrix::to_dense() const
+{
+    Matrix d(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+    for (int i = 0; i < rows; ++i)
+        for (int p = row_ptr[static_cast<std::size_t>(i)];
+             p < row_ptr[static_cast<std::size_t>(i) + 1]; ++p)
+            d(static_cast<std::size_t>(i),
+              static_cast<std::size_t>(col_idx[static_cast<std::size_t>(p)])) +=
+                vals[static_cast<std::size_t>(p)];
+    return d;
+}
+
+void
+CooTensor3::sort_entries()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const Coord3& a, const Coord3& b) { return a.idx < b.idx; });
+}
+
+void
+CooTensor4::sort_entries()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const Coord4& a, const Coord4& b) { return a.idx < b.idx; });
+}
+
+CsrMatrix
+csr_from_triplets(int rows, int cols, std::vector<std::array<int, 2>> coords,
+                  std::vector<double> vals)
+{
+    assert(coords.size() == vals.size());
+    std::vector<std::size_t> order(coords.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return coords[a] < coords[b];
+    });
+
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+    int prev_row = -1, prev_col = -1;
+    for (std::size_t s : order) {
+        int r = coords[s][0];
+        int c = coords[s][1];
+        if (r == prev_row && c == prev_col) {
+            m.vals.back() += vals[s];  // merge duplicate coordinate
+            continue;
+        }
+        m.col_idx.push_back(c);
+        m.vals.push_back(vals[s]);
+        m.row_ptr[static_cast<std::size_t>(r) + 1] += 1;
+        prev_row = r;
+        prev_col = c;
+    }
+    for (int r = 0; r < rows; ++r)
+        m.row_ptr[static_cast<std::size_t>(r) + 1] +=
+            m.row_ptr[static_cast<std::size_t>(r)];
+    return m;
+}
+
+}  // namespace baco::taco

@@ -1,0 +1,76 @@
+#ifndef BACO_TACO_TENSOR_HPP_
+#define BACO_TACO_TENSOR_HPP_
+
+/**
+ * @file
+ * Sparse tensor storage for the TACO substrate: CSR matrices and
+ * coordinate-format higher-order tensors, with dense conversions for
+ * reference checks.
+ *
+ * These are real, executable data structures (used by the scheduled kernels
+ * in taco/kernels.hpp and by the examples); the benchmark harness models
+ * large Table 4 tensors analytically via taco/generators.hpp profiles
+ * instead of materializing them.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace baco::taco {
+
+/** Compressed sparse row matrix. */
+struct CsrMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> row_ptr;   ///< size rows+1
+  std::vector<int> col_idx;   ///< size nnz
+  std::vector<double> vals;   ///< size nnz
+
+  int nnz() const { return static_cast<int>(col_idx.size()); }
+
+  /** Dense copy for reference computations (small matrices only). */
+  Matrix to_dense() const;
+};
+
+/** One coordinate-format entry of a 3-tensor. */
+struct Coord3 {
+  std::array<int, 3> idx;
+  double val;
+};
+
+/** Coordinate-format sparse 3-tensor, sorted lexicographically by index. */
+struct CooTensor3 {
+  std::array<int, 3> dims{0, 0, 0};
+  std::vector<Coord3> entries;
+
+  int nnz() const { return static_cast<int>(entries.size()); }
+  /** Sort entries lexicographically (kernels require sorted order). */
+  void sort_entries();
+};
+
+/** One coordinate-format entry of a 4-tensor. */
+struct Coord4 {
+  std::array<int, 4> idx;
+  double val;
+};
+
+/** Coordinate-format sparse 4-tensor, sorted lexicographically by index. */
+struct CooTensor4 {
+  std::array<int, 4> dims{0, 0, 0, 0};
+  std::vector<Coord4> entries;
+
+  int nnz() const { return static_cast<int>(entries.size()); }
+  void sort_entries();
+};
+
+/** Build CSR from (row, col, val) triplets (duplicates summed). */
+CsrMatrix csr_from_triplets(int rows, int cols,
+                            std::vector<std::array<int, 2>> coords,
+                            std::vector<double> vals);
+
+}  // namespace baco::taco
+
+#endif  // BACO_TACO_TENSOR_HPP_

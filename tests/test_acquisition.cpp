@@ -1,0 +1,78 @@
+// Expected improvement and its feasibility-weighted composition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/acquisition.hpp"
+#include "linalg/stats.hpp"
+
+namespace baco {
+namespace {
+
+TEST(ExpectedImprovement, ClosedFormAgreement)
+{
+    // EI = (best - mu) Phi(z) + sigma phi(z).
+    double mu = 1.0, var = 0.25, best = 1.2;
+    double sigma = 0.5;
+    double z = (best - mu) / sigma;
+    double expected = (best - mu) * normal_cdf(z) + sigma * normal_pdf(z);
+    EXPECT_NEAR(expected_improvement(mu, var, best), expected, 1e-12);
+}
+
+TEST(ExpectedImprovement, ZeroVarianceReducesToHinge)
+{
+    EXPECT_DOUBLE_EQ(expected_improvement(3.0, 0.0, 5.0), 2.0);
+    EXPECT_DOUBLE_EQ(expected_improvement(5.0, 0.0, 3.0), 0.0);
+}
+
+TEST(ExpectedImprovement, MonotoneInMeanAndVariance)
+{
+    double best = 1.0;
+    // Lower predicted mean -> higher EI.
+    EXPECT_GT(expected_improvement(0.5, 0.1, best),
+              expected_improvement(0.8, 0.1, best));
+    // For a mean above best, more variance -> more EI (exploration).
+    EXPECT_GT(expected_improvement(1.5, 1.0, best),
+              expected_improvement(1.5, 0.01, best));
+}
+
+TEST(ExpectedImprovement, AlwaysNonNegative)
+{
+    for (double mu : {-2.0, 0.0, 3.0}) {
+        for (double var : {0.0, 0.01, 1.0, 100.0}) {
+            for (double best : {-1.0, 0.5, 4.0}) {
+                EXPECT_GE(expected_improvement(mu, var, best), 0.0);
+            }
+        }
+    }
+}
+
+TEST(ConstrainedEi, WeightsByFeasibilityProbability)
+{
+    double ei = expected_improvement(0.5, 0.2, 1.0);
+    EXPECT_NEAR(constrained_ei(0.5, 0.2, 1.0, 0.5, 0.0), 0.5 * ei, 1e-12);
+    EXPECT_NEAR(constrained_ei(0.5, 0.2, 1.0, 1.0, 0.0), ei, 1e-12);
+}
+
+TEST(ConstrainedEi, MinimumFeasibilityLimitRejects)
+{
+    // Below eps_f the candidate is rejected outright (negative score).
+    EXPECT_LT(constrained_ei(0.5, 0.2, 1.0, 0.3, 0.4), 0.0);
+    EXPECT_GE(constrained_ei(0.5, 0.2, 1.0, 0.5, 0.4), 0.0);
+    // eps_f = 0 never rejects (P(eps_f = 0) > 0 guarantees completeness).
+    EXPECT_GE(constrained_ei(0.5, 0.2, 1.0, 0.0001, 0.0), 0.0);
+}
+
+TEST(ConstrainedEi, NoiseFreeEiDiscouragesResampling)
+{
+    // At an already-observed point the latent variance is ~0 and the mean
+    // is ~best, so EI is ~0 — the paper's argument for noise-free EI.
+    double ei_at_best = expected_improvement(1.0, 1e-12, 1.0);
+    double ei_nearby = expected_improvement(1.0, 0.5, 1.0);
+    EXPECT_LT(ei_at_best, 1e-6);
+    EXPECT_GT(ei_nearby, 0.1);
+}
+
+}  // namespace
+}  // namespace baco

@@ -1,0 +1,191 @@
+// Chain-of-Trees: the paper's Fig. 4 example, sampling bias, membership.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/chain_of_trees.hpp"
+
+namespace baco {
+namespace {
+
+/** The exact search space of the paper's Fig. 4. */
+SearchSpace
+fig4_space()
+{
+    SearchSpace s;
+    s.add_ordinal("p1", {2, 4});
+    s.add_ordinal("p2", {2, 4});
+    s.add_ordinal("p3", {1, 4});
+    s.add_ordinal("p4", {1, 2, 4});
+    s.add_ordinal("p5", {2, 4, 8});
+    s.add_constraint("p1 >= p2");
+    s.add_constraint("p4 >= p3");
+    s.add_constraint("p5 >= 2*p4");
+    return s;
+}
+
+TEST(ChainOfTrees, Fig4GroupsAndLeafCounts)
+{
+    SearchSpace s = fig4_space();
+    ChainOfTrees cot = ChainOfTrees::build(s);
+
+    // Two trees: {p1,p2} and {p3,p4,p5}; no free parameters.
+    ASSERT_EQ(cot.num_trees(), 2u);
+    EXPECT_TRUE(cot.free_params().empty());
+    EXPECT_EQ(cot.tree_params()[0], (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(cot.tree_params()[1], (std::vector<std::size_t>{2, 3, 4}));
+
+    // Left tree (Fig. 4): paths (2,2), (4,2), (4,4) -> 3 leaves.
+    EXPECT_EQ(cot.tree_leaves(0), 3u);
+    // Right tree: p3=1: p4 in {1,2,4} with p5>=2p4 -> (1,1,{2,4,8}),
+    // (1,2,{4,8}), (1,4,8); p3=4: (4,4,8) -> 3+2+1+1 = 7 leaves.
+    EXPECT_EQ(cot.tree_leaves(1), 7u);
+    EXPECT_DOUBLE_EQ(cot.num_feasible(), 21.0);
+}
+
+TEST(ChainOfTrees, Fig4ExamplePathIsMember)
+{
+    SearchSpace s = fig4_space();
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    // The paper's example combination: (2,2,4,4,8).
+    Configuration c{std::int64_t{2}, std::int64_t{2}, std::int64_t{4},
+                    std::int64_t{4}, std::int64_t{8}};
+    EXPECT_TRUE(cot.contains(c));
+    EXPECT_TRUE(s.satisfies(c));
+    // (2,4,...) violates p1 >= p2.
+    Configuration bad = c;
+    bad[1] = std::int64_t{4};
+    EXPECT_FALSE(cot.contains(bad));
+    EXPECT_FALSE(s.satisfies(bad));
+}
+
+TEST(ChainOfTrees, MembershipAgreesWithConstraints)
+{
+    SearchSpace s = fig4_space();
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(1);
+    for (int i = 0; i < 500; ++i) {
+        Configuration c = s.sample_unconstrained(rng);
+        EXPECT_EQ(cot.contains(c), s.satisfies(c));
+    }
+}
+
+TEST(ChainOfTrees, SamplesAreAlwaysFeasible)
+{
+    SearchSpace s = fig4_space();
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(2);
+    for (int i = 0; i < 300; ++i) {
+        EXPECT_TRUE(s.satisfies(cot.sample(rng, true)));
+        EXPECT_TRUE(s.satisfies(cot.sample(rng, false)));
+    }
+}
+
+TEST(ChainOfTrees, UniformLeafSamplingIsUnbiased)
+{
+    SearchSpace s = fig4_space();
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(3);
+    // Count samples of the right tree's p3 coordinate. Under leaf-uniform
+    // sampling, p3=1 owns 6 of 7 leaves; under the biased walk it gets 1/2.
+    const int n = 20000;
+    int p3_is_1_uniform = 0, p3_is_1_biased = 0;
+    for (int i = 0; i < n; ++i) {
+        if (as_int(cot.sample(rng, true)[2]) == 1)
+            ++p3_is_1_uniform;
+        if (as_int(cot.sample(rng, false)[2]) == 1)
+            ++p3_is_1_biased;
+    }
+    EXPECT_NEAR(p3_is_1_uniform / double(n), 6.0 / 7.0, 0.02);
+    EXPECT_NEAR(p3_is_1_biased / double(n), 0.5, 0.02);
+}
+
+TEST(ChainOfTrees, FreeParametersAreSampledUniformly)
+{
+    SearchSpace s;
+    s.add_ordinal("a", {1, 2});
+    s.add_ordinal("b", {1, 2, 4});
+    s.add_categorical("free", {"x", "y", "z"});
+    s.add_constraint("b >= a");
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    ASSERT_EQ(cot.num_trees(), 1u);
+    ASSERT_EQ(cot.free_params().size(), 1u);
+    EXPECT_EQ(cot.free_params()[0], 2u);
+    EXPECT_EQ(cot.tree_of(2), ChainOfTrees::kNoTree);
+    EXPECT_EQ(cot.tree_of(0), 0u);
+    // feasible: pairs (a,b) with b>=a: (1,1),(1,2),(1,4),(2,2),(2,4) = 5;
+    // times 3 free categories.
+    EXPECT_DOUBLE_EQ(cot.num_feasible(), 15.0);
+
+    RngEngine rng(4);
+    std::map<std::int64_t, int> counts;
+    for (int i = 0; i < 3000; ++i)
+        counts[as_int(cot.sample(rng, true)[2])]++;
+    for (auto& [k, v] : counts)
+        EXPECT_NEAR(v / 3000.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(ChainOfTrees, ResampleTreeKeepsOtherCoordinates)
+{
+    SearchSpace s = fig4_space();
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(5);
+    Configuration c = cot.sample(rng, true);
+    Configuration before = c;
+    cot.resample_tree(1, c, rng, true);
+    // Tree 0 coordinates (p1, p2) unchanged; result still feasible.
+    EXPECT_TRUE(param_value_equal(c[0], before[0]));
+    EXPECT_TRUE(param_value_equal(c[1], before[1]));
+    EXPECT_TRUE(s.satisfies(c));
+}
+
+TEST(ChainOfTrees, PermutationConstraintTree)
+{
+    SearchSpace s;
+    s.add_permutation("perm", 4);
+    s.add_constraint(
+        [](const Configuration& c) {
+            const Permutation& p = as_permutation(c[0]);
+            return p[0] < p[1];
+        },
+        {"perm"}, "pos0 < pos1");
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    EXPECT_DOUBLE_EQ(cot.num_feasible(), 12.0);  // half of 4!
+    RngEngine rng(6);
+    for (int i = 0; i < 100; ++i) {
+        Permutation p = as_permutation(cot.sample(rng, true)[0]);
+        EXPECT_LT(p[0], p[1]);
+    }
+}
+
+TEST(ChainOfTrees, ThrowsOnInfeasibleGroup)
+{
+    SearchSpace s;
+    s.add_ordinal("a", {1, 2});
+    s.add_constraint("a > 5");
+    EXPECT_THROW(ChainOfTrees::build(s), std::runtime_error);
+}
+
+TEST(ChainOfTrees, ThrowsOnContinuousConstrainedParam)
+{
+    SearchSpace s;
+    s.add_real("x", 0.0, 1.0);
+    s.add_constraint("x <= 0.5");
+    EXPECT_THROW(ChainOfTrees::build(s), std::runtime_error);
+}
+
+TEST(ChainOfTrees, NonLinearCrossParameterConstraint)
+{
+    SearchSpace s;
+    s.add_ordinal("ti", {2, 4, 8, 16});
+    s.add_ordinal("tj", {2, 4, 8, 16});
+    s.add_constraint("ti * tj <= 32");
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    // Pairs with product <= 32: ti=2 has 4, ti=4 has 3, ti=8 has 2,
+    // ti=16 has 1.
+    EXPECT_DOUBLE_EQ(cot.num_feasible(), 10.0);
+}
+
+}  // namespace
+}  // namespace baco

@@ -1,0 +1,113 @@
+// Compressed Sparse Fiber storage and kernels against COO references.
+
+#include <gtest/gtest.h>
+
+#include "taco/csf.hpp"
+#include "taco/generators.hpp"
+#include "taco/kernels.hpp"
+
+namespace baco::taco {
+namespace {
+
+TEST(Csf3, StructureOfSmallTensor)
+{
+    CooTensor3 coo;
+    coo.dims = {3, 4, 5};
+    coo.entries = {
+        {{0, 1, 2}, 1.0}, {{0, 1, 4}, 2.0}, {{0, 3, 0}, 3.0},
+        {{2, 0, 1}, 4.0},
+    };
+    CsfTensor3 t = CsfTensor3::from_coo(coo);
+    // Two i-fibers (0 and 2).
+    EXPECT_EQ(t.idx0, (std::vector<int>{0, 2}));
+    // i=0 owns j-fibers {1, 3}; i=2 owns {0}.
+    EXPECT_EQ(t.pos1, (std::vector<int>{0, 2, 3}));
+    EXPECT_EQ(t.idx1, (std::vector<int>{1, 3, 0}));
+    // j-fiber (0,1) owns k {2,4}; (0,3) owns {0}; (2,0) owns {1}.
+    EXPECT_EQ(t.pos2, (std::vector<int>{0, 2, 3, 4}));
+    EXPECT_EQ(t.idx2, (std::vector<int>{2, 4, 0, 1}));
+    EXPECT_EQ(t.nnz(), 4);
+}
+
+TEST(Csf3, DuplicatesAreSummed)
+{
+    CooTensor3 coo;
+    coo.dims = {2, 2, 2};
+    coo.entries = {{{1, 0, 1}, 2.0}, {{1, 0, 1}, 3.0}, {{0, 0, 0}, 1.0}};
+    CsfTensor3 t = CsfTensor3::from_coo(coo);
+    EXPECT_EQ(t.nnz(), 2);
+    EXPECT_DOUBLE_EQ(t.vals[1], 5.0);
+}
+
+TEST(Csf3, TtvMatchesCooKernel)
+{
+    RngEngine rng(1);
+    CooTensor3 coo = generate_tensor3(profile("random1"), 0.0005, rng);
+    CsfTensor3 csf = CsfTensor3::from_coo(coo);
+    std::vector<double> c(static_cast<std::size_t>(coo.dims[2]));
+    for (double& v : c)
+        v = rng.uniform(-1, 1);
+
+    Matrix ref = ttv(coo, c);
+    Matrix got = ttv_csf(csf, c);
+    ASSERT_EQ(got.rows(), ref.rows());
+    ASSERT_EQ(got.cols(), ref.cols());
+    for (std::size_t i = 0; i < ref.rows(); ++i)
+        for (std::size_t j = 0; j < ref.cols(); ++j)
+            EXPECT_NEAR(got(i, j), ref(i, j), 1e-10);
+}
+
+TEST(Csf4, MttkrpMatchesCooKernel)
+{
+    RngEngine rng(2);
+    CooTensor4 coo = generate_tensor4(profile("uber"), 0.001, rng);
+    CsfTensor4 csf = CsfTensor4::from_coo(coo);
+    std::size_t rank = 5;
+    auto dense = [&](int dim) {
+        Matrix m(static_cast<std::size_t>(dim), rank);
+        for (double& v : m.data())
+            v = rng.uniform(-1, 1);
+        return m;
+    };
+    Matrix c = dense(coo.dims[1]);
+    Matrix d = dense(coo.dims[2]);
+    Matrix e = dense(coo.dims[3]);
+
+    Matrix ref = mttkrp4(coo, c, d, e);
+    Matrix got = mttkrp4_csf(csf, c, d, e);
+    for (std::size_t i = 0; i < ref.rows(); ++i)
+        for (std::size_t j = 0; j < ref.cols(); ++j)
+            EXPECT_NEAR(got(i, j), ref(i, j), 1e-9);
+}
+
+TEST(Csf4, FiberCountsAreMonotone)
+{
+    RngEngine rng(3);
+    CooTensor4 coo = generate_tensor4(profile("nips"), 0.0005, rng);
+    CsfTensor4 t = CsfTensor4::from_coo(coo);
+    // Each level has at most as many fibers as the next level's entries.
+    EXPECT_LE(t.idx0.size(), t.idx1.size());
+    EXPECT_LE(t.idx1.size(), t.idx2.size());
+    EXPECT_LE(t.idx2.size(), t.idx3.size());
+    EXPECT_EQ(t.idx3.size(), t.vals.size());
+    // Positions are monotone and bracket the next level exactly.
+    EXPECT_EQ(t.pos1.front(), 0);
+    EXPECT_EQ(static_cast<std::size_t>(t.pos1.back()), t.idx1.size());
+    for (std::size_t i = 0; i + 1 < t.pos1.size(); ++i)
+        EXPECT_LE(t.pos1[i], t.pos1[i + 1]);
+}
+
+TEST(Csf3, EmptyTensor)
+{
+    CooTensor3 coo;
+    coo.dims = {4, 4, 4};
+    CsfTensor3 t = CsfTensor3::from_coo(coo);
+    EXPECT_EQ(t.nnz(), 0);
+    std::vector<double> c(4, 1.0);
+    Matrix a = ttv_csf(t, c);
+    for (double v : a.data())
+        EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace baco::taco

@@ -1,0 +1,79 @@
+// Design-of-experiments sampling: uniqueness, feasibility, exhaustion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/doe.hpp"
+
+namespace baco {
+namespace {
+
+TEST(Doe, ProducesUniqueFeasibleSamples)
+{
+    SearchSpace s;
+    s.add_ordinal("a", {1, 2, 4, 8, 16, 32}, true);
+    s.add_ordinal("b", {1, 2, 4, 8, 16, 32}, true);
+    s.add_constraint("a >= b");
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(1);
+    std::vector<Configuration> doe = doe_random_sample(s, &cot, 15, rng);
+    ASSERT_EQ(doe.size(), 15u);
+    std::set<std::size_t> hashes;
+    for (const Configuration& c : doe) {
+        EXPECT_TRUE(s.satisfies(c));
+        hashes.insert(config_hash(c));
+    }
+    EXPECT_EQ(hashes.size(), 15u);
+}
+
+TEST(Doe, WorksWithoutCot)
+{
+    SearchSpace s;
+    s.add_integer("x", 0, 100);
+    s.add_constraint("x % 2 == 0");
+    RngEngine rng(2);
+    std::vector<Configuration> doe = doe_random_sample(s, nullptr, 10, rng);
+    ASSERT_EQ(doe.size(), 10u);
+    for (const Configuration& c : doe)
+        EXPECT_EQ(as_int(c[0]) % 2, 0);
+}
+
+TEST(Doe, CapsAtFeasibleSetSize)
+{
+    // Only 3 feasible configurations exist; asking for 10 returns 3.
+    SearchSpace s;
+    s.add_ordinal("a", {1, 2});
+    s.add_ordinal("b", {1, 2});
+    s.add_constraint("a >= b");
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(3);
+    std::vector<Configuration> doe = doe_random_sample(s, &cot, 10, rng);
+    EXPECT_EQ(doe.size(), 3u);
+}
+
+TEST(Doe, BiasedModeStillFeasible)
+{
+    SearchSpace s;
+    s.add_ordinal("a", {1, 2, 4});
+    s.add_ordinal("b", {1, 2, 4});
+    s.add_constraint("a >= b");
+    ChainOfTrees cot = ChainOfTrees::build(s);
+    RngEngine rng(4);
+    std::vector<Configuration> doe =
+        doe_random_sample(s, &cot, 5, rng, /*uniform_leaves=*/false);
+    ASSERT_EQ(doe.size(), 5u);
+    for (const Configuration& c : doe)
+        EXPECT_TRUE(s.satisfies(c));
+}
+
+TEST(Doe, ZeroSamples)
+{
+    SearchSpace s;
+    s.add_integer("x", 0, 3);
+    RngEngine rng(5);
+    EXPECT_TRUE(doe_random_sample(s, nullptr, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace baco

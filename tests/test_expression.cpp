@@ -1,0 +1,115 @@
+// Constraint expression language: parsing, evaluation, errors.
+
+#include <gtest/gtest.h>
+
+#include "core/expression.hpp"
+
+namespace baco {
+namespace {
+
+double
+eval(const std::string& src, const EvalContext& ctx = {})
+{
+    return parse_expression(src)->eval(ctx);
+}
+
+TEST(Expression, ArithmeticPrecedence)
+{
+    EXPECT_DOUBLE_EQ(eval("1 + 2 * 3"), 7.0);
+    EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3"), 9.0);
+    EXPECT_DOUBLE_EQ(eval("10 - 4 - 3"), 3.0);  // left associative
+    EXPECT_DOUBLE_EQ(eval("8 / 2 / 2"), 2.0);
+    EXPECT_DOUBLE_EQ(eval("-2 * 3"), -6.0);
+}
+
+TEST(Expression, ModuloIsIntegral)
+{
+    EXPECT_DOUBLE_EQ(eval("10 % 3"), 1.0);
+    EXPECT_DOUBLE_EQ(eval("1024 % 64"), 0.0);
+    EXPECT_THROW(eval("5 % 0"), std::runtime_error);
+}
+
+TEST(Expression, Comparisons)
+{
+    EXPECT_DOUBLE_EQ(eval("3 < 4"), 1.0);
+    EXPECT_DOUBLE_EQ(eval("3 >= 4"), 0.0);
+    EXPECT_DOUBLE_EQ(eval("2 == 2"), 1.0);
+    EXPECT_DOUBLE_EQ(eval("2 != 2"), 0.0);
+}
+
+TEST(Expression, LogicalOperatorsAndShortCircuit)
+{
+    EXPECT_DOUBLE_EQ(eval("1 && 0"), 0.0);
+    EXPECT_DOUBLE_EQ(eval("1 || 0"), 1.0);
+    EXPECT_DOUBLE_EQ(eval("!0"), 1.0);
+    // Short circuit: the division by zero on the right is never evaluated.
+    EXPECT_DOUBLE_EQ(eval("0 && (1 % 0)"), 0.0);
+    EXPECT_DOUBLE_EQ(eval("1 || (1 % 0)"), 1.0);
+}
+
+TEST(Expression, Variables)
+{
+    EvalContext ctx{{"p1", 4.0}, {"p2", 2.0}};
+    EXPECT_DOUBLE_EQ(eval("p1 >= p2", ctx), 1.0);
+    EXPECT_DOUBLE_EQ(eval("p1 % p2 == 0", ctx), 1.0);
+    EXPECT_THROW(eval("unknown_var + 1", ctx), std::runtime_error);
+}
+
+TEST(Expression, PaperFigure4Constraints)
+{
+    // p1 >= p2, p4 >= p3, p5 >= 2*p4 from the paper's CoT example.
+    EvalContext feasible{{"p1", 2}, {"p2", 2}, {"p3", 4}, {"p4", 4},
+                         {"p5", 8}};
+    EXPECT_DOUBLE_EQ(eval("p1 >= p2", feasible), 1.0);
+    EXPECT_DOUBLE_EQ(eval("p4 >= p3", feasible), 1.0);
+    EXPECT_DOUBLE_EQ(eval("p5 >= 2*p4", feasible), 1.0);
+    EvalContext infeasible{{"p4", 4}, {"p5", 4}};
+    EXPECT_DOUBLE_EQ(eval("p5 >= 2*p4", infeasible), 0.0);
+}
+
+TEST(Expression, NonLinearConstraints)
+{
+    // The class of constraints ConfigSpace-style tools cannot express.
+    EvalContext ctx{{"n", 1024}, {"ti", 32}, {"tj", 16}};
+    EXPECT_DOUBLE_EQ(eval("n % (ti * tj) == 0", ctx), 1.0);
+    EXPECT_DOUBLE_EQ(eval("log2(ti) + log2(tj) <= 10", ctx), 1.0);
+    EXPECT_DOUBLE_EQ(eval("pow(ti, 2) > n", ctx), 0.0);
+}
+
+TEST(Expression, Functions)
+{
+    EXPECT_DOUBLE_EQ(eval("min(3, 5)"), 3.0);
+    EXPECT_DOUBLE_EQ(eval("max(3, 5)"), 5.0);
+    EXPECT_DOUBLE_EQ(eval("abs(-4)"), 4.0);
+    EXPECT_DOUBLE_EQ(eval("log2(8)"), 3.0);
+    EXPECT_DOUBLE_EQ(eval("floor(2.7)"), 2.0);
+    EXPECT_DOUBLE_EQ(eval("ceil(2.2)"), 3.0);
+    EXPECT_THROW(eval("nosuchfn(1)"), std::runtime_error);
+    EXPECT_THROW(eval("min(1)"), std::runtime_error);
+}
+
+TEST(Expression, SyntaxErrors)
+{
+    EXPECT_THROW(parse_expression("1 +"), std::runtime_error);
+    EXPECT_THROW(parse_expression("(1 + 2"), std::runtime_error);
+    EXPECT_THROW(parse_expression("1 2"), std::runtime_error);
+    EXPECT_THROW(parse_expression("@"), std::runtime_error);
+}
+
+TEST(Expression, CollectVarsDeduplicates)
+{
+    ExpressionPtr e = parse_expression("a + b * a - max(c, b)");
+    std::vector<std::string> vars = expression_vars(*e);
+    ASSERT_EQ(vars.size(), 3u);
+    EXPECT_EQ(vars[0], "a");
+    EXPECT_EQ(vars[1], "b");
+    EXPECT_EQ(vars[2], "c");
+}
+
+TEST(Expression, ScientificNumbers)
+{
+    EXPECT_DOUBLE_EQ(eval("1e3 + 2.5e-1"), 1000.25);
+}
+
+}  // namespace
+}  // namespace baco

@@ -1,0 +1,249 @@
+// Gaussian process: kernel math, fitting, prediction quality, priors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/gp_model.hpp"
+
+namespace baco {
+namespace {
+
+SearchSpace
+one_d_space()
+{
+    SearchSpace s;
+    s.add_real("x", 0.0, 1.0);
+    return s;
+}
+
+Configuration
+cfg1(double x)
+{
+    return {ParamValue{x}};
+}
+
+TEST(Matern52, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(matern52(0.0), 1.0);
+    // Monotone decreasing.
+    double prev = 1.0;
+    for (double r = 0.1; r < 3.0; r += 0.1) {
+        double v = matern52(r);
+        EXPECT_LT(v, prev);
+        EXPECT_GT(v, 0.0);
+        prev = v;
+    }
+}
+
+TEST(GpHyperparams, VectorRoundTrip)
+{
+    GpHyperparams hp;
+    hp.log_lengthscales = {0.1, -0.2, 0.3};
+    hp.log_outputscale = 0.5;
+    hp.log_noise = -5.0;
+    GpHyperparams back = GpHyperparams::from_vector(hp.to_vector());
+    EXPECT_EQ(back.log_lengthscales, hp.log_lengthscales);
+    EXPECT_DOUBLE_EQ(back.log_outputscale, hp.log_outputscale);
+    EXPECT_DOUBLE_EQ(back.log_noise, hp.log_noise);
+}
+
+TEST(GpModel, InterpolatesTrainingPoints)
+{
+    SearchSpace s = one_d_space();
+    GpModel gp(s);
+    RngEngine rng(1);
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        xs.push_back(cfg1(x));
+        ys.push_back(std::sin(6.0 * x));
+    }
+    gp.fit(xs, ys, rng);
+    // MAP fitting with a noise prior smooths slightly; allow 0.1.
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        GpPrediction p = gp.predict(xs[i]);
+        EXPECT_NEAR(p.mean, ys[i], 0.1);
+    }
+}
+
+TEST(GpModel, UncertaintyGrowsAwayFromData)
+{
+    SearchSpace s = one_d_space();
+    GpModel gp(s);
+    RngEngine rng(2);
+    std::vector<Configuration> xs{cfg1(0.0), cfg1(0.1), cfg1(0.2)};
+    std::vector<double> ys{1.0, 1.2, 0.9};
+    gp.fit(xs, ys, rng);
+    double var_near = gp.predict(cfg1(0.1)).var;
+    double var_far = gp.predict(cfg1(0.9)).var;
+    EXPECT_LT(var_near, var_far);
+    EXPECT_GE(var_near, 0.0);
+}
+
+TEST(GpModel, PredictionAccuracyOnSmoothFunction)
+{
+    SearchSpace s = one_d_space();
+    GpModel gp(s);
+    RngEngine rng(3);
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 20; ++i) {
+        double x = i / 20.0;
+        xs.push_back(cfg1(x));
+        ys.push_back(x * x + 0.3 * std::sin(8 * x));
+    }
+    gp.fit(xs, ys, rng);
+    // Held-out points.
+    for (double x : {0.13, 0.37, 0.61, 0.83}) {
+        double truth = x * x + 0.3 * std::sin(8 * x);
+        EXPECT_NEAR(gp.predict(cfg1(x)).mean, truth, 0.08);
+    }
+}
+
+TEST(GpModel, AnalyticGradientMatchesFiniteDifferences)
+{
+    SearchSpace s;
+    s.add_real("x", 0.0, 1.0);
+    s.add_ordinal("o", {1, 2, 4, 8}, true);
+    s.add_permutation("p", 3);
+    GpModel gp(s);
+    RngEngine rng(4);
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 12; ++i) {
+        Configuration c = s.sample_unconstrained(rng);
+        ys.push_back(as_real(c[0]) + 0.1 * static_cast<double>(as_int(c[1])) +
+                     rng.normal(0, 0.01));
+        xs.push_back(std::move(c));
+    }
+    gp.fit(xs, ys, rng);
+
+    GpHyperparams hp;
+    hp.log_lengthscales = {std::log(0.4), std::log(0.7), std::log(0.9)};
+    hp.log_outputscale = std::log(1.3);
+    hp.log_noise = std::log(1e-3);
+
+    std::vector<double> grad;
+    double f0 = gp.objective_with_gradient(hp, &grad);
+    ASSERT_TRUE(std::isfinite(f0));
+    ASSERT_EQ(grad.size(), 5u);
+
+    // Central finite differences on every log-hyperparameter.
+    const double eps = 1e-6;
+    std::vector<double> theta = hp.to_vector();
+    for (std::size_t k = 0; k < theta.size(); ++k) {
+        std::vector<double> up = theta, dn = theta;
+        up[k] += eps;
+        dn[k] -= eps;
+        double fd = (gp.objective(GpHyperparams::from_vector(up)) -
+                     gp.objective(GpHyperparams::from_vector(dn))) /
+                    (2 * eps);
+        EXPECT_NEAR(grad[k], fd,
+                    1e-4 * std::max(1.0, std::abs(fd)))
+            << "hyperparameter " << k;
+    }
+}
+
+TEST(GpModel, FitLowersObjectiveVersusDefault)
+{
+    SearchSpace s = one_d_space();
+    GpOptions opt;
+    GpModel gp(s, opt);
+    RngEngine rng(5);
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 15; ++i) {
+        double x = i / 15.0;
+        xs.push_back(cfg1(x));
+        ys.push_back(std::cos(5 * x));
+    }
+    gp.fit(xs, ys, rng);
+    GpHyperparams def;
+    def.log_lengthscales = {std::log(0.5)};
+    def.log_outputscale = 0.0;
+    def.log_noise = std::log(1e-4);
+    EXPECT_LE(gp.objective(gp.hyperparams()), gp.objective(def) + 1e-6);
+}
+
+TEST(GpModel, PriorsShrinkExtremeLengthscales)
+{
+    // With a single informative dimension and an irrelevant one, the
+    // no-prior fit can drive the irrelevant lengthscale to extremes; the
+    // gamma prior keeps it moderate (paper Sec. 3.2).
+    SearchSpace s;
+    s.add_real("x", 0.0, 1.0);
+    s.add_real("noise_dim", 0.0, 1.0);
+    RngEngine rng(6);
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 14; ++i) {
+        double x = rng.uniform(), z = rng.uniform();
+        xs.push_back({ParamValue{x}, ParamValue{z}});
+        ys.push_back(std::sin(5 * x));
+    }
+    GpOptions with;
+    with.use_priors = true;
+    GpModel gp_with(s, with);
+    RngEngine r1(7);
+    gp_with.fit(xs, ys, r1);
+    for (double ll : gp_with.hyperparams().log_lengthscales) {
+        EXPECT_GT(ll, std::log(1e-3));
+        EXPECT_LT(ll, std::log(1e3));
+    }
+}
+
+TEST(GpModel, MixedSpaceWithPermutation)
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16}, true);
+    s.add_permutation("perm", 3);
+    GpModel gp(s);
+    RngEngine rng(8);
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 16; ++i) {
+        Configuration c = s.sample_unconstrained(rng);
+        const Permutation& p = as_permutation(c[1]);
+        // Objective depends on the permutation (distance from identity).
+        double d = std::abs(p[0] - 0) + std::abs(p[1] - 1) +
+                   std::abs(p[2] - 2);
+        ys.push_back(std::log2(static_cast<double>(as_int(c[0]))) + d);
+        xs.push_back(std::move(c));
+    }
+    gp.fit(xs, ys, rng);
+    // Identity permutation with small tile should predict lower than
+    // reversed permutation with large tile.
+    Configuration lo{ParamValue{std::int64_t{2}},
+                     ParamValue{Permutation{0, 1, 2}}};
+    Configuration hi{ParamValue{std::int64_t{16}},
+                     ParamValue{Permutation{2, 1, 0}}};
+    EXPECT_LT(gp.predict(lo).mean, gp.predict(hi).mean);
+}
+
+TEST(GpModel, RejectsDegenerateInput)
+{
+    SearchSpace s = one_d_space();
+    GpModel gp(s);
+    RngEngine rng(9);
+    EXPECT_THROW(gp.fit({cfg1(0.5)}, {1.0}, rng), std::runtime_error);
+    EXPECT_THROW(gp.predict(cfg1(0.5)), std::runtime_error);
+}
+
+TEST(GpModel, NaiveFitStillWorks)
+{
+    // BaCO--'s single-start fit must remain functional.
+    SearchSpace s = one_d_space();
+    GpOptions opt;
+    opt.advanced_fit = false;
+    opt.use_priors = false;
+    GpModel gp(s, opt);
+    RngEngine rng(10);
+    std::vector<Configuration> xs{cfg1(0.0), cfg1(0.5), cfg1(1.0)};
+    std::vector<double> ys{0.0, 1.0, 0.0};
+    gp.fit(xs, ys, rng);
+    EXPECT_NEAR(gp.predict(cfg1(0.5)).mean, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace baco

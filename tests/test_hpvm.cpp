@@ -1,0 +1,148 @@
+// HPVM2FPGA substrate: estimator behaviour and benchmark structure.
+
+#include <gtest/gtest.h>
+
+#include "hpvm/benchmarks.hpp"
+#include "hpvm/fpga_model.hpp"
+
+namespace baco::hpvm {
+namespace {
+
+TEST(FpgaModel, UnrollSpeedsUpUntilPortLimit)
+{
+    const FpgaDesign& d = design("BFS");
+    std::vector<bool> off(4, false);
+    EstimateResult u0 = estimate(d, {0, 0}, {false}, {false});
+    EstimateResult u2 = estimate(d, {2, 2}, {false}, {false});
+    EstimateResult u3 = estimate(d, {3, 2}, {false}, {false});
+    ASSERT_TRUE(u0.feasible && u2.feasible && u3.feasible);
+    EXPECT_LT(u2.ms, u0.ms);
+    EXPECT_LE(u3.ms, u2.ms * 1.05);  // diminishing returns near port limit
+}
+
+TEST(FpgaModel, ResourceOverflowIsInfeasible)
+{
+    const FpgaDesign& d = design("BFS");
+    // 2^7 = 128 lanes on both stages blows the DSP budget.
+    EstimateResult blown = estimate(d, {7, 7}, {false}, {false});
+    EXPECT_FALSE(blown.feasible);
+}
+
+TEST(FpgaModel, FusionSavesTimeCostsBram)
+{
+    const FpgaDesign& d = design("PreEuler");
+    EstimateResult unfused = estimate(d, {1, 1, 1}, {false, false},
+                                      {false, false});
+    EstimateResult fused = estimate(d, {1, 1, 1}, {true, true},
+                                    {false, false});
+    ASSERT_TRUE(unfused.feasible && fused.feasible);
+    EXPECT_LT(fused.ms, unfused.ms);
+}
+
+TEST(FpgaModel, FusionPlusExtremeUnrollFailsEstimator)
+{
+    const FpgaDesign& d = design("PreEuler");
+    // Unroll far past the port limit (>4x) on a fused stage: estimator
+    // failure. The same unroll without fusion only wastes area.
+    EstimateResult fused = estimate(d, {6, 0, 0}, {true, false},
+                                    {false, false});
+    EXPECT_FALSE(fused.feasible);
+    EstimateResult moderate = estimate(d, {5, 0, 0}, {true, false},
+                                       {false, false});
+    EXPECT_TRUE(moderate.feasible);
+}
+
+TEST(FpgaModel, PrivatizationReducesStalls)
+{
+    const FpgaDesign& d = design("Audio");
+    std::vector<bool> no_fuse{false, false};
+    EstimateResult none = estimate(d, {1, 1, 1}, no_fuse,
+                                   std::vector<bool>(10, false));
+    EstimateResult all = estimate(d, {1, 1, 1}, no_fuse,
+                                  std::vector<bool>(10, true));
+    ASSERT_TRUE(none.feasible && all.feasible);
+    EXPECT_LT(all.ms, none.ms);
+}
+
+TEST(HpvmBenchmarks, SuiteShapeMatchesTable3)
+{
+    std::vector<Benchmark> suite = hpvm_suite();
+    ASSERT_EQ(suite.size(), 3u);
+
+    auto space_of = [](const Benchmark& b) {
+        return b.make_space(SpaceVariant{});
+    };
+    // BFS: 4 params, 256 dense configurations.
+    EXPECT_EQ(space_of(suite[0])->num_params(), 4u);
+    EXPECT_DOUBLE_EQ(space_of(suite[0])->dense_size(), 256.0);
+    EXPECT_EQ(suite[0].full_budget, 20);
+    // Audio: 15 params, ~8.4e5 dense.
+    EXPECT_EQ(space_of(suite[1])->num_params(), 15u);
+    EXPECT_NEAR(space_of(suite[1])->dense_size(), 884736.0, 1.0);
+    EXPECT_EQ(suite[1].full_budget, 60);
+    // PreEuler: 7 params, ~1.5e4 dense.
+    EXPECT_EQ(space_of(suite[2])->num_params(), 7u);
+    EXPECT_NEAR(space_of(suite[2])->dense_size(), 16000.0, 1.0);
+
+    for (const Benchmark& b : suite) {
+        // No known constraints; hidden constraints only (Table 3).
+        EXPECT_FALSE(space_of(b)->has_constraints()) << b.name;
+        EXPECT_TRUE(b.has_hidden_constraints) << b.name;
+        // No expert configurations exist for HPVM2FPGA.
+        EXPECT_FALSE(b.expert.has_value()) << b.name;
+        ASSERT_TRUE(b.default_config.has_value()) << b.name;
+        EXPECT_TRUE(b.hidden_feasible(*b.default_config)) << b.name;
+        // The virtual-best reference is better than the default.
+        EXPECT_LT(b.reference_cost, b.true_cost(*b.default_config)) << b.name;
+        EXPECT_GT(b.reference_cost, 0.0) << b.name;
+    }
+}
+
+TEST(HpvmBenchmarks, HiddenConstraintsBiteButLeaveRoom)
+{
+    for (const Benchmark& b : hpvm_suite()) {
+        auto space = b.make_space(SpaceVariant{});
+        RngEngine rng(5);
+        int feasible = 0;
+        const int n = 400;
+        for (int i = 0; i < n; ++i)
+            feasible += b.hidden_feasible(space->sample_unconstrained(rng))
+                            ? 1
+                            : 0;
+        EXPECT_GT(feasible, n / 20) << b.name;
+        EXPECT_LT(feasible, n) << b.name;
+    }
+}
+
+TEST(HpvmBenchmarks, EvaluatorConsistentWithHiddenCheck)
+{
+    Benchmark b = make_hpvm_benchmark("BFS");
+    auto space = b.make_space(SpaceVariant{});
+    RngEngine rng(6);
+    RngEngine noise(7);
+    for (int i = 0; i < 100; ++i) {
+        Configuration c = space->sample_unconstrained(rng);
+        EvalResult r = b.evaluate(c, noise);
+        EXPECT_EQ(r.feasible, b.hidden_feasible(c));
+        if (r.feasible)
+            EXPECT_GT(r.value, 0.0);
+    }
+}
+
+TEST(HpvmBenchmarks, MostlyBooleanSpaces)
+{
+    // "The majority of the parameters are boolean" (paper Sec. 2).
+    Benchmark audio = make_hpvm_benchmark("Audio");
+    auto space = audio.make_space(SpaceVariant{});
+    int booleans = 0;
+    for (std::size_t i = 0; i < space->num_params(); ++i) {
+        if (space->param(i).kind() == ParamKind::kCategorical &&
+            space->param(i).num_values() == 2) {
+            ++booleans;
+        }
+    }
+    EXPECT_GT(booleans, static_cast<int>(space->num_params()) / 2);
+}
+
+}  // namespace
+}  // namespace baco::hpvm

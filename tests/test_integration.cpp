@@ -1,0 +1,102 @@
+// End-to-end integration: BaCO on the real benchmark substrates, checking
+// the paper's qualitative claims on a reduced scale.
+
+#include <gtest/gtest.h>
+
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace baco::suite {
+namespace {
+
+TEST(Integration, BacoReachesExpertOnTacoSpmm)
+{
+    const Benchmark& b = find_benchmark("SpMM/scircuit");
+    RepStats stats = run_repetitions(b, Method::kBaco, b.full_budget, 3, 100);
+    // With the full budget BaCO should be at or past expert level
+    // (Table 8: BaCO > 1.0 on every SpMM benchmark).
+    double rel = stats.mean_rel_to_reference(b.reference_cost, b.full_budget);
+    EXPECT_GT(rel, 0.9);
+}
+
+TEST(Integration, BacoBeatsUniformSamplingOnTinyBudget)
+{
+    const Benchmark& b = find_benchmark("SDDMM/email-Enron");
+    int tiny = b.tiny_budget();
+    RepStats baco = run_repetitions(b, Method::kBaco, tiny, 3, 7);
+    RepStats uni = run_repetitions(b, Method::kUniform, tiny, 3, 7);
+    EXPECT_LE(baco.mean_best_at(tiny), uni.mean_best_at(tiny) * 1.1);
+}
+
+TEST(Integration, BacoHandlesHiddenConstraintsOnMmGpu)
+{
+    const Benchmark& b = find_benchmark("MM_GPU");
+    TuningHistory h = run_method(b, Method::kBaco, 40, 11);
+    EXPECT_EQ(h.size(), 40u);
+    ASSERT_TRUE(h.best_config.has_value());
+    EXPECT_TRUE(b.hidden_feasible(*h.best_config));
+    // Later iterations should find feasible points more reliably than the
+    // DoE phase did (the feasibility model at work).
+    int early_ok = 0, late_ok = 0;
+    for (std::size_t i = 0; i < 10; ++i)
+        early_ok += h.observations[i].feasible ? 1 : 0;
+    for (std::size_t i = h.size() - 10; i < h.size(); ++i)
+        late_ok += h.observations[i].feasible ? 1 : 0;
+    EXPECT_GE(late_ok, early_ok);
+}
+
+TEST(Integration, BacoFindsFeasibleDesignsOnHpvm)
+{
+    const Benchmark& b = find_benchmark("PreEuler");
+    TuningHistory h = run_method(b, Method::kBaco, 30, 13);
+    ASSERT_TRUE(h.best_config.has_value());
+    // Better than the default design.
+    EXPECT_LT(h.best_value, b.true_cost(*b.default_config));
+}
+
+TEST(Integration, TrajectoriesAreMonotone)
+{
+    const Benchmark& b = find_benchmark("Asum_GPU");
+    for (Method m : headline_methods()) {
+        TuningHistory h = run_method(b, m, 20, 3);
+        std::vector<double> t = h.best_trajectory();
+        for (std::size_t i = 1; i < t.size(); ++i)
+            EXPECT_LE(t[i], t[i - 1]) << method_name(m);
+    }
+}
+
+TEST(Integration, SeedsReproduceExactly)
+{
+    const Benchmark& b = find_benchmark("K-means_GPU");
+    TuningHistory a = run_method(b, Method::kBaco, 15, 77);
+    TuningHistory c = run_method(b, Method::kBaco, 15, 77);
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(configs_equal(a.observations[i].config,
+                                  c.observations[i].config));
+        EXPECT_DOUBLE_EQ(a.observations[i].value, c.observations[i].value);
+    }
+}
+
+TEST(Integration, SpaceVariantAblationChangesBehaviour)
+{
+    // The no-log-transform variant must build a space with the same shape
+    // but different distances; both must run end to end.
+    const Benchmark& b = find_benchmark("SpMM/cage12");
+    SpaceVariant no_log;
+    no_log.log_transforms = false;
+    no_log.permutation_metric = PermutationMetric::kNaive;
+    TuningHistory h = run_method(b, Method::kBaco, 20, 5, no_log);
+    EXPECT_EQ(h.size(), 20u);
+    EXPECT_TRUE(h.best_config.has_value());
+}
+
+TEST(Integration, BacoMinusMinusRunsOnSuite)
+{
+    const Benchmark& b = find_benchmark("SpMM/cage12");
+    TuningHistory h = run_method(b, Method::kBacoMinusMinus, 20, 5);
+    EXPECT_EQ(h.size(), 20u);
+}
+
+}  // namespace
+}  // namespace baco::suite

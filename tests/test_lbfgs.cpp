@@ -1,0 +1,110 @@
+// L-BFGS convergence on standard problems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/lbfgs.hpp"
+
+namespace baco {
+namespace {
+
+TEST(Lbfgs, QuadraticBowl)
+{
+    // f(x) = sum (x_i - i)^2.
+    ObjectiveFn f = [](const std::vector<double>& x,
+                       std::vector<double>& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            double d = x[i] - static_cast<double>(i);
+            v += d * d;
+            g[i] = 2.0 * d;
+        }
+        return v;
+    };
+    LbfgsResult r = lbfgs_minimize(f, {10.0, -5.0, 3.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-4);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+    EXPECT_NEAR(r.x[2], 2.0, 1e-4);
+    EXPECT_NEAR(r.f, 0.0, 1e-8);
+}
+
+TEST(Lbfgs, Rosenbrock2d)
+{
+    ObjectiveFn f = [](const std::vector<double>& x,
+                       std::vector<double>& g) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        g[0] = -2.0 * a - 400.0 * x[0] * b;
+        g[1] = 200.0 * b;
+        return a * a + 100.0 * b * b;
+    };
+    LbfgsOptions opt;
+    opt.max_iters = 300;
+    LbfgsResult r = lbfgs_minimize(f, {-1.2, 1.0}, opt);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Lbfgs, IllConditionedQuadratic)
+{
+    // Condition number 1e4.
+    ObjectiveFn f = [](const std::vector<double>& x,
+                       std::vector<double>& g) {
+        g[0] = 2.0 * x[0];
+        g[1] = 2.0e4 * x[1];
+        return x[0] * x[0] + 1.0e4 * x[1] * x[1];
+    };
+    LbfgsOptions opt;
+    opt.max_iters = 200;
+    LbfgsResult r = lbfgs_minimize(f, {5.0, 5.0}, opt);
+    EXPECT_NEAR(r.f, 0.0, 1e-5);
+}
+
+TEST(Lbfgs, HandlesNonFiniteRegionsViaBacktracking)
+{
+    // f = -log(x) + x, defined for x > 0 only; minimum at x = 1.
+    ObjectiveFn f = [](const std::vector<double>& x,
+                       std::vector<double>& g) {
+        if (x[0] <= 0.0) {
+            g[0] = 0.0;
+            return std::numeric_limits<double>::infinity();
+        }
+        g[0] = -1.0 / x[0] + 1.0;
+        return -std::log(x[0]) + x[0];
+    };
+    LbfgsResult r = lbfgs_minimize(f, {0.1});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(Lbfgs, AlreadyAtOptimumStopsImmediately)
+{
+    ObjectiveFn f = [](const std::vector<double>& x,
+                       std::vector<double>& g) {
+        g[0] = 2.0 * x[0];
+        return x[0] * x[0];
+    };
+    LbfgsResult r = lbfgs_minimize(f, {0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, 1);
+}
+
+TEST(Lbfgs, RespectsIterationBudget)
+{
+    ObjectiveFn f = [](const std::vector<double>& x,
+                       std::vector<double>& g) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        g[0] = -2.0 * a - 400.0 * x[0] * b;
+        g[1] = 200.0 * b;
+        return a * a + 100.0 * b * b;
+    };
+    LbfgsOptions opt;
+    opt.max_iters = 3;
+    LbfgsResult r = lbfgs_minimize(f, {-1.2, 1.0}, opt);
+    EXPECT_LE(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace baco

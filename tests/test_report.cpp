@@ -1,0 +1,70 @@
+// Text reporting helpers used by the bench harnesses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "suite/report.hpp"
+
+namespace baco::suite {
+namespace {
+
+TEST(Fmt, NumbersAndSpecials)
+{
+    EXPECT_EQ(fmt(1.234, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "-");
+    EXPECT_EQ(fmt(std::nan("")), "-");
+}
+
+TEST(Fmt, Factors)
+{
+    EXPECT_EQ(fmt_factor(3.333, 2), "3.33x");
+    EXPECT_EQ(fmt_factor(-1.0), "-");
+    EXPECT_EQ(fmt_factor(std::numeric_limits<double>::infinity()), "-");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.add_row({"short", "1"});
+    t.add_row({"a-much-longer-name", "2.5"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Header, rule, two rows.
+    int newlines = 0;
+    for (char c : out)
+        newlines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(newlines, 4);
+    EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+    // The name column is padded to the widest cell, so the value column of
+    // the "short" row starts at the same offset as the header's.
+    std::size_t header_line_start = 0;
+    std::size_t value_col = out.find("value");
+    std::size_t short_row_start = out.find("short");
+    std::size_t short_value = out.find('1', short_row_start);
+    std::size_t row_start = out.rfind('\n', short_value) + 1;
+    EXPECT_EQ(short_value - row_start, value_col - header_line_start);
+}
+
+TEST(TextTable, ShortRowsArePadded)
+{
+    TextTable t({"a", "b", "c"});
+    t.add_row({"only-one"});
+    std::ostringstream os;
+    t.print(os);  // must not crash; missing cells render empty
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    print_banner(os, "Hello Tables");
+    EXPECT_NE(os.str().find("Hello Tables"), std::string::npos);
+    EXPECT_NE(os.str().find("======"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace baco::suite

@@ -1,0 +1,161 @@
+// Decision tree and random forest behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/random_forest.hpp"
+
+namespace baco {
+namespace {
+
+TEST(DecisionTree, FitsAxisAlignedStep)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        double v = i / 50.0;
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 1.0 : 5.0);
+    }
+    std::vector<std::size_t> idx(x.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    RngEngine rng(1);
+    DecisionTree t;
+    t.fit(x, y, idx, rng);
+    EXPECT_NEAR(t.predict({0.2}), 1.0, 1e-9);
+    EXPECT_NEAR(t.predict({0.8}), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf)
+{
+    std::vector<std::vector<double>> x{{0.0}, {1.0}, {2.0}};
+    std::vector<double> y{3.0, 3.0, 3.0};
+    std::vector<std::size_t> idx{0, 1, 2};
+    RngEngine rng(2);
+    DecisionTree t;
+    t.fit(x, y, idx, rng);
+    EXPECT_EQ(t.num_nodes(), 1u);
+    EXPECT_DOUBLE_EQ(t.predict({5.0}), 3.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    TreeOptions opt;
+    opt.max_depth = 1;
+    DecisionTree t(opt);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 32; ++i) {
+        x.push_back({static_cast<double>(i)});
+        y.push_back(static_cast<double>(i % 7));
+    }
+    std::vector<std::size_t> idx(x.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    RngEngine rng(3);
+    t.fit(x, y, idx, rng);
+    // Depth 1 -> at most 3 nodes (root + two leaves).
+    EXPECT_LE(t.num_nodes(), 3u);
+}
+
+TEST(RandomForest, RegressionOnSeparableData)
+{
+    ForestOptions opt;
+    opt.task = TreeTask::kRegression;
+    opt.num_trees = 30;
+    RandomForest rf(opt);
+    RngEngine rng(4);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        double a = rng.uniform(), b = rng.uniform();
+        x.push_back({a, b});
+        y.push_back(3.0 * a + b);
+    }
+    rf.fit(x, y, rng);
+    EXPECT_NEAR(rf.predict({0.5, 0.5}), 2.0, 0.3);
+    EXPECT_NEAR(rf.predict({0.9, 0.1}), 2.8, 0.4);
+}
+
+TEST(RandomForest, ClassifierProbabilities)
+{
+    ForestOptions opt;
+    opt.task = TreeTask::kClassification;
+    opt.num_trees = 40;
+    RandomForest rf(opt);
+    RngEngine rng(5);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+        double a = rng.uniform();
+        x.push_back({a});
+        y.push_back(a > 0.6 ? 1.0 : 0.0);
+    }
+    rf.fit(x, y, rng);
+    EXPECT_GT(rf.predict({0.9}), 0.8);
+    EXPECT_LT(rf.predict({0.1}), 0.2);
+    // Probabilities stay in [0, 1].
+    for (double v : {0.0, 0.3, 0.59, 0.61, 1.0}) {
+        double p = rf.predict({v});
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(RandomForest, VarianceSmallOnCleanDataLargeOffDistribution)
+{
+    ForestOptions opt;
+    opt.num_trees = 40;
+    RandomForest rf(opt);
+    RngEngine rng(6);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        double a = rng.uniform(0.0, 0.5);
+        x.push_back({a});
+        y.push_back(a);
+    }
+    rf.fit(x, y, rng);
+    ForestPrediction in_dist = rf.predict_with_variance({0.25});
+    EXPECT_GE(in_dist.var, 0.0);
+    EXPECT_NEAR(in_dist.mean, 0.25, 0.1);
+}
+
+TEST(RandomForest, DeterministicGivenSeed)
+{
+    auto build = [](std::uint64_t seed) {
+        ForestOptions opt;
+        opt.num_trees = 10;
+        RandomForest rf(opt);
+        RngEngine rng(seed);
+        std::vector<std::vector<double>> x;
+        std::vector<double> y;
+        RngEngine data_rng(99);
+        for (int i = 0; i < 60; ++i) {
+            double a = data_rng.uniform(), b = data_rng.uniform();
+            x.push_back({a, b});
+            y.push_back(a - b);
+        }
+        rf.fit(x, y, rng);
+        return rf.predict({0.4, 0.7});
+    };
+    EXPECT_DOUBLE_EQ(build(7), build(7));
+    // Different forest seeds typically give different ensembles.
+    EXPECT_NE(build(7), build(8));
+}
+
+TEST(RandomForest, ThrowsOnEmptyOrMismatched)
+{
+    RandomForest rf;
+    RngEngine rng(9);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    EXPECT_THROW(rf.fit(x, y, rng), std::runtime_error);
+    x.push_back({1.0});
+    EXPECT_THROW(rf.fit(x, y, rng), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace baco

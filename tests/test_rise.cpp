@@ -1,0 +1,183 @@
+// RISE & ELEVATE substrate: model sanity, constraint structure, experts.
+
+#include <gtest/gtest.h>
+
+#include "core/chain_of_trees.hpp"
+#include "rise/benchmarks.hpp"
+#include "rise/gpu_model.hpp"
+
+namespace baco::rise {
+namespace {
+
+TEST(GpuModelHelpers, OccupancyBounds)
+{
+    for (double threads : {32.0, 128.0, 1024.0}) {
+        for (double local : {0.0, 4096.0, 49152.0}) {
+            double occ = occupancy(threads, local);
+            EXPECT_GE(occ, 0.0);
+            EXPECT_LE(occ, 1.0);
+        }
+    }
+    // More local memory per work-group lowers occupancy.
+    EXPECT_GE(occupancy(128, 1024.0), occupancy(128, 40000.0));
+}
+
+TEST(GpuModelHelpers, CoalescingImprovesWithSpan)
+{
+    EXPECT_LT(coalescing(1, 1), coalescing(32, 1));
+    EXPECT_NEAR(coalescing(32, 1), 1.0, 1e-12);
+    EXPECT_NEAR(coalescing(8, 4), 1.0, 1e-12);
+}
+
+TEST(MmCpu, LoopOrderMatters)
+{
+    // k-innermost (identity) is the bad classic; i,k,j is the good one.
+    ModelResult bad = mm_cpu(32, 32, 32, 4, Permutation{0, 1, 2});
+    ModelResult good = mm_cpu(32, 32, 32, 4, Permutation{0, 2, 1});
+    ASSERT_TRUE(bad.feasible);
+    ASSERT_TRUE(good.feasible);
+    EXPECT_GT(bad.ms / good.ms, 1.5);
+}
+
+TEST(MmCpu, HiddenConstraintOnRegisterTiles)
+{
+    EXPECT_FALSE(mm_cpu(256, 256, 4, 1, Permutation{0, 2, 1}).feasible);
+    EXPECT_TRUE(mm_cpu(64, 64, 4, 1, Permutation{0, 2, 1}).feasible);
+}
+
+TEST(MmGpu, HiddenResourceConstraints)
+{
+    // Work-group too large.
+    EXPECT_FALSE(mm_gpu(32, 32, 64, 64, 16, 2, 2, 1, 1, 1).feasible &&
+                 32 * 32 > 1024);
+    // Local memory overflow: giant tiles with double buffering.
+    ModelResult shared_blowup = mm_gpu(16, 16, 128, 128, 64, 8, 8, 1, 2, 1);
+    EXPECT_FALSE(shared_blowup.feasible);
+    // A classic sane configuration works.
+    ModelResult ok = mm_gpu(16, 16, 64, 64, 16, 4, 4, 2, 1, 1);
+    EXPECT_TRUE(ok.feasible);
+    EXPECT_GT(ok.ms, 0.0);
+}
+
+TEST(MmGpu, TilingReducesMemoryTime)
+{
+    ModelResult small = mm_gpu(8, 8, 16, 16, 8, 2, 2, 1, 1, 1);
+    ModelResult large = mm_gpu(16, 16, 64, 64, 16, 4, 4, 2, 1, 1);
+    ASSERT_TRUE(small.feasible && large.feasible);
+    EXPECT_LT(large.ms, small.ms);
+}
+
+TEST(AsumScalStencil, AlwaysFeasibleModels)
+{
+    // Asum and Stencil have no hidden constraints (Table 3): their models
+    // never report failures.
+    EXPECT_TRUE(asum_gpu(65536, 1024, 128, 8, 8).feasible);
+    EXPECT_TRUE(asum_gpu(256, 32, 1, 1, 1).feasible);
+    EXPECT_TRUE(stencil_gpu(256, 32, 32, 8).feasible);
+    EXPECT_TRUE(stencil_gpu(8, 1, 1, 1).feasible);
+}
+
+TEST(ScalKmeans, HiddenConstraintsTrigger)
+{
+    EXPECT_FALSE(scal_gpu(1024, 1, 512, 8, 1, 4, 1).feasible);
+    EXPECT_TRUE(scal_gpu(16384, 32, 16, 1, 4, 8, 1).feasible);
+    EXPECT_FALSE(kmeans_gpu(1024, 8, 8, 1).feasible);
+    EXPECT_TRUE(kmeans_gpu(64, 16, 1, 1).feasible);
+}
+
+TEST(RiseBenchmarks, SuiteShapeMatchesTable3)
+{
+    std::vector<Benchmark> suite = rise_suite();
+    ASSERT_EQ(suite.size(), 7u);
+    auto dims = [](const Benchmark& b) {
+        return b.make_space(SpaceVariant{})->num_params();
+    };
+    EXPECT_EQ(dims(suite[0]), 5u);   // MM_CPU
+    EXPECT_EQ(dims(suite[1]), 10u);  // MM_GPU
+    EXPECT_EQ(dims(suite[2]), 5u);   // Asum
+    EXPECT_EQ(dims(suite[3]), 7u);   // Scal
+    EXPECT_EQ(dims(suite[4]), 4u);   // K-means
+    EXPECT_EQ(dims(suite[5]), 7u);   // Harris
+    EXPECT_EQ(dims(suite[6]), 4u);   // Stencil
+
+    // Hidden-constraint flags per Table 3.
+    EXPECT_TRUE(suite[0].has_hidden_constraints);
+    EXPECT_TRUE(suite[1].has_hidden_constraints);
+    EXPECT_FALSE(suite[2].has_hidden_constraints);
+    EXPECT_TRUE(suite[3].has_hidden_constraints);
+    EXPECT_TRUE(suite[4].has_hidden_constraints);
+    EXPECT_FALSE(suite[5].has_hidden_constraints);
+    EXPECT_FALSE(suite[6].has_hidden_constraints);
+
+    // Every space declares known constraints.
+    for (const Benchmark& b : suite)
+        EXPECT_TRUE(b.make_space(SpaceVariant{})->has_constraints()) << b.name;
+}
+
+TEST(RiseBenchmarks, SpacesBuildValidChainsOfTrees)
+{
+    for (const Benchmark& b : rise_suite()) {
+        auto space = b.make_space(SpaceVariant{});
+        ChainOfTrees cot = ChainOfTrees::build(*space);
+        EXPECT_GT(cot.num_feasible(), 0.0) << b.name;
+        EXPECT_LT(cot.num_feasible(), space->dense_size() + 0.5) << b.name;
+        RngEngine rng(1);
+        for (int i = 0; i < 50; ++i)
+            EXPECT_TRUE(space->satisfies(cot.sample(rng, true))) << b.name;
+    }
+}
+
+TEST(RiseBenchmarks, DefaultsAndExpertsAreValid)
+{
+    for (const Benchmark& b : rise_suite()) {
+        ASSERT_TRUE(b.default_config.has_value()) << b.name;
+        ASSERT_TRUE(b.expert.has_value()) << b.name;
+        auto space = b.make_space(SpaceVariant{});
+        EXPECT_TRUE(space->satisfies(*b.default_config)) << b.name;
+        EXPECT_TRUE(b.hidden_feasible(*b.default_config)) << b.name;
+        EXPECT_TRUE(space->satisfies(*b.expert)) << b.name;
+        EXPECT_TRUE(b.hidden_feasible(*b.expert)) << b.name;
+        // Expert clearly better than default.
+        EXPECT_LT(b.true_cost(*b.expert), b.true_cost(*b.default_config))
+            << b.name;
+    }
+}
+
+TEST(RiseBenchmarks, ExpertIsStrongAgainstRandomSearch)
+{
+    // The semi-automated expert should beat the best of 200 random samples
+    // most of the time (it saw 1200).
+    for (const char* name : {"MM_GPU", "Asum_GPU", "Stencil_GPU"}) {
+        Benchmark b = make_rise_benchmark(name);
+        auto space = b.make_space(SpaceVariant{});
+        ChainOfTrees cot = ChainOfTrees::build(*space);
+        RngEngine rng(123);
+        double best_random = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < 200; ++i) {
+            Configuration c = cot.sample(rng, true);
+            if (!b.hidden_feasible(c))
+                continue;
+            best_random = std::min(best_random, b.true_cost(c));
+        }
+        EXPECT_LT(b.true_cost(*b.expert), best_random * 1.25) << name;
+    }
+}
+
+TEST(RiseBenchmarks, HiddenInfeasibleFractionIsMeaningful)
+{
+    // MM_GPU's hidden constraints must actually bite: a noticeable share of
+    // known-feasible samples fail at evaluation (paper Sec. 2).
+    Benchmark b = make_rise_benchmark("MM_GPU");
+    auto space = b.make_space(SpaceVariant{});
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(7);
+    int fail = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i)
+        fail += b.hidden_feasible(cot.sample(rng, true)) ? 0 : 1;
+    EXPECT_GT(fail, n / 20);
+    EXPECT_LT(fail, n * 95 / 100);
+}
+
+}  // namespace
+}  // namespace baco::rise

@@ -1,0 +1,107 @@
+// Determinism and distribution sanity of the RNG utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "linalg/rng.hpp"
+#include "linalg/stats.hpp"
+
+namespace baco {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    RngEngine a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    RngEngine a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    RngEngine rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.uniform_int(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, PermutationIsValid)
+{
+    RngEngine rng(3);
+    for (int n : {1, 2, 5, 8}) {
+        std::vector<int> p = rng.permutation(n);
+        std::set<int> seen(p.begin(), p.end());
+        EXPECT_EQ(static_cast<int>(seen.size()), n);
+        EXPECT_EQ(*seen.begin(), 0);
+        EXPECT_EQ(*seen.rbegin(), n - 1);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    RngEngine rng(11);
+    auto idx = rng.sample_without_replacement(10, 6);
+    ASSERT_EQ(idx.size(), 6u);
+    std::set<std::size_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 6u);
+    for (std::size_t v : s)
+        EXPECT_LT(v, 10u);
+    // k > n clamps to n.
+    EXPECT_EQ(rng.sample_without_replacement(4, 9).size(), 4u);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect)
+{
+    RngEngine rng(5);
+    std::vector<double> v;
+    for (int i = 0; i < 20000; ++i)
+        v.push_back(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(mean(v), 2.0, 0.1);
+    EXPECT_NEAR(stddev(v), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalFactorCentersAtOne)
+{
+    RngEngine rng(9);
+    std::vector<double> v;
+    for (int i = 0; i < 20000; ++i)
+        v.push_back(std::log(rng.lognormal_factor(0.05)));
+    EXPECT_NEAR(mean(v), 0.0, 0.01);
+    EXPECT_NEAR(stddev(v), 0.05, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded)
+{
+    RngEngine a(123);
+    RngEngine b = a.split();
+    // The split stream must differ from the parent's continued stream.
+    bool differs = false;
+    RngEngine a2(123);
+    (void)a2.split();
+    for (int i = 0; i < 10; ++i)
+        differs |= a.uniform() != b.uniform();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    RngEngine rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace baco

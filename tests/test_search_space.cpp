@@ -1,0 +1,158 @@
+// SearchSpace: construction, sampling, constraints, neighbours, encoding.
+
+#include <gtest/gtest.h>
+
+#include "core/search_space.hpp"
+
+namespace baco {
+namespace {
+
+SearchSpace
+make_mixed_space()
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16}, true);
+    s.add_categorical("sched", {"static", "dynamic"});
+    s.add_integer("unroll", 1, 4);
+    s.add_permutation("perm", 3);
+    s.add_constraint("unroll <= tile");
+    return s;
+}
+
+TEST(SearchSpace, BasicAccessors)
+{
+    SearchSpace s = make_mixed_space();
+    EXPECT_EQ(s.num_params(), 4u);
+    EXPECT_EQ(s.index_of("sched"), 1u);
+    EXPECT_TRUE(s.has_param("perm"));
+    EXPECT_FALSE(s.has_param("nope"));
+    EXPECT_THROW(s.index_of("nope"), std::runtime_error);
+    EXPECT_TRUE(s.is_fully_discrete());
+    EXPECT_DOUBLE_EQ(s.dense_size(), 4.0 * 2 * 4 * 6);
+}
+
+TEST(SearchSpace, DuplicateNameRejected)
+{
+    SearchSpace s;
+    s.add_integer("x", 0, 1);
+    EXPECT_THROW(s.add_real("x", 0, 1), std::runtime_error);
+}
+
+TEST(SearchSpace, ConstraintValidation)
+{
+    SearchSpace s;
+    s.add_integer("a", 0, 3);
+    EXPECT_THROW(s.add_constraint("a <= missing"), std::runtime_error);
+    s.add_constraint("a >= 1");
+    EXPECT_FALSE(s.satisfies({ParamValue{std::int64_t{0}}}));
+    EXPECT_TRUE(s.satisfies({ParamValue{std::int64_t{2}}}));
+}
+
+TEST(SearchSpace, FunctionalConstraint)
+{
+    SearchSpace s;
+    s.add_permutation("perm", 3);
+    s.add_constraint(
+        [](const Configuration& c) { return as_permutation(c[0])[0] == 0; },
+        {"perm"}, "first element fixed");
+    RngEngine rng(1);
+    int feasible = 0;
+    for (int i = 0; i < 300; ++i)
+        feasible += s.satisfies(s.sample_unconstrained(rng)) ? 1 : 0;
+    // 1/3 of permutations of 3 elements keep element 0 in place.
+    EXPECT_NEAR(feasible / 300.0, 1.0 / 3.0, 0.1);
+}
+
+TEST(SearchSpace, SampleFeasibleRespectsConstraints)
+{
+    SearchSpace s = make_mixed_space();
+    RngEngine rng(2);
+    for (int i = 0; i < 100; ++i) {
+        auto c = s.sample_feasible(rng);
+        ASSERT_TRUE(c.has_value());
+        EXPECT_TRUE(s.satisfies(*c));
+    }
+}
+
+TEST(SearchSpace, SampleFeasibleGivesUpOnEmptyRegion)
+{
+    SearchSpace s;
+    s.add_integer("a", 0, 3);
+    s.add_constraint("a > 99");
+    RngEngine rng(3);
+    EXPECT_FALSE(s.sample_feasible(rng, 50).has_value());
+}
+
+TEST(SearchSpace, NeighborsChangeExactlyOneParameter)
+{
+    SearchSpace s = make_mixed_space();
+    RngEngine rng(4);
+    Configuration c = s.sample_unconstrained(rng);
+    for (const Configuration& n : s.neighbors(c, rng)) {
+        int diffs = 0;
+        for (std::size_t i = 0; i < c.size(); ++i)
+            diffs += param_value_equal(c[i], n[i]) ? 0 : 1;
+        EXPECT_EQ(diffs, 1);
+    }
+}
+
+TEST(SearchSpace, EncodeHasDeclaredWidth)
+{
+    SearchSpace s = make_mixed_space();
+    // tile(1) + sched one-hot(2) + unroll(1) + perm(3).
+    EXPECT_EQ(s.num_features(), 7u);
+    RngEngine rng(5);
+    Configuration c = s.sample_unconstrained(rng);
+    EXPECT_EQ(s.encode(c).size(), 7u);
+}
+
+TEST(SearchSpace, DimDistanceUsesParameterMetric)
+{
+    SearchSpace s = make_mixed_space();
+    Configuration a{ParamValue{std::int64_t{2}}, ParamValue{std::int64_t{0}},
+                    ParamValue{std::int64_t{1}},
+                    ParamValue{Permutation{0, 1, 2}}};
+    Configuration b{ParamValue{std::int64_t{16}}, ParamValue{std::int64_t{1}},
+                    ParamValue{std::int64_t{1}},
+                    ParamValue{Permutation{0, 1, 2}}};
+    EXPECT_DOUBLE_EQ(s.dim_distance(0, a, b), 1.0);  // log-range endpoints
+    EXPECT_DOUBLE_EQ(s.dim_distance(1, a, b), 1.0);  // Hamming
+    EXPECT_DOUBLE_EQ(s.dim_distance(2, a, b), 0.0);
+    EXPECT_DOUBLE_EQ(s.dim_distance(3, a, b), 0.0);
+}
+
+TEST(SearchSpace, MakeContextOmitsPermutations)
+{
+    SearchSpace s = make_mixed_space();
+    Configuration c{ParamValue{std::int64_t{4}}, ParamValue{std::int64_t{1}},
+                    ParamValue{std::int64_t{2}},
+                    ParamValue{Permutation{2, 0, 1}}};
+    EvalContext ctx = s.make_context(c);
+    EXPECT_EQ(ctx.count("perm"), 0u);
+    EXPECT_DOUBLE_EQ(ctx.at("tile"), 4.0);
+    EXPECT_DOUBLE_EQ(ctx.at("sched"), 1.0);
+}
+
+TEST(SearchSpace, ContinuousSpaceDenseSizeIsInfinite)
+{
+    SearchSpace s;
+    s.add_real("x", 0.0, 1.0);
+    s.add_integer("n", 0, 9);
+    EXPECT_FALSE(s.is_fully_discrete());
+    EXPECT_TRUE(std::isinf(s.dense_size()));
+}
+
+TEST(SearchSpace, ConfigToStringIsReadable)
+{
+    SearchSpace s = make_mixed_space();
+    Configuration c{ParamValue{std::int64_t{4}}, ParamValue{std::int64_t{1}},
+                    ParamValue{std::int64_t{2}},
+                    ParamValue{Permutation{2, 0, 1}}};
+    std::string str = s.config_to_string(c);
+    EXPECT_NE(str.find("tile=4"), std::string::npos);
+    EXPECT_NE(str.find("sched=dynamic"), std::string::npos);
+    EXPECT_NE(str.find("perm=[2,0,1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace baco

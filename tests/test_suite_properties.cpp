@@ -1,0 +1,136 @@
+// Suite-wide parameterized property tests: invariants that must hold for
+// every one of the 25 benchmark instances.
+
+#include <gtest/gtest.h>
+
+#include "core/chain_of_trees.hpp"
+#include "suite/registry.hpp"
+
+namespace baco::suite {
+namespace {
+
+std::vector<std::string>
+all_names()
+{
+    std::vector<std::string> names;
+    for (const Benchmark& b : all_benchmarks())
+        names.push_back(b.name);
+    return names;
+}
+
+class BenchmarkProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Benchmark& bench() { return find_benchmark(GetParam()); }
+};
+
+TEST_P(BenchmarkProperty, EvaluatorIsDeterministicGivenRngState)
+{
+    const Benchmark& b = bench();
+    auto space = b.make_space(SpaceVariant{});
+    RngEngine sample_rng(1);
+    Configuration c = space->sample_unconstrained(sample_rng);
+    RngEngine r1(7), r2(7);
+    EvalResult a = b.evaluate(c, r1);
+    EvalResult d = b.evaluate(c, r2);
+    EXPECT_EQ(a.feasible, d.feasible);
+    if (a.feasible) {
+        EXPECT_DOUBLE_EQ(a.value, d.value);
+    }
+}
+
+TEST_P(BenchmarkProperty, TrueCostPositiveOnFeasibleSamples)
+{
+    const Benchmark& b = bench();
+    auto space = b.make_space(SpaceVariant{});
+    RngEngine rng(2);
+    int checked = 0;
+    for (int i = 0; i < 100 && checked < 30; ++i) {
+        auto c = space->sample_feasible(rng, 500);
+        if (!c || !b.hidden_feasible(*c))
+            continue;
+        ++checked;
+        EXPECT_GT(b.true_cost(*c), 0.0);
+        EXPECT_TRUE(std::isfinite(b.true_cost(*c)));
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST_P(BenchmarkProperty, EvaluateAgreesWithHiddenCheck)
+{
+    const Benchmark& b = bench();
+    auto space = b.make_space(SpaceVariant{});
+    RngEngine rng(3), noise(4);
+    for (int i = 0; i < 40; ++i) {
+        auto c = space->sample_feasible(rng, 500);
+        if (!c)
+            continue;
+        EvalResult r = b.evaluate(*c, noise);
+        EXPECT_EQ(r.feasible, b.hidden_feasible(*c));
+    }
+}
+
+TEST_P(BenchmarkProperty, SpaceVariantsPreserveShape)
+{
+    const Benchmark& b = bench();
+    SpaceVariant no_log;
+    no_log.log_transforms = false;
+    no_log.permutation_metric = PermutationMetric::kNaive;
+    auto a = b.make_space(SpaceVariant{});
+    auto v = b.make_space(no_log);
+    ASSERT_EQ(a->num_params(), v->num_params());
+    for (std::size_t i = 0; i < a->num_params(); ++i) {
+        EXPECT_EQ(a->param(i).name(), v->param(i).name());
+        EXPECT_EQ(a->param(i).kind(), v->param(i).kind());
+        if (a->param(i).is_discrete()) {
+            EXPECT_EQ(a->param(i).num_values(), v->param(i).num_values());
+        }
+    }
+}
+
+TEST_P(BenchmarkProperty, CotMembershipMatchesConstraints)
+{
+    const Benchmark& b = bench();
+    auto space = b.make_space(SpaceVariant{});
+    if (!space->has_constraints() || !space->is_fully_discrete())
+        GTEST_SKIP() << "no tree-compatible known constraints";
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    RngEngine rng(5);
+    for (int i = 0; i < 100; ++i) {
+        Configuration c = space->sample_unconstrained(rng);
+        EXPECT_EQ(cot.contains(c), space->satisfies(c));
+    }
+}
+
+TEST_P(BenchmarkProperty, ReferenceCostIsAchievable)
+{
+    const Benchmark& b = bench();
+    EXPECT_GT(b.reference_cost, 0.0);
+    if (b.expert) {
+        auto space = b.make_space(SpaceVariant{});
+        EXPECT_TRUE(space->satisfies(*b.expert));
+        EXPECT_TRUE(b.hidden_feasible(*b.expert));
+        EXPECT_DOUBLE_EQ(b.reference_cost, b.true_cost(*b.expert));
+    }
+}
+
+TEST_P(BenchmarkProperty, BudgetsFollowTable3Rule)
+{
+    const Benchmark& b = bench();
+    EXPECT_GE(b.full_budget, 20);
+    EXPECT_EQ(b.tiny_budget(), std::max(1, b.full_budget / 3));
+    EXPECT_EQ(b.small_budget(), std::max(1, 2 * b.full_budget / 3));
+    EXPECT_LE(b.doe_samples, b.tiny_budget() * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkProperty, ::testing::ValuesIn(all_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+}  // namespace
+}  // namespace baco::suite

@@ -1,0 +1,253 @@
+// Executable sparse kernels: correctness against dense references, and the
+// TACO guarantee that schedules never change results.
+
+#include <gtest/gtest.h>
+
+#include "taco/generators.hpp"
+#include "taco/kernels.hpp"
+
+namespace baco::taco {
+namespace {
+
+CsrMatrix
+small_matrix(RngEngine& rng, int rows = 40, int cols = 30, int nnz = 200)
+{
+    std::vector<std::array<int, 2>> coords;
+    std::vector<double> vals;
+    for (int i = 0; i < nnz; ++i) {
+        coords.push_back({static_cast<int>(rng.index(static_cast<std::size_t>(rows))),
+                          static_cast<int>(rng.index(static_cast<std::size_t>(cols)))});
+        vals.push_back(rng.uniform(-1, 1));
+    }
+    return csr_from_triplets(rows, cols, std::move(coords), std::move(vals));
+}
+
+Matrix
+random_dense(RngEngine& rng, std::size_t rows, std::size_t cols)
+{
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            m(i, j) = rng.uniform(-1, 1);
+    return m;
+}
+
+TEST(CsrFromTriplets, MergesDuplicatesAndSorts)
+{
+    CsrMatrix m = csr_from_triplets(
+        3, 3, {{1, 2}, {0, 1}, {1, 2}, {2, 0}}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(m.nnz(), 3);
+    Matrix d = m.to_dense();
+    EXPECT_DOUBLE_EQ(d(1, 2), 4.0);  // merged 1 + 3
+    EXPECT_DOUBLE_EQ(d(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(d(2, 0), 4.0);
+    // Row pointers are monotone and end at nnz.
+    for (std::size_t r = 0; r + 1 < m.row_ptr.size(); ++r)
+        EXPECT_LE(m.row_ptr[r], m.row_ptr[r + 1]);
+    EXPECT_EQ(m.row_ptr.back(), m.nnz());
+}
+
+TEST(Spmv, MatchesDenseReference)
+{
+    RngEngine rng(1);
+    CsrMatrix b = small_matrix(rng);
+    std::vector<double> c(static_cast<std::size_t>(b.cols));
+    for (double& v : c)
+        v = rng.uniform(-1, 1);
+    std::vector<double> a = spmv(b, c);
+    std::vector<double> ref = mat_vec(b.to_dense(), c);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], ref[i], 1e-10);
+}
+
+/** Property sweep: every schedule produces identical SpMV results. */
+class SpmvScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SpmvScheduleProperty, ScheduleInvariance)
+{
+    auto [chunk, unroll] = GetParam();
+    RngEngine rng(2);
+    CsrMatrix b = small_matrix(rng);
+    std::vector<double> c(static_cast<std::size_t>(b.cols));
+    for (double& v : c)
+        v = rng.uniform(-1, 1);
+    ExecSchedule s;
+    s.row_chunk = chunk;
+    s.unroll = unroll;
+    std::vector<double> got = spmv_scheduled(b, c, s);
+    std::vector<double> ref = spmv(b, c);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, SpmvScheduleProperty,
+    ::testing::Combine(::testing::Values(1, 3, 16, 64, 1000),
+                       ::testing::Values(1, 2, 4, 7)));
+
+TEST(Spmm, MatchesDenseReference)
+{
+    RngEngine rng(3);
+    CsrMatrix b = small_matrix(rng);
+    Matrix c = random_dense(rng, static_cast<std::size_t>(b.cols), 8);
+    Matrix a = spmm(b, c);
+    Matrix ref = mat_mat(b.to_dense(), c);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_NEAR(a(i, j), ref(i, j), 1e-10);
+}
+
+class SpmmScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SpmmScheduleProperty, ScheduleInvariance)
+{
+    auto [chunk, tile] = GetParam();
+    RngEngine rng(4);
+    CsrMatrix b = small_matrix(rng);
+    Matrix c = random_dense(rng, static_cast<std::size_t>(b.cols), 10);
+    ExecSchedule s;
+    s.row_chunk = chunk;
+    s.col_tile = tile;
+    Matrix got = spmm_scheduled(b, c, s);
+    Matrix ref = spmm(b, c);
+    for (std::size_t i = 0; i < got.rows(); ++i)
+        for (std::size_t j = 0; j < got.cols(); ++j)
+            EXPECT_NEAR(got(i, j), ref(i, j), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, SpmmScheduleProperty,
+    ::testing::Combine(::testing::Values(1, 7, 64),
+                       ::testing::Values(1, 3, 10, 100)));
+
+TEST(Sddmm, MatchesDenseReference)
+{
+    RngEngine rng(5);
+    CsrMatrix b = small_matrix(rng);
+    Matrix c = random_dense(rng, static_cast<std::size_t>(b.rows), 6);
+    Matrix d = random_dense(rng, static_cast<std::size_t>(b.cols), 6);
+    std::vector<double> out = sddmm(b, c, d);
+    // Reference: iterate entries.
+    for (int i = 0; i < b.rows; ++i) {
+        for (int p = b.row_ptr[static_cast<std::size_t>(i)];
+             p < b.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+            auto q = static_cast<std::size_t>(p);
+            auto j = static_cast<std::size_t>(b.col_idx[q]);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < 6; ++k)
+                acc += c(static_cast<std::size_t>(i), k) * d(j, k);
+            EXPECT_NEAR(out[q], b.vals[q] * acc, 1e-10);
+        }
+    }
+}
+
+TEST(Sddmm, ScheduledMatchesReference)
+{
+    RngEngine rng(6);
+    CsrMatrix b = small_matrix(rng);
+    Matrix c = random_dense(rng, static_cast<std::size_t>(b.rows), 12);
+    Matrix d = random_dense(rng, static_cast<std::size_t>(b.cols), 12);
+    std::vector<double> ref = sddmm(b, c, d);
+    for (int tile : {1, 5, 12, 64}) {
+        ExecSchedule s;
+        s.col_tile = tile;
+        s.row_chunk = 16;
+        std::vector<double> got = sddmm_scheduled(b, c, d, s);
+        for (std::size_t q = 0; q < ref.size(); ++q)
+            EXPECT_NEAR(got[q], ref[q], 1e-10);
+    }
+}
+
+TEST(Ttv, MatchesExplicitSum)
+{
+    RngEngine rng(7);
+    TensorProfile p = profile("random1");
+    CooTensor3 b = generate_tensor3(p, 0.0005, rng);
+    std::vector<double> c(static_cast<std::size_t>(b.dims[2]));
+    for (double& v : c)
+        v = rng.uniform(-1, 1);
+    Matrix a = ttv(b, c);
+    // Explicit accumulation over entries.
+    Matrix ref(static_cast<std::size_t>(b.dims[0]),
+               static_cast<std::size_t>(b.dims[1]));
+    for (const Coord3& e : b.entries)
+        ref(static_cast<std::size_t>(e.idx[0]),
+            static_cast<std::size_t>(e.idx[1])) +=
+            e.val * c[static_cast<std::size_t>(e.idx[2])];
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_DOUBLE_EQ(a(i, j), ref(i, j));
+}
+
+TEST(Mttkrp4, ScheduledMatchesReference)
+{
+    RngEngine rng(8);
+    TensorProfile p = profile("uber");
+    CooTensor4 b = generate_tensor4(p, 0.001, rng);
+    std::size_t rank = 6;
+    Matrix c = random_dense(rng, static_cast<std::size_t>(b.dims[1]), rank);
+    Matrix d = random_dense(rng, static_cast<std::size_t>(b.dims[2]), rank);
+    Matrix e = random_dense(rng, static_cast<std::size_t>(b.dims[3]), rank);
+    Matrix ref = mttkrp4(b, c, d, e);
+    for (int tile : {1, 2, 6}) {
+        ExecSchedule s;
+        s.col_tile = tile;
+        Matrix got = mttkrp4_scheduled(b, c, d, e, s);
+        for (std::size_t i = 0; i < ref.rows(); ++i)
+            for (std::size_t j = 0; j < ref.cols(); ++j)
+                EXPECT_NEAR(got(i, j), ref(i, j), 1e-10);
+    }
+}
+
+TEST(Generators, ProfilesMatchTable4Metadata)
+{
+    // Spot-check the published dimensions/nonzeros carried by profiles.
+    const TensorProfile& enron = profile("email-Enron");
+    EXPECT_EQ(enron.dims[0], 36692);
+    EXPECT_EQ(enron.nnz, 367662);
+    const TensorProfile& uber = profile("uber");
+    EXPECT_EQ(uber.order, 4);
+    EXPECT_EQ(uber.dims[3], 1717);
+    const TensorProfile& fb = profile("facebook");
+    EXPECT_EQ(fb.order, 3);
+    EXPECT_EQ(fb.nnz, 737934);
+    EXPECT_THROW(profile("nonexistent"), std::runtime_error);
+}
+
+TEST(Generators, MaterializedMatrixHonoursScaleAndPattern)
+{
+    RngEngine rng(9);
+    const TensorProfile& p = profile("laminar_duct3D");
+    CsrMatrix m = generate_matrix(p, 0.01, rng);
+    EXPECT_NEAR(m.rows, p.dims[0] * 0.01, 2.0);
+    EXPECT_GT(m.nnz(), 0);
+    // Banded pattern: most entries near the diagonal.
+    int near = 0;
+    for (int i = 0; i < m.rows; ++i)
+        for (int q = m.row_ptr[static_cast<std::size_t>(i)];
+             q < m.row_ptr[static_cast<std::size_t>(i) + 1]; ++q)
+            near += std::abs(m.col_idx[static_cast<std::size_t>(q)] - i) <
+                            m.cols / 4
+                        ? 1
+                        : 0;
+    EXPECT_GT(near, m.nnz() * 3 / 4);
+}
+
+TEST(Generators, PowerLawSkewsRowDegrees)
+{
+    RngEngine rng(10);
+    CsrMatrix skewed = generate_matrix(profile("email-Enron"), 0.02, rng);
+    // Max row degree should be far above the average for a power-law graph.
+    int max_deg = 0;
+    for (int i = 0; i < skewed.rows; ++i)
+        max_deg = std::max(max_deg,
+                           skewed.row_ptr[static_cast<std::size_t>(i) + 1] -
+                               skewed.row_ptr[static_cast<std::size_t>(i)]);
+    double avg = static_cast<double>(skewed.nnz()) / skewed.rows;
+    EXPECT_GT(max_deg, 10 * avg);
+}
+
+}  // namespace
+}  // namespace baco::taco

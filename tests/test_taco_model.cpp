@@ -1,0 +1,233 @@
+// TACO cost model and benchmark definitions: landscape sanity, constraint
+// structure, expert/default quality.
+
+#include <gtest/gtest.h>
+
+#include "core/chain_of_trees.hpp"
+#include "taco/benchmarks.hpp"
+
+namespace baco::taco {
+namespace {
+
+TacoSchedule
+base_schedule(TacoKernel k)
+{
+    TacoSchedule s;
+    s.chunk = 256;
+    s.chunk2 = 64;
+    s.unroll = 4;
+    s.dynamic_sched = false;
+    s.omp_chunk = 8;
+    s.threads = 32;
+    int m = kernel_perm_size(k);
+    s.perm.resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i)
+        s.perm[static_cast<std::size_t>(i)] = i;
+    return s;
+}
+
+TEST(TacoCostModel, PositiveAndDeterministic)
+{
+    for (TacoKernel k : {TacoKernel::kSpMV, TacoKernel::kSpMM,
+                         TacoKernel::kSDDMM, TacoKernel::kTTV,
+                         TacoKernel::kMTTKRP}) {
+        const TensorProfile& t = profile(k == TacoKernel::kMTTKRP ? "uber"
+                                         : k == TacoKernel::kTTV ? "uber3"
+                                                                 : "scircuit");
+        TacoSchedule s = base_schedule(k);
+        double a = taco_cost_ms(k, t, s);
+        double b = taco_cost_ms(k, t, s);
+        EXPECT_GT(a, 0.0);
+        EXPECT_DOUBLE_EQ(a, b);
+    }
+}
+
+TEST(TacoCostModel, DiscordantOrdersArePunished)
+{
+    const TensorProfile& t = profile("cage12");
+    TacoSchedule good = base_schedule(TacoKernel::kSpMV);
+    TacoSchedule bad = good;
+    // Fully reversed loop order violates every concordance chain.
+    bad.perm = {4, 3, 2, 1, 0};
+    EXPECT_FALSE(perm_concordant(TacoKernel::kSpMV, bad.perm));
+    double g = taco_cost_ms(TacoKernel::kSpMV, t, good);
+    double b = taco_cost_ms(TacoKernel::kSpMV, t, bad);
+    // "Several orders of magnitude" slower (paper RQ4 on SpMV).
+    EXPECT_GT(b / g, 50.0);
+}
+
+TEST(TacoCostModel, IdealPermIsConcordantAndBest)
+{
+    for (const char* name : {"scircuit", "email-Enron", "laminar_duct3D"}) {
+        const TensorProfile& t = profile(name);
+        Permutation ideal = ideal_perm(TacoKernel::kSpMM, t);
+        EXPECT_TRUE(perm_concordant(TacoKernel::kSpMM, ideal));
+        TacoSchedule s = base_schedule(TacoKernel::kSpMM);
+        double with_identity = taco_cost_ms(TacoKernel::kSpMM, t, s);
+        s.perm = ideal;
+        double with_ideal = taco_cost_ms(TacoKernel::kSpMM, t, s);
+        EXPECT_LT(with_ideal, with_identity);
+        // The gap is the ~1.1x the paper attributes to loop reordering.
+        EXPECT_LT(with_identity / with_ideal, 1.5);
+    }
+}
+
+TEST(TacoCostModel, TileSizeHasInteriorOptimum)
+{
+    const TensorProfile& t = profile("filter3D");
+    TacoSchedule s = base_schedule(TacoKernel::kSpMM);
+    double tiny, mid, huge;
+    s.chunk = 8;
+    tiny = taco_cost_ms(TacoKernel::kSpMM, t, s);
+    s.chunk = 256;
+    mid = taco_cost_ms(TacoKernel::kSpMM, t, s);
+    s.chunk = 4096;
+    s.chunk2 = 1024;
+    huge = taco_cost_ms(TacoKernel::kSpMM, t, s);
+    EXPECT_LT(mid, tiny);
+    EXPECT_LT(mid, huge);
+}
+
+TEST(TacoCostModel, SkewedDatasetsPreferDynamicScheduling)
+{
+    // With identical schedules, the advantage of dynamic over static
+    // scheduling must be much larger on a skewed matrix than a regular one
+    // (the dataset-dependent trade-off the categorical parameter encodes).
+    auto ratio = [](const TensorProfile& t) {
+        TacoSchedule s = base_schedule(TacoKernel::kSDDMM);
+        s.omp_chunk = 256;  // coarse quanta expose imbalance under static
+        s.dynamic_sched = false;
+        double stat = taco_cost_ms(TacoKernel::kSDDMM, t, s);
+        s.dynamic_sched = true;
+        double dyn = taco_cost_ms(TacoKernel::kSDDMM, t, s);
+        return stat / dyn;
+    };
+    double skewed_gain = ratio(profile("email-Enron"));
+    double regular_gain = ratio(profile("Goodwin_040"));
+    EXPECT_GT(skewed_gain, 1.0);
+    EXPECT_GT(skewed_gain, 1.5 * regular_gain);
+
+    // And fine-grained dynamic dispatch on a huge regular matrix is pure
+    // overhead versus fine-grained static.
+    const TensorProfile& big = profile("scircuit");
+    TacoSchedule s = base_schedule(TacoKernel::kSDDMM);
+    s.chunk = 8;
+    s.omp_chunk = 1;
+    s.dynamic_sched = true;
+    double dyn_fine = taco_cost_ms(TacoKernel::kSDDMM, big, s);
+    s.dynamic_sched = false;
+    double stat_fine = taco_cost_ms(TacoKernel::kSDDMM, big, s);
+    EXPECT_LT(stat_fine, dyn_fine);
+}
+
+TEST(TacoCostModel, TtvHiddenConstraintTriggersOnWorkspace)
+{
+    const TensorProfile& t = profile("facebook");
+    TacoSchedule s = base_schedule(TacoKernel::kTTV);
+    s.chunk = 4096;
+    s.threads = 32;  // 131072 > 65536
+    EXPECT_FALSE(taco_hidden_feasible(TacoKernel::kTTV, t, s));
+    s.chunk = 1024;
+    EXPECT_TRUE(taco_hidden_feasible(TacoKernel::kTTV, t, s));
+    // Other kernels have no hidden constraints.
+    EXPECT_TRUE(taco_hidden_feasible(TacoKernel::kSpMM, t, s));
+}
+
+TEST(TacoBenchmarks, SuiteHasFifteenInstances)
+{
+    std::vector<Benchmark> suite = taco_suite();
+    EXPECT_EQ(suite.size(), 15u);
+    for (const Benchmark& b : suite) {
+        EXPECT_EQ(b.framework, "TACO");
+        EXPECT_GE(b.full_budget, 60);
+    }
+}
+
+TEST(TacoBenchmarks, SpacesMatchTable3Dims)
+{
+    // SpMV and TTV: 7 parameters; SpMM/SDDMM/MTTKRP: 6.
+    auto dims = [](const Benchmark& b) {
+        return b.make_space(SpaceVariant{})->num_params();
+    };
+    EXPECT_EQ(dims(make_taco_benchmark(TacoKernel::kSpMV, "cage12")), 7u);
+    EXPECT_EQ(dims(make_taco_benchmark(TacoKernel::kTTV, "uber3")), 7u);
+    EXPECT_EQ(dims(make_taco_benchmark(TacoKernel::kSpMM, "scircuit")), 6u);
+    EXPECT_EQ(dims(make_taco_benchmark(TacoKernel::kSDDMM, "ACTIVSg10K")), 6u);
+    EXPECT_EQ(dims(make_taco_benchmark(TacoKernel::kMTTKRP, "nips")), 6u);
+}
+
+TEST(TacoBenchmarks, ConstraintStructureMatchesPaper)
+{
+    // SpMV is the one benchmark without known constraints (RQ4).
+    Benchmark spmv = make_taco_benchmark(TacoKernel::kSpMV, "cage12");
+    EXPECT_FALSE(spmv.make_space(SpaceVariant{})->has_constraints());
+    // The others declare known constraints; only TTV has hidden ones.
+    Benchmark spmm = make_taco_benchmark(TacoKernel::kSpMM, "scircuit");
+    EXPECT_TRUE(spmm.make_space(SpaceVariant{})->has_constraints());
+    EXPECT_FALSE(spmm.has_hidden_constraints);
+    Benchmark ttv = make_taco_benchmark(TacoKernel::kTTV, "facebook");
+    EXPECT_TRUE(ttv.has_hidden_constraints);
+}
+
+TEST(TacoBenchmarks, ConcordanceConstraintPrunesPermutations)
+{
+    Benchmark spmm = make_taco_benchmark(TacoKernel::kSpMM, "scircuit");
+    auto space = spmm.make_space(SpaceVariant{});
+    ChainOfTrees cot = ChainOfTrees::build(*space);
+    // Valid orders of [i0,i1,k0,k1,u]: 3 linear extensions x 5 slots = 15.
+    std::size_t perm_idx = space->index_of("loop_perm");
+    std::size_t tree = cot.tree_of(perm_idx);
+    ASSERT_NE(tree, ChainOfTrees::kNoTree);
+    EXPECT_EQ(cot.tree_leaves(tree), 15u);
+}
+
+TEST(TacoBenchmarks, ExpertUsesDefaultLoopOrderAndBeatsDefault)
+{
+    for (const Benchmark& b : taco_suite()) {
+        ASSERT_TRUE(b.expert.has_value()) << b.name;
+        ASSERT_TRUE(b.default_config.has_value()) << b.name;
+        auto space = b.make_space(SpaceVariant{});
+        EXPECT_TRUE(space->satisfies(*b.expert)) << b.name;
+        EXPECT_TRUE(space->satisfies(*b.default_config)) << b.name;
+        EXPECT_TRUE(b.hidden_feasible(*b.expert)) << b.name;
+        EXPECT_TRUE(b.hidden_feasible(*b.default_config)) << b.name;
+        // Expert keeps the identity (default) loop order...
+        const Permutation& perm = as_permutation(b.expert->back());
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            EXPECT_EQ(perm[i], static_cast<int>(i)) << b.name;
+        // ...and is meaningfully better than the default configuration.
+        EXPECT_LT(b.true_cost(*b.expert),
+                  b.true_cost(*b.default_config) * 0.95)
+            << b.name;
+        EXPECT_DOUBLE_EQ(b.reference_cost, b.true_cost(*b.expert));
+    }
+}
+
+TEST(TacoBenchmarks, EvaluatorAddsBoundedNoise)
+{
+    Benchmark b = make_taco_benchmark(TacoKernel::kSpMM, "cage12");
+    RngEngine rng(1);
+    double truth = b.true_cost(*b.expert);
+    for (int i = 0; i < 20; ++i) {
+        EvalResult r = b.evaluate(*b.expert, rng);
+        ASSERT_TRUE(r.feasible);
+        EXPECT_NEAR(r.value, truth, truth * 0.25);
+        EXPECT_GT(r.value, 0.0);
+    }
+}
+
+TEST(TacoBenchmarks, PermutationExplorationCanBeatExpert)
+{
+    // The best concordant order should beat the expert's identity order by
+    // roughly the paper's ~1.1x.
+    Benchmark b = make_taco_benchmark(TacoKernel::kSpMM, "laminar_duct3D");
+    Configuration best = *b.expert;
+    const TensorProfile& t = profile("laminar_duct3D");
+    best.back() = ideal_perm(TacoKernel::kSpMM, t);
+    double gain = b.true_cost(*b.expert) / b.true_cost(best);
+    EXPECT_GT(gain, 1.02);
+    EXPECT_LT(gain, 1.5);
+}
+
+}  // namespace
+}  // namespace baco::taco
