@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, test — with warnings-as-errors on the
+# src/exec/ subsystem (BACO_WERROR_EXEC).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DBACO_WERROR_EXEC=ON
+cmake --build build -j
+cd build && ctest --output-on-failure -j

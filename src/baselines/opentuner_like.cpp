@@ -6,6 +6,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "core/chain_of_trees.hpp"
@@ -26,6 +27,9 @@ enum class Technique : int {
   kCount,
 };
 
+/** Sentinel for seed-phase proposals (no bandit credit). */
+constexpr int kSeedPhase = -1;
+
 /** Per-evaluation record ranked by (feasible, value). */
 struct Member {
   Configuration config;
@@ -34,38 +38,66 @@ struct Member {
 
 }  // namespace
 
+struct OpenTunerLike::State {
+  RngEngine rng;
+  std::unique_ptr<ChainOfTrees> cot;
+  std::vector<Member> population;
+  std::unordered_set<std::size_t> seen;
+  std::vector<int> uses;
+  /** Sliding window of (technique, improved?) outcomes. */
+  std::deque<std::pair<int, bool>> window;
+  /** Technique of each suggested-but-unobserved configuration, in order. */
+  std::deque<int> pending;
+
+  State(const SearchSpace& space, std::uint64_t seed)
+      : rng(seed), uses(static_cast<std::size_t>(Technique::kCount), 0)
+  {
+      if (space.has_constraints() && space.is_fully_discrete()) {
+          try {
+              cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
+          } catch (const std::runtime_error&) {
+              cot.reset();
+          }
+      }
+  }
+};
+
 OpenTunerLike::OpenTunerLike(const SearchSpace& space, Options opt)
-    : space_(&space), opt_(opt)
+    : AskTellBase(opt.budget, opt.seed), space_(&space), opt_(opt)
 {
 }
 
-TuningHistory
-OpenTunerLike::run(const BlackBoxFn& objective)
-{
-    const SearchSpace& space = *space_;
-    RngEngine rng(opt_.seed);
-    RngEngine eval_rng = rng.split();
-    TuningHistory history;
-    auto t0 = Clock::now();
+OpenTunerLike::~OpenTunerLike() = default;
 
-    std::unique_ptr<ChainOfTrees> cot;
-    if (space.has_constraints() && space.is_fully_discrete()) {
-        try {
-            cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
-        } catch (const std::runtime_error&) {
-            cot.reset();
-        }
-    }
+OpenTunerLike::State&
+OpenTunerLike::state()
+{
+    if (!state_)
+        state_ = std::make_unique<State>(*space_, opt_.seed);
+    return *state_;
+}
+
+std::vector<Configuration>
+OpenTunerLike::suggest(int n)
+{
+    auto start = Clock::now();
+    const SearchSpace& space = *space_;
+    State& st = state();
+    n = std::min(n, remaining());
+    std::vector<Configuration> out;
+    if (n <= 0)
+        return out;
+    out.reserve(static_cast<std::size_t>(n));
 
     auto feasible_known = [&](const Configuration& c) {
-        return cot ? cot->contains(c) : space.satisfies(c);
+        return st.cot ? st.cot->contains(c) : space.satisfies(c);
     };
 
     auto random_config = [&]() -> Configuration {
-        if (cot)
-            return cot->sample(rng, /*uniform_leaves=*/false);
-        auto s = space.sample_feasible(rng, 2000);
-        return s ? std::move(*s) : space.sample_unconstrained(rng);
+        if (st.cot)
+            return st.cot->sample(st.rng, /*uniform_leaves=*/false);
+        auto s = space.sample_feasible(st.rng, 2000);
+        return s ? std::move(*s) : space.sample_unconstrained(st.rng);
     };
 
     /**
@@ -77,73 +109,49 @@ OpenTunerLike::run(const BlackBoxFn& objective)
                       const std::vector<std::size_t>& touched) -> bool {
         if (feasible_known(c))
             return true;
-        if (!cot)
+        if (!st.cot)
             return false;
         for (std::size_t p : touched) {
-            std::size_t t = cot->tree_of(p);
+            std::size_t t = st.cot->tree_of(p);
             if (t != ChainOfTrees::kNoTree)
-                cot->resample_tree(t, c, rng, /*uniform_leaves=*/false);
+                st.cot->resample_tree(t, c, st.rng, /*uniform_leaves=*/false);
         }
         return feasible_known(c);
     };
 
-    std::vector<Member> population;
-    std::unordered_set<std::size_t> seen;
-
-    auto evaluate = [&](Configuration c) {
-        seen.insert(config_hash(c));
-        auto te = Clock::now();
-        EvalResult r = objective(c, eval_rng);
-        history.eval_seconds +=
-            std::chrono::duration<double>(Clock::now() - te).count();
-        Member m;
-        m.config = c;
-        if (r.feasible)
-            m.value = r.value;
-        population.push_back(m);
-        history.add(std::move(c), r);
-    };
-
     // Elite access: indices of the best configurations.
     auto elites = [&]() {
-        std::vector<std::size_t> idx(population.size());
+        std::vector<std::size_t> idx(st.population.size());
         for (std::size_t i = 0; i < idx.size(); ++i)
             idx[i] = i;
         std::size_t k = std::min<std::size_t>(
             static_cast<std::size_t>(opt_.elite_size), idx.size());
-        std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                          idx.end(), [&](std::size_t a, std::size_t b) {
-                              return population[a].value < population[b].value;
-                          });
+        std::partial_sort(
+            idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+            idx.end(), [&](std::size_t a, std::size_t b) {
+                return st.population[a].value < st.population[b].value;
+            });
         idx.resize(k);
         return idx;
     };
 
-    // ---- Seed population. ----
-    for (int i = 0; i < std::min(opt_.initial_random, opt_.budget); ++i)
-        evaluate(random_config());
-
-    // ---- AUC bandit state. ----
-    const int n_tech = static_cast<int>(Technique::kCount);
-    std::vector<int> uses(static_cast<std::size_t>(n_tech), 0);
-    // Sliding window of (technique, improved?) outcomes.
-    std::deque<std::pair<int, bool>> window;
-
     auto select_technique = [&]() -> Technique {
+        const int n_tech = static_cast<int>(Technique::kCount);
         int total_uses = 0;
-        for (int u : uses)
+        for (int u : st.uses)
             total_uses += u;
         double best_score = -1.0;
         int best_t = 0;
         for (int t = 0; t < n_tech; ++t) {
             double score;
-            if (uses[static_cast<std::size_t>(t)] == 0) {
+            if (st.uses[static_cast<std::size_t>(t)] == 0) {
                 score = std::numeric_limits<double>::infinity();
             } else {
                 // AUC credit: recency-weighted improvements in the window.
                 double auc = 0.0, norm = 0.0;
                 double w = 1.0;
-                for (auto it = window.rbegin(); it != window.rend(); ++it) {
+                for (auto it = st.window.rbegin(); it != st.window.rend();
+                     ++it) {
                     if (it->first == t) {
                         auc += w * (it->second ? 1.0 : 0.0);
                         norm += w;
@@ -154,7 +162,7 @@ OpenTunerLike::run(const BlackBoxFn& objective)
                 score = exploit +
                         opt_.bandit_c *
                             std::sqrt(2.0 * std::log(std::max(1, total_uses)) /
-                                      uses[static_cast<std::size_t>(t)]);
+                                      st.uses[static_cast<std::size_t>(t)]);
             }
             if (score > best_score) {
                 best_score = score;
@@ -174,16 +182,17 @@ OpenTunerLike::run(const BlackBoxFn& objective)
 
           case Technique::kMutateUniform: {
             Configuration c =
-                population[elite[rng.index(elite.size())]].config;
-            int n_mut = 1 + static_cast<int>(rng.bernoulli(0.3));
+                st.population[elite[st.rng.index(elite.size())]].config;
+            int n_mut = 1 + static_cast<int>(st.rng.bernoulli(0.3));
             std::vector<std::size_t> touched;
             for (int m = 0; m < n_mut; ++m) {
-                std::size_t p = rng.index(n_params);
+                std::size_t p = st.rng.index(n_params);
                 touched.push_back(p);
-                if (cot && cot->tree_of(p) != ChainOfTrees::kNoTree) {
-                    cot->resample_tree(cot->tree_of(p), c, rng, false);
+                if (st.cot && st.cot->tree_of(p) != ChainOfTrees::kNoTree) {
+                    st.cot->resample_tree(st.cot->tree_of(p), c, st.rng,
+                                          false);
                 } else {
-                    c[p] = space.param(p).sample(rng);
+                    c[p] = space.param(p).sample(st.rng);
                 }
             }
             if (!repair(c, touched))
@@ -193,24 +202,25 @@ OpenTunerLike::run(const BlackBoxFn& objective)
 
           case Technique::kMutateLocal: {
             Configuration c =
-                population[elite[rng.index(elite.size())]].config;
-            std::size_t p = rng.index(n_params);
-            std::vector<ParamValue> nb = space.param(p).neighbors(c[p], rng);
+                st.population[elite[st.rng.index(elite.size())]].config;
+            std::size_t p = st.rng.index(n_params);
+            std::vector<ParamValue> nb =
+                space.param(p).neighbors(c[p], st.rng);
             if (!nb.empty())
-                c[p] = nb[rng.index(nb.size())];
+                c[p] = nb[st.rng.index(nb.size())];
             if (!repair(c, {p}))
                 return random_config();
             return c;
           }
 
           case Technique::kHillClimb: {
-            const Configuration& best =
-                population[elite[0]].config;
+            const Configuration& best = st.population[elite[0]].config;
             Configuration c = best;
-            std::size_t p = rng.index(n_params);
-            std::vector<ParamValue> nb = space.param(p).neighbors(c[p], rng);
+            std::size_t p = st.rng.index(n_params);
+            std::vector<ParamValue> nb =
+                space.param(p).neighbors(c[p], st.rng);
             if (!nb.empty())
-                c[p] = nb[rng.index(nb.size())];
+                c[p] = nb[st.rng.index(nb.size())];
             if (!repair(c, {p}))
                 return random_config();
             return c;
@@ -218,15 +228,15 @@ OpenTunerLike::run(const BlackBoxFn& objective)
 
           case Technique::kDifferentialEvo: {
             const Configuration& base =
-                population[elite[rng.index(elite.size())]].config;
+                st.population[elite[st.rng.index(elite.size())]].config;
             const Configuration& a =
-                population[rng.index(population.size())].config;
+                st.population[st.rng.index(st.population.size())].config;
             const Configuration& b =
-                population[rng.index(population.size())].config;
+                st.population[st.rng.index(st.population.size())].config;
             Configuration c = base;
             std::vector<std::size_t> touched;
             for (std::size_t p = 0; p < n_params; ++p) {
-                if (!rng.bernoulli(0.4))
+                if (!st.rng.bernoulli(0.4))
                     continue;
                 touched.push_back(p);
                 const Parameter& par = space.param(p);
@@ -243,7 +253,7 @@ OpenTunerLike::run(const BlackBoxFn& objective)
                         static_cast<std::int64_t>(par.num_values()) - 1);
                     c[p] = par.value_at(static_cast<std::size_t>(idx));
                 } else if (par.kind() == ParamKind::kPermutation) {
-                    c[p] = rng.bernoulli(0.5) ? a[p] : b[p];
+                    c[p] = st.rng.bernoulli(0.5) ? a[p] : b[p];
                 } else {
                     double va = as_real(a[p]), vb = as_real(b[p]);
                     double vc = as_real(base[p]) + 0.6 * (va - vb);
@@ -262,14 +272,22 @@ OpenTunerLike::run(const BlackBoxFn& objective)
         return random_config();
     };
 
-    // ---- Main loop. ----
-    while (static_cast<int>(history.size()) < opt_.budget) {
+    const int seed_target = std::min(opt_.initial_random, opt_.budget);
+    for (int k = 0; k < n; ++k) {
+        std::size_t virtual_evals = history_.size() + out.size();
+        if (virtual_evals < static_cast<std::size_t>(seed_target)) {
+            Configuration c = random_config();
+            st.seen.insert(config_hash(c));
+            st.pending.push_back(kSeedPhase);
+            out.push_back(std::move(c));
+            continue;
+        }
         Technique t = select_technique();
         Configuration c;
         bool found = false;
         for (int tries = 0; tries < 8; ++tries) {
             c = propose(t);
-            if (!seen.count(config_hash(c))) {
+            if (!st.seen.count(config_hash(c))) {
                 found = true;
                 break;
             }
@@ -277,24 +295,95 @@ OpenTunerLike::run(const BlackBoxFn& objective)
         if (!found) {
             for (int tries = 0; tries < 200 && !found; ++tries) {
                 c = random_config();
-                found = !seen.count(config_hash(c));
+                found = !st.seen.count(config_hash(c));
             }
         }
-
-        double before = history.best_value;
-        evaluate(std::move(c));
-        bool improved = history.best_value < before;
-
-        uses[static_cast<std::size_t>(t)] += 1;
-        window.emplace_back(static_cast<int>(t), improved);
-        if (static_cast<int>(window.size()) > opt_.bandit_window)
-            window.pop_front();
+        st.seen.insert(config_hash(c));
+        st.pending.push_back(static_cast<int>(t));
+        out.push_back(std::move(c));
     }
+    history_.tuner_seconds +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return out;
+}
 
-    history.tuner_seconds =
-        std::chrono::duration<double>(Clock::now() - t0).count() -
-        history.eval_seconds;
-    return history;
+void
+OpenTunerLike::observe(const std::vector<Configuration>& configs,
+                       const std::vector<EvalResult>& results)
+{
+    auto start = Clock::now();
+    State& st = state();
+    for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i) {
+        int technique = kSeedPhase;
+        if (!st.pending.empty()) {
+            technique = st.pending.front();
+            st.pending.pop_front();
+        }
+        st.seen.insert(config_hash(configs[i]));
+
+        double before = history_.best_value;
+        Member m;
+        m.config = configs[i];
+        if (results[i].feasible)
+            m.value = results[i].value;
+        st.population.push_back(std::move(m));
+        history_.add(configs[i], results[i]);
+
+        if (technique != kSeedPhase) {
+            bool improved = history_.best_value < before;
+            st.uses[static_cast<std::size_t>(technique)] += 1;
+            st.window.emplace_back(technique, improved);
+            if (static_cast<int>(st.window.size()) > opt_.bandit_window)
+                st.window.pop_front();
+        }
+    }
+    history_.tuner_seconds +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void
+OpenTunerLike::reset_sampler()
+{
+    state_.reset();
+}
+
+std::string
+OpenTunerLike::sampler_state() const
+{
+    return rng_state_string(state_ ? &state_->rng : nullptr);
+}
+
+bool
+OpenTunerLike::restore(const TuningHistory& history,
+                       const std::string& sampler_state)
+{
+    state_.reset();
+    history_ = history;
+    State& st = state();
+    for (const Observation& o : history_.observations) {
+        st.seen.insert(config_hash(o.config));
+        Member m;
+        m.config = o.config;
+        if (o.feasible)
+            m.value = o.value;
+        st.population.push_back(std::move(m));
+    }
+    // The bandit window is not checkpointed: credit restarts cold, which
+    // only perturbs technique selection, not correctness.
+    if (!restore_rng(st.rng, sampler_state)) {
+        state_.reset();
+        history_ = TuningHistory{};
+        return false;
+    }
+    return true;
+}
+
+TuningHistory
+OpenTunerLike::run(const BlackBoxFn& objective)
+{
+    state_.reset();
+    history_ = TuningHistory{};
+    return drive_serial(*this, objective);
 }
 
 }  // namespace baco

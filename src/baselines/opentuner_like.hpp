@@ -17,15 +17,22 @@
  * configuration is kept in the history with an effectively infinite
  * objective (no feasibility model — this is exactly the behaviour BaCO
  * improves on).
+ *
+ * The search is exposed through the ask-tell interface: suggest() picks a
+ * technique per batch member, observe() settles the bandit credit when the
+ * results come back.
  */
+
+#include <memory>
 
 #include "core/evaluator.hpp"
 #include "core/search_space.hpp"
+#include "exec/ask_tell.hpp"
 
 namespace baco {
 
 /** OpenTuner-like ensemble search. */
-class OpenTunerLike {
+class OpenTunerLike : public AskTellBase {
  public:
   struct Options {
     int budget = 60;
@@ -37,13 +44,29 @@ class OpenTunerLike {
   };
 
   OpenTunerLike(const SearchSpace& space, Options opt);
+  ~OpenTunerLike() override;
 
-  /** Run the ensemble search loop. */
+  /** Run the ensemble search loop (serial ask-tell driver). */
   TuningHistory run(const BlackBoxFn& objective);
 
+  // --- Ask-tell interface. ---
+  std::vector<Configuration> suggest(int n) override;
+  void observe(const std::vector<Configuration>& configs,
+               const std::vector<EvalResult>& results) override;
+  std::string sampler_state() const override;
+  bool restore(const TuningHistory& history,
+               const std::string& sampler_state) override;
+
+ protected:
+  void reset_sampler() override;
+
  private:
+  struct State;
+  State& state();
+
   const SearchSpace* space_;
   Options opt_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace baco

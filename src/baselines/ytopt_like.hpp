@@ -19,15 +19,21 @@
  * does not support known constraints, so it samples candidates from the
  * dense space (the Fig. 8 benchmark uses a manually pruned space, matching
  * the paper's setup).
+ *
+ * Exposed through the ask-tell interface; suggest(n > 1) returns the top-n
+ * distinct pool candidates by acquisition value.
  */
+
+#include <memory>
 
 #include "core/evaluator.hpp"
 #include "core/search_space.hpp"
+#include "exec/ask_tell.hpp"
 
 namespace baco {
 
 /** Ytopt-like BO baseline. */
-class YtoptLike {
+class YtoptLike : public AskTellBase {
  public:
   enum class Surrogate { kRandomForest, kGaussianProcess };
 
@@ -43,12 +49,28 @@ class YtoptLike {
   };
 
   YtoptLike(const SearchSpace& space, Options opt);
+  ~YtoptLike() override;
 
   TuningHistory run(const BlackBoxFn& objective);
 
+  // --- Ask-tell interface. ---
+  std::vector<Configuration> suggest(int n) override;
+  void observe(const std::vector<Configuration>& configs,
+               const std::vector<EvalResult>& results) override;
+  std::string sampler_state() const override;
+  bool restore(const TuningHistory& history,
+               const std::string& sampler_state) override;
+
+ protected:
+  void reset_sampler() override;
+
  private:
+  struct State;
+  State& state();
+
   const SearchSpace* space_;
   Options opt_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace baco

@@ -23,7 +23,10 @@ namespace baco {
 
 /**
  * Black-box objective. The RngEngine carries the measurement-noise stream so
- * whole experiments are reproducible from a single seed.
+ * whole experiments are reproducible from a single seed. Drivers hand each
+ * evaluation an independent stream derived from (run seed, evaluation
+ * index) — see exec/ask_tell.hpp — so serial and batched execution draw
+ * identical noise.
  */
 using BlackBoxFn =
     std::function<EvalResult(const Configuration&, RngEngine&)>;
@@ -81,6 +84,30 @@ struct TuningHistory {
   /** Number of evaluations performed. */
   std::size_t size() const { return observations.size(); }
 };
+
+/** Structural equality of observations (config, value, feasibility). */
+inline bool
+observations_equal(const Observation& a, const Observation& b)
+{
+    return a.value == b.value && a.feasible == b.feasible &&
+           configs_equal(a.config, b.config);
+}
+
+/**
+ * Order-sensitive structural equality of two histories; wall-clock timing
+ * fields are ignored (they never reproduce).
+ */
+inline bool
+histories_equal(const TuningHistory& a, const TuningHistory& b)
+{
+    if (a.observations.size() != b.observations.size())
+        return false;
+    for (std::size_t i = 0; i < a.observations.size(); ++i) {
+        if (!observations_equal(a.observations[i], b.observations[i]))
+            return false;
+    }
+    return true;
+}
 
 }  // namespace baco
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "core/acquisition.hpp"
-#include "core/doe.hpp"
+#include "core/chain_of_trees.hpp"
 #include "core/feasibility_model.hpp"
 #include "rf/random_forest.hpp"
 
@@ -25,172 +27,256 @@ seconds_since(Clock::time_point t0)
 
 }  // namespace
 
+/** Everything the loop carries between suggest()/observe() calls. */
+struct Tuner::State {
+  RngEngine rng;
+  std::unique_ptr<ChainOfTrees> cot;
+  std::unordered_set<std::size_t> seen;
+  GpModel gp;
+  RandomForest rf_surrogate;
+  FeasibilityModel feasibility;
+
+  State(const SearchSpace& space, const TunerOptions& opt)
+      : rng(opt.seed),
+        gp(space, opt.gp),
+        rf_surrogate([] {
+            ForestOptions o;
+            o.task = TreeTask::kRegression;
+            o.num_trees = 40;
+            return o;
+        }()),
+        feasibility(space)
+  {
+      // Known constraints: Chain-of-Trees when possible.
+      if (opt.use_cot && space.has_constraints() &&
+          space.is_fully_discrete()) {
+          try {
+              cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
+          } catch (const std::runtime_error&) {
+              cot.reset();  // fall back to rejection sampling
+          }
+      }
+  }
+};
+
 Tuner::Tuner(const SearchSpace& space, TunerOptions opt)
-    : space_(&space), opt_(opt)
+    : AskTellBase(opt.budget, opt.seed), space_(&space), opt_(opt)
 {
+}
+
+Tuner::~Tuner() = default;
+
+Tuner::State&
+Tuner::state()
+{
+    if (!state_)
+        state_ = std::make_unique<State>(*space_, opt_);
+    return *state_;
+}
+
+Configuration
+Tuner::random_unique(State& st)
+{
+    const SearchSpace& space = *space_;
+    for (int t = 0; t < 500; ++t) {
+        Configuration c;
+        if (st.cot) {
+            c = st.cot->sample(st.rng, opt_.cot_uniform_leaves);
+        } else {
+            auto s = space.sample_feasible(st.rng, 500);
+            if (!s)
+                continue;
+            c = std::move(*s);
+        }
+        if (!st.seen.count(config_hash(c)))
+            return c;
+    }
+    // The space may be (nearly) exhausted: allow a duplicate.
+    if (st.cot)
+        return st.cot->sample(st.rng, opt_.cot_uniform_leaves);
+    auto s = space.sample_feasible(st.rng, 5000);
+    if (s)
+        return *s;
+    return space.sample_unconstrained(st.rng);
+}
+
+Configuration
+Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
+               double fantasy_value)
+{
+    const SearchSpace& space = *space_;
+
+    // Gather feasible training data, plus the batch's fantasy points.
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    bool log_ok = opt_.log_objective;
+    for (const Observation& o : history_.observations) {
+        if (!o.feasible)
+            continue;
+        xs.push_back(o.config);
+        ys.push_back(o.value);
+        if (o.value <= 0.0)
+            log_ok = false;
+    }
+    if (xs.size() < 2)
+        return random_unique(st);
+    for (const Configuration& c : fantasy_configs) {
+        xs.push_back(c);
+        ys.push_back(fantasy_value);
+        if (fantasy_value <= 0.0)
+            log_ok = false;
+    }
+    if (log_ok) {
+        for (double& y : ys)
+            y = std::log(y);
+    }
+
+    // Fit the value model.
+    bool use_gp = opt_.surrogate == TunerOptions::Surrogate::kGaussianProcess;
+    if (use_gp) {
+        st.gp.fit(xs, ys, st.rng);
+    } else {
+        std::vector<std::vector<double>> rf_x;
+        rf_x.reserve(xs.size());
+        for (const Configuration& c : xs)
+            rf_x.push_back(space.encode(c));
+        st.rf_surrogate.fit(rf_x, ys, st.rng);
+    }
+
+    // Fit the feasibility model (on real observations only).
+    if (opt_.use_feasibility_model)
+        st.feasibility.fit(history_.observations, st.rng);
+
+    // Minimum feasibility threshold eps_f, resampled each iteration
+    // with P(eps_f = 0) > 0 (Sec. 4.2).
+    double eps_f = 0.0;
+    if (st.feasibility.active() && opt_.use_feasibility_limit)
+        eps_f = st.rng.bernoulli(1.0 / 3.0) ? 0.0 : st.rng.uniform(0.0, 0.6);
+
+    double best = *std::min_element(ys.begin(), ys.end());
+
+    ScoreFn score = [&](const Configuration& c) -> double {
+        if (st.seen.count(config_hash(c)))
+            return -2.0;  // worse than any admissible candidate
+        double mean, var;
+        if (use_gp) {
+            GpPrediction p = st.gp.predict(c);
+            mean = p.mean;
+            var = p.var;
+        } else {
+            ForestPrediction p =
+                st.rf_surrogate.predict_with_variance(space.encode(c));
+            mean = p.mean;
+            var = p.var;
+        }
+        double pf = opt_.use_feasibility_model ? st.feasibility.probability(c)
+                                               : 1.0;
+        double s = constrained_ei(mean, var, best, pf, eps_f);
+        if (s > 0.0 && opt_.user_prior) {
+            double exponent =
+                opt_.prior_strength /
+                static_cast<double>(std::max<std::size_t>(
+                    1, history_.size() + fantasy_configs.size()));
+            s *= std::pow(std::max(opt_.user_prior(c), 1e-9), exponent);
+        }
+        return s;
+    };
+
+    LocalSearchOptions ls = opt_.ls;
+    ls.cot_uniform_leaves = opt_.cot_uniform_leaves;
+    ls.hill_climb = opt_.local_search;
+    std::optional<Configuration> cand =
+        local_search_maximize(space, st.cot.get(), score, st.rng, ls);
+
+    if (!cand || st.seen.count(config_hash(*cand)))
+        return random_unique(st);
+    return std::move(*cand);
+}
+
+std::vector<Configuration>
+Tuner::suggest(int n)
+{
+    auto t0 = Clock::now();
+    State& st = state();
+    n = std::min(n, remaining());
+    std::vector<Configuration> out;
+    if (n <= 0)
+        return out;
+    out.reserve(static_cast<std::size_t>(n));
+
+    const int doe_target = std::min(opt_.doe_samples, opt_.budget);
+
+    // Constant liar: the incumbent value stands in for each pending batch
+    // member, pushing later members away from the same region.
+    double lie = std::numeric_limits<double>::infinity();
+    for (const Observation& o : history_.observations) {
+        if (o.feasible && o.value < lie)
+            lie = o.value;
+    }
+
+    for (int k = 0; k < n; ++k) {
+        std::size_t virtual_evals = history_.size() + out.size();
+        Configuration c;
+        if (virtual_evals < static_cast<std::size_t>(doe_target)) {
+            c = random_unique(st);
+        } else {
+            c = propose(st, out, lie);
+        }
+        st.seen.insert(config_hash(c));
+        out.push_back(std::move(c));
+    }
+    history_.tuner_seconds += seconds_since(t0);
+    return out;
+}
+
+void
+Tuner::observe(const std::vector<Configuration>& configs,
+               const std::vector<EvalResult>& results)
+{
+    auto t0 = Clock::now();
+    State& st = state();
+    for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i) {
+        st.seen.insert(config_hash(configs[i]));
+        history_.add(configs[i], results[i]);
+    }
+    history_.tuner_seconds += seconds_since(t0);
+}
+
+void
+Tuner::reset_sampler()
+{
+    state_.reset();
+}
+
+std::string
+Tuner::sampler_state() const
+{
+    return rng_state_string(state_ ? &state_->rng : nullptr);
+}
+
+bool
+Tuner::restore(const TuningHistory& history, const std::string& sampler_state)
+{
+    state_.reset();
+    history_ = history;
+    State& st = state();
+    for (const Observation& o : history_.observations)
+        st.seen.insert(config_hash(o.config));
+    if (!restore_rng(st.rng, sampler_state)) {
+        // Don't leave a half-restored tuner behind.
+        state_.reset();
+        history_ = TuningHistory{};
+        return false;
+    }
+    return true;
 }
 
 TuningHistory
 Tuner::run(const BlackBoxFn& objective)
 {
-    const SearchSpace& space = *space_;
-    RngEngine rng(opt_.seed);
-    RngEngine eval_rng = rng.split();
-
-    TuningHistory history;
-    auto run_start = Clock::now();
-
-    // ---- Known constraints: Chain-of-Trees when possible. ----
-    std::unique_ptr<ChainOfTrees> cot;
-    if (opt_.use_cot && space.has_constraints() && space.is_fully_discrete()) {
-        try {
-            cot = std::make_unique<ChainOfTrees>(ChainOfTrees::build(space));
-        } catch (const std::runtime_error&) {
-            cot.reset();  // fall back to rejection sampling
-        }
-    }
-
-    std::unordered_set<std::size_t> seen;
-    auto evaluate = [&](Configuration c) {
-        seen.insert(config_hash(c));
-        auto t0 = Clock::now();
-        EvalResult r = objective(c, eval_rng);
-        history.eval_seconds += seconds_since(t0);
-        history.add(std::move(c), r);
-    };
-
-    auto random_unique = [&]() -> Configuration {
-        for (int t = 0; t < 500; ++t) {
-            Configuration c;
-            if (cot) {
-                c = cot->sample(rng, opt_.cot_uniform_leaves);
-            } else {
-                auto s = space.sample_feasible(rng, 500);
-                if (!s)
-                    continue;
-                c = std::move(*s);
-            }
-            if (!seen.count(config_hash(c)))
-                return c;
-        }
-        // The space may be (nearly) exhausted: allow a duplicate.
-        if (cot)
-            return cot->sample(rng, opt_.cot_uniform_leaves);
-        auto s = space.sample_feasible(rng, 5000);
-        if (s)
-            return *s;
-        return space.sample_unconstrained(rng);
-    };
-
-    // ---- Initial phase (DoE). ----
-    int doe_n = std::min(opt_.doe_samples, opt_.budget);
-    for (Configuration& c :
-         doe_random_sample(space, cot.get(), doe_n, rng,
-                           opt_.cot_uniform_leaves)) {
-        if (static_cast<int>(history.size()) >= opt_.budget)
-            break;
-        evaluate(std::move(c));
-    }
-
-    // ---- Models. ----
-    GpModel gp(space, opt_.gp);
-    RandomForest rf_surrogate([] {
-        ForestOptions o;
-        o.task = TreeTask::kRegression;
-        o.num_trees = 40;
-        return o;
-    }());
-    FeasibilityModel feasibility(space);
-
-    // ---- Learning phase. ----
-    while (static_cast<int>(history.size()) < opt_.budget) {
-        // Gather feasible training data.
-        std::vector<Configuration> xs;
-        std::vector<double> ys;
-        bool log_ok = opt_.log_objective;
-        for (const Observation& o : history.observations) {
-            if (!o.feasible)
-                continue;
-            xs.push_back(o.config);
-            ys.push_back(o.value);
-            if (o.value <= 0.0)
-                log_ok = false;
-        }
-        if (xs.size() < 2) {
-            evaluate(random_unique());
-            continue;
-        }
-        if (log_ok) {
-            for (double& y : ys)
-                y = std::log(y);
-        }
-
-        // Fit the value model.
-        bool use_gp = opt_.surrogate == TunerOptions::Surrogate::kGaussianProcess;
-        std::vector<std::vector<double>> rf_x;
-        if (use_gp) {
-            gp.fit(xs, ys, rng);
-        } else {
-            rf_x.clear();
-            rf_x.reserve(xs.size());
-            for (const Configuration& c : xs)
-                rf_x.push_back(space.encode(c));
-            rf_surrogate.fit(rf_x, ys, rng);
-        }
-
-        // Fit the feasibility model.
-        if (opt_.use_feasibility_model)
-            feasibility.fit(history.observations, rng);
-
-        // Minimum feasibility threshold eps_f, resampled each iteration
-        // with P(eps_f = 0) > 0 (Sec. 4.2).
-        double eps_f = 0.0;
-        if (feasibility.active() && opt_.use_feasibility_limit)
-            eps_f = rng.bernoulli(1.0 / 3.0) ? 0.0 : rng.uniform(0.0, 0.6);
-
-        double best = *std::min_element(ys.begin(), ys.end());
-
-        ScoreFn score = [&](const Configuration& c) -> double {
-            if (seen.count(config_hash(c)))
-                return -2.0;  // worse than any admissible candidate
-            double mean, var;
-            if (use_gp) {
-                GpPrediction p = gp.predict(c);
-                mean = p.mean;
-                var = p.var;
-            } else {
-                ForestPrediction p =
-                    rf_surrogate.predict_with_variance(space.encode(c));
-                mean = p.mean;
-                var = p.var;
-            }
-            double pf = opt_.use_feasibility_model ? feasibility.probability(c)
-                                                   : 1.0;
-            double score = constrained_ei(mean, var, best, pf, eps_f);
-            if (score > 0.0 && opt_.user_prior) {
-                double exponent =
-                    opt_.prior_strength /
-                    static_cast<double>(std::max<std::size_t>(
-                        1, history.size()));
-                score *= std::pow(std::max(opt_.user_prior(c), 1e-9),
-                                  exponent);
-            }
-            return score;
-        };
-
-        LocalSearchOptions ls = opt_.ls;
-        ls.cot_uniform_leaves = opt_.cot_uniform_leaves;
-        ls.hill_climb = opt_.local_search;
-        std::optional<Configuration> cand =
-            local_search_maximize(space, cot.get(), score, rng, ls);
-
-        if (!cand || seen.count(config_hash(*cand)))
-            cand = random_unique();
-        evaluate(std::move(*cand));
-    }
-
-    history.tuner_seconds = seconds_since(run_start) - history.eval_seconds;
-    return history;
+    state_.reset();
+    history_ = TuningHistory{};
+    return drive_serial(*this, objective);
 }
 
 }  // namespace baco

@@ -8,15 +8,23 @@
  * model, EI acquisition and multi-start local search, seeded by a uniform
  * DoE phase.
  *
+ * The tuner exposes the ask-tell interface (exec/ask_tell.hpp): suggest(n)
+ * proposes the next batch — using the constant-liar fantasy heuristic to
+ * keep batch members diverse — and observe() feeds results back. run() is
+ * a thin serial driver; the batched EvalEngine drives the same object
+ * concurrently.
+ *
  * Every design choice studied in the paper's ablations (Sec. 5.3) is an
  * explicit switch in TunerOptions, so BaCO-- and the Fig. 9/10 variants are
  * configurations of this one class.
  */
 
-#include "core/chain_of_trees.hpp"
+#include <memory>
+
 #include "core/evaluator.hpp"
 #include "core/local_search.hpp"
 #include "core/search_space.hpp"
+#include "exec/ask_tell.hpp"
 #include "gp/gp_model.hpp"
 
 namespace baco {
@@ -80,19 +88,48 @@ struct TunerOptions {
 };
 
 /** The BaCO autotuner. */
-class Tuner {
+class Tuner : public AskTellBase {
  public:
   /**
    * @param space must outlive the tuner.
    */
   Tuner(const SearchSpace& space, TunerOptions opt = TunerOptions{});
+  ~Tuner() override;
 
-  /** Run the full tuning loop against a black-box objective. */
+  /**
+   * Run the full tuning loop against a black-box objective (serial
+   * ask-tell driver; resets any previous state first).
+   */
   TuningHistory run(const BlackBoxFn& objective);
 
+  // --- Ask-tell interface. ---
+  /**
+   * Propose the next batch. n > 1 uses the constant-liar heuristic: each
+   * already-proposed batch member is added to the model's training set
+   * with the incumbent value, so later members explore elsewhere.
+   */
+  std::vector<Configuration> suggest(int n) override;
+  void observe(const std::vector<Configuration>& configs,
+               const std::vector<EvalResult>& results) override;
+  std::string sampler_state() const override;
+  bool restore(const TuningHistory& history,
+               const std::string& sampler_state) override;
+
+ protected:
+  void reset_sampler() override;
+
  private:
+  struct State;  ///< models, CoT, sampler RNG, dedup set (lazily built)
+  State& state();
+  Configuration random_unique(State& st);
+  /** Model-based proposal with constant-liar fantasies mixed in. */
+  Configuration propose(State& st,
+                        const std::vector<Configuration>& fantasy_configs,
+                        double fantasy_value);
+
   const SearchSpace* space_;
   TunerOptions opt_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace baco

@@ -1,0 +1,90 @@
+#include "exec/ask_tell.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace baco {
+
+RngEngine
+eval_rng_for(std::uint64_t run_seed, std::uint64_t index)
+{
+    // splitmix64 over (seed, index); index + 1 keeps index 0 distinct from
+    // the raw seed.
+    std::uint64_t z = run_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return RngEngine(z);
+}
+
+void
+AskTellTuner::observe_one(const Configuration& c, const EvalResult& r)
+{
+    observe(std::vector<Configuration>{c}, std::vector<EvalResult>{r});
+}
+
+bool
+AskTellTuner::restore(const TuningHistory&, const std::string&)
+{
+    return false;
+}
+
+TuningHistory
+AskTellBase::take_history()
+{
+    TuningHistory h = std::move(history_);
+    history_ = TuningHistory{};
+    reset_sampler();
+    return h;
+}
+
+std::string
+AskTellBase::rng_state_string(const RngEngine* rng) const
+{
+    std::ostringstream oss;
+    if (rng) {
+        oss << rng->engine();
+    } else {
+        oss << RngEngine(seed_).engine();
+    }
+    return oss.str();
+}
+
+bool
+AskTellBase::restore_rng(RngEngine& rng, const std::string& state)
+{
+    if (state.empty())
+        return true;
+    std::istringstream iss(state);
+    iss >> rng.engine();
+    return !iss.fail();
+}
+
+TuningHistory
+drive_serial(AskTellTuner& tuner, const BlackBoxFn& objective)
+{
+    using Clock = std::chrono::steady_clock;
+    while (tuner.remaining() > 0) {
+        std::vector<Configuration> batch = tuner.suggest(1);
+        if (batch.empty())
+            break;
+        std::uint64_t index = tuner.history().size();
+        std::vector<EvalResult> results;
+        results.reserve(batch.size());
+        double eval_seconds = 0.0;
+        for (const Configuration& c : batch) {
+            RngEngine rng = eval_rng_for(tuner.run_seed(), index++);
+            auto t0 = Clock::now();
+            results.push_back(objective(c, rng));
+            eval_seconds +=
+                std::chrono::duration<double>(Clock::now() - t0).count();
+        }
+        tuner.observe(batch, results);
+        // Charge black-box time separately so tuner_seconds stays pure
+        // search overhead.
+        tuner.mutable_history().eval_seconds += eval_seconds;
+    }
+    return tuner.take_history();
+}
+
+}  // namespace baco

@@ -1,0 +1,218 @@
+#include "exec/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "exec/jsonl.hpp"
+
+namespace baco {
+
+namespace {
+
+void
+write_config_json(std::ostream& out, const Configuration& c)
+{
+    out << '[';
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        if (const auto* d = std::get_if<double>(&c[i])) {
+            out << "{\"r\":" << jsonl::fmt_double(*d) << '}';
+        } else if (const auto* v = std::get_if<std::int64_t>(&c[i])) {
+            out << "{\"i\":" << *v << '}';
+        } else {
+            const auto& p = std::get<Permutation>(c[i]);
+            out << "{\"p\":[";
+            for (std::size_t k = 0; k < p.size(); ++k) {
+                if (k > 0)
+                    out << ',';
+                out << p[k];
+            }
+            out << "]}";
+        }
+    }
+    out << ']';
+}
+
+/** strtod at s[at]; false when no number starts there. Advances at. */
+bool
+parse_double_at(const std::string& s, std::size_t& at, double& out)
+{
+    const char* begin = s.c_str() + at;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin)
+        return false;
+    at += static_cast<std::size_t>(end - begin);
+    return true;
+}
+
+/** strtoll at s[at]; false when no integer starts there. Advances at. */
+bool
+parse_int_at(const std::string& s, std::size_t& at, std::int64_t& out)
+{
+    const char* begin = s.c_str() + at;
+    char* end = nullptr;
+    out = std::strtoll(begin, &end, 10);
+    if (end == begin)
+        return false;
+    at += static_cast<std::size_t>(end - begin);
+    return true;
+}
+
+/**
+ * Parse the config array emitted by write_config_json starting at s[at]
+ * (the '['). Advances at past the closing ']'. Returns false on malformed
+ * input (never throws).
+ */
+bool
+parse_config_json(const std::string& s, std::size_t& at, Configuration& out)
+{
+    if (at >= s.size() || s[at] != '[')
+        return false;
+    ++at;
+    out.clear();
+    if (at < s.size() && s[at] == ']') {
+        ++at;
+        return true;
+    }
+    while (at < s.size()) {
+        if (s.compare(at, 5, "{\"r\":") == 0) {
+            at += 5;
+            double d;
+            if (!parse_double_at(s, at, d))
+                return false;
+            out.emplace_back(d);
+        } else if (s.compare(at, 5, "{\"i\":") == 0) {
+            at += 5;
+            std::int64_t v;
+            if (!parse_int_at(s, at, v))
+                return false;
+            out.emplace_back(v);
+        } else if (s.compare(at, 6, "{\"p\":[") == 0) {
+            at += 6;
+            Permutation p;
+            while (at < s.size() && s[at] != ']') {
+                std::int64_t v;
+                if (!parse_int_at(s, at, v))
+                    return false;
+                p.push_back(static_cast<int>(v));
+                if (at < s.size() && s[at] == ',')
+                    ++at;
+            }
+            if (at >= s.size())
+                return false;
+            ++at;  // ']'
+            out.emplace_back(std::move(p));
+        } else {
+            return false;
+        }
+        if (at >= s.size() || s[at] != '}')
+            return false;
+        ++at;  // '}'
+        if (at < s.size() && s[at] == ',') {
+            ++at;
+            continue;
+        }
+        break;
+    }
+    if (at >= s.size() || s[at] != ']')
+        return false;
+    ++at;
+    return true;
+}
+
+}  // namespace
+
+bool
+save_checkpoint(const std::string& path, const AskTellTuner& tuner)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        const TuningHistory& h = tuner.history();
+        out << "{\"type\":\"meta\",\"version\":1,\"seed\":"
+            << tuner.run_seed()
+            << ",\"tuner_seconds\":" << jsonl::fmt_double(h.tuner_seconds)
+            << ",\"eval_seconds\":" << jsonl::fmt_double(h.eval_seconds)
+            << "}\n";
+        for (const Observation& o : h.observations) {
+            out << "{\"type\":\"obs\",\"config\":";
+            write_config_json(out, o.config);
+            out << ",\"value\":" << jsonl::fmt_double(o.value)
+                << ",\"feasible\":" << (o.feasible ? "true" : "false")
+                << "}\n";
+        }
+        out << "{\"type\":\"state\",\"rng\":\"" << tuner.sampler_state()
+            << "\"}\n";
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<CheckpointData>
+load_checkpoint(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    CheckpointData data;
+    bool saw_meta = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string type;
+        if (!jsonl::field(line, "type", type))
+            return std::nullopt;
+        if (type == "meta") {
+            std::string seed, ts, es;
+            if (!jsonl::field(line, "seed", seed))
+                return std::nullopt;
+            data.seed = std::strtoull(seed.c_str(), nullptr, 10);
+            if (jsonl::field(line, "tuner_seconds", ts))
+                data.history.tuner_seconds = std::strtod(ts.c_str(), nullptr);
+            if (jsonl::field(line, "eval_seconds", es))
+                data.history.eval_seconds = std::strtod(es.c_str(), nullptr);
+            saw_meta = true;
+        } else if (type == "obs") {
+            std::size_t at = line.find("\"config\":");
+            if (at == std::string::npos)
+                return std::nullopt;
+            at += 9;
+            Configuration c;
+            if (!parse_config_json(line, at, c))
+                return std::nullopt;
+            std::string value, feasible;
+            if (!jsonl::field(line, "value", value) ||
+                !jsonl::field(line, "feasible", feasible)) {
+                return std::nullopt;
+            }
+            EvalResult r;
+            r.value = std::strtod(value.c_str(), nullptr);
+            r.feasible = feasible == "true";
+            data.history.add(std::move(c), r);
+        } else if (type == "state") {
+            if (!jsonl::field(line, "rng", data.sampler_state))
+                return std::nullopt;
+        }
+    }
+    if (!saw_meta)
+        return std::nullopt;
+    return data;
+}
+
+bool
+resume_from_checkpoint(const std::string& path, AskTellTuner& tuner)
+{
+    std::optional<CheckpointData> data = load_checkpoint(path);
+    if (!data)
+        return false;
+    return tuner.restore(data->history, data->sampler_state);
+}
+
+}  // namespace baco

@@ -1,0 +1,45 @@
+#ifndef BACO_EXEC_CHECKPOINT_HPP_
+#define BACO_EXEC_CHECKPOINT_HPP_
+
+/**
+ * @file
+ * JSONL checkpoint/resume of tuning runs.
+ *
+ * A checkpoint file is one JSON object per line: a meta line (format
+ * version, run seed, timing), one obs line per evaluated configuration,
+ * and a state line carrying the tuner's serialized sampler RNG. Rewritten
+ * atomically (tmp + rename) after every observed batch, the file lets an
+ * interrupted run resume mid-budget and — because the sampler stream
+ * position is restored exactly — finish with the same history an
+ * uninterrupted run would have produced.
+ */
+
+#include <optional>
+#include <string>
+
+#include "exec/ask_tell.hpp"
+
+namespace baco {
+
+/** Everything a checkpoint file holds. */
+struct CheckpointData {
+  std::uint64_t seed = 0;
+  TuningHistory history;
+  std::string sampler_state;
+};
+
+/** Atomically (tmp + rename) write the tuner's current state to path. */
+bool save_checkpoint(const std::string& path, const AskTellTuner& tuner);
+
+/** Parse a checkpoint file; nullopt on missing/corrupt file. */
+std::optional<CheckpointData> load_checkpoint(const std::string& path);
+
+/**
+ * Load path and restore the tuner from it. Returns false when the file is
+ * absent/corrupt or the tuner does not support resume.
+ */
+bool resume_from_checkpoint(const std::string& path, AskTellTuner& tuner);
+
+}  // namespace baco
+
+#endif  // BACO_EXEC_CHECKPOINT_HPP_

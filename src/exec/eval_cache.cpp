@@ -1,0 +1,142 @@
+#include "exec/eval_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "exec/jsonl.hpp"
+
+namespace baco {
+
+namespace {
+
+void
+append_value(std::string& key, const ParamValue& v)
+{
+    char buf[64];
+    if (const auto* d = std::get_if<double>(&v)) {
+        key += "r:";
+        key += jsonl::fmt_double(*d);  // exact IEEE round-trip
+    } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+        std::snprintf(buf, sizeof buf, "i:%" PRId64, *i);
+        key += buf;
+    } else {
+        const auto& p = std::get<Permutation>(v);
+        key += "p:";
+        for (std::size_t k = 0; k < p.size(); ++k) {
+            if (k > 0)
+                key += ',';
+            std::snprintf(buf, sizeof buf, "%d", p[k]);
+            key += buf;
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+EvalCache::canonical_key(const Configuration& c)
+{
+    std::string key;
+    key.reserve(c.size() * 8);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (i > 0)
+            key += '|';
+        append_value(key, c[i]);
+    }
+    return key;
+}
+
+std::optional<EvalResult>
+EvalCache::lookup(const Configuration& c) const
+{
+    std::string key = canonical_key(c);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+EvalCache::insert(const Configuration& c, const EvalResult& r)
+{
+    std::string key = canonical_key(c);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(std::move(key), r);
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+EvalCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+EvalCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+EvalCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+bool
+EvalCache::save(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, r] : entries_) {
+        out << "{\"key\":\"" << key
+            << "\",\"value\":" << jsonl::fmt_double(r.value)
+            << ",\"feasible\":" << (r.feasible ? "true" : "false") << "}\n";
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+EvalCache::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string key, value, feasible;
+        if (!jsonl::field(line, "key", key) ||
+            !jsonl::field(line, "value", value) ||
+            !jsonl::field(line, "feasible", feasible)) {
+            return false;
+        }
+        EvalResult r;
+        r.value = std::strtod(value.c_str(), nullptr);
+        r.feasible = feasible == "true";
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.emplace(std::move(key), r);
+    }
+    return true;
+}
+
+}  // namespace baco

@@ -1,0 +1,74 @@
+#ifndef BACO_EXEC_EVAL_CACHE_HPP_
+#define BACO_EXEC_EVAL_CACHE_HPP_
+
+/**
+ * @file
+ * Evaluation cache: canonical configuration key -> EvalResult.
+ *
+ * Compiler evaluations are expensive (compile + run), so repeat
+ * configurations — within a run, across suite repetitions, or across
+ * separate tuning sessions via save()/load() — are short-circuited. The
+ * cache is thread-safe; EvalEngine consults it before dispatching work.
+ *
+ * Caching replaces a fresh noisy measurement with the first recorded one,
+ * so with a noisy black box a cache-enabled run is deterministic given the
+ * cache contents but not bit-identical to a cache-free run. Callers that
+ * need bit-exact histories (the determinism tests, baseline comparisons)
+ * run with the cache off; callers that want throughput turn it on.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/types.hpp"
+
+namespace baco {
+
+/** Thread-safe configuration -> result memo with JSONL persistence. */
+class EvalCache {
+ public:
+  /**
+   * Canonical textual key of a configuration: type-tagged parameter values
+   * joined with '|' (e.g. "i:4|r:0.5|p:2,0,1"). Collision-free, unlike
+   * config_hash().
+   */
+  static std::string canonical_key(const Configuration& c);
+
+  /** Cached result for c, if any. Counts a hit or a miss. */
+  std::optional<EvalResult> lookup(const Configuration& c) const;
+
+  /** Record the result for c (first write wins). */
+  void insert(const Configuration& c, const EvalResult& r);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  /** Drop all entries and reset the hit/miss counters. */
+  void clear();
+
+  /**
+   * Persist all entries as JSONL ({"key":...,"value":...,"feasible":...}
+   * per line). Returns false on I/O failure.
+   */
+  bool save(const std::string& path) const;
+
+  /**
+   * Merge entries from a save()d file (existing keys win). Returns false
+   * when the file cannot be read or parsed.
+   */
+  bool load(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, EvalResult> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace baco
+
+#endif  // BACO_EXEC_EVAL_CACHE_HPP_

@@ -1,0 +1,99 @@
+#include "exec/eval_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "exec/checkpoint.hpp"
+#include "exec/eval_cache.hpp"
+
+namespace baco {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+EvalEngine::EvalEngine(EvalEngineOptions opt)
+    : opt_(opt), pool_(opt.num_threads)
+{
+    if (opt_.batch_size < 1)
+        opt_.batch_size = 1;
+}
+
+std::vector<EvalResult>
+EvalEngine::evaluate_batch(const BlackBoxFn& objective,
+                           const std::vector<Configuration>& configs,
+                           std::uint64_t run_seed, std::uint64_t first_index,
+                           double* eval_seconds)
+{
+    std::vector<EvalResult> results(configs.size());
+    std::vector<double> durations(configs.size(), 0.0);
+    std::vector<std::size_t> to_run;
+    to_run.reserve(configs.size());
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (opt_.cache) {
+            if (auto cached = opt_.cache->lookup(configs[i])) {
+                results[i] = *cached;
+                continue;
+            }
+        }
+        to_run.push_back(i);
+    }
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(to_run.size());
+    for (std::size_t i : to_run) {
+        tasks.push_back([&, i] {
+            RngEngine rng = eval_rng_for(run_seed, first_index + i);
+            auto t0 = Clock::now();
+            results[i] = objective(configs[i], rng);
+            durations[i] =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+        });
+    }
+    pool_.run(std::move(tasks));
+
+    if (opt_.cache) {
+        for (std::size_t i : to_run)
+            opt_.cache->insert(configs[i], results[i]);
+    }
+    if (eval_seconds) {
+        for (double d : durations)
+            *eval_seconds += d;
+    }
+    return results;
+}
+
+void
+EvalEngine::drive(AskTellTuner& tuner, const BlackBoxFn& objective,
+                  int max_evals)
+{
+    int done = 0;
+    while (tuner.remaining() > 0 &&
+           (max_evals < 0 || done < max_evals)) {
+        int n = opt_.batch_size;
+        if (max_evals >= 0)
+            n = std::min(n, max_evals - done);
+        std::vector<Configuration> batch = tuner.suggest(n);
+        if (batch.empty())
+            break;
+        std::uint64_t first_index = tuner.history().size();
+        double eval_seconds = 0.0;
+        std::vector<EvalResult> results = evaluate_batch(
+            objective, batch, tuner.run_seed(), first_index, &eval_seconds);
+        tuner.observe(batch, results);
+        tuner.mutable_history().eval_seconds += eval_seconds;
+        done += static_cast<int>(batch.size());
+        if (!opt_.checkpoint_path.empty())
+            save_checkpoint(opt_.checkpoint_path, tuner);
+    }
+}
+
+TuningHistory
+EvalEngine::run(AskTellTuner& tuner, const BlackBoxFn& objective)
+{
+    drive(tuner, objective, -1);
+    return tuner.take_history();
+}
+
+}  // namespace baco

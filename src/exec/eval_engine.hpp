@@ -1,0 +1,77 @@
+#ifndef BACO_EXEC_EVAL_ENGINE_HPP_
+#define BACO_EXEC_EVAL_ENGINE_HPP_
+
+/**
+ * @file
+ * Asynchronous batched evaluation engine.
+ *
+ * The engine drives an ask-tell tuner: ask for a batch, evaluate the batch
+ * concurrently on a work-stealing pool, tell the results back, checkpoint,
+ * repeat. Per-evaluation RNG streams are split deterministically from the
+ * run seed (see eval_rng_for), so at batch size 1 the engine reproduces
+ * the serial loop bit-for-bit and at any batch size the history is
+ * independent of worker scheduling.
+ *
+ * An optional EvalCache short-circuits repeat configurations, and an
+ * optional checkpoint path makes the run resumable (see checkpoint.hpp).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/ask_tell.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace baco {
+
+class EvalCache;
+
+/** Engine knobs. */
+struct EvalEngineOptions {
+  /** Worker lanes; 0 = hardware concurrency. */
+  int num_threads = 0;
+  /** Configurations requested per suggest() call. */
+  int batch_size = 1;
+  /** Optional shared evaluation cache (not owned; may be null). */
+  EvalCache* cache = nullptr;
+  /** When nonempty, rewrite a resume checkpoint after every batch. */
+  std::string checkpoint_path;
+};
+
+/** Batched ask-tell driver over a work-stealing thread pool. */
+class EvalEngine {
+ public:
+  explicit EvalEngine(EvalEngineOptions opt = EvalEngineOptions{});
+
+  /**
+   * Advance the tuner by at most max_evals evaluations (-1 = run to budget
+   * exhaustion). Stops early only when the tuner stops suggesting.
+   */
+  void drive(AskTellTuner& tuner, const BlackBoxFn& objective,
+             int max_evals = -1);
+
+  /** drive() to budget exhaustion, then take the finalized history. */
+  TuningHistory run(AskTellTuner& tuner, const BlackBoxFn& objective);
+
+  /**
+   * Evaluate one batch concurrently. Results are returned in input order;
+   * evaluation i of the batch uses eval_rng_for(run_seed, first_index+i).
+   * Cache hits skip the objective. *eval_seconds (optional) accumulates
+   * the summed per-evaluation durations.
+   */
+  std::vector<EvalResult> evaluate_batch(
+      const BlackBoxFn& objective, const std::vector<Configuration>& configs,
+      std::uint64_t run_seed, std::uint64_t first_index,
+      double* eval_seconds = nullptr);
+
+  const EvalEngineOptions& options() const { return opt_; }
+
+ private:
+  EvalEngineOptions opt_;
+  ThreadPool pool_;
+};
+
+}  // namespace baco
+
+#endif  // BACO_EXEC_EVAL_ENGINE_HPP_

@@ -1,0 +1,37 @@
+#include "exec/jsonl.hpp"
+
+#include <cstdio>
+
+namespace baco::jsonl {
+
+bool
+field(const std::string& line, const std::string& name, std::string& out)
+{
+    std::string tag = "\"" + name + "\":";
+    std::size_t at = line.find(tag);
+    if (at == std::string::npos)
+        return false;
+    at += tag.size();
+    if (at < line.size() && line[at] == '"') {
+        std::size_t end = line.find('"', at + 1);
+        if (end == std::string::npos)
+            return false;
+        out = line.substr(at + 1, end - at - 1);
+        return true;
+    }
+    std::size_t end = line.find_first_of(",}", at);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(at, end - at);
+    return true;
+}
+
+std::string
+fmt_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+}  // namespace baco::jsonl

@@ -1,0 +1,29 @@
+#ifndef BACO_EXEC_JSONL_HPP_
+#define BACO_EXEC_JSONL_HPP_
+
+/**
+ * @file
+ * The tiny shared JSONL vocabulary of the exec subsystem: the cache and
+ * checkpoint files are both one flat JSON object per line, written and
+ * parsed by these helpers so the two formats cannot drift apart.
+ */
+
+#include <string>
+
+namespace baco::jsonl {
+
+/**
+ * Extract the raw text of "field": from a flat JSON object line — up to
+ * the next ',' or '}', with surrounding quotes stripped for string
+ * values. Returns false when the field is absent or malformed. (The
+ * emitted values never contain escaped quotes, so no unescaping.)
+ */
+bool field(const std::string& line, const std::string& name,
+           std::string& out);
+
+/** Format a double with %.17g (exact IEEE round-trip). */
+std::string fmt_double(double v);
+
+}  // namespace baco::jsonl
+
+#endif  // BACO_EXEC_JSONL_HPP_

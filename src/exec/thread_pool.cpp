@@ -1,0 +1,120 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace baco {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0) {
+        num_threads =
+            static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    }
+    queues_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    // Lane 0 is the caller's; spawn workers for the rest.
+    for (std::size_t id = 1; id < queues_.size(); ++id)
+        workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+std::function<void()>
+ThreadPool::take(std::size_t self)
+{
+    // Own queue first (front: LIFO locality is irrelevant here, FIFO keeps
+    // batch order roughly intact), then steal from victims' backs.
+    {
+        WorkerQueue& q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            auto task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return task;
+        }
+    }
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        WorkerQueue& q = *queues_[(self + i) % queues_.size()];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            auto task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return task;
+        }
+    }
+    return {};
+}
+
+void
+ThreadPool::finish_one()
+{
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (--outstanding_ == 0)
+        done_cv_.notify_all();
+}
+
+void
+ThreadPool::worker_loop(std::size_t id)
+{
+    for (;;) {
+        if (auto task = take(id)) {
+            task();
+            finish_one();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        work_cv_.wait(lock, [this, id] {
+            if (stop_)
+                return true;
+            // Re-check under the state lock: new work is announced after
+            // being enqueued, so a wakeup guarantees visibility.
+            for (const auto& q : queues_) {
+                std::lock_guard<std::mutex> qlock(q->mutex);
+                if (!q->tasks.empty())
+                    return true;
+            }
+            return false;
+        });
+        if (stop_)
+            return;
+    }
+}
+
+void
+ThreadPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    {
+        // Enqueue and notify under state_mutex_ so the notification
+        // synchronizes with a worker mid-predicate (no lost wakeups).
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        outstanding_ += static_cast<int>(tasks.size());
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            WorkerQueue& q = *queues_[i % queues_.size()];
+            std::lock_guard<std::mutex> qlock(q.mutex);
+            q.tasks.push_back(std::move(tasks[i]));
+        }
+        work_cv_.notify_all();
+    }
+
+    // The caller works its own lane and steals like any worker.
+    while (auto task = take(0)) {
+        task();
+        finish_one();
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace baco

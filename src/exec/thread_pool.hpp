@@ -1,0 +1,70 @@
+#ifndef BACO_EXEC_THREAD_POOL_HPP_
+#define BACO_EXEC_THREAD_POOL_HPP_
+
+/**
+ * @file
+ * A small work-stealing thread pool for batched black-box evaluation and
+ * suite-runner fan-out.
+ *
+ * Each worker owns a deque; run() deals tasks round-robin across the
+ * deques, workers pop from the front of their own deque and steal from the
+ * back of a victim's when theirs drains. The calling thread participates
+ * in the work, so a pool of size 1 degenerates to an inline loop and adds
+ * no scheduling nondeterminism to single-threaded runs.
+ */
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace baco {
+
+/** Work-stealing pool of persistent worker threads. */
+class ThreadPool {
+ public:
+  /** @param num_threads worker count; 0 = hardware concurrency. */
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /** Total number of execution lanes (workers + the calling thread). */
+  int size() const { return static_cast<int>(queues_.size()); }
+
+  /**
+   * Run all tasks to completion. The calling thread executes tasks too and
+   * returns only when every task has finished. Tasks must not call run()
+   * on the same pool.
+   */
+  void run(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /** Pop from our own queue, else steal; empty function when none left. */
+  std::function<void()> take(std::size_t self);
+  void worker_loop(std::size_t id);
+  void finish_one();
+
+  // queues_[0] belongs to the calling thread; workers own the rest.
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;   ///< wakes idle workers
+  std::condition_variable done_cv_;   ///< wakes run() when a batch drains
+  int outstanding_ = 0;               ///< submitted but unfinished tasks
+  bool stop_ = false;
+};
+
+}  // namespace baco
+
+#endif  // BACO_EXEC_THREAD_POOL_HPP_

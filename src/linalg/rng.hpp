@@ -63,6 +63,7 @@ class RngEngine {
 
   /** Access the underlying engine (for std distributions). */
   std::mt19937_64& engine() { return gen_; }
+  const std::mt19937_64& engine() const { return gen_; }
 
   /** Derive an independent engine (for splitting streams across workers). */
   RngEngine split();

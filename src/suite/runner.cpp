@@ -7,6 +7,7 @@
 #include "baselines/opentuner_like.hpp"
 #include "baselines/random_search.hpp"
 #include "baselines/ytopt_like.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace baco::suite {
 
@@ -39,12 +40,10 @@ headline_methods()
     return kMethods;
 }
 
-TuningHistory
-run_method(const Benchmark& b, Method m, int budget, std::uint64_t seed,
-           const SpaceVariant& variant)
+std::unique_ptr<AskTellTuner>
+make_ask_tell(const SearchSpace& space, Method m, int budget, int doe_samples,
+              std::uint64_t seed)
 {
-    std::shared_ptr<SearchSpace> space = b.make_space(variant);
-
     switch (m) {
       case Method::kBaco:
       case Method::kBacoMinusMinus: {
@@ -52,45 +51,60 @@ run_method(const Benchmark& b, Method m, int budget, std::uint64_t seed,
                                ? TunerOptions::baco_defaults()
                                : TunerOptions::baco_minus_minus();
         opt.budget = budget;
-        opt.doe_samples = std::min(b.doe_samples, budget);
+        opt.doe_samples = std::min(doe_samples, budget);
         opt.seed = seed;
-        Tuner tuner(*space, opt);
-        return tuner.run(b.evaluate);
+        return std::make_unique<Tuner>(space, opt);
       }
       case Method::kAtfOpenTuner: {
         OpenTunerLike::Options opt;
         opt.budget = budget;
-        opt.initial_random = std::min(b.doe_samples, budget);
+        opt.initial_random = std::min(doe_samples, budget);
         opt.seed = seed;
-        OpenTunerLike tuner(*space, opt);
-        return tuner.run(b.evaluate);
+        return std::make_unique<OpenTunerLike>(space, opt);
       }
       case Method::kYtopt:
       case Method::kYtoptGp: {
         YtoptLike::Options opt;
         opt.budget = budget;
-        opt.doe_samples = std::min(b.doe_samples, budget);
+        opt.doe_samples = std::min(doe_samples, budget);
         opt.seed = seed;
         opt.surrogate = m == Method::kYtopt
                             ? YtoptLike::Surrogate::kRandomForest
                             : YtoptLike::Surrogate::kGaussianProcess;
-        YtoptLike tuner(*space, opt);
-        return tuner.run(b.evaluate);
+        return std::make_unique<YtoptLike>(space, opt);
       }
-      case Method::kUniform: {
-        RandomSearchOptions opt;
-        opt.budget = budget;
-        opt.seed = seed;
-        return run_uniform_sampling(*space, b.evaluate, opt);
-      }
+      case Method::kUniform:
       case Method::kCotSampling: {
         RandomSearchOptions opt;
         opt.budget = budget;
         opt.seed = seed;
-        return run_cot_sampling(*space, b.evaluate, opt);
+        return std::make_unique<RandomSearchTuner>(
+            space, opt, /*biased_walk=*/m == Method::kCotSampling);
       }
     }
     throw std::runtime_error("unhandled method");
+}
+
+TuningHistory
+run_method(const Benchmark& b, Method m, int budget, std::uint64_t seed,
+           const SpaceVariant& variant)
+{
+    std::shared_ptr<SearchSpace> space = b.make_space(variant);
+    std::unique_ptr<AskTellTuner> tuner =
+        make_ask_tell(*space, m, budget, b.doe_samples, seed);
+    return drive_serial(*tuner, b.evaluate);
+}
+
+TuningHistory
+run_method_batched(const Benchmark& b, Method m, int budget,
+                   std::uint64_t seed, const EvalEngineOptions& exec,
+                   const SpaceVariant& variant)
+{
+    std::shared_ptr<SearchSpace> space = b.make_space(variant);
+    std::unique_ptr<AskTellTuner> tuner =
+        make_ask_tell(*space, m, budget, b.doe_samples, seed);
+    EvalEngine engine(exec);
+    return engine.run(*tuner, b.evaluate);
 }
 
 TuningHistory
@@ -168,22 +182,58 @@ RepStats::mean_trajectory() const
     return mean;
 }
 
+namespace {
+
 RepStats
-run_repetitions(const Benchmark& b, Method m, int budget, int reps,
-                std::uint64_t seed0, const SpaceVariant& variant)
+assemble_stats(std::vector<TuningHistory> histories)
 {
     RepStats stats;
-    for (int r = 0; r < reps; ++r) {
-        TuningHistory h = run_method(b, m, budget, seed0 + static_cast<std::uint64_t>(r), variant);
+    for (TuningHistory& h : histories) {
         stats.trajectories.push_back(h.best_trajectory());
         stats.mean_tuner_seconds += h.tuner_seconds;
         stats.mean_eval_seconds += h.eval_seconds;
     }
-    if (reps > 0) {
-        stats.mean_tuner_seconds /= reps;
-        stats.mean_eval_seconds /= reps;
+    if (!histories.empty()) {
+        stats.mean_tuner_seconds /= static_cast<double>(histories.size());
+        stats.mean_eval_seconds /= static_cast<double>(histories.size());
     }
     return stats;
+}
+
+}  // namespace
+
+RepStats
+run_repetitions(const Benchmark& b, Method m, int budget, int reps,
+                std::uint64_t seed0, const SpaceVariant& variant)
+{
+    std::vector<TuningHistory> histories;
+    histories.reserve(static_cast<std::size_t>(std::max(0, reps)));
+    for (int r = 0; r < reps; ++r) {
+        histories.push_back(run_method(
+            b, m, budget, seed0 + static_cast<std::uint64_t>(r), variant));
+    }
+    return assemble_stats(std::move(histories));
+}
+
+RepStats
+run_repetitions_parallel(const Benchmark& b, Method m, int budget, int reps,
+                         std::uint64_t seed0, int num_threads,
+                         const SpaceVariant& variant)
+{
+    if (reps <= 0)
+        return RepStats{};
+    std::vector<TuningHistory> histories(static_cast<std::size_t>(reps));
+    ThreadPool pool(num_threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        tasks.push_back([&, r] {
+            histories[static_cast<std::size_t>(r)] = run_method(
+                b, m, budget, seed0 + static_cast<std::uint64_t>(r), variant);
+        });
+    }
+    pool.run(std::move(tasks));
+    return assemble_stats(std::move(histories));
 }
 
 int

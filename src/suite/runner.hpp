@@ -7,12 +7,18 @@
  * budget, repeat with independent seeds, and aggregate the statistics the
  * paper's figures report (mean best-so-far trajectories, performance
  * relative to expert, expert-success counts, evaluations-to-reach factors).
+ *
+ * Every method is constructed through the ask-tell factory, so the same
+ * code path serves the serial loop, the batched EvalEngine, and the
+ * thread-pool fan-out of seed repetitions (run_repetitions_parallel).
  */
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tuner.hpp"
+#include "exec/eval_engine.hpp"
 #include "suite/benchmark.hpp"
 
 namespace baco::suite {
@@ -34,10 +40,29 @@ std::string method_name(Method m);
 /** The paper's five headline competitors (Fig. 5-7, Tables 5-9). */
 const std::vector<Method>& headline_methods();
 
+/**
+ * Build the ask-tell tuner for a method. The space reference must outlive
+ * the returned tuner. doe_samples is clamped to the budget.
+ */
+std::unique_ptr<AskTellTuner> make_ask_tell(const SearchSpace& space,
+                                            Method m, int budget,
+                                            int doe_samples,
+                                            std::uint64_t seed);
+
 /** Run one method once. The SpaceVariant feeds the Fig. 8/9 ablations. */
 TuningHistory run_method(const Benchmark& b, Method m, int budget,
                          std::uint64_t seed,
                          const SpaceVariant& variant = SpaceVariant{});
+
+/**
+ * Run one method once through the batched EvalEngine. At
+ * exec.batch_size == 1 this matches run_method bit-for-bit; larger batches
+ * evaluate concurrently with reproducible (seed-determined) histories.
+ */
+TuningHistory run_method_batched(const Benchmark& b, Method m, int budget,
+                                 std::uint64_t seed,
+                                 const EvalEngineOptions& exec,
+                                 const SpaceVariant& variant = SpaceVariant{});
 
 /** Run BaCO with fully custom options (ablation studies). */
 TuningHistory run_baco_custom(const Benchmark& b, TunerOptions opt,
@@ -68,6 +93,17 @@ struct RepStats {
 RepStats run_repetitions(const Benchmark& b, Method m, int budget, int reps,
                          std::uint64_t seed0,
                          const SpaceVariant& variant = SpaceVariant{});
+
+/**
+ * run_repetitions with the repetitions fanned out across a work-stealing
+ * thread pool (num_threads lanes; 0 = hardware concurrency). Results are
+ * assembled in seed order, so the statistics are identical to the serial
+ * sweep regardless of scheduling.
+ */
+RepStats run_repetitions_parallel(const Benchmark& b, Method m, int budget,
+                                  int reps, std::uint64_t seed0,
+                                  int num_threads = 0,
+                                  const SpaceVariant& variant = SpaceVariant{});
 
 /**
  * First evaluation count at which trajectory reaches target (<=), or -1.

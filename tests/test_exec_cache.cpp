@@ -1,0 +1,164 @@
+// Evaluation cache: canonical keys, hit/miss semantics, persistence, and
+// engine short-circuiting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "core/tuner.hpp"
+#include "exec/eval_cache.hpp"
+#include "exec/eval_engine.hpp"
+
+namespace baco {
+namespace {
+
+SearchSpace
+small_space()
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16, 32, 64}, true);
+    s.add_categorical("mode", {"a", "b"});
+    return s;
+}
+
+/** Deterministic objective (no measurement noise). */
+EvalResult
+det_eval(const Configuration& c, RngEngine&)
+{
+    double tile = static_cast<double>(as_int(c[0]));
+    return EvalResult{tile + (as_int(c[1]) == 0 ? 10.0 : 0.0), true};
+}
+
+TEST(EvalCache, CanonicalKeyDistinguishesTypesAndValues)
+{
+    Configuration a = {std::int64_t{4}, 0.5, Permutation{2, 0, 1}};
+    Configuration b = {std::int64_t{4}, 0.5, Permutation{2, 1, 0}};
+    Configuration c = {4.0, 0.5, Permutation{2, 0, 1}};  // int vs real tag
+    EXPECT_NE(EvalCache::canonical_key(a), EvalCache::canonical_key(b));
+    EXPECT_NE(EvalCache::canonical_key(a), EvalCache::canonical_key(c));
+    EXPECT_EQ(EvalCache::canonical_key(a), EvalCache::canonical_key(a));
+}
+
+TEST(EvalCache, HitMissSemantics)
+{
+    EvalCache cache;
+    Configuration c = {std::int64_t{8}, std::int64_t{1}};
+    EXPECT_FALSE(cache.lookup(c).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    cache.insert(c, EvalResult{3.5, true});
+    auto r = cache.lookup(c);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(r->value, 3.5);
+    EXPECT_TRUE(r->feasible);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // First write wins.
+    cache.insert(c, EvalResult{9.9, true});
+    EXPECT_DOUBLE_EQ(cache.lookup(c)->value, 3.5);
+}
+
+TEST(EvalCache, SaveLoadRoundtrip)
+{
+    std::string path =
+        testing::TempDir() + "baco_test_cache_roundtrip.jsonl";
+    EvalCache cache;
+    Configuration a = {std::int64_t{8}, std::int64_t{1}};
+    Configuration b = {std::int64_t{2}, std::int64_t{0}};
+    cache.insert(a, EvalResult{1.25, true});
+    cache.insert(b, EvalResult::infeasible());
+    ASSERT_TRUE(cache.save(path));
+
+    EvalCache loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.size(), 2u);
+    auto ra = loaded.lookup(a);
+    ASSERT_TRUE(ra.has_value());
+    EXPECT_DOUBLE_EQ(ra->value, 1.25);
+    auto rb = loaded.lookup(b);
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_FALSE(rb->feasible);
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, LoadMissingFileFails)
+{
+    EvalCache cache;
+    EXPECT_FALSE(cache.load("/nonexistent/baco_cache.jsonl"));
+}
+
+TEST(EvalCache, EngineShortCircuitsRepeatRuns)
+{
+    SearchSpace s = small_space();
+    std::atomic<int> calls{0};
+    BlackBoxFn counted = [&calls](const Configuration& c, RngEngine& rng) {
+        calls.fetch_add(1);
+        return det_eval(c, rng);
+    };
+
+    TunerOptions opt;
+    opt.budget = 10;
+    opt.doe_samples = 4;
+    opt.seed = 9;
+
+    EvalCache cache;
+    EvalEngineOptions eopt;
+    eopt.batch_size = 2;
+    eopt.cache = &cache;
+
+    Tuner t1(s, opt);
+    TuningHistory h1 = EvalEngine(eopt).run(t1, counted);
+    int first_run_calls = calls.load();
+    EXPECT_EQ(first_run_calls, 10);
+    EXPECT_EQ(cache.size(), 10u);
+
+    // Same seed, same deterministic objective: every configuration the
+    // second run proposes is already cached, so the black box never runs.
+    Tuner t2(s, opt);
+    TuningHistory h2 = EvalEngine(eopt).run(t2, counted);
+    EXPECT_EQ(calls.load(), first_run_calls);
+    EXPECT_TRUE(histories_equal(h1, h2));
+}
+
+TEST(EvalCache, PersistedCacheShortCircuitsAcrossSessions)
+{
+    std::string path = testing::TempDir() + "baco_test_cache_session.jsonl";
+    SearchSpace s = small_space();
+    std::atomic<int> calls{0};
+    BlackBoxFn counted = [&calls](const Configuration& c, RngEngine& rng) {
+        calls.fetch_add(1);
+        return det_eval(c, rng);
+    };
+
+    TunerOptions opt;
+    opt.budget = 8;
+    opt.doe_samples = 4;
+    opt.seed = 17;
+
+    {
+        EvalCache cache;
+        EvalEngineOptions eopt;
+        eopt.cache = &cache;
+        Tuner t(s, opt);
+        EvalEngine(eopt).run(t, counted);
+        ASSERT_TRUE(cache.save(path));
+    }
+    int session1_calls = calls.load();
+
+    // A fresh "session" reloads the cache from disk.
+    EvalCache cache;
+    ASSERT_TRUE(cache.load(path));
+    EvalEngineOptions eopt;
+    eopt.cache = &cache;
+    Tuner t(s, opt);
+    EvalEngine(eopt).run(t, counted);
+    EXPECT_EQ(calls.load(), session1_calls);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace baco

@@ -1,0 +1,144 @@
+// JSONL checkpoint/resume: round-trip fidelity and mid-budget resume
+// reproducing the uninterrupted history exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/opentuner_like.hpp"
+#include "core/tuner.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/eval_engine.hpp"
+
+namespace baco {
+namespace {
+
+/** Mixed-type space including a permutation, to stress serialization. */
+SearchSpace
+mixed_space()
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16, 32, 64, 128, 256}, true);
+    s.add_real("alpha", 0.1, 2.0);
+    s.add_permutation("loops", 3);
+    return s;
+}
+
+EvalResult
+mixed_eval(const Configuration& c, RngEngine& rng)
+{
+    double tile = static_cast<double>(as_int(c[0]));
+    double alpha = as_real(c[1]);
+    const auto& perm = std::get<Permutation>(c[2]);
+    double v = 1.0 + std::pow(std::log2(tile / 32.0), 2) +
+               (alpha - 0.7) * (alpha - 0.7) +
+               (perm[0] == 0 ? 0.0 : 0.8);
+    if (tile >= 128 && alpha > 1.5)
+        return EvalResult::infeasible();  // hidden constraint
+    return EvalResult{v * rng.lognormal_factor(0.02), true};
+}
+
+TEST(Checkpoint, SaveLoadRoundtripPreservesHistory)
+{
+    SearchSpace s = mixed_space();
+    TunerOptions opt;
+    opt.budget = 12;
+    opt.doe_samples = 5;
+    opt.seed = 4;
+    opt.log_objective = false;
+    Tuner tuner(s, opt);
+    EvalEngine engine;
+    engine.drive(tuner, mixed_eval, 12);
+
+    std::string path = testing::TempDir() + "baco_test_ckpt_roundtrip.jsonl";
+    ASSERT_TRUE(save_checkpoint(path, tuner));
+
+    std::optional<CheckpointData> data = load_checkpoint(path);
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ(data->seed, opt.seed);
+    EXPECT_TRUE(histories_equal(data->history, tuner.history()));
+    EXPECT_EQ(data->history.best_value, tuner.history().best_value);
+    EXPECT_EQ(data->sampler_state, tuner.sampler_state());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeReproducesUninterruptedHistory)
+{
+    SearchSpace s = mixed_space();
+    TunerOptions opt;
+    opt.budget = 20;
+    opt.doe_samples = 6;
+    opt.seed = 13;
+    opt.log_objective = false;
+
+    EvalEngineOptions eopt;
+    eopt.batch_size = 2;
+
+    // Reference: one uninterrupted run.
+    Tuner full(s, opt);
+    TuningHistory reference = EvalEngine(eopt).run(full, mixed_eval);
+    ASSERT_EQ(reference.size(), 20u);
+
+    // Interrupted run: 8 evaluations (a batch boundary), then "crash".
+    std::string path = testing::TempDir() + "baco_test_ckpt_resume.jsonl";
+    EvalEngineOptions copt = eopt;
+    copt.checkpoint_path = path;
+    {
+        Tuner interrupted(s, opt);
+        EvalEngine(copt).drive(interrupted, mixed_eval, 8);
+        ASSERT_EQ(interrupted.history().size(), 8u);
+    }
+
+    // Resume into a fresh tuner and finish the budget.
+    Tuner resumed(s, opt);
+    ASSERT_TRUE(resume_from_checkpoint(path, resumed));
+    ASSERT_EQ(resumed.history().size(), 8u);
+    TuningHistory final_history = EvalEngine(copt).run(resumed, mixed_eval);
+
+    EXPECT_TRUE(histories_equal(reference, final_history));
+    EXPECT_EQ(reference.best_value, final_history.best_value);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWorksForBaselines)
+{
+    SearchSpace s = mixed_space();
+    OpenTunerLike::Options opt;
+    opt.budget = 14;
+    opt.initial_random = 5;
+    opt.seed = 23;
+
+    std::string path = testing::TempDir() + "baco_test_ckpt_baseline.jsonl";
+    {
+        OpenTunerLike interrupted(s, opt);
+        EvalEngineOptions copt;
+        copt.checkpoint_path = path;
+        EvalEngine(copt).drive(interrupted, mixed_eval, 6);
+    }
+
+    OpenTunerLike resumed(s, opt);
+    ASSERT_TRUE(resume_from_checkpoint(path, resumed));
+    EXPECT_EQ(resumed.history().size(), 6u);
+    TuningHistory h = EvalEngine().run(resumed, mixed_eval);
+    EXPECT_EQ(h.size(), 14u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadMissingOrCorruptFileFails)
+{
+    EXPECT_FALSE(load_checkpoint("/nonexistent/ckpt.jsonl").has_value());
+
+    std::string path = testing::TempDir() + "baco_test_ckpt_corrupt.jsonl";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("this is not json\n", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(load_checkpoint(path).has_value());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace baco

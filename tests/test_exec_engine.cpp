@@ -1,0 +1,197 @@
+// The batched evaluation engine: thread pool, serial/batched determinism,
+// batch diversity, and parallel suite repetitions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "baselines/random_search.hpp"
+#include "core/tuner.hpp"
+#include "exec/eval_engine.hpp"
+#include "exec/thread_pool.hpp"
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace baco {
+namespace {
+
+SearchSpace
+synthetic_space()
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16, 32, 64, 128, 256}, true);
+    s.add_categorical("mode", {"a", "b"});
+    s.add_ordinal("unroll", {1, 2, 4, 8}, true);
+    s.add_constraint("unroll <= tile");
+    return s;
+}
+
+/** Noisy objective: exercises the per-evaluation RNG streams. */
+EvalResult
+synthetic_eval(const Configuration& c, RngEngine& rng)
+{
+    double tile = static_cast<double>(as_int(c[0]));
+    bool mode_b = as_int(c[1]) == 1;
+    double unroll = static_cast<double>(as_int(c[2]));
+    double v = 1.0 + std::pow(std::log2(tile / 32.0), 2) +
+               (mode_b ? 0.0 : 1.5) +
+               0.5 * std::pow(std::log2(unroll / 4.0), 2);
+    return EvalResult{v * rng.lognormal_factor(0.05), true};
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 100; ++i)
+        tasks.push_back([&count] { count.fetch_add(1); });
+    pool.run(std::move(tasks));
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 17; ++i)
+            tasks.push_back([&count] { count.fetch_add(1); });
+        pool.run(std::move(tasks));
+    }
+    EXPECT_EQ(count.load(), 5 * 17);
+}
+
+TEST(EvalEngine, Batch1ReproducesSerialRunBitForBit)
+{
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 24;
+    opt.doe_samples = 8;
+    opt.seed = 42;
+
+    TuningHistory serial = Tuner(s, opt).run(synthetic_eval);
+
+    Tuner tuner(s, opt);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 1;
+    EvalEngine engine(eopt);
+    TuningHistory batched = engine.run(tuner, synthetic_eval);
+
+    ASSERT_EQ(serial.size(), batched.size());
+    EXPECT_TRUE(histories_equal(serial, batched));
+    EXPECT_EQ(serial.best_value, batched.best_value);
+}
+
+TEST(EvalEngine, Batch4ReproducibleAcrossRunsAndCompletesBudget)
+{
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 24;
+    opt.doe_samples = 8;
+    opt.seed = 7;
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+
+    Tuner t1(s, opt);
+    TuningHistory h1 = EvalEngine(eopt).run(t1, synthetic_eval);
+    Tuner t2(s, opt);
+    TuningHistory h2 = EvalEngine(eopt).run(t2, synthetic_eval);
+
+    EXPECT_EQ(h1.size(), 24u);
+    EXPECT_TRUE(histories_equal(h1, h2));
+}
+
+TEST(EvalEngine, ConstantLiarBatchIsDiverse)
+{
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 40;
+    opt.doe_samples = 8;
+    opt.seed = 3;
+    Tuner tuner(s, opt);
+
+    // Get past the DoE phase so suggest() uses the model + constant liar.
+    EvalEngineOptions eopt;
+    eopt.batch_size = 4;
+    EvalEngine engine(eopt);
+    engine.drive(tuner, synthetic_eval, 12);
+
+    std::vector<Configuration> batch = tuner.suggest(4);
+    ASSERT_EQ(batch.size(), 4u);
+    std::set<std::size_t> distinct;
+    for (const Configuration& c : batch)
+        distinct.insert(config_hash(c));
+    EXPECT_EQ(distinct.size(), batch.size());
+}
+
+TEST(EvalEngine, BaselinesRunBatchedToFullBudget)
+{
+    using suite::Method;
+    SearchSpace s = synthetic_space();
+    const Method methods[] = {Method::kAtfOpenTuner, Method::kYtopt,
+                              Method::kUniform, Method::kCotSampling};
+    for (Method m : methods) {
+        std::unique_ptr<AskTellTuner> tuner =
+            suite::make_ask_tell(s, m, 20, 6, 11);
+        EvalEngineOptions eopt;
+        eopt.num_threads = 2;
+        eopt.batch_size = 4;
+        EvalEngine engine(eopt);
+        TuningHistory h = engine.run(*tuner, synthetic_eval);
+        EXPECT_EQ(h.size(), 20u) << suite::method_name(m);
+        EXPECT_TRUE(h.best_config.has_value()) << suite::method_name(m);
+    }
+}
+
+TEST(EvalEngine, BaselineBatch1MatchesSerialRun)
+{
+    SearchSpace s = synthetic_space();
+    RandomSearchOptions opt;
+    opt.budget = 15;
+    opt.seed = 5;
+    TuningHistory serial = run_uniform_sampling(s, synthetic_eval, opt);
+
+    RandomSearchTuner tuner(s, opt, /*biased_walk=*/false);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 3;
+    EvalEngine engine(eopt);
+    TuningHistory batched = engine.run(tuner, synthetic_eval);
+    EXPECT_TRUE(histories_equal(serial, batched));
+}
+
+TEST(SuiteRunner, ParallelRepetitionsMatchSerialStatistics)
+{
+    const Benchmark& b = suite::find_benchmark("SDDMM/email-Enron");
+    int budget = 12;
+    suite::RepStats serial =
+        suite::run_repetitions(b, suite::Method::kUniform, budget, 4, 21);
+    suite::RepStats parallel = suite::run_repetitions_parallel(
+        b, suite::Method::kUniform, budget, 4, 21, /*num_threads=*/4);
+
+    ASSERT_EQ(serial.trajectories.size(), parallel.trajectories.size());
+    for (std::size_t r = 0; r < serial.trajectories.size(); ++r)
+        EXPECT_EQ(serial.trajectories[r], parallel.trajectories[r]);
+}
+
+TEST(SuiteRunner, RunMethodBatchedMatchesRunMethodAtBatch1)
+{
+    const Benchmark& b = suite::find_benchmark("SDDMM/email-Enron");
+    TuningHistory serial =
+        suite::run_method(b, suite::Method::kUniform, 10, 31);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 2;
+    eopt.batch_size = 1;
+    TuningHistory batched = suite::run_method_batched(
+        b, suite::Method::kUniform, 10, 31, eopt);
+    EXPECT_TRUE(histories_equal(serial, batched));
+}
+
+}  // namespace
+}  // namespace baco
