@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/opentuner_like.cpp" "CMakeFiles/baco.dir/src/baselines/opentuner_like.cpp.o" "gcc" "CMakeFiles/baco.dir/src/baselines/opentuner_like.cpp.o.d"
+  "/root/repo/src/baselines/random_search.cpp" "CMakeFiles/baco.dir/src/baselines/random_search.cpp.o" "gcc" "CMakeFiles/baco.dir/src/baselines/random_search.cpp.o.d"
+  "/root/repo/src/baselines/ytopt_like.cpp" "CMakeFiles/baco.dir/src/baselines/ytopt_like.cpp.o" "gcc" "CMakeFiles/baco.dir/src/baselines/ytopt_like.cpp.o.d"
+  "/root/repo/src/core/acquisition.cpp" "CMakeFiles/baco.dir/src/core/acquisition.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/acquisition.cpp.o.d"
+  "/root/repo/src/core/chain_of_trees.cpp" "CMakeFiles/baco.dir/src/core/chain_of_trees.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/chain_of_trees.cpp.o.d"
+  "/root/repo/src/core/constraint.cpp" "CMakeFiles/baco.dir/src/core/constraint.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/constraint.cpp.o.d"
+  "/root/repo/src/core/distance.cpp" "CMakeFiles/baco.dir/src/core/distance.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/distance.cpp.o.d"
+  "/root/repo/src/core/doe.cpp" "CMakeFiles/baco.dir/src/core/doe.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/doe.cpp.o.d"
+  "/root/repo/src/core/expression.cpp" "CMakeFiles/baco.dir/src/core/expression.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/expression.cpp.o.d"
+  "/root/repo/src/core/feasibility_model.cpp" "CMakeFiles/baco.dir/src/core/feasibility_model.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/feasibility_model.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "CMakeFiles/baco.dir/src/core/local_search.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/local_search.cpp.o.d"
+  "/root/repo/src/core/parameter.cpp" "CMakeFiles/baco.dir/src/core/parameter.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/parameter.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "CMakeFiles/baco.dir/src/core/search_space.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/search_space.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "CMakeFiles/baco.dir/src/core/tuner.cpp.o" "gcc" "CMakeFiles/baco.dir/src/core/tuner.cpp.o.d"
+  "/root/repo/src/exec/ask_tell.cpp" "CMakeFiles/baco.dir/src/exec/ask_tell.cpp.o" "gcc" "CMakeFiles/baco.dir/src/exec/ask_tell.cpp.o.d"
+  "/root/repo/src/exec/checkpoint.cpp" "CMakeFiles/baco.dir/src/exec/checkpoint.cpp.o" "gcc" "CMakeFiles/baco.dir/src/exec/checkpoint.cpp.o.d"
+  "/root/repo/src/exec/eval_cache.cpp" "CMakeFiles/baco.dir/src/exec/eval_cache.cpp.o" "gcc" "CMakeFiles/baco.dir/src/exec/eval_cache.cpp.o.d"
+  "/root/repo/src/exec/eval_engine.cpp" "CMakeFiles/baco.dir/src/exec/eval_engine.cpp.o" "gcc" "CMakeFiles/baco.dir/src/exec/eval_engine.cpp.o.d"
+  "/root/repo/src/exec/jsonl.cpp" "CMakeFiles/baco.dir/src/exec/jsonl.cpp.o" "gcc" "CMakeFiles/baco.dir/src/exec/jsonl.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "CMakeFiles/baco.dir/src/exec/thread_pool.cpp.o" "gcc" "CMakeFiles/baco.dir/src/exec/thread_pool.cpp.o.d"
+  "/root/repo/src/gp/gp_model.cpp" "CMakeFiles/baco.dir/src/gp/gp_model.cpp.o" "gcc" "CMakeFiles/baco.dir/src/gp/gp_model.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "CMakeFiles/baco.dir/src/gp/kernel.cpp.o" "gcc" "CMakeFiles/baco.dir/src/gp/kernel.cpp.o.d"
+  "/root/repo/src/gp/lbfgs.cpp" "CMakeFiles/baco.dir/src/gp/lbfgs.cpp.o" "gcc" "CMakeFiles/baco.dir/src/gp/lbfgs.cpp.o.d"
+  "/root/repo/src/hpvm/benchmarks.cpp" "CMakeFiles/baco.dir/src/hpvm/benchmarks.cpp.o" "gcc" "CMakeFiles/baco.dir/src/hpvm/benchmarks.cpp.o.d"
+  "/root/repo/src/hpvm/fpga_model.cpp" "CMakeFiles/baco.dir/src/hpvm/fpga_model.cpp.o" "gcc" "CMakeFiles/baco.dir/src/hpvm/fpga_model.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "CMakeFiles/baco.dir/src/linalg/cholesky.cpp.o" "gcc" "CMakeFiles/baco.dir/src/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/baco.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/baco.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/rng.cpp" "CMakeFiles/baco.dir/src/linalg/rng.cpp.o" "gcc" "CMakeFiles/baco.dir/src/linalg/rng.cpp.o.d"
+  "/root/repo/src/linalg/stats.cpp" "CMakeFiles/baco.dir/src/linalg/stats.cpp.o" "gcc" "CMakeFiles/baco.dir/src/linalg/stats.cpp.o.d"
+  "/root/repo/src/rf/decision_tree.cpp" "CMakeFiles/baco.dir/src/rf/decision_tree.cpp.o" "gcc" "CMakeFiles/baco.dir/src/rf/decision_tree.cpp.o.d"
+  "/root/repo/src/rf/random_forest.cpp" "CMakeFiles/baco.dir/src/rf/random_forest.cpp.o" "gcc" "CMakeFiles/baco.dir/src/rf/random_forest.cpp.o.d"
+  "/root/repo/src/rise/benchmarks.cpp" "CMakeFiles/baco.dir/src/rise/benchmarks.cpp.o" "gcc" "CMakeFiles/baco.dir/src/rise/benchmarks.cpp.o.d"
+  "/root/repo/src/rise/gpu_model.cpp" "CMakeFiles/baco.dir/src/rise/gpu_model.cpp.o" "gcc" "CMakeFiles/baco.dir/src/rise/gpu_model.cpp.o.d"
+  "/root/repo/src/suite/registry.cpp" "CMakeFiles/baco.dir/src/suite/registry.cpp.o" "gcc" "CMakeFiles/baco.dir/src/suite/registry.cpp.o.d"
+  "/root/repo/src/suite/report.cpp" "CMakeFiles/baco.dir/src/suite/report.cpp.o" "gcc" "CMakeFiles/baco.dir/src/suite/report.cpp.o.d"
+  "/root/repo/src/suite/runner.cpp" "CMakeFiles/baco.dir/src/suite/runner.cpp.o" "gcc" "CMakeFiles/baco.dir/src/suite/runner.cpp.o.d"
+  "/root/repo/src/taco/benchmarks.cpp" "CMakeFiles/baco.dir/src/taco/benchmarks.cpp.o" "gcc" "CMakeFiles/baco.dir/src/taco/benchmarks.cpp.o.d"
+  "/root/repo/src/taco/cost_model.cpp" "CMakeFiles/baco.dir/src/taco/cost_model.cpp.o" "gcc" "CMakeFiles/baco.dir/src/taco/cost_model.cpp.o.d"
+  "/root/repo/src/taco/csf.cpp" "CMakeFiles/baco.dir/src/taco/csf.cpp.o" "gcc" "CMakeFiles/baco.dir/src/taco/csf.cpp.o.d"
+  "/root/repo/src/taco/generators.cpp" "CMakeFiles/baco.dir/src/taco/generators.cpp.o" "gcc" "CMakeFiles/baco.dir/src/taco/generators.cpp.o.d"
+  "/root/repo/src/taco/kernels.cpp" "CMakeFiles/baco.dir/src/taco/kernels.cpp.o" "gcc" "CMakeFiles/baco.dir/src/taco/kernels.cpp.o.d"
+  "/root/repo/src/taco/tensor.cpp" "CMakeFiles/baco.dir/src/taco/tensor.cpp.o" "gcc" "CMakeFiles/baco.dir/src/taco/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

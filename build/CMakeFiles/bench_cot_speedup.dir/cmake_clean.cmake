@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cot_speedup.dir/bench/cot_speedup.cpp.o"
+  "CMakeFiles/bench_cot_speedup.dir/bench/cot_speedup.cpp.o.d"
+  "bench_cot_speedup"
+  "bench_cot_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cot_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

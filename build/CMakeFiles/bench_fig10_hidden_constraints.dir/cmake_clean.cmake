@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hidden_constraints.dir/bench/fig10_hidden_constraints.cpp.o"
+  "CMakeFiles/bench_fig10_hidden_constraints.dir/bench/fig10_hidden_constraints.cpp.o.d"
+  "bench_fig10_hidden_constraints"
+  "bench_fig10_hidden_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hidden_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tables678_budgets.dir/bench/fig5_tables678_budgets.cpp.o"
+  "CMakeFiles/bench_fig5_tables678_budgets.dir/bench/fig5_tables678_budgets.cpp.o.d"
+  "bench_fig5_tables678_budgets"
+  "bench_fig5_tables678_budgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tables678_budgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_table9_evolution.dir/bench/fig6_table9_evolution.cpp.o"
+  "CMakeFiles/bench_fig6_table9_evolution.dir/bench/fig6_table9_evolution.cpp.o.d"
+  "bench_fig6_table9_evolution"
+  "bench_fig6_table9_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_table9_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fig11_all_curves.dir/bench/fig7_fig11_all_curves.cpp.o"
+  "CMakeFiles/bench_fig7_fig11_all_curves.dir/bench/fig7_fig11_all_curves.cpp.o.d"
+  "bench_fig7_fig11_all_curves"
+  "bench_fig7_fig11_all_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig11_all_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

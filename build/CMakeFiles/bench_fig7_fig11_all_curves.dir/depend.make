@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_fig11_all_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bo_variants.dir/bench/fig8_bo_variants.cpp.o"
+  "CMakeFiles/bench_fig8_bo_variants.dir/bench/fig8_bo_variants.cpp.o.d"
+  "bench_fig8_bo_variants"
+  "bench_fig8_bo_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bo_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

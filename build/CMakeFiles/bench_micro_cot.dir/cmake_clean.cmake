@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cot.dir/bench/micro_cot.cpp.o"
+  "CMakeFiles/bench_micro_cot.dir/bench/micro_cot.cpp.o.d"
+  "bench_micro_cot"
+  "bench_micro_cot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

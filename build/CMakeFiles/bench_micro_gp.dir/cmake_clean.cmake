@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gp.dir/bench/micro_gp.cpp.o"
+  "CMakeFiles/bench_micro_gp.dir/bench/micro_gp.cpp.o.d"
+  "bench_micro_gp"
+  "bench_micro_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rf.dir/bench/micro_rf.cpp.o"
+  "CMakeFiles/bench_micro_rf.dir/bench/micro_rf.cpp.o.d"
+  "bench_micro_rf"
+  "bench_micro_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

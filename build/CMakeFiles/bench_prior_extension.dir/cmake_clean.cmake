@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prior_extension.dir/bench/prior_extension.cpp.o"
+  "CMakeFiles/bench_prior_extension.dir/bench/prior_extension.cpp.o.d"
+  "bench_prior_extension"
+  "bench_prior_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prior_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_wall_clock.dir/bench/table10_wall_clock.cpp.o"
+  "CMakeFiles/bench_table10_wall_clock.dir/bench/table10_wall_clock.cpp.o.d"
+  "bench_table10_wall_clock"
+  "bench_table10_wall_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_wall_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table10_wall_clock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_spaces.dir/bench/table3_spaces.cpp.o"
+  "CMakeFiles/bench_table3_spaces.dir/bench/table3_spaces.cpp.o.d"
+  "bench_table3_spaces"
+  "bench_table3_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

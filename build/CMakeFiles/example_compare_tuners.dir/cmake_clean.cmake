@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_tuners.dir/examples/compare_tuners.cpp.o"
+  "CMakeFiles/example_compare_tuners.dir/examples/compare_tuners.cpp.o.d"
+  "example_compare_tuners"
+  "example_compare_tuners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_compare_tuners.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hpvm_bfs_dse.dir/examples/hpvm_bfs_dse.cpp.o"
+  "CMakeFiles/example_hpvm_bfs_dse.dir/examples/hpvm_bfs_dse.cpp.o.d"
+  "example_hpvm_bfs_dse"
+  "example_hpvm_bfs_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hpvm_bfs_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hpvm_bfs_dse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rise_mm_gpu.dir/examples/rise_mm_gpu.cpp.o"
+  "CMakeFiles/example_rise_mm_gpu.dir/examples/rise_mm_gpu.cpp.o.d"
+  "example_rise_mm_gpu"
+  "example_rise_mm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rise_mm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_rise_mm_gpu.
+# This may be replaced when dependencies are built.

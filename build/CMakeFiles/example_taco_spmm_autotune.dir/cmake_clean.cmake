@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_taco_spmm_autotune.dir/examples/taco_spmm_autotune.cpp.o"
+  "CMakeFiles/example_taco_spmm_autotune.dir/examples/taco_spmm_autotune.cpp.o.d"
+  "example_taco_spmm_autotune"
+  "example_taco_spmm_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_taco_spmm_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_taco_spmm_autotune.
+# This may be replaced when dependencies are built.

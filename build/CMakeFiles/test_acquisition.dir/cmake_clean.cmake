@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acquisition.dir/tests/test_acquisition.cpp.o"
+  "CMakeFiles/test_acquisition.dir/tests/test_acquisition.cpp.o.d"
+  "test_acquisition"
+  "test_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

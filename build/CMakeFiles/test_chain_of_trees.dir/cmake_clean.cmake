@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_of_trees.dir/tests/test_chain_of_trees.cpp.o"
+  "CMakeFiles/test_chain_of_trees.dir/tests/test_chain_of_trees.cpp.o.d"
+  "test_chain_of_trees"
+  "test_chain_of_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_of_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chain_of_trees.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csf.dir/tests/test_csf.cpp.o"
+  "CMakeFiles/test_csf.dir/tests/test_csf.cpp.o.d"
+  "test_csf"
+  "test_csf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance.dir/tests/test_distance.cpp.o"
+  "CMakeFiles/test_distance.dir/tests/test_distance.cpp.o.d"
+  "test_distance"
+  "test_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_cache.dir/tests/test_exec_cache.cpp.o"
+  "CMakeFiles/test_exec_cache.dir/tests/test_exec_cache.cpp.o.d"
+  "test_exec_cache"
+  "test_exec_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_checkpoint.dir/tests/test_exec_checkpoint.cpp.o"
+  "CMakeFiles/test_exec_checkpoint.dir/tests/test_exec_checkpoint.cpp.o.d"
+  "test_exec_checkpoint"
+  "test_exec_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

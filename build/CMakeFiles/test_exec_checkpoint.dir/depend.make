@@ -1,0 +1,2 @@
+# Empty dependencies file for test_exec_checkpoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_engine.dir/tests/test_exec_engine.cpp.o"
+  "CMakeFiles/test_exec_engine.dir/tests/test_exec_engine.cpp.o.d"
+  "test_exec_engine"
+  "test_exec_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expression.dir/tests/test_expression.cpp.o"
+  "CMakeFiles/test_expression.dir/tests/test_expression.cpp.o.d"
+  "test_expression"
+  "test_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

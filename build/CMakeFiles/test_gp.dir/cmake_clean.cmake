@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp.dir/tests/test_gp.cpp.o"
+  "CMakeFiles/test_gp.dir/tests/test_gp.cpp.o.d"
+  "test_gp"
+  "test_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

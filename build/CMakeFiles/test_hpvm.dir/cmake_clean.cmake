@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpvm.dir/tests/test_hpvm.cpp.o"
+  "CMakeFiles/test_hpvm.dir/tests/test_hpvm.cpp.o.d"
+  "test_hpvm"
+  "test_hpvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

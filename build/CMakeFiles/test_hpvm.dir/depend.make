@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hpvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_psd.dir/tests/test_kernel_psd.cpp.o"
+  "CMakeFiles/test_kernel_psd.dir/tests/test_kernel_psd.cpp.o.d"
+  "test_kernel_psd"
+  "test_kernel_psd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_psd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

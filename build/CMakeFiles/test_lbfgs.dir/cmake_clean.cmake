@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbfgs.dir/tests/test_lbfgs.cpp.o"
+  "CMakeFiles/test_lbfgs.dir/tests/test_lbfgs.cpp.o.d"
+  "test_lbfgs"
+  "test_lbfgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbfgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_search.dir/tests/test_local_search.cpp.o"
+  "CMakeFiles/test_local_search.dir/tests/test_local_search.cpp.o.d"
+  "test_local_search"
+  "test_local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

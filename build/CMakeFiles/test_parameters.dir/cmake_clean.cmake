@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parameters.dir/tests/test_parameters.cpp.o"
+  "CMakeFiles/test_parameters.dir/tests/test_parameters.cpp.o.d"
+  "test_parameters"
+  "test_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prior.dir/tests/test_prior.cpp.o"
+  "CMakeFiles/test_prior.dir/tests/test_prior.cpp.o.d"
+  "test_prior"
+  "test_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

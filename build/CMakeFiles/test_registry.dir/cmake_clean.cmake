@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registry.dir/tests/test_registry.cpp.o"
+  "CMakeFiles/test_registry.dir/tests/test_registry.cpp.o.d"
+  "test_registry"
+  "test_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rf.dir/tests/test_rf.cpp.o"
+  "CMakeFiles/test_rf.dir/tests/test_rf.cpp.o.d"
+  "test_rf"
+  "test_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

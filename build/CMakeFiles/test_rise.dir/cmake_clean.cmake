@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rise.dir/tests/test_rise.cpp.o"
+  "CMakeFiles/test_rise.dir/tests/test_rise.cpp.o.d"
+  "test_rise"
+  "test_rise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

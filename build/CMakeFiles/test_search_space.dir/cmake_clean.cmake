@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_space.dir/tests/test_search_space.cpp.o"
+  "CMakeFiles/test_search_space.dir/tests/test_search_space.cpp.o.d"
+  "test_search_space"
+  "test_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

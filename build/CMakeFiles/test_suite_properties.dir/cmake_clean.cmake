@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_properties.dir/tests/test_suite_properties.cpp.o"
+  "CMakeFiles/test_suite_properties.dir/tests/test_suite_properties.cpp.o.d"
+  "test_suite_properties"
+  "test_suite_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taco_kernels.dir/tests/test_taco_kernels.cpp.o"
+  "CMakeFiles/test_taco_kernels.dir/tests/test_taco_kernels.cpp.o.d"
+  "test_taco_kernels"
+  "test_taco_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taco_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taco_model.dir/tests/test_taco_model.cpp.o"
+  "CMakeFiles/test_taco_model.dir/tests/test_taco_model.cpp.o.d"
+  "test_taco_model"
+  "test_taco_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taco_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuner.dir/tests/test_tuner.cpp.o"
+  "CMakeFiles/test_tuner.dir/tests/test_tuner.cpp.o.d"
+  "test_tuner"
+  "test_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
