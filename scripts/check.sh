@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, test — with warnings-as-errors on the
-# src/exec/ subsystem (BACO_WERROR_EXEC).
+# src/exec/ and src/serve/ subsystems (BACO_WERROR_EXEC) — then the
+# distributed smoke test: a coordinator with 2 loopback workers must
+# reproduce the same-seed EvalEngine run end-to-end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DBACO_WERROR_EXEC=ON
 cmake --build build -j
-cd build && ctest --output-on-failure -j
+(cd build && ctest --output-on-failure -j)
+
+./build/baco_serve --selftest

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "core/chain_of_trees.hpp"
+#include "exec/jsonl.hpp"
 
 namespace baco {
 
@@ -350,8 +351,94 @@ OpenTunerLike::reset_sampler()
 std::string
 OpenTunerLike::sampler_state() const
 {
-    return rng_state_string(state_ ? &state_->rng : nullptr);
+    // RNG stream position, then the AUC bandit credit state: per-technique
+    // use counts and the sliding (technique, improved?) window. Segments
+    // are ';'-separated so the whole string stays a single JSON-safe token
+    // (no quotes); a state without the bandit segments restores with a
+    // cold window (pre-serialization checkpoints).
+    std::string out = rng_state_string(state_ ? &state_->rng : nullptr);
+    if (!state_)
+        return out;
+    const State& st = *state_;
+    out += ";uses=";
+    for (std::size_t t = 0; t < st.uses.size(); ++t) {
+        if (t > 0)
+            out += ',';
+        out += std::to_string(st.uses[t]);
+    }
+    out += ";win=";
+    for (std::size_t i = 0; i < st.window.size(); ++i) {
+        if (i > 0)
+            out += '|';
+        out += std::to_string(st.window[i].first);
+        out += ':';
+        out += st.window[i].second ? '1' : '0';
+    }
+    return out;
 }
+
+namespace {
+
+/**
+ * Parse "a,b,c,..." into counts. The list must have exactly uses.size()
+ * entries — a mismatch (truncated state, or a checkpoint from a build
+ * with a different technique set) fails the restore rather than
+ * silently applying partial credit.
+ */
+bool
+parse_uses(const std::string& s, std::vector<int>& uses)
+{
+    std::size_t at = 0;
+    std::size_t slot = 0;
+    while (at < s.size()) {
+        std::int64_t v;
+        if (!jsonl::parse_int_at(s, at, v))
+            return false;
+        // Use counts are nonnegative and small; anything else is a
+        // corrupt checkpoint (a negative count would feed NaN into the
+        // bandit's UCB term and silently disable a technique).
+        if (slot >= uses.size() || v < 0 ||
+            v > std::numeric_limits<int>::max()) {
+            return false;
+        }
+        uses[slot] = static_cast<int>(v);
+        ++slot;
+        if (at < s.size()) {
+            if (s[at] != ',')
+                return false;
+            ++at;
+        }
+    }
+    return slot == uses.size();
+}
+
+/** Parse "t:i|t:i|..." into window entries; false on malformed input. */
+bool
+parse_window(const std::string& s, std::deque<std::pair<int, bool>>& window)
+{
+    std::size_t at = 0;
+    while (at < s.size()) {
+        std::int64_t t;
+        if (!jsonl::parse_int_at(s, at, t))
+            return false;
+        if (t < 0 || t >= static_cast<std::int64_t>(Technique::kCount))
+            return false;
+        if (at + 1 >= s.size() || s[at] != ':' ||
+            (s[at + 1] != '0' && s[at + 1] != '1')) {
+            return false;
+        }
+        window.emplace_back(static_cast<int>(t), s[at + 1] == '1');
+        at += 2;
+        if (at < s.size()) {
+            if (s[at] != '|')
+                return false;
+            ++at;
+        }
+    }
+    return true;
+}
+
+}  // namespace
 
 bool
 OpenTunerLike::restore(const TuningHistory& history,
@@ -368,9 +455,24 @@ OpenTunerLike::restore(const TuningHistory& history,
             m.value = o.value;
         st.population.push_back(std::move(m));
     }
-    // The bandit window is not checkpointed: credit restarts cold, which
-    // only perturbs technique selection, not correctness.
-    if (!restore_rng(st.rng, sampler_state)) {
+    bool ok = true;
+    std::size_t semi = sampler_state.find(';');
+    ok = restore_rng(st.rng, sampler_state.substr(0, semi));
+    // Bandit credit segments (absent in old checkpoints: cold restart).
+    while (ok && semi != std::string::npos) {
+        std::size_t next = sampler_state.find(';', semi + 1);
+        std::string seg = sampler_state.substr(
+            semi + 1,
+            next == std::string::npos ? std::string::npos : next - semi - 1);
+        if (seg.compare(0, 5, "uses=") == 0)
+            ok = parse_uses(seg.substr(5), st.uses);
+        else if (seg.compare(0, 4, "win=") == 0)
+            ok = parse_window(seg.substr(4), st.window);
+        else
+            ok = false;
+        semi = next;
+    }
+    if (!ok) {
         state_.reset();
         history_ = TuningHistory{};
         return false;

@@ -8,123 +8,6 @@
 
 namespace baco {
 
-namespace {
-
-void
-write_config_json(std::ostream& out, const Configuration& c)
-{
-    out << '[';
-    for (std::size_t i = 0; i < c.size(); ++i) {
-        if (i > 0)
-            out << ',';
-        if (const auto* d = std::get_if<double>(&c[i])) {
-            out << "{\"r\":" << jsonl::fmt_double(*d) << '}';
-        } else if (const auto* v = std::get_if<std::int64_t>(&c[i])) {
-            out << "{\"i\":" << *v << '}';
-        } else {
-            const auto& p = std::get<Permutation>(c[i]);
-            out << "{\"p\":[";
-            for (std::size_t k = 0; k < p.size(); ++k) {
-                if (k > 0)
-                    out << ',';
-                out << p[k];
-            }
-            out << "]}";
-        }
-    }
-    out << ']';
-}
-
-/** strtod at s[at]; false when no number starts there. Advances at. */
-bool
-parse_double_at(const std::string& s, std::size_t& at, double& out)
-{
-    const char* begin = s.c_str() + at;
-    char* end = nullptr;
-    out = std::strtod(begin, &end);
-    if (end == begin)
-        return false;
-    at += static_cast<std::size_t>(end - begin);
-    return true;
-}
-
-/** strtoll at s[at]; false when no integer starts there. Advances at. */
-bool
-parse_int_at(const std::string& s, std::size_t& at, std::int64_t& out)
-{
-    const char* begin = s.c_str() + at;
-    char* end = nullptr;
-    out = std::strtoll(begin, &end, 10);
-    if (end == begin)
-        return false;
-    at += static_cast<std::size_t>(end - begin);
-    return true;
-}
-
-/**
- * Parse the config array emitted by write_config_json starting at s[at]
- * (the '['). Advances at past the closing ']'. Returns false on malformed
- * input (never throws).
- */
-bool
-parse_config_json(const std::string& s, std::size_t& at, Configuration& out)
-{
-    if (at >= s.size() || s[at] != '[')
-        return false;
-    ++at;
-    out.clear();
-    if (at < s.size() && s[at] == ']') {
-        ++at;
-        return true;
-    }
-    while (at < s.size()) {
-        if (s.compare(at, 5, "{\"r\":") == 0) {
-            at += 5;
-            double d;
-            if (!parse_double_at(s, at, d))
-                return false;
-            out.emplace_back(d);
-        } else if (s.compare(at, 5, "{\"i\":") == 0) {
-            at += 5;
-            std::int64_t v;
-            if (!parse_int_at(s, at, v))
-                return false;
-            out.emplace_back(v);
-        } else if (s.compare(at, 6, "{\"p\":[") == 0) {
-            at += 6;
-            Permutation p;
-            while (at < s.size() && s[at] != ']') {
-                std::int64_t v;
-                if (!parse_int_at(s, at, v))
-                    return false;
-                p.push_back(static_cast<int>(v));
-                if (at < s.size() && s[at] == ',')
-                    ++at;
-            }
-            if (at >= s.size())
-                return false;
-            ++at;  // ']'
-            out.emplace_back(std::move(p));
-        } else {
-            return false;
-        }
-        if (at >= s.size() || s[at] != '}')
-            return false;
-        ++at;  // '}'
-        if (at < s.size() && s[at] == ',') {
-            ++at;
-            continue;
-        }
-        break;
-    }
-    if (at >= s.size() || s[at] != ']')
-        return false;
-    ++at;
-    return true;
-}
-
-}  // namespace
-
 bool
 save_checkpoint(const std::string& path, const AskTellTuner& tuner)
 {
@@ -141,7 +24,7 @@ save_checkpoint(const std::string& path, const AskTellTuner& tuner)
             << "}\n";
         for (const Observation& o : h.observations) {
             out << "{\"type\":\"obs\",\"config\":";
-            write_config_json(out, o.config);
+            jsonl::write_config(out, o.config);
             out << ",\"value\":" << jsonl::fmt_double(o.value)
                 << ",\"feasible\":" << (o.feasible ? "true" : "false")
                 << "}\n";
@@ -185,7 +68,7 @@ load_checkpoint(const std::string& path)
                 return std::nullopt;
             at += 9;
             Configuration c;
-            if (!parse_config_json(line, at, c))
+            if (!jsonl::parse_config(line, at, c))
                 return std::nullopt;
             std::string value, feasible;
             if (!jsonl::field(line, "value", value) ||
@@ -211,6 +94,12 @@ resume_from_checkpoint(const std::string& path, AskTellTuner& tuner)
 {
     std::optional<CheckpointData> data = load_checkpoint(path);
     if (!data)
+        return false;
+    // A checkpoint only resumes the run it was written by: the per-
+    // evaluation RNG streams are derived from the run seed, so restoring
+    // into a tuner seeded differently would silently diverge from the
+    // uninterrupted history.
+    if (data->seed != tuner.run_seed())
         return false;
     return tuner.restore(data->history, data->sampler_state);
 }

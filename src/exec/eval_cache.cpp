@@ -4,11 +4,43 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/parameter.hpp"
+#include "core/search_space.hpp"
 #include "exec/jsonl.hpp"
 
 namespace baco {
 
 namespace {
+
+/** FNV-1a over a byte string (stable across platforms/runs). */
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string& s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;  // field separator so "ab"+"c" != "a"+"bc"
+    h *= 1099511628211ULL;
+    return h;
+}
+
+/** The namespace/key separator; never appears in canonical keys. */
+constexpr char kNsSep = '#';
+
+std::string
+namespaced_key(const std::string& ns, const Configuration& c)
+{
+    std::string key = EvalCache::canonical_key(c);
+    if (ns.empty())
+        return key;
+    std::string out;
+    out.reserve(ns.size() + 1 + key.size());
+    out += ns;
+    out += kNsSep;
+    out += key;
+    return out;
+}
 
 void
 append_value(std::string& key, const ParamValue& v)
@@ -47,10 +79,50 @@ EvalCache::canonical_key(const Configuration& c)
     return key;
 }
 
+std::string
+EvalCache::space_fingerprint(const SearchSpace& space)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < space.num_params(); ++i) {
+        const Parameter& p = space.param(i);
+        h = fnv1a(h, p.name());
+        h = fnv1a(h, std::to_string(static_cast<int>(p.kind())));
+        if (p.kind() == ParamKind::kReal) {
+            const auto& rp = static_cast<const RealParameter&>(p);
+            h = fnv1a(h, jsonl::fmt_double(rp.lo()));
+            h = fnv1a(h, jsonl::fmt_double(rp.hi()));
+        } else {
+            for (std::size_t k = 0; k < p.num_values(); ++k)
+                h = fnv1a(h, p.value_to_string(p.value_at(k)));
+        }
+    }
+    for (const Constraint& c : space.constraints()) {
+        h = fnv1a(h, c.source());
+        for (const std::string& v : c.vars())
+            h = fnv1a(h, v);
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+    return buf;
+}
+
+std::string
+EvalCache::namespace_key(const std::string& benchmark_name,
+                         const SearchSpace& space)
+{
+    return benchmark_name + "@" + space_fingerprint(space);
+}
+
 std::optional<EvalResult>
 EvalCache::lookup(const Configuration& c) const
 {
-    std::string key = canonical_key(c);
+    return lookup(std::string{}, c);
+}
+
+std::optional<EvalResult>
+EvalCache::lookup(const std::string& ns, const Configuration& c) const
+{
+    std::string key = namespaced_key(ns, c);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
@@ -64,7 +136,14 @@ EvalCache::lookup(const Configuration& c) const
 void
 EvalCache::insert(const Configuration& c, const EvalResult& r)
 {
-    std::string key = canonical_key(c);
+    insert(std::string{}, c, r);
+}
+
+void
+EvalCache::insert(const std::string& ns, const Configuration& c,
+                  const EvalResult& r)
+{
+    std::string key = namespaced_key(ns, c);
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.emplace(std::move(key), r);
 }

@@ -10,6 +10,12 @@
  * separate tuning sessions via save()/load() — are short-circuited. The
  * cache is thread-safe; EvalEngine consults it before dispatching work.
  *
+ * Entries can be namespaced by benchmark identity (benchmark name plus a
+ * structural fingerprint of its search space, see namespace_key), so one
+ * persistent cache file safely serves the whole suite and every session of
+ * the serve layer: the same configuration key under two benchmarks — or
+ * under two revisions of one benchmark's space — never collides.
+ *
  * Caching replaces a fresh noisy measurement with the first recorded one,
  * so with a noisy black box a cache-enabled run is deterministic given the
  * cache contents but not bit-identical to a cache-free run. Callers that
@@ -27,6 +33,8 @@
 
 namespace baco {
 
+class SearchSpace;
+
 /** Thread-safe configuration -> result memo with JSONL persistence. */
 class EvalCache {
  public:
@@ -37,11 +45,35 @@ class EvalCache {
    */
   static std::string canonical_key(const Configuration& c);
 
+  /**
+   * Structural fingerprint of a search space as a 16-hex-digit string:
+   * hashes parameter names, kinds, bounds/value sets and the known
+   * constraints. Two spaces fingerprint equal iff an EvalResult cached
+   * under one is valid under the other.
+   */
+  static std::string space_fingerprint(const SearchSpace& space);
+
+  /**
+   * The cache namespace identifying one benchmark: "<name>@<fingerprint>".
+   * Keyed entries survive benchmark-set growth and space redefinitions —
+   * a redefined space changes the fingerprint and thus misses cleanly.
+   */
+  static std::string namespace_key(const std::string& benchmark_name,
+                                   const SearchSpace& space);
+
   /** Cached result for c, if any. Counts a hit or a miss. */
   std::optional<EvalResult> lookup(const Configuration& c) const;
 
+  /** Namespaced lookup (empty ns = the anonymous namespace). */
+  std::optional<EvalResult> lookup(const std::string& ns,
+                                   const Configuration& c) const;
+
   /** Record the result for c (first write wins). */
   void insert(const Configuration& c, const EvalResult& r);
+
+  /** Namespaced insert (empty ns = the anonymous namespace). */
+  void insert(const std::string& ns, const Configuration& c,
+              const EvalResult& r);
 
   std::size_t size() const;
   std::uint64_t hits() const;

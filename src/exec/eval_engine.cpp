@@ -32,7 +32,8 @@ EvalEngine::evaluate_batch(const BlackBoxFn& objective,
 
     for (std::size_t i = 0; i < configs.size(); ++i) {
         if (opt_.cache) {
-            if (auto cached = opt_.cache->lookup(configs[i])) {
+            if (auto cached =
+                    opt_.cache->lookup(opt_.cache_namespace, configs[i])) {
                 results[i] = *cached;
                 continue;
             }
@@ -55,7 +56,7 @@ EvalEngine::evaluate_batch(const BlackBoxFn& objective,
 
     if (opt_.cache) {
         for (std::size_t i : to_run)
-            opt_.cache->insert(configs[i], results[i]);
+            opt_.cache->insert(opt_.cache_namespace, configs[i], results[i]);
     }
     if (eval_seconds) {
         for (double d : durations)

@@ -35,6 +35,11 @@ struct EvalEngineOptions {
   int batch_size = 1;
   /** Optional shared evaluation cache (not owned; may be null). */
   EvalCache* cache = nullptr;
+  /**
+   * Namespace for cache entries (EvalCache::namespace_key). Empty = the
+   * anonymous namespace; set it when one cache serves several benchmarks.
+   */
+  std::string cache_namespace;
   /** When nonempty, rewrite a resume checkpoint after every batch. */
   std::string checkpoint_path;
 };

@@ -1,6 +1,9 @@
 #include "exec/jsonl.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
 
 namespace baco::jsonl {
 
@@ -32,6 +35,120 @@ fmt_double(double v)
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.17g", v);
     return buf;
+}
+
+void
+write_config(std::ostream& out, const Configuration& c)
+{
+    out << '[';
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        if (const auto* d = std::get_if<double>(&c[i])) {
+            out << "{\"r\":" << fmt_double(*d) << '}';
+        } else if (const auto* v = std::get_if<std::int64_t>(&c[i])) {
+            out << "{\"i\":" << *v << '}';
+        } else {
+            const auto& p = std::get<Permutation>(c[i]);
+            out << "{\"p\":[";
+            for (std::size_t k = 0; k < p.size(); ++k) {
+                if (k > 0)
+                    out << ',';
+                out << p[k];
+            }
+            out << "]}";
+        }
+    }
+    out << ']';
+}
+
+std::string
+config_json(const Configuration& c)
+{
+    std::ostringstream oss;
+    write_config(oss, c);
+    return oss.str();
+}
+
+bool
+parse_double_at(const std::string& s, std::size_t& at, double& out)
+{
+    const char* begin = s.c_str() + at;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin)
+        return false;
+    at += static_cast<std::size_t>(end - begin);
+    return true;
+}
+
+bool
+parse_int_at(const std::string& s, std::size_t& at, std::int64_t& out)
+{
+    const char* begin = s.c_str() + at;
+    char* end = nullptr;
+    out = std::strtoll(begin, &end, 10);
+    if (end == begin)
+        return false;
+    at += static_cast<std::size_t>(end - begin);
+    return true;
+}
+
+bool
+parse_config(const std::string& s, std::size_t& at, Configuration& out)
+{
+    if (at >= s.size() || s[at] != '[')
+        return false;
+    ++at;
+    out.clear();
+    if (at < s.size() && s[at] == ']') {
+        ++at;
+        return true;
+    }
+    while (at < s.size()) {
+        if (s.compare(at, 5, "{\"r\":") == 0) {
+            at += 5;
+            double d;
+            if (!parse_double_at(s, at, d))
+                return false;
+            out.emplace_back(d);
+        } else if (s.compare(at, 5, "{\"i\":") == 0) {
+            at += 5;
+            std::int64_t v;
+            if (!parse_int_at(s, at, v))
+                return false;
+            out.emplace_back(v);
+        } else if (s.compare(at, 6, "{\"p\":[") == 0) {
+            at += 6;
+            Permutation p;
+            while (at < s.size() && s[at] != ']') {
+                std::int64_t v;
+                if (!parse_int_at(s, at, v))
+                    return false;
+                p.push_back(static_cast<int>(v));
+                if (at < s.size() && s[at] == ',')
+                    ++at;
+            }
+            if (at >= s.size())
+                return false;
+            ++at;  // ']'
+            out.emplace_back(std::move(p));
+        } else {
+            return false;
+        }
+        if (at >= s.size() || s[at] != '}')
+            return false;
+        ++at;  // '}'
+        if (at < s.size() && s[at] == ',') {
+            ++at;
+            continue;
+        }
+        break;
+    }
+    if (at >= s.size() || s[at] != ']')
+        return false;
+    ++at;
+    return true;
 }
 
 }  // namespace baco::jsonl

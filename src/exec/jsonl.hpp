@@ -3,12 +3,18 @@
 
 /**
  * @file
- * The tiny shared JSONL vocabulary of the exec subsystem: the cache and
- * checkpoint files are both one flat JSON object per line, written and
- * parsed by these helpers so the two formats cannot drift apart.
+ * The tiny shared JSONL vocabulary of the exec and serve subsystems: cache
+ * files, checkpoint files and wire-protocol frames are all one flat JSON
+ * object per line, written and parsed by these helpers so the formats
+ * cannot drift apart. Configurations appear in checkpoints and protocol
+ * frames as the same typed array ([{"r":...},{"i":...},{"p":[...]}]),
+ * (de)serialized by write_config/parse_config.
  */
 
+#include <iosfwd>
 #include <string>
+
+#include "core/types.hpp"
 
 namespace baco::jsonl {
 
@@ -23,6 +29,28 @@ bool field(const std::string& line, const std::string& name,
 
 /** Format a double with %.17g (exact IEEE round-trip). */
 std::string fmt_double(double v);
+
+/**
+ * Write c as a typed JSON array: one {"r":x} / {"i":n} / {"p":[...]}
+ * object per parameter, in configuration order.
+ */
+void write_config(std::ostream& out, const Configuration& c);
+
+/** write_config into a string. */
+std::string config_json(const Configuration& c);
+
+/**
+ * Parse the array emitted by write_config starting at s[at] (the '[').
+ * Advances at past the closing ']'. Returns false on malformed input
+ * (never throws).
+ */
+bool parse_config(const std::string& s, std::size_t& at, Configuration& out);
+
+/** strtod at s[at]; false when no number starts there. Advances at. */
+bool parse_double_at(const std::string& s, std::size_t& at, double& out);
+
+/** strtoll at s[at]; false when no integer starts there. Advances at. */
+bool parse_int_at(const std::string& s, std::size_t& at, std::int64_t& out);
 
 }  // namespace baco::jsonl
 

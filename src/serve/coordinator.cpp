@@ -1,0 +1,372 @@
+#include "serve/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/checkpoint.hpp"
+#include "exec/eval_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace baco::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+/** Give up on a task after this many worker error frames. */
+constexpr int kMaxTaskErrors = 3;
+}  // namespace
+
+struct Coordinator::Worker {
+  std::unique_ptr<Transport> transport;
+  int capacity = 1;
+  int inflight = 0;
+  bool alive = true;
+  /**
+   * Dispatch ids awaiting a reply from this worker. Persists across
+   * evaluate_batch calls: a batch can complete with a straggler's
+   * duplicated dispatch still in flight, and its late reply (arriving
+   * during a later batch) must be recognized as benign — only a reply
+   * whose id was never dispatched marks the worker dead.
+   */
+  std::unordered_set<std::uint64_t> outstanding;
+};
+
+Coordinator::Coordinator(CoordinatorOptions opt) : opt_(opt)
+{
+    if (opt_.max_inflight_per_worker < 1)
+        opt_.max_inflight_per_worker = 1;
+    if (opt_.poll_ms < 1)
+        opt_.poll_ms = 1;
+}
+
+Coordinator::~Coordinator()
+{
+    shutdown();
+}
+
+int
+Coordinator::add_worker(std::unique_ptr<Transport> transport)
+{
+    if (!transport)
+        return -1;
+    std::string line;
+    if (transport->recv(line, opt_.handshake_ms) != RecvStatus::kOk)
+        return -1;
+    Message hello;
+    if (!decode(line, hello) || hello.type != MsgType::kHello ||
+        hello.version != kProtocolVersion || hello.text != "worker") {
+        return -1;
+    }
+    auto w = std::make_unique<Worker>();
+    w->transport = std::move(transport);
+    w->capacity = std::clamp(hello.capacity, 1, opt_.max_inflight_per_worker);
+    workers_.push_back(std::move(w));
+    return static_cast<int>(workers_.size()) - 1;
+}
+
+std::size_t
+Coordinator::num_workers() const
+{
+    std::size_t n = 0;
+    for (const auto& w : workers_)
+        if (w->alive)
+            ++n;
+    return n;
+}
+
+void
+Coordinator::shutdown()
+{
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    std::string frame = encode(bye);
+    for (auto& w : workers_) {
+        if (!w->alive)
+            continue;
+        w->transport->send(frame);
+        w->transport->close();
+        w->alive = false;
+        w->inflight = 0;
+    }
+}
+
+namespace {
+
+/** Per-batch bookkeeping for one evaluation task. */
+struct TaskState {
+  bool done = false;
+  bool from_cache = false;
+  bool queued = false;
+  int errors = 0;
+  EvalResult result;
+  std::vector<std::size_t> live_on;  ///< workers with a dispatch in flight
+  Clock::time_point last_sent;
+};
+
+void
+drop_dispatch(TaskState& t, std::size_t w)
+{
+    t.live_on.erase(std::remove(t.live_on.begin(), t.live_on.end(), w),
+                    t.live_on.end());
+}
+
+}  // namespace
+
+bool
+Coordinator::dispatch_to(std::size_t w, std::size_t task,
+                         const BatchSpec& spec,
+                         const std::vector<Configuration>& configs)
+{
+    Message m;
+    m.type = MsgType::kEvaluate;
+    m.id = next_msg_id_++;
+    m.benchmark = spec.benchmark;
+    m.seed = spec.run_seed;
+    m.index = spec.first_index + task;
+    m.config = configs[task];
+    if (!workers_[w]->transport->send(encode(m)))
+        return false;
+    workers_[w]->inflight += 1;
+    workers_[w]->outstanding.insert(m.id);
+    return true;
+}
+
+std::vector<EvalResult>
+Coordinator::evaluate_batch(const BatchSpec& spec,
+                            const std::vector<Configuration>& configs,
+                            double* eval_seconds)
+{
+    const std::size_t n = configs.size();
+    std::vector<EvalResult> results(n);
+    if (n == 0)
+        return results;
+
+    std::vector<TaskState> tasks(n);
+    std::vector<std::size_t> pending;
+    std::unordered_map<std::uint64_t, std::size_t> id_to_task;
+    std::size_t done_count = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (spec.cache) {
+            if (auto hit = spec.cache->lookup(spec.cache_namespace,
+                                              configs[i])) {
+                tasks[i].done = true;
+                tasks[i].from_cache = true;
+                results[i] = *hit;
+                ++done_count;
+                continue;
+            }
+        }
+        tasks[i].queued = true;
+        pending.push_back(i);
+    }
+
+    auto mark_dead = [&](std::size_t w) {
+        workers_[w]->alive = false;
+        workers_[w]->inflight = 0;
+        workers_[w]->outstanding.clear();
+        workers_[w]->transport->close();
+        for (std::size_t i = 0; i < n; ++i) {
+            TaskState& t = tasks[i];
+            drop_dispatch(t, w);
+            if (!t.done && !t.queued && t.live_on.empty()) {
+                t.queued = true;
+                pending.push_back(i);
+            }
+        }
+    };
+
+    auto send_task = [&](std::size_t w, std::size_t task) -> bool {
+        std::uint64_t id_before = next_msg_id_;
+        if (!dispatch_to(w, task, spec, configs)) {
+            mark_dead(w);
+            return false;
+        }
+        id_to_task[id_before] = task;
+        tasks[task].live_on.push_back(w);
+        tasks[task].last_sent = Clock::now();
+        return true;
+    };
+
+    while (done_count < n) {
+        // ---- Backpressure-limited assignment of queued tasks. ----
+        for (std::size_t w = 0; w < workers_.size() && !pending.empty();
+             ++w) {
+            Worker& wk = *workers_[w];
+            while (wk.alive && wk.inflight < wk.capacity &&
+                   !pending.empty()) {
+                std::size_t task = pending.back();
+                pending.pop_back();
+                tasks[task].queued = false;
+                if (!send_task(w, task)) {
+                    // Worker died on send; the task was re-queued by
+                    // mark_dead only if it had no other live dispatch.
+                    break;
+                }
+            }
+        }
+
+        bool any_inflight = false;
+        for (const auto& w : workers_)
+            any_inflight = any_inflight || w->inflight > 0;
+        if (!any_inflight) {
+            if (num_workers() == 0) {
+                throw std::runtime_error(
+                    "coordinator: no live workers remain");
+            }
+            if (!pending.empty())
+                continue;  // free slots opened up; assign again
+        }
+
+        // ---- Drain results; block briefly on the first busy worker. ----
+        bool received = false;
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            Worker& wk = *workers_[w];
+            if (!wk.alive || wk.inflight == 0)
+                continue;
+            int timeout = received ? 0 : opt_.poll_ms;
+            for (;;) {
+                std::string line;
+                RecvStatus rs = wk.transport->recv(line, timeout);
+                if (rs == RecvStatus::kTimeout)
+                    break;
+                if (rs == RecvStatus::kClosed) {
+                    mark_dead(w);
+                    break;
+                }
+                received = true;
+                timeout = 0;  // drain without blocking
+                Message reply;
+                if (!decode(line, reply)) {
+                    // A worker emitting undecodable frames is unreliable;
+                    // killing it re-queues its tasks instead of leaving
+                    // them in flight forever (which would wedge the batch).
+                    mark_dead(w);
+                    break;
+                }
+                auto out_it = wk.outstanding.find(reply.id);
+                if (out_it == wk.outstanding.end()) {
+                    // Reply to an id this worker was never sent: the
+                    // worker failed to decode a dispatch (its error
+                    // frames carry id 0) or has a protocol bug. Same
+                    // treatment as garbage.
+                    mark_dead(w);
+                    break;
+                }
+                wk.outstanding.erase(out_it);
+                wk.inflight = std::max(0, wk.inflight - 1);
+                auto it = id_to_task.find(reply.id);
+                if (it == id_to_task.end()) {
+                    // A late reply from an earlier batch (a straggler
+                    // duplicate that outlived its evaluate_batch call, or
+                    // leftover work from an aborted batch): benign, just
+                    // frees the worker slot.
+                    continue;
+                }
+                std::size_t task = it->second;
+                id_to_task.erase(it);
+                TaskState& t = tasks[task];
+                drop_dispatch(t, w);
+                if (reply.type == MsgType::kResult) {
+                    if (!t.done) {
+                        t.done = true;
+                        results[task] =
+                            EvalResult{reply.value, reply.feasible};
+                        if (eval_seconds)
+                            *eval_seconds += reply.eval_seconds;
+                        ++done_count;
+                    }
+                } else {
+                    // Worker answered with an error frame.
+                    if (!t.done) {
+                        t.errors += 1;
+                        if (t.errors >= kMaxTaskErrors) {
+                            throw std::runtime_error(
+                                "coordinator: evaluation failed: " +
+                                reply.text);
+                        }
+                        if (!t.queued && t.live_on.empty()) {
+                            t.queued = true;
+                            pending.push_back(task);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Straggler re-dispatch. ----
+        if (opt_.straggler_ms > 0) {
+            auto now = Clock::now();
+            for (std::size_t i = 0; i < n; ++i) {
+                TaskState& t = tasks[i];
+                if (t.done || t.queued || t.live_on.empty())
+                    continue;
+                auto age = std::chrono::duration_cast<
+                               std::chrono::milliseconds>(now - t.last_sent)
+                               .count();
+                if (age < opt_.straggler_ms)
+                    continue;
+                for (std::size_t w = 0; w < workers_.size(); ++w) {
+                    Worker& wk = *workers_[w];
+                    bool already = std::find(t.live_on.begin(),
+                                             t.live_on.end(),
+                                             w) != t.live_on.end();
+                    if (!wk.alive || already || wk.inflight >= wk.capacity)
+                        continue;
+                    send_task(w, i);
+                    break;
+                }
+            }
+        }
+    }
+
+    if (spec.cache) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!tasks[i].from_cache)
+                spec.cache->insert(spec.cache_namespace, configs[i],
+                                   results[i]);
+        }
+    }
+    return results;
+}
+
+void
+Coordinator::drive(AskTellTuner& tuner, const BatchSpec& spec,
+                   int batch_size, int max_evals,
+                   const std::string& checkpoint_path)
+{
+    if (batch_size < 1)
+        batch_size = 1;
+    int done = 0;
+    while (tuner.remaining() > 0 && (max_evals < 0 || done < max_evals)) {
+        int want = batch_size;
+        if (max_evals >= 0)
+            want = std::min(want, max_evals - done);
+        std::vector<Configuration> batch = tuner.suggest(want);
+        if (batch.empty())
+            break;
+        BatchSpec round = spec;
+        round.first_index = tuner.history().size();
+        double eval_seconds = 0.0;
+        std::vector<EvalResult> results =
+            evaluate_batch(round, batch, &eval_seconds);
+        tuner.observe(batch, results);
+        tuner.mutable_history().eval_seconds += eval_seconds;
+        done += static_cast<int>(batch.size());
+        if (!checkpoint_path.empty())
+            save_checkpoint(checkpoint_path, tuner);
+    }
+}
+
+TuningHistory
+Coordinator::run(AskTellTuner& tuner, const BatchSpec& spec, int batch_size)
+{
+    drive(tuner, spec, batch_size, -1);
+    return tuner.take_history();
+}
+
+}  // namespace baco::serve

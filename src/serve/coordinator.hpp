@@ -1,0 +1,128 @@
+#ifndef BACO_SERVE_COORDINATOR_HPP_
+#define BACO_SERVE_COORDINATOR_HPP_
+
+/**
+ * @file
+ * The multi-worker evaluation coordinator.
+ *
+ * A Coordinator owns transports to registered workers and shards each
+ * suggest(n) batch across them — the batch itself is produced by the
+ * tuner's constant-liar machinery, so the coordinator is a drop-in
+ * replacement for EvalEngine::evaluate_batch across process/host
+ * boundaries.
+ *
+ * Scheduling is shard-deterministic: results are assembled in batch
+ * order and each evaluation's noise stream is derived worker-side from
+ * (run seed, evaluation index), so the assembled history is independent
+ * of which worker ran what and in which order — a coordinator-driven run
+ * reproduces the same-seed EvalEngine run bit-for-bit.
+ *
+ * Robustness: per-worker backpressure (at most `capacity` frames in
+ * flight per worker), straggler re-dispatch (a task outstanding longer
+ * than straggler_ms is duplicated onto a free worker; first result
+ * wins — duplicates are harmless because evaluation is deterministic),
+ * and dead-worker recovery (tasks whose only live dispatch was on a
+ * closed transport are re-queued).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/ask_tell.hpp"
+
+namespace baco {
+class EvalCache;
+}
+
+namespace baco::serve {
+
+class Transport;
+
+/** Coordinator knobs. */
+struct CoordinatorOptions {
+  /**
+   * In-flight cap per worker when the worker's hello does not advertise
+   * a capacity (and an upper bound when it does).
+   */
+  int max_inflight_per_worker = 2;
+  /** Re-dispatch tasks outstanding longer than this; <= 0 disables. */
+  int straggler_ms = -1;
+  /** Poll granularity while waiting for results. */
+  int poll_ms = 20;
+  /** Handshake timeout for add_worker(). */
+  int handshake_ms = 10000;
+};
+
+/** Everything identifying one sharded batch. */
+struct BatchSpec {
+  /** Registry benchmark name (workers resolve it independently). */
+  std::string benchmark;
+  std::uint64_t run_seed = 0;
+  std::uint64_t first_index = 0;
+  /** Optional shared cache consulted before dispatch (not owned). */
+  EvalCache* cache = nullptr;
+  std::string cache_namespace;
+};
+
+/** Shards evaluation batches across registered workers. */
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opt = CoordinatorOptions{});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /**
+   * Register a worker: waits for its hello frame (capacity handshake).
+   * Returns the worker's id, or -1 when the handshake fails.
+   */
+  int add_worker(std::unique_ptr<Transport> transport);
+
+  /** Workers still believed alive. */
+  std::size_t num_workers() const;
+
+  /**
+   * Evaluate one batch across the worker fleet. Results are returned in
+   * input order; evaluation i uses eval_rng_for(run_seed, first_index+i)
+   * worker-side. Cache hits skip dispatch entirely. *eval_seconds
+   * (optional) accumulates the summed per-evaluation durations.
+   * @throws std::runtime_error when no live worker remains.
+   */
+  std::vector<EvalResult> evaluate_batch(
+      const BatchSpec& spec, const std::vector<Configuration>& configs,
+      double* eval_seconds = nullptr);
+
+  /**
+   * Drive an ask-tell tuner through the worker fleet, batch_size
+   * configurations per round, like EvalEngine::drive. When
+   * checkpoint_path is nonempty a resume checkpoint is rewritten after
+   * every observed batch.
+   */
+  void drive(AskTellTuner& tuner, const BatchSpec& spec, int batch_size,
+             int max_evals = -1, const std::string& checkpoint_path = {});
+
+  /** drive() to budget exhaustion, then take the finalized history. */
+  TuningHistory run(AskTellTuner& tuner, const BatchSpec& spec,
+                    int batch_size);
+
+  /** Send shutdown to every live worker and close the transports. */
+  void shutdown();
+
+ private:
+  struct Worker;
+
+  /** Send task `task` to worker w; false when the send fails. */
+  bool dispatch_to(std::size_t w, std::size_t task, const BatchSpec& spec,
+                   const std::vector<Configuration>& configs);
+
+  CoordinatorOptions opt_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t next_msg_id_ = 1;
+};
+
+}  // namespace baco::serve
+
+#endif  // BACO_SERVE_COORDINATOR_HPP_

@@ -1,0 +1,522 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "exec/jsonl.hpp"
+
+namespace baco::serve {
+
+namespace {
+
+/**
+ * A double as a JSON-valid token: plain %.17g when finite, quoted
+ * ("inf", "-inf", "nan") otherwise — standard JSON has no non-finite
+ * literals, and strtod on the decode side parses the quoted spellings.
+ */
+std::string
+num_token(double v)
+{
+    if (std::isfinite(v))
+        return jsonl::fmt_double(v);
+    return "\"" + jsonl::fmt_double(v) + "\"";
+}
+
+/** Strip characters that would break one-line JSON framing. */
+std::string
+sanitize(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"')
+            out += '\'';
+        else if (c == '\n' || c == '\r')
+            out += ' ';
+        else if (c == '\\')
+            out += '/';
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+emit_str(std::ostream& out, const char* name, const std::string& v)
+{
+    out << ",\"" << name << "\":\"" << sanitize(v) << '"';
+}
+
+void
+emit_u64(std::ostream& out, const char* name, std::uint64_t v)
+{
+    out << ",\"" << name << "\":" << v;
+}
+
+void
+emit_int(std::ostream& out, const char* name, int v)
+{
+    out << ",\"" << name << "\":" << v;
+}
+
+void
+emit_double(std::ostream& out, const char* name, double v)
+{
+    out << ",\"" << name << "\":" << num_token(v);
+}
+
+void
+emit_bool(std::ostream& out, const char* name, bool v)
+{
+    out << ",\"" << name << "\":" << (v ? "true" : "false");
+}
+
+// The read_* helpers are strict: a present-but-non-numeric value is a
+// malformed frame (false), never a silent zero.
+
+bool
+read_u64(const std::string& line, const char* name, std::uint64_t& out)
+{
+    std::string raw;
+    if (!jsonl::field(line, name, raw))
+        return false;
+    char* end = nullptr;
+    out = std::strtoull(raw.c_str(), &end, 10);
+    return end != raw.c_str() && *end == '\0';
+}
+
+bool
+read_int(const std::string& line, const char* name, int& out)
+{
+    std::string raw;
+    if (!jsonl::field(line, name, raw))
+        return false;
+    char* end = nullptr;
+    out = static_cast<int>(std::strtol(raw.c_str(), &end, 10));
+    return end != raw.c_str() && *end == '\0';
+}
+
+bool
+read_double(const std::string& line, const char* name, double& out)
+{
+    std::string raw;
+    if (!jsonl::field(line, name, raw))
+        return false;
+    char* end = nullptr;
+    out = std::strtod(raw.c_str(), &end);
+    return end != raw.c_str() && *end == '\0';
+}
+
+bool
+read_bool(const std::string& line, const char* name, bool& out)
+{
+    std::string raw;
+    if (!jsonl::field(line, name, raw))
+        return false;
+    if (raw != "true" && raw != "false")
+        return false;
+    out = raw == "true";
+    return true;
+}
+
+/**
+ * Parse the configs array ("configs":[[...],[...]]) starting at s[at]
+ * (the outer '['). Advances at past the closing ']'.
+ */
+bool
+parse_configs_array(const std::string& s, std::size_t& at,
+                    std::vector<Configuration>& out)
+{
+    if (at >= s.size() || s[at] != '[')
+        return false;
+    ++at;
+    out.clear();
+    if (at < s.size() && s[at] == ']') {
+        ++at;
+        return true;
+    }
+    while (at < s.size()) {
+        Configuration c;
+        if (!jsonl::parse_config(s, at, c))
+            return false;
+        out.push_back(std::move(c));
+        if (at < s.size() && s[at] == ',') {
+            ++at;
+            continue;
+        }
+        break;
+    }
+    if (at >= s.size() || s[at] != ']')
+        return false;
+    ++at;
+    return true;
+}
+
+/**
+ * Parse the results array of an observe frame:
+ * "results":[{"config":[...],"value":v,"feasible":b},...].
+ */
+bool
+parse_results_array(const std::string& s, std::size_t& at,
+                    std::vector<ObservedResult>& out)
+{
+    if (at >= s.size() || s[at] != '[')
+        return false;
+    ++at;
+    out.clear();
+    if (at < s.size() && s[at] == ']') {
+        ++at;
+        return true;
+    }
+    while (at < s.size()) {
+        ObservedResult r;
+        if (s.compare(at, 10, "{\"config\":") != 0)
+            return false;
+        at += 10;
+        if (!jsonl::parse_config(s, at, r.config))
+            return false;
+        if (s.compare(at, 9, ",\"value\":") != 0)
+            return false;
+        at += 9;
+        bool quoted = at < s.size() && s[at] == '"';  // non-finite token
+        if (quoted)
+            ++at;
+        if (!jsonl::parse_double_at(s, at, r.value))
+            return false;
+        if (quoted) {
+            if (at >= s.size() || s[at] != '"')
+                return false;
+            ++at;
+        }
+        if (s.compare(at, 12, ",\"feasible\":") != 0)
+            return false;
+        at += 12;
+        if (s.compare(at, 4, "true") == 0) {
+            r.feasible = true;
+            at += 4;
+        } else if (s.compare(at, 5, "false") == 0) {
+            r.feasible = false;
+            at += 5;
+        } else {
+            return false;
+        }
+        if (at >= s.size() || s[at] != '}')
+            return false;
+        ++at;
+        out.push_back(std::move(r));
+        if (at < s.size() && s[at] == ',') {
+            ++at;
+            continue;
+        }
+        break;
+    }
+    if (at >= s.size() || s[at] != ']')
+        return false;
+    ++at;
+    return true;
+}
+
+bool
+fail(std::string* error, const std::string& why)
+{
+    if (error)
+        *error = why;
+    return false;
+}
+
+}  // namespace
+
+const char*
+msg_type_name(MsgType t)
+{
+    switch (t) {
+      case MsgType::kHello: return "hello";
+      case MsgType::kWelcome: return "welcome";
+      case MsgType::kOpenSession: return "open_session";
+      case MsgType::kOpened: return "opened";
+      case MsgType::kSuggest: return "suggest";
+      case MsgType::kConfigs: return "configs";
+      case MsgType::kObserve: return "observe";
+      case MsgType::kOk: return "ok";
+      case MsgType::kCheckpoint: return "checkpoint";
+      case MsgType::kClose: return "close";
+      case MsgType::kRun: return "run";
+      case MsgType::kDone: return "done";
+      case MsgType::kEvaluate: return "evaluate";
+      case MsgType::kResult: return "result";
+      case MsgType::kShutdown: return "shutdown";
+      case MsgType::kError: return "error";
+    }
+    return "?";
+}
+
+std::string
+encode(const Message& m)
+{
+    std::ostringstream out;
+    out << "{\"type\":\"" << msg_type_name(m.type) << '"';
+    switch (m.type) {
+      case MsgType::kHello:
+        emit_int(out, "v", m.version);
+        emit_str(out, "role", m.text.empty() ? "client" : m.text);
+        if (m.capacity > 0)
+            emit_int(out, "capacity", m.capacity);
+        break;
+      case MsgType::kWelcome:
+        emit_int(out, "v", m.version);
+        break;
+      case MsgType::kOpenSession:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        emit_str(out, "benchmark", m.benchmark);
+        emit_str(out, "method", m.method);
+        emit_int(out, "budget", m.budget);
+        emit_int(out, "doe", m.doe);
+        emit_u64(out, "seed", m.seed);
+        emit_bool(out, "resume", m.resume);
+        break;
+      case MsgType::kOpened:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        emit_u64(out, "evals", m.evals);
+        emit_int(out, "budget", m.budget);
+        emit_bool(out, "resumed", m.resumed);
+        break;
+      case MsgType::kSuggest:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        emit_int(out, "n", m.n);
+        break;
+      case MsgType::kConfigs: {
+        emit_u64(out, "id", m.id);
+        emit_u64(out, "first_index", m.index);
+        out << ",\"configs\":[";
+        for (std::size_t i = 0; i < m.configs.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            jsonl::write_config(out, m.configs[i]);
+        }
+        out << ']';
+        break;
+      }
+      case MsgType::kObserve: {
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        emit_double(out, "eval_seconds", m.eval_seconds);
+        out << ",\"results\":[";
+        for (std::size_t i = 0; i < m.results.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            out << "{\"config\":";
+            jsonl::write_config(out, m.results[i].config);
+            out << ",\"value\":" << num_token(m.results[i].value)
+                << ",\"feasible\":"
+                << (m.results[i].feasible ? "true" : "false") << '}';
+        }
+        out << ']';
+        break;
+      }
+      case MsgType::kOk:
+        emit_u64(out, "id", m.id);
+        emit_u64(out, "evals", m.evals);
+        emit_double(out, "best", m.best);
+        if (!m.text.empty())
+            emit_str(out, "path", m.text);
+        break;
+      case MsgType::kCheckpoint:
+      case MsgType::kClose:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        break;
+      case MsgType::kRun:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        emit_int(out, "n", m.n);
+        emit_int(out, "budget", m.budget);
+        break;
+      case MsgType::kDone:
+        emit_u64(out, "id", m.id);
+        emit_u64(out, "evals", m.evals);
+        emit_double(out, "best", m.best);
+        break;
+      case MsgType::kEvaluate:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "benchmark", m.benchmark);
+        emit_u64(out, "seed", m.seed);
+        emit_u64(out, "index", m.index);
+        out << ",\"config\":";
+        jsonl::write_config(out, m.config);
+        break;
+      case MsgType::kResult:
+        emit_u64(out, "id", m.id);
+        emit_double(out, "value", m.value);
+        emit_bool(out, "feasible", m.feasible);
+        emit_double(out, "eval_seconds", m.eval_seconds);
+        break;
+      case MsgType::kShutdown:
+        break;
+      case MsgType::kError:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "message", m.text);
+        break;
+    }
+    out << '}';
+    return out.str();
+}
+
+bool
+decode(const std::string& line, Message& out, std::string* error)
+{
+    out = Message{};
+    if (line.empty() || line.front() != '{')
+        return fail(error, "frame is not a JSON object");
+    std::string type;
+    if (!jsonl::field(line, "type", type))
+        return fail(error, "frame has no type field");
+
+    read_u64(line, "id", out.id);
+
+    if (type == "hello") {
+        out.type = MsgType::kHello;
+        if (!read_int(line, "v", out.version))
+            return fail(error, "hello without protocol version");
+        jsonl::field(line, "role", out.text);
+        read_int(line, "capacity", out.capacity);
+        return true;
+    }
+    if (type == "welcome") {
+        out.type = MsgType::kWelcome;
+        if (!read_int(line, "v", out.version))
+            return fail(error, "welcome without protocol version");
+        return true;
+    }
+    if (type == "open_session") {
+        out.type = MsgType::kOpenSession;
+        if (!jsonl::field(line, "session", out.session))
+            return fail(error, "open_session without session name");
+        if (!jsonl::field(line, "benchmark", out.benchmark))
+            return fail(error, "open_session without benchmark");
+        jsonl::field(line, "method", out.method);
+        read_int(line, "budget", out.budget);
+        read_int(line, "doe", out.doe);
+        read_u64(line, "seed", out.seed);
+        read_bool(line, "resume", out.resume);
+        return true;
+    }
+    if (type == "opened") {
+        out.type = MsgType::kOpened;
+        jsonl::field(line, "session", out.session);
+        read_u64(line, "evals", out.evals);
+        read_int(line, "budget", out.budget);
+        read_bool(line, "resumed", out.resumed);
+        return true;
+    }
+    if (type == "suggest") {
+        out.type = MsgType::kSuggest;
+        if (!jsonl::field(line, "session", out.session))
+            return fail(error, "suggest without session name");
+        if (!read_int(line, "n", out.n))
+            return fail(error, "suggest without batch size");
+        return true;
+    }
+    if (type == "configs") {
+        out.type = MsgType::kConfigs;
+        read_u64(line, "first_index", out.index);
+        std::size_t at = line.find("\"configs\":");
+        if (at == std::string::npos)
+            return fail(error, "configs frame without configs array");
+        at += 10;
+        if (!parse_configs_array(line, at, out.configs))
+            return fail(error, "malformed configs array");
+        return true;
+    }
+    if (type == "observe") {
+        out.type = MsgType::kObserve;
+        if (!jsonl::field(line, "session", out.session))
+            return fail(error, "observe without session name");
+        read_double(line, "eval_seconds", out.eval_seconds);
+        std::size_t at = line.find("\"results\":");
+        if (at == std::string::npos)
+            return fail(error, "observe frame without results array");
+        at += 10;
+        if (!parse_results_array(line, at, out.results))
+            return fail(error, "malformed results array");
+        return true;
+    }
+    if (type == "ok") {
+        out.type = MsgType::kOk;
+        read_u64(line, "evals", out.evals);
+        read_double(line, "best", out.best);
+        jsonl::field(line, "path", out.text);
+        return true;
+    }
+    if (type == "checkpoint" || type == "close") {
+        out.type =
+            type == "checkpoint" ? MsgType::kCheckpoint : MsgType::kClose;
+        if (!jsonl::field(line, "session", out.session))
+            return fail(error, type + " without session name");
+        return true;
+    }
+    if (type == "run") {
+        out.type = MsgType::kRun;
+        if (!jsonl::field(line, "session", out.session))
+            return fail(error, "run without session name");
+        read_int(line, "n", out.n);
+        read_int(line, "budget", out.budget);
+        return true;
+    }
+    if (type == "done") {
+        out.type = MsgType::kDone;
+        read_u64(line, "evals", out.evals);
+        read_double(line, "best", out.best);
+        return true;
+    }
+    if (type == "evaluate") {
+        out.type = MsgType::kEvaluate;
+        if (!jsonl::field(line, "benchmark", out.benchmark))
+            return fail(error, "evaluate without benchmark");
+        if (!read_u64(line, "seed", out.seed))
+            return fail(error, "evaluate without seed");
+        if (!read_u64(line, "index", out.index))
+            return fail(error, "evaluate without index");
+        std::size_t at = line.find("\"config\":");
+        if (at == std::string::npos)
+            return fail(error, "evaluate without config");
+        at += 9;
+        if (!jsonl::parse_config(line, at, out.config))
+            return fail(error, "malformed config array");
+        return true;
+    }
+    if (type == "result") {
+        out.type = MsgType::kResult;
+        if (!read_double(line, "value", out.value))
+            return fail(error, "result without value");
+        if (!read_bool(line, "feasible", out.feasible))
+            return fail(error, "result without feasibility");
+        read_double(line, "eval_seconds", out.eval_seconds);
+        return true;
+    }
+    if (type == "shutdown") {
+        out.type = MsgType::kShutdown;
+        return true;
+    }
+    if (type == "error") {
+        out.type = MsgType::kError;
+        jsonl::field(line, "message", out.text);
+        return true;
+    }
+    return fail(error, "unknown frame type: " + type);
+}
+
+Message
+make_error(std::uint64_t id, const std::string& text)
+{
+    Message m;
+    m.type = MsgType::kError;
+    m.id = id;
+    m.text = text;
+    return m;
+}
+
+}  // namespace baco::serve

@@ -1,0 +1,132 @@
+#ifndef BACO_SERVE_PROTOCOL_HPP_
+#define BACO_SERVE_PROTOCOL_HPP_
+
+/**
+ * @file
+ * The versioned JSONL wire protocol of the distributed tuning service.
+ *
+ * Every frame is one flat JSON object on one line, built from the same
+ * jsonl vocabulary as the cache and checkpoint files; configurations
+ * travel as the checkpoint's typed array ([{"i":4},{"r":0.5},...]). A
+ * connection opens with a hello/welcome version handshake and then
+ * exchanges request/response pairs correlated by "id".
+ *
+ * Session-control messages (client <-> server):
+ *   hello / welcome            version + role handshake
+ *   open_session -> opened     create or resume a named tuning session
+ *   suggest -> configs         ask the session's tuner for a batch
+ *   observe -> ok              report the batch's evaluation results
+ *   checkpoint -> ok           force a crash-safe checkpoint to disk
+ *   close -> ok                checkpoint (if enabled) and drop a session
+ *   run -> done                server-side drive loop (sharded over the
+ *                              coordinator's workers when attached)
+ *   shutdown                   end the connection's serve loop
+ *
+ * Evaluation messages (coordinator <-> worker):
+ *   hello (role=worker)        worker registration with capacity
+ *   evaluate -> result         evaluate one configuration of a registry
+ *                              benchmark under eval_rng_for(seed, index)
+ *
+ * Any request can be answered with an error frame. Unknown trailing
+ * fields are ignored, so adding optional fields is backward-compatible;
+ * incompatible changes bump kProtocolVersion and are rejected at the
+ * handshake.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace baco::serve {
+
+/** Bumped on incompatible wire changes; checked at the handshake. */
+inline constexpr int kProtocolVersion = 1;
+
+/** Every frame kind of the protocol. */
+enum class MsgType {
+  kHello,
+  kWelcome,
+  kOpenSession,
+  kOpened,
+  kSuggest,
+  kConfigs,
+  kObserve,
+  kOk,
+  kCheckpoint,
+  kClose,
+  kRun,
+  kDone,
+  kEvaluate,
+  kResult,
+  kShutdown,
+  kError,
+};
+
+/** Wire name of a frame kind ("open_session", "configs", ...). */
+const char* msg_type_name(MsgType t);
+
+/** One evaluated configuration inside an observe frame. */
+struct ObservedResult {
+  Configuration config;
+  double value = 0.0;
+  bool feasible = true;
+};
+
+/**
+ * A decoded protocol frame: the superset of all message fields. encode()
+ * emits only the fields its type defines; decode() fills only those it
+ * finds. The protocol is small enough that one flat struct beats a
+ * variant hierarchy for testability.
+ */
+struct Message {
+  MsgType type = MsgType::kError;
+
+  int version = kProtocolVersion;  ///< hello/welcome
+  std::uint64_t id = 0;            ///< request/response correlation
+
+  std::string session;    ///< session name ([A-Za-z0-9_.-]+)
+  std::string benchmark;  ///< registry benchmark name (open_session/evaluate)
+  std::string method;     ///< suite method name (open_session)
+  std::string text;       ///< error message / hello role / checkpoint path
+
+  int n = 0;         ///< suggest: batch size; run: batch size
+  int budget = 0;    ///< open_session: evaluations (0 = benchmark default)
+  int doe = 0;       ///< open_session: DoE samples (0 = benchmark default)
+  int capacity = 0;  ///< worker hello: concurrent evaluation slots
+
+  bool resume = false;   ///< open_session: resume from checkpoint if present
+  bool resumed = false;  ///< opened: whether a checkpoint was restored
+
+  std::uint64_t seed = 0;   ///< open_session/evaluate: run seed
+  std::uint64_t index = 0;  ///< evaluate: evaluation index; configs: first
+  std::uint64_t evals = 0;  ///< responses: history size so far
+
+  double value = 0.0;   ///< result: measured objective
+  bool feasible = true; ///< result: hidden-constraint outcome
+  double best = std::numeric_limits<double>::infinity();  ///< responses
+  double eval_seconds = 0.0;  ///< result/observe: black-box wall-clock
+
+  Configuration config;                ///< evaluate
+  std::vector<Configuration> configs;  ///< configs response
+  std::vector<ObservedResult> results; ///< observe request
+};
+
+/** Serialize m as one JSONL frame (no trailing newline). */
+std::string encode(const Message& m);
+
+/**
+ * Parse one frame. Returns false on a malformed frame or unknown type,
+ * with a diagnostic in *error (when non-null). Never throws.
+ */
+bool decode(const std::string& line, Message& out,
+            std::string* error = nullptr);
+
+/** Convenience error frame answering request id. */
+Message make_error(std::uint64_t id, const std::string& text);
+
+}  // namespace baco::serve
+
+#endif  // BACO_SERVE_PROTOCOL_HPP_

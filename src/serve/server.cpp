@@ -1,0 +1,190 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "exec/eval_cache.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+
+namespace baco::serve {
+
+namespace {
+
+/**
+ * Server-side drive of one session: suggest, evaluate (sharded over the
+ * coordinator when workers are attached, in-process otherwise), observe;
+ * repeat until the budget — or the request's eval cap — is exhausted.
+ */
+Message
+handle_run(const Message& req, const ServerContext& ctx)
+{
+    std::optional<SessionInfo> info = ctx.sessions->info(req.session);
+    if (!info)
+        return make_error(req.id, "no such session: " + req.session);
+
+    const int batch = std::max(1, req.n);
+    const int max_evals = req.budget > 0 ? req.budget : -1;
+    bool sharded = ctx.coordinator && ctx.coordinator->num_workers() > 0;
+    const Benchmark* local_bench = nullptr;
+    if (!sharded)
+        local_bench = &suite::find_benchmark(info->benchmark);
+
+    int done = 0;
+    Message last_ok;
+    last_ok.type = MsgType::kDone;
+    last_ok.id = req.id;
+    last_ok.evals = info->evals;
+    last_ok.best = info->best;
+
+    while (max_evals < 0 || done < max_evals) {
+        Message ask;
+        ask.type = MsgType::kSuggest;
+        ask.id = req.id;
+        ask.session = req.session;
+        ask.n = batch;
+        if (max_evals >= 0)
+            ask.n = std::min(ask.n, max_evals - done);
+        Message configs = ctx.sessions->handle(ask);
+        if (configs.type == MsgType::kError)
+            return configs;
+        if (configs.configs.empty())
+            break;  // budget exhausted
+        if (max_evals >= 0 &&
+            static_cast<int>(configs.configs.size()) > max_evals - done) {
+            // An idempotent suggest retry returned a previously
+            // outstanding batch larger than the remaining eval cap. A
+            // batch can only be observed whole, so refuse rather than
+            // silently exceed the requested budget.
+            return make_error(req.id,
+                              "outstanding batch exceeds the run's eval "
+                              "cap; observe it first or raise the cap");
+        }
+
+        Message tell;
+        tell.type = MsgType::kObserve;
+        tell.id = req.id;
+        tell.session = req.session;
+        double eval_seconds = 0.0;
+        std::vector<EvalResult> results;
+        EvalCache* cache = ctx.sessions->cache();
+        if (sharded) {
+            BatchSpec spec;
+            spec.benchmark = info->benchmark;
+            spec.run_seed = info->seed;
+            spec.first_index = configs.index;
+            spec.cache = cache;
+            spec.cache_namespace = info->cache_namespace;
+            results = ctx.coordinator->evaluate_batch(spec, configs.configs,
+                                                      &eval_seconds);
+        } else {
+            results.reserve(configs.configs.size());
+            for (std::size_t i = 0; i < configs.configs.size(); ++i) {
+                const Configuration& c = configs.configs[i];
+                if (cache) {
+                    if (auto hit = cache->lookup(info->cache_namespace, c)) {
+                        results.push_back(*hit);
+                        continue;
+                    }
+                }
+                results.push_back(evaluate_on(*local_bench, c, info->seed,
+                                              configs.index + i,
+                                              &eval_seconds));
+            }
+        }
+        tell.eval_seconds = eval_seconds;
+        tell.results.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ObservedResult r;
+            r.config = configs.configs[i];
+            r.value = results[i].value;
+            r.feasible = results[i].feasible;
+            tell.results.push_back(std::move(r));
+        }
+        Message ok = ctx.sessions->handle(tell);
+        if (ok.type == MsgType::kError)
+            return ok;
+        done += static_cast<int>(results.size());
+        last_ok.evals = ok.evals;
+        last_ok.best = ok.best;
+    }
+    return last_ok;
+}
+
+}  // namespace
+
+ServeStats
+serve_connection(Transport& transport, const ServerContext& ctx)
+{
+    ServeStats stats;
+    if (!ctx.sessions)
+        return stats;
+
+    // ---- Version handshake. ----
+    std::string line;
+    if (transport.recv(line) != RecvStatus::kOk)
+        return stats;
+    Message hello;
+    if (!decode(line, hello) || hello.type != MsgType::kHello) {
+        transport.send(encode(make_error(0, "expected hello frame")));
+        return stats;
+    }
+    if (hello.version != kProtocolVersion) {
+        transport.send(encode(make_error(
+            0, "protocol version mismatch: server speaks v" +
+                   std::to_string(kProtocolVersion) + ", client sent v" +
+                   std::to_string(hello.version))));
+        return stats;
+    }
+    Message welcome;
+    welcome.type = MsgType::kWelcome;
+    if (!transport.send(encode(welcome)))
+        return stats;
+    stats.handshake_ok = true;
+
+    // ---- Request/response loop. ----
+    auto last_sweep = std::chrono::steady_clock::now();
+    for (;;) {
+        if (transport.recv(line) != RecvStatus::kOk)
+            break;
+        stats.requests += 1;
+        Message req;
+        std::string err;
+        if (!decode(line, req, &err)) {
+            stats.errors += 1;
+            if (!transport.send(encode(make_error(0, err))))
+                break;
+            continue;
+        }
+        if (req.type == MsgType::kShutdown)
+            break;
+
+        Message reply;
+        if (req.type == MsgType::kRun) {
+            try {
+                reply = handle_run(req, ctx);
+            } catch (const std::exception& e) {
+                reply = make_error(req.id, e.what());
+            }
+        } else {
+            reply = ctx.sessions->handle(req);
+        }
+        if (reply.type == MsgType::kError)
+            stats.errors += 1;
+        if (!transport.send(encode(reply)))
+            break;
+        // Idle eviction is a full-registry sweep; time-gate it so busy
+        // connections don't pay O(sessions) per request.
+        auto now = std::chrono::steady_clock::now();
+        if (now - last_sweep >= std::chrono::seconds(1)) {
+            last_sweep = now;
+            ctx.sessions->evict_idle();
+        }
+    }
+    return stats;
+}
+
+}  // namespace baco::serve

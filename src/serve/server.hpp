@@ -1,0 +1,50 @@
+#ifndef BACO_SERVE_SERVER_HPP_
+#define BACO_SERVE_SERVER_HPP_
+
+/**
+ * @file
+ * The serve loop: one protocol connection against a SessionManager, with
+ * an optional Coordinator for server-side evaluation fan-out.
+ *
+ * The connection opens with a hello/welcome handshake (protocol-version
+ * checked), then answers requests until shutdown or transport close.
+ * Session requests go to the SessionManager; the run request is handled
+ * here: it drives a session's suggest/observe loop server-side,
+ * sharding every batch over the coordinator's workers when any are
+ * attached and evaluating in-process otherwise — the same
+ * (seed, index)-derived noise streams either way.
+ */
+
+#include <cstdint>
+
+#include "serve/session_manager.hpp"
+
+namespace baco::serve {
+
+class Coordinator;
+class Transport;
+
+/** Everything one connection serves against. */
+struct ServerContext {
+  SessionManager* sessions = nullptr;
+  /** Optional worker fleet for server-side run requests (not owned). */
+  Coordinator* coordinator = nullptr;
+};
+
+/** Connection counters, for logs and tests. */
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  bool handshake_ok = false;
+};
+
+/**
+ * Serve one connection to completion (shutdown frame, transport close,
+ * or failed handshake). Malformed frames are answered with error frames
+ * and the connection keeps serving.
+ */
+ServeStats serve_connection(Transport& transport, const ServerContext& ctx);
+
+}  // namespace baco::serve
+
+#endif  // BACO_SERVE_SERVER_HPP_

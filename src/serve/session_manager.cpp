@@ -1,0 +1,393 @@
+#include "serve/session_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <sys/stat.h>
+
+#include "exec/checkpoint.hpp"
+#include "exec/eval_cache.hpp"
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace baco::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+struct SessionManager::Session {
+  std::mutex mutex;
+  std::string name;
+  const Benchmark* benchmark = nullptr;
+  std::shared_ptr<SearchSpace> space;
+  std::unique_ptr<AskTellTuner> tuner;
+  std::string cache_namespace;
+  int budget = 0;
+
+  /** The suggested-but-unobserved batch (at most one per session). */
+  std::vector<Configuration> pending;
+  std::uint64_t pending_first = 0;
+
+  Clock::time_point last_touch = Clock::now();
+};
+
+struct SessionManager::Stripe {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions;
+};
+
+bool
+valid_session_name(const std::string& name)
+{
+    if (name.empty() || name.size() > 128)
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+SessionManager::SessionManager(SessionManagerOptions opt) : opt_(opt)
+{
+    if (opt_.stripes < 1)
+        opt_.stripes = 1;
+    stripes_ = std::make_unique<Stripe[]>(
+        static_cast<std::size_t>(opt_.stripes));
+    // Best-effort creation of the (single-level) checkpoint directory;
+    // a still-unwritable path surfaces as an error on the first observe.
+    if (!opt_.checkpoint_dir.empty())
+        ::mkdir(opt_.checkpoint_dir.c_str(), 0777);
+}
+
+SessionManager::~SessionManager() = default;
+
+SessionManager::Stripe&
+SessionManager::stripe_for(const std::string& name) const
+{
+    std::size_t h = std::hash<std::string>{}(name);
+    return stripes_[h % static_cast<std::size_t>(opt_.stripes)];
+}
+
+std::shared_ptr<SessionManager::Session>
+SessionManager::find(const std::string& name) const
+{
+    Stripe& s = stripe_for(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.sessions.find(name);
+    return it == s.sessions.end() ? nullptr : it->second;
+}
+
+std::string
+SessionManager::checkpoint_path(const std::string& name) const
+{
+    if (opt_.checkpoint_dir.empty())
+        return {};
+    return opt_.checkpoint_dir + "/" + name + ".ckpt.jsonl";
+}
+
+Message
+SessionManager::handle(const Message& request)
+{
+    try {
+        switch (request.type) {
+          case MsgType::kOpenSession: return open_session(request);
+          case MsgType::kSuggest: return suggest(request);
+          case MsgType::kObserve: return observe(request);
+          case MsgType::kCheckpoint: return checkpoint(request);
+          case MsgType::kClose: return close_session(request);
+          default:
+            return make_error(request.id,
+                              std::string("unsupported request type ") +
+                                  msg_type_name(request.type));
+        }
+    } catch (const std::exception& e) {
+        return make_error(request.id, e.what());
+    }
+}
+
+Message
+SessionManager::open_session(const Message& req)
+{
+    if (!valid_session_name(req.session))
+        return make_error(req.id, "invalid session name");
+    const Benchmark& bench = suite::find_benchmark(req.benchmark);
+
+    std::optional<suite::Method> method = suite::method_by_name(req.method);
+    if (!method)
+        return make_error(req.id, "unknown method: " + req.method);
+
+    auto session = std::make_shared<Session>();
+    session->name = req.session;
+    session->benchmark = &bench;
+    session->space = bench.make_space(SpaceVariant{});
+    session->budget = req.budget > 0 ? req.budget : bench.full_budget;
+    int doe = req.doe > 0 ? req.doe : bench.doe_samples;
+    session->tuner = suite::make_ask_tell(*session->space, *method,
+                                          session->budget, doe, req.seed);
+    session->cache_namespace =
+        EvalCache::namespace_key(bench.name, *session->space);
+
+    bool resumed = false;
+    std::string ckpt = checkpoint_path(req.session);
+    if (req.resume && !ckpt.empty()) {
+        // A missing checkpoint means a fresh session; a present-but-
+        // unusable one is an error rather than a silent cold start.
+        if (std::optional<CheckpointData> data = load_checkpoint(ckpt)) {
+            if (data->seed != session->tuner->run_seed())
+                return make_error(req.id,
+                                  "checkpoint seed does not match the "
+                                  "requested session seed");
+            if (!session->tuner->restore(data->history,
+                                         data->sampler_state)) {
+                return make_error(req.id,
+                                  "checkpoint could not be restored");
+            }
+            resumed = true;
+        }
+    }
+
+    Stripe& stripe = stripe_for(req.session);
+    {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        if (stripe.sessions.count(req.session))
+            return make_error(req.id,
+                              "session already open: " + req.session);
+        stripe.sessions.emplace(req.session, session);
+    }
+
+    Message reply;
+    reply.type = MsgType::kOpened;
+    reply.id = req.id;
+    reply.session = req.session;
+    reply.evals = session->tuner->history().size();
+    reply.budget = session->budget;
+    reply.resumed = resumed;
+    return reply;
+}
+
+Message
+SessionManager::suggest(const Message& req)
+{
+    std::shared_ptr<Session> session = find(req.session);
+    if (!session)
+        return make_error(req.id, "no such session: " + req.session);
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->last_touch = Clock::now();
+
+    if (session->pending.empty()) {
+        int n = std::max(1, req.n);
+        session->pending_first = session->tuner->history().size();
+        session->pending = session->tuner->suggest(n);
+    }
+    // else: idempotent retry — re-send the outstanding batch.
+
+    Message reply;
+    reply.type = MsgType::kConfigs;
+    reply.id = req.id;
+    reply.index = session->pending_first;
+    reply.configs = session->pending;
+    return reply;
+}
+
+Message
+SessionManager::observe(const Message& req)
+{
+    std::shared_ptr<Session> session = find(req.session);
+    if (!session)
+        return make_error(req.id, "no such session: " + req.session);
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->last_touch = Clock::now();
+
+    if (session->pending.empty())
+        return make_error(req.id, "observe with no batch outstanding");
+    if (req.results.size() != session->pending.size())
+        return make_error(req.id, "observe size does not match batch");
+    for (std::size_t i = 0; i < req.results.size(); ++i) {
+        if (!configs_equal(req.results[i].config, session->pending[i]))
+            return make_error(req.id,
+                              "observe configs do not match the "
+                              "outstanding batch (order matters)");
+    }
+
+    std::vector<EvalResult> results;
+    results.reserve(req.results.size());
+    for (const ObservedResult& r : req.results)
+        results.push_back(EvalResult{r.value, r.feasible});
+    session->tuner->observe(session->pending, results);
+    session->tuner->mutable_history().eval_seconds += req.eval_seconds;
+
+    if (opt_.cache) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            opt_.cache->insert(session->cache_namespace, session->pending[i],
+                               results[i]);
+        }
+    }
+
+    session->pending.clear();
+    std::string ckpt = checkpoint_path(session->name);
+    if (!ckpt.empty() && !save_checkpoint(ckpt, *session->tuner)) {
+        // The observation is recorded in memory, but the durability
+        // promise is broken — tell the client instead of a silent ok.
+        return make_error(req.id,
+                          "results recorded but checkpoint write failed: " +
+                              ckpt);
+    }
+
+    Message reply;
+    reply.type = MsgType::kOk;
+    reply.id = req.id;
+    reply.evals = session->tuner->history().size();
+    reply.best = session->tuner->history().best_value;
+    return reply;
+}
+
+Message
+SessionManager::checkpoint(const Message& req)
+{
+    std::shared_ptr<Session> session = find(req.session);
+    if (!session)
+        return make_error(req.id, "no such session: " + req.session);
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->last_touch = Clock::now();
+
+    std::string ckpt = checkpoint_path(session->name);
+    if (ckpt.empty())
+        return make_error(req.id, "checkpointing disabled (no directory)");
+    if (!session->pending.empty()) {
+        // A checkpoint taken mid-batch would capture the sampler stream
+        // after the pending suggest() without its observations — resuming
+        // from it could not reproduce the uninterrupted run.
+        return make_error(req.id, "cannot checkpoint with a batch in "
+                                  "flight; observe it first");
+    }
+    if (!save_checkpoint(ckpt, *session->tuner))
+        return make_error(req.id, "checkpoint write failed: " + ckpt);
+
+    Message reply;
+    reply.type = MsgType::kOk;
+    reply.id = req.id;
+    reply.evals = session->tuner->history().size();
+    reply.best = session->tuner->history().best_value;
+    reply.text = ckpt;
+    return reply;
+}
+
+Message
+SessionManager::close_session(const Message& req)
+{
+    Stripe& stripe = stripe_for(req.session);
+    std::shared_ptr<Session> session;
+    {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        auto it = stripe.sessions.find(req.session);
+        if (it == stripe.sessions.end())
+            return make_error(req.id, "no such session: " + req.session);
+        session = it->second;
+        stripe.sessions.erase(it);
+    }
+    std::lock_guard<std::mutex> lock(session->mutex);
+    std::string ckpt = checkpoint_path(session->name);
+    if (!ckpt.empty() && session->pending.empty() &&
+        !save_checkpoint(ckpt, *session->tuner)) {
+        // The session is closed either way; surface the lost durability.
+        return make_error(req.id,
+                          "session closed but checkpoint write failed: " +
+                              ckpt);
+    }
+
+    Message reply;
+    reply.type = MsgType::kOk;
+    reply.id = req.id;
+    reply.evals = session->tuner->history().size();
+    reply.best = session->tuner->history().best_value;
+    return reply;
+}
+
+std::optional<SessionInfo>
+SessionManager::info(const std::string& name) const
+{
+    std::shared_ptr<Session> session = find(name);
+    if (!session)
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(session->mutex);
+    SessionInfo out;
+    out.name = session->name;
+    out.benchmark = session->benchmark->name;
+    out.cache_namespace = session->cache_namespace;
+    out.seed = session->tuner->run_seed();
+    out.evals = session->tuner->history().size();
+    out.budget = session->budget;
+    out.best = session->tuner->history().best_value;
+    return out;
+}
+
+std::size_t
+SessionManager::size() const
+{
+    std::size_t n = 0;
+    for (int s = 0; s < opt_.stripes; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        n += stripes_[s].sessions.size();
+    }
+    return n;
+}
+
+std::size_t
+SessionManager::evict_idle()
+{
+    if (opt_.idle_timeout_seconds <= 0.0)
+        return 0;
+    auto now = Clock::now();
+    std::size_t evicted = 0;
+    for (int s = 0; s < opt_.stripes; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        for (auto it = stripes_[s].sessions.begin();
+             it != stripes_[s].sessions.end();) {
+            // last_touch is written under the session mutex; a session
+            // whose mutex is held is mid-request — by definition not
+            // idle — so skipping on try_lock failure is both the race
+            // fix and the right policy. A session with a suggested-but-
+            // unobserved batch is mid-exchange (the client is off
+            // evaluating), not idle, no matter how stale last_touch is.
+            std::shared_ptr<Session> session = it->second;
+            std::unique_lock<std::mutex> guard(session->mutex,
+                                               std::try_to_lock);
+            if (guard.owns_lock() && session->pending.empty() &&
+                std::chrono::duration<double>(now - session->last_touch)
+                        .count() > opt_.idle_timeout_seconds) {
+                it = stripes_[s].sessions.erase(it);
+                ++evicted;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return evicted;
+}
+
+void
+SessionManager::checkpoint_all()
+{
+    if (opt_.checkpoint_dir.empty())
+        return;
+    for (int s = 0; s < opt_.stripes; ++s) {
+        std::vector<std::shared_ptr<Session>> sessions;
+        {
+            std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+            for (auto& [name, session] : stripes_[s].sessions)
+                sessions.push_back(session);
+        }
+        for (auto& session : sessions) {
+            std::lock_guard<std::mutex> lock(session->mutex);
+            if (session->pending.empty())
+                save_checkpoint(checkpoint_path(session->name),
+                                *session->tuner);
+        }
+    }
+}
+
+}  // namespace baco::serve

@@ -1,0 +1,138 @@
+#ifndef BACO_SERVE_SESSION_MANAGER_HPP_
+#define BACO_SERVE_SESSION_MANAGER_HPP_
+
+/**
+ * @file
+ * Multiplexes many named tuning sessions behind the wire protocol.
+ *
+ * Each session owns one ask-tell tuner (any suite method), its search
+ * space, and its pending suggest() batch; the manager maps protocol
+ * requests onto the ask-tell exchange while enforcing its contract
+ * (every suggested batch is observed, in order, before the next one).
+ *
+ * Concurrency: sessions live in a lock-striped registry — requests for
+ * different sessions proceed in parallel, requests for one session
+ * serialize on its own mutex. suggest() is idempotent: re-asking with a
+ * batch outstanding returns the same batch, so a client that lost a
+ * response can simply retry.
+ *
+ * Durability: with a checkpoint directory configured every observed
+ * batch atomically rewrites <dir>/<session>.ckpt.jsonl. A crashed
+ * server (or an evicted idle session) resumes by re-opening the session
+ * with resume=true: the tuner restores history + sampler state and —
+ * because suggest() draws only from the restored sampler stream —
+ * finishes with the history the uninterrupted run would have produced.
+ * An unobserved in-flight batch is deliberately NOT checkpointed: the
+ * on-disk state then corresponds to the moment before that suggest(),
+ * so the resumed tuner re-suggests the identical batch.
+ *
+ * A shared EvalCache (optional) is namespaced per session by benchmark
+ * identity, so one cache file serves every session safely.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace baco {
+class AskTellTuner;
+class EvalCache;
+class SearchSpace;
+struct Benchmark;
+}
+
+namespace baco::serve {
+
+/** Manager knobs. */
+struct SessionManagerOptions {
+  /** Checkpoint directory; empty disables durability. */
+  std::string checkpoint_dir;
+  /** evict_idle() closes sessions untouched for longer; <= 0 never. */
+  double idle_timeout_seconds = 0.0;
+  /** Lock stripes (bounded mutex contention across sessions). */
+  int stripes = 8;
+  /** Optional shared evaluation cache (not owned). */
+  EvalCache* cache = nullptr;
+};
+
+/** A read-only snapshot of one session, for drivers and introspection. */
+struct SessionInfo {
+  std::string name;
+  std::string benchmark;
+  std::string cache_namespace;
+  std::uint64_t seed = 0;
+  std::uint64_t evals = 0;
+  int budget = 0;
+  double best = 0.0;
+};
+
+/** The lock-striped session registry behind the serve loop. */
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions opt = SessionManagerOptions{});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /**
+   * Handle one protocol request (open_session / suggest / observe /
+   * checkpoint / close) and produce its response frame. Never throws:
+   * failures become error frames.
+   */
+  Message handle(const Message& request);
+
+  /** Snapshot of a live session; nullopt when absent. */
+  std::optional<SessionInfo> info(const std::string& name) const;
+
+  /** Number of live sessions. */
+  std::size_t size() const;
+
+  /**
+   * Evict sessions idle longer than idle_timeout_seconds. Sessions that
+   * are mid-request or have a suggested-but-unobserved batch are never
+   * evicted, and sessions are NOT re-checkpointed on eviction: the last
+   * per-observe checkpoint is already the correct resume point (see
+   * file comment). Returns the number evicted.
+   */
+  std::size_t evict_idle();
+
+  /** Checkpoint every session with no batch in flight. */
+  void checkpoint_all();
+
+  /** The checkpoint file of a session name (empty when disabled). */
+  std::string checkpoint_path(const std::string& name) const;
+
+  /** The shared evaluation cache (may be null). */
+  EvalCache* cache() const { return opt_.cache; }
+
+ private:
+  struct Session;
+  struct Stripe;
+
+  Stripe& stripe_for(const std::string& name) const;
+  std::shared_ptr<Session> find(const std::string& name) const;
+
+  Message open_session(const Message& req);
+  Message suggest(const Message& req);
+  Message observe(const Message& req);
+  Message checkpoint(const Message& req);
+  Message close_session(const Message& req);
+
+  SessionManagerOptions opt_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+/** True when name is a valid session name ([A-Za-z0-9_.-]+, <= 128). */
+bool valid_session_name(const std::string& name);
+
+}  // namespace baco::serve
+
+#endif  // BACO_SERVE_SESSION_MANAGER_HPP_

@@ -1,0 +1,275 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace baco::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One direction of a loopback link. */
+struct Channel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> queue;
+  bool closed = false;
+
+  void
+  close()
+  {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+      cv.notify_all();
+  }
+};
+
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in)
+      : out_(std::move(out)), in_(std::move(in))
+  {
+  }
+
+  ~LoopbackTransport() override { close(); }
+
+  bool
+  send(const std::string& line) override
+  {
+      std::lock_guard<std::mutex> lock(out_->mutex);
+      if (out_->closed)
+          return false;
+      out_->queue.push_back(line);
+      out_->cv.notify_one();
+      return true;
+  }
+
+  RecvStatus
+  recv(std::string& line, int timeout_ms) override
+  {
+      std::unique_lock<std::mutex> lock(in_->mutex);
+      auto ready = [this] { return !in_->queue.empty() || in_->closed; };
+      if (timeout_ms < 0) {
+          in_->cv.wait(lock, ready);
+      } else if (!in_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                   ready)) {
+          return RecvStatus::kTimeout;
+      }
+      if (in_->queue.empty())
+          return RecvStatus::kClosed;  // closed and drained
+      line = std::move(in_->queue.front());
+      in_->queue.pop_front();
+      return RecvStatus::kOk;
+  }
+
+  void
+  close() override
+  {
+      out_->close();
+      in_->close();
+  }
+
+ private:
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<Channel> in_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+loopback_pair()
+{
+    auto ab = std::make_shared<Channel>();
+    auto ba = std::make_shared<Channel>();
+    return {std::make_unique<LoopbackTransport>(ab, ba),
+            std::make_unique<LoopbackTransport>(ba, ab)};
+}
+
+PipeTransport::PipeTransport(int read_fd, int write_fd, bool owns_fds)
+    : read_fd_(read_fd), write_fd_(write_fd), owns_(owns_fds)
+{
+}
+
+PipeTransport::~PipeTransport()
+{
+    close();
+}
+
+bool
+PipeTransport::send(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (closed_ || write_fd_ < 0)
+        return false;
+    std::string frame = line;
+    frame += '\n';
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        ssize_t n = ::write(write_fd_, frame.data() + off, frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;  // EPIPE etc: peer is gone
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+RecvStatus
+PipeTransport::recv(std::string& line, int timeout_ms)
+{
+    auto deadline = Clock::now() + std::chrono::milliseconds(
+                                       timeout_ms < 0 ? 0 : timeout_ms);
+    for (;;) {
+        std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return RecvStatus::kOk;
+        }
+        if (closed_ || read_fd_ < 0)
+            return RecvStatus::kClosed;
+
+        int wait_ms = -1;
+        if (timeout_ms >= 0) {
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+            if (left < 0)
+                return RecvStatus::kTimeout;
+            wait_ms = static_cast<int>(left);
+        }
+        struct pollfd pfd = {};
+        pfd.fd = read_fd_;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, wait_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return RecvStatus::kClosed;
+        }
+        if (pr == 0)
+            return RecvStatus::kTimeout;
+
+        char chunk[4096];
+        ssize_t n = ::read(read_fd_, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return RecvStatus::kClosed;
+        }
+        if (n == 0)
+            return RecvStatus::kClosed;  // EOF (partial line discarded)
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+PipeTransport::close()
+{
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (closed_)
+        return;
+    closed_ = true;
+    if (owns_) {
+        if (read_fd_ >= 0)
+            ::close(read_fd_);
+        if (write_fd_ >= 0)
+            ::close(write_fd_);
+    }
+    read_fd_ = -1;
+    write_fd_ = -1;
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+pipe_pair()
+{
+    int ab[2] = {-1, -1};
+    int ba[2] = {-1, -1};
+    if (::pipe(ab) != 0)
+        return {nullptr, nullptr};
+    if (::pipe(ba) != 0) {
+        ::close(ab[0]);
+        ::close(ab[1]);
+        return {nullptr, nullptr};
+    }
+    // a reads what b writes (ba), b reads what a writes (ab).
+    return {std::make_unique<PipeTransport>(ba[0], ab[1]),
+            std::make_unique<PipeTransport>(ab[0], ba[1])};
+}
+
+ChildProcess
+spawn_process(const std::vector<std::string>& argv)
+{
+    ChildProcess child;
+    if (argv.empty())
+        return child;
+    int to_child[2] = {-1, -1};
+    int from_child[2] = {-1, -1};
+    if (::pipe(to_child) != 0)
+        return child;
+    if (::pipe(from_child) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return child;
+    }
+    // Close-on-exec everywhere: without this a later-spawned sibling
+    // inherits this worker's parent-side pipe ends, so closing the
+    // worker's transport would never deliver EOF to its stdin while any
+    // sibling lives. The child's stdio copies are made by dup2, which
+    // clears the flag.
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]})
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]}) {
+            ::close(fd);
+        }
+        return child;
+    }
+    if (pid == 0) {
+        // Child: stdin <- to_child, stdout -> from_child.
+        ::dup2(to_child[0], 0);
+        ::dup2(from_child[1], 1);
+        for (int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]}) {
+            ::close(fd);
+        }
+        std::vector<char*> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string& a : argv)
+            args.push_back(const_cast<char*>(a.c_str()));
+        args.push_back(nullptr);
+        ::execvp(args[0], args.data());
+        ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    child.transport =
+        std::make_unique<PipeTransport>(from_child[0], to_child[1]);
+    child.pid = static_cast<int>(pid);
+    return child;
+}
+
+int
+wait_process(int pid)
+{
+    if (pid < 0)
+        return -1;
+    int status = 0;
+    if (::waitpid(static_cast<pid_t>(pid), &status, 0) < 0)
+        return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+}  // namespace baco::serve

@@ -1,0 +1,105 @@
+#ifndef BACO_SERVE_TRANSPORT_HPP_
+#define BACO_SERVE_TRANSPORT_HPP_
+
+/**
+ * @file
+ * Line-framed transports for the serve protocol.
+ *
+ * A Transport moves whole frames (one line, no trailing newline) between
+ * two peers. Two implementations:
+ *
+ *  - loopback_pair(): an in-process pair of endpoints over shared queues,
+ *    making the entire coordinator/worker/server stack hermetically
+ *    testable in ctest with zero OS dependencies;
+ *  - PipeTransport: over a pair of file descriptors (pipes, socketpairs,
+ *    or stdin/stdout), which is how the baco_serve / baco_worker binaries
+ *    talk — compose with ssh/socat for cross-host deployment.
+ *
+ * send() is thread-safe per endpoint; recv() is single-consumer.
+ */
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace baco::serve {
+
+/** Outcome of a receive attempt. */
+enum class RecvStatus {
+  kOk,       ///< a frame was received
+  kTimeout,  ///< no frame within the timeout (peer still connected)
+  kClosed,   ///< peer closed the connection (or transport closed locally)
+};
+
+/** One endpoint of a bidirectional frame stream. */
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /** Send one frame. Returns false when the peer is gone. */
+  virtual bool send(const std::string& line) = 0;
+
+  /**
+   * Receive one frame. timeout_ms < 0 blocks until a frame arrives or the
+   * peer closes; timeout_ms >= 0 waits at most that long.
+   */
+  virtual RecvStatus recv(std::string& line, int timeout_ms = -1) = 0;
+
+  /** Close both directions; pending and future recv()s see kClosed. */
+  virtual void close() = 0;
+};
+
+/** Two connected in-process endpoints (a's sends arrive at b, and back). */
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+loopback_pair();
+
+/** Frame stream over POSIX file descriptors. */
+class PipeTransport : public Transport {
+ public:
+  /** @param owns_fds close the descriptors on destruction/close(). */
+  PipeTransport(int read_fd, int write_fd, bool owns_fds = true);
+  ~PipeTransport() override;
+
+  PipeTransport(const PipeTransport&) = delete;
+  PipeTransport& operator=(const PipeTransport&) = delete;
+
+  bool send(const std::string& line) override;
+  RecvStatus recv(std::string& line, int timeout_ms = -1) override;
+  void close() override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  bool owns_;
+  bool closed_ = false;
+  std::string buffer_;  ///< bytes read but not yet framed
+  std::mutex write_mutex_;
+};
+
+/**
+ * Two connected PipeTransport endpoints over a pair of anonymous pipes
+ * (for tests exercising the fd path without child processes).
+ */
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+pipe_pair();
+
+/** A child process wired to the parent through a PipeTransport. */
+struct ChildProcess {
+  std::unique_ptr<Transport> transport;
+  int pid = -1;
+};
+
+/**
+ * fork/exec argv[0] with its stdin/stdout connected to the returned
+ * transport (stderr inherited). Returns a null transport on failure.
+ */
+ChildProcess spawn_process(const std::vector<std::string>& argv);
+
+/** waitpid on a spawned child; returns its exit code (-1 on error). */
+int wait_process(int pid);
+
+}  // namespace baco::serve
+
+#endif  // BACO_SERVE_TRANSPORT_HPP_

@@ -1,0 +1,107 @@
+#include "serve/worker.hpp"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/ask_tell.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "suite/registry.hpp"
+
+namespace baco::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+EvalResult
+evaluate_on(const Benchmark& b, const Configuration& c,
+            std::uint64_t run_seed, std::uint64_t index,
+            double* eval_seconds)
+{
+    RngEngine rng = eval_rng_for(run_seed, index);
+    auto t0 = Clock::now();
+    EvalResult r = b.evaluate(c, rng);
+    if (eval_seconds) {
+        *eval_seconds +=
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+    return r;
+}
+
+std::uint64_t
+run_worker_loop(Transport& transport, const WorkerOptions& opt)
+{
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.text = "worker";
+    hello.capacity = opt.capacity > 0 ? opt.capacity : 1;
+    if (!transport.send(encode(hello)))
+        return 0;
+
+    std::uint64_t evaluated = 0;
+    std::string line;
+    for (;;) {
+        RecvStatus rs = transport.recv(line);
+        if (rs != RecvStatus::kOk)
+            break;
+        Message req;
+        std::string err;
+        if (!decode(line, req, &err)) {
+            transport.send(encode(make_error(0, err)));
+            continue;
+        }
+        if (req.type == MsgType::kShutdown)
+            break;
+        if (req.type != MsgType::kEvaluate) {
+            transport.send(encode(make_error(
+                req.id, std::string("worker cannot handle frame type ") +
+                            msg_type_name(req.type))));
+            continue;
+        }
+        Message reply;
+        reply.type = MsgType::kResult;
+        reply.id = req.id;
+        try {
+            const Benchmark& b = suite::find_benchmark(req.benchmark);
+            double seconds = 0.0;
+            EvalResult r =
+                evaluate_on(b, req.config, req.seed, req.index, &seconds);
+            reply.value = r.value;
+            reply.feasible = r.feasible;
+            reply.eval_seconds = seconds;
+            ++evaluated;
+        } catch (const std::exception& e) {
+            reply = make_error(req.id, e.what());
+        }
+        if (!transport.send(encode(reply)))
+            break;
+    }
+    return evaluated;
+}
+
+std::vector<std::thread>
+attach_loopback_workers(Coordinator& coordinator, int n, int capacity)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+    for (int w = 0; w < n; ++w) {
+        auto [coordinator_end, worker_end] = loopback_pair();
+        threads.emplace_back(
+            [t = std::shared_ptr<Transport>(std::move(worker_end)),
+             capacity] {
+                WorkerOptions opt;
+                opt.capacity = capacity;
+                run_worker_loop(*t, opt);
+            });
+        // A failed registration drops the coordinator end, which closes
+        // the channel and lets the worker thread exit on its own.
+        coordinator.add_worker(std::move(coordinator_end));
+    }
+    return threads;
+}
+
+}  // namespace baco::serve

@@ -1,13 +1,19 @@
 #include "suite/runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include <thread>
+
 #include "baselines/opentuner_like.hpp"
 #include "baselines/random_search.hpp"
 #include "baselines/ytopt_like.hpp"
+#include "exec/eval_cache.hpp"
 #include "exec/thread_pool.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/worker.hpp"
 
 namespace baco::suite {
 
@@ -28,6 +34,20 @@ method_name(Method m)
       case Method::kCotSampling: return "CoT";
     }
     return "?";
+}
+
+std::optional<Method>
+method_by_name(const std::string& name)
+{
+    static const Method kAll[] = {
+        Method::kBaco,    Method::kBacoMinusMinus, Method::kAtfOpenTuner,
+        Method::kYtopt,   Method::kYtoptGp,        Method::kUniform,
+        Method::kCotSampling,
+    };
+    for (Method m : kAll)
+        if (method_name(m) == name)
+            return m;
+    return std::nullopt;
 }
 
 const std::vector<Method>&
@@ -103,7 +123,12 @@ run_method_batched(const Benchmark& b, Method m, int budget,
     std::shared_ptr<SearchSpace> space = b.make_space(variant);
     std::unique_ptr<AskTellTuner> tuner =
         make_ask_tell(*space, m, budget, b.doe_samples, seed);
-    EvalEngine engine(exec);
+    EvalEngineOptions eopt = exec;
+    // A shared cache is namespaced by benchmark identity unless the
+    // caller already pinned a namespace.
+    if (eopt.cache && eopt.cache_namespace.empty())
+        eopt.cache_namespace = EvalCache::namespace_key(b.name, *space);
+    EvalEngine engine(eopt);
     return engine.run(*tuner, b.evaluate);
 }
 
@@ -114,6 +139,48 @@ run_baco_custom(const Benchmark& b, TunerOptions opt,
     std::shared_ptr<SearchSpace> space = b.make_space(variant);
     Tuner tuner(*space, opt);
     return tuner.run(b.evaluate);
+}
+
+TuningHistory
+run_method_distributed(const Benchmark& b, Method m, int budget,
+                       std::uint64_t seed, const DistributedOptions& opt,
+                       const SpaceVariant& variant)
+{
+    serve::CoordinatorOptions copt;
+    copt.max_inflight_per_worker = opt.max_inflight_per_worker;
+    copt.straggler_ms = opt.straggler_ms;
+    serve::Coordinator coordinator(copt);
+
+    // In-process loopback workers: same wire protocol, zero OS plumbing.
+    std::vector<std::thread> worker_threads = serve::attach_loopback_workers(
+        coordinator, std::max(1, opt.workers), opt.max_inflight_per_worker);
+
+    std::shared_ptr<SearchSpace> space = b.make_space(variant);
+    std::unique_ptr<AskTellTuner> tuner =
+        make_ask_tell(*space, m, budget, b.doe_samples, seed);
+
+    serve::BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = seed;
+    spec.cache = opt.cache;
+    if (opt.cache)
+        spec.cache_namespace = EvalCache::namespace_key(b.name, *space);
+
+    TuningHistory history;
+    try {
+        coordinator.drive(*tuner, spec, opt.batch_size, -1,
+                          opt.checkpoint_path);
+        history = tuner->take_history();
+    } catch (...) {
+        coordinator.shutdown();
+        for (std::thread& t : worker_threads)
+            t.join();
+        throw;
+    }
+    coordinator.shutdown();
+    for (std::thread& t : worker_threads)
+        t.join();
+    return history;
 }
 
 double

@@ -14,6 +14,7 @@
  */
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@ enum class Method {
 
 /** Display name ("BaCO", "ATF", "Ytopt", ...). */
 std::string method_name(Method m);
+
+/** Inverse of method_name (the serve protocol's method field). */
+std::optional<Method> method_by_name(const std::string& name);
 
 /** The paper's five headline competitors (Fig. 5-7, Tables 5-9). */
 const std::vector<Method>& headline_methods();
@@ -67,6 +71,34 @@ TuningHistory run_method_batched(const Benchmark& b, Method m, int budget,
 /** Run BaCO with fully custom options (ablation studies). */
 TuningHistory run_baco_custom(const Benchmark& b, TunerOptions opt,
                               const SpaceVariant& variant = SpaceVariant{});
+
+/** Knobs for the distributed (coordinator + workers) execution path. */
+struct DistributedOptions {
+  /** In-process loopback evaluation workers to spawn. */
+  int workers = 2;
+  /** Configurations per suggest() round (constant-liar sharded batch). */
+  int batch_size = 4;
+  /** Per-worker in-flight cap (coordinator backpressure). */
+  int max_inflight_per_worker = 2;
+  /** Straggler re-dispatch deadline in ms; <= 0 disables. */
+  int straggler_ms = -1;
+  /** When nonempty, rewrite a resume checkpoint after every batch. */
+  std::string checkpoint_path;
+  /** Optional shared cache, namespaced by benchmark identity. */
+  EvalCache* cache = nullptr;
+};
+
+/**
+ * Run one method through the serve-layer Coordinator with
+ * opt.workers in-process loopback workers. The benchmark must be a
+ * registry benchmark (workers resolve it by name). Shard-deterministic:
+ * matches run_method_batched with the same seed and batch size
+ * bit-for-bit, and run_method itself at batch_size == 1.
+ */
+TuningHistory run_method_distributed(
+    const Benchmark& b, Method m, int budget, std::uint64_t seed,
+    const DistributedOptions& opt = DistributedOptions{},
+    const SpaceVariant& variant = SpaceVariant{});
 
 /** Aggregated repetitions of one (benchmark, method) cell. */
 struct RepStats {

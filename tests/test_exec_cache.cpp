@@ -91,6 +91,115 @@ TEST(EvalCache, LoadMissingFileFails)
     EXPECT_FALSE(cache.load("/nonexistent/baco_cache.jsonl"));
 }
 
+TEST(EvalCache, NamespacesIsolateBenchmarks)
+{
+    EvalCache cache;
+    Configuration c = {std::int64_t{8}, std::int64_t{1}};
+    cache.insert("bench-a@0011223344556677", c, EvalResult{1.0, true});
+    cache.insert("bench-b@8899aabbccddeeff", c, EvalResult{2.0, true});
+
+    auto ra = cache.lookup("bench-a@0011223344556677", c);
+    auto rb = cache.lookup("bench-b@8899aabbccddeeff", c);
+    ASSERT_TRUE(ra.has_value());
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_DOUBLE_EQ(ra->value, 1.0);
+    EXPECT_DOUBLE_EQ(rb->value, 2.0);
+
+    // The anonymous namespace is distinct from any named one.
+    EXPECT_FALSE(cache.lookup(c).has_value());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(EvalCache, NamespacedEntriesSurviveSaveLoad)
+{
+    std::string path = testing::TempDir() + "baco_test_cache_ns.jsonl";
+    Configuration c = {std::int64_t{4}, std::int64_t{0}};
+    {
+        EvalCache cache;
+        cache.insert("SpMM/x@0123456789abcdef", c, EvalResult{7.5, true});
+        cache.insert(c, EvalResult{1.5, true});
+        ASSERT_TRUE(cache.save(path));
+    }
+    EvalCache loaded;
+    ASSERT_TRUE(loaded.load(path));
+    auto rn = loaded.lookup("SpMM/x@0123456789abcdef", c);
+    ASSERT_TRUE(rn.has_value());
+    EXPECT_DOUBLE_EQ(rn->value, 7.5);
+    auto ra = loaded.lookup(c);
+    ASSERT_TRUE(ra.has_value());
+    EXPECT_DOUBLE_EQ(ra->value, 1.5);
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, SpaceFingerprintTracksStructure)
+{
+    SearchSpace a = small_space();
+    SearchSpace b = small_space();
+    EXPECT_EQ(EvalCache::space_fingerprint(a),
+              EvalCache::space_fingerprint(b));
+    EXPECT_EQ(EvalCache::space_fingerprint(a).size(), 16u);
+
+    // Adding a parameter, changing a value set, or adding a constraint
+    // all change the identity.
+    SearchSpace extra = small_space();
+    extra.add_real("alpha", 0.0, 1.0);
+    EXPECT_NE(EvalCache::space_fingerprint(a),
+              EvalCache::space_fingerprint(extra));
+
+    SearchSpace values;
+    values.add_ordinal("tile", {2, 4, 8, 16, 32, 128}, true);
+    values.add_categorical("mode", {"a", "b"});
+    EXPECT_NE(EvalCache::space_fingerprint(a),
+              EvalCache::space_fingerprint(values));
+
+    SearchSpace constrained = small_space();
+    constrained.add_constraint("tile >= 4");
+    EXPECT_NE(EvalCache::space_fingerprint(a),
+              EvalCache::space_fingerprint(constrained));
+
+    // Benchmark name and fingerprint both enter the namespace key.
+    EXPECT_NE(EvalCache::namespace_key("x", a),
+              EvalCache::namespace_key("y", a));
+    EXPECT_NE(EvalCache::namespace_key("x", a),
+              EvalCache::namespace_key("x", constrained));
+}
+
+TEST(EvalCache, EngineRespectsNamespaceOption)
+{
+    SearchSpace s = small_space();
+    std::atomic<int> calls{0};
+    BlackBoxFn counted = [&calls](const Configuration& c, RngEngine& rng) {
+        calls.fetch_add(1);
+        return det_eval(c, rng);
+    };
+
+    TunerOptions opt;
+    opt.budget = 6;
+    opt.doe_samples = 3;
+    opt.seed = 21;
+
+    EvalCache cache;
+    EvalEngineOptions ns1;
+    ns1.cache = &cache;
+    ns1.cache_namespace = "bench-one@aa";
+    Tuner t1(s, opt);
+    EvalEngine(ns1).run(t1, counted);
+    int after_first = calls.load();
+    EXPECT_EQ(after_first, 6);
+
+    // Same configs under a different namespace: all misses, re-evaluated.
+    EvalEngineOptions ns2 = ns1;
+    ns2.cache_namespace = "bench-two@bb";
+    Tuner t2(s, opt);
+    EvalEngine(ns2).run(t2, counted);
+    EXPECT_EQ(calls.load(), 2 * after_first);
+
+    // Same namespace again: fully served from cache.
+    Tuner t3(s, opt);
+    EvalEngine(ns1).run(t3, counted);
+    EXPECT_EQ(calls.load(), 2 * after_first);
+}
+
 TEST(EvalCache, EngineShortCircuitsRepeatRuns)
 {
     SearchSpace s = small_space();

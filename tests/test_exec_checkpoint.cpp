@@ -125,6 +125,68 @@ TEST(Checkpoint, ResumeWorksForBaselines)
     std::remove(path.c_str());
 }
 
+TEST(Checkpoint, BanditWindowResumesBitForBit)
+{
+    // The AUC credit window and use counts are serialized in the sampler
+    // state, so a resumed OpenTunerLike run makes identical technique
+    // choices — the full history matches the uninterrupted run exactly.
+    SearchSpace s = mixed_space();
+    OpenTunerLike::Options opt;
+    opt.budget = 30;
+    opt.initial_random = 6;
+    opt.seed = 91;
+
+    OpenTunerLike full(s, opt);
+    TuningHistory reference = EvalEngine().run(full, mixed_eval);
+    ASSERT_EQ(reference.size(), 30u);
+
+    // Interrupt well past the seed phase, when the bandit credit state
+    // actively steers technique selection.
+    std::string path = testing::TempDir() + "baco_test_ckpt_bandit.jsonl";
+    {
+        OpenTunerLike interrupted(s, opt);
+        EvalEngineOptions copt;
+        copt.checkpoint_path = path;
+        EvalEngine(copt).drive(interrupted, mixed_eval, 18);
+    }
+
+    OpenTunerLike resumed(s, opt);
+    ASSERT_TRUE(resume_from_checkpoint(path, resumed));
+    ASSERT_EQ(resumed.history().size(), 18u);
+    TuningHistory final_history = EvalEngine().run(resumed, mixed_eval);
+
+    EXPECT_TRUE(histories_equal(reference, final_history));
+    EXPECT_EQ(reference.best_value, final_history.best_value);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeRejectsSeedMismatch)
+{
+    SearchSpace s = mixed_space();
+    OpenTunerLike::Options opt;
+    opt.budget = 10;
+    opt.initial_random = 4;
+    opt.seed = 5;
+
+    std::string path = testing::TempDir() + "baco_test_ckpt_seed.jsonl";
+    {
+        OpenTunerLike run(s, opt);
+        EvalEngineOptions copt;
+        copt.checkpoint_path = path;
+        EvalEngine(copt).drive(run, mixed_eval, 4);
+    }
+
+    // The per-evaluation RNG streams are rooted at the run seed, so a
+    // checkpoint must not restore into a differently-seeded tuner.
+    OpenTunerLike::Options other = opt;
+    other.seed = 6;
+    OpenTunerLike mismatched(s, other);
+    EXPECT_FALSE(resume_from_checkpoint(path, mismatched));
+    OpenTunerLike matched(s, opt);
+    EXPECT_TRUE(resume_from_checkpoint(path, matched));
+    std::remove(path.c_str());
+}
+
 TEST(Checkpoint, LoadMissingOrCorruptFileFails)
 {
     EXPECT_FALSE(load_checkpoint("/nonexistent/ckpt.jsonl").has_value());

@@ -1,0 +1,436 @@
+// The coordinator + worker fleet: shard-deterministic distributed runs
+// matching EvalEngine, worker-failure recovery, straggler re-dispatch,
+// backpressure, and the checkpointed kill/resume of a distributed run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/checkpoint.hpp"
+#include "exec/eval_cache.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace baco::serve {
+namespace {
+
+constexpr const char* kBench = "SDDMM/email-Enron";
+
+/** A worker fleet of loopback threads attached to a coordinator. */
+struct Fleet {
+  Coordinator coordinator;
+  std::vector<std::thread> threads;
+
+  explicit Fleet(int workers, CoordinatorOptions opt = CoordinatorOptions{})
+      : coordinator(opt)
+  {
+      threads = attach_loopback_workers(coordinator, workers);
+      EXPECT_EQ(coordinator.num_workers(),
+                static_cast<std::size_t>(workers));
+  }
+
+  ~Fleet()
+  {
+      coordinator.shutdown();
+      for (std::thread& t : threads)
+          t.join();
+  }
+};
+
+TEST(ServeDistributed, TwoWorkersReproduceEvalEngineTrajectory)
+{
+    // The headline acceptance check: a coordinator with 2 loopback
+    // workers tuning a registry benchmark produces the same incumbent
+    // trajectory as EvalEngine batch mode with the same seed.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    const int budget = 16;
+    const std::uint64_t seed = 5;
+    const int batch = 4;
+
+    EvalEngineOptions eopt;
+    eopt.batch_size = batch;
+    TuningHistory reference = suite::run_method_batched(
+        b, suite::Method::kBaco, budget, seed, eopt);
+
+    suite::DistributedOptions dopt;
+    dopt.workers = 2;
+    dopt.batch_size = batch;
+    TuningHistory distributed = suite::run_method_distributed(
+        b, suite::Method::kBaco, budget, seed, dopt);
+
+    ASSERT_EQ(distributed.size(), reference.size());
+    EXPECT_TRUE(histories_equal(reference, distributed));
+    EXPECT_EQ(reference.best_trajectory(), distributed.best_trajectory());
+}
+
+TEST(ServeDistributed, WorkerCountDoesNotChangeHistory)
+{
+    // Shard-determinism: 1, 2 or 3 workers — identical histories.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    suite::DistributedOptions one;
+    one.workers = 1;
+    one.batch_size = 3;
+    TuningHistory h1 = suite::run_method_distributed(
+        b, suite::Method::kUniform, 12, 9, one);
+    suite::DistributedOptions three = one;
+    three.workers = 3;
+    TuningHistory h3 = suite::run_method_distributed(
+        b, suite::Method::kUniform, 12, 9, three);
+    EXPECT_TRUE(histories_equal(h1, h3));
+}
+
+TEST(ServeDistributed, BatchOneMatchesSerialRunExactly)
+{
+    const Benchmark& b = suite::find_benchmark(kBench);
+    TuningHistory serial = suite::run_method(b, suite::Method::kUniform,
+                                             10, 41);
+    suite::DistributedOptions dopt;
+    dopt.workers = 2;
+    dopt.batch_size = 1;
+    TuningHistory distributed = suite::run_method_distributed(
+        b, suite::Method::kUniform, 10, 41, dopt);
+    EXPECT_TRUE(histories_equal(serial, distributed));
+}
+
+TEST(ServeDistributed, EvaluateBatchAssemblesInInputOrder)
+{
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+    Fleet fleet(3);
+
+    RngEngine rng(7);
+    std::vector<Configuration> configs;
+    for (int i = 0; i < 10; ++i)
+        configs.push_back(space->sample_unconstrained(rng));
+
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 99;
+    spec.first_index = 12;
+    double eval_seconds = 0.0;
+    std::vector<EvalResult> sharded =
+        fleet.coordinator.evaluate_batch(spec, configs, &eval_seconds);
+
+    ASSERT_EQ(sharded.size(), configs.size());
+    EXPECT_GT(eval_seconds, 0.0);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EvalResult local = evaluate_on(b, configs[i], 99, 12 + i);
+        EXPECT_EQ(sharded[i].value, local.value) << i;
+        EXPECT_EQ(sharded[i].feasible, local.feasible) << i;
+    }
+}
+
+TEST(ServeDistributed, SurvivesWorkerDeathMidRun)
+{
+    // One worker's transport closes mid-run; its in-flight tasks are
+    // re-queued onto the survivor and the run completes with the same
+    // history (determinism is placement-independent).
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+
+    Coordinator coordinator;
+    // Worker 1: a normal loopback worker.
+    auto [c1, w1] = loopback_pair();
+    std::thread t1([t = std::shared_ptr<Transport>(std::move(w1))] {
+        run_worker_loop(*t);
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c1)), 0);
+    // Worker 2: registers, answers a couple of frames, then dies.
+    auto [c2, w2] = loopback_pair();
+    std::thread t2([t = std::shared_ptr<Transport>(std::move(w2))] {
+        Message hello;
+        hello.type = MsgType::kHello;
+        hello.text = "worker";
+        hello.capacity = 1;
+        t->send(encode(hello));
+        std::string line;
+        int answered = 0;
+        while (answered < 2 && t->recv(line) == RecvStatus::kOk) {
+            Message req;
+            if (!decode(line, req) || req.type != MsgType::kEvaluate)
+                break;
+            const Benchmark& bench = suite::find_benchmark(req.benchmark);
+            EvalResult r =
+                evaluate_on(bench, req.config, req.seed, req.index);
+            Message reply;
+            reply.type = MsgType::kResult;
+            reply.id = req.id;
+            reply.value = r.value;
+            reply.feasible = r.feasible;
+            t->send(encode(reply));
+            ++answered;
+        }
+        t->close();  // the "crash"
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c2)), 0);
+    ASSERT_EQ(coordinator.num_workers(), 2u);
+
+    std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+        *space, suite::Method::kUniform, 12, b.doe_samples, 31);
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 31;
+    TuningHistory history = coordinator.run(*tuner, spec, 4);
+    coordinator.shutdown();
+    t1.join();
+    t2.join();
+
+    EXPECT_EQ(history.size(), 12u);
+    EXPECT_LE(coordinator.num_workers(), 1u);
+
+    suite::DistributedOptions dopt;
+    dopt.workers = 2;
+    dopt.batch_size = 4;
+    TuningHistory reference = suite::run_method_distributed(
+        b, suite::Method::kUniform, 12, 31, dopt);
+    EXPECT_TRUE(histories_equal(reference, history));
+}
+
+TEST(ServeDistributed, StragglerIsReDispatchedToFreeWorker)
+{
+    // Worker 2 swallows its first evaluate frame (a straggler); the
+    // coordinator's deadline re-dispatches the task to worker 1 and the
+    // batch completes. The duplicate answer is ignored by id.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+
+    CoordinatorOptions copt;
+    copt.straggler_ms = 50;
+    copt.poll_ms = 5;
+    Coordinator coordinator(copt);
+
+    auto [c1, w1] = loopback_pair();
+    std::thread t1([t = std::shared_ptr<Transport>(std::move(w1))] {
+        run_worker_loop(*t);
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c1)), 0);
+
+    std::atomic<int> swallowed{0};
+    auto [c2, w2] = loopback_pair();
+    std::thread t2([t = std::shared_ptr<Transport>(std::move(w2)),
+                    &swallowed] {
+        Message hello;
+        hello.type = MsgType::kHello;
+        hello.text = "worker";
+        hello.capacity = 1;
+        t->send(encode(hello));
+        std::string line;
+        while (t->recv(line) == RecvStatus::kOk) {
+            Message req;
+            if (!decode(line, req) || req.type != MsgType::kEvaluate)
+                break;  // shutdown
+            swallowed.fetch_add(1);
+            // Never answer: a hung evaluation.
+        }
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c2)), 0);
+
+    RngEngine rng(3);
+    std::vector<Configuration> configs;
+    for (int i = 0; i < 6; ++i)
+        configs.push_back(space->sample_unconstrained(rng));
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 17;
+    std::vector<EvalResult> results =
+        coordinator.evaluate_batch(spec, configs);
+    coordinator.shutdown();
+    t1.join();
+    t2.join();
+
+    ASSERT_EQ(results.size(), configs.size());
+    EXPECT_GE(swallowed.load(), 1);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EvalResult local = evaluate_on(b, configs[i], 17, i);
+        EXPECT_EQ(results[i].value, local.value) << i;
+    }
+}
+
+TEST(ServeDistributed, GarbageEmittingWorkerDoesNotWedgeBatch)
+{
+    // A worker that answers with undecodable frames (e.g. corruption on
+    // an ssh pipe) is declared dead and its tasks are re-queued onto the
+    // healthy worker — the batch must complete, not hang.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+
+    Coordinator coordinator;
+    auto [c1, w1] = loopback_pair();
+    std::thread t1([t = std::shared_ptr<Transport>(std::move(w1))] {
+        run_worker_loop(*t);
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c1)), 0);
+
+    auto [c2, w2] = loopback_pair();
+    std::thread t2([t = std::shared_ptr<Transport>(std::move(w2))] {
+        Message hello;
+        hello.type = MsgType::kHello;
+        hello.text = "worker";
+        t->send(encode(hello));
+        std::string line;
+        while (t->recv(line) == RecvStatus::kOk) {
+            Message req;
+            if (!decode(line, req) || req.type != MsgType::kEvaluate)
+                break;
+            t->send("%%% not a frame %%%");
+        }
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c2)), 0);
+
+    RngEngine rng(5);
+    std::vector<Configuration> configs;
+    for (int i = 0; i < 6; ++i)
+        configs.push_back(space->sample_unconstrained(rng));
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 23;
+    std::vector<EvalResult> results =
+        coordinator.evaluate_batch(spec, configs);
+    coordinator.shutdown();
+    t1.join();
+    t2.join();
+
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EvalResult local = evaluate_on(b, configs[i], 23, i);
+        EXPECT_EQ(results[i].value, local.value) << i;
+    }
+}
+
+TEST(ServeDistributed, ThrowsWhenAllWorkersAreGone)
+{
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+
+    Coordinator coordinator;
+    auto [c1, w1] = loopback_pair();
+    std::thread t1([t = std::shared_ptr<Transport>(std::move(w1))] {
+        std::string line;
+        Message hello;
+        hello.type = MsgType::kHello;
+        hello.text = "worker";
+        t->send(encode(hello));
+        t->recv(line);  // swallow the first evaluate...
+        t->close();     // ...and die
+    });
+    ASSERT_GE(coordinator.add_worker(std::move(c1)), 0);
+
+    RngEngine rng(1);
+    std::vector<Configuration> configs = {
+        space->sample_unconstrained(rng)};
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 1;
+    EXPECT_THROW(coordinator.evaluate_batch(spec, configs),
+                 std::runtime_error);
+    t1.join();
+}
+
+TEST(ServeDistributed, SharedCacheShortCircuitsDispatch)
+{
+    const Benchmark& b = suite::find_benchmark(kBench);
+    EvalCache cache;
+    suite::DistributedOptions dopt;
+    dopt.workers = 2;
+    dopt.batch_size = 3;
+    dopt.cache = &cache;
+
+    TuningHistory h1 = suite::run_method_distributed(
+        b, suite::Method::kUniform, 9, 13, dopt);
+    EXPECT_EQ(cache.misses(), 9u);
+    std::uint64_t hits_before = cache.hits();
+
+    // Second identical run: every lookup hits; no worker dispatch needed.
+    TuningHistory h2 = suite::run_method_distributed(
+        b, suite::Method::kUniform, 9, 13, dopt);
+    EXPECT_TRUE(histories_equal(h1, h2));
+    EXPECT_EQ(cache.misses(), 9u);
+    EXPECT_EQ(cache.hits(), hits_before + 9u);
+}
+
+TEST(ServeDistributed, KilledDistributedRunResumesFromCheckpoint)
+{
+    // Acceptance scenario: the distributed driver dies mid-run; a new
+    // driver restores the tuner from the checkpoint and finishes with
+    // the exact uninterrupted history.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    const int budget = 16;
+    const std::uint64_t seed = 53;
+    const int batch = 4;
+    std::string path =
+        testing::TempDir() + "baco_test_distributed.ckpt.jsonl";
+
+    EvalEngineOptions eopt;
+    eopt.batch_size = batch;
+    TuningHistory reference = suite::run_method_batched(
+        b, suite::Method::kBaco, budget, seed, eopt);
+
+    // Interrupted half: coordinator-driven with checkpointing, killed at
+    // a batch boundary by capping max_evals.
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+    {
+        Fleet fleet(2);
+        std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+            *space, suite::Method::kBaco, budget, b.doe_samples, seed);
+        BatchSpec spec;
+        spec.benchmark = b.name;
+        spec.run_seed = seed;
+        fleet.coordinator.drive(*tuner, spec, batch, 8, path);
+        ASSERT_EQ(tuner->history().size(), 8u);
+        // Fleet destructor = the whole driver process dying.
+    }
+
+    // Resumed half: a fresh fleet and tuner pick the run back up.
+    Fleet fleet(2);
+    std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+        *space, suite::Method::kBaco, budget, b.doe_samples, seed);
+    ASSERT_TRUE(resume_from_checkpoint(path, *tuner));
+    ASSERT_EQ(tuner->history().size(), 8u);
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = seed;
+    TuningHistory final_history =
+        fleet.coordinator.run(*tuner, spec, batch);
+
+    EXPECT_TRUE(histories_equal(reference, final_history));
+    EXPECT_EQ(reference.best_value, final_history.best_value);
+    std::remove(path.c_str());
+}
+
+TEST(ServeDistributed, AddWorkerRejectsBadHandshake)
+{
+    CoordinatorOptions copt;
+    copt.handshake_ms = 200;
+    Coordinator coordinator(copt);
+
+    // Wrong role.
+    auto [c1, w1] = loopback_pair();
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.text = "client";
+    w1->send(encode(hello));
+    EXPECT_EQ(coordinator.add_worker(std::move(c1)), -1);
+
+    // Wrong protocol version.
+    auto [c2, w2] = loopback_pair();
+    hello.text = "worker";
+    hello.version = kProtocolVersion + 7;
+    w2->send(encode(hello));
+    EXPECT_EQ(coordinator.add_worker(std::move(c2)), -1);
+
+    // Silence: handshake times out.
+    auto [c3, w3] = loopback_pair();
+    EXPECT_EQ(coordinator.add_worker(std::move(c3)), -1);
+    EXPECT_EQ(coordinator.num_workers(), 0u);
+}
+
+}  // namespace
+}  // namespace baco::serve

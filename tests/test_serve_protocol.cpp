@@ -1,0 +1,361 @@
+// The serve wire protocol: encode/decode round-trips for every frame
+// type, malformed-frame rejection, and the loopback/pipe transports.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace baco::serve {
+namespace {
+
+Configuration
+mixed_config()
+{
+    return {std::int64_t{8}, 0.375, Permutation{2, 0, 1}};
+}
+
+/** Round-trip m through encode/decode (optionally through a transport). */
+Message
+roundtrip(const Message& m, Transport* via = nullptr)
+{
+    std::string frame = encode(m);
+    if (via) {
+        EXPECT_TRUE(via->send(frame));
+        frame.clear();
+        EXPECT_EQ(via->recv(frame, 2000), RecvStatus::kOk);
+    }
+    Message out;
+    std::string err;
+    EXPECT_TRUE(decode(frame, out, &err)) << frame << " : " << err;
+    return out;
+}
+
+TEST(ServeProtocol, HelloWelcomeRoundtrip)
+{
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.text = "worker";
+    hello.capacity = 3;
+    Message out = roundtrip(hello);
+    EXPECT_EQ(out.type, MsgType::kHello);
+    EXPECT_EQ(out.version, kProtocolVersion);
+    EXPECT_EQ(out.text, "worker");
+    EXPECT_EQ(out.capacity, 3);
+
+    Message welcome;
+    welcome.type = MsgType::kWelcome;
+    out = roundtrip(welcome);
+    EXPECT_EQ(out.type, MsgType::kWelcome);
+    EXPECT_EQ(out.version, kProtocolVersion);
+}
+
+TEST(ServeProtocol, OpenSessionRoundtrip)
+{
+    Message m;
+    m.type = MsgType::kOpenSession;
+    m.id = 42;
+    m.session = "exp-1.run_2";
+    m.benchmark = "SpMM/scircuit";
+    m.method = "BaCO";
+    m.budget = 60;
+    m.doe = 10;
+    m.seed = 0xdeadbeefULL;
+    m.resume = true;
+    Message out = roundtrip(m);
+    EXPECT_EQ(out.type, MsgType::kOpenSession);
+    EXPECT_EQ(out.id, 42u);
+    EXPECT_EQ(out.session, "exp-1.run_2");
+    EXPECT_EQ(out.benchmark, "SpMM/scircuit");
+    EXPECT_EQ(out.method, "BaCO");
+    EXPECT_EQ(out.budget, 60);
+    EXPECT_EQ(out.doe, 10);
+    EXPECT_EQ(out.seed, 0xdeadbeefULL);
+    EXPECT_TRUE(out.resume);
+}
+
+TEST(ServeProtocol, OpenedOkDoneErrorRoundtrip)
+{
+    Message opened;
+    opened.type = MsgType::kOpened;
+    opened.id = 7;
+    opened.session = "s";
+    opened.evals = 12;
+    opened.budget = 30;
+    opened.resumed = true;
+    Message out = roundtrip(opened);
+    EXPECT_EQ(out.type, MsgType::kOpened);
+    EXPECT_EQ(out.evals, 12u);
+    EXPECT_EQ(out.budget, 30);
+    EXPECT_TRUE(out.resumed);
+
+    Message ok;
+    ok.type = MsgType::kOk;
+    ok.id = 8;
+    ok.evals = 13;
+    ok.best = 1.0625;
+    ok.text = "/tmp/s.ckpt.jsonl";
+    out = roundtrip(ok);
+    EXPECT_EQ(out.type, MsgType::kOk);
+    EXPECT_DOUBLE_EQ(out.best, 1.0625);
+    EXPECT_EQ(out.text, "/tmp/s.ckpt.jsonl");
+
+    Message done;
+    done.type = MsgType::kDone;
+    done.id = 9;
+    done.evals = 60;
+    done.best = 0.5;
+    out = roundtrip(done);
+    EXPECT_EQ(out.type, MsgType::kDone);
+    EXPECT_EQ(out.evals, 60u);
+    EXPECT_DOUBLE_EQ(out.best, 0.5);
+
+    out = roundtrip(make_error(11, "something broke"));
+    EXPECT_EQ(out.type, MsgType::kError);
+    EXPECT_EQ(out.id, 11u);
+    EXPECT_EQ(out.text, "something broke");
+}
+
+TEST(ServeProtocol, SuggestConfigsRoundtrip)
+{
+    Message ask;
+    ask.type = MsgType::kSuggest;
+    ask.id = 3;
+    ask.session = "s";
+    ask.n = 4;
+    Message out = roundtrip(ask);
+    EXPECT_EQ(out.type, MsgType::kSuggest);
+    EXPECT_EQ(out.n, 4);
+
+    Message configs;
+    configs.type = MsgType::kConfigs;
+    configs.id = 3;
+    configs.index = 16;
+    configs.configs = {mixed_config(), {std::int64_t{1}}, {}};
+    out = roundtrip(configs);
+    EXPECT_EQ(out.type, MsgType::kConfigs);
+    EXPECT_EQ(out.index, 16u);
+    ASSERT_EQ(out.configs.size(), 3u);
+    EXPECT_TRUE(configs_equal(out.configs[0], mixed_config()));
+    EXPECT_TRUE(configs_equal(out.configs[1], {std::int64_t{1}}));
+    EXPECT_TRUE(out.configs[2].empty());
+
+    // An empty batch (budget exhausted) survives the round trip too.
+    configs.configs.clear();
+    out = roundtrip(configs);
+    EXPECT_TRUE(out.configs.empty());
+}
+
+TEST(ServeProtocol, ObserveRoundtripPreservesExactValues)
+{
+    Message m;
+    m.type = MsgType::kObserve;
+    m.id = 5;
+    m.session = "s";
+    m.eval_seconds = 0.125;
+    ObservedResult a;
+    a.config = mixed_config();
+    a.value = 1.0 / 3.0;  // requires %.17g exactness
+    a.feasible = true;
+    ObservedResult b;
+    b.config = {std::int64_t{2}};
+    b.value = 0.0;
+    b.feasible = false;
+    m.results = {a, b};
+
+    Message out = roundtrip(m);
+    EXPECT_EQ(out.type, MsgType::kObserve);
+    EXPECT_DOUBLE_EQ(out.eval_seconds, 0.125);
+    ASSERT_EQ(out.results.size(), 2u);
+    EXPECT_TRUE(configs_equal(out.results[0].config, a.config));
+    EXPECT_EQ(out.results[0].value, a.value);  // bit-exact
+    EXPECT_TRUE(out.results[0].feasible);
+    EXPECT_FALSE(out.results[1].feasible);
+}
+
+TEST(ServeProtocol, EvaluateResultRoundtrip)
+{
+    Message m;
+    m.type = MsgType::kEvaluate;
+    m.id = 77;
+    m.benchmark = "SDDMM/email-Enron";
+    m.seed = 123456789;
+    m.index = 31;
+    m.config = mixed_config();
+    Message out = roundtrip(m);
+    EXPECT_EQ(out.type, MsgType::kEvaluate);
+    EXPECT_EQ(out.benchmark, "SDDMM/email-Enron");
+    EXPECT_EQ(out.seed, 123456789u);
+    EXPECT_EQ(out.index, 31u);
+    EXPECT_TRUE(configs_equal(out.config, mixed_config()));
+
+    Message r;
+    r.type = MsgType::kResult;
+    r.id = 77;
+    r.value = 2.5e-3;
+    r.feasible = false;
+    r.eval_seconds = 0.001;
+    out = roundtrip(r);
+    EXPECT_EQ(out.type, MsgType::kResult);
+    EXPECT_EQ(out.value, 2.5e-3);
+    EXPECT_FALSE(out.feasible);
+}
+
+TEST(ServeProtocol, RemainingTypesRoundtrip)
+{
+    for (MsgType t : {MsgType::kCheckpoint, MsgType::kClose}) {
+        Message m;
+        m.type = t;
+        m.id = 4;
+        m.session = "sess";
+        Message out = roundtrip(m);
+        EXPECT_EQ(out.type, t);
+        EXPECT_EQ(out.session, "sess");
+    }
+    Message run;
+    run.type = MsgType::kRun;
+    run.id = 6;
+    run.session = "sess";
+    run.n = 8;
+    run.budget = 40;
+    Message out = roundtrip(run);
+    EXPECT_EQ(out.type, MsgType::kRun);
+    EXPECT_EQ(out.n, 8);
+    EXPECT_EQ(out.budget, 40);
+
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    out = roundtrip(bye);
+    EXPECT_EQ(out.type, MsgType::kShutdown);
+}
+
+TEST(ServeProtocol, ErrorTextIsSanitizedForFraming)
+{
+    Message m = make_error(1, "bad \"quote\" and\nnewline");
+    std::string frame = encode(m);
+    EXPECT_EQ(frame.find('\n'), std::string::npos);
+    Message out;
+    ASSERT_TRUE(decode(frame, out));
+    EXPECT_EQ(out.text, "bad 'quote' and newline");
+}
+
+TEST(ServeProtocol, MalformedFramesAreRejected)
+{
+    Message out;
+    std::string err;
+    EXPECT_FALSE(decode("", out, &err));
+    EXPECT_FALSE(decode("this is not json", out, &err));
+    EXPECT_FALSE(decode("{\"no_type\":1}", out, &err));
+    EXPECT_FALSE(decode("{\"type\":\"martian\"}", out, &err));
+    EXPECT_FALSE(err.empty());
+    // Required fields missing.
+    EXPECT_FALSE(decode("{\"type\":\"suggest\",\"id\":1}", out, &err));
+    EXPECT_FALSE(decode("{\"type\":\"evaluate\",\"id\":1,"
+                        "\"benchmark\":\"x\",\"seed\":1,\"index\":0}",
+                        out, &err));
+    // Truncated nested arrays.
+    EXPECT_FALSE(decode("{\"type\":\"configs\",\"id\":1,\"first_index\":0,"
+                        "\"configs\":[[{\"i\":3}",
+                        out, &err));
+    EXPECT_FALSE(decode("{\"type\":\"observe\",\"id\":1,\"session\":\"s\","
+                        "\"results\":[{\"config\":[{\"i\":3}],\"value\":1}]}",
+                        out, &err));
+}
+
+TEST(ServeTransport, LoopbackPairDeliversBothDirections)
+{
+    auto [a, b] = loopback_pair();
+    ASSERT_TRUE(a->send("ping"));
+    std::string line;
+    ASSERT_EQ(b->recv(line, 1000), RecvStatus::kOk);
+    EXPECT_EQ(line, "ping");
+    ASSERT_TRUE(b->send("pong"));
+    ASSERT_EQ(a->recv(line, 1000), RecvStatus::kOk);
+    EXPECT_EQ(line, "pong");
+
+    EXPECT_EQ(a->recv(line, 10), RecvStatus::kTimeout);
+    b->close();
+    EXPECT_EQ(a->recv(line, 1000), RecvStatus::kClosed);
+    EXPECT_FALSE(a->send("into the void"));
+}
+
+TEST(ServeTransport, LoopbackDrainsQueuedFramesAfterClose)
+{
+    auto [a, b] = loopback_pair();
+    ASSERT_TRUE(a->send("one"));
+    ASSERT_TRUE(a->send("two"));
+    a->close();
+    std::string line;
+    // Already-queued frames are still deliverable after the close.
+    EXPECT_EQ(b->recv(line, 100), RecvStatus::kOk);
+    EXPECT_EQ(line, "one");
+    EXPECT_EQ(b->recv(line, 100), RecvStatus::kOk);
+    EXPECT_EQ(line, "two");
+    EXPECT_EQ(b->recv(line, 100), RecvStatus::kClosed);
+}
+
+TEST(ServeTransport, PipePairFramesLines)
+{
+    auto [a, b] = pipe_pair();
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    // Protocol frames cross the fd boundary intact, including several
+    // queued at once.
+    Message m;
+    m.type = MsgType::kEvaluate;
+    m.id = 9;
+    m.benchmark = "bench";
+    m.seed = 3;
+    m.index = 7;
+    m.config = mixed_config();
+    ASSERT_TRUE(a->send(encode(m)));
+    ASSERT_TRUE(a->send("second"));
+    std::string line;
+    ASSERT_EQ(b->recv(line, 2000), RecvStatus::kOk);
+    Message out;
+    ASSERT_TRUE(decode(line, out));
+    EXPECT_TRUE(configs_equal(out.config, mixed_config()));
+    ASSERT_EQ(b->recv(line, 2000), RecvStatus::kOk);
+    EXPECT_EQ(line, "second");
+
+    EXPECT_EQ(b->recv(line, 10), RecvStatus::kTimeout);
+    a->close();
+    EXPECT_EQ(b->recv(line, 2000), RecvStatus::kClosed);
+}
+
+TEST(ServeTransport, ConcurrentSendersInterleaveWholeFrames)
+{
+    auto [a, b] = loopback_pair();
+    const int kPerThread = 200;
+    std::thread t1([&] {
+        for (int i = 0; i < kPerThread; ++i)
+            a->send("t1-" + std::to_string(i));
+    });
+    std::thread t2([&] {
+        for (int i = 0; i < kPerThread; ++i)
+            a->send("t2-" + std::to_string(i));
+    });
+    int received = 0;
+    int next1 = 0;
+    int next2 = 0;
+    std::string line;
+    while (received < 2 * kPerThread &&
+           b->recv(line, 2000) == RecvStatus::kOk) {
+        ++received;
+        // Per-sender FIFO order is preserved.
+        if (line.rfind("t1-", 0) == 0)
+            EXPECT_EQ(line, "t1-" + std::to_string(next1++));
+        else
+            EXPECT_EQ(line, "t2-" + std::to_string(next2++));
+    }
+    t1.join();
+    t2.join();
+    EXPECT_EQ(received, 2 * kPerThread);
+    EXPECT_EQ(next1, kPerThread);
+    EXPECT_EQ(next2, kPerThread);
+}
+
+}  // namespace
+}  // namespace baco::serve

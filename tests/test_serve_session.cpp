@@ -1,0 +1,487 @@
+// The multi-session manager and serve loop: protocol-driven tuning
+// sessions, idempotent retries, concurrent sessions from many threads,
+// idle eviction, the version handshake, and crash/resume recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "exec/checkpoint.hpp"
+#include "exec/eval_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace baco::serve {
+namespace {
+
+constexpr const char* kBench = "SDDMM/email-Enron";
+
+Message
+open_request(const std::string& name, const std::string& method, int budget,
+             std::uint64_t seed, bool resume = false)
+{
+    Message m;
+    m.type = MsgType::kOpenSession;
+    m.id = 1;
+    m.session = name;
+    m.benchmark = kBench;
+    m.method = method;
+    m.budget = budget;
+    m.doe = 0;  // benchmark default, matching run_method_batched
+    m.seed = seed;
+    m.resume = resume;
+    return m;
+}
+
+/**
+ * Drive a session through the ask-tell protocol exchange, evaluating
+ * client-side exactly as a remote evaluation farm would. Returns the
+ * final evals count.
+ */
+std::uint64_t
+drive_session(SessionManager& sm, const std::string& name, int batch,
+              int max_evals = -1)
+{
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    std::optional<SessionInfo> info = sm.info(name);
+    EXPECT_TRUE(info.has_value());
+    std::uint64_t evals = info->evals;
+    int done = 0;
+    for (;;) {
+        if (max_evals >= 0 && done >= max_evals)
+            break;
+        Message ask;
+        ask.type = MsgType::kSuggest;
+        ask.session = name;
+        ask.n = batch;
+        Message configs = sm.handle(ask);
+        EXPECT_EQ(configs.type, MsgType::kConfigs) << configs.text;
+        if (configs.configs.empty())
+            break;
+        Message tell;
+        tell.type = MsgType::kObserve;
+        tell.session = name;
+        for (std::size_t i = 0; i < configs.configs.size(); ++i) {
+            ObservedResult r;
+            r.config = configs.configs[i];
+            EvalResult res = evaluate_on(bench, r.config, info->seed,
+                                         configs.index + i);
+            r.value = res.value;
+            r.feasible = res.feasible;
+            tell.results.push_back(std::move(r));
+        }
+        Message ok = sm.handle(tell);
+        EXPECT_EQ(ok.type, MsgType::kOk) << ok.text;
+        evals = ok.evals;
+        done += static_cast<int>(configs.configs.size());
+    }
+    return evals;
+}
+
+TEST(ServeSession, ProtocolDrivenRunMatchesDirectRun)
+{
+    SessionManager sm;
+    Message opened = sm.handle(open_request("s1", "Uniform", 12, 33));
+    ASSERT_EQ(opened.type, MsgType::kOpened) << opened.text;
+    EXPECT_EQ(opened.evals, 0u);
+    EXPECT_FALSE(opened.resumed);
+
+    EXPECT_EQ(drive_session(sm, "s1", 3), 12u);
+    std::optional<SessionInfo> info = sm.info("s1");
+    ASSERT_TRUE(info.has_value());
+
+    // The protocol exchange is the EvalEngine exchange over frames: the
+    // session history must match the batched in-process run exactly.
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    EvalEngineOptions eopt;
+    eopt.batch_size = 3;
+    TuningHistory reference = suite::run_method_batched(
+        bench, suite::Method::kUniform, 12, 33, eopt);
+    EXPECT_EQ(info->evals, reference.size());
+    EXPECT_EQ(info->best, reference.best_value);
+}
+
+TEST(ServeSession, OpenRejectsBadRequests)
+{
+    SessionManager sm;
+    Message bad_name = open_request("no/slashes", "BaCO", 10, 1);
+    EXPECT_EQ(sm.handle(bad_name).type, MsgType::kError);
+
+    Message bad_bench = open_request("ok", "BaCO", 10, 1);
+    bad_bench.benchmark = "NoSuch/benchmark";
+    EXPECT_EQ(sm.handle(bad_bench).type, MsgType::kError);
+
+    Message bad_method = open_request("ok", "NoSuchMethod", 10, 1);
+    EXPECT_EQ(sm.handle(bad_method).type, MsgType::kError);
+
+    ASSERT_EQ(sm.handle(open_request("ok", "BaCO", 10, 1)).type,
+              MsgType::kOpened);
+    // Double open of a live session is an error.
+    EXPECT_EQ(sm.handle(open_request("ok", "BaCO", 10, 1)).type,
+              MsgType::kError);
+    EXPECT_EQ(sm.size(), 1u);
+}
+
+TEST(ServeSession, SuggestIsIdempotentAndObserveValidatesBatch)
+{
+    SessionManager sm;
+    ASSERT_EQ(sm.handle(open_request("s", "Uniform", 10, 7)).type,
+              MsgType::kOpened);
+
+    Message ask;
+    ask.type = MsgType::kSuggest;
+    ask.session = "s";
+    ask.n = 3;
+    Message first = sm.handle(ask);
+    ASSERT_EQ(first.type, MsgType::kConfigs);
+    ASSERT_EQ(first.configs.size(), 3u);
+
+    // A retried suggest re-sends the same outstanding batch (lost-reply
+    // recovery), without advancing the tuner.
+    Message retry = sm.handle(ask);
+    ASSERT_EQ(retry.type, MsgType::kConfigs);
+    ASSERT_EQ(retry.configs.size(), 3u);
+    EXPECT_EQ(retry.index, first.index);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(configs_equal(retry.configs[i], first.configs[i]));
+
+    // Observing results for the wrong configs is rejected.
+    Message wrong;
+    wrong.type = MsgType::kObserve;
+    wrong.session = "s";
+    ObservedResult r;
+    r.config = first.configs[0];
+    r.value = 1.0;
+    wrong.results = {r};
+    EXPECT_EQ(sm.handle(wrong).type, MsgType::kError);  // size mismatch
+
+    // Observing with no batch outstanding is rejected too.
+    Message ok_observe;
+    ok_observe.type = MsgType::kObserve;
+    ok_observe.session = "s";
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    std::optional<SessionInfo> info = sm.info("s");
+    for (std::size_t i = 0; i < first.configs.size(); ++i) {
+        ObservedResult obs;
+        obs.config = first.configs[i];
+        EvalResult res = evaluate_on(bench, obs.config, info->seed,
+                                     first.index + i);
+        obs.value = res.value;
+        obs.feasible = res.feasible;
+        ok_observe.results.push_back(std::move(obs));
+    }
+    EXPECT_EQ(sm.handle(ok_observe).type, MsgType::kOk);
+    EXPECT_EQ(sm.handle(ok_observe).type, MsgType::kError);
+}
+
+TEST(ServeSession, ConcurrentSessionsStayIsolated)
+{
+    // Many threads hammer their own sessions through one manager; each
+    // history must match its serial single-session reference exactly.
+    SessionManager sm;
+    const int kThreads = 8;
+    const int kBudget = 10;
+
+    for (int t = 0; t < kThreads; ++t) {
+        Message opened = sm.handle(open_request(
+            "hammer-" + std::to_string(t), "Uniform", kBudget,
+            static_cast<std::uint64_t>(100 + t)));
+        ASSERT_EQ(opened.type, MsgType::kOpened) << opened.text;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&sm, t] {
+            drive_session(sm, "hammer-" + std::to_string(t),
+                          1 + t % 3);
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    for (int t = 0; t < kThreads; ++t) {
+        std::optional<SessionInfo> info =
+            sm.info("hammer-" + std::to_string(t));
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->evals, static_cast<std::uint64_t>(kBudget));
+        EvalEngineOptions eopt;
+        eopt.batch_size = 1 + t % 3;
+        TuningHistory reference = suite::run_method_batched(
+            bench, suite::Method::kUniform, kBudget,
+            static_cast<std::uint64_t>(100 + t), eopt);
+        EXPECT_EQ(info->best, reference.best_value) << info->name;
+    }
+    EXPECT_EQ(sm.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ServeSession, ServerCrashResumesFromCheckpointAndMatches)
+{
+    // Acceptance scenario: kill the server mid-run, restart, resume from
+    // checkpoint and finish — the final history must equal the
+    // uninterrupted run's bit-for-bit.
+    std::string dir = testing::TempDir();
+    const int kBudget = 14;
+    const std::uint64_t kSeed = 77;
+    const int kBatch = 2;
+
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    EvalEngineOptions eopt;
+    eopt.batch_size = kBatch;
+    TuningHistory reference = suite::run_method_batched(
+        bench, suite::Method::kBaco, kBudget, kSeed, eopt);
+    ASSERT_EQ(reference.size(), static_cast<std::size_t>(kBudget));
+
+    std::string name = "crashy";
+    {
+        SessionManagerOptions opt;
+        opt.checkpoint_dir = dir;
+        SessionManager sm(opt);
+        ASSERT_EQ(sm.handle(open_request(name, "BaCO", kBudget, kSeed)).type,
+                  MsgType::kOpened);
+        drive_session(sm, name, kBatch, /*max_evals=*/6);
+        // The manager is destroyed here with the session still mid-budget
+        // — the "crash". Durability comes from the per-observe checkpoint.
+    }
+
+    SessionManagerOptions opt;
+    opt.checkpoint_dir = dir;
+    SessionManager sm(opt);
+    Message reopened = sm.handle(
+        open_request(name, "BaCO", kBudget, kSeed, /*resume=*/true));
+    ASSERT_EQ(reopened.type, MsgType::kOpened) << reopened.text;
+    EXPECT_TRUE(reopened.resumed);
+    EXPECT_EQ(reopened.evals, 6u);
+
+    EXPECT_EQ(drive_session(sm, name, kBatch),
+              static_cast<std::uint64_t>(kBudget));
+    std::optional<SessionInfo> info = sm.info(name);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->best, reference.best_value);
+
+    // The final on-disk checkpoint carries the full history: compare it
+    // against the uninterrupted reference observation by observation.
+    std::optional<CheckpointData> final_state =
+        load_checkpoint(sm.checkpoint_path(name));
+    ASSERT_TRUE(final_state.has_value());
+    EXPECT_TRUE(histories_equal(final_state->history, reference));
+    std::remove(sm.checkpoint_path(name).c_str());
+}
+
+TEST(ServeSession, ResumeWithWrongSeedIsRejected)
+{
+    std::string dir = testing::TempDir();
+    SessionManagerOptions opt;
+    opt.checkpoint_dir = dir;
+    std::string name = "seeded";
+    {
+        SessionManager sm(opt);
+        ASSERT_EQ(sm.handle(open_request(name, "Uniform", 8, 5)).type,
+                  MsgType::kOpened);
+        drive_session(sm, name, 2, 4);
+    }
+    SessionManager sm(opt);
+    Message wrong = sm.handle(open_request(name, "Uniform", 8, 6, true));
+    EXPECT_EQ(wrong.type, MsgType::kError);
+    Message right = sm.handle(open_request(name, "Uniform", 8, 5, true));
+    ASSERT_EQ(right.type, MsgType::kOpened) << right.text;
+    EXPECT_TRUE(right.resumed);
+    std::remove(sm.checkpoint_path(name).c_str());
+}
+
+TEST(ServeSession, IdleSessionsAreEvicted)
+{
+    SessionManagerOptions opt;
+    opt.idle_timeout_seconds = 1e-9;  // everything is instantly idle
+    SessionManager sm(opt);
+    ASSERT_EQ(sm.handle(open_request("a", "Uniform", 8, 1)).type,
+              MsgType::kOpened);
+    ASSERT_EQ(sm.handle(open_request("b", "Uniform", 8, 2)).type,
+              MsgType::kOpened);
+    EXPECT_EQ(sm.size(), 2u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(sm.evict_idle(), 2u);
+    EXPECT_EQ(sm.size(), 0u);
+
+    // A never-idle manager keeps its sessions.
+    SessionManager keep;
+    ASSERT_EQ(keep.handle(open_request("a", "Uniform", 8, 1)).type,
+              MsgType::kOpened);
+    EXPECT_EQ(keep.evict_idle(), 0u);
+    EXPECT_EQ(keep.size(), 1u);
+}
+
+TEST(ServeSession, CheckpointRequestRefusesMidBatch)
+{
+    SessionManagerOptions opt;
+    opt.checkpoint_dir = testing::TempDir();
+    SessionManager sm(opt);
+    ASSERT_EQ(sm.handle(open_request("mid", "Uniform", 8, 9)).type,
+              MsgType::kOpened);
+
+    Message ckpt;
+    ckpt.type = MsgType::kCheckpoint;
+    ckpt.session = "mid";
+    EXPECT_EQ(sm.handle(ckpt).type, MsgType::kOk);
+
+    Message ask;
+    ask.type = MsgType::kSuggest;
+    ask.session = "mid";
+    ask.n = 2;
+    ASSERT_EQ(sm.handle(ask).type, MsgType::kConfigs);
+    // With a batch in flight the sampler stream is ahead of the history;
+    // checkpointing now could not resume deterministically.
+    EXPECT_EQ(sm.handle(ckpt).type, MsgType::kError);
+    std::remove(sm.checkpoint_path("mid").c_str());
+}
+
+TEST(ServeSession, SharedCacheIsNamespacedPerSession)
+{
+    // Two sessions over different benchmarks share one cache: entries do
+    // not collide, and a same-benchmark rerun hits.
+    EvalCache cache;
+    SessionManagerOptions opt;
+    opt.cache = &cache;
+    SessionManager sm(opt);
+    ASSERT_EQ(sm.handle(open_request("c1", "Uniform", 6, 3)).type,
+              MsgType::kOpened);
+    drive_session(sm, "c1", 2);
+    std::size_t after_first = cache.size();
+    EXPECT_EQ(after_first, 6u);
+
+    // Same seed + benchmark under a new session name: the observe path
+    // re-inserts into the same namespace — no growth.
+    ASSERT_EQ(sm.handle(open_request("c2", "Uniform", 6, 3)).type,
+              MsgType::kOpened);
+    drive_session(sm, "c2", 2);
+    EXPECT_EQ(cache.size(), after_first);
+}
+
+TEST(ServeConnection, HandshakeAndMalformedFrames)
+{
+    SessionManager sm;
+    ServerContext ctx;
+    ctx.sessions = &sm;
+
+    // Version mismatch: rejected at the handshake.
+    {
+        auto [client, server] = loopback_pair();
+        std::thread srv([&, s = std::shared_ptr<Transport>(
+                                std::move(server))] {
+            ServeStats stats = serve_connection(*s, ctx);
+            EXPECT_FALSE(stats.handshake_ok);
+        });
+        Message hello;
+        hello.type = MsgType::kHello;
+        hello.version = kProtocolVersion + 1;
+        ASSERT_TRUE(client->send(encode(hello)));
+        std::string line;
+        ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+        Message reply;
+        ASSERT_TRUE(decode(line, reply));
+        EXPECT_EQ(reply.type, MsgType::kError);
+        EXPECT_NE(reply.text.find("version"), std::string::npos);
+        srv.join();
+    }
+
+    // Good handshake; then malformed frames get error replies and the
+    // connection keeps serving real requests.
+    {
+        auto [client, server] = loopback_pair();
+        std::thread srv([&, s = std::shared_ptr<Transport>(
+                                std::move(server))] {
+            ServeStats stats = serve_connection(*s, ctx);
+            EXPECT_TRUE(stats.handshake_ok);
+            EXPECT_GE(stats.errors, 2u);
+        });
+        Message hello;
+        hello.type = MsgType::kHello;
+        ASSERT_TRUE(client->send(encode(hello)));
+        std::string line;
+        ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+        Message reply;
+        ASSERT_TRUE(decode(line, reply));
+        ASSERT_EQ(reply.type, MsgType::kWelcome);
+
+        ASSERT_TRUE(client->send("garbage frame"));
+        ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+        ASSERT_TRUE(decode(line, reply));
+        EXPECT_EQ(reply.type, MsgType::kError);
+
+        ASSERT_TRUE(client->send("{\"type\":\"martian\"}"));
+        ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+        ASSERT_TRUE(decode(line, reply));
+        EXPECT_EQ(reply.type, MsgType::kError);
+
+        ASSERT_TRUE(client->send(encode(open_request("ok", "Uniform",
+                                                     6, 1))));
+        ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+        ASSERT_TRUE(decode(line, reply));
+        EXPECT_EQ(reply.type, MsgType::kOpened);
+
+        Message bye;
+        bye.type = MsgType::kShutdown;
+        ASSERT_TRUE(client->send(encode(bye)));
+        srv.join();
+    }
+}
+
+TEST(ServeConnection, ServerSideRunCompletesSession)
+{
+    SessionManager sm;
+    ServerContext ctx;
+    ctx.sessions = &sm;
+
+    auto [client, server] = loopback_pair();
+    std::thread srv(
+        [&, s = std::shared_ptr<Transport>(std::move(server))] {
+            serve_connection(*s, ctx);
+        });
+
+    Message hello;
+    hello.type = MsgType::kHello;
+    ASSERT_TRUE(client->send(encode(hello)));
+    std::string line;
+    ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+
+    ASSERT_TRUE(client->send(encode(open_request("run-me", "Uniform",
+                                                 10, 21))));
+    ASSERT_EQ(client->recv(line, 5000), RecvStatus::kOk);
+    Message reply;
+    ASSERT_TRUE(decode(line, reply));
+    ASSERT_EQ(reply.type, MsgType::kOpened) << reply.text;
+
+    Message run;
+    run.type = MsgType::kRun;
+    run.id = 2;
+    run.session = "run-me";
+    run.n = 4;
+    ASSERT_TRUE(client->send(encode(run)));
+    ASSERT_EQ(client->recv(line, 30000), RecvStatus::kOk);
+    ASSERT_TRUE(decode(line, reply));
+    ASSERT_EQ(reply.type, MsgType::kDone) << reply.text;
+    EXPECT_EQ(reply.evals, 10u);
+
+    // In-process evaluation in handle_run matches the EvalEngine run.
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    EvalEngineOptions eopt;
+    eopt.batch_size = 4;
+    TuningHistory reference = suite::run_method_batched(
+        bench, suite::Method::kUniform, 10, 21, eopt);
+    EXPECT_EQ(reply.best, reference.best_value);
+
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    ASSERT_TRUE(client->send(encode(bye)));
+    srv.join();
+}
+
+}  // namespace
+}  // namespace baco::serve

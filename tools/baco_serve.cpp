@@ -1,0 +1,173 @@
+// baco_serve: the distributed tuning service over stdin/stdout.
+//
+// Serves the JSONL session protocol on its standard streams (compose
+// with ssh/socat for networking). Evaluation workers either run
+// in-process (--workers N), or as child processes spawned from
+// --worker-cmd (each wired through pipes) — the worked README example
+// runs `baco_serve --workers 2 --worker-cmd ./baco_worker`.
+//
+// --selftest runs the hermetic 2-worker end-to-end check (the same
+// parity contract the ctest suite enforces): a coordinator-sharded run
+// must reproduce the same-seed EvalEngine batch run bit-for-bit.
+//
+// Usage:
+//   baco_serve [--checkpoint-dir DIR] [--cache FILE]
+//              [--workers N] [--worker-cmd CMD]
+//              [--idle-timeout SECONDS]
+//   baco_serve --selftest [benchmark]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/eval_cache.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace {
+
+int
+selftest(const std::string& benchmark_name)
+{
+    using namespace baco;
+    const Benchmark& b = suite::find_benchmark(benchmark_name);
+    const int budget = 16;
+    const std::uint64_t seed = 17;
+    const int batch = 4;
+
+    EvalEngineOptions eopt;
+    eopt.batch_size = batch;
+    TuningHistory reference = suite::run_method_batched(
+        b, suite::Method::kBaco, budget, seed, eopt);
+
+    suite::DistributedOptions dopt;
+    dopt.workers = 2;
+    dopt.batch_size = batch;
+    TuningHistory distributed = suite::run_method_distributed(
+        b, suite::Method::kBaco, budget, seed, dopt);
+
+    bool ok = histories_equal(reference, distributed);
+    std::printf("baco_serve selftest: %s — %zu evals, best %.6g, "
+                "coordinator(2 workers) %s EvalEngine(batch=%d)\n",
+                b.name.c_str(), distributed.size(), distributed.best_value,
+                ok ? "==" : "!=", batch);
+    return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    using namespace baco;
+
+    std::string checkpoint_dir;
+    std::string cache_file;
+    std::string worker_cmd;
+    int workers = 0;
+    double idle_timeout = 0.0;
+    bool run_selftest = false;
+    std::string selftest_benchmark = "SDDMM/email-Enron";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--checkpoint-dir" && i + 1 < argc) {
+            checkpoint_dir = argv[++i];
+        } else if (arg == "--cache" && i + 1 < argc) {
+            cache_file = argv[++i];
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers = std::atoi(argv[++i]);
+        } else if (arg == "--worker-cmd" && i + 1 < argc) {
+            worker_cmd = argv[++i];
+        } else if (arg == "--idle-timeout" && i + 1 < argc) {
+            idle_timeout = std::atof(argv[++i]);
+        } else if (arg == "--selftest") {
+            run_selftest = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                selftest_benchmark = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--checkpoint-dir DIR] [--cache FILE] "
+                         "[--workers N] [--worker-cmd CMD] "
+                         "[--idle-timeout S] | --selftest [benchmark]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    if (run_selftest)
+        return selftest(selftest_benchmark);
+
+    EvalCache cache;
+    if (!cache_file.empty())
+        cache.load(cache_file);  // absent file = start empty
+
+    serve::SessionManagerOptions sopt;
+    sopt.checkpoint_dir = checkpoint_dir;
+    sopt.idle_timeout_seconds = idle_timeout;
+    sopt.cache = cache_file.empty() ? nullptr : &cache;
+    serve::SessionManager sessions(sopt);
+
+    // --worker-cmd implies at least one worker.
+    if (!worker_cmd.empty() && workers <= 0)
+        workers = 1;
+
+    serve::Coordinator coordinator;
+    std::vector<std::thread> worker_threads;
+    std::vector<int> worker_pids;
+    if (workers > 0) {
+        if (!worker_cmd.empty()) {
+            for (int w = 0; w < workers; ++w) {
+                serve::ChildProcess child =
+                    serve::spawn_process({worker_cmd});
+                if (!child.transport ||
+                    coordinator.add_worker(std::move(child.transport)) < 0) {
+                    std::fprintf(stderr,
+                                 "baco_serve: failed to attach worker %d "
+                                 "(%s)\n",
+                                 w, worker_cmd.c_str());
+                    return 1;
+                }
+                worker_pids.push_back(child.pid);
+            }
+        } else {
+            worker_threads =
+                serve::attach_loopback_workers(coordinator, workers);
+        }
+        std::fprintf(stderr, "baco_serve: %zu workers attached (%s)\n",
+                     coordinator.num_workers(),
+                     worker_cmd.empty() ? "in-process" : worker_cmd.c_str());
+    }
+
+    serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
+    serve::ServerContext ctx;
+    ctx.sessions = &sessions;
+    ctx.coordinator = &coordinator;
+    serve::ServeStats stats = serve_connection(stdio, ctx);
+
+    sessions.checkpoint_all();
+    coordinator.shutdown();
+    for (std::thread& t : worker_threads)
+        t.join();
+    for (int pid : worker_pids)
+        serve::wait_process(pid);
+    if (!cache_file.empty())
+        cache.save(cache_file);
+
+    std::fprintf(stderr,
+                 "baco_serve: served %llu requests (%llu errors)\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.errors));
+    return 0;
+}

@@ -1,0 +1,39 @@
+// baco_worker: a serve-protocol evaluation worker over stdin/stdout.
+//
+// Speaks JSONL frames on its standard streams, so a coordinator attaches
+// it through pipes directly (baco_serve --worker-cmd), or across hosts
+// through ssh/socat. Evaluates registry benchmarks under the
+// (seed, index)-derived noise streams, so any worker placement yields
+// identical tuning histories.
+//
+// Usage: baco_worker [--capacity N]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+
+int
+main(int argc, char** argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    baco::serve::WorkerOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
+            opt.capacity = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--capacity N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    baco::serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
+    std::uint64_t evaluated = baco::serve::run_worker_loop(stdio, opt);
+    std::fprintf(stderr, "baco_worker: %llu evaluations served\n",
+                 static_cast<unsigned long long>(evaluated));
+    return 0;
+}
