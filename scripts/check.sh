@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, test — with warnings-as-errors on the
 # src/exec/ and src/serve/ subsystems (BACO_WERROR_EXEC) — then the
-# distributed smoke test: a coordinator with 2 loopback workers must
-# reproduce the same-seed EvalEngine run end-to-end.
+# distributed smoke test (a coordinator with 2 loopback workers must
+# reproduce the same-seed EvalEngine run end-to-end, plus the async
+# fleet drive), the async utilization bench (tell-as-results-land must
+# beat the batched engine >= 1.5x on heavy-tailed delays), and a TSAN
+# (BACO_SANITIZE=thread) build of the concurrency-heavy exec + serve
+# tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,3 +16,23 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 ./build/baco_serve --selftest
+
+./build/bench_async_utilization --reps 2
+
+# ---- ThreadSanitizer pass over the exec + serve test suite. ----
+if echo 'int main(){return 0;}' | "${CXX:-c++}" -fsanitize=thread -x c++ - \
+       -o /tmp/baco_tsan_probe 2>/dev/null; then
+    rm -f /tmp/baco_tsan_probe
+    cmake -B build-tsan -S . -DBACO_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-tsan -j --target \
+          test_exec_engine test_exec_async test_exec_pool \
+          test_exec_cache test_exec_checkpoint \
+          test_serve_protocol test_serve_session \
+          test_serve_distributed test_serve_fuzz
+    (cd build-tsan && ctest --output-on-failure \
+          -R 'test_exec_(engine|async|pool|cache|checkpoint)|test_serve_(protocol|session|distributed|fuzz)' \
+          -j 4)
+else
+    echo "check.sh: thread sanitizer unavailable; skipping TSAN pass"
+fi

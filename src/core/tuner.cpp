@@ -196,9 +196,15 @@ Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
 std::vector<Configuration>
 Tuner::suggest(int n)
 {
+    return suggest_with_pending(n, {});
+}
+
+std::vector<Configuration>
+Tuner::suggest_with_pending(int n, const std::vector<Configuration>& pending)
+{
     auto t0 = Clock::now();
     State& st = state();
-    n = std::min(n, remaining());
+    n = std::min(n, remaining() - static_cast<int>(pending.size()));
     std::vector<Configuration> out;
     if (n <= 0)
         return out;
@@ -206,24 +212,34 @@ Tuner::suggest(int n)
 
     const int doe_target = std::min(opt_.doe_samples, opt_.budget);
 
-    // Constant liar: the incumbent value stands in for each pending batch
-    // member, pushing later members away from the same region.
+    // Constant liar: the incumbent value stands in for every fantasy —
+    // the in-flight evaluations handed in by an asynchronous driver and
+    // the batch members proposed so far — pushing new proposals away
+    // from the same regions.
     double lie = std::numeric_limits<double>::infinity();
     for (const Observation& o : history_.observations) {
         if (o.feasible && o.value < lie)
             lie = o.value;
     }
 
+    std::vector<Configuration> fantasies = pending;
+    // Re-marking pending as seen is a no-op mid-run (suggesting them
+    // inserted the hashes already) but repairs the dedup set after a
+    // checkpoint resume, where pending never reached the history.
+    for (const Configuration& c : pending)
+        st.seen.insert(config_hash(c));
+
     for (int k = 0; k < n; ++k) {
-        std::size_t virtual_evals = history_.size() + out.size();
+        std::size_t virtual_evals = history_.size() + fantasies.size();
         Configuration c;
         if (virtual_evals < static_cast<std::size_t>(doe_target)) {
             c = random_unique(st);
         } else {
-            c = propose(st, out, lie);
+            c = propose(st, fantasies, lie);
         }
         st.seen.insert(config_hash(c));
-        out.push_back(std::move(c));
+        out.push_back(c);
+        fantasies.push_back(std::move(c));
     }
     history_.tuner_seconds += seconds_since(t0);
     return out;

@@ -109,6 +109,13 @@ class Tuner : public AskTellBase {
    * with the incumbent value, so later members explore elsewhere.
    */
   std::vector<Configuration> suggest(int n) override;
+  /**
+   * Async ask: in-flight configurations join the constant-liar fantasy
+   * set exactly like the members of a synchronous batch, so a proposal
+   * made while evaluations are outstanding explores away from them.
+   */
+  std::vector<Configuration> suggest_with_pending(
+      int n, const std::vector<Configuration>& pending) override;
   void observe(const std::vector<Configuration>& configs,
                const std::vector<EvalResult>& results) override;
   std::string sampler_state() const override;

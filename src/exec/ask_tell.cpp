@@ -23,6 +23,18 @@ AskTellTuner::observe_one(const Configuration& c, const EvalResult& r)
     observe(std::vector<Configuration>{c}, std::vector<EvalResult>{r});
 }
 
+std::vector<Configuration>
+AskTellTuner::suggest_with_pending(int n,
+                                   const std::vector<Configuration>& pending)
+{
+    // Budget accounting only: in-flight evaluations will be observed, so
+    // they already claim part of the remaining budget.
+    int avail = remaining() - static_cast<int>(pending.size());
+    if (avail <= 0)
+        return {};
+    return suggest(std::min(n, avail));
+}
+
 bool
 AskTellTuner::restore(const TuningHistory&, const std::string&)
 {

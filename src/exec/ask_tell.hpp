@@ -54,6 +54,19 @@ class AskTellTuner {
    */
   virtual std::vector<Configuration> suggest(int n) = 0;
 
+  /**
+   * Propose up to n more configurations while `pending` — suggested
+   * earlier, still being evaluated — are in flight (the asynchronous
+   * drivers' ask). Implementations must count pending against the budget
+   * so suggested-plus-observed never exceeds it; model-based tuners
+   * additionally treat pending as constant-liar fantasies so new
+   * proposals explore away from the in-flight ones. The base
+   * implementation only does the budget accounting and forwards to
+   * suggest(). With pending empty this is exactly suggest(n).
+   */
+  virtual std::vector<Configuration> suggest_with_pending(
+      int n, const std::vector<Configuration>& pending);
+
   /** Report evaluation results, in suggest() order. */
   virtual void observe(const std::vector<Configuration>& configs,
                        const std::vector<EvalResult>& results) = 0;
@@ -137,6 +150,23 @@ class AskTellBase : public AskTellTuner {
  * bit-for-bit.
  */
 TuningHistory drive_serial(AskTellTuner& tuner, const BlackBoxFn& objective);
+
+/**
+ * One result landing in an asynchronous drive (EvalEngine::drive_async,
+ * Coordinator::drive_async), reported right after the tuner was told.
+ */
+struct AsyncEvent {
+  std::uint64_t index = 0;  ///< evaluation index (noise-stream key)
+  Configuration config;
+  EvalResult result;
+  std::size_t evals = 0;    ///< history size after this tell
+  double best = 0.0;        ///< incumbent after this tell (+inf when none)
+  double eval_seconds = 0.0;  ///< black-box wall-clock of this evaluation
+  bool from_cache = false;
+};
+
+/** Per-result callback of the asynchronous drivers (may be empty). */
+using AsyncResultFn = std::function<void(const AsyncEvent&)>;
 
 }  // namespace baco
 

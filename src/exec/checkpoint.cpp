@@ -11,6 +11,13 @@ namespace baco {
 bool
 save_checkpoint(const std::string& path, const AskTellTuner& tuner)
 {
+    return save_checkpoint(path, tuner, {});
+}
+
+bool
+save_checkpoint(const std::string& path, const AskTellTuner& tuner,
+                const std::vector<PendingEval>& pending)
+{
     std::string tmp = path + ".tmp";
     {
         std::ofstream out(tmp, std::ios::trunc);
@@ -28,6 +35,12 @@ save_checkpoint(const std::string& path, const AskTellTuner& tuner)
             out << ",\"value\":" << jsonl::fmt_double(o.value)
                 << ",\"feasible\":" << (o.feasible ? "true" : "false")
                 << "}\n";
+        }
+        for (const PendingEval& p : pending) {
+            out << "{\"type\":\"pending\",\"index\":" << p.index
+                << ",\"config\":";
+            jsonl::write_config(out, p.config);
+            out << "}\n";
         }
         out << "{\"type\":\"state\",\"rng\":\"" << tuner.sampler_state()
             << "\"}\n";
@@ -79,6 +92,19 @@ load_checkpoint(const std::string& path)
             r.value = std::strtod(value.c_str(), nullptr);
             r.feasible = feasible == "true";
             data.history.add(std::move(c), r);
+        } else if (type == "pending") {
+            PendingEval p;
+            std::string index;
+            if (!jsonl::field(line, "index", index))
+                return std::nullopt;
+            p.index = std::strtoull(index.c_str(), nullptr, 10);
+            std::size_t at = line.find("\"config\":");
+            if (at == std::string::npos)
+                return std::nullopt;
+            at += 9;
+            if (!jsonl::parse_config(line, at, p.config))
+                return std::nullopt;
+            data.pending.push_back(std::move(p));
         } else if (type == "state") {
             if (!jsonl::field(line, "rng", data.sampler_state))
                 return std::nullopt;
@@ -90,7 +116,8 @@ load_checkpoint(const std::string& path)
 }
 
 bool
-resume_from_checkpoint(const std::string& path, AskTellTuner& tuner)
+resume_from_checkpoint(const std::string& path, AskTellTuner& tuner,
+                       std::vector<PendingEval>* pending)
 {
     std::optional<CheckpointData> data = load_checkpoint(path);
     if (!data)
@@ -101,7 +128,11 @@ resume_from_checkpoint(const std::string& path, AskTellTuner& tuner)
     // uninterrupted history.
     if (data->seed != tuner.run_seed())
         return false;
-    return tuner.restore(data->history, data->sampler_state);
+    if (!tuner.restore(data->history, data->sampler_state))
+        return false;
+    if (pending)
+        *pending = std::move(data->pending);
+    return true;
 }
 
 }  // namespace baco

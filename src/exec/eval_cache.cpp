@@ -194,7 +194,7 @@ EvalCache::save(const std::string& path) const
 }
 
 bool
-EvalCache::load(const std::string& path)
+EvalCache::load(const std::string& path, std::size_t* corrupt_lines)
 {
     std::ifstream in(path);
     if (!in)
@@ -206,8 +206,11 @@ EvalCache::load(const std::string& path)
         std::string key, value, feasible;
         if (!jsonl::field(line, "key", key) ||
             !jsonl::field(line, "value", value) ||
-            !jsonl::field(line, "feasible", feasible)) {
-            return false;
+            !jsonl::field(line, "feasible", feasible) ||
+            (feasible != "true" && feasible != "false")) {
+            if (corrupt_lines)
+                ++*corrupt_lines;
+            continue;
         }
         EvalResult r;
         r.value = std::strtod(value.c_str(), nullptr);

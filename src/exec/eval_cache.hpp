@@ -89,10 +89,14 @@ class EvalCache {
   bool save(const std::string& path) const;
 
   /**
-   * Merge entries from a save()d file (existing keys win). Returns false
-   * when the file cannot be read or parsed.
+   * Merge entries from a save()d file (existing keys win). A corrupt
+   * line — truncated by a crash mid-write, or garbage appended by a
+   * faulty writer — is skipped and counted into *corrupt_lines (when
+   * non-null) instead of aborting the load: one bad line must not
+   * discard the thousands of valid compile results around it. Returns
+   * false only when the file cannot be opened.
    */
-  bool load(const std::string& path);
+  bool load(const std::string& path, std::size_t* corrupt_lines = nullptr);
 
  private:
   mutable std::mutex mutex_;

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
@@ -10,10 +15,29 @@ namespace baco {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Pool lanes for the requested options. In batch mode the caller works
+ * its own lane, so num_threads maps to lanes directly. In async mode the
+ * caller coordinates (suggest/tell) instead of evaluating, so one extra
+ * lane keeps num_threads meaning "concurrent evaluations" in both modes.
+ */
+int
+pool_lanes(const EvalEngineOptions& opt)
+{
+    if (!opt.async_mode)
+        return opt.num_threads;
+    int n = opt.num_threads > 0
+                ? opt.num_threads
+                : static_cast<int>(
+                      std::max(1u, std::thread::hardware_concurrency()));
+    return n + 1;
 }
 
+}  // namespace
+
 EvalEngine::EvalEngine(EvalEngineOptions opt)
-    : opt_(opt), pool_(opt.num_threads)
+    : opt_(opt), pool_(pool_lanes(opt))
 {
     if (opt_.batch_size < 1)
         opt_.batch_size = 1;
@@ -69,6 +93,10 @@ void
 EvalEngine::drive(AskTellTuner& tuner, const BlackBoxFn& objective,
                   int max_evals)
 {
+    if (opt_.async_mode) {
+        drive_async(tuner, objective, max_evals);
+        return;
+    }
     int done = 0;
     while (tuner.remaining() > 0 &&
            (max_evals < 0 || done < max_evals)) {
@@ -95,6 +123,188 @@ EvalEngine::run(AskTellTuner& tuner, const BlackBoxFn& objective)
 {
     drive(tuner, objective, -1);
     return tuner.take_history();
+}
+
+void
+EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
+                        int max_evals, const AsyncResultFn& on_result,
+                        std::vector<PendingEval> resume_pending)
+{
+    /** One completed evaluation, handed back from a pool worker. */
+    struct Landed {
+        std::uint64_t index = 0;
+        EvalResult result;
+        double seconds = 0.0;
+        bool from_cache = false;
+        std::exception_ptr error;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Landed> landed;
+
+    auto complete = [&](Landed l) {
+        // Notify while still holding the lock: the queue, mutex and cv
+        // live on this function's stack, and the drive loop returns as
+        // soon as it has popped the last in-flight result — an unlocked
+        // notify could touch the cv after it was destroyed.
+        std::lock_guard<std::mutex> lock(mu);
+        landed.push_back(std::move(l));
+        cv.notify_one();
+    };
+
+    // Submitted lambdas reference `complete` (and through it the queue):
+    // every dispatched evaluation MUST be awaited before returning, even
+    // when aborting on an objective exception.
+    auto dispatch = [&](const Configuration& c, std::uint64_t index) {
+        if (opt_.cache) {
+            if (auto hit = opt_.cache->lookup(opt_.cache_namespace, c)) {
+                complete(Landed{index, *hit, 0.0, true, nullptr});
+                return;
+            }
+        }
+        std::uint64_t seed = tuner.run_seed();
+        pool_.submit([&objective, &complete, c, index, seed] {
+            Landed l;
+            l.index = index;
+            RngEngine rng = eval_rng_for(seed, index);
+            auto t0 = Clock::now();
+            try {
+                l.result = objective(c, rng);
+            } catch (...) {
+                l.error = std::current_exception();
+            }
+            l.seconds =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            complete(std::move(l));
+        });
+    };
+
+    struct InFlight {
+        Configuration config;
+        std::uint64_t index = 0;
+    };
+    std::vector<InFlight> inflight;
+
+    // Evaluation indices are handed out at dispatch time, sequentially
+    // over the whole run: observed + in-flight always cover a prefix of
+    // the index space, so the next free index is their combined count.
+    std::uint64_t next_index = tuner.history().size();
+    for (PendingEval& p : resume_pending) {
+        inflight.push_back(InFlight{std::move(p.config), p.index});
+        next_index = std::max(next_index, p.index + 1);
+    }
+    next_index = std::max(
+        next_index, tuner.history().size() + resume_pending.size());
+    for (const InFlight& f : inflight)
+        dispatch(f.config, f.index);
+
+    const int slots = opt_.batch_size;
+    int told = 0;
+    std::exception_ptr error;
+
+    // Once `error` is set the loop stops suggesting and telling and only
+    // drains: it must not unwind before every dispatched evaluation has
+    // landed (see the comment above `dispatch`), and exceptions can come
+    // from the tuner, the checkpoint or the caller's callback as well as
+    // from the objective.
+    for (;;) {
+        // ---- Refill free slots (skip once aborting or capped). ----
+        try {
+            while (!error && static_cast<int>(inflight.size()) < slots &&
+                   (max_evals < 0 ||
+                    told + static_cast<int>(inflight.size()) < max_evals)) {
+                std::vector<Configuration> pending;
+                pending.reserve(inflight.size());
+                for (const InFlight& f : inflight)
+                    pending.push_back(f.config);
+                std::vector<Configuration> next =
+                    tuner.suggest_with_pending(1, pending);
+                if (next.empty())
+                    break;
+                std::uint64_t index = next_index++;
+                inflight.push_back(InFlight{std::move(next.front()), index});
+                dispatch(inflight.back().config, index);
+            }
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+        if (inflight.empty())
+            break;
+
+        // ---- Tell the next result the moment it lands. ----
+        Landed l;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return !landed.empty(); });
+            l = std::move(landed.front());
+            landed.pop_front();
+        }
+        auto it = std::find_if(
+            inflight.begin(), inflight.end(),
+            [&](const InFlight& f) { return f.index == l.index; });
+        Configuration config = std::move(it->config);
+        inflight.erase(it);
+
+        if (l.error) {
+            if (!error)
+                error = l.error;
+        }
+        if (error)
+            continue;  // aborting: drain without telling
+        try {
+            std::vector<PendingEval> still_pending;
+            if (!opt_.checkpoint_path.empty()) {
+                still_pending.reserve(inflight.size());
+                for (const InFlight& f : inflight)
+                    still_pending.push_back(PendingEval{f.index, f.config});
+            }
+            AsyncEvent ev;
+            ev.index = l.index;
+            ev.config = std::move(config);
+            ev.result = l.result;
+            ev.eval_seconds = l.seconds;
+            ev.from_cache = l.from_cache;
+            tell_async_result(tuner, std::move(ev), opt_.cache,
+                              opt_.cache_namespace, opt_.checkpoint_path,
+                              still_pending, on_result);
+            ++told;
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+TuningHistory
+EvalEngine::run_async(AskTellTuner& tuner, const BlackBoxFn& objective,
+                      const AsyncResultFn& on_result,
+                      std::vector<PendingEval> resume_pending)
+{
+    drive_async(tuner, objective, -1, on_result, std::move(resume_pending));
+    return tuner.take_history();
+}
+
+void
+tell_async_result(AskTellTuner& tuner, AsyncEvent ev, EvalCache* cache,
+                  const std::string& cache_namespace,
+                  const std::string& checkpoint_path,
+                  const std::vector<PendingEval>& still_pending,
+                  const AsyncResultFn& on_result)
+{
+    if (cache && !ev.from_cache)
+        cache->insert(cache_namespace, ev.config, ev.result);
+    tuner.observe_one(ev.config, ev.result);
+    tuner.mutable_history().eval_seconds += ev.eval_seconds;
+    if (!checkpoint_path.empty())
+        save_checkpoint(checkpoint_path, tuner, still_pending);
+    if (on_result) {
+        ev.evals = tuner.history().size();
+        ev.best = tuner.history().best_value;
+        on_result(ev);
+    }
 }
 
 }  // namespace baco

@@ -3,17 +3,30 @@
 
 /**
  * @file
- * Asynchronous batched evaluation engine.
+ * Batched and fully asynchronous evaluation engine.
  *
- * The engine drives an ask-tell tuner: ask for a batch, evaluate the batch
- * concurrently on a work-stealing pool, tell the results back, checkpoint,
- * repeat. Per-evaluation RNG streams are split deterministically from the
- * run seed (see eval_rng_for), so at batch size 1 the engine reproduces
- * the serial loop bit-for-bit and at any batch size the history is
- * independent of worker scheduling.
+ * In batch mode the engine drives an ask-tell tuner round-wise: ask for a
+ * batch, evaluate the batch concurrently on a work-stealing pool, tell
+ * the results back, checkpoint, repeat. Per-evaluation RNG streams are
+ * split deterministically from the run seed (see eval_rng_for), so at
+ * batch size 1 the engine reproduces the serial loop bit-for-bit and at
+ * any batch size the history is independent of worker scheduling.
+ *
+ * In async mode (EvalEngineOptions::async_mode) the engine never barriers
+ * on a batch: each result is told the moment it lands and the freed slot
+ * is immediately refilled via suggest_with_pending(), which keeps the
+ * in-flight evaluations as constant-liar fantasies. Compiler evaluation
+ * times vary by orders of magnitude across configurations, so this keeps
+ * every slot busy instead of idling on the slowest compile. The trade:
+ * the history order now depends on completion order, so multi-slot async
+ * runs are not bit-for-bit reproducible — but each individual result
+ * still is (its noise stream is a pure function of (seed, index)), and a
+ * single-slot async run degenerates to the serial loop exactly.
  *
  * An optional EvalCache short-circuits repeat configurations, and an
- * optional checkpoint path makes the run resumable (see checkpoint.hpp).
+ * optional checkpoint path makes the run resumable (see checkpoint.hpp);
+ * async checkpoints additionally record the in-flight evaluations so a
+ * killed run re-dispatches them on resume instead of double-telling.
  */
 
 #include <cstdint>
@@ -21,6 +34,7 @@
 #include <vector>
 
 #include "exec/ask_tell.hpp"
+#include "exec/checkpoint.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace baco {
@@ -31,8 +45,17 @@ class EvalCache;
 struct EvalEngineOptions {
   /** Worker lanes; 0 = hardware concurrency. */
   int num_threads = 0;
-  /** Configurations requested per suggest() call. */
+  /**
+   * Configurations requested per suggest() call; in async mode, the
+   * in-flight cap (how many evaluations run concurrently).
+   */
   int batch_size = 1;
+  /**
+   * Tell-as-results-land mode: drive()/run() stop barriering on batches
+   * and keep batch_size evaluations in flight at all times (see the file
+   * comment for the determinism trade-off).
+   */
+  bool async_mode = false;
   /** Optional shared evaluation cache (not owned; may be null). */
   EvalCache* cache = nullptr;
   /**
@@ -52,12 +75,34 @@ class EvalEngine {
   /**
    * Advance the tuner by at most max_evals evaluations (-1 = run to budget
    * exhaustion). Stops early only when the tuner stops suggesting.
+   * Dispatches to drive_async() when options().async_mode is set.
    */
   void drive(AskTellTuner& tuner, const BlackBoxFn& objective,
              int max_evals = -1);
 
   /** drive() to budget exhaustion, then take the finalized history. */
   TuningHistory run(AskTellTuner& tuner, const BlackBoxFn& objective);
+
+  /**
+   * Fully asynchronous drive: keep up to batch_size evaluations in
+   * flight, tell each result the moment it lands, refill the freed slot
+   * via suggest_with_pending(). on_result (optional) fires after every
+   * tell — in completion order, on the calling thread. resume_pending
+   * re-dispatches the in-flight evaluations of a killed async run under
+   * their original indices (see resume_from_checkpoint); they are drained
+   * even when max_evals is 0. Returns after telling max_evals results
+   * (-1 = budget exhaustion) with nothing left in flight; any exception
+   * — from the objective, the tuner, the checkpoint or on_result — is
+   * rethrown only after every dispatched evaluation has drained.
+   */
+  void drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
+                   int max_evals = -1, const AsyncResultFn& on_result = {},
+                   std::vector<PendingEval> resume_pending = {});
+
+  /** drive_async() to budget exhaustion, then take the history. */
+  TuningHistory run_async(AskTellTuner& tuner, const BlackBoxFn& objective,
+                          const AsyncResultFn& on_result = {},
+                          std::vector<PendingEval> resume_pending = {});
 
   /**
    * Evaluate one batch concurrently. Results are returned in input order;
@@ -76,6 +121,19 @@ class EvalEngine {
   EvalEngineOptions opt_;
   ThreadPool pool_;
 };
+
+/**
+ * The per-tell sequence shared by the asynchronous drivers (EvalEngine
+ * and the serve Coordinator): cache the result, tell the tuner, charge
+ * the black-box time, checkpoint with the still-in-flight work, then
+ * notify the caller. ev arrives with index/config/result/eval_seconds/
+ * from_cache filled; evals and best are stamped here after the tell.
+ */
+void tell_async_result(AskTellTuner& tuner, AsyncEvent ev, EvalCache* cache,
+                       const std::string& cache_namespace,
+                       const std::string& checkpoint_path,
+                       const std::vector<PendingEval>& still_pending,
+                       const AsyncResultFn& on_result);
 
 }  // namespace baco
 

@@ -14,8 +14,23 @@ ThreadPool::ThreadPool(int num_threads)
     for (int i = 0; i < num_threads; ++i)
         queues_.push_back(std::make_unique<WorkerQueue>());
     // Lane 0 is the caller's; spawn workers for the rest.
-    for (std::size_t id = 1; id < queues_.size(); ++id)
-        workers_.emplace_back([this, id] { worker_loop(id); });
+    for (std::size_t id = 1; id < queues_.size(); ++id) {
+        try {
+            workers_.emplace_back([this, id] { worker_loop(id); });
+        } catch (...) {
+            // Thread creation failed (e.g. absurd num_threads): join the
+            // workers already spawned before rethrowing — leaving them
+            // joinable would std::terminate in the vector's destructor.
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                stop_ = true;
+            }
+            work_cv_.notify_all();
+            for (std::thread& t : workers_)
+                t.join();
+            throw;
+        }
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -27,6 +42,10 @@ ThreadPool::~ThreadPool()
     work_cv_.notify_all();
     for (std::thread& t : workers_)
         t.join();
+    // A pool without workers (size 1) may still hold queued submits when
+    // the submitter raced destruction; drain them here like a worker would.
+    while (auto task = take(0))
+        execute(task);
 }
 
 std::function<void()>
@@ -64,12 +83,24 @@ ThreadPool::finish_one()
 }
 
 void
+ThreadPool::execute(std::function<void()>& task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (!first_error_)
+            first_error_ = std::current_exception();
+    }
+    finish_one();
+}
+
+void
 ThreadPool::worker_loop(std::size_t id)
 {
     for (;;) {
         if (auto task = take(id)) {
-            task();
-            finish_one();
+            execute(task);
             continue;
         }
         std::unique_lock<std::mutex> lock(state_mutex_);
@@ -85,8 +116,26 @@ ThreadPool::worker_loop(std::size_t id)
             }
             return false;
         });
-        if (stop_)
+        if (stop_) {
+            lock.unlock();
+            // Drain queued work on shutdown instead of dropping it: a
+            // destructor racing pending submits still runs every task.
+            while (auto task = take(id))
+                execute(task);
             return;
+        }
+    }
+}
+
+void
+ThreadPool::drain_and_rethrow(std::unique_lock<std::mutex>& lock)
+{
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error;
+        std::swap(error, first_error_);
+        lock.unlock();
+        std::rethrow_exception(error);
     }
 }
 
@@ -109,12 +158,43 @@ ThreadPool::run(std::vector<std::function<void()>> tasks)
     }
 
     // The caller works its own lane and steals like any worker.
-    while (auto task = take(0)) {
-        task();
-        finish_one();
-    }
+    while (auto task = take(0))
+        execute(task);
     std::unique_lock<std::mutex> lock(state_mutex_);
-    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    drain_and_rethrow(lock);
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        // No worker threads to hand off to: run inline so the task still
+        // executes exactly once (and a single-lane pipeline stays serial).
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++outstanding_;
+        }
+        execute(task);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++outstanding_;
+        // Deal across the worker-owned lanes (1..); lane 0 has no thread
+        // behind it in submit mode, though idle workers would steal from it.
+        std::size_t lane = 1 + (submit_rr_++ % workers_.size());
+        WorkerQueue& q = *queues_[lane];
+        std::lock_guard<std::mutex> qlock(q.mutex);
+        q.tasks.push_back(std::move(task));
+    }
+    work_cv_.notify_all();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    drain_and_rethrow(lock);
 }
 
 }  // namespace baco

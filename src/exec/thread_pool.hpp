@@ -11,10 +11,20 @@
  * back of a victim's when theirs drains. The calling thread participates
  * in the work, so a pool of size 1 degenerates to an inline loop and adds
  * no scheduling nondeterminism to single-threaded runs.
+ *
+ * Besides the barrier-style run(), the pool supports fire-and-forget
+ * submit() for asynchronous pipelines (the EvalEngine's async mode):
+ * submitted tasks run on the worker threads while the caller keeps going,
+ * and wait_idle() blocks until everything outstanding has drained.
+ *
+ * Exceptions thrown by tasks are captured (never std::terminate): the
+ * first one is rethrown by the next run() or wait_idle() call, after the
+ * outstanding work has drained.
  */
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -39,9 +49,26 @@ class ThreadPool {
   /**
    * Run all tasks to completion. The calling thread executes tasks too and
    * returns only when every task has finished. Tasks must not call run()
-   * on the same pool.
+   * on the same pool. Rethrows the first exception any task threw.
    */
   void run(std::vector<std::function<void()>> tasks);
+
+  /**
+   * Enqueue one task for asynchronous execution and return immediately;
+   * the calling thread does not participate. With no worker threads (a
+   * pool of size 1) the task runs inline before submit() returns, so a
+   * single-lane pipeline stays strictly sequential. Thread-safe.
+   *
+   * Destroying the pool with submitted work still queued drains it
+   * (every task runs before the workers join) rather than dropping it.
+   */
+  void submit(std::function<void()> task);
+
+  /**
+   * Block until every outstanding task (run() batches and submit()s) has
+   * finished. Rethrows the first exception any task threw.
+   */
+  void wait_idle();
 
  private:
   struct WorkerQueue {
@@ -51,8 +78,12 @@ class ThreadPool {
 
   /** Pop from our own queue, else steal; empty function when none left. */
   std::function<void()> take(std::size_t self);
+  /** Run one task, capturing its exception, and retire it. */
+  void execute(std::function<void()>& task);
   void worker_loop(std::size_t id);
   void finish_one();
+  /** Wait for outstanding_ == 0, then surface any captured exception. */
+  void drain_and_rethrow(std::unique_lock<std::mutex>& lock);
 
   // queues_[0] belongs to the calling thread; workers own the rest.
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
@@ -63,6 +94,8 @@ class ThreadPool {
   std::condition_variable done_cv_;   ///< wakes run() when a batch drains
   int outstanding_ = 0;               ///< submitted but unfinished tasks
   bool stop_ = false;
+  std::size_t submit_rr_ = 0;         ///< round-robin lane for submit()
+  std::exception_ptr first_error_;    ///< first exception a task threw
 };
 
 }  // namespace baco

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
+#include "exec/eval_engine.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 
@@ -366,6 +368,239 @@ TuningHistory
 Coordinator::run(AskTellTuner& tuner, const BatchSpec& spec, int batch_size)
 {
     drive(tuner, spec, batch_size, -1);
+    return tuner.take_history();
+}
+
+void
+Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
+                         int slots, int max_evals,
+                         const std::string& checkpoint_path,
+                         const AsyncResultFn& on_result,
+                         std::vector<PendingEval> resume_pending)
+{
+    if (slots < 1)
+        slots = 1;
+
+    /** One in-flight evaluation, keyed by its evaluation index. */
+    struct AsyncTask {
+      Configuration config;
+      bool queued = true;  ///< awaiting (re-)dispatch to a worker
+      int errors = 0;
+      std::vector<std::size_t> live_on;  ///< workers with a dispatch out
+      Clock::time_point last_sent;
+    };
+    std::map<std::uint64_t, AsyncTask> active;
+    std::unordered_map<std::uint64_t, std::uint64_t> id_to_index;
+    int told = 0;
+
+    // Indices are dealt sequentially over the run: observed + in-flight
+    // always cover a prefix of the index space.
+    std::uint64_t next_index = tuner.history().size();
+    for (PendingEval& p : resume_pending) {
+        AsyncTask t;
+        t.config = std::move(p.config);
+        next_index = std::max(next_index, p.index + 1);
+        active.emplace(p.index, std::move(t));
+    }
+    next_index =
+        std::max(next_index, tuner.history().size() + active.size());
+
+    // Observe one landed result: cache it, tell the tuner, checkpoint
+    // the run with the work still in flight, notify the caller — the
+    // same per-tell sequence as EvalEngine's async drive.
+    auto tell = [&](std::uint64_t index, Configuration config,
+                    const EvalResult& r, double seconds, bool from_cache) {
+        std::vector<PendingEval> still_pending;
+        if (!checkpoint_path.empty()) {
+            still_pending.reserve(active.size());
+            for (const auto& [i, t] : active)
+                still_pending.push_back(PendingEval{i, t.config});
+        }
+        AsyncEvent ev;
+        ev.index = index;
+        ev.config = std::move(config);
+        ev.result = r;
+        ev.eval_seconds = seconds;
+        ev.from_cache = from_cache;
+        tell_async_result(tuner, std::move(ev), spec.cache,
+                          spec.cache_namespace, checkpoint_path,
+                          still_pending, on_result);
+        ++told;
+    };
+
+    auto mark_dead = [&](std::size_t w) {
+        workers_[w]->alive = false;
+        workers_[w]->inflight = 0;
+        workers_[w]->outstanding.clear();
+        workers_[w]->transport->close();
+        for (auto& [index, t] : active) {
+            t.live_on.erase(
+                std::remove(t.live_on.begin(), t.live_on.end(), w),
+                t.live_on.end());
+            if (t.live_on.empty())
+                t.queued = true;
+        }
+    };
+
+    auto send_task = [&](std::size_t w, std::uint64_t index) -> bool {
+        AsyncTask& t = active.at(index);
+        Message m;
+        m.type = MsgType::kEvaluate;
+        m.id = next_msg_id_++;
+        m.benchmark = spec.benchmark;
+        m.seed = spec.run_seed;
+        m.index = index;
+        m.config = t.config;
+        if (!workers_[w]->transport->send(encode(m))) {
+            mark_dead(w);
+            return false;
+        }
+        workers_[w]->inflight += 1;
+        workers_[w]->outstanding.insert(m.id);
+        id_to_index[m.id] = index;
+        t.live_on.push_back(w);
+        t.queued = false;
+        t.last_sent = Clock::now();
+        return true;
+    };
+
+    for (;;) {
+        // ---- Refill free slots from the tuner (never barrier). ----
+        while (static_cast<int>(active.size()) < slots &&
+               (max_evals < 0 ||
+                told + static_cast<int>(active.size()) < max_evals)) {
+            std::vector<Configuration> pending;
+            pending.reserve(active.size());
+            for (const auto& [index, t] : active)
+                pending.push_back(t.config);
+            std::vector<Configuration> next =
+                tuner.suggest_with_pending(1, pending);
+            if (next.empty())
+                break;
+            Configuration config = std::move(next.front());
+            std::uint64_t index = next_index++;
+            if (spec.cache) {
+                if (auto hit =
+                        spec.cache->lookup(spec.cache_namespace, config)) {
+                    // A cache hit lands instantly; its slot never opens.
+                    tell(index, std::move(config), *hit, 0.0, true);
+                    continue;
+                }
+            }
+            AsyncTask t;
+            t.config = std::move(config);
+            active.emplace(index, std::move(t));
+        }
+        if (active.empty())
+            break;
+
+        // ---- Assign queued tasks under per-worker backpressure. ----
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            Worker& wk = *workers_[w];
+            if (!wk.alive)
+                continue;
+            for (auto& [index, t] : active) {
+                if (wk.inflight >= wk.capacity || !wk.alive)
+                    break;
+                if (t.queued)
+                    send_task(w, index);
+            }
+        }
+        if (num_workers() == 0)
+            throw std::runtime_error("coordinator: no live workers remain");
+
+        // ---- Drain arrivals; tell each one the moment it lands. ----
+        bool received = false;
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            Worker& wk = *workers_[w];
+            if (!wk.alive || wk.inflight == 0)
+                continue;
+            int timeout = received ? 0 : opt_.poll_ms;
+            for (;;) {
+                std::string line;
+                RecvStatus rs = wk.transport->recv(line, timeout);
+                if (rs == RecvStatus::kTimeout)
+                    break;
+                if (rs == RecvStatus::kClosed) {
+                    mark_dead(w);
+                    break;
+                }
+                received = true;
+                timeout = 0;  // drain without blocking
+                Message reply;
+                if (!decode(line, reply)) {
+                    // Same policy as evaluate_batch: an undecodable
+                    // frame marks the worker dead, re-queueing its work.
+                    mark_dead(w);
+                    break;
+                }
+                auto out_it = wk.outstanding.find(reply.id);
+                if (out_it == wk.outstanding.end()) {
+                    mark_dead(w);
+                    break;
+                }
+                wk.outstanding.erase(out_it);
+                wk.inflight = std::max(0, wk.inflight - 1);
+                auto map_it = id_to_index.find(reply.id);
+                if (map_it == id_to_index.end())
+                    continue;  // late reply from an earlier drive: benign
+                std::uint64_t index = map_it->second;
+                id_to_index.erase(map_it);
+                auto task_it = active.find(index);
+                if (task_it == active.end())
+                    continue;  // straggler duplicate; first result won
+                AsyncTask& t = task_it->second;
+                t.live_on.erase(
+                    std::remove(t.live_on.begin(), t.live_on.end(), w),
+                    t.live_on.end());
+                if (reply.type == MsgType::kResult) {
+                    Configuration config = std::move(t.config);
+                    active.erase(task_it);
+                    tell(index, std::move(config),
+                         EvalResult{reply.value, reply.feasible},
+                         reply.eval_seconds, false);
+                } else {
+                    t.errors += 1;
+                    if (t.errors >= kMaxTaskErrors) {
+                        throw std::runtime_error(
+                            "coordinator: evaluation failed: " + reply.text);
+                    }
+                    if (t.live_on.empty())
+                        t.queued = true;
+                }
+            }
+        }
+
+        // ---- Straggler re-dispatch. ----
+        if (opt_.straggler_ms > 0) {
+            auto now = Clock::now();
+            for (auto& [index, t] : active) {
+                if (t.queued || t.live_on.empty())
+                    continue;
+                auto age = std::chrono::duration_cast<
+                               std::chrono::milliseconds>(now - t.last_sent)
+                               .count();
+                if (age < opt_.straggler_ms)
+                    continue;
+                for (std::size_t w = 0; w < workers_.size(); ++w) {
+                    Worker& wk = *workers_[w];
+                    bool already = std::find(t.live_on.begin(),
+                                             t.live_on.end(),
+                                             w) != t.live_on.end();
+                    if (!wk.alive || already || wk.inflight >= wk.capacity)
+                        continue;
+                    send_task(w, index);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+TuningHistory
+Coordinator::run_async(AskTellTuner& tuner, const BatchSpec& spec, int slots)
+{
+    drive_async(tuner, spec, slots, -1);
     return tuner.take_history();
 }
 

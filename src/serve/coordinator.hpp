@@ -23,6 +23,14 @@
  * wins — duplicates are harmless because evaluation is deterministic),
  * and dead-worker recovery (tasks whose only live dispatch was on a
  * closed transport are re-queued).
+ *
+ * drive_async() is the tell-as-results-land counterpart of drive(): the
+ * fleet never barriers on a full batch — each result frame is told to
+ * the tuner the moment it arrives and the freed slot is refilled via
+ * suggest_with_pending(), so a straggling compile on one worker never
+ * idles the rest of the fleet. Same determinism trade as
+ * EvalEngine::drive_async: per-result reproducibility, but multi-slot
+ * history order depends on arrival order.
  */
 
 #include <cstdint>
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "exec/ask_tell.hpp"
+#include "exec/checkpoint.hpp"
 
 namespace baco {
 class EvalCache;
@@ -107,6 +116,26 @@ class Coordinator {
   /** drive() to budget exhaustion, then take the finalized history. */
   TuningHistory run(AskTellTuner& tuner, const BatchSpec& spec,
                     int batch_size);
+
+  /**
+   * Fully asynchronous drive: keep up to `slots` evaluations in flight
+   * across the fleet (per-worker capacity still applies), tell each
+   * result as it arrives, refill freed slots via suggest_with_pending().
+   * Checkpoints (when checkpoint_path is nonempty) record the in-flight
+   * evaluations; resume_pending re-dispatches those of a killed run.
+   * on_result (optional) fires after every tell, in arrival order.
+   * @throws std::runtime_error when no live worker remains or an
+   * evaluation keeps failing.
+   */
+  void drive_async(AskTellTuner& tuner, const BatchSpec& spec, int slots,
+                   int max_evals = -1,
+                   const std::string& checkpoint_path = {},
+                   const AsyncResultFn& on_result = {},
+                   std::vector<PendingEval> resume_pending = {});
+
+  /** drive_async() to budget exhaustion, then take the history. */
+  TuningHistory run_async(AskTellTuner& tuner, const BatchSpec& spec,
+                          int slots);
 
   /** Send shutdown to every live worker and close the transports. */
   void shutdown();

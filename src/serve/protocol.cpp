@@ -334,6 +334,7 @@ encode(const Message& m)
         emit_str(out, "session", m.session);
         emit_int(out, "n", m.n);
         emit_int(out, "budget", m.budget);
+        emit_bool(out, "async", m.async);
         break;
       case MsgType::kDone:
         emit_u64(out, "id", m.id);
@@ -350,9 +351,14 @@ encode(const Message& m)
         break;
       case MsgType::kResult:
         emit_u64(out, "id", m.id);
+        emit_u64(out, "index", m.index);
         emit_double(out, "value", m.value);
         emit_bool(out, "feasible", m.feasible);
         emit_double(out, "eval_seconds", m.eval_seconds);
+        // Streaming-progress fields (async server-side runs); harmless
+        // extras on coordinator<->worker replies.
+        emit_u64(out, "evals", m.evals);
+        emit_double(out, "best", m.best);
         break;
       case MsgType::kShutdown:
         break;
@@ -369,8 +375,8 @@ bool
 decode(const std::string& line, Message& out, std::string* error)
 {
     out = Message{};
-    if (line.empty() || line.front() != '{')
-        return fail(error, "frame is not a JSON object");
+    if (line.empty() || line.front() != '{' || line.back() != '}')
+        return fail(error, "frame is not a complete JSON object");
     std::string type;
     if (!jsonl::field(line, "type", type))
         return fail(error, "frame has no type field");
@@ -464,6 +470,7 @@ decode(const std::string& line, Message& out, std::string* error)
             return fail(error, "run without session name");
         read_int(line, "n", out.n);
         read_int(line, "budget", out.budget);
+        read_bool(line, "async", out.async);
         return true;
     }
     if (type == "done") {
@@ -495,6 +502,9 @@ decode(const std::string& line, Message& out, std::string* error)
         if (!read_bool(line, "feasible", out.feasible))
             return fail(error, "result without feasibility");
         read_double(line, "eval_seconds", out.eval_seconds);
+        read_u64(line, "index", out.index);
+        read_u64(line, "evals", out.evals);
+        read_double(line, "best", out.best);
         return true;
     }
     if (type == "shutdown") {

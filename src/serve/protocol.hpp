@@ -19,7 +19,12 @@
  *   checkpoint -> ok           force a crash-safe checkpoint to disk
  *   close -> ok                checkpoint (if enabled) and drop a session
  *   run -> done                server-side drive loop (sharded over the
- *                              coordinator's workers when attached)
+ *                              coordinator's workers when attached); with
+ *                              "async":true the server drives the session
+ *                              tell-as-results-land and STREAMS one
+ *                              result frame per landed evaluation
+ *                              (index/value/feasible/evals/best) before
+ *                              the final done frame
  *   shutdown                   end the connection's serve loop
  *
  * Evaluation messages (coordinator <-> worker):
@@ -99,9 +104,11 @@ struct Message {
 
   bool resume = false;   ///< open_session: resume from checkpoint if present
   bool resumed = false;  ///< opened: whether a checkpoint was restored
+  bool async = false;    ///< run: drive asynchronously, stream result frames
 
   std::uint64_t seed = 0;   ///< open_session/evaluate: run seed
-  std::uint64_t index = 0;  ///< evaluate: evaluation index; configs: first
+  std::uint64_t index = 0;  ///< evaluate/result: evaluation index;
+                            ///< configs: first index of the batch
   std::uint64_t evals = 0;  ///< responses: history size so far
 
   double value = 0.0;   ///< result: measured objective
@@ -119,7 +126,10 @@ std::string encode(const Message& m);
 
 /**
  * Parse one frame. Returns false on a malformed frame or unknown type,
- * with a diagnostic in *error (when non-null). Never throws.
+ * with a diagnostic in *error (when non-null). Strict about framing: the
+ * line must be one complete JSON object ('{' ... '}'), so a truncated
+ * frame — a crash mid-write, a cut pipe — is rejected rather than parsed
+ * as a shorter valid message. Never throws.
  */
 bool decode(const std::string& line, Message& out,
             std::string* error = nullptr);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/eval_cache.hpp"
+#include "exec/eval_engine.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
@@ -13,6 +14,88 @@
 namespace baco::serve {
 
 namespace {
+
+/**
+ * Async server-side drive of one session: tell-as-results-land over the
+ * coordinator's fleet (or the in-process EvalEngine without workers),
+ * streaming one result frame per landed evaluation to the client.
+ */
+Message
+handle_run_async(const Message& req, const ServerContext& ctx,
+                 Transport& stream)
+{
+    // The request's n is the in-flight cap AND (without workers) the
+    // engine's thread count — clamp the client-supplied value so one
+    // frame cannot make the server spawn an unbounded thread fleet.
+    constexpr int kMaxAsyncSlots = 64;
+    const int slots = std::clamp(
+        req.n > 0 ? req.n : std::max(1, ctx.async_slots), 1,
+        kMaxAsyncSlots);
+    const int max_evals = req.budget > 0 ? req.budget : -1;
+    bool sharded = ctx.coordinator && ctx.coordinator->num_workers() > 0;
+
+    Message done;
+    done.type = MsgType::kDone;
+    done.id = req.id;
+
+    AsyncResultFn progress = [&](const AsyncEvent& ev) {
+        Message frame;
+        frame.type = MsgType::kResult;
+        frame.id = req.id;
+        frame.index = ev.index;
+        frame.value = ev.result.value;
+        frame.feasible = ev.result.feasible;
+        frame.eval_seconds = ev.eval_seconds;
+        frame.evals = ev.evals;
+        frame.best = ev.best;
+        if (!stream.send(encode(frame))) {
+            // The client is gone: abort the drive instead of burning
+            // the session's remaining budget into a dead pipe. (The
+            // engine drains its in-flight work before rethrowing; the
+            // coordinator absorbs late worker replies as benign.)
+            throw std::runtime_error(
+                "client disconnected during async run");
+        }
+        done.evals = ev.evals;
+        done.best = ev.best;
+    };
+
+    bool drove = ctx.sessions->with_tuner(
+        req.session,
+        [&](AskTellTuner& tuner, const SessionInfo& info,
+            const std::string& checkpoint) {
+            done.evals = info.evals;
+            done.best = info.best;
+            if (sharded) {
+                BatchSpec spec;
+                spec.benchmark = info.benchmark;
+                spec.run_seed = info.seed;
+                spec.cache = ctx.sessions->cache();
+                spec.cache_namespace = info.cache_namespace;
+                ctx.coordinator->drive_async(tuner, spec, slots, max_evals,
+                                             checkpoint, progress);
+            } else {
+                const Benchmark& bench =
+                    suite::find_benchmark(info.benchmark);
+                EvalEngineOptions eopt;
+                eopt.num_threads = slots;
+                eopt.batch_size = slots;
+                eopt.async_mode = true;
+                eopt.cache = ctx.sessions->cache();
+                eopt.cache_namespace = info.cache_namespace;
+                eopt.checkpoint_path = checkpoint;
+                EvalEngine engine(eopt);
+                engine.drive_async(tuner, bench.evaluate, max_evals,
+                                   progress);
+            }
+        });
+    if (!drove) {
+        return make_error(req.id,
+                          "no such session (or a batch is outstanding): " +
+                              req.session);
+    }
+    return done;
+}
 
 /**
  * Server-side drive of one session: suggest, evaluate (sharded over the
@@ -165,7 +248,9 @@ serve_connection(Transport& transport, const ServerContext& ctx)
         Message reply;
         if (req.type == MsgType::kRun) {
             try {
-                reply = handle_run(req, ctx);
+                reply = (req.async || ctx.async_runs)
+                            ? handle_run_async(req, ctx, transport)
+                            : handle_run(req, ctx);
             } catch (const std::exception& e) {
                 reply = make_error(req.id, e.what());
             }

@@ -13,6 +13,14 @@
  * sharding every batch over the coordinator's workers when any are
  * attached and evaluating in-process otherwise — the same
  * (seed, index)-derived noise streams either way.
+ *
+ * A run request with "async":true (or a server started with async runs
+ * forced on) is driven tell-as-results-land instead: evaluations stream
+ * through Coordinator::drive_async (or the EvalEngine's async mode when
+ * no workers are attached) and the server emits one result frame per
+ * landed evaluation — index, value, feasibility, history size and
+ * incumbent — before the final done frame, so the client watches the
+ * run progress instead of waiting out the slowest compile.
  */
 
 #include <cstdint>
@@ -29,6 +37,10 @@ struct ServerContext {
   SessionManager* sessions = nullptr;
   /** Optional worker fleet for server-side run requests (not owned). */
   Coordinator* coordinator = nullptr;
+  /** Treat every run request as async (baco_serve --async). */
+  bool async_runs = false;
+  /** In-flight cap of an async run when the request's n is 0. */
+  int async_slots = 4;
 };
 
 /** Connection counters, for logs and tests. */

@@ -325,6 +325,32 @@ SessionManager::info(const std::string& name) const
     return out;
 }
 
+bool
+SessionManager::with_tuner(
+    const std::string& name,
+    const std::function<void(AskTellTuner&, const SessionInfo&,
+                             const std::string&)>& fn)
+{
+    std::shared_ptr<Session> session = find(name);
+    if (!session)
+        return false;
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (!session->pending.empty())
+        return false;
+    session->last_touch = Clock::now();
+    SessionInfo info;
+    info.name = session->name;
+    info.benchmark = session->benchmark->name;
+    info.cache_namespace = session->cache_namespace;
+    info.seed = session->tuner->run_seed();
+    info.evals = session->tuner->history().size();
+    info.budget = session->budget;
+    info.best = session->tuner->history().best_value;
+    fn(*session->tuner, info, checkpoint_path(name));
+    session->last_touch = Clock::now();
+    return true;
+}
+
 std::size_t
 SessionManager::size() const
 {

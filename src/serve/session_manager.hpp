@@ -32,6 +32,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -91,6 +92,21 @@ class SessionManager {
 
   /** Snapshot of a live session; nullopt when absent. */
   std::optional<SessionInfo> info(const std::string& name) const;
+
+  /**
+   * Lock session `name` and run fn(tuner, info, checkpoint_path) against
+   * its ask-tell tuner directly — the access the server's async run path
+   * needs to drive tell-as-results-land (the frame-level suggest/observe
+   * exchange is inherently batch-shaped). The session stays locked for
+   * fn's whole duration, so concurrent requests for it queue up behind
+   * the drive. Returns false — without invoking fn — when the session is
+   * absent or has a suggested-but-unobserved protocol batch (an async
+   * drive may not interleave with a frame-level exchange).
+   */
+  bool with_tuner(
+      const std::string& name,
+      const std::function<void(AskTellTuner&, const SessionInfo&,
+                               const std::string&)>& fn);
 
   /** Number of live sessions. */
   std::size_t size() const;

@@ -65,6 +65,7 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
         Message reply;
         reply.type = MsgType::kResult;
         reply.id = req.id;
+        reply.index = req.index;  // lets observers correlate by evaluation
         try {
             const Benchmark& b = suite::find_benchmark(req.benchmark);
             double seconds = 0.0;

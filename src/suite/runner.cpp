@@ -133,6 +133,22 @@ run_method_batched(const Benchmark& b, Method m, int budget,
 }
 
 TuningHistory
+run_method_async(const Benchmark& b, Method m, int budget,
+                 std::uint64_t seed, const EvalEngineOptions& exec,
+                 const SpaceVariant& variant)
+{
+    std::shared_ptr<SearchSpace> space = b.make_space(variant);
+    std::unique_ptr<AskTellTuner> tuner =
+        make_ask_tell(*space, m, budget, b.doe_samples, seed);
+    EvalEngineOptions eopt = exec;
+    eopt.async_mode = true;
+    if (eopt.cache && eopt.cache_namespace.empty())
+        eopt.cache_namespace = EvalCache::namespace_key(b.name, *space);
+    EvalEngine engine(eopt);
+    return engine.run_async(*tuner, b.evaluate);
+}
+
+TuningHistory
 run_baco_custom(const Benchmark& b, TunerOptions opt,
                 const SpaceVariant& variant)
 {
@@ -168,8 +184,13 @@ run_method_distributed(const Benchmark& b, Method m, int budget,
 
     TuningHistory history;
     try {
-        coordinator.drive(*tuner, spec, opt.batch_size, -1,
-                          opt.checkpoint_path);
+        if (opt.async) {
+            coordinator.drive_async(*tuner, spec, opt.batch_size, -1,
+                                    opt.checkpoint_path);
+        } else {
+            coordinator.drive(*tuner, spec, opt.batch_size, -1,
+                              opt.checkpoint_path);
+        }
         history = tuner->take_history();
     } catch (...) {
         coordinator.shutdown();

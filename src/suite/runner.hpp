@@ -68,6 +68,18 @@ TuningHistory run_method_batched(const Benchmark& b, Method m, int budget,
                                  const EvalEngineOptions& exec,
                                  const SpaceVariant& variant = SpaceVariant{});
 
+/**
+ * Run one method once through the EvalEngine's tell-as-results-land
+ * async mode (exec.async_mode is forced on; exec.batch_size is the
+ * in-flight cap). At batch_size 1 this still matches run_method
+ * bit-for-bit; larger caps trade history-order reproducibility for
+ * utilization — no slot ever idles on a straggling evaluation.
+ */
+TuningHistory run_method_async(const Benchmark& b, Method m, int budget,
+                               std::uint64_t seed,
+                               const EvalEngineOptions& exec,
+                               const SpaceVariant& variant = SpaceVariant{});
+
 /** Run BaCO with fully custom options (ablation studies). */
 TuningHistory run_baco_custom(const Benchmark& b, TunerOptions opt,
                               const SpaceVariant& variant = SpaceVariant{});
@@ -76,8 +88,12 @@ TuningHistory run_baco_custom(const Benchmark& b, TunerOptions opt,
 struct DistributedOptions {
   /** In-process loopback evaluation workers to spawn. */
   int workers = 2;
-  /** Configurations per suggest() round (constant-liar sharded batch). */
+  /** Configurations per suggest() round (constant-liar sharded batch);
+   *  in async mode, the fleet-wide in-flight cap. */
   int batch_size = 4;
+  /** Drive tell-as-results-land (Coordinator::drive_async) instead of
+   *  barriering on each sharded batch. */
+  bool async = false;
   /** Per-worker in-flight cap (coordinator backpressure). */
   int max_inflight_per_worker = 2;
   /** Straggler re-dispatch deadline in ms; <= 0 disables. */

@@ -1,0 +1,475 @@
+// The fully asynchronous (tell-as-results-land) evaluation mode:
+// adversarial per-config delay schedules, slot-utilization and
+// every-config-told invariants, single-slot bit-for-bit determinism,
+// kill/resume with in-flight evaluations, cache interaction and
+// objective-exception draining.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "baselines/random_search.hpp"
+#include "core/tuner.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/eval_cache.hpp"
+#include "exec/eval_engine.hpp"
+#include "suite/registry.hpp"
+#include "suite/runner.hpp"
+
+namespace baco {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+SearchSpace
+synthetic_space()
+{
+    SearchSpace s;
+    s.add_ordinal("tile", {2, 4, 8, 16, 32, 64, 128, 256}, true);
+    s.add_categorical("mode", {"a", "b"});
+    s.add_ordinal("unroll", {1, 2, 4, 8}, true);
+    s.add_constraint("unroll <= tile");
+    return s;
+}
+
+EvalResult
+synthetic_eval(const Configuration& c, RngEngine& rng)
+{
+    double tile = static_cast<double>(as_int(c[0]));
+    bool mode_b = as_int(c[1]) == 1;
+    double unroll = static_cast<double>(as_int(c[2]));
+    double v = 1.0 + std::pow(std::log2(tile / 32.0), 2) +
+               (mode_b ? 0.0 : 1.5) +
+               0.5 * std::pow(std::log2(unroll / 4.0), 2);
+    return EvalResult{v * rng.lognormal_factor(0.05), true};
+}
+
+/** Multiset of configuration hashes in a history. */
+std::map<std::size_t, int>
+config_multiset(const TuningHistory& h)
+{
+    std::map<std::size_t, int> m;
+    for (const Observation& o : h.observations)
+        m[config_hash(o.config)] += 1;
+    return m;
+}
+
+TEST(AsyncEngine, SingleSlotMatchesSerialBitForBit)
+{
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 24;
+    opt.doe_samples = 8;
+    opt.seed = 42;
+
+    TuningHistory serial = Tuner(s, opt).run(synthetic_eval);
+
+    Tuner tuner(s, opt);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 3;
+    eopt.batch_size = 1;  // one slot: async degenerates to the serial loop
+    eopt.async_mode = true;
+    TuningHistory async = EvalEngine(eopt).run(tuner, synthetic_eval);
+
+    ASSERT_EQ(serial.size(), async.size());
+    EXPECT_TRUE(histories_equal(serial, async));
+    EXPECT_EQ(serial.best_value, async.best_value);
+}
+
+TEST(AsyncEngine, MultiSlotHistoryIsPermutationOfSerialForSampling)
+{
+    // A sampling tuner draws the identical configuration sequence no
+    // matter how asks are sliced, and indices are dealt in suggestion
+    // order — so the async history must be a permutation of the serial
+    // one, with the identical best.
+    SearchSpace s = synthetic_space();
+    RandomSearchOptions opt;
+    opt.budget = 30;
+    opt.seed = 9;
+
+    RandomSearchTuner serial_tuner(s, opt, /*biased_walk=*/false);
+    TuningHistory serial = drive_serial(serial_tuner, synthetic_eval);
+
+    RandomSearchTuner async_tuner(s, opt, /*biased_walk=*/false);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    TuningHistory async = EvalEngine(eopt).run(async_tuner, synthetic_eval);
+
+    ASSERT_EQ(serial.size(), async.size());
+    EXPECT_EQ(config_multiset(serial), config_multiset(async));
+    EXPECT_EQ(serial.best_value, async.best_value);
+}
+
+/**
+ * Records every configuration handed out and every configuration told
+ * back, to pin the "every suggested config is eventually observed"
+ * invariant through arbitrary completion orders.
+ */
+class AuditingTuner : public AskTellTuner {
+ public:
+  explicit AuditingTuner(AskTellTuner& inner) : inner_(inner) {}
+
+  std::vector<Configuration>
+  suggest(int n) override
+  {
+      return record(inner_.suggest(n));
+  }
+  std::vector<Configuration>
+  suggest_with_pending(int n,
+                       const std::vector<Configuration>& pending) override
+  {
+      return record(inner_.suggest_with_pending(n, pending));
+  }
+  void
+  observe(const std::vector<Configuration>& configs,
+          const std::vector<EvalResult>& results) override
+  {
+      for (const Configuration& c : configs)
+          observed_[config_hash(c)] += 1;
+      inner_.observe(configs, results);
+  }
+  int remaining() const override { return inner_.remaining(); }
+  std::uint64_t run_seed() const override { return inner_.run_seed(); }
+  const TuningHistory& history() const override { return inner_.history(); }
+  TuningHistory& mutable_history() override
+  {
+      return inner_.mutable_history();
+  }
+  TuningHistory take_history() override { return inner_.take_history(); }
+
+  const std::map<std::size_t, int>& suggested() const { return suggested_; }
+  const std::map<std::size_t, int>& observed() const { return observed_; }
+
+ private:
+  std::vector<Configuration>
+  record(std::vector<Configuration> out)
+  {
+      for (const Configuration& c : out)
+          suggested_[config_hash(c)] += 1;
+      return out;
+  }
+
+  AskTellTuner& inner_;
+  std::map<std::size_t, int> suggested_;
+  std::map<std::size_t, int> observed_;
+};
+
+TEST(AsyncEngine, EverySuggestedConfigIsEventuallyToldUnderRandomJitter)
+{
+    SearchSpace s = synthetic_space();
+    RandomSearchOptions opt;
+    opt.budget = 40;
+    opt.seed = 5;
+    RandomSearchTuner inner(s, opt, /*biased_walk=*/false);
+    AuditingTuner tuner(inner);
+
+    // Random per-evaluation jitter (drawn from the evaluation's own
+    // noise stream, so the schedule is adversarially uneven but the
+    // results stay deterministic).
+    auto jittered = [](const Configuration& c, RngEngine& rng) {
+        EvalResult r = synthetic_eval(c, rng);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<int>(rng.uniform(50.0, 4000.0))));
+        return r;
+    };
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    TuningHistory h = EvalEngine(eopt).run(tuner, jittered);
+
+    EXPECT_EQ(h.size(), 40u);
+    EXPECT_EQ(tuner.suggested(), tuner.observed());
+}
+
+TEST(AsyncEngine, SlowestFirstScheduleDoesNotStarveSlots)
+{
+    // Adversarial schedule: the very first evaluation to start is 100x
+    // slower than the rest. A batched engine would barrier its whole
+    // round on it; the async engine must keep the other slots churning
+    // through (nearly) the entire budget while it runs.
+    SearchSpace s = synthetic_space();
+    RandomSearchOptions opt;
+    opt.budget = 24;
+    opt.seed = 3;
+    RandomSearchTuner tuner(s, opt, /*biased_walk=*/false);
+
+    std::atomic<int> started{0};
+    std::atomic<int> concurrent{0};
+    std::atomic<int> high_water{0};
+    std::atomic<bool> slow_done{false};
+    auto adversarial = [&](const Configuration& c, RngEngine& rng) {
+        bool slow = started.fetch_add(1) == 0;
+        int now = concurrent.fetch_add(1) + 1;
+        int seen = high_water.load();
+        while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(slow ? 250 : 2));
+        if (slow)
+            slow_done.store(true);
+        concurrent.fetch_sub(1);
+        return synthetic_eval(c, rng);
+    };
+
+    std::atomic<int> told_while_slow_running{0};
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    EvalEngine engine(eopt);
+    auto t0 = Clock::now();
+    TuningHistory h = engine.run_async(
+        tuner, adversarial, [&](const AsyncEvent&) {
+            if (!slow_done.load())
+                told_while_slow_running.fetch_add(1);
+        });
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    EXPECT_EQ(h.size(), 24u);
+    // All four slots were busy simultaneously at some point...
+    EXPECT_EQ(high_water.load(), 4);
+    // ...and the short evaluations were told while the straggler ran
+    // instead of barriering behind it (23 shorts exist; allow scheduler
+    // slack).
+    EXPECT_GE(told_while_slow_running.load(), 18);
+    // Wall-clock is dominated by the one straggler, not by 24 rounds.
+    EXPECT_LT(wall, 1.5);
+}
+
+TEST(AsyncEngine, KillResumeWithInFlightEvaluationsDoesNotDoubleTell)
+{
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 20;
+    opt.doe_samples = 6;
+    opt.seed = 11;
+
+    std::string ckpt = testing::TempDir() + "baco_async_ckpt.jsonl";
+    std::string snapshot = testing::TempDir() + "baco_async_kill.jsonl";
+    std::remove(ckpt.c_str());
+    std::remove(snapshot.c_str());
+
+    auto jittered = [](const Configuration& c, RngEngine& rng) {
+        EvalResult r = synthetic_eval(c, rng);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<int>(rng.uniform(100.0, 2000.0))));
+        return r;
+    };
+
+    // First leg: run to completion, but photograph the checkpoint right
+    // after the 8th tell — a moment with (slots - 1) evaluations still
+    // in flight — exactly what a kill at that instant would leave behind.
+    {
+        Tuner tuner(s, opt);
+        EvalEngineOptions eopt;
+        eopt.num_threads = 4;
+        eopt.batch_size = 4;
+        eopt.async_mode = true;
+        eopt.checkpoint_path = ckpt;
+        EvalEngine engine(eopt);
+        int told = 0;
+        engine.run_async(tuner, jittered, [&](const AsyncEvent&) {
+            if (++told == 8) {
+                std::ifstream in(ckpt, std::ios::binary);
+                std::ofstream out(snapshot, std::ios::binary);
+                out << in.rdbuf();
+            }
+        });
+    }
+
+    std::optional<CheckpointData> snap = load_checkpoint(snapshot);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->history.size(), 8u);
+    ASSERT_EQ(snap->pending.size(), 3u);  // slots - 1 in flight at a tell
+
+    // Second leg: restore the killed run and let it finish.
+    Tuner resumed(s, opt);
+    std::vector<PendingEval> pending;
+    ASSERT_TRUE(resume_from_checkpoint(snapshot, resumed, &pending));
+    ASSERT_EQ(pending.size(), 3u);
+    std::vector<std::size_t> pending_hashes;
+    for (const PendingEval& p : pending)
+        pending_hashes.push_back(config_hash(p.config));
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    TuningHistory h =
+        EvalEngine(eopt).run_async(resumed, jittered, {}, std::move(pending));
+
+    // No double-telling: exactly the budget was observed, every config
+    // exactly once (the tuner dedups), and each formerly in-flight
+    // config was told exactly once.
+    ASSERT_EQ(h.size(), 20u);
+    std::map<std::size_t, int> counts = config_multiset(h);
+    EXPECT_EQ(counts.size(), 20u);
+    for (std::size_t ph : pending_hashes)
+        EXPECT_EQ(counts[ph], 1) << "in-flight config lost or re-told";
+    EXPECT_TRUE(h.best_config.has_value());
+
+    std::remove(ckpt.c_str());
+    std::remove(snapshot.c_str());
+}
+
+TEST(AsyncEngine, SingleSlotKillResumeReproducesUninterruptedRun)
+{
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 16;
+    opt.doe_samples = 6;
+    opt.seed = 23;
+
+    TuningHistory uninterrupted = Tuner(s, opt).run(synthetic_eval);
+
+    std::string ckpt = testing::TempDir() + "baco_async_ckpt1.jsonl";
+    std::remove(ckpt.c_str());
+    EvalEngineOptions eopt;
+    eopt.batch_size = 1;
+    eopt.async_mode = true;
+    eopt.checkpoint_path = ckpt;
+    {
+        Tuner tuner(s, opt);
+        EvalEngine(eopt).drive_async(tuner, synthetic_eval, /*max_evals=*/7);
+    }
+    Tuner resumed(s, opt);
+    std::vector<PendingEval> pending;
+    ASSERT_TRUE(resume_from_checkpoint(ckpt, resumed, &pending));
+    EXPECT_TRUE(pending.empty());  // single slot: nothing was in flight
+    TuningHistory h = EvalEngine(eopt).run_async(resumed, synthetic_eval);
+
+    EXPECT_TRUE(histories_equal(uninterrupted, h));
+    std::remove(ckpt.c_str());
+}
+
+TEST(AsyncEngine, CacheShortCircuitsRepeatAsyncRuns)
+{
+    SearchSpace s = synthetic_space();
+    EvalCache cache;
+    RandomSearchOptions opt;
+    opt.budget = 16;
+    opt.seed = 7;
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    eopt.cache = &cache;
+    eopt.cache_namespace = "async-test";
+
+    RandomSearchTuner first(s, opt, false);
+    TuningHistory h1 = EvalEngine(eopt).run(first, synthetic_eval);
+    std::uint64_t hits_before = cache.hits();
+
+    RandomSearchTuner second(s, opt, false);
+    TuningHistory h2 = EvalEngine(eopt).run(second, synthetic_eval);
+
+    EXPECT_EQ(h2.size(), 16u);
+    EXPECT_EQ(cache.hits(), hits_before + 16);
+    EXPECT_EQ(h1.best_value, h2.best_value);
+}
+
+TEST(AsyncEngine, ObjectiveExceptionIsRethrownAfterDraining)
+{
+    SearchSpace s = synthetic_space();
+    RandomSearchOptions opt;
+    opt.budget = 24;
+    opt.seed = 13;
+    RandomSearchTuner tuner(s, opt, false);
+
+    std::atomic<int> calls{0};
+    auto flaky = [&](const Configuration& c, RngEngine& rng) {
+        if (calls.fetch_add(1) == 5)
+            throw std::runtime_error("compiler segfault");
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return synthetic_eval(c, rng);
+    };
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    EvalEngine engine(eopt);
+    EXPECT_THROW(engine.drive_async(tuner, flaky), std::runtime_error);
+    // Everything dispatched before the abort drained cleanly.
+    EXPECT_LT(tuner.history().size(), 24u);
+}
+
+TEST(AsyncEngine, CallbackExceptionIsRethrownAfterDraining)
+{
+    // An exception from the caller's on_result callback (or the tuner)
+    // must drain the in-flight work before unwinding — the pool workers
+    // reference drive_async's stack until the last result lands.
+    SearchSpace s = synthetic_space();
+    RandomSearchOptions opt;
+    opt.budget = 24;
+    opt.seed = 29;
+    RandomSearchTuner tuner(s, opt, false);
+
+    auto slowish = [](const Configuration& c, RngEngine& rng) {
+        EvalResult r = synthetic_eval(c, rng);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        return r;
+    };
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    EvalEngine engine(eopt);
+    int told = 0;
+    EXPECT_THROW(engine.drive_async(tuner, slowish, -1,
+                                    [&](const AsyncEvent&) {
+                                        if (++told == 3)
+                                            throw std::runtime_error(
+                                                "client went away");
+                                    }),
+                 std::runtime_error);
+    // The abort happened at the 3rd tell; nothing was told afterwards.
+    EXPECT_EQ(told, 3);
+    EXPECT_EQ(tuner.history().size(), 3u);
+}
+
+TEST(AsyncEngine, SuiteRunnerAsyncCompletesBudgetAcrossMethods)
+{
+    const Benchmark& b = suite::find_benchmark("SDDMM/email-Enron");
+    const suite::Method methods[] = {suite::Method::kUniform,
+                                     suite::Method::kAtfOpenTuner,
+                                     suite::Method::kYtopt};
+    for (suite::Method m : methods) {
+        EvalEngineOptions eopt;
+        eopt.num_threads = 4;
+        eopt.batch_size = 4;
+        TuningHistory h = suite::run_method_async(b, m, 14, 19, eopt);
+        EXPECT_EQ(h.size(), 14u) << suite::method_name(m);
+        EXPECT_TRUE(h.best_config.has_value()) << suite::method_name(m);
+    }
+}
+
+TEST(AsyncEngine, RunMethodAsyncAtSlot1MatchesRunMethod)
+{
+    const Benchmark& b = suite::find_benchmark("SDDMM/email-Enron");
+    TuningHistory serial =
+        suite::run_method(b, suite::Method::kBaco, 12, 31);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 2;
+    eopt.batch_size = 1;
+    TuningHistory async = suite::run_method_async(
+        b, suite::Method::kBaco, 12, 31, eopt);
+    EXPECT_TRUE(histories_equal(serial, async));
+}
+
+}  // namespace
+}  // namespace baco

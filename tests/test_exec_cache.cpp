@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include <unistd.h>
+
 #include "core/tuner.hpp"
 #include "exec/eval_cache.hpp"
 #include "exec/eval_engine.hpp"
@@ -89,6 +91,51 @@ TEST(EvalCache, LoadMissingFileFails)
 {
     EvalCache cache;
     EXPECT_FALSE(cache.load("/nonexistent/baco_cache.jsonl"));
+}
+
+TEST(EvalCache, LoadSkipsAndCountsCorruptLines)
+{
+    std::string path = testing::TempDir() + "baco_test_cache_corrupt.jsonl";
+    EvalCache cache;
+    Configuration a = {std::int64_t{8}, std::int64_t{1}};
+    Configuration b = {std::int64_t{2}, std::int64_t{0}};
+    Configuration c = {std::int64_t{4}, std::int64_t{1}};
+    cache.insert(a, EvalResult{1.25, true});
+    cache.insert(b, EvalResult{2.5, true});
+    cache.insert(c, EvalResult{7.0, false});
+    ASSERT_TRUE(cache.save(path));
+
+    // Simulate a crash mid-write (truncate the last line in half) plus a
+    // garbage line appended by a faulty writer.
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        std::fclose(f);
+        ASSERT_EQ(0, truncate(path.c_str(), size - 12));
+        std::FILE* app = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(app, nullptr);
+        std::fputs("\nnot json at all\n{\"key\":\"dangling\n", app);
+        std::fclose(app);
+    }
+
+    EvalCache loaded;
+    std::size_t corrupt = 0;
+    ASSERT_TRUE(loaded.load(path, &corrupt));
+    // Two intact entries survive; the truncated third and the two
+    // garbage lines are skipped and counted.
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(corrupt, 3u);
+
+    // The surviving entries are the uncorrupted ones, values intact.
+    int found = 0;
+    for (const Configuration* cfg : {&a, &b, &c}) {
+        if (auto r = loaded.lookup(*cfg))
+            ++found;
+    }
+    EXPECT_EQ(found, 2);
+    std::remove(path.c_str());
 }
 
 TEST(EvalCache, NamespacesIsolateBenchmarks)

@@ -202,5 +202,44 @@ TEST(Checkpoint, LoadMissingOrCorruptFileFails)
     std::remove(path.c_str());
 }
 
+TEST(Checkpoint, PendingEvaluationsRoundTrip)
+{
+    SearchSpace s = mixed_space();
+    TunerOptions opt;
+    opt.budget = 12;
+    opt.doe_samples = 4;
+    opt.seed = 6;
+    opt.log_objective = false;
+    Tuner tuner(s, opt);
+    EvalEngine engine;
+    engine.drive(tuner, mixed_eval, 4);
+
+    // Two in-flight evaluations (mixed types, permutation included).
+    std::vector<PendingEval> pending;
+    std::vector<Configuration> batch = tuner.suggest(2);
+    ASSERT_EQ(batch.size(), 2u);
+    pending.push_back(PendingEval{4, batch[0]});
+    pending.push_back(PendingEval{5, batch[1]});
+
+    std::string path = testing::TempDir() + "baco_test_ckpt_pending.jsonl";
+    ASSERT_TRUE(save_checkpoint(path, tuner, pending));
+
+    std::optional<CheckpointData> data = load_checkpoint(path);
+    ASSERT_TRUE(data.has_value());
+    EXPECT_TRUE(histories_equal(data->history, tuner.history()));
+    ASSERT_EQ(data->pending.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(data->pending[i].index, pending[i].index);
+        EXPECT_TRUE(
+            configs_equal(data->pending[i].config, pending[i].config));
+    }
+
+    // A batch-mode resume (no pending out-param) still restores cleanly.
+    Tuner resumed(s, opt);
+    EXPECT_TRUE(resume_from_checkpoint(path, resumed));
+    EXPECT_TRUE(histories_equal(resumed.history(), tuner.history()));
+    std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace baco

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -98,6 +99,100 @@ TEST(ServeDistributed, BatchOneMatchesSerialRunExactly)
     TuningHistory distributed = suite::run_method_distributed(
         b, suite::Method::kUniform, 10, 41, dopt);
     EXPECT_TRUE(histories_equal(serial, distributed));
+}
+
+TEST(ServeDistributed, AsyncSingleSlotMatchesSerialRun)
+{
+    // One slot in flight serializes the async drive completely, so even
+    // the tell-as-results-land mode reproduces the serial loop exactly.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    TuningHistory serial =
+        suite::run_method(b, suite::Method::kBaco, 12, 17);
+    suite::DistributedOptions dopt;
+    dopt.workers = 2;
+    dopt.batch_size = 1;
+    dopt.async = true;
+    TuningHistory async = suite::run_method_distributed(
+        b, suite::Method::kBaco, 12, 17, dopt);
+    EXPECT_TRUE(histories_equal(serial, async));
+}
+
+TEST(ServeDistributed, AsyncDriveStreamsEveryResultAndKillResumeRecovers)
+{
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+    const int budget = 18;
+    const std::uint64_t seed = 23;
+    const int slots = 4;
+
+    std::string ckpt = testing::TempDir() + "baco_dist_async_ckpt.jsonl";
+    std::string snapshot = testing::TempDir() + "baco_dist_async_kill.jsonl";
+    std::remove(ckpt.c_str());
+    std::remove(snapshot.c_str());
+
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = seed;
+
+    // First leg: full async fleet run, photographing the checkpoint
+    // right after the 6th tell — evaluations still in flight.
+    std::uint64_t streamed = 0;
+    {
+        Fleet fleet(3);
+        std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+            *space, suite::Method::kBaco, budget, b.doe_samples, seed);
+        fleet.coordinator.drive_async(
+            *tuner, spec, slots, -1, ckpt, [&](const AsyncEvent& ev) {
+                EXPECT_EQ(ev.evals, streamed + 1);
+                if (++streamed == 6) {
+                    std::FILE* in = std::fopen(ckpt.c_str(), "rb");
+                    std::FILE* out = std::fopen(snapshot.c_str(), "wb");
+                    ASSERT_NE(in, nullptr);
+                    ASSERT_NE(out, nullptr);
+                    char buf[4096];
+                    std::size_t n;
+                    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+                        std::fwrite(buf, 1, n, out);
+                    std::fclose(in);
+                    std::fclose(out);
+                }
+            });
+        EXPECT_EQ(tuner->history().size(),
+                  static_cast<std::size_t>(budget));
+        EXPECT_EQ(streamed, static_cast<std::uint64_t>(budget));
+    }
+
+    std::optional<CheckpointData> snap = load_checkpoint(snapshot);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->history.size(), 6u);
+    ASSERT_GE(snap->pending.size(), 1u);
+
+    // Second leg: a fresh fleet (different size, to prove placement
+    // independence) resumes the killed run and finishes the budget
+    // without double-telling anything.
+    Fleet fleet2(2);
+    std::unique_ptr<AskTellTuner> resumed = suite::make_ask_tell(
+        *space, suite::Method::kBaco, budget, b.doe_samples, seed);
+    std::vector<PendingEval> pending;
+    ASSERT_TRUE(resume_from_checkpoint(snapshot, *resumed, &pending));
+    ASSERT_EQ(pending.size(), snap->pending.size());
+    std::vector<std::size_t> pending_hashes;
+    for (const PendingEval& p : pending)
+        pending_hashes.push_back(config_hash(p.config));
+
+    fleet2.coordinator.drive_async(*resumed, spec, slots, -1, {}, {},
+                                   std::move(pending));
+    const TuningHistory& h = resumed->history();
+    ASSERT_EQ(h.size(), static_cast<std::size_t>(budget));
+    std::map<std::size_t, int> counts;
+    for (const Observation& o : h.observations)
+        counts[config_hash(o.config)] += 1;
+    EXPECT_EQ(counts.size(), static_cast<std::size_t>(budget));
+    for (std::size_t ph : pending_hashes)
+        EXPECT_EQ(counts[ph], 1) << "in-flight config lost or re-told";
+
+    std::remove(ckpt.c_str());
+    std::remove(snapshot.c_str());
 }
 
 TEST(ServeDistributed, EvaluateBatchAssemblesInInputOrder)

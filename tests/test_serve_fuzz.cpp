@@ -1,0 +1,358 @@
+// Fuzz/stress layer for the JSONL wire protocol: a seeded generator
+// feeds the decoder truncated, duplicated, spliced and byte-mutated
+// frames — strict rejection, no crashes — and replays malformed traffic
+// against a live serve loop and worker loop to pin the malformed-frame
+// paths: garbage must be answered with error frames and never corrupt
+// session or worker state.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/rng.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+
+namespace baco::serve {
+namespace {
+
+constexpr const char* kBench = "SDDMM/email-Enron";
+
+/** One representative frame of every message type, arrays included. */
+std::vector<std::string>
+frame_corpus()
+{
+    std::vector<std::string> corpus;
+    Configuration config;
+    config.push_back(std::int64_t{4});
+    config.push_back(0.5);
+    config.push_back(Permutation{2, 0, 1});
+
+    Message m;
+    m.type = MsgType::kHello;
+    m.text = "worker";
+    m.capacity = 2;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kWelcome;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kOpenSession;
+    m.id = 1;
+    m.session = "fuzz";
+    m.benchmark = kBench;
+    m.method = "BaCO";
+    m.budget = 16;
+    m.seed = 7;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kSuggest;
+    m.id = 2;
+    m.session = "fuzz";
+    m.n = 4;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kConfigs;
+    m.id = 2;
+    m.index = 3;
+    m.configs = {config, config};
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kObserve;
+    m.id = 3;
+    m.session = "fuzz";
+    m.eval_seconds = 0.25;
+    {
+        ObservedResult r;
+        r.config = config;
+        r.value = 1.5;
+        r.feasible = true;
+        m.results.push_back(r);
+        r.value = std::numeric_limits<double>::infinity();
+        r.feasible = false;
+        m.results.push_back(r);
+    }
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kRun;
+    m.id = 4;
+    m.session = "fuzz";
+    m.n = 4;
+    m.budget = 8;
+    m.async = true;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kEvaluate;
+    m.id = 5;
+    m.benchmark = kBench;
+    m.seed = 9;
+    m.index = 12;
+    m.config = config;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kResult;
+    m.id = 5;
+    m.index = 12;
+    m.value = 2.5;
+    m.feasible = true;
+    m.eval_seconds = 0.1;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kOk;
+    m.id = 3;
+    m.evals = 10;
+    m.best = 1.25;
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kDone;
+    m.id = 4;
+    m.evals = 16;
+    m.best = 1.0;
+    corpus.push_back(encode(m));
+
+    m = make_error(9, "something broke");
+    corpus.push_back(encode(m));
+
+    m = Message{};
+    m.type = MsgType::kShutdown;
+    corpus.push_back(encode(m));
+    return corpus;
+}
+
+TEST(ProtocolFuzz, EveryProperPrefixIsStrictlyRejected)
+{
+    for (const std::string& frame : frame_corpus()) {
+        Message out;
+        ASSERT_TRUE(decode(frame, out)) << frame;
+        for (std::size_t len = 0; len < frame.size(); ++len) {
+            EXPECT_FALSE(decode(frame.substr(0, len), out))
+                << "accepted truncation of " << frame << " at " << len;
+        }
+    }
+}
+
+TEST(ProtocolFuzz, SeededMutationsNeverCrashTheDecoder)
+{
+    std::vector<std::string> corpus = frame_corpus();
+    RngEngine rng(20260730);
+    int accepted = 0;
+    for (int iter = 0; iter < 20000; ++iter) {
+        std::string s = corpus[rng.index(corpus.size())];
+        switch (rng.index(5)) {
+          case 0:  // truncate
+            s = s.substr(0, rng.index(s.size() + 1));
+            break;
+          case 1: {  // duplicate a chunk in place
+            std::size_t a = rng.index(s.size());
+            std::size_t n = rng.index(s.size() - a) + 1;
+            s.insert(a, s.substr(a, n));
+            break;
+          }
+          case 2: {  // splice: prefix of one frame + suffix of another
+            const std::string& other = corpus[rng.index(corpus.size())];
+            s = s.substr(0, rng.index(s.size() + 1)) +
+                other.substr(rng.index(other.size() + 1));
+            break;
+          }
+          case 3: {  // flip a byte
+            if (!s.empty())
+                s[rng.index(s.size())] =
+                    static_cast<char>(rng.uniform_int(1, 255));
+            break;
+          }
+          case 4: {  // interleave two frames character-wise
+            const std::string& other = corpus[rng.index(corpus.size())];
+            std::string mixed;
+            std::size_t i = 0, j = 0;
+            while (i < s.size() || j < other.size()) {
+                if (i < s.size() && (j >= other.size() || rng.bernoulli(0.5)))
+                    mixed += s[i++];
+                else
+                    mixed += other[j++];
+            }
+            s = std::move(mixed);
+            break;
+          }
+        }
+        Message out;
+        std::string err;
+        if (decode(s, out, &err))
+            ++accepted;  // a mutation may still be well-formed; fine
+    }
+    // The decoder is strict: most mutations must be rejected. (A solid
+    // minority survives legitimately — byte flips and duplications that
+    // land inside string values, splices of same-typed frames and
+    // untruncated originals are all well-formed frames.)
+    EXPECT_LT(accepted, 20000 / 2);
+}
+
+TEST(ProtocolFuzz, ServeLoopSurvivesMalformedTrafficWithoutCorruption)
+{
+    SessionManager sm;
+    ServerContext ctx;
+    ctx.sessions = &sm;
+
+    auto [client, server] = loopback_pair();
+    std::thread srv([&, s = std::shared_ptr<Transport>(std::move(server))] {
+        ServeStats stats = serve_connection(*s, ctx);
+        EXPECT_TRUE(stats.handshake_ok);
+        EXPECT_GE(stats.errors, 4u);
+    });
+
+    auto exchange = [&](const std::string& frame) {
+        std::string line;
+        EXPECT_TRUE(client->send(frame));
+        EXPECT_EQ(client->recv(line, 5000), RecvStatus::kOk);
+        Message reply;
+        EXPECT_TRUE(decode(line, reply)) << line;
+        return reply;
+    };
+
+    Message hello;
+    hello.type = MsgType::kHello;
+    ASSERT_TRUE(client->send(encode(hello)));
+    std::string line;
+    ASSERT_EQ(client->recv(line, 5000), RecvStatus::kOk);
+
+    Message open;
+    open.type = MsgType::kOpenSession;
+    open.id = 1;
+    open.session = "fz";
+    open.benchmark = kBench;
+    open.method = "Uniform";
+    open.budget = 8;
+    open.seed = 3;
+    ASSERT_EQ(exchange(encode(open)).type, MsgType::kOpened);
+
+    // A seeded burst of garbage between every valid step: each one must
+    // be answered with an error frame, and the session must keep working
+    // as if nothing happened.
+    std::vector<std::string> corpus = frame_corpus();
+    RngEngine rng(99);
+    auto garbage = [&] {
+        std::string s = corpus[rng.index(corpus.size())];
+        return s.substr(0, 1 + rng.index(s.size() - 1));  // proper prefix
+    };
+    for (int round = 0; round < 8; ++round)
+        EXPECT_EQ(exchange(garbage()).type, MsgType::kError);
+
+    Message ask;
+    ask.type = MsgType::kSuggest;
+    ask.id = 2;
+    ask.session = "fz";
+    ask.n = 2;
+    Message configs = exchange(encode(ask));
+    ASSERT_EQ(configs.type, MsgType::kConfigs) << configs.text;
+    ASSERT_EQ(configs.configs.size(), 2u);
+
+    EXPECT_EQ(exchange(garbage()).type, MsgType::kError);
+
+    // A duplicated (replayed) suggest returns the same outstanding batch
+    // rather than corrupting the exchange.
+    Message replay = exchange(encode(ask));
+    ASSERT_EQ(replay.type, MsgType::kConfigs);
+    ASSERT_EQ(replay.configs.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_TRUE(configs_equal(replay.configs[i], configs.configs[i]));
+
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    Message tell;
+    tell.type = MsgType::kObserve;
+    tell.id = 3;
+    tell.session = "fz";
+    for (std::size_t i = 0; i < configs.configs.size(); ++i) {
+        ObservedResult r;
+        r.config = configs.configs[i];
+        EvalResult res =
+            evaluate_on(bench, r.config, open.seed, configs.index + i);
+        r.value = res.value;
+        r.feasible = res.feasible;
+        tell.results.push_back(std::move(r));
+    }
+    Message ok = exchange(encode(tell));
+    ASSERT_EQ(ok.type, MsgType::kOk) << ok.text;
+    EXPECT_EQ(ok.evals, 2u);
+
+    // A duplicated observe (replay of a consumed batch) is rejected
+    // without damaging the session...
+    EXPECT_EQ(exchange(encode(tell)).type, MsgType::kError);
+    // ...which still serves valid requests afterwards.
+    ask.n = 1;
+    EXPECT_EQ(exchange(encode(ask)).type, MsgType::kConfigs);
+
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    ASSERT_TRUE(client->send(encode(bye)));
+    srv.join();
+}
+
+TEST(ProtocolFuzz, WorkerLoopRejectsGarbageAndKeepsEvaluating)
+{
+    auto [coordinator_end, worker_end] = loopback_pair();
+    std::thread worker(
+        [t = std::shared_ptr<Transport>(std::move(worker_end))] {
+            run_worker_loop(*t);
+        });
+
+    std::string line;
+    ASSERT_EQ(coordinator_end->recv(line, 5000), RecvStatus::kOk);
+    Message hello;
+    ASSERT_TRUE(decode(line, hello));
+    ASSERT_EQ(hello.type, MsgType::kHello);
+
+    Message eval;
+    eval.type = MsgType::kEvaluate;
+    eval.id = 1;
+    eval.benchmark = kBench;
+    eval.seed = 5;
+    eval.index = 0;
+    {
+        const Benchmark& bench = suite::find_benchmark(kBench);
+        auto space = bench.make_space(SpaceVariant{});
+        RngEngine rng(1);
+        auto sample = space->sample_feasible(rng, 1000);
+        eval.config =
+            sample ? *sample : space->sample_unconstrained(rng);
+    }
+    std::string valid = encode(eval);
+
+    // Garbage (a truncation) draws an error frame, not a dead worker.
+    ASSERT_TRUE(coordinator_end->send(valid.substr(0, valid.size() / 2)));
+    ASSERT_EQ(coordinator_end->recv(line, 5000), RecvStatus::kOk);
+    Message reply;
+    ASSERT_TRUE(decode(line, reply));
+    EXPECT_EQ(reply.type, MsgType::kError);
+
+    // The worker still evaluates, and its result frame carries the
+    // evaluation index for streaming observers.
+    ASSERT_TRUE(coordinator_end->send(valid));
+    ASSERT_EQ(coordinator_end->recv(line, 5000), RecvStatus::kOk);
+    ASSERT_TRUE(decode(line, reply));
+    ASSERT_EQ(reply.type, MsgType::kResult) << reply.text;
+    EXPECT_EQ(reply.id, 1u);
+    EXPECT_EQ(reply.index, 0u);
+
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    ASSERT_TRUE(coordinator_end->send(encode(bye)));
+    worker.join();
+}
+
+}  // namespace
+}  // namespace baco::serve

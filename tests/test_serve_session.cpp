@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -476,6 +477,79 @@ TEST(ServeConnection, ServerSideRunCompletesSession)
     TuningHistory reference = suite::run_method_batched(
         bench, suite::Method::kUniform, 10, 21, eopt);
     EXPECT_EQ(reply.best, reference.best_value);
+
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    ASSERT_TRUE(client->send(encode(bye)));
+    srv.join();
+}
+
+TEST(ServeConnection, AsyncRunStreamsResultFramesBeforeDone)
+{
+    SessionManager sm;
+    ServerContext ctx;
+    ctx.sessions = &sm;
+
+    auto [client, server] = loopback_pair();
+    std::thread srv(
+        [&, s = std::shared_ptr<Transport>(std::move(server))] {
+            serve_connection(*s, ctx);
+        });
+
+    Message hello;
+    hello.type = MsgType::kHello;
+    ASSERT_TRUE(client->send(encode(hello)));
+    std::string line;
+    ASSERT_EQ(client->recv(line, 2000), RecvStatus::kOk);
+
+    const int budget = 10;
+    ASSERT_TRUE(client->send(encode(open_request("stream-me", "Uniform",
+                                                 budget, 29))));
+    ASSERT_EQ(client->recv(line, 5000), RecvStatus::kOk);
+    Message reply;
+    ASSERT_TRUE(decode(line, reply));
+    ASSERT_EQ(reply.type, MsgType::kOpened) << reply.text;
+
+    Message run;
+    run.type = MsgType::kRun;
+    run.id = 7;
+    run.session = "stream-me";
+    run.n = 3;
+    run.async = true;
+    ASSERT_TRUE(client->send(encode(run)));
+
+    // One streamed result frame per evaluation, then the final done.
+    int results = 0;
+    std::uint64_t max_evals_seen = 0;
+    std::set<std::uint64_t> indices;
+    for (;;) {
+        ASSERT_EQ(client->recv(line, 30000), RecvStatus::kOk);
+        ASSERT_TRUE(decode(line, reply)) << line;
+        if (reply.type == MsgType::kDone)
+            break;
+        ASSERT_EQ(reply.type, MsgType::kResult) << reply.text;
+        EXPECT_EQ(reply.id, 7u);
+        indices.insert(reply.index);
+        max_evals_seen = std::max(max_evals_seen, reply.evals);
+        ++results;
+    }
+    EXPECT_EQ(results, budget);
+    EXPECT_EQ(indices.size(), static_cast<std::size_t>(budget));
+    EXPECT_EQ(max_evals_seen, static_cast<std::uint64_t>(budget));
+    EXPECT_EQ(reply.evals, static_cast<std::uint64_t>(budget));
+
+    // Session is intact and exhausted: a follow-up suggest returns an
+    // empty batch, not an error.
+    Message ask;
+    ask.type = MsgType::kSuggest;
+    ask.id = 8;
+    ask.session = "stream-me";
+    ask.n = 2;
+    ASSERT_TRUE(client->send(encode(ask)));
+    ASSERT_EQ(client->recv(line, 5000), RecvStatus::kOk);
+    ASSERT_TRUE(decode(line, reply));
+    EXPECT_EQ(reply.type, MsgType::kConfigs) << reply.text;
+    EXPECT_TRUE(reply.configs.empty());
 
     Message bye;
     bye.type = MsgType::kShutdown;

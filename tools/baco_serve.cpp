@@ -6,14 +6,20 @@
 // --worker-cmd (each wired through pipes) — the worked README example
 // runs `baco_serve --workers 2 --worker-cmd ./baco_worker`.
 //
+// --async drives every server-side run request tell-as-results-land
+// (Coordinator::drive_async / EvalEngine async mode), streaming one
+// result frame per landed evaluation; clients can also opt in per
+// request with "async":true on the run frame.
+//
 // --selftest runs the hermetic 2-worker end-to-end check (the same
 // parity contract the ctest suite enforces): a coordinator-sharded run
-// must reproduce the same-seed EvalEngine batch run bit-for-bit.
+// must reproduce the same-seed EvalEngine batch run bit-for-bit, and an
+// async fleet drive must complete the full budget without stalling.
 //
 // Usage:
 //   baco_serve [--checkpoint-dir DIR] [--cache FILE]
 //              [--workers N] [--worker-cmd CMD]
-//              [--idle-timeout SECONDS]
+//              [--idle-timeout SECONDS] [--async]
 //   baco_serve --selftest [benchmark]
 
 #include <csignal>
@@ -61,7 +67,21 @@ selftest(const std::string& benchmark_name)
                 "coordinator(2 workers) %s EvalEngine(batch=%d)\n",
                 b.name.c_str(), distributed.size(), distributed.best_value,
                 ok ? "==" : "!=", batch);
-    return ok ? 0 : 1;
+
+    // Async leg: a tell-as-results-land fleet drive must still exhaust
+    // the budget and find a finite best (history order is scheduling-
+    // dependent, so no bit-for-bit claim here).
+    suite::DistributedOptions aopt = dopt;
+    aopt.async = true;
+    TuningHistory async = suite::run_method_distributed(
+        b, suite::Method::kBaco, budget, seed, aopt);
+    bool async_ok = async.size() == static_cast<std::size_t>(budget) &&
+                    async.best_config.has_value();
+    std::printf("baco_serve selftest: async fleet drive — %zu/%d evals, "
+                "best %.6g [%s]\n",
+                async.size(), budget, async.best_value,
+                async_ok ? "ok" : "FAILED");
+    return ok && async_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -77,6 +97,7 @@ main(int argc, char** argv)
     std::string worker_cmd;
     int workers = 0;
     double idle_timeout = 0.0;
+    bool async_runs = false;
     bool run_selftest = false;
     std::string selftest_benchmark = "SDDMM/email-Enron";
 
@@ -92,6 +113,8 @@ main(int argc, char** argv)
             worker_cmd = argv[++i];
         } else if (arg == "--idle-timeout" && i + 1 < argc) {
             idle_timeout = std::atof(argv[++i]);
+        } else if (arg == "--async") {
+            async_runs = true;
         } else if (arg == "--selftest") {
             run_selftest = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
@@ -100,7 +123,8 @@ main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: %s [--checkpoint-dir DIR] [--cache FILE] "
                          "[--workers N] [--worker-cmd CMD] "
-                         "[--idle-timeout S] | --selftest [benchmark]\n",
+                         "[--idle-timeout S] [--async] | "
+                         "--selftest [benchmark]\n",
                          argv[0]);
             return 2;
         }
@@ -154,6 +178,7 @@ main(int argc, char** argv)
     serve::ServerContext ctx;
     ctx.sessions = &sessions;
     ctx.coordinator = &coordinator;
+    ctx.async_runs = async_runs;
     serve::ServeStats stats = serve_connection(stdio, ctx);
 
     sessions.checkpoint_all();
