@@ -1,30 +1,24 @@
-// Quickstart: autotune a toy "compiler" with BaCO in ~40 lines of API use.
+// Quickstart: autotune a toy "compiler" through the baco::Study front
+// door in ~40 lines of API use.
 //
 // Demonstrates: declaring a mixed search space (ordinal, categorical,
-// permutation) with a known constraint, wiring a black-box evaluator, and
-// running the tuner.
+// permutation) with a known constraint through StudyBuilder's inline
+// parameter DSL, wiring a black-box evaluator, picking a method from the
+// MethodRegistry and an ExecutionPolicy, and running the study. Swap the
+// execution line for ExecutionPolicy::Batched(4) or ::Async(4) and
+// nothing else changes.
 
 #include <cmath>
 #include <iostream>
 
-#include "core/tuner.hpp"
+#include "api/baco.hpp"
 
 using namespace baco;
 
 int
 main()
 {
-    // 1. Describe the scheduling space your compiler exposes.
-    SearchSpace space;
-    space.add_ordinal("tile", {4, 8, 16, 32, 64, 128, 256},
-                      /*log_scale=*/true);
-    space.add_ordinal("unroll", {1, 2, 4, 8}, /*log_scale=*/true);
-    space.add_categorical("schedule", {"static", "dynamic"});
-    space.add_permutation("loop_order", 3);
-    // Known constraint, handled ahead of time via the Chain-of-Trees.
-    space.add_constraint("unroll <= tile");
-
-    // 2. The black box: schedule, compile, run; here a synthetic model with
+    // 1. The black box: schedule, compile, run; here a synthetic model with
     //    an optimum at tile=32, unroll=4, dynamic, loop order (0,2,1).
     BlackBoxFn compile_and_run = [](const Configuration& c,
                                     RngEngine& noise) -> EvalResult {
@@ -44,19 +38,32 @@ main()
         return EvalResult{ms * noise.lognormal_factor(0.02), true};
     };
 
-    // 3. Tune.
-    TunerOptions options;
-    options.budget = 40;
-    options.doe_samples = 8;
-    options.seed = 2024;
-    Tuner tuner(space, options);
-    TuningHistory history = tuner.run(compile_and_run);
+    // 2. Declare the scheduling space your compiler exposes and tune.
+    Study study =
+        StudyBuilder()
+            .ordinal("tile", {4, 8, 16, 32, 64, 128, 256},
+                     /*log_scale=*/true)
+            .ordinal("unroll", {1, 2, 4, 8}, /*log_scale=*/true)
+            .categorical("schedule", {"static", "dynamic"})
+            .permutation("loop_order", 3)
+            // Known constraint, handled ahead of time via Chain-of-Trees.
+            .constraint("unroll <= tile")
+            .objective(compile_and_run)
+            .method("baco")  // any MethodRegistry name: "random", ...
+            .budget(40)
+            .doe(8)
+            .seed(2024)
+            .execution(ExecutionPolicy::Serial())
+            .build();
+    StudyResult result = study.run();
 
-    // 4. Inspect the result.
+    // 3. Inspect the result.
+    const TuningHistory& history = result.history;
     std::cout << "evaluations: " << history.size() << "\n";
     std::cout << "best runtime: " << history.best_value << " ms\n";
     std::cout << "best schedule: "
-              << space.config_to_string(*history.best_config) << "\n";
+              << study.space().config_to_string(*history.best_config)
+              << "\n";
 
     std::cout << "\nbest-so-far trajectory:\n";
     std::vector<double> traj = history.best_trajectory();

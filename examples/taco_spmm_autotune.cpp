@@ -1,12 +1,13 @@
-// Autotune a *real, executing* sparse kernel: BaCO drives the scheduled
-// C++ SpMM kernel (taco/kernels.hpp) on a scaled-down synthetic scircuit
-// matrix, measuring actual wall-clock time per configuration — the
-// empirical-autotuner loop of the paper with a real black box.
+// Autotune a *real, executing* sparse kernel: a baco::Study drives the
+// scheduled C++ SpMM kernel (taco/kernels.hpp) on a scaled-down synthetic
+// scircuit matrix, measuring actual wall-clock time per configuration —
+// the empirical-autotuner loop of the paper with a real black box,
+// declared through the Study front door's inline parameter DSL.
 
 #include <chrono>
 #include <iostream>
 
-#include "core/tuner.hpp"
+#include "api/baco.hpp"
 #include "taco/generators.hpp"
 #include "taco/kernels.hpp"
 
@@ -26,11 +27,6 @@ main()
     std::cout << "SpMM on synthetic scircuit @5%: " << b.rows << "x"
               << b.cols << ", " << b.nnz() << " nonzeros, C has "
               << c.cols() << " columns\n";
-
-    SearchSpace space;
-    space.add_ordinal("row_chunk", {1, 4, 16, 64, 256, 1024, 4096}, true);
-    space.add_ordinal("col_tile", {1, 2, 4, 8, 16, 32}, true);
-    space.add_constraint("col_tile <= row_chunk * 32");
 
     BlackBoxFn measure = [&](const Configuration& cfg,
                              RngEngine&) -> EvalResult {
@@ -53,15 +49,23 @@ main()
         return EvalResult{best_ms, true};
     };
 
-    TunerOptions options;
-    options.budget = 20;
-    options.doe_samples = 6;
-    options.seed = 1;
-    Tuner tuner(space, options);
-    TuningHistory history = tuner.run(measure);
+    Study study =
+        StudyBuilder()
+            .ordinal("row_chunk", {1, 4, 16, 64, 256, 1024, 4096}, true)
+            .ordinal("col_tile", {1, 2, 4, 8, 16, 32}, true)
+            .constraint("col_tile <= row_chunk * 32")
+            .objective(measure)
+            .method("baco")
+            .budget(20)
+            .doe(6)
+            .seed(1)
+            .build();
+    StudyResult result = study.run();
 
+    const TuningHistory& history = result.history;
     std::cout << "best measured: " << history.best_value << " ms with "
-              << space.config_to_string(*history.best_config) << "\n";
+              << study.space().config_to_string(*history.best_config)
+              << "\n";
 
     // Compare against the untuned baseline schedule.
     Configuration baseline{std::int64_t{4096}, std::int64_t{1}};

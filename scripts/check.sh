@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, test — with warnings-as-errors on the
 # src/exec/ and src/serve/ subsystems (BACO_WERROR_EXEC) — then the
-# distributed smoke test (a coordinator with 2 loopback workers must
-# reproduce the same-seed EvalEngine run end-to-end, plus the async
-# fleet drive), the async utilization bench (tell-as-results-land must
-# beat the batched engine >= 1.5x on heavy-tailed delays), and a TSAN
-# (BACO_SANITIZE=thread) build of the concurrency-heavy exec + serve
-# tests.
+# distributed smoke test (a Study driven distributed over 2 loopback
+# workers must reproduce the same-seed batched Study end-to-end, plus
+# the async fleet drive), the async utilization bench
+# (tell-as-results-land must beat the batched engine >= 1.5x on
+# heavy-tailed delays), a TSAN (BACO_SANITIZE=thread) build of the
+# concurrency-heavy exec + serve tests, and an ASAN
+# (BACO_SANITIZE=address) build of the api + exec + serve tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,4 +36,25 @@ if echo 'int main(){return 0;}' | "${CXX:-c++}" -fsanitize=thread -x c++ - \
           -j 4)
 else
     echo "check.sh: thread sanitizer unavailable; skipping TSAN pass"
+fi
+
+# ---- AddressSanitizer pass over the api + exec + serve test suite. ----
+# The Study front door fans out across every execution back-end, so the
+# ASAN leg runs its parity suite on top of the exec/serve tests.
+if echo 'int main(){return 0;}' | "${CXX:-c++}" -fsanitize=address -x c++ - \
+       -o /tmp/baco_asan_probe 2>/dev/null; then
+    rm -f /tmp/baco_asan_probe
+    cmake -B build-asan -S . -DBACO_SANITIZE=address \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-asan -j --target \
+          test_api_study \
+          test_exec_engine test_exec_async test_exec_pool \
+          test_exec_cache test_exec_checkpoint \
+          test_serve_protocol test_serve_session \
+          test_serve_distributed test_serve_fuzz
+    (cd build-asan && ctest --output-on-failure \
+          -R 'test_api_study|test_exec_(engine|async|pool|cache|checkpoint)|test_serve_(protocol|session|distributed|fuzz)' \
+          -j 4)
+else
+    echo "check.sh: address sanitizer unavailable; skipping ASAN pass"
 fi

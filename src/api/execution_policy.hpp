@@ -1,0 +1,108 @@
+#ifndef BACO_API_EXECUTION_POLICY_HPP_
+#define BACO_API_EXECUTION_POLICY_HPP_
+
+/**
+ * @file
+ * ExecutionPolicy: the one declarative value that selects how a study's
+ * evaluations run — serially, batched over a thread pool, fully
+ * asynchronously (tell-as-results-land), or sharded across a worker
+ * fleet — without changing a single other line of tuning code.
+ *
+ * Determinism contract (inherited from the exec/serve layers): Serial,
+ * Batched and Distributed(async=false) histories are bit-for-bit
+ * reproducible from the seed; Async and Distributed(async=true) keep
+ * per-result reproducibility but order the history by completion.
+ * Batched at batch_size 1, Async with 1 slot and Distributed with
+ * batch_size 1 all reproduce the Serial history exactly.
+ */
+
+namespace baco {
+
+/** How a Study executes its evaluations. */
+struct ExecutionPolicy {
+  enum class Mode {
+    kSerial,       ///< one evaluation at a time (Tuner::run semantics)
+    kBatched,      ///< constant-liar batches on a thread pool (EvalEngine)
+    kAsync,        ///< tell-as-results-land, bounded in-flight (EvalEngine)
+    kDistributed,  ///< sharded across serve workers (Coordinator)
+  };
+
+  Mode mode = Mode::kSerial;
+
+  /**
+   * Batched: configurations per suggest() round. Async: the in-flight
+   * cap. Distributed: shard size per round (async=false) or the
+   * fleet-wide in-flight cap (async=true).
+   */
+  int batch_size = 1;
+
+  /** Evaluation threads (0 = hardware concurrency); in-process modes. */
+  int num_threads = 0;
+
+  /** Distributed: in-process loopback workers to spawn. */
+  int workers = 2;
+
+  /** Distributed: drive tell-as-results-land across the fleet. */
+  bool async = false;
+
+  /** Distributed: per-worker in-flight cap (coordinator backpressure). */
+  int max_inflight_per_worker = 2;
+
+  /** Distributed: straggler re-dispatch deadline in ms; <= 0 disables. */
+  int straggler_ms = -1;
+
+  static ExecutionPolicy
+  Serial()
+  {
+      return ExecutionPolicy{};
+  }
+
+  static ExecutionPolicy
+  Batched(int batch_size, int num_threads = 0)
+  {
+      ExecutionPolicy p;
+      p.mode = Mode::kBatched;
+      p.batch_size = batch_size;
+      p.num_threads = num_threads;
+      return p;
+  }
+
+  /** slots = concurrent in-flight evaluations. */
+  static ExecutionPolicy
+  Async(int slots, int num_threads = 0)
+  {
+      ExecutionPolicy p;
+      p.mode = Mode::kAsync;
+      p.batch_size = slots;
+      p.num_threads = num_threads;
+      return p;
+  }
+
+  static ExecutionPolicy
+  Distributed(int workers, int batch_size = 4, bool async = false)
+  {
+      ExecutionPolicy p;
+      p.mode = Mode::kDistributed;
+      p.workers = workers;
+      p.batch_size = batch_size;
+      p.async = async;
+      return p;
+  }
+};
+
+/** "serial", "batched", "async", or "distributed". */
+inline const char*
+execution_mode_name(ExecutionPolicy::Mode m)
+{
+    switch (m) {
+      case ExecutionPolicy::Mode::kSerial: return "serial";
+      case ExecutionPolicy::Mode::kBatched: return "batched";
+      case ExecutionPolicy::Mode::kAsync: return "async";
+      case ExecutionPolicy::Mode::kDistributed: return "distributed";
+    }
+    return "?";
+}
+
+}  // namespace baco
+
+#endif  // BACO_API_EXECUTION_POLICY_HPP_

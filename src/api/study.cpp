@@ -1,0 +1,673 @@
+#include "api/study.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "api/method_registry.hpp"
+#include "exec/eval_cache.hpp"
+#include "exec/eval_engine.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+
+namespace baco {
+
+namespace {
+
+/**
+ * Synthesizes per-evaluation events for the deterministic drivers
+ * (serial/batched/distributed-sync), which report whole observed batches:
+ * after each round, one event per new history entry, in history order.
+ */
+class EventEmitter {
+ public:
+    EventEmitter(AskTellTuner& tuner, const StudyEventFn& fn)
+        : tuner_(tuner),
+          fn_(fn),
+          seen_(tuner.history().size()),
+          best_(tuner.history().best_value)
+    {
+    }
+
+    void
+    flush()
+    {
+        if (!fn_)
+            return;
+        const TuningHistory& h = tuner_.history();
+        for (; seen_ < h.observations.size(); ++seen_) {
+            const Observation& o = h.observations[seen_];
+            if (o.feasible && o.value < best_)
+                best_ = o.value;
+            AsyncEvent ev;
+            ev.index = seen_;
+            ev.config = o.config;
+            ev.result = EvalResult{o.value, o.feasible};
+            ev.evals = seen_ + 1;
+            ev.best = best_;
+            fn_(ev);
+        }
+    }
+
+ private:
+    AskTellTuner& tuner_;
+    const StudyEventFn& fn_;
+    std::size_t seen_;
+    double best_;
+};
+
+/** EvalEngine options for the in-process modes of a request. */
+EvalEngineOptions
+engine_options(const ExecRequest& req)
+{
+    EvalEngineOptions eopt;
+    // Serial never has more than one evaluation in flight; a single
+    // pool lane avoids spawning hardware_concurrency idle workers.
+    eopt.num_threads = req.policy.mode == ExecutionPolicy::Mode::kSerial
+                           ? 1
+                           : req.policy.num_threads;
+    eopt.batch_size = std::max(1, req.policy.batch_size);
+    eopt.async_mode = req.policy.mode == ExecutionPolicy::Mode::kAsync;
+    eopt.cache = req.cache;
+    eopt.cache_namespace = req.cache_namespace;
+    eopt.checkpoint_path = req.checkpoint_path;
+    return eopt;
+}
+
+/**
+ * Re-dispatch the in-flight evaluations of a resumed async checkpoint
+ * under their original indices before any new round — each is told
+ * exactly once regardless of which ExecutionPolicy the resumed study
+ * picked. eval_one(pending) produces the result — evaluating under
+ * eval_rng_for(seed, index), without consulting the cache (the drain
+ * already did; a second lookup would double-count misses).
+ *
+ * The drain runs one evaluation at a time: telling each result before
+ * dispatching the next keeps the checkpoint's exactly-once bookkeeping
+ * trivial, at the cost of serialized re-evaluation of a (bounded by
+ * the killed run's in-flight cap) backlog. Fanning it across the
+ * pool/fleet is safe in principle — the (seed, index) streams are
+ * independent — and worth doing if resume latency ever matters.
+ */
+template <typename EvalOne>
+void
+drain_resume_pending(AskTellTuner& tuner, const ExecRequest& req,
+                     EvalOne&& eval_one)
+{
+    const std::vector<PendingEval>& pending = req.resume_pending;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const PendingEval& p = pending[i];
+        AsyncEvent ev;
+        ev.index = p.index;
+        ev.config = p.config;
+        if (req.cache) {
+            if (auto hit = req.cache->lookup(req.cache_namespace,
+                                             p.config)) {
+                ev.result = *hit;
+                ev.from_cache = true;
+            }
+        }
+        if (!ev.from_cache)
+            ev.result = eval_one(p, &ev.eval_seconds);
+        // Checkpoints written mid-drain keep the not-yet-drained tail
+        // as pending, so a second crash still re-dispatches exactly
+        // the work that remains.
+        std::vector<PendingEval> still_pending(pending.begin() + i + 1,
+                                               pending.end());
+        tell_async_result(tuner, std::move(ev), req.cache,
+                          req.cache_namespace, req.checkpoint_path,
+                          still_pending, req.on_event);
+    }
+}
+
+/**
+ * Stepwise round driver shared by the deterministic modes: advancing one
+ * round at a time produces the identical suggest()/observe() sequence as
+ * a single full drive (each round asks min(batch, remaining cap)), and
+ * gives the emitter a per-round hook.
+ */
+template <typename DriveRound>
+void
+drive_rounds(AskTellTuner& tuner, const ExecRequest& req, int batch_size,
+             DriveRound&& drive_round)
+{
+    EventEmitter emitter(tuner, req.on_event);
+    // Drained resume-pending tells count toward the eval cap, exactly
+    // as the async drivers count them — same request, same number of
+    // tells under every policy.
+    int done = static_cast<int>(req.resume_pending.size());
+    while (tuner.remaining() > 0 &&
+           (req.max_evals < 0 || done < req.max_evals)) {
+        int step = batch_size;
+        if (req.max_evals >= 0)
+            step = std::min(step, req.max_evals - done);
+        std::size_t before = tuner.history().size();
+        drive_round(step);
+        std::size_t grew = tuner.history().size() - before;
+        if (grew == 0)
+            break;  // the tuner stopped suggesting
+        done += static_cast<int>(grew);
+        emitter.flush();
+    }
+}
+
+}  // namespace
+
+void
+execute(AskTellTuner& tuner, const ExecRequest& req)
+{
+    const ExecutionPolicy& p = req.policy;
+    const int batch =
+        std::max(1, p.mode == ExecutionPolicy::Mode::kSerial
+                        ? 1
+                        : p.batch_size);
+
+    if (p.mode == ExecutionPolicy::Mode::kDistributed) {
+        if (!req.coordinator)
+            throw std::invalid_argument(
+                "distributed execution requires a coordinator with "
+                "attached workers");
+        serve::BatchSpec spec;
+        spec.benchmark = req.benchmark;
+        spec.run_seed = tuner.run_seed();
+        spec.cache = req.cache;
+        spec.cache_namespace = req.cache_namespace;
+        if (p.async) {
+            req.coordinator->drive_async(tuner, spec, batch, req.max_evals,
+                                         req.checkpoint_path, req.on_event,
+                                         req.resume_pending);
+        } else {
+            drain_resume_pending(
+                tuner, req,
+                [&](const PendingEval& pe, double* seconds) {
+                    serve::BatchSpec one = spec;
+                    one.first_index = pe.index;
+                    one.cache = nullptr;  // the drain already looked up
+                    return req.coordinator
+                        ->evaluate_batch(one, {pe.config}, seconds)
+                        .front();
+                });
+            drive_rounds(tuner, req, batch, [&](int step) {
+                req.coordinator->drive(tuner, spec, batch, step,
+                                       req.checkpoint_path);
+            });
+        }
+        return;
+    }
+
+    if (!req.objective)
+        throw std::invalid_argument(
+            "in-process execution requires an objective");
+    EvalEngine engine(engine_options(req));
+    if (p.mode == ExecutionPolicy::Mode::kAsync) {
+        engine.drive_async(tuner, req.objective, req.max_evals,
+                           req.on_event, req.resume_pending);
+        return;
+    }
+    drain_resume_pending(
+        tuner, req, [&](const PendingEval& pe, double* seconds) {
+            RngEngine rng = eval_rng_for(tuner.run_seed(), pe.index);
+            auto t0 = std::chrono::steady_clock::now();
+            EvalResult r = req.objective(pe.config, rng);
+            *seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+            return r;
+        });
+    drive_rounds(tuner, req, batch, [&](int step) {
+        engine.drive(tuner, req.objective, step);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Study
+// ---------------------------------------------------------------------------
+
+StudyResult
+Study::run()
+{
+    ensure_not_finalized();
+    ExecRequest req;
+    req.policy = policy_;
+    req.cache = cache_;
+    req.cache_namespace = cache_namespace_;
+    req.checkpoint_path = checkpoint_path_;
+    req.on_event = on_event_;
+    req.resume_pending = std::move(resume_pending_);
+    resume_pending_.clear();
+
+    if (policy_.mode == ExecutionPolicy::Mode::kDistributed) {
+        serve::CoordinatorOptions copt;
+        copt.max_inflight_per_worker = policy_.max_inflight_per_worker;
+        copt.straggler_ms = policy_.straggler_ms;
+        serve::Coordinator coordinator(copt);
+        std::vector<std::thread> worker_threads =
+            serve::attach_loopback_workers(
+                coordinator, std::max(1, policy_.workers),
+                policy_.max_inflight_per_worker);
+        req.coordinator = &coordinator;
+        req.benchmark = benchmark_ ? benchmark_->name : std::string{};
+        try {
+            execute(*tuner_, req);
+        } catch (...) {
+            coordinator.shutdown();
+            for (std::thread& t : worker_threads)
+                t.join();
+            throw;
+        }
+        coordinator.shutdown();
+        for (std::thread& t : worker_threads)
+            t.join();
+    } else {
+        req.objective = objective_;
+        execute(*tuner_, req);
+    }
+    return finalize(tuner_->take_history());
+}
+
+std::vector<Configuration>
+Study::ask(int n)
+{
+    ensure_not_finalized();
+    if (!resume_pending_.empty())
+        throw std::logic_error(
+            "resumed checkpoint has in-flight evaluations: evaluate "
+            "resume_pending() and tell_pending() each before ask() — "
+            "or drive with run(), which drains them automatically");
+    return tuner_->suggest(n);
+}
+
+void
+Study::tell(const std::vector<Configuration>& configs,
+            const std::vector<EvalResult>& results)
+{
+    ensure_not_finalized();
+    if (!resume_pending_.empty())
+        throw std::logic_error(
+            "resumed checkpoint has in-flight evaluations: report them "
+            "through tell_pending() (under their original indices) "
+            "before telling new results, or a later resume would "
+            "re-dispatch and double-tell them");
+    if (configs.size() != results.size())
+        throw std::invalid_argument("tell: configs/results size mismatch");
+    if (cache_) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            cache_->insert(cache_namespace_, configs[i], results[i]);
+    }
+    // The emitter snapshots the incumbent before the observe, so the
+    // per-result events carry the same as-if-serial evals/best
+    // counters the run() drivers emit.
+    EventEmitter emitter(*tuner_, on_event_);
+    tuner_->observe(configs, results);
+    emitter.flush();
+    if (!checkpoint_path_.empty())
+        save_checkpoint(checkpoint_path_, *tuner_, resume_pending_);
+}
+
+void
+Study::tell_pending(const PendingEval& p, const EvalResult& result,
+                    double eval_seconds)
+{
+    ensure_not_finalized();
+    auto it = std::find_if(resume_pending_.begin(), resume_pending_.end(),
+                           [&](const PendingEval& q) {
+                               return q.index == p.index;
+                           });
+    if (it == resume_pending_.end())
+        throw std::invalid_argument(
+            "tell_pending: evaluation index is not pending");
+    AsyncEvent ev;
+    ev.index = it->index;
+    ev.config = std::move(it->config);
+    ev.result = result;
+    ev.eval_seconds = eval_seconds;
+    resume_pending_.erase(it);
+    // The exec layer's shared per-tell sequence (cache, observe,
+    // eval-time charge, checkpoint with the undrained rest, event).
+    tell_async_result(*tuner_, std::move(ev), cache_, cache_namespace_,
+                      checkpoint_path_, resume_pending_, on_event_);
+}
+
+void
+Study::tell(const Configuration& config, const EvalResult& result)
+{
+    tell(std::vector<Configuration>{config},
+         std::vector<EvalResult>{result});
+}
+
+StudyResult
+Study::result()
+{
+    ensure_not_finalized();
+    return finalize(tuner_->take_history());
+}
+
+void
+Study::ensure_not_finalized() const
+{
+    // take_history() empties the tuner, so after finalization a second
+    // run() would re-drive the whole budget from scratch (overwriting
+    // checkpoints), result() would report a zero-eval study, and
+    // ask()/tell() would corrupt the checkpoint and cache against a
+    // truncated history; make every such misuse loud instead.
+    if (finalized_)
+        throw std::logic_error(
+            "study already finalized: no further run()/result()/"
+            "ask()/tell() calls are possible");
+}
+
+StudyResult
+Study::finalize(TuningHistory history)
+{
+    finalized_ = true;
+    StudyResult r;
+    r.history = std::move(history);
+    r.method = method_;
+    r.benchmark = benchmark_ ? benchmark_->name : std::string{};
+    r.mode = policy_.mode;
+    r.seed = seed_;
+    r.resumed = resumed_;
+    r.resumed_evals = resumed_evals_;
+    r.checkpoint_path = checkpoint_path_;
+    if (cache_) {
+        r.cache_namespace = cache_namespace_;
+        r.cache_hits = cache_->hits() - cache_hits0_;
+        r.cache_misses = cache_->misses() - cache_misses0_;
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// StudyBuilder
+// ---------------------------------------------------------------------------
+
+StudyBuilder&
+StudyBuilder::benchmark(const std::string& name)
+{
+    benchmark_ = suite::find_benchmark(name);
+    benchmark_is_registry_ = true;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::benchmark(const Benchmark& b)
+{
+    benchmark_ = b;
+    // Distributed workers resolve benchmarks in *their* registry, so
+    // remember whether this object IS the registry's instance — a
+    // caller-modified copy must not silently stand in for it there.
+    benchmark_is_registry_ = false;
+    for (const Benchmark& r : suite::all_benchmarks()) {
+        if (&r == &b) {
+            benchmark_is_registry_ = true;
+            break;
+        }
+    }
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::variant(const SpaceVariant& v)
+{
+    variant_ = v;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::space(std::shared_ptr<SearchSpace> s)
+{
+    space_ = std::move(s);
+    return *this;
+}
+
+SearchSpace&
+StudyBuilder::inline_space()
+{
+    if (!inline_space_)
+        inline_space_ = std::make_shared<SearchSpace>();
+    return *inline_space_;
+}
+
+StudyBuilder&
+StudyBuilder::real(const std::string& name, double lo, double hi,
+                   bool log_scale)
+{
+    inline_space().add_real(name, lo, hi, log_scale);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::integer(const std::string& name, std::int64_t lo,
+                      std::int64_t hi, bool log_scale)
+{
+    inline_space().add_integer(name, lo, hi, log_scale);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::ordinal(const std::string& name,
+                      std::vector<std::int64_t> values, bool log_scale)
+{
+    inline_space().add_ordinal(name, std::move(values), log_scale);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::categorical(const std::string& name,
+                          std::vector<std::string> values)
+{
+    inline_space().add_categorical(name, std::move(values));
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::permutation(const std::string& name, std::size_t n)
+{
+    inline_space().add_permutation(name, static_cast<int>(n));
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::constraint(const std::string& expr)
+{
+    inline_space().add_constraint(expr);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::objective(BlackBoxFn fn)
+{
+    objective_ = std::move(fn);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::method(std::string name)
+{
+    method_ = std::move(name);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::budget(int evaluations)
+{
+    budget_ = evaluations;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::doe(int samples)
+{
+    doe_ = samples;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::seed(std::uint64_t run_seed)
+{
+    seed_ = run_seed;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::execution(ExecutionPolicy policy)
+{
+    policy_ = policy;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::cache(EvalCache* cache, std::size_t max_entries)
+{
+    cache_ = cache;
+    cache_max_entries_ = max_entries;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::cache_namespace(std::string ns)
+{
+    cache_namespace_ = std::move(ns);
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::checkpoint(std::string path, bool resume)
+{
+    checkpoint_path_ = std::move(path);
+    resume_ = resume;
+    return *this;
+}
+
+StudyBuilder&
+StudyBuilder::on_event(StudyEventFn fn)
+{
+    on_event_ = std::move(fn);
+    return *this;
+}
+
+Study
+StudyBuilder::build()
+{
+    int sources = (benchmark_ ? 1 : 0) + (space_ ? 1 : 0) +
+                  (inline_space_ ? 1 : 0);
+    if (sources == 0) {
+        if (inline_space_consumed_)
+            throw std::invalid_argument(
+                "the builder's inline space was consumed by a previous "
+                "build() (the study's tuner owns it now); re-declare "
+                "the parameters — or use benchmark()/space(), which "
+                "rebuild freely");
+        throw std::invalid_argument(
+            "study needs a search space: benchmark(), space() or the "
+            "inline parameter DSL");
+    }
+    if (sources > 1)
+        throw std::invalid_argument(
+            "give exactly one space source: benchmark(), space() or the "
+            "inline parameter DSL");
+
+    Study study;
+    study.benchmark_ = benchmark_;
+    if (benchmark_) {
+        study.space_ = benchmark_->make_space(variant_);
+    } else if (space_) {
+        study.space_ = space_;
+    } else {
+        // The study's tuner holds a reference to this space, so the
+        // builder must give it up: DSL calls after build() start a new
+        // space instead of mutating the live study's.
+        study.space_ = std::move(inline_space_);
+        inline_space_.reset();
+        inline_space_consumed_ = true;
+    }
+
+    // An explicit objective overrides the benchmark's black box (e.g. a
+    // stubbed evaluator in tests); inline studies require one for run().
+    study.objective_ =
+        objective_ ? objective_
+                   : (benchmark_ ? benchmark_->evaluate : BlackBoxFn{});
+
+    if (policy_.mode == ExecutionPolicy::Mode::kDistributed) {
+        // Workers resolve the benchmark by name in *their* registry,
+        // so anything that diverges from the registry entry — a
+        // modified Benchmark copy, or a custom objective the workers
+        // would silently ignore — must fail here, not as opaque
+        // worker error frames (or silently wrong results) mid-run.
+        if (!benchmark_ || !benchmark_is_registry_)
+            throw std::invalid_argument(
+                "distributed execution requires the registry's own "
+                "benchmark (workers resolve it by name); use "
+                "benchmark(\"<registry name>\")");
+        if (objective_)
+            throw std::invalid_argument(
+                "distributed execution evaluates the registry "
+                "benchmark's own objective on the workers; a custom "
+                "objective() cannot be shipped to them");
+    }
+
+    MethodSpec spec;
+    spec.budget = budget_ > 0
+                      ? budget_
+                      : (benchmark_ ? benchmark_->full_budget : 0);
+    if (spec.budget <= 0)
+        throw std::invalid_argument(
+            "budget() is required for non-benchmark studies");
+    spec.doe_samples =
+        doe_ > 0 ? doe_ : (benchmark_ ? benchmark_->doe_samples : 10);
+    spec.seed = seed_;
+
+    MethodRegistry& registry = MethodRegistry::global();
+    study.tuner_ = registry.make(method_, *study.space_, spec);
+    study.method_ = *registry.resolve(method_);
+    study.policy_ = policy_;
+    study.seed_ = seed_;
+
+    study.cache_ = cache_;
+    if (cache_) {
+        if (cache_max_entries_ > 0)
+            cache_->set_max_entries(cache_max_entries_);
+        // The benchmark-identity namespace is only claimed when the
+        // study actually evaluates that benchmark's own black box: a
+        // custom objective() produces results the benchmark's cached
+        // entries must never answer (pin a namespace to opt in).
+        bool bench_objective = benchmark_ && !objective_;
+        study.cache_namespace_ =
+            !cache_namespace_.empty()
+                ? cache_namespace_
+                : (bench_objective
+                       ? EvalCache::namespace_key(benchmark_->name,
+                                                  *study.space_)
+                       : std::string{});
+        study.cache_hits0_ = cache_->hits();
+        study.cache_misses0_ = cache_->misses();
+    }
+
+    study.checkpoint_path_ = checkpoint_path_;
+    if (resume_ && !checkpoint_path_.empty()) {
+        // A missing (or unreadable) checkpoint means a fresh start; a
+        // present one must match the study's seed and method exactly.
+        if (std::optional<CheckpointData> data =
+                load_checkpoint(checkpoint_path_)) {
+            if (data->seed != study.tuner_->run_seed())
+                throw std::runtime_error(
+                    "checkpoint seed does not match the study seed");
+            if (!study.tuner_->restore(data->history,
+                                       data->sampler_state))
+                throw std::runtime_error(
+                    "checkpoint could not be restored by method '" +
+                    study.method_ + "'");
+            study.resume_pending_ = std::move(data->pending);
+            study.resumed_ = true;
+            study.resumed_evals_ = study.tuner_->history().size();
+        }
+    }
+
+    study.on_event_ = on_event_;
+    return study;
+}
+
+}  // namespace baco

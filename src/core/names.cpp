@@ -1,0 +1,110 @@
+#include "core/names.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace baco {
+
+namespace {
+
+bool
+is_prefix(const std::string& prefix, const std::string& s)
+{
+    return !prefix.empty() && s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::string
+fold_name(const std::string& s)
+{
+    std::string out = s;
+    for (char& c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::size_t
+edit_distance(const std::string& a_raw, const std::string& b_raw)
+{
+    std::string a = fold_name(a_raw), b = fold_name(b_raw);
+    const std::size_t n = a.size(), m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+    // Two-row dynamic program; rows indexed by positions of b.
+    std::vector<std::size_t> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+std::vector<std::string>
+closest_names(const std::string& query,
+              const std::vector<std::string>& candidates,
+              std::size_t max_out)
+{
+    const std::string q = fold_name(query);
+    const std::size_t cutoff = std::max<std::size_t>(2, q.size() / 2);
+
+    struct Scored {
+        bool prefix;
+        std::size_t dist;
+        std::string name;
+    };
+    std::vector<Scored> scored;
+    for (const std::string& c : candidates) {
+        std::string cf = fold_name(c);
+        bool prefix = is_prefix(q, cf) || is_prefix(cf, q);
+        std::size_t dist = edit_distance(q, cf);
+        if (!prefix && dist > cutoff)
+            continue;
+        scored.push_back(Scored{prefix, dist, c});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                  if (a.prefix != b.prefix)
+                      return a.prefix;
+                  if (a.dist != b.dist)
+                      return a.dist < b.dist;
+                  return a.name < b.name;
+              });
+    std::vector<std::string> out;
+    for (const Scored& s : scored) {
+        if (out.size() >= max_out)
+            break;
+        if (std::find(out.begin(), out.end(), s.name) == out.end())
+            out.push_back(s.name);
+    }
+    return out;
+}
+
+std::string
+did_you_mean(const std::string& query,
+             const std::vector<std::string>& candidates)
+{
+    std::vector<std::string> close = closest_names(query, candidates);
+    if (close.empty())
+        return {};
+    std::string out = " (did you mean ";
+    for (std::size_t i = 0; i < close.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "'" + close[i] + "'";
+    }
+    out += "?)";
+    return out;
+}
+
+}  // namespace baco

@@ -1,0 +1,43 @@
+#ifndef BACO_CORE_NAMES_HPP_
+#define BACO_CORE_NAMES_HPP_
+
+/**
+ * @file
+ * Name-lookup helpers shared by every string-keyed registry (benchmarks,
+ * methods): edit-distance ranking and "did you mean ...?" error suffixes,
+ * so a typo in a benchmark or method name fails with the closest real
+ * names instead of a bare "not found".
+ */
+
+#include <string>
+#include <vector>
+
+namespace baco {
+
+/** Case-fold a name for matching (ASCII lowercase). Registry lookup
+ *  and suggestion ranking share this, so they can never disagree. */
+std::string fold_name(const std::string& s);
+
+/** Case-insensitive Levenshtein distance between a and b. */
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/**
+ * Up to max_out candidates closest to query: exact-prefix matches first
+ * (shortest wins), then ascending edit distance; ties break
+ * alphabetically. Candidates further than half the query's length (min 2)
+ * in edit distance — and not prefix-related — are not suggested at all.
+ */
+std::vector<std::string> closest_names(
+    const std::string& query, const std::vector<std::string>& candidates,
+    std::size_t max_out = 3);
+
+/**
+ * " (did you mean 'a', 'b'?)" built from closest_names, or "" when
+ * nothing is close enough to suggest.
+ */
+std::string did_you_mean(const std::string& query,
+                         const std::vector<std::string>& candidates);
+
+}  // namespace baco
+
+#endif  // BACO_CORE_NAMES_HPP_

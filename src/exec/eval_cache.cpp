@@ -130,7 +130,10 @@ EvalCache::lookup(const std::string& ns, const Configuration& c) const
         return std::nullopt;
     }
     ++hits_;
-    return it->second;
+    ++it->second.hits;
+    // Refresh recency: a hit entry moves to the front of the LRU order.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.result;
 }
 
 void
@@ -145,7 +148,62 @@ EvalCache::insert(const std::string& ns, const Configuration& c,
 {
     std::string key = namespaced_key(ns, c);
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(std::move(key), r);
+    insert_locked(std::move(key), r);
+}
+
+void
+EvalCache::insert_locked(std::string key, const EvalResult& r)
+{
+    auto [it, inserted] = entries_.emplace(std::move(key), Entry{});
+    if (!inserted)
+        return;  // first write wins
+    it->second.result = r;
+    lru_.push_front(&it->first);
+    it->second.lru_it = lru_.begin();
+    enforce_bound_locked();
+}
+
+void
+EvalCache::enforce_bound_locked()
+{
+    if (max_entries_ == 0)
+        return;
+    while (entries_.size() > max_entries_) {
+        auto victim = entries_.find(*lru_.back());
+        ++evictions_;
+        evicted_hits_ += victim->second.hits;
+        entries_.erase(victim);
+        lru_.pop_back();
+    }
+}
+
+void
+EvalCache::set_max_entries(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_entries_ = n;
+    enforce_bound_locked();
+}
+
+std::size_t
+EvalCache::max_entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_entries_;
+}
+
+std::uint64_t
+EvalCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::uint64_t
+EvalCache::evicted_hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evicted_hits_;
 }
 
 std::size_t
@@ -174,8 +232,11 @@ EvalCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    lru_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
+    evicted_hits_ = 0;
 }
 
 bool
@@ -185,7 +246,11 @@ EvalCache::save(const std::string& path) const
     if (!out)
         return false;
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, r] : entries_) {
+    // Least-recently-used first: load() inserts in file order, so the
+    // hottest entries end up most recent and survive a bounded reload.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        const std::string& key = **it;
+        const EvalResult& r = entries_.at(key).result;
         out << "{\"key\":\"" << key
             << "\",\"value\":" << jsonl::fmt_double(r.value)
             << ",\"feasible\":" << (r.feasible ? "true" : "false") << "}\n";
@@ -216,7 +281,7 @@ EvalCache::load(const std::string& path, std::size_t* corrupt_lines)
         r.value = std::strtod(value.c_str(), nullptr);
         r.feasible = feasible == "true";
         std::lock_guard<std::mutex> lock(mutex_);
-        entries_.emplace(std::move(key), r);
+        insert_locked(std::move(key), r);
     }
     return true;
 }

@@ -16,6 +16,11 @@
  * the serve layer: the same configuration key under two benchmarks — or
  * under two revisions of one benchmark's space — never collides.
  *
+ * An optional LRU bound (set_max_entries) caps memory for long-lived
+ * servers: inserts beyond the bound evict the least-recently-used entry,
+ * with eviction statistics for observability, and save() orders entries
+ * so a bounded reload keeps the hottest ones.
+ *
  * Caching replaces a fresh noisy measurement with the first recorded one,
  * so with a noisy black box a cache-enabled run is deterministic given the
  * cache contents but not bit-identical to a cache-free run. Callers that
@@ -24,6 +29,7 @@
  */
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -79,12 +85,33 @@ class EvalCache {
   std::uint64_t hits() const;
   std::uint64_t misses() const;
 
-  /** Drop all entries and reset the hit/miss counters. */
+  /**
+   * Bound the cache to at most n entries (0 = unbounded, the default).
+   * When full, an insert evicts the least-recently-used entry — every
+   * lookup hit refreshes its entry's recency — so long-lived servers
+   * keep the hot working set instead of growing without bound. Shrinking
+   * the bound below the current size evicts immediately.
+   */
+  void set_max_entries(std::size_t n);
+
+  /** The configured bound (0 = unbounded). */
+  std::size_t max_entries() const;
+
+  /** Entries evicted by the LRU bound so far. */
+  std::uint64_t evictions() const;
+
+  /** Summed lookup hits the evicted entries had received (a high value
+   *  means the bound is evicting entries that were still hot). */
+  std::uint64_t evicted_hits() const;
+
+  /** Drop all entries and reset the hit/miss/eviction counters. */
   void clear();
 
   /**
    * Persist all entries as JSONL ({"key":...,"value":...,"feasible":...}
-   * per line). Returns false on I/O failure.
+   * per line), least-recently-used first — so load()ing into a bounded
+   * cache keeps the most recently used entries and evicts the cold tail.
+   * Returns false on I/O failure.
    */
   bool save(const std::string& path) const;
 
@@ -99,10 +126,29 @@ class EvalCache {
   bool load(const std::string& path, std::size_t* corrupt_lines = nullptr);
 
  private:
+  struct Entry {
+    EvalResult result;
+    std::uint64_t hits = 0;
+    /** Position in lru_ (front = most recently used). */
+    std::list<const std::string*>::iterator lru_it;
+  };
+
+  /** Insert under the LRU bound. Caller holds mutex_. */
+  void insert_locked(std::string key, const EvalResult& r);
+  /** Evict LRU entries until the bound holds. Caller holds mutex_. */
+  void enforce_bound_locked();
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, EvalResult> entries_;
+  mutable std::unordered_map<std::string, Entry> entries_;
+  /** Recency order, most recently used first. Points at entries_'s own
+   *  keys (stable under rehash and unrelated erases) so the bound does
+   *  not double every key's memory. */
+  mutable std::list<const std::string*> lru_;
+  std::size_t max_entries_ = 0;  ///< 0 = unbounded
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t evicted_hits_ = 0;
 };
 
 }  // namespace baco

@@ -41,6 +41,8 @@ EvalEngine::EvalEngine(EvalEngineOptions opt)
 {
     if (opt_.batch_size < 1)
         opt_.batch_size = 1;
+    if (opt_.cache && opt_.cache_max_entries > 0)
+        opt_.cache->set_max_entries(opt_.cache_max_entries);
 }
 
 std::vector<EvalResult>

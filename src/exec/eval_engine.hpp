@@ -63,6 +63,12 @@ struct EvalEngineOptions {
    * anonymous namespace; set it when one cache serves several benchmarks.
    */
   std::string cache_namespace;
+  /**
+   * When > 0, applies an LRU bound to the attached cache at engine
+   * construction (EvalCache::set_max_entries) so long-lived drivers stop
+   * growing it without bound. 0 leaves the cache's bound untouched.
+   */
+  std::size_t cache_max_entries = 0;
   /** When nonempty, rewrite a resume checkpoint after every batch. */
   std::string checkpoint_path;
 };

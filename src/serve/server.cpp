@@ -4,8 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "api/study.hpp"
 #include "exec/eval_cache.hpp"
-#include "exec/eval_engine.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
@@ -66,28 +66,28 @@ handle_run_async(const Message& req, const ServerContext& ctx,
             const std::string& checkpoint) {
             done.evals = info.evals;
             done.best = info.best;
+            // Server-side runs dispatch through the same execute() the
+            // local Study front door uses: the coordinator's fleet when
+            // workers are attached, the in-process async engine
+            // otherwise.
+            ExecRequest run;
             if (sharded) {
-                BatchSpec spec;
-                spec.benchmark = info.benchmark;
-                spec.run_seed = info.seed;
-                spec.cache = ctx.sessions->cache();
-                spec.cache_namespace = info.cache_namespace;
-                ctx.coordinator->drive_async(tuner, spec, slots, max_evals,
-                                             checkpoint, progress);
+                run.policy = ExecutionPolicy::Distributed(
+                    /*workers=*/0, slots, /*async=*/true);
+                run.coordinator = ctx.coordinator;
             } else {
-                const Benchmark& bench =
-                    suite::find_benchmark(info.benchmark);
-                EvalEngineOptions eopt;
-                eopt.num_threads = slots;
-                eopt.batch_size = slots;
-                eopt.async_mode = true;
-                eopt.cache = ctx.sessions->cache();
-                eopt.cache_namespace = info.cache_namespace;
-                eopt.checkpoint_path = checkpoint;
-                EvalEngine engine(eopt);
-                engine.drive_async(tuner, bench.evaluate, max_evals,
-                                   progress);
+                run.policy = ExecutionPolicy::Async(slots,
+                                                    /*num_threads=*/slots);
+                run.objective =
+                    suite::find_benchmark(info.benchmark).evaluate;
             }
+            run.benchmark = info.benchmark;
+            run.cache = ctx.sessions->cache();
+            run.cache_namespace = info.cache_namespace;
+            run.checkpoint_path = checkpoint;
+            run.max_evals = max_evals;
+            run.on_event = progress;
+            execute(tuner, run);
         });
     if (!drove) {
         return make_error(req.id,

@@ -5,10 +5,10 @@
 
 #include <sys/stat.h>
 
+#include "api/method_registry.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
 #include "suite/registry.hpp"
-#include "suite/runner.hpp"
 
 namespace baco::serve {
 
@@ -116,18 +116,21 @@ SessionManager::open_session(const Message& req)
         return make_error(req.id, "invalid session name");
     const Benchmark& bench = suite::find_benchmark(req.benchmark);
 
-    std::optional<suite::Method> method = suite::method_by_name(req.method);
-    if (!method)
-        return make_error(req.id, "unknown method: " + req.method);
-
     auto session = std::make_shared<Session>();
     session->name = req.session;
     session->benchmark = &bench;
     session->space = bench.make_space(SpaceVariant{});
     session->budget = req.budget > 0 ? req.budget : bench.full_budget;
-    int doe = req.doe > 0 ? req.doe : bench.doe_samples;
-    session->tuner = suite::make_ask_tell(*session->space, *method,
-                                          session->budget, doe, req.seed);
+    // Remote construction goes through the same MethodRegistry as local
+    // Study construction, so the two can never drift; unknown names
+    // throw with the closest registered methods (caught into an error
+    // frame by handle()).
+    MethodSpec spec;
+    spec.budget = session->budget;
+    spec.doe_samples = req.doe > 0 ? req.doe : bench.doe_samples;
+    spec.seed = req.seed;
+    session->tuner = MethodRegistry::global().make(
+        req.method, *session->space, spec);
     session->cache_namespace =
         EvalCache::namespace_key(bench.name, *session->space);
 

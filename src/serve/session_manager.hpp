@@ -5,10 +5,12 @@
  * @file
  * Multiplexes many named tuning sessions behind the wire protocol.
  *
- * Each session owns one ask-tell tuner (any suite method), its search
- * space, and its pending suggest() batch; the manager maps protocol
- * requests onto the ask-tell exchange while enforcing its contract
- * (every suggested batch is observed, in order, before the next one).
+ * Each session owns one ask-tell tuner (any MethodRegistry method —
+ * open_session resolves the request's method string through the same
+ * registry local Study construction uses), its search space, and its
+ * pending suggest() batch; the manager maps protocol requests onto the
+ * ask-tell exchange while enforcing its contract (every suggested batch
+ * is observed, in order, before the next one).
  *
  * Concurrency: sessions live in a lock-striped registry — requests for
  * different sessions proceed in parallel, requests for one session

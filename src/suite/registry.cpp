@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/chain_of_trees.hpp"
+#include "core/names.hpp"
 #include "hpvm/benchmarks.hpp"
 #include "rise/benchmarks.hpp"
 #include "taco/benchmarks.hpp"
@@ -41,7 +42,12 @@ find_benchmark(const std::string& name)
     for (const Benchmark& b : all_benchmarks())
         if (b.name == name)
             return b;
-    throw std::runtime_error("unknown benchmark '" + name + "'");
+    std::vector<std::string> known;
+    known.reserve(all_benchmarks().size());
+    for (const Benchmark& b : all_benchmarks())
+        known.push_back(b.name);
+    throw std::runtime_error("unknown benchmark '" + name + "'" +
+                             did_you_mean(name, known));
 }
 
 SpaceInfo

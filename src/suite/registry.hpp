@@ -21,7 +21,8 @@ const std::vector<Benchmark>& all_benchmarks();
 std::vector<const Benchmark*> benchmarks_for(const std::string& framework);
 
 /** Find an instance by name (e.g. "SpMM/scircuit").
- *  @throws std::runtime_error when absent. */
+ *  @throws std::runtime_error when absent, naming the closest
+ *  registered benchmarks ("did you mean ...?"). */
 const Benchmark& find_benchmark(const std::string& name);
 
 /** Table 3 row: space structure metadata. */

@@ -5,15 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
-#include <thread>
-
-#include "baselines/opentuner_like.hpp"
-#include "baselines/random_search.hpp"
-#include "baselines/ytopt_like.hpp"
-#include "exec/eval_cache.hpp"
+#include "api/method_registry.hpp"
+#include "api/study.hpp"
 #include "exec/thread_pool.hpp"
-#include "serve/coordinator.hpp"
-#include "serve/worker.hpp"
 
 namespace baco::suite {
 
@@ -64,45 +58,14 @@ std::unique_ptr<AskTellTuner>
 make_ask_tell(const SearchSpace& space, Method m, int budget, int doe_samples,
               std::uint64_t seed)
 {
-    switch (m) {
-      case Method::kBaco:
-      case Method::kBacoMinusMinus: {
-        TunerOptions opt = m == Method::kBaco
-                               ? TunerOptions::baco_defaults()
-                               : TunerOptions::baco_minus_minus();
-        opt.budget = budget;
-        opt.doe_samples = std::min(doe_samples, budget);
-        opt.seed = seed;
-        return std::make_unique<Tuner>(space, opt);
-      }
-      case Method::kAtfOpenTuner: {
-        OpenTunerLike::Options opt;
-        opt.budget = budget;
-        opt.initial_random = std::min(doe_samples, budget);
-        opt.seed = seed;
-        return std::make_unique<OpenTunerLike>(space, opt);
-      }
-      case Method::kYtopt:
-      case Method::kYtoptGp: {
-        YtoptLike::Options opt;
-        opt.budget = budget;
-        opt.doe_samples = std::min(doe_samples, budget);
-        opt.seed = seed;
-        opt.surrogate = m == Method::kYtopt
-                            ? YtoptLike::Surrogate::kRandomForest
-                            : YtoptLike::Surrogate::kGaussianProcess;
-        return std::make_unique<YtoptLike>(space, opt);
-      }
-      case Method::kUniform:
-      case Method::kCotSampling: {
-        RandomSearchOptions opt;
-        opt.budget = budget;
-        opt.seed = seed;
-        return std::make_unique<RandomSearchTuner>(
-            space, opt, /*biased_walk=*/m == Method::kCotSampling);
-      }
-    }
-    throw std::runtime_error("unhandled method");
+    // The MethodRegistry owns the factories; the enum's display name
+    // resolves as a registry alias, so enum- and string-keyed callers
+    // construct through the same code path.
+    MethodSpec spec;
+    spec.budget = budget;
+    spec.doe_samples = doe_samples;
+    spec.seed = seed;
+    return MethodRegistry::global().make(method_name(m), space, spec);
 }
 
 TuningHistory
@@ -115,21 +78,47 @@ run_method(const Benchmark& b, Method m, int budget, std::uint64_t seed,
     return drive_serial(*tuner, b.evaluate);
 }
 
+namespace {
+
+/** The shared Study assembly behind the deprecated run_method_* trio. */
+StudyBuilder
+study_for(const Benchmark& b, Method m, int budget, std::uint64_t seed,
+          const SpaceVariant& variant)
+{
+    StudyBuilder sb;
+    sb.benchmark(b)
+        .variant(variant)
+        .method(method_name(m))
+        .budget(budget)
+        .doe(b.doe_samples)
+        .seed(seed);
+    return sb;
+}
+
+}  // namespace
+
 TuningHistory
 run_method_batched(const Benchmark& b, Method m, int budget,
                    std::uint64_t seed, const EvalEngineOptions& exec,
                    const SpaceVariant& variant)
 {
-    std::shared_ptr<SearchSpace> space = b.make_space(variant);
-    std::unique_ptr<AskTellTuner> tuner =
-        make_ask_tell(*space, m, budget, b.doe_samples, seed);
-    EvalEngineOptions eopt = exec;
-    // A shared cache is namespaced by benchmark identity unless the
-    // caller already pinned a namespace.
-    if (eopt.cache && eopt.cache_namespace.empty())
-        eopt.cache_namespace = EvalCache::namespace_key(b.name, *space);
-    EvalEngine engine(eopt);
-    return engine.run(*tuner, b.evaluate);
+    if (budget <= 0)  // legacy semantic: an exhausted budget, not the
+        return {};    // StudyBuilder's benchmark-default fallback
+    // The engine honored exec.async_mode here before the Study
+    // refactor (drive() dispatches to drive_async), so the wrapper
+    // keeps doing it.
+    return study_for(b, m, budget, seed, variant)
+        .execution(exec.async_mode
+                       ? ExecutionPolicy::Async(exec.batch_size,
+                                                exec.num_threads)
+                       : ExecutionPolicy::Batched(exec.batch_size,
+                                                  exec.num_threads))
+        .cache(exec.cache, exec.cache_max_entries)
+        .cache_namespace(exec.cache_namespace)
+        .checkpoint(exec.checkpoint_path)
+        .build()
+        .run()
+        .history;
 }
 
 TuningHistory
@@ -137,15 +126,17 @@ run_method_async(const Benchmark& b, Method m, int budget,
                  std::uint64_t seed, const EvalEngineOptions& exec,
                  const SpaceVariant& variant)
 {
-    std::shared_ptr<SearchSpace> space = b.make_space(variant);
-    std::unique_ptr<AskTellTuner> tuner =
-        make_ask_tell(*space, m, budget, b.doe_samples, seed);
-    EvalEngineOptions eopt = exec;
-    eopt.async_mode = true;
-    if (eopt.cache && eopt.cache_namespace.empty())
-        eopt.cache_namespace = EvalCache::namespace_key(b.name, *space);
-    EvalEngine engine(eopt);
-    return engine.run_async(*tuner, b.evaluate);
+    if (budget <= 0)
+        return {};
+    return study_for(b, m, budget, seed, variant)
+        .execution(
+            ExecutionPolicy::Async(exec.batch_size, exec.num_threads))
+        .cache(exec.cache, exec.cache_max_entries)
+        .cache_namespace(exec.cache_namespace)
+        .checkpoint(exec.checkpoint_path)
+        .build()
+        .run()
+        .history;
 }
 
 TuningHistory
@@ -162,46 +153,19 @@ run_method_distributed(const Benchmark& b, Method m, int budget,
                        std::uint64_t seed, const DistributedOptions& opt,
                        const SpaceVariant& variant)
 {
-    serve::CoordinatorOptions copt;
-    copt.max_inflight_per_worker = opt.max_inflight_per_worker;
-    copt.straggler_ms = opt.straggler_ms;
-    serve::Coordinator coordinator(copt);
-
-    // In-process loopback workers: same wire protocol, zero OS plumbing.
-    std::vector<std::thread> worker_threads = serve::attach_loopback_workers(
-        coordinator, std::max(1, opt.workers), opt.max_inflight_per_worker);
-
-    std::shared_ptr<SearchSpace> space = b.make_space(variant);
-    std::unique_ptr<AskTellTuner> tuner =
-        make_ask_tell(*space, m, budget, b.doe_samples, seed);
-
-    serve::BatchSpec spec;
-    spec.benchmark = b.name;
-    spec.run_seed = seed;
-    spec.cache = opt.cache;
-    if (opt.cache)
-        spec.cache_namespace = EvalCache::namespace_key(b.name, *space);
-
-    TuningHistory history;
-    try {
-        if (opt.async) {
-            coordinator.drive_async(*tuner, spec, opt.batch_size, -1,
-                                    opt.checkpoint_path);
-        } else {
-            coordinator.drive(*tuner, spec, opt.batch_size, -1,
-                              opt.checkpoint_path);
-        }
-        history = tuner->take_history();
-    } catch (...) {
-        coordinator.shutdown();
-        for (std::thread& t : worker_threads)
-            t.join();
-        throw;
-    }
-    coordinator.shutdown();
-    for (std::thread& t : worker_threads)
-        t.join();
-    return history;
+    if (budget <= 0)
+        return {};
+    ExecutionPolicy policy = ExecutionPolicy::Distributed(
+        opt.workers, opt.batch_size, opt.async);
+    policy.max_inflight_per_worker = opt.max_inflight_per_worker;
+    policy.straggler_ms = opt.straggler_ms;
+    return study_for(b, m, budget, seed, variant)
+        .execution(policy)
+        .cache(opt.cache)
+        .checkpoint(opt.checkpoint_path)
+        .build()
+        .run()
+        .history;
 }
 
 double

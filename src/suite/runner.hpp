@@ -8,9 +8,15 @@
  * paper's figures report (mean best-so-far trajectories, performance
  * relative to expert, expert-success counts, evaluations-to-reach factors).
  *
- * Every method is constructed through the ask-tell factory, so the same
- * code path serves the serial loop, the batched EvalEngine, and the
- * thread-pool fan-out of seed repetitions (run_repetitions_parallel).
+ * Every method is constructed through the MethodRegistry (the enum here
+ * resolves by display name), so the same code path serves the serial
+ * loop, the batched EvalEngine, the thread-pool fan-out of seed
+ * repetitions (run_repetitions_parallel), and the serve protocol.
+ *
+ * The run_method_{batched,async,distributed} trio is deprecated: each is
+ * now a one-line wrapper over the baco::Study front door (api/study.hpp),
+ * kept for the bench harnesses and older call sites. New code should
+ * build a Study and pick an ExecutionPolicy instead.
  */
 
 #include <memory>
@@ -38,15 +44,17 @@ enum class Method {
 /** Display name ("BaCO", "ATF", "Ytopt", ...). */
 std::string method_name(Method m);
 
-/** Inverse of method_name (the serve protocol's method field). */
+/** Inverse of method_name. (The serve protocol resolves method strings
+ *  through the MethodRegistry now; this survives for enum callers.) */
 std::optional<Method> method_by_name(const std::string& name);
 
 /** The paper's five headline competitors (Fig. 5-7, Tables 5-9). */
 const std::vector<Method>& headline_methods();
 
 /**
- * Build the ask-tell tuner for a method. The space reference must outlive
- * the returned tuner. doe_samples is clamped to the budget.
+ * Build the ask-tell tuner for a method through the MethodRegistry. The
+ * space reference must outlive the returned tuner. doe_samples is
+ * clamped to the budget.
  */
 std::unique_ptr<AskTellTuner> make_ask_tell(const SearchSpace& space,
                                             Method m, int budget,
@@ -62,6 +70,7 @@ TuningHistory run_method(const Benchmark& b, Method m, int budget,
  * Run one method once through the batched EvalEngine. At
  * exec.batch_size == 1 this matches run_method bit-for-bit; larger batches
  * evaluate concurrently with reproducible (seed-determined) histories.
+ * @deprecated Wrapper over baco::Study with ExecutionPolicy::Batched.
  */
 TuningHistory run_method_batched(const Benchmark& b, Method m, int budget,
                                  std::uint64_t seed,
@@ -74,6 +83,7 @@ TuningHistory run_method_batched(const Benchmark& b, Method m, int budget,
  * in-flight cap). At batch_size 1 this still matches run_method
  * bit-for-bit; larger caps trade history-order reproducibility for
  * utilization — no slot ever idles on a straggling evaluation.
+ * @deprecated Wrapper over baco::Study with ExecutionPolicy::Async.
  */
 TuningHistory run_method_async(const Benchmark& b, Method m, int budget,
                                std::uint64_t seed,
@@ -110,6 +120,7 @@ struct DistributedOptions {
  * registry benchmark (workers resolve it by name). Shard-deterministic:
  * matches run_method_batched with the same seed and batch size
  * bit-for-bit, and run_method itself at batch_size == 1.
+ * @deprecated Wrapper over baco::Study with ExecutionPolicy::Distributed.
  */
 TuningHistory run_method_distributed(
     const Benchmark& b, Method m, int budget, std::uint64_t seed,

@@ -138,6 +138,94 @@ TEST(EvalCache, LoadSkipsAndCountsCorruptLines)
     std::remove(path.c_str());
 }
 
+namespace {
+Configuration
+cfg(std::int64_t tile, std::int64_t mode)
+{
+    return Configuration{tile, mode};
+}
+}  // namespace
+
+TEST(EvalCache, LruBoundEvictsOldestAndCountsStats)
+{
+    EvalCache cache;
+    cache.set_max_entries(2);
+    cache.insert(cfg(2, 0), EvalResult{1.0, true});
+    cache.insert(cfg(4, 0), EvalResult{2.0, true});
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // A lookup hit refreshes recency: after touching the oldest entry,
+    // the *other* one is evicted by the next insert.
+    ASSERT_TRUE(cache.lookup(cfg(2, 0)).has_value());
+    cache.insert(cfg(8, 0), EvalResult{3.0, true});
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.lookup(cfg(2, 0)).has_value());   // kept (touched)
+    EXPECT_FALSE(cache.lookup(cfg(4, 0)).has_value());  // evicted
+    EXPECT_TRUE(cache.lookup(cfg(8, 0)).has_value());
+
+    // Shrinking the bound evicts immediately; the evicted entries'
+    // accumulated hits show up in evicted_hits.
+    std::uint64_t hits_before = cache.evicted_hits();
+    cache.set_max_entries(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_GT(cache.evicted_hits(), hits_before);  // cfg(2,0) was hot
+
+    // 0 removes the bound again.
+    cache.set_max_entries(0);
+    cache.insert(cfg(16, 0), EvalResult{4.0, true});
+    cache.insert(cfg(32, 0), EvalResult{5.0, true});
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(EvalCache, BoundedReloadKeepsMostRecentlyUsedEntries)
+{
+    std::string path = testing::TempDir() + "baco_test_cache_lru.jsonl";
+    EvalCache cache;
+    for (std::int64_t t : {2, 4, 8, 16})
+        cache.insert(cfg(t, 0), EvalResult{double(t), true});
+    // Touch the two oldest so they are the most recently used at save.
+    ASSERT_TRUE(cache.lookup(cfg(2, 0)).has_value());
+    ASSERT_TRUE(cache.lookup(cfg(4, 0)).has_value());
+    ASSERT_TRUE(cache.save(path));
+
+    // Loading into a bounded cache keeps the hot entries and evicts the
+    // cold tail (save orders least-recently-used first).
+    EvalCache bounded;
+    bounded.set_max_entries(2);
+    ASSERT_TRUE(bounded.load(path));
+    EXPECT_EQ(bounded.size(), 2u);
+    EXPECT_EQ(bounded.evictions(), 2u);
+    EXPECT_TRUE(bounded.lookup(cfg(2, 0)).has_value());
+    EXPECT_TRUE(bounded.lookup(cfg(4, 0)).has_value());
+    EXPECT_FALSE(bounded.lookup(cfg(8, 0)).has_value());
+    EXPECT_FALSE(bounded.lookup(cfg(16, 0)).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, EngineAppliesLruBoundFromOptions)
+{
+    SearchSpace s = small_space();
+    TunerOptions topt;
+    topt.budget = 10;
+    topt.doe_samples = 4;
+    topt.seed = 9;
+    Tuner tuner(s, topt);
+
+    EvalCache cache;
+    EvalEngineOptions eopt;
+    eopt.batch_size = 2;
+    eopt.cache = &cache;
+    eopt.cache_max_entries = 3;
+    EvalEngine engine(eopt);
+    engine.run(tuner, det_eval);
+    EXPECT_EQ(cache.max_entries(), 3u);
+    EXPECT_LE(cache.size(), 3u);
+    EXPECT_GT(cache.evictions(), 0u);
+}
+
 TEST(EvalCache, NamespacesIsolateBenchmarks)
 {
     EvalCache cache;

@@ -23,6 +23,29 @@ TEST(Registry, LookupByName)
     EXPECT_THROW(find_benchmark("nope"), std::runtime_error);
 }
 
+TEST(Registry, LookupMissSuggestsClosestNames)
+{
+    // A near-miss names the real benchmark instead of a bare not-found.
+    try {
+        find_benchmark("SpMM/scirciut");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown benchmark 'SpMM/scirciut'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("did you mean"), std::string::npos);
+        EXPECT_NE(msg.find("'SpMM/scircuit'"), std::string::npos);
+    }
+    // A hopeless miss suggests nothing rather than a random name.
+    try {
+        find_benchmark("zzzzzz");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()).find("did you mean"),
+                  std::string::npos);
+    }
+}
+
 TEST(Registry, SpaceInfoMatchesTable3Structure)
 {
     // Spot-check the Table 3 rows our substitution preserves exactly:

@@ -12,15 +12,20 @@
 // request with "async":true on the run frame.
 //
 // --selftest runs the hermetic 2-worker end-to-end check (the same
-// parity contract the ctest suite enforces): a coordinator-sharded run
-// must reproduce the same-seed EvalEngine batch run bit-for-bit, and an
-// async fleet drive must complete the full budget without stalling.
+// parity contract the ctest suite enforces): a Study driven with
+// ExecutionPolicy::Distributed must reproduce the same-seed
+// ExecutionPolicy::Batched run bit-for-bit, and an async fleet drive
+// must complete the full budget without stalling.
+//
+// --list enumerates the registered benchmarks and MethodRegistry
+// methods (the names open_session and Study accept) and exits.
 //
 // Usage:
 //   baco_serve [--checkpoint-dir DIR] [--cache FILE]
 //              [--workers N] [--worker-cmd CMD]
 //              [--idle-timeout SECONDS] [--async]
 //   baco_serve --selftest [benchmark]
+//   baco_serve --list
 
 #include <csignal>
 #include <cstdio>
@@ -31,14 +36,12 @@
 #include <thread>
 #include <vector>
 
-#include "exec/eval_cache.hpp"
+#include "api/baco.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
 #include "serve/session_manager.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
-#include "suite/registry.hpp"
-#include "suite/runner.hpp"
 
 namespace {
 
@@ -46,42 +49,66 @@ int
 selftest(const std::string& benchmark_name)
 {
     using namespace baco;
-    const Benchmark& b = suite::find_benchmark(benchmark_name);
     const int budget = 16;
     const std::uint64_t seed = 17;
     const int batch = 4;
 
-    EvalEngineOptions eopt;
-    eopt.batch_size = batch;
-    TuningHistory reference = suite::run_method_batched(
-        b, suite::Method::kBaco, budget, seed, eopt);
+    auto study_with = [&](ExecutionPolicy policy) {
+        return StudyBuilder()
+            .benchmark(benchmark_name)
+            .method("baco")
+            .budget(budget)
+            .seed(seed)
+            .execution(policy)
+            .build()
+            .run();
+    };
 
-    suite::DistributedOptions dopt;
-    dopt.workers = 2;
-    dopt.batch_size = batch;
-    TuningHistory distributed = suite::run_method_distributed(
-        b, suite::Method::kBaco, budget, seed, dopt);
+    StudyResult reference = study_with(ExecutionPolicy::Batched(batch));
+    StudyResult distributed =
+        study_with(ExecutionPolicy::Distributed(2, batch));
 
-    bool ok = histories_equal(reference, distributed);
+    bool ok = histories_equal(reference.history, distributed.history);
     std::printf("baco_serve selftest: %s — %zu evals, best %.6g, "
-                "coordinator(2 workers) %s EvalEngine(batch=%d)\n",
-                b.name.c_str(), distributed.size(), distributed.best_value,
-                ok ? "==" : "!=", batch);
+                "Study[distributed, 2 workers] %s Study[batched=%d]\n",
+                distributed.benchmark.c_str(), distributed.history.size(),
+                distributed.history.best_value, ok ? "==" : "!=", batch);
 
     // Async leg: a tell-as-results-land fleet drive must still exhaust
     // the budget and find a finite best (history order is scheduling-
     // dependent, so no bit-for-bit claim here).
-    suite::DistributedOptions aopt = dopt;
-    aopt.async = true;
-    TuningHistory async = suite::run_method_distributed(
-        b, suite::Method::kBaco, budget, seed, aopt);
-    bool async_ok = async.size() == static_cast<std::size_t>(budget) &&
-                    async.best_config.has_value();
+    StudyResult async = study_with(
+        ExecutionPolicy::Distributed(2, batch, /*async=*/true));
+    bool async_ok =
+        async.history.size() == static_cast<std::size_t>(budget) &&
+        async.history.best_config.has_value();
     std::printf("baco_serve selftest: async fleet drive — %zu/%d evals, "
                 "best %.6g [%s]\n",
-                async.size(), budget, async.best_value,
+                async.history.size(), budget, async.history.best_value,
                 async_ok ? "ok" : "FAILED");
     return ok && async_ok ? 0 : 1;
+}
+
+int
+list_registry()
+{
+    using namespace baco;
+    std::printf("benchmarks (%zu):\n", suite::all_benchmarks().size());
+    for (const Benchmark& b : suite::all_benchmarks())
+        std::printf("  %-10s %-24s budget %d\n", b.framework.c_str(),
+                    b.name.c_str(), b.full_budget);
+    MethodRegistry& registry = MethodRegistry::global();
+    std::printf("methods:\n");
+    for (const std::string& name : registry.names())
+        std::printf("  %s\n", name.c_str());
+    auto aliases = registry.aliases();
+    if (!aliases.empty()) {
+        std::printf("method aliases:\n");
+        for (const auto& [alias, canonical] : aliases)
+            std::printf("  %-12s -> %s\n", alias.c_str(),
+                        canonical.c_str());
+    }
+    return 0;
 }
 
 }  // namespace
@@ -99,6 +126,7 @@ main(int argc, char** argv)
     double idle_timeout = 0.0;
     bool async_runs = false;
     bool run_selftest = false;
+    bool run_list = false;
     std::string selftest_benchmark = "SDDMM/email-Enron";
 
     for (int i = 1; i < argc; ++i) {
@@ -119,17 +147,21 @@ main(int argc, char** argv)
             run_selftest = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 selftest_benchmark = argv[++i];
+        } else if (arg == "--list") {
+            run_list = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--checkpoint-dir DIR] [--cache FILE] "
                          "[--workers N] [--worker-cmd CMD] "
                          "[--idle-timeout S] [--async] | "
-                         "--selftest [benchmark]\n",
+                         "--selftest [benchmark] | --list\n",
                          argv[0]);
             return 2;
         }
     }
 
+    if (run_list)
+        return list_registry();
     if (run_selftest)
         return selftest(selftest_benchmark);
 
