@@ -5,7 +5,12 @@
 // barriered batch engine at >= 1.5x lower wall-clock. Exit code 0 only
 // when both hold, so scripts/check.sh can gate on it.
 //
-// Usage: async_utilization [--reps N] [--seed S]
+// Usage: async_utilization [--reps N] [--seed S] [--json [PATH]]
+//
+// --json writes BENCH_async_utilization.json (or PATH): per-row
+// wall-clocks and speedups, the mean speedup against the 1.5x gate and
+// the quality verdict — the machine-readable perf trajectory CI
+// uploads as an artifact and scripts/check.sh's bench stage consumes.
 
 #include <chrono>
 #include <cmath>
@@ -97,7 +102,8 @@ run_mode(const SearchSpace& space, Method m, int budget, std::uint64_t seed,
 int
 main(int argc, char** argv)
 {
-    HarnessArgs args = HarnessArgs::parse(argc, argv, /*default_reps=*/3);
+    HarnessArgs args = HarnessArgs::parse(argc, argv, /*default_reps=*/3,
+                                          "BENCH_async_utilization.json");
     const int budget = 48;
     SearchSpace space = make_space();
 
@@ -112,22 +118,39 @@ main(int argc, char** argv)
     double speedup_sum = 0.0;
     int speedup_n = 0;
     bool quality_ok = true;
+    std::vector<std::string> json_rows;
+
+    auto record = [&](Method m, std::uint64_t seed, const Run& batched,
+                      const Run& async, bool gated) {
+        double speedup = batched.wall / std::max(async.wall, 1e-9);
+        table.add_row({method_name(m), std::to_string(seed),
+                       fmt(batched.wall, 3), fmt(async.wall, 3),
+                       fmt(speedup, 2) + "x", fmt(batched.best, 4),
+                       fmt(async.best, 4)});
+        baco::bench::JsonWriter row;
+        row.field("method", std::string(method_name(m)))
+            .field("seed", seed)
+            .field("gated", gated)
+            .field("batched_seconds", batched.wall)
+            .field("async_seconds", async.wall)
+            .field("speedup", speedup)
+            .field("batched_best", batched.best)
+            .field("async_best", async.best)
+            .field("evals", static_cast<std::uint64_t>(async.evals));
+        json_rows.push_back(row.str());
+        return speedup;
+    };
 
     for (int rep = 0; rep < args.reps; ++rep) {
         std::uint64_t seed = args.seed + static_cast<std::uint64_t>(rep);
         Run batched = run_mode(space, Method::kUniform, budget, seed, false);
         Run async = run_mode(space, Method::kUniform, budget, seed, true);
-        double speedup = batched.wall / std::max(async.wall, 1e-9);
-        speedup_sum += speedup;
+        speedup_sum += record(Method::kUniform, seed, batched, async, true);
         ++speedup_n;
         // A sampling tuner proposes the identical configuration sequence
         // either way, so async must reproduce the best exactly.
         if (async.best != batched.best || async.evals != batched.evals)
             quality_ok = false;
-        table.add_row({method_name(Method::kUniform), std::to_string(seed),
-                       fmt(batched.wall, 3), fmt(async.wall, 3),
-                       fmt(speedup, 2) + "x", fmt(batched.best, 4),
-                       fmt(async.best, 4)});
     }
 
     // Model-based row (reported, not gated: constant-liar fantasies make
@@ -136,21 +159,35 @@ main(int argc, char** argv)
         Run batched =
             run_mode(space, Method::kBaco, budget, args.seed, false);
         Run async = run_mode(space, Method::kBaco, budget, args.seed, true);
-        table.add_row({method_name(Method::kBaco),
-                       std::to_string(args.seed), fmt(batched.wall, 3),
-                       fmt(async.wall, 3),
-                       fmt(batched.wall / std::max(async.wall, 1e-9), 2) +
-                           "x",
-                       fmt(batched.best, 4), fmt(async.best, 4)});
+        record(Method::kBaco, args.seed, batched, async, false);
     }
     table.print(std::cout);
 
     double mean_speedup = speedup_sum / std::max(1, speedup_n);
-    bool speedup_ok = mean_speedup >= 1.5;
+    const double target = 1.5;
+    bool speedup_ok = mean_speedup >= target;
     std::cout << "\nmean utilization speedup (Uniform rows): "
               << fmt(mean_speedup, 2) << "x (target >= 1.5x) — "
               << (speedup_ok ? "ok" : "FAILED") << "\n"
               << "same-quality check (identical best, full budget): "
               << (quality_ok ? "ok" : "FAILED") << "\n";
+
+    if (!args.json_path.empty()) {
+        baco::bench::JsonWriter json;
+        json.field("bench", std::string("async_utilization"))
+            .field("budget", budget)
+            .field("reps", args.reps)
+            .field("workers", 4)
+            .field("mean_speedup", mean_speedup)
+            .field("target_speedup", target)
+            .field("speedup_ok", speedup_ok)
+            .field("quality_ok", quality_ok)
+            .raw_field("rows", baco::bench::JsonWriter::array(json_rows));
+        if (!baco::bench::write_json(args.json_path, json)) {
+            std::cout << "cannot write " << args.json_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << args.json_path << "\n";
+    }
     return speedup_ok && quality_ok ? 0 : 1;
 }

@@ -4,12 +4,16 @@
 /**
  * @file
  * Shared helpers for the figure/table regeneration harnesses: minimal
- * command-line parsing (--reps N, --seed S) and geometric-mean helpers.
+ * command-line parsing (--reps N, --seed S, --json [PATH]),
+ * geometric-mean helpers, and a tiny JSON emitter for the
+ * machine-readable bench-trajectory artifacts CI tracks across PRs.
  */
 
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,9 +25,17 @@ namespace baco::bench {
 struct HarnessArgs {
   int reps;
   std::uint64_t seed = 12345;
+  /** Non-empty: write the harness's JSON summary here. */
+  std::string json_path;
 
+  /**
+   * default_json names the artifact `--json` (without an explicit
+   * path) writes — e.g. "BENCH_async_utilization.json"; harnesses
+   * that pass nullptr require an explicit path.
+   */
   static HarnessArgs
-  parse(int argc, char** argv, int default_reps)
+  parse(int argc, char** argv, int default_reps,
+        const char* default_json = nullptr)
   {
       HarnessArgs args;
       args.reps = default_reps;
@@ -32,11 +44,97 @@ struct HarnessArgs {
               args.reps = std::atoi(argv[++i]);
           } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
               args.seed = std::strtoull(argv[++i], nullptr, 10);
+          } else if (std::strcmp(argv[i], "--json") == 0) {
+              if (i + 1 < argc && argv[i + 1][0] != '-')
+                  args.json_path = argv[++i];
+              else if (default_json)
+                  args.json_path = default_json;
           }
       }
       return args;
   }
 };
+
+/**
+ * Minimal JSON object/array emitter for flat bench summaries (numbers,
+ * booleans, plain ASCII strings — keys and values are emitted verbatim
+ * apart from quote/backslash escaping). Not a general serializer; just
+ * enough for BENCH_*.json artifacts.
+ */
+class JsonWriter {
+ public:
+  JsonWriter& field(const std::string& key, double v)
+  {
+      std::ostringstream os;
+      os.precision(10);
+      os << v;
+      return raw_field(key, os.str());
+  }
+  JsonWriter& field(const std::string& key, int v)
+  {
+      return raw_field(key, std::to_string(v));
+  }
+  JsonWriter& field(const std::string& key, std::uint64_t v)
+  {
+      return raw_field(key, std::to_string(v));
+  }
+  JsonWriter& field(const std::string& key, bool v)
+  {
+      return raw_field(key, v ? "true" : "false");
+  }
+  JsonWriter& field(const std::string& key, const std::string& v)
+  {
+      return raw_field(key, quote(v));
+  }
+  /** value is already-serialized JSON (an object or array). */
+  JsonWriter& raw_field(const std::string& key, const std::string& value)
+  {
+      if (!body_.empty())
+          body_ += ", ";
+      body_ += quote(key) + ": " + value;
+      return *this;
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+  static std::string
+  array(const std::vector<std::string>& elements)
+  {
+      std::string out = "[";
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+          if (i)
+              out += ", ";
+          out += elements[i];
+      }
+      return out + "]";
+  }
+
+  static std::string
+  quote(const std::string& s)
+  {
+      std::string out = "\"";
+      for (char c : s) {
+          if (c == '"' || c == '\\')
+              out += '\\';
+          out += c;
+      }
+      return out + "\"";
+  }
+
+ private:
+  std::string body_;
+};
+
+/** Write the summary (with a trailing newline); false on I/O failure. */
+inline bool
+write_json(const std::string& path, const JsonWriter& json)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << json.str() << "\n";
+    return static_cast<bool>(out);
+}
 
 /** Geometric mean that tolerates zeros by flooring at a tiny epsilon. */
 inline double

@@ -8,7 +8,12 @@
 // (and BaCO itself at batch size 4), so the batched engine's wall-clock
 // win is part of the bench trajectory.
 //
-// Usage: table10_wall_clock [--reps N] [--seed S]
+// Usage: table10_wall_clock [--reps N] [--seed S] [--json [PATH]]
+//
+// --json writes BENCH_table10_wall_clock.json (or PATH): the per-
+// (kernel, method) overhead/modelled-time rows plus the exec-engine
+// speedup section, so the wall-clock trajectory is machine-tracked
+// across PRs alongside BENCH_async_utilization.json.
 
 #include <chrono>
 #include <iostream>
@@ -27,8 +32,11 @@ using baco::bench::HarnessArgs;
 int
 main(int argc, char** argv)
 {
-    HarnessArgs args = HarnessArgs::parse(argc, argv, /*default_reps=*/3);
+    HarnessArgs args = HarnessArgs::parse(argc, argv, /*default_reps=*/3,
+                                          "BENCH_table10_wall_clock.json");
     const std::vector<Method>& methods = headline_methods();
+    std::vector<std::string> json_rows;
+    std::vector<std::string> json_engine_rows;
 
     print_banner(std::cout,
                  "Table 10: average wall-clock seconds per autotuning run "
@@ -68,6 +76,13 @@ main(int argc, char** argv)
             modelled /= n;
             table.add_row({g.kernel, method_name(m), fmt(overhead, 3),
                            fmt(modelled, 2), fmt(overhead + modelled, 2)});
+            baco::bench::JsonWriter row;
+            row.field("kernel", std::string(g.kernel))
+                .field("method", std::string(method_name(m)))
+                .field("search_overhead_seconds", overhead)
+                .field("modelled_kernel_seconds", modelled)
+                .field("total_seconds", overhead + modelled);
+            json_rows.push_back(row.str());
         }
     }
     table.print(std::cout);
@@ -109,6 +124,15 @@ main(int argc, char** argv)
         engine_table.add_row({name, "suite reps x" + std::to_string(reps),
                               fmt(seq, 2), fmt(par, 2),
                               fmt(seq / std::max(par, 1e-9), 2) + "x"});
+        {
+            baco::bench::JsonWriter row;
+            row.field("benchmark", std::string(name))
+                .field("mode", "suite_reps_x" + std::to_string(reps))
+                .field("sequential_seconds", seq)
+                .field("parallel_seconds", par)
+                .field("speedup", seq / std::max(par, 1e-9));
+            json_engine_rows.push_back(row.str());
+        }
 
         // Single run: serial loop vs batch-4 constant-liar engine.
         double run_seq = wall([&] {
@@ -124,6 +148,15 @@ main(int argc, char** argv)
                               fmt(run_batch, 2),
                               fmt(run_seq / std::max(run_batch, 1e-9), 2) +
                                   "x"});
+        {
+            baco::bench::JsonWriter row;
+            row.field("benchmark", std::string(name))
+                .field("mode", std::string("single_run_batch4"))
+                .field("sequential_seconds", run_seq)
+                .field("parallel_seconds", run_batch)
+                .field("speedup", run_seq / std::max(run_batch, 1e-9));
+            json_engine_rows.push_back(row.str());
+        }
     }
     engine_table.print(std::cout);
     std::cout << "\nSuite fan-out speedup approaches the core count (the "
@@ -132,5 +165,19 @@ main(int argc, char** argv)
                  "batched engine additionally overlaps compile+run "
                  "latency). Batch-4 trades per-iteration model refits for "
                  "fewer acquisition rounds.\n";
+
+    if (!args.json_path.empty()) {
+        baco::bench::JsonWriter json;
+        json.field("bench", std::string("table10_wall_clock"))
+            .field("reps", args.reps)
+            .raw_field("rows", baco::bench::JsonWriter::array(json_rows))
+            .raw_field("engine_rows",
+                       baco::bench::JsonWriter::array(json_engine_rows));
+        if (!baco::bench::write_json(args.json_path, json)) {
+            std::cout << "cannot write " << args.json_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << args.json_path << "\n";
+    }
     return 0;
 }

@@ -1,60 +1,176 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, test — with warnings-as-errors on the
-# src/exec/ and src/serve/ subsystems (BACO_WERROR_EXEC) — then the
-# distributed smoke test (a Study driven distributed over 2 loopback
-# workers must reproduce the same-seed batched Study end-to-end, plus
-# the async fleet drive), the async utilization bench
-# (tell-as-results-land must beat the batched engine >= 1.5x on
-# heavy-tailed delays), a TSAN (BACO_SANITIZE=thread) build of the
-# concurrency-heavy exec + serve tests, and an ASAN
-# (BACO_SANITIZE=address) build of the api + exec + serve tests.
+# The one verification script CI jobs and local runs share, split into
+# selectable stages so both invoke identical commands:
+#
+#   tier1     configure + build (warnings-as-errors on src/exec +
+#             src/serve via BACO_WERROR_EXEC) + the full ctest suite
+#   selftest  baco_serve --selftest: distributed-vs-batched Study
+#             parity, the async fleet drive, and the multi-client
+#             socket leg (2 concurrent unix-socket clients must match
+#             2 sequential stdio runs bit-for-bit)
+#   bench     bench_async_utilization with --json: tell-as-results-land
+#             must beat the batched engine >= 1.5x on heavy-tailed
+#             delays; the gate re-checks the machine-readable
+#             BENCH_async_utilization.json trajectory artifact
+#   tsan      ThreadSanitizer build (BACO_SANITIZE=thread) of the
+#             concurrency-heavy exec + serve tests
+#   asan      AddressSanitizer build (BACO_SANITIZE=address) of the
+#             api + exec + serve tests
+#
+# Usage: check.sh [--stage tier1|selftest|bench|tsan|asan|all]...
+#        (repeatable; default: all — with a pass/fail summary table)
+#
+# Environment: BACO_BUILD_TYPE (default Release), BACO_BUILD_DIR
+# (default build), CXX/CC for the compiler, ccache auto-detected.
 set -euo pipefail
 
+# Resolve before cd: the driver re-invokes this script per stage, and a
+# relative $0 would dangle once we chdir to the repo root.
+SELF="$(cd "$(dirname "$0")" && pwd)/$(basename "$0")"
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . -DBACO_WERROR_EXEC=ON
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+BUILD_TYPE="${BACO_BUILD_TYPE:-Release}"
+BUILD_DIR="${BACO_BUILD_DIR:-build}"
 
-./build/baco_serve --selftest
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+    CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-./build/bench_async_utilization --reps 2
+usage() {
+    echo "usage: $0 [--stage tier1|selftest|bench|tsan|asan|all]..." >&2
+    exit 2
+}
 
-# ---- ThreadSanitizer pass over the exec + serve test suite. ----
-if echo 'int main(){return 0;}' | "${CXX:-c++}" -fsanitize=thread -x c++ - \
-       -o /tmp/baco_tsan_probe 2>/dev/null; then
-    rm -f /tmp/baco_tsan_probe
+# ---- Stage bodies (each runs under the top-level set -e). -----------------
+
+build_main() {
+    cmake -B "$BUILD_DIR" -S . -DBACO_WERROR_EXEC=ON \
+          -DCMAKE_BUILD_TYPE="$BUILD_TYPE" "${CMAKE_EXTRA[@]}"
+    cmake --build "$BUILD_DIR" -j
+}
+
+stage_tier1() {
+    build_main
+    (cd "$BUILD_DIR" && ctest --output-on-failure -j)
+}
+
+stage_selftest() {
+    build_main
+    "./$BUILD_DIR/baco_serve" --selftest
+}
+
+stage_bench() {
+    build_main
+    "./$BUILD_DIR/bench_async_utilization" --reps 2 \
+        --json "$BUILD_DIR/BENCH_async_utilization.json"
+    # Re-check the artifact itself: the trajectory CI uploads must agree
+    # with the exit code, so a bench that stops writing it fails here.
+    grep -q '"speedup_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
+    grep -q '"quality_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
+}
+
+sanitizer_available() {
+    local flag="$1"
+    if echo 'int main(){return 0;}' | "${CXX:-c++}" "-fsanitize=$flag" \
+           -x c++ - -o /tmp/baco_san_probe 2>/dev/null; then
+        rm -f /tmp/baco_san_probe
+        return 0
+    fi
+    return 1
+}
+
+# The concurrency-heavy exec + serve surface (CmdWorkerAddress… in
+# test_serve_socket additionally spawns ./baco_worker).
+SAN_TARGETS=(test_exec_engine test_exec_async test_exec_pool
+             test_exec_cache test_exec_checkpoint
+             test_serve_protocol test_serve_session
+             test_serve_distributed test_serve_fuzz test_serve_socket
+             baco_worker)
+SAN_REGEX='test_exec_(engine|async|pool|cache|checkpoint)|test_serve_(protocol|session|distributed|fuzz|socket)'
+
+stage_tsan() {
+    if ! sanitizer_available thread; then
+        echo "check.sh: thread sanitizer unavailable; skipping TSAN stage"
+        return 0
+    fi
     cmake -B build-tsan -S . -DBACO_SANITIZE=thread \
-          -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target \
-          test_exec_engine test_exec_async test_exec_pool \
-          test_exec_cache test_exec_checkpoint \
-          test_serve_protocol test_serve_session \
-          test_serve_distributed test_serve_fuzz
-    (cd build-tsan && ctest --output-on-failure \
-          -R 'test_exec_(engine|async|pool|cache|checkpoint)|test_serve_(protocol|session|distributed|fuzz)' \
-          -j 4)
-else
-    echo "check.sh: thread sanitizer unavailable; skipping TSAN pass"
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA[@]}"
+    cmake --build build-tsan -j --target "${SAN_TARGETS[@]}"
+    (cd build-tsan && ctest --output-on-failure -R "$SAN_REGEX" -j 4)
+}
+
+stage_asan() {
+    if ! sanitizer_available address; then
+        echo "check.sh: address sanitizer unavailable; skipping ASAN stage"
+        return 0
+    fi
+    # The Study front door fans out across every execution back-end, so
+    # the ASAN leg runs its parity suite on top of the exec/serve tests.
+    cmake -B build-asan -S . -DBACO_SANITIZE=address \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA[@]}"
+    cmake --build build-asan -j --target test_api_study "${SAN_TARGETS[@]}"
+    (cd build-asan && ctest --output-on-failure \
+          -R "test_api_study|$SAN_REGEX" -j 4)
+}
+
+# ---- Driver. --------------------------------------------------------------
+# Each stage runs as a child `check.sh --run-one <stage>` process: that
+# keeps `set -e` live inside stage bodies (an `if stage_x; ...` in this
+# shell would suspend it) while the parent collects per-stage verdicts
+# for the summary table.
+
+if [[ "${1:-}" == "--run-one" ]]; then
+    [[ $# -eq 2 ]] || usage
+    case "$2" in
+      tier1|selftest|bench|tsan|asan) "stage_$2" ;;
+      *) usage ;;
+    esac
+    exit 0
 fi
 
-# ---- AddressSanitizer pass over the api + exec + serve test suite. ----
-# The Study front door fans out across every execution back-end, so the
-# ASAN leg runs its parity suite on top of the exec/serve tests.
-if echo 'int main(){return 0;}' | "${CXX:-c++}" -fsanitize=address -x c++ - \
-       -o /tmp/baco_asan_probe 2>/dev/null; then
-    rm -f /tmp/baco_asan_probe
-    cmake -B build-asan -S . -DBACO_SANITIZE=address \
-          -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-asan -j --target \
-          test_api_study \
-          test_exec_engine test_exec_async test_exec_pool \
-          test_exec_cache test_exec_checkpoint \
-          test_serve_protocol test_serve_session \
-          test_serve_distributed test_serve_fuzz
-    (cd build-asan && ctest --output-on-failure \
-          -R 'test_api_study|test_exec_(engine|async|pool|cache|checkpoint)|test_serve_(protocol|session|distributed|fuzz)' \
-          -j 4)
-else
-    echo "check.sh: address sanitizer unavailable; skipping ASAN pass"
-fi
+STAGES=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --stage)
+        shift
+        [[ $# -gt 0 ]] || usage
+        STAGES+=("$1")
+        ;;
+      -h|--help) usage ;;
+      *) usage ;;
+    esac
+    shift
+done
+[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(all)
+
+EXPANDED=()
+for stage in "${STAGES[@]}"; do
+    case "$stage" in
+      all) EXPANDED+=(tier1 selftest bench tsan asan) ;;
+      tier1|selftest|bench|tsan|asan) EXPANDED+=("$stage") ;;
+      *) usage ;;
+    esac
+done
+
+declare -A VERDICT
+FAILED=0
+for stage in "${EXPANDED[@]}"; do
+    echo
+    echo "==== check.sh stage: $stage ===="
+    if "$SELF" --run-one "$stage"; then
+        VERDICT[$stage]=PASS
+    else
+        VERDICT[$stage]=FAIL
+        FAILED=1
+    fi
+done
+
+echo
+echo "==== check.sh summary ===="
+printf '%-10s %s\n' "stage" "result"
+printf '%-10s %s\n' "-----" "------"
+for stage in "${EXPANDED[@]}"; do
+    printf '%-10s %s\n' "$stage" "${VERDICT[$stage]}"
+done
+exit "$FAILED"

@@ -14,9 +14,28 @@
  * per-result reproducibility but order the history by completion.
  * Batched at batch_size 1, Async with 1 slot and Distributed with
  * batch_size 1 all reproduce the Serial history exactly.
+ *
+ * Distributed runs come in three fleet flavours, all sharing the
+ * determinism contract (workers derive every noise stream from
+ * (seed, index), so worker placement never changes a history):
+ *  - Distributed(n): spawn n in-process loopback worker threads;
+ *  - Remote({"tcp:HOST:PORT", "unix:PATH", "cmd:ARGV..."}): connect (or
+ *    spawn) each named worker — cross-host deployment from the front
+ *    door;
+ *  - Attached(&coordinator): drive an externally owned, already
+ *    registered fleet (e.g. workers that joined a baco_serve --listen
+ *    acceptor over the network).
  */
 
+#include <mutex>
+#include <string>
+#include <vector>
+
 namespace baco {
+
+namespace serve {
+class Coordinator;
+}
 
 /** How a Study executes its evaluations. */
 struct ExecutionPolicy {
@@ -41,6 +60,30 @@ struct ExecutionPolicy {
 
   /** Distributed: in-process loopback workers to spawn. */
   int workers = 2;
+
+  /**
+   * Distributed: connect these workers instead of spawning loopback
+   * threads. "unix:PATH" / "tcp:HOST:PORT" attach over sockets;
+   * "cmd:ARGV..." forks the command (whitespace-split) wired through
+   * pipes. Non-empty overrides `workers`.
+   */
+  std::vector<std::string> worker_addresses;
+
+  /**
+   * Distributed: drive this already-attached fleet (not owned, not shut
+   * down by the study). Non-null overrides both `workers` and
+   * `worker_addresses`.
+   */
+  serve::Coordinator* fleet = nullptr;
+
+  /**
+   * Distributed(Attached): serializes fleet use for the run's whole
+   * duration. REQUIRED whenever the fleet can be touched concurrently —
+   * another study driving it, or a serve Acceptor attaching socket
+   * workers at runtime (pass &acceptor.fleet_mutex()); the Coordinator
+   * itself is a single-driver object with no internal locking.
+   */
+  std::mutex* fleet_lock = nullptr;
 
   /** Distributed: drive tell-as-results-land across the fleet. */
   bool async = false;
@@ -86,6 +129,35 @@ struct ExecutionPolicy {
       p.workers = workers;
       p.batch_size = batch_size;
       p.async = async;
+      return p;
+  }
+
+  /** Sharded over connected/spawned workers named by address. */
+  static ExecutionPolicy
+  Remote(std::vector<std::string> workers, int batch_size = 4,
+         bool async = false)
+  {
+      ExecutionPolicy p;
+      p.mode = Mode::kDistributed;
+      p.worker_addresses = std::move(workers);
+      p.batch_size = batch_size;
+      p.async = async;
+      return p;
+  }
+
+  /** Sharded over an externally owned, pre-registered fleet.
+   *  fleet_lock (see the field) is mandatory when anything else can
+   *  touch the fleet while the study runs. */
+  static ExecutionPolicy
+  Attached(serve::Coordinator* fleet, int batch_size = 4,
+           bool async = false, std::mutex* fleet_lock = nullptr)
+  {
+      ExecutionPolicy p;
+      p.mode = Mode::kDistributed;
+      p.fleet = fleet;
+      p.batch_size = batch_size;
+      p.async = async;
+      p.fleet_lock = fleet_lock;
       return p;
   }
 };

@@ -10,6 +10,7 @@
 #include "exec/eval_cache.hpp"
 #include "exec/eval_engine.hpp"
 #include "serve/coordinator.hpp"
+#include "serve/transport.hpp"
 #include "serve/worker.hpp"
 #include "suite/registry.hpp"
 
@@ -154,6 +155,47 @@ drive_rounds(AskTellTuner& tuner, const ExecRequest& req, int batch_size,
     }
 }
 
+/**
+ * Attach one ExecutionPolicy::Remote worker: "cmd:ARGV..." forks the
+ * (whitespace-split) command over pipes; anything else is a socket
+ * address a baco_worker --connect is listening behind. Throws on an
+ * unreachable or mis-handshaking worker — a remote study must not
+ * silently fall back to a smaller fleet.
+ */
+void
+attach_remote_worker(serve::Coordinator& coordinator,
+                     const std::string& addr, std::vector<int>& pids)
+{
+    std::unique_ptr<serve::Transport> transport;
+    if (addr.rfind("cmd:", 0) == 0) {
+        std::vector<std::string> argv;
+        std::string word;
+        for (char c : addr.substr(4)) {
+            if (c == ' ' || c == '\t') {
+                if (!word.empty())
+                    argv.push_back(std::move(word));
+                word.clear();
+            } else {
+                word += c;
+            }
+        }
+        if (!word.empty())
+            argv.push_back(std::move(word));
+        serve::ChildProcess child = serve::spawn_process(argv);
+        if (!child.transport)
+            throw std::runtime_error("cannot spawn worker: " + addr);
+        pids.push_back(child.pid);
+        transport = std::move(child.transport);
+    } else {
+        std::string error;
+        transport = serve::connect_socket(addr, &error);
+        if (!transport)
+            throw std::runtime_error("cannot attach worker: " + error);
+    }
+    if (coordinator.add_worker(std::move(transport)) < 0)
+        throw std::runtime_error("worker handshake failed: " + addr);
+}
+
 }  // namespace
 
 void
@@ -240,27 +282,53 @@ Study::run()
     resume_pending_.clear();
 
     if (policy_.mode == ExecutionPolicy::Mode::kDistributed) {
+        req.benchmark = benchmark_ ? benchmark_->name : std::string{};
+        if (policy_.fleet) {
+            // Attached fleet: externally owned — drive it, don't shut
+            // it down (other studies/clients may share it). The policy's
+            // fleet_lock excludes concurrent drivers and runtime worker
+            // attachment for the run's duration.
+            std::unique_lock<std::mutex> fleet_guard;
+            if (policy_.fleet_lock)
+                fleet_guard = std::unique_lock<std::mutex>(
+                    *policy_.fleet_lock);
+            req.coordinator = policy_.fleet;
+            execute(*tuner_, req);
+            return finalize(tuner_->take_history());
+        }
         serve::CoordinatorOptions copt;
         copt.max_inflight_per_worker = policy_.max_inflight_per_worker;
         copt.straggler_ms = policy_.straggler_ms;
         serve::Coordinator coordinator(copt);
-        std::vector<std::thread> worker_threads =
-            serve::attach_loopback_workers(
-                coordinator, std::max(1, policy_.workers),
-                policy_.max_inflight_per_worker);
+        std::vector<std::thread> worker_threads;
+        std::vector<int> worker_pids;
         req.coordinator = &coordinator;
-        req.benchmark = benchmark_ ? benchmark_->name : std::string{};
-        try {
-            execute(*tuner_, req);
-        } catch (...) {
+        auto wind_down = [&] {
             coordinator.shutdown();
             for (std::thread& t : worker_threads)
                 t.join();
+            for (int pid : worker_pids)
+                serve::wait_process(pid);
+        };
+        // Attachment happens inside the guarded region: a fleet that
+        // fails to assemble halfway (one worker spawned, the next
+        // unreachable) must still shut down and reap what it spawned,
+        // or every failed Remote study leaks a zombie child.
+        try {
+            if (!policy_.worker_addresses.empty()) {
+                for (const std::string& addr : policy_.worker_addresses)
+                    attach_remote_worker(coordinator, addr, worker_pids);
+            } else {
+                worker_threads = serve::attach_loopback_workers(
+                    coordinator, std::max(1, policy_.workers),
+                    policy_.max_inflight_per_worker);
+            }
+            execute(*tuner_, req);
+        } catch (...) {
+            wind_down();
             throw;
         }
-        coordinator.shutdown();
-        for (std::thread& t : worker_threads)
-            t.join();
+        wind_down();
     } else {
         req.objective = objective_;
         execute(*tuner_, req);

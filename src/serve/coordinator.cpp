@@ -63,9 +63,19 @@ Coordinator::add_worker(std::unique_ptr<Transport> transport)
         hello.version != kProtocolVersion || hello.text != "worker") {
         return -1;
     }
+    return add_worker_registered(std::move(transport), hello.capacity);
+}
+
+int
+Coordinator::add_worker_registered(std::unique_ptr<Transport> transport,
+                                   int capacity)
+{
+    if (!transport)
+        return -1;
     auto w = std::make_unique<Worker>();
     w->transport = std::move(transport);
-    w->capacity = std::clamp(hello.capacity, 1, opt_.max_inflight_per_worker);
+    w->capacity = std::clamp(capacity > 0 ? capacity : 1, 1,
+                             opt_.max_inflight_per_worker);
     workers_.push_back(std::move(w));
     return static_cast<int>(workers_.size()) - 1;
 }

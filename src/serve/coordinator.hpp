@@ -90,6 +90,15 @@ class Coordinator {
    */
   int add_worker(std::unique_ptr<Transport> transport);
 
+  /**
+   * Register a worker whose hello frame was already consumed and
+   * validated by the caller (the Acceptor routes worker connections
+   * here after reading their first frame). capacity is the hello's
+   * advertised slot count (<= 0 falls back to 1).
+   */
+  int add_worker_registered(std::unique_ptr<Transport> transport,
+                            int capacity);
+
   /** Workers still believed alive. */
   std::size_t num_workers() const;
 

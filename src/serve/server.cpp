@@ -16,6 +16,33 @@ namespace baco::serve {
 namespace {
 
 /**
+ * Exclusive use of the shared worker fleet for one run. The Coordinator
+ * is a single-driver object, so concurrent connections must take the
+ * context's fleet mutex before even counting workers (the Acceptor's
+ * attach path grows the worker vector concurrently). Runs that turn out
+ * to evaluate in-process release() immediately — they never touch the
+ * fleet, and holding the lock would needlessly serialize them.
+ */
+class FleetGuard {
+ public:
+    explicit FleetGuard(const ServerContext& ctx)
+    {
+        if (ctx.fleet_mutex)
+            lock_ = std::unique_lock<std::mutex>(*ctx.fleet_mutex);
+    }
+
+    void
+    release()
+    {
+        if (lock_.owns_lock())
+            lock_.unlock();
+    }
+
+ private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
  * Async server-side drive of one session: tell-as-results-land over the
  * coordinator's fleet (or the in-process EvalEngine without workers),
  * streaming one result frame per landed evaluation to the client.
@@ -32,7 +59,10 @@ handle_run_async(const Message& req, const ServerContext& ctx,
         req.n > 0 ? req.n : std::max(1, ctx.async_slots), 1,
         kMaxAsyncSlots);
     const int max_evals = req.budget > 0 ? req.budget : -1;
+    FleetGuard fleet(ctx);
     bool sharded = ctx.coordinator && ctx.coordinator->num_workers() > 0;
+    if (!sharded)
+        fleet.release();
 
     Message done;
     done.type = MsgType::kDone;
@@ -111,7 +141,10 @@ handle_run(const Message& req, const ServerContext& ctx)
 
     const int batch = std::max(1, req.n);
     const int max_evals = req.budget > 0 ? req.budget : -1;
+    FleetGuard fleet(ctx);
     bool sharded = ctx.coordinator && ctx.coordinator->num_workers() > 0;
+    if (!sharded)
+        fleet.release();
     const Benchmark* local_bench = nullptr;
     if (!sharded)
         local_bench = &suite::find_benchmark(info->benchmark);
@@ -206,12 +239,28 @@ serve_connection(Transport& transport, const ServerContext& ctx)
     if (!ctx.sessions)
         return stats;
 
-    // ---- Version handshake. ----
     std::string line;
     if (transport.recv(line) != RecvStatus::kOk)
         return stats;
     Message hello;
-    if (!decode(line, hello) || hello.type != MsgType::kHello) {
+    if (!decode(line, hello)) {
+        transport.send(encode(make_error(0, "expected hello frame")));
+        return stats;
+    }
+    return serve_connection(transport, ctx, hello);
+}
+
+ServeStats
+serve_connection(Transport& transport, const ServerContext& ctx,
+                 const Message& hello)
+{
+    ServeStats stats;
+    if (!ctx.sessions)
+        return stats;
+
+    // ---- Version handshake. ----
+    std::string line;
+    if (hello.type != MsgType::kHello) {
         transport.send(encode(make_error(0, "expected hello frame")));
         return stats;
     }
@@ -270,6 +319,240 @@ serve_connection(Transport& transport, const ServerContext& ctx)
         }
     }
     return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------------
+
+Acceptor::Acceptor(Listener listener, ServerContext ctx, AcceptorOptions opt)
+    : listener_(std::move(listener)), ctx_(ctx), opt_(opt)
+{
+    if (opt_.max_clients < 1)
+        opt_.max_clients = 1;
+    if (opt_.poll_ms < 1)
+        opt_.poll_ms = 1;
+    // Every connection of this acceptor shares one fleet mutex, so
+    // sharded runs from different clients serialize instead of racing
+    // the Coordinator.
+    ctx_.fleet_mutex = &fleet_mutex_;
+}
+
+Acceptor::~Acceptor()
+{
+    stop();
+    reap(/*all=*/true);
+}
+
+void
+Acceptor::stop()
+{
+    stopping_.store(true);
+    listener_.close();
+}
+
+std::size_t
+Acceptor::live_clients() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t live = 0;
+    for (const auto& c : connections_)
+        if (c->is_client.load() && !c->done.load())
+            ++live;
+    return live;
+}
+
+AcceptorStats
+Acceptor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Acceptor::reap(bool all)
+{
+    // Joining with mutex_ held would deadlock against a connection
+    // thread recording its stats, so move the finished (or, on
+    // shutdown, every) connection out first and join unlocked. A
+    // thread's done flag is set strictly after its stats section, so a
+    // done connection never touches the mutex again.
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = connections_.begin();
+        while (it != connections_.end()) {
+            if (all || (*it)->done.load()) {
+                finished.push_back(std::move(*it));
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Close everything first, join second: connection threads can block
+    // on EACH OTHER (a sharded run queued on the fleet mutex only wakes
+    // when the mutex holder's own transport dies), so an interleaved
+    // close-then-join could join a thread whose unblocker comes later
+    // in the list. Transports whose ownership moved on (attached
+    // workers) are left open — the coordinator shuts them down.
+    if (all) {
+        for (auto& c : finished) {
+            if (!c->released.load())
+                c->transport->close();
+        }
+    }
+    for (auto& c : finished) {
+        if (c->thread.joinable())
+            c->thread.join();
+    }
+}
+
+namespace {
+
+/** Transport view over shared ownership (a worker connection's socket
+ *  outlives its Acceptor connection record). */
+class SharedTransport : public Transport {
+ public:
+    explicit SharedTransport(std::shared_ptr<Transport> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    bool
+    send(const std::string& line) override
+    {
+        return inner_->send(line);
+    }
+
+    RecvStatus
+    recv(std::string& line, int timeout_ms) override
+    {
+        return inner_->recv(line, timeout_ms);
+    }
+
+    void
+    close() override
+    {
+        inner_->close();
+    }
+
+ private:
+    std::shared_ptr<Transport> inner_;
+};
+
+}  // namespace
+
+void
+Acceptor::route_connection(Connection* conn)
+{
+    // First frame, read on the connection's own thread — a client that
+    // connects and sends nothing stalls only itself, never the accept
+    // loop. Routing on it is what lets one listening socket serve both
+    // session clients and worker registrations.
+    Transport& transport = *conn->transport;
+    std::string line;
+    std::string reject;
+    Message hello;
+    if (transport.recv(line, opt_.hello_timeout_ms) != RecvStatus::kOk) {
+        reject = "";  // silent connection: nothing to answer
+    } else if (!decode(line, hello)) {
+        reject = "expected hello frame";
+    } else if (hello.type == MsgType::kHello && hello.text == "worker") {
+        if (!ctx_.coordinator) {
+            reject = "server accepts no workers";
+        } else if (hello.version != kProtocolVersion) {
+            reject = "protocol version mismatch";
+        } else {
+            // May wait out a long sharded run on the fleet mutex; only
+            // this worker's attach is delayed, not the accept loop.
+            {
+                std::lock_guard<std::mutex> fleet(fleet_mutex_);
+                ctx_.coordinator->add_worker_registered(
+                    std::make_unique<SharedTransport>(conn->transport),
+                    hello.capacity);
+            }
+            conn->released.store(true);
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.workers_attached += 1;
+            conn->done.store(true);
+            return;
+        }
+    } else {
+        // A session client (or a first frame serve_connection will
+        // answer with an error): admit it against the client cap.
+        std::unique_lock<std::mutex> lock(mutex_);
+        std::size_t live = 0;
+        for (const auto& c : connections_)
+            if (c->is_client.load() && !c->done.load())
+                ++live;
+        if (live >= static_cast<std::size_t>(opt_.max_clients)) {
+            stats_.rejected += 1;
+            lock.unlock();
+            transport.send(encode(make_error(
+                0, "server full: " + std::to_string(opt_.max_clients) +
+                       " clients connected")));
+            conn->done.store(true);
+            return;
+        }
+        conn->is_client.store(true);
+        stats_.accepted += 1;
+        stats_.peak_clients = std::max<std::uint64_t>(stats_.peak_clients,
+                                                      live + 1);
+        lock.unlock();
+
+        ServeStats s = serve_connection(transport, ctx_, hello);
+        std::lock_guard<std::mutex> guard(mutex_);
+        stats_.requests += s.requests;
+        stats_.errors += s.errors;
+        conn->done.store(true);
+        return;
+    }
+
+    if (!reject.empty())
+        transport.send(encode(make_error(0, reject)));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.rejected += 1;
+    }
+    conn->done.store(true);
+}
+
+void
+Acceptor::run()
+{
+    while (!stopping_.load() && !listener_.closed()) {
+        std::unique_ptr<Transport> client = listener_.accept(opt_.poll_ms);
+        if (client && !stopping_.load()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Hard bound on connection threads: the per-role caps are
+            // enforced post-hello, so allow slack for connections still
+            // introducing themselves, but never unbounded growth under
+            // a connect flood.
+            std::size_t live = 0;
+            for (const auto& c : connections_)
+                if (!c->done.load())
+                    ++live;
+            if (live >= static_cast<std::size_t>(opt_.max_clients) + 16) {
+                // Dropped without a frame; the flood case by definition
+                // has no well-behaved peer waiting for an answer.
+            } else {
+                // Spawn and publish under the same lock: a shutdown
+                // reap must never see a connection whose thread member
+                // is not yet assigned. The new thread touches mutex_
+                // only under its own locks, so no lock-order issue.
+                auto conn = std::make_unique<Connection>();
+                conn->transport =
+                    std::shared_ptr<Transport>(std::move(client));
+                Connection* raw = conn.get();
+                raw->thread =
+                    std::thread([this, raw] { route_connection(raw); });
+                connections_.push_back(std::move(conn));
+            }
+        }
+        reap(/*all=*/false);
+    }
+    reap(/*all=*/true);
 }
 
 }  // namespace baco::serve

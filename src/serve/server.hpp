@@ -3,8 +3,10 @@
 
 /**
  * @file
- * The serve loop: one protocol connection against a SessionManager, with
- * an optional Coordinator for server-side evaluation fan-out.
+ * The serve loop — one protocol connection against a SessionManager,
+ * with an optional Coordinator for server-side evaluation fan-out — and
+ * the Acceptor, which multiplexes many such connections over one
+ * listening socket (`baco_serve --listen`).
  *
  * The connection opens with a hello/welcome handshake (protocol-version
  * checked), then answers requests until shutdown or transport close.
@@ -24,14 +26,20 @@
  * run progress instead of waiting out the slowest compile.
  */
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "serve/session_manager.hpp"
+#include "serve/transport.hpp"
 
 namespace baco::serve {
 
 class Coordinator;
-class Transport;
+struct Message;
 
 /** Everything one connection serves against. */
 struct ServerContext {
@@ -42,6 +50,14 @@ struct ServerContext {
   bool async_runs = false;
   /** In-flight cap of an async run when the request's n is 0. */
   int async_slots = 4;
+  /**
+   * Serializes coordinator use across concurrent connections (the
+   * Coordinator is a single-driver object: one sharded run at a time).
+   * The Acceptor supplies one; a single-connection server leaves it
+   * null. Connections whose runs evaluate in-process never take it, so
+   * only fleet-driven runs queue up behind each other.
+   */
+  std::mutex* fleet_mutex = nullptr;
 };
 
 /** Connection counters, for logs and tests. */
@@ -57,6 +73,105 @@ struct ServeStats {
  * and the connection keeps serving.
  */
 ServeStats serve_connection(Transport& transport, const ServerContext& ctx);
+
+/**
+ * Same, but with the connection's first frame already read and decoded
+ * (the Acceptor consumes it to route worker registrations): validates it
+ * as the hello, replies welcome, and serves the request loop.
+ */
+ServeStats serve_connection(Transport& transport, const ServerContext& ctx,
+                            const Message& hello);
+
+/** Acceptor knobs. */
+struct AcceptorOptions {
+  /** Concurrent session connections; further clients get an error frame. */
+  int max_clients = 64;
+  /** stop() latency: the accept loop re-checks its flag this often. */
+  int poll_ms = 200;
+  /** A connection must present its hello within this window. */
+  int hello_timeout_ms = 10000;
+};
+
+/** Aggregate accept-loop counters (finished connections included). */
+struct AcceptorStats {
+  std::uint64_t accepted = 0;          ///< session connections served
+  std::uint64_t workers_attached = 0;  ///< role=worker hellos routed
+  std::uint64_t rejected = 0;  ///< over max_clients / bad first frame
+  std::uint64_t requests = 0;  ///< summed over finished connections
+  std::uint64_t errors = 0;    ///< summed over finished connections
+  std::uint64_t peak_clients = 0;
+};
+
+/**
+ * The multi-client accept loop: every accepted connection introduces
+ * itself with its hello frame — session clients get their own
+ * serve_connection thread against the shared SessionManager; worker
+ * hellos (role=worker) are attached to the shared Coordinator, growing
+ * the evaluation fleet at runtime. The session registry is lock-striped
+ * and the fleet mutex serializes sharded runs, so any number of clients
+ * can tune concurrently against one server.
+ *
+ * The accept thread never blocks on a connection: each accepted socket
+ * immediately gets its own thread, which reads the first frame (with
+ * the hello timeout), routes on it and then serves — so a client that
+ * connects and sends nothing, or a worker attach waiting out a long
+ * sharded run on the fleet mutex, delays only its own thread, never the
+ * accept loop.
+ *
+ * run() blocks until stop(). stop() is safe from any thread and from a
+ * POSIX signal handler (it only flips an atomic and shuts the listener
+ * down); run() then closes every live connection, joins its threads and
+ * returns. Destroy the Acceptor only after run() has returned.
+ */
+class Acceptor {
+ public:
+  Acceptor(Listener listener, ServerContext ctx,
+           AcceptorOptions opt = AcceptorOptions{});
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /** Accept and serve until stop(); joins every connection thread. */
+  void run();
+
+  /** End run(): stop accepting, close live connections. */
+  void stop();
+
+  /** The listening address (TCP port resolved after ephemeral bind). */
+  const SocketAddress& address() const { return listener_.address(); }
+
+  /** The mutex handed to connections for coordinator serialization. */
+  std::mutex& fleet_mutex() { return fleet_mutex_; }
+
+  AcceptorStats stats() const;
+  std::size_t live_clients() const;
+
+ private:
+  struct Connection {
+    std::shared_ptr<Transport> transport;
+    std::thread thread;
+    /** Counted against max_clients (post-hello session connections). */
+    std::atomic<bool> is_client{false};
+    /** Transport ownership moved on (worker attach): reap won't close. */
+    std::atomic<bool> released{false};
+    std::atomic<bool> done{false};
+  };
+
+  /** Thread body: read the first frame, route (worker/client), serve. */
+  void route_connection(Connection* conn);
+  void reap(bool all);
+
+  Listener listener_;
+  ServerContext ctx_;
+  AcceptorOptions opt_;
+  std::mutex fleet_mutex_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;  ///< guards connections_ and stats_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  AcceptorStats stats_;
+};
 
 }  // namespace baco::serve
 

@@ -23,7 +23,9 @@ struct SessionManager::Session {
   std::shared_ptr<SearchSpace> space;
   std::unique_ptr<AskTellTuner> tuner;
   std::string cache_namespace;
+  std::string method;  ///< canonical registry name (for spill/reload)
   int budget = 0;
+  int doe = 0;         ///< DoE samples the tuner was built with
 
   /** The suggested-but-unobserved batch (at most one per session). */
   std::vector<Configuration> pending;
@@ -81,6 +83,178 @@ SessionManager::find(const std::string& name) const
     return it == s.sessions.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<SessionManager::Session>
+SessionManager::find_or_reload(const std::string& name)
+{
+    for (;;) {
+        if (std::shared_ptr<Session> session = find(name))
+            return session;
+
+        SpilledSession meta;
+        {
+            std::lock_guard<std::mutex> lock(spill_mutex_);
+            auto it = spilled_.find(name);
+            if (it == spilled_.end())
+                return nullptr;
+            meta = it->second;
+        }
+
+        // Rebuild the tuner outside all locks (registry + restore can
+        // be slow). This is the same resume path open_session(resume)
+        // takes, so a reloaded session continues bit-for-bit.
+        const Benchmark& bench = suite::find_benchmark(meta.benchmark);
+        auto session = std::make_shared<Session>();
+        session->name = name;
+        session->benchmark = &bench;
+        session->space = bench.make_space(SpaceVariant{});
+        session->budget = meta.budget;
+        session->doe = meta.doe;
+        session->method = meta.method;
+        MethodSpec spec;
+        spec.budget = meta.budget;
+        spec.doe_samples = meta.doe;
+        spec.seed = meta.seed;
+        session->tuner = MethodRegistry::global().make(meta.method,
+                                                       *session->space,
+                                                       spec);
+        session->cache_namespace =
+            EvalCache::namespace_key(bench.name, *session->space);
+        if (std::optional<CheckpointData> data =
+                load_checkpoint(checkpoint_path(name))) {
+            if (data->seed != session->tuner->run_seed())
+                throw std::runtime_error(
+                    "spilled checkpoint seed mismatch for session " +
+                    name);
+            if (!session->tuner->restore(data->history,
+                                         data->sampler_state)) {
+                throw std::runtime_error(
+                    "spilled checkpoint could not be restored for "
+                    "session " + name);
+            }
+        }
+        // A missing checkpoint file means the session was spilled
+        // before it ever observed anything: the fresh tuner IS the
+        // correct state.
+
+        Stripe& stripe = stripe_for(name);
+        {
+            std::lock_guard<std::mutex> lock(stripe.mutex);
+            auto it = stripe.sessions.find(name);
+            if (it != stripe.sessions.end())
+                return it->second;  // a concurrent reload won the race
+            std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+            auto sit = spilled_.find(name);
+            if (sit == spilled_.end())
+                return nullptr;  // closed while we were rebuilding
+            if (sit->second.generation != meta.generation)
+                continue;  // reloaded AND re-spilled since we read the
+                           // checkpoint: ours is stale — rebuild from
+                           // the newer one
+            spilled_.erase(sit);
+            ++reload_count_;
+            stripe.sessions.emplace(name, session);
+        }
+        enforce_live_cap();
+        return session;
+    }
+}
+
+std::shared_ptr<SessionManager::Session>
+SessionManager::acquire(const std::string& name,
+                        std::unique_lock<std::mutex>& lock_out)
+{
+    for (;;) {
+        std::shared_ptr<Session> session = find_or_reload(name);
+        if (!session)
+            return nullptr;
+        std::unique_lock<std::mutex> lock(session->mutex);
+        // A concurrent cap enforcement may have spilled this session
+        // between the lookup and the lock. Its checkpoint then captures
+        // exactly this moment's state, so retrying the lookup reloads
+        // an identical tuner — mutating the orphaned object instead
+        // would record the request on state the registry no longer has.
+        if (find(name) == session) {
+            lock_out = std::move(lock);
+            return session;
+        }
+    }
+}
+
+bool
+SessionManager::spill_one(const std::string& name)
+{
+    std::shared_ptr<Session> session = find(name);
+    if (!session)
+        return false;
+    std::unique_lock<std::mutex> guard(session->mutex, std::try_to_lock);
+    // Mid-request or mid-batch sessions are not spillable (exactly the
+    // evict_idle rule); and a spill without a durable checkpoint would
+    // silently discard history.
+    if (!guard.owns_lock() || !session->pending.empty())
+        return false;
+    // The session mutex already excludes concurrent mutation, so the
+    // checkpoint I/O runs without the stripe lock — the stripe's other
+    // sessions keep serving during the disk write. (Holding a session
+    // mutex while taking a stripe mutex is the established order:
+    // acquire() does the same; stripe holders only ever try_lock
+    // sessions, so the inverse never blocks.)
+    if (!save_checkpoint(checkpoint_path(name), *session->tuner))
+        return false;
+    Stripe& stripe = stripe_for(name);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto it = stripe.sessions.find(name);
+    if (it == stripe.sessions.end() || it->second != session)
+        return false;  // closed while we were checkpointing
+    {
+        std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+        SpilledSession meta;
+        meta.benchmark = session->benchmark->name;
+        meta.method = session->method;
+        meta.budget = session->budget;
+        meta.doe = session->doe;
+        meta.seed = session->tuner->run_seed();
+        meta.generation = ++spill_generation_;
+        meta.spilled_at = Clock::now();
+        spilled_.emplace(name, std::move(meta));
+        ++spill_count_;
+    }
+    stripe.sessions.erase(it);
+    return true;
+}
+
+void
+SessionManager::enforce_live_cap()
+{
+    if (opt_.max_live_sessions == 0 || opt_.checkpoint_dir.empty())
+        return;
+    std::size_t live = size();
+    if (live <= opt_.max_live_sessions)
+        return;
+
+    // Snapshot (last_touch, name) of every spillable session, oldest
+    // first, then spill until the cap holds. Best-effort: candidates
+    // that became busy since the snapshot are skipped — the next open
+    // or reload enforces again.
+    std::vector<std::pair<Clock::time_point, std::string>> candidates;
+    for (int s = 0; s < opt_.stripes; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        for (auto& [name, session] : stripes_[s].sessions) {
+            std::unique_lock<std::mutex> guard(session->mutex,
+                                               std::try_to_lock);
+            if (guard.owns_lock() && session->pending.empty())
+                candidates.emplace_back(session->last_touch, name);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    std::size_t excess = live - opt_.max_live_sessions;
+    for (const auto& [touch, name] : candidates) {
+        if (excess == 0)
+            break;
+        if (spill_one(name))
+            --excess;
+    }
+}
+
 std::string
 SessionManager::checkpoint_path(const std::string& name) const
 {
@@ -121,16 +295,20 @@ SessionManager::open_session(const Message& req)
     session->benchmark = &bench;
     session->space = bench.make_space(SpaceVariant{});
     session->budget = req.budget > 0 ? req.budget : bench.full_budget;
+    session->doe = req.doe > 0 ? req.doe : bench.doe_samples;
     // Remote construction goes through the same MethodRegistry as local
     // Study construction, so the two can never drift; unknown names
     // throw with the closest registered methods (caught into an error
     // frame by handle()).
     MethodSpec spec;
     spec.budget = session->budget;
-    spec.doe_samples = req.doe > 0 ? req.doe : bench.doe_samples;
+    spec.doe_samples = session->doe;
     spec.seed = req.seed;
     session->tuner = MethodRegistry::global().make(
         req.method, *session->space, spec);
+    // The canonical name, so a spilled session reloads the exact same
+    // method even if the client opened it through an alias.
+    session->method = *MethodRegistry::global().resolve(req.method);
     session->cache_namespace =
         EvalCache::namespace_key(bench.name, *session->space);
 
@@ -159,8 +337,17 @@ SessionManager::open_session(const Message& req)
         if (stripe.sessions.count(req.session))
             return make_error(req.id,
                               "session already open: " + req.session);
+        {
+            // A spilled session is still open — only disk-resident.
+            std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+            if (spilled_.count(req.session))
+                return make_error(req.id, "session already open "
+                                          "(spilled to disk): " +
+                                              req.session);
+        }
         stripe.sessions.emplace(req.session, session);
     }
+    enforce_live_cap();
 
     Message reply;
     reply.type = MsgType::kOpened;
@@ -175,10 +362,10 @@ SessionManager::open_session(const Message& req)
 Message
 SessionManager::suggest(const Message& req)
 {
-    std::shared_ptr<Session> session = find(req.session);
+    std::unique_lock<std::mutex> lock;
+    std::shared_ptr<Session> session = acquire(req.session, lock);
     if (!session)
         return make_error(req.id, "no such session: " + req.session);
-    std::lock_guard<std::mutex> lock(session->mutex);
     session->last_touch = Clock::now();
 
     if (session->pending.empty()) {
@@ -199,10 +386,10 @@ SessionManager::suggest(const Message& req)
 Message
 SessionManager::observe(const Message& req)
 {
-    std::shared_ptr<Session> session = find(req.session);
+    std::unique_lock<std::mutex> lock;
+    std::shared_ptr<Session> session = acquire(req.session, lock);
     if (!session)
         return make_error(req.id, "no such session: " + req.session);
-    std::lock_guard<std::mutex> lock(session->mutex);
     session->last_touch = Clock::now();
 
     if (session->pending.empty())
@@ -251,10 +438,10 @@ SessionManager::observe(const Message& req)
 Message
 SessionManager::checkpoint(const Message& req)
 {
-    std::shared_ptr<Session> session = find(req.session);
+    std::unique_lock<std::mutex> lock;
+    std::shared_ptr<Session> session = acquire(req.session, lock);
     if (!session)
         return make_error(req.id, "no such session: " + req.session);
-    std::lock_guard<std::mutex> lock(session->mutex);
     session->last_touch = Clock::now();
 
     std::string ckpt = checkpoint_path(session->name);
@@ -285,10 +472,31 @@ SessionManager::close_session(const Message& req)
     Stripe& stripe = stripe_for(req.session);
     std::shared_ptr<Session> session;
     {
+        // spill_one moves a name from the stripe map to the spill map
+        // with the stripe mutex held, so holding it here gives an
+        // atomic view of both.
         std::lock_guard<std::mutex> lock(stripe.mutex);
         auto it = stripe.sessions.find(req.session);
-        if (it == stripe.sessions.end())
-            return make_error(req.id, "no such session: " + req.session);
+        if (it == stripe.sessions.end()) {
+            std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+            auto sit = spilled_.find(req.session);
+            if (sit == spilled_.end())
+                return make_error(req.id,
+                                  "no such session: " + req.session);
+            // Closing a spilled session: its per-observe checkpoint is
+            // already the durable resume point — just drop the metadata
+            // and report the checkpointed progress.
+            spilled_.erase(sit);
+            Message reply;
+            reply.type = MsgType::kOk;
+            reply.id = req.id;
+            if (std::optional<CheckpointData> data =
+                    load_checkpoint(checkpoint_path(req.session))) {
+                reply.evals = data->history.size();
+                reply.best = data->history.best_value;
+            }
+            return reply;
+        }
         session = it->second;
         stripe.sessions.erase(it);
     }
@@ -311,12 +519,12 @@ SessionManager::close_session(const Message& req)
 }
 
 std::optional<SessionInfo>
-SessionManager::info(const std::string& name) const
+SessionManager::info(const std::string& name)
 {
-    std::shared_ptr<Session> session = find(name);
+    std::unique_lock<std::mutex> lock;
+    std::shared_ptr<Session> session = acquire(name, lock);
     if (!session)
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(session->mutex);
     SessionInfo out;
     out.name = session->name;
     out.benchmark = session->benchmark->name;
@@ -334,10 +542,10 @@ SessionManager::with_tuner(
     const std::function<void(AskTellTuner&, const SessionInfo&,
                              const std::string&)>& fn)
 {
-    std::shared_ptr<Session> session = find(name);
+    std::unique_lock<std::mutex> lock;
+    std::shared_ptr<Session> session = acquire(name, lock);
     if (!session)
         return false;
-    std::lock_guard<std::mutex> lock(session->mutex);
     if (!session->pending.empty())
         return false;
     session->last_touch = Clock::now();
@@ -366,12 +574,48 @@ SessionManager::size() const
 }
 
 std::size_t
+SessionManager::spilled_sessions() const
+{
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    return spilled_.size();
+}
+
+std::uint64_t
+SessionManager::spill_count() const
+{
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    return spill_count_;
+}
+
+std::uint64_t
+SessionManager::reload_count() const
+{
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    return reload_count_;
+}
+
+std::size_t
 SessionManager::evict_idle()
 {
     if (opt_.idle_timeout_seconds <= 0.0)
         return 0;
     auto now = Clock::now();
     std::size_t evicted = 0;
+    {
+        // Spilled sessions are idle by construction (no live tuner);
+        // once past the timeout they are closed outright — checkpoint
+        // stays on disk, clients re-open with resume=true.
+        std::lock_guard<std::mutex> lock(spill_mutex_);
+        for (auto it = spilled_.begin(); it != spilled_.end();) {
+            if (std::chrono::duration<double>(now - it->second.spilled_at)
+                    .count() > opt_.idle_timeout_seconds) {
+                it = spilled_.erase(it);
+                ++evicted;
+            } else {
+                ++it;
+            }
+        }
+    }
     for (int s = 0; s < opt_.stripes; ++s) {
         std::lock_guard<std::mutex> lock(stripes_[s].mutex);
         for (auto it = stripes_[s].sessions.begin();

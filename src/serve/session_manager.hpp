@@ -30,6 +30,16 @@
  *
  * A shared EvalCache (optional) is namespaced per session by benchmark
  * identity, so one cache file serves every session safely.
+ *
+ * Bounded live registry: with max_live_sessions > 0 (and a checkpoint
+ * directory), opening a session beyond the cap spills the least-
+ * recently-touched idle session to disk — its tuner is dropped, its
+ * checkpoint and a small metadata record remain — so a long-lived
+ * multi-client server holds at most the cap's worth of tuner state in
+ * memory. A spilled session is still "open" to the protocol: the next
+ * request that names it transparently reloads the tuner from its
+ * checkpoint (the same bit-for-bit resume path open_session(resume)
+ * uses), possibly spilling another session to make room.
  */
 
 #include <chrono>
@@ -63,6 +73,14 @@ struct SessionManagerOptions {
   int stripes = 8;
   /** Optional shared evaluation cache (not owned). */
   EvalCache* cache = nullptr;
+  /**
+   * Cap on in-memory sessions; 0 = unbounded. Requires a checkpoint
+   * directory (spilling drops the tuner, so without a checkpoint to
+   * reload from the cap is ignored). Excess sessions are spilled
+   * least-recently-touched first; busy or mid-batch sessions are never
+   * spilled, so the live count can transiently exceed the cap.
+   */
+  std::size_t max_live_sessions = 0;
 };
 
 /** A read-only snapshot of one session, for drivers and introspection. */
@@ -92,8 +110,9 @@ class SessionManager {
    */
   Message handle(const Message& request);
 
-  /** Snapshot of a live session; nullopt when absent. */
-  std::optional<SessionInfo> info(const std::string& name) const;
+  /** Snapshot of an open session (reloading it when spilled); nullopt
+   *  when absent. */
+  std::optional<SessionInfo> info(const std::string& name);
 
   /**
    * Lock session `name` and run fn(tuner, info, checkpoint_path) against
@@ -110,8 +129,15 @@ class SessionManager {
       const std::function<void(AskTellTuner&, const SessionInfo&,
                                const std::string&)>& fn);
 
-  /** Number of live sessions. */
+  /** Number of live (in-memory) sessions. */
   std::size_t size() const;
+
+  /** Sessions currently spilled to disk-only state. */
+  std::size_t spilled_sessions() const;
+
+  /** Total spill / reload events (monotonic, for logs and tests). */
+  std::uint64_t spill_count() const;
+  std::uint64_t reload_count() const;
 
   /**
    * Evict sessions idle longer than idle_timeout_seconds. Sessions that
@@ -135,8 +161,37 @@ class SessionManager {
   struct Session;
   struct Stripe;
 
+  /** Everything needed to rebuild a spilled session's tuner. */
+  struct SpilledSession {
+    std::string benchmark;
+    std::string method;  ///< canonical MethodRegistry name
+    int budget = 0;
+    int doe = 0;
+    std::uint64_t seed = 0;
+    /**
+     * Stamped per spill event: a reloader that read the metadata (and
+     * the checkpoint) before an intervening reload + re-spill must not
+     * install its now-stale tuner — it re-reads when the generation
+     * under the insert lock differs.
+     */
+    std::uint64_t generation = 0;
+    std::chrono::steady_clock::time_point spilled_at;
+  };
+
   Stripe& stripe_for(const std::string& name) const;
   std::shared_ptr<Session> find(const std::string& name) const;
+  /** find(), reloading a spilled session from its checkpoint on miss. */
+  std::shared_ptr<Session> find_or_reload(const std::string& name);
+  /**
+   * find_or_reload + lock, re-verifying registry membership under the
+   * session mutex (a concurrent spill between lookup and lock retries
+   * the reload). lock_out holds the session mutex on success.
+   */
+  std::shared_ptr<Session> acquire(const std::string& name,
+                                   std::unique_lock<std::mutex>& lock_out);
+  /** Spill least-recently-touched idle sessions down to the cap. */
+  void enforce_live_cap();
+  bool spill_one(const std::string& name);
 
   Message open_session(const Message& req);
   Message suggest(const Message& req);
@@ -146,6 +201,12 @@ class SessionManager {
 
   SessionManagerOptions opt_;
   std::unique_ptr<Stripe[]> stripes_;
+
+  mutable std::mutex spill_mutex_;
+  std::unordered_map<std::string, SpilledSession> spilled_;
+  std::uint64_t spill_count_ = 0;
+  std::uint64_t reload_count_ = 0;
+  std::uint64_t spill_generation_ = 0;
 };
 
 /** True when name is a valid session name ([A-Za-z0-9_.-]+, <= 128). */

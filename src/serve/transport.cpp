@@ -3,10 +3,16 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -103,6 +109,12 @@ PipeTransport::~PipeTransport()
     close();
 }
 
+long
+PipeTransport::write_bytes(int fd, const char* data, std::size_t n)
+{
+    return static_cast<long>(::write(fd, data, n));
+}
+
 bool
 PipeTransport::send(const std::string& line)
 {
@@ -113,7 +125,8 @@ PipeTransport::send(const std::string& line)
     frame += '\n';
     std::size_t off = 0;
     while (off < frame.size()) {
-        ssize_t n = ::write(write_fd_, frame.data() + off, frame.size() - off);
+        long n = write_bytes(write_fd_, frame.data() + off,
+                             frame.size() - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -183,7 +196,8 @@ PipeTransport::close()
     if (owns_) {
         if (read_fd_ >= 0)
             ::close(read_fd_);
-        if (write_fd_ >= 0)
+        // A SocketTransport carries both directions on one descriptor.
+        if (write_fd_ >= 0 && write_fd_ != read_fd_)
             ::close(write_fd_);
     }
     read_fd_ = -1;
@@ -205,6 +219,404 @@ pipe_pair()
     // a reads what b writes (ba), b reads what a writes (ab).
     return {std::make_unique<PipeTransport>(ba[0], ab[1]),
             std::make_unique<PipeTransport>(ab[0], ba[1])};
+}
+
+// ---------------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+set_cloexec(int fd)
+{
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+void
+fill_error(std::string* error, const std::string& what)
+{
+    if (error)
+        *error = what;
+}
+
+/**
+ * False when path cannot fit sun_path. Checked at every socket entry
+ * point, not just parse_socket_address: SocketAddress is a public
+ * struct, so a directly constructed over-long path must fail cleanly
+ * instead of overflowing the stack sockaddr.
+ */
+bool
+unix_path_fits(const std::string& path, std::string* error)
+{
+    sockaddr_un probe;
+    if (!path.empty() && path.size() < sizeof probe.sun_path)
+        return true;
+    fill_error(error, path.empty() ? "unix address needs a path"
+                                   : "unix socket path too long: " + path);
+    return false;
+}
+
+}  // namespace
+
+long
+SocketTransport::write_bytes(int fd, const char* data, std::size_t n)
+{
+    // MSG_NOSIGNAL: a vanished peer is a failed send for the caller to
+    // handle, never a SIGPIPE killing a host program that embeds the
+    // library without its own handler.
+    return static_cast<long>(::send(fd, data, n, MSG_NOSIGNAL));
+}
+
+void
+SocketTransport::close()
+{
+    // Wakes any thread blocked in poll() on this socket; both sides of
+    // any in-flight exchange then see EOF. ~PipeTransport releases the
+    // descriptor once no concurrent recv can still be inside poll/read
+    // (the owner joins its reader before destroying the transport).
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::string
+SocketAddress::str() const
+{
+    if (kind == Kind::kUnix)
+        return "unix:" + path;
+    bool ipv6 = host.find(':') != std::string::npos;
+    return "tcp:" + (ipv6 ? "[" + host + "]" : host) + ":" +
+           std::to_string(port);
+}
+
+std::optional<SocketAddress>
+parse_socket_address(const std::string& spec, std::string* error)
+{
+    SocketAddress addr;
+    if (spec.rfind("unix:", 0) == 0) {
+        addr.kind = SocketAddress::Kind::kUnix;
+        addr.path = spec.substr(5);
+        if (!unix_path_fits(addr.path, error))
+            return std::nullopt;
+        return addr;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        addr.kind = SocketAddress::Kind::kTcp;
+        std::string rest = spec.substr(4);
+        std::string port_str;
+        if (!rest.empty() && rest[0] == '[') {
+            std::size_t close = rest.find(']');
+            if (close == std::string::npos || close + 1 >= rest.size() ||
+                rest[close + 1] != ':') {
+                fill_error(error, "expected tcp:[IPV6]:PORT, got " + spec);
+                return std::nullopt;
+            }
+            addr.host = rest.substr(1, close - 1);
+            port_str = rest.substr(close + 2);
+        } else {
+            std::size_t colon = rest.rfind(':');
+            if (colon == std::string::npos) {
+                fill_error(error, "expected tcp:HOST:PORT, got " + spec);
+                return std::nullopt;
+            }
+            addr.host = rest.substr(0, colon);
+            port_str = rest.substr(colon + 1);
+        }
+        if (addr.host.empty() || port_str.empty() ||
+            port_str.find_first_not_of("0123456789") != std::string::npos) {
+            fill_error(error, "expected tcp:HOST:PORT, got " + spec);
+            return std::nullopt;
+        }
+        long port = std::strtol(port_str.c_str(), nullptr, 10);
+        if (port < 0 || port > 65535) {
+            fill_error(error, "port out of range: " + port_str);
+            return std::nullopt;
+        }
+        addr.port = static_cast<int>(port);
+        return addr;
+    }
+    fill_error(error,
+               "address must start with unix: or tcp:, got " + spec);
+    return std::nullopt;
+}
+
+namespace {
+
+/** Resolve + apply fn(fd, sockaddr) over candidate TCP addresses. */
+int
+tcp_socket_for(const SocketAddress& addr, bool passive, std::string* error,
+               int (*apply)(int fd, const sockaddr* sa, socklen_t len))
+{
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (passive)
+        hints.ai_flags = AI_PASSIVE;
+    addrinfo* results = nullptr;
+    std::string port_str = std::to_string(addr.port);
+    int rc = ::getaddrinfo(addr.host.c_str(), port_str.c_str(), &hints,
+                           &results);
+    if (rc != 0) {
+        fill_error(error, "cannot resolve " + addr.str() + ": " +
+                              ::gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    int last_errno = 0;
+    for (addrinfo* ai = results; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        set_cloexec(fd);
+        if (passive) {
+            int one = 1;
+            ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        }
+        if (apply(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        last_errno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0) {
+        fill_error(error, (passive ? "cannot bind " : "cannot connect to ") +
+                              addr.str() + ": " +
+                              std::strerror(last_errno));
+    }
+    return fd;
+}
+
+int
+bind_fn(int fd, const sockaddr* sa, socklen_t len)
+{
+    return ::bind(fd, sa, len);
+}
+
+int
+connect_fn(int fd, const sockaddr* sa, socklen_t len)
+{
+    // A blocking connect interrupted by a signal keeps completing in the
+    // background; retrying it is wrong, so treat EINTR as failure — the
+    // caller sees a clean error instead of a half-connected socket.
+    return ::connect(fd, sa, len);
+}
+
+sockaddr_un
+unix_sockaddr(const std::string& path)
+{
+    sockaddr_un sa = {};
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, path.c_str(),
+                std::min(path.size(), sizeof sa.sun_path - 1));
+    return sa;
+}
+
+}  // namespace
+
+Listener::~Listener()
+{
+    close();
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), addr_(std::move(other.addr_))
+{
+    closed_.store(other.closed_.load());
+    other.fd_ = -1;
+    other.closed_.store(true);
+}
+
+Listener&
+Listener::operator=(Listener&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        addr_ = std::move(other.addr_);
+        closed_.store(other.closed_.load());
+        other.fd_ = -1;
+        other.closed_.store(true);
+    }
+    return *this;
+}
+
+bool
+Listener::open(const SocketAddress& addr, std::string* error)
+{
+    if (fd_ >= 0) {
+        fill_error(error, "listener already open on " + addr_.str());
+        return false;
+    }
+    addr_ = addr;
+    if (addr.kind == SocketAddress::Kind::kUnix) {
+        if (!unix_path_fits(addr.path, error))
+            return false;
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            fill_error(error, std::string("socket: ") +
+                                  std::strerror(errno));
+            return false;
+        }
+        set_cloexec(fd_);
+        sockaddr_un sa = unix_sockaddr(addr.path);
+        // A leftover path from a crashed server would make bind fail
+        // forever — but blindly unlinking would silently hijack a LIVE
+        // server's socket. Probe first: a connectable path means a
+        // server is listening (refuse); anything else is stale.
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+            bool live = ::connect(probe, reinterpret_cast<sockaddr*>(&sa),
+                                  sizeof sa) == 0;
+            ::close(probe);
+            if (live) {
+                fill_error(error, "address in use (a live server is "
+                                  "listening on " + addr.str() + ")");
+                ::close(fd_);
+                fd_ = -1;
+                return false;
+            }
+        }
+        ::unlink(addr.path.c_str());
+        if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+            fill_error(error, "cannot bind " + addr.str() + ": " +
+                                  std::strerror(errno));
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+    } else {
+        fd_ = tcp_socket_for(addr, /*passive=*/true, error, bind_fn);
+        if (fd_ < 0)
+            return false;
+        if (addr.port == 0) {
+            // Ephemeral bind: report the kernel-assigned port so tests
+            // and tools can hand clients a connectable address.
+            sockaddr_storage bound = {};
+            socklen_t len = sizeof bound;
+            if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0) {
+                if (bound.ss_family == AF_INET) {
+                    addr_.port = ntohs(
+                        reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+                } else if (bound.ss_family == AF_INET6) {
+                    addr_.port = ntohs(
+                        reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+                }
+            }
+        }
+    }
+    if (::listen(fd_, 64) != 0) {
+        fill_error(error, "cannot listen on " + addr.str() + ": " +
+                              std::strerror(errno));
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    closed_.store(false);
+    return true;
+}
+
+std::unique_ptr<Transport>
+Listener::accept(int timeout_ms)
+{
+    auto deadline = Clock::now() + std::chrono::milliseconds(
+                                       timeout_ms < 0 ? 0 : timeout_ms);
+    while (!closed_.load() && fd_ >= 0) {
+        int wait_ms = -1;
+        if (timeout_ms >= 0) {
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+            if (left < 0)
+                return nullptr;
+            wait_ms = static_cast<int>(left);
+        }
+        struct pollfd pfd = {};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, wait_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return nullptr;
+        }
+        if (pr == 0)
+            return nullptr;  // timeout
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return nullptr;  // close() shut the listener down
+        }
+        set_cloexec(client);
+        return std::make_unique<SocketTransport>(client);
+    }
+    return nullptr;
+}
+
+bool
+Listener::closed() const
+{
+    return closed_.load() || fd_ < 0;
+}
+
+void
+Listener::close()
+{
+    bool was = closed_.exchange(true);
+    if (was || fd_ < 0)
+        return;
+    // shutdown() wakes a concurrent accept() (poll reports the listener
+    // readable, accept fails); the descriptor itself is closed in the
+    // destructor so the poller never sees a recycled fd.
+    ::shutdown(fd_, SHUT_RDWR);
+    if (addr_.kind == SocketAddress::Kind::kUnix && !addr_.path.empty())
+        ::unlink(addr_.path.c_str());
+}
+
+std::unique_ptr<Transport>
+connect_socket(const SocketAddress& addr, std::string* error)
+{
+    if (addr.kind == SocketAddress::Kind::kUnix) {
+        if (!unix_path_fits(addr.path, error))
+            return nullptr;
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            fill_error(error, std::string("socket: ") +
+                                  std::strerror(errno));
+            return nullptr;
+        }
+        set_cloexec(fd);
+        sockaddr_un sa = unix_sockaddr(addr.path);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) !=
+            0) {
+            fill_error(error, "cannot connect to " + addr.str() + ": " +
+                                  std::strerror(errno));
+            ::close(fd);
+            return nullptr;
+        }
+        return std::make_unique<SocketTransport>(fd);
+    }
+    int fd = tcp_socket_for(addr, /*passive=*/false, error, connect_fn);
+    if (fd < 0)
+        return nullptr;
+    return std::make_unique<SocketTransport>(fd);
+}
+
+std::unique_ptr<Transport>
+connect_socket(const std::string& spec, std::string* error)
+{
+    std::optional<SocketAddress> addr = parse_socket_address(spec, error);
+    if (!addr)
+        return nullptr;
+    return connect_socket(*addr, error);
 }
 
 ChildProcess

@@ -6,20 +6,30 @@
  * Line-framed transports for the serve protocol.
  *
  * A Transport moves whole frames (one line, no trailing newline) between
- * two peers. Two implementations:
+ * two peers. Three implementations:
  *
  *  - loopback_pair(): an in-process pair of endpoints over shared queues,
  *    making the entire coordinator/worker/server stack hermetically
  *    testable in ctest with zero OS dependencies;
  *  - PipeTransport: over a pair of file descriptors (pipes, socketpairs,
  *    or stdin/stdout), which is how the baco_serve / baco_worker binaries
- *    talk — compose with ssh/socat for cross-host deployment.
+ *    talk on their standard streams;
+ *  - SocketTransport: the same poll-based framing over one connected
+ *    socket descriptor (Unix-domain or TCP), produced by Listener::accept
+ *    on the server side and connect_socket on the client side — this is
+ *    what `baco_serve --listen` / `baco_worker --connect` speak, and it
+ *    removes the ssh/socat shim from cross-host deployment.
  *
  * send() is thread-safe per endpoint; recv() is single-consumer.
+ *
+ * Socket addresses are spelled as strings everywhere ("unix:PATH" or
+ * "tcp:HOST:PORT"), parsed by parse_socket_address().
  */
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,6 +79,10 @@ class PipeTransport : public Transport {
   RecvStatus recv(std::string& line, int timeout_ms = -1) override;
   void close() override;
 
+ protected:
+  /** One write attempt; ::write here, MSG_NOSIGNAL ::send on sockets. */
+  virtual long write_bytes(int fd, const char* data, std::size_t n);
+
  private:
   int read_fd_;
   int write_fd_;
@@ -84,6 +98,113 @@ class PipeTransport : public Transport {
  */
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
 pipe_pair();
+
+/**
+ * Frame stream over one connected socket (Unix-domain or TCP): the
+ * PipeTransport framing with both directions on the same descriptor.
+ *
+ * close() only shuts the socket down (both directions) — that wakes a
+ * reader blocked in poll() on another thread, which a plain ::close()
+ * would NOT — and the descriptor itself is released at destruction, so
+ * the woken reader never races a recycled fd number. This is what lets
+ * the Acceptor close live connections from the accept thread during
+ * shutdown.
+ *
+ * Sends use MSG_NOSIGNAL: a peer that died mid-exchange surfaces as a
+ * failed send (dead-worker handling), never as a process-killing
+ * SIGPIPE in programs that embed the library without installing their
+ * own handler (ExecutionPolicy::Remote from a plain Study user).
+ */
+class SocketTransport : public PipeTransport {
+ public:
+  explicit SocketTransport(int fd, bool owns_fd = true)
+      : PipeTransport(fd, fd, owns_fd), fd_(fd)
+  {
+  }
+
+  void close() override;
+
+ protected:
+  long write_bytes(int fd, const char* data, std::size_t n) override;
+
+ private:
+  int fd_;
+};
+
+/** A parsed "unix:PATH" / "tcp:HOST:PORT" address. */
+struct SocketAddress {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< unix: filesystem path of the socket
+  std::string host;  ///< tcp: host name or numeric address
+  int port = 0;      ///< tcp: port (0 = ephemeral, listeners only)
+
+  /** Back to the "unix:..." / "tcp:..." spelling. */
+  std::string str() const;
+};
+
+/**
+ * Parse "unix:PATH" or "tcp:HOST:PORT" (IPv6 hosts in brackets:
+ * "tcp:[::1]:7070"). Returns nullopt — with a diagnostic in *error when
+ * non-null — on anything else.
+ */
+std::optional<SocketAddress> parse_socket_address(const std::string& spec,
+                                                  std::string* error = nullptr);
+
+/**
+ * A bound, listening server socket. accept() hands out one connected
+ * SocketTransport per client. close() (or destruction) unblocks a
+ * concurrent accept() and, for Unix sockets, unlinks the path.
+ */
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+
+  /**
+   * Bind + listen on `addr`. A Unix path that already exists is
+   * unlinked first (a stale socket from a crashed server); a TCP
+   * listener binds with SO_REUSEADDR, and port 0 picks an ephemeral
+   * port — address() reports the actual one. Returns false (with a
+   * diagnostic in *error) on failure.
+   */
+  bool open(const SocketAddress& addr, std::string* error = nullptr);
+
+  /**
+   * Accept one client. timeout_ms < 0 blocks until a client arrives or
+   * the listener is closed; >= 0 waits at most that long (nullptr on
+   * timeout or close — check closed() to tell them apart).
+   */
+  std::unique_ptr<Transport> accept(int timeout_ms = -1);
+
+  /** The bound address (TCP port resolved after an ephemeral bind). */
+  const SocketAddress& address() const { return addr_; }
+
+  bool closed() const;
+  void close();
+
+ private:
+  int fd_ = -1;
+  SocketAddress addr_;
+  /** close() raced against accept(); true until open() succeeds. */
+  std::atomic<bool> closed_{true};
+};
+
+/**
+ * Connect to a listening "unix:"/"tcp:" address. Returns nullptr — with
+ * a diagnostic in *error when non-null — when the peer is unreachable.
+ */
+std::unique_ptr<Transport> connect_socket(const SocketAddress& addr,
+                                          std::string* error = nullptr);
+
+/** Parse + connect in one step (spec as for parse_socket_address). */
+std::unique_ptr<Transport> connect_socket(const std::string& spec,
+                                          std::string* error = nullptr);
 
 /** A child process wired to the parent through a PipeTransport. */
 struct ChildProcess {

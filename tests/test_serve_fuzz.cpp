@@ -4,12 +4,24 @@
 // against a live serve loop and worker loop to pin the malformed-frame
 // paths: garbage must be answered with error frames and never corrupt
 // session or worker state.
+//
+// The SocketFraming suite runs the same decoder pins over a real
+// SocketTransport loopback pair (an AF_UNIX socketpair) and pins the
+// transport edge cases pipes and sockets share: partial frames split
+// across arbitrary recv boundaries, peer close mid-frame, and EINTR
+// landing inside blocked read() and write() calls.
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "linalg/rng.hpp"
 #include "serve/protocol.hpp"
@@ -23,6 +35,12 @@ namespace baco::serve {
 namespace {
 
 constexpr const char* kBench = "SDDMM/email-Enron";
+
+// Peer-close tests write into sockets whose reader is gone.
+const int kSigpipeIgnored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+}();
 
 /** One representative frame of every message type, arrays included. */
 std::vector<std::string>
@@ -352,6 +370,187 @@ TEST(ProtocolFuzz, WorkerLoopRejectsGarbageAndKeepsEvaluating)
     bye.type = MsgType::kShutdown;
     ASSERT_TRUE(coordinator_end->send(encode(bye)));
     worker.join();
+}
+
+// ---------------------------------------------------------------------------
+// SocketFraming: transport edge cases shared by pipes and sockets,
+// exercised over a real SocketTransport loopback pair.
+// ---------------------------------------------------------------------------
+
+/** A connected AF_UNIX pair: transport on one end, raw fd on the other
+ *  (raw, so tests can write partial frames and byte-sized chunks). */
+struct RawSocketPair {
+  std::unique_ptr<SocketTransport> transport;
+  int raw_fd = -1;
+
+  RawSocketPair()
+  {
+      int sv[2] = {-1, -1};
+      EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+      transport = std::make_unique<SocketTransport>(sv[0]);
+      raw_fd = sv[1];
+  }
+
+  ~RawSocketPair()
+  {
+      if (raw_fd >= 0)
+          ::close(raw_fd);
+  }
+};
+
+TEST(SocketFraming, DecoderPinsHoldOverASocketLoopbackPair)
+{
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    SocketTransport a(sv[0]);
+    SocketTransport b(sv[1]);
+    // Every corpus frame round-trips the socket byte-identically and
+    // re-decodes to a frame that re-encodes to the same bytes.
+    for (const std::string& frame : frame_corpus()) {
+        ASSERT_TRUE(a.send(frame));
+        std::string line;
+        ASSERT_EQ(b.recv(line, 5000), RecvStatus::kOk);
+        EXPECT_EQ(line, frame);
+        Message m;
+        ASSERT_TRUE(decode(line, m)) << line;
+        EXPECT_EQ(encode(m), frame);
+    }
+}
+
+TEST(SocketFraming, PartialFramesAcrossRecvBoundaries)
+{
+    RawSocketPair pair;
+    std::vector<std::string> corpus = frame_corpus();
+    const std::string& frame = corpus[2];  // open_session, nested arrays
+
+    // Byte-dribbled frame: every recv boundary lands mid-frame, and the
+    // reader must time out (frame incomplete) rather than deliver one.
+    std::string wire = frame + "\n";
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        ASSERT_EQ(::send(pair.raw_fd, wire.data() + i, 1, 0), 1);
+        if (i == wire.size() / 2) {
+            std::string line;
+            EXPECT_EQ(pair.transport->recv(line, 10),
+                      RecvStatus::kTimeout);
+        }
+    }
+    ASSERT_EQ(::send(pair.raw_fd, wire.data() + wire.size() - 1, 1, 0), 1);
+    std::string line;
+    ASSERT_EQ(pair.transport->recv(line, 5000), RecvStatus::kOk);
+    EXPECT_EQ(line, frame);
+
+    // Many frames in one write: each comes out whole, in order.
+    std::string burst;
+    for (const std::string& f : corpus)
+        burst += f + "\n";
+    ASSERT_EQ(::send(pair.raw_fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+    for (const std::string& f : corpus) {
+        ASSERT_EQ(pair.transport->recv(line, 5000), RecvStatus::kOk);
+        EXPECT_EQ(line, f);
+    }
+}
+
+TEST(SocketFraming, PeerCloseMidFrameDiscardsThePartialLine)
+{
+    RawSocketPair pair;
+    std::string frame = frame_corpus()[2];
+    std::string half = frame.substr(0, frame.size() / 2);
+    ASSERT_EQ(::send(pair.raw_fd, half.data(), half.size(), 0),
+              static_cast<ssize_t>(half.size()));
+    ::close(pair.raw_fd);
+    pair.raw_fd = -1;
+    // The half frame must never surface as a (shorter) decoded message:
+    // the transport reports the close and discards the partial buffer.
+    std::string line;
+    EXPECT_EQ(pair.transport->recv(line, 5000), RecvStatus::kClosed);
+    // And a closed transport stays closed.
+    EXPECT_EQ(pair.transport->recv(line, 10), RecvStatus::kClosed);
+    EXPECT_FALSE(pair.transport->send(frame));
+}
+
+/** Installed without SA_RESTART so signals actually interrupt
+ *  syscalls — the strictest EINTR environment. */
+void
+install_noop_usr1()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    ::sigemptyset(&sa.sa_mask);
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, nullptr), 0);
+}
+
+TEST(SocketFraming, EintrDuringBlockedRecvIsRetried)
+{
+    install_noop_usr1();
+    RawSocketPair pair;
+    std::string frame = frame_corpus()[0];
+
+    std::string line;
+    RecvStatus status = RecvStatus::kTimeout;
+    std::thread reader([&] {
+        status = pair.transport->recv(line, 20000);  // blocks
+    });
+    // Pepper the blocked reader with signals; each EINTR must be
+    // swallowed by the retry loop, not surfaced as a closed transport.
+    for (int i = 0; i < 50; ++i) {
+        ::pthread_kill(reader.native_handle(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::string wire = frame + "\n";
+    ASSERT_EQ(::send(pair.raw_fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    reader.join();
+    EXPECT_EQ(status, RecvStatus::kOk);
+    EXPECT_EQ(line, frame);
+}
+
+TEST(SocketFraming, EintrDuringBlockedSendIsRetried)
+{
+    install_noop_usr1();
+    RawSocketPair pair;
+    // Shrink the send buffer so a large frame cannot be written in one
+    // syscall: the writer must block (and then take signals) mid-frame.
+    int small = 4096;
+    ASSERT_EQ(::setsockopt(pair.raw_fd, SOL_SOCKET, SO_RCVBUF, &small,
+                           sizeof small),
+              0);
+
+    Message big = make_error(7, std::string(1 << 20, 'x'));
+    std::string frame = encode(big);
+
+    bool sent = false;
+    std::thread writer([&] { sent = pair.transport->send(frame); });
+    for (int i = 0; i < 50; ++i) {
+        ::pthread_kill(writer.native_handle(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Drain the raw side until the whole frame (plus newline) arrived.
+    std::string got;
+    char chunk[65536];
+    while (got.size() < frame.size() + 1) {
+        ssize_t n = ::recv(pair.raw_fd, chunk, sizeof chunk, 0);
+        ASSERT_GT(n, 0);
+        got.append(chunk, static_cast<std::size_t>(n));
+    }
+    writer.join();
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(got, frame + "\n");  // intact despite interrupted writes
+}
+
+TEST(SocketFraming, CloseFromAnotherThreadWakesABlockedReader)
+{
+    RawSocketPair pair;
+    std::string line;
+    RecvStatus status = RecvStatus::kOk;
+    std::thread reader([&] {
+        status = pair.transport->recv(line, 30000);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pair.transport->close();  // shutdown-based: must wake the poll
+    reader.join();
+    EXPECT_EQ(status, RecvStatus::kClosed);
 }
 
 }  // namespace

@@ -1,0 +1,471 @@
+// Multi-client socket serving: the Acceptor loop, SocketTransport
+// (Unix-domain and TCP), runtime worker attach, the bounded session
+// registry's spill/reload, and the front-door Remote/Attached execution
+// policies.
+//
+// The headline pin (ISSUE acceptance): two clients tuning different
+// sessions CONCURRENTLY over one `baco_serve --listen`-shaped acceptor
+// produce bit-for-bit the same histories as two sequential
+// single-connection (stdio-shaped) runs with the same seeds.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/baco.hpp"
+#include "serve/client.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+
+namespace baco::serve {
+namespace {
+
+constexpr const char* kBench = "SDDMM/email-Enron";
+
+// A peer vanishing mid-send must surface as a failed send, not SIGPIPE.
+const int kSigpipeIgnored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+}();
+
+std::string
+unique_unix_path(const std::string& tag)
+{
+    static int counter = 0;
+    return testing::TempDir() + "baco_sock_" + tag + "_" +
+           std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+           ".sock";
+}
+
+void
+concurrent_clients_match_sequential(const std::string& listen_spec)
+{
+    const int budget = 10;
+    const int batch = 3;
+    // The shared parity harness (also the --selftest socket leg):
+    // sequential stdio-shaped references, then the same two sessions
+    // concurrently over one acceptor, compared bit-for-bit.
+    SocketParityResult parity = socket_parity_check(
+        listen_spec, kBench, "baco", budget, batch, /*seed1=*/31,
+        /*seed2=*/32);
+    EXPECT_TRUE(parity.ok) << parity.detail;
+    EXPECT_EQ(parity.evals_per_client, static_cast<std::size_t>(budget));
+    EXPECT_EQ(parity.stats.accepted, 2u);
+    EXPECT_EQ(parity.stats.errors, 0u);
+    // Per client: open + close plus one suggest/observe pair per round.
+    EXPECT_GE(parity.stats.requests, 2u * (2 + budget / batch));
+}
+
+TEST(ServeSocket, ConcurrentUnixClientsMatchSequentialStdioRuns)
+{
+    concurrent_clients_match_sequential("unix:" +
+                                        unique_unix_path("parity"));
+}
+
+TEST(ServeSocket, ConcurrentTcpClientsMatchSequentialStdioRuns)
+{
+    concurrent_clients_match_sequential("tcp:127.0.0.1:0");
+}
+
+TEST(ServeSocket, MidFrameDisconnectLeavesServerServing)
+{
+    std::string path = unique_unix_path("midframe");
+    Listener listener;
+    ASSERT_TRUE(listener.open(*parse_socket_address("unix:" + path)));
+    SessionManager sessions;
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    Acceptor acceptor(std::move(listener), ctx);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    // A raw client that dies mid-frame — half a hello, no newline.
+    auto raw_connect = [&] {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un sa = {};
+        sa.sun_family = AF_UNIX;
+        std::memcpy(sa.sun_path, path.c_str(), path.size());
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa),
+                            sizeof sa),
+                  0);
+        return fd;
+    };
+    {
+        int fd = raw_connect();
+        Message hello;
+        hello.type = MsgType::kHello;
+        std::string frame = encode(hello);
+        std::string half = frame.substr(0, frame.size() / 2);
+        ASSERT_EQ(::send(fd, half.data(), half.size(), 0),
+                  static_cast<ssize_t>(half.size()));
+        ::close(fd);
+    }
+    // A second one that completes the handshake, then dies mid-request.
+    {
+        int fd = raw_connect();
+        Message hello;
+        hello.type = MsgType::kHello;
+        std::string frame = encode(hello) + "\n";
+        ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+                  static_cast<ssize_t>(frame.size()));
+        char buf[512];
+        ASSERT_GT(::recv(fd, buf, sizeof buf, 0), 0);  // welcome
+        Message open;
+        open.type = MsgType::kOpenSession;
+        open.session = "doomed";
+        open.benchmark = kBench;
+        open.method = "Uniform";
+        open.budget = 8;
+        std::string partial = encode(open);
+        partial = partial.substr(0, partial.size() - 5);  // cut mid-frame
+        ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+                  static_cast<ssize_t>(partial.size()));
+        ::close(fd);
+    }
+
+    // The server must still serve a well-behaved client end-to-end, and
+    // the truncated open_session must not have leaked a session.
+    std::unique_ptr<Transport> t =
+        connect_socket("unix:" + path);
+    ASSERT_TRUE(t);
+    SessionClient client(*t);
+    ASSERT_TRUE(client.handshake());
+    std::vector<double> values =
+        drive_session(client, "healthy", kBench, "Uniform", 6, 7, 2);
+    EXPECT_EQ(values.size(), 6u);
+    EXPECT_EQ(sessions.size(), 0u);  // "doomed" never opened; "healthy" closed
+
+    acceptor.stop();
+    server.join();
+}
+
+TEST(ServeSocket, MaxClientsRejectsTheExcessConnection)
+{
+    std::string path = unique_unix_path("full");
+    Listener listener;
+    ASSERT_TRUE(listener.open(*parse_socket_address("unix:" + path)));
+    SessionManager sessions;
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    AcceptorOptions opt;
+    opt.max_clients = 1;
+    Acceptor acceptor(std::move(listener), ctx, opt);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    std::unique_ptr<Transport> first = connect_socket("unix:" + path);
+    ASSERT_TRUE(first);
+    SessionClient c1(*first);
+    ASSERT_TRUE(c1.handshake());  // occupies the only slot
+
+    std::unique_ptr<Transport> second = connect_socket("unix:" + path);
+    ASSERT_TRUE(second);
+    Message hello;
+    hello.type = MsgType::kHello;
+    ASSERT_TRUE(second->send(encode(hello)));
+    std::string line;
+    ASSERT_EQ(second->recv(line, 10000), RecvStatus::kOk);
+    Message reply;
+    ASSERT_TRUE(decode(line, reply));
+    EXPECT_EQ(reply.type, MsgType::kError);
+    EXPECT_NE(reply.text.find("server full"), std::string::npos)
+        << reply.text;
+
+    // Freeing the slot re-admits clients.
+    first->close();
+    while (acceptor.live_clients() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::unique_ptr<Transport> third = connect_socket("unix:" + path);
+    ASSERT_TRUE(third);
+    SessionClient c3(*third);
+    EXPECT_TRUE(c3.handshake());
+
+    acceptor.stop();
+    server.join();
+    EXPECT_EQ(acceptor.stats().rejected, 1u);
+}
+
+TEST(ServeSocket, SessionsSpillAndReloadAcrossConcurrentClients)
+{
+    const int budget = 8;
+    const int batch = 2;
+    // Uncapped reference histories.
+    std::vector<double> ref1 = sequential_session_values(
+        "s1", kBench, "baco", budget, 51, batch);
+    std::vector<double> ref2 = sequential_session_values(
+        "s2", kBench, "baco", budget, 52, batch);
+
+    std::string ckpt_dir = testing::TempDir() + "baco_spill_" +
+                           std::to_string(::getpid());
+    std::string path = unique_unix_path("spill");
+    Listener listener;
+    ASSERT_TRUE(listener.open(*parse_socket_address("unix:" + path)));
+    SessionManagerOptions sopt;
+    sopt.checkpoint_dir = ckpt_dir;
+    sopt.max_live_sessions = 1;  // two sessions must ping-pong spill
+    SessionManager sessions(sopt);
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    Acceptor acceptor(std::move(listener), ctx);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    // Two connections, one session each, driven round-robin from one
+    // thread so every round of one session evicts the other's tuner.
+    auto t1 = connect_socket("unix:" + path);
+    auto t2 = connect_socket("unix:" + path);
+    ASSERT_TRUE(t1 && t2);
+    SessionClient c1(*t1), c2(*t2);
+    ASSERT_TRUE(c1.handshake());
+    ASSERT_TRUE(c2.handshake());
+    ASSERT_EQ(c1.open("s1", kBench, "baco", budget, 51).type,
+              MsgType::kOpened);
+    ASSERT_EQ(c2.open("s2", kBench, "baco", budget, 52).type,
+              MsgType::kOpened);
+
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    auto one_round = [&](SessionClient& c, const std::string& name,
+                         std::uint64_t seed, std::vector<double>& out) {
+        Message configs = c.suggest(name, batch);
+        ASSERT_EQ(configs.type, MsgType::kConfigs) << configs.text;
+        std::vector<ObservedResult> results;
+        for (std::size_t i = 0; i < configs.configs.size(); ++i) {
+            ObservedResult r;
+            r.config = configs.configs[i];
+            EvalResult e =
+                evaluate_on(bench, r.config, seed, configs.index + i);
+            r.value = e.value;
+            r.feasible = e.feasible;
+            out.push_back(e.value);
+            results.push_back(std::move(r));
+        }
+        ASSERT_EQ(c.observe(name, std::move(results)).type, MsgType::kOk);
+    };
+    std::vector<double> got1, got2;
+    for (int round = 0; round < budget / batch; ++round) {
+        one_round(c1, "s1", 51, got1);
+        one_round(c2, "s2", 52, got2);
+    }
+    EXPECT_EQ(c1.close("s1").type, MsgType::kOk);
+    EXPECT_EQ(c2.close("s2").type, MsgType::kOk);
+
+    EXPECT_EQ(got1, ref1);
+    EXPECT_EQ(got2, ref2);
+    // The cap is 1 and two sessions interleaved: reloads must have
+    // happened, and the registry never ended above the cap.
+    EXPECT_GT(sessions.spill_count(), 0u);
+    EXPECT_GT(sessions.reload_count(), 0u);
+    EXPECT_LE(sessions.size(), 1u);
+
+    acceptor.stop();
+    server.join();
+}
+
+TEST(ServeSocket, WorkerAttachedOverSocketServesRunRequests)
+{
+    const int budget = 8;
+    std::string path = unique_unix_path("fleet");
+    Listener listener;
+    ASSERT_TRUE(listener.open(*parse_socket_address("unix:" + path)));
+    SessionManager sessions;
+    Coordinator coordinator;
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    ctx.coordinator = &coordinator;
+    Acceptor acceptor(std::move(listener), ctx);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    // A worker joins the fleet over the same socket clients use.
+    std::thread worker([&path] {
+        std::unique_ptr<Transport> t = connect_socket("unix:" + path);
+        ASSERT_TRUE(t);
+        run_worker_loop(*t);
+    });
+    while (acceptor.stats().workers_attached == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(coordinator.num_workers(), 1u);
+
+    // A server-side run sharded over that worker must match the
+    // in-process run bit-for-bit (worker placement never matters).
+    auto run_session = [&](Transport& t, const std::string& name) {
+        SessionClient client(t);
+        EXPECT_TRUE(client.handshake());
+        Message open = client.open(name, kBench, "Uniform", budget, 9);
+        EXPECT_EQ(open.type, MsgType::kOpened) << open.text;
+        Message run;
+        run.type = MsgType::kRun;
+        run.session = name;
+        run.n = 3;
+        Message done = client.rpc(std::move(run));
+        EXPECT_EQ(done.type, MsgType::kDone) << done.text;
+        EXPECT_EQ(client.close(name).type, MsgType::kOk);
+        return done;
+    };
+
+    std::unique_ptr<Transport> fleet_client =
+        connect_socket("unix:" + path);
+    ASSERT_TRUE(fleet_client);
+    Message sharded = run_session(*fleet_client, "fleet-run");
+
+    SessionManager local_sessions;
+    ServerContext local_ctx;
+    local_ctx.sessions = &local_sessions;
+    auto [client_end, server_end] = loopback_pair();
+    std::thread local_server(
+        [&local_ctx, t = std::shared_ptr<Transport>(std::move(server_end))] {
+            serve_connection(*t, local_ctx);
+        });
+    Message local = run_session(*client_end, "local-run");
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    client_end->send(encode(bye));
+    local_server.join();
+    EXPECT_EQ(sharded.evals, static_cast<std::uint64_t>(budget));
+    EXPECT_EQ(sharded.evals, local.evals);
+    EXPECT_EQ(sharded.best, local.best);
+
+    acceptor.stop();
+    server.join();
+    coordinator.shutdown();
+    worker.join();
+}
+
+TEST(ServeSocket, RemotePolicyMatchesLoopbackDistributed)
+{
+    const int budget = 12;
+    const int batch = 4;
+    auto study_with = [&](ExecutionPolicy policy) {
+        return StudyBuilder()
+            .benchmark(kBench)
+            .method("baco")
+            .budget(budget)
+            .seed(5)
+            .execution(policy)
+            .build()
+            .run();
+    };
+    StudyResult reference = study_with(ExecutionPolicy::Distributed(1, batch));
+
+    // A worker daemon (baco_worker --listen shape) the study dials.
+    std::string path = unique_unix_path("daemon");
+    Listener worker_listener;
+    ASSERT_TRUE(
+        worker_listener.open(*parse_socket_address("unix:" + path)));
+    std::thread daemon([&worker_listener] {
+        std::unique_ptr<Transport> t = worker_listener.accept();
+        ASSERT_TRUE(t);
+        run_worker_loop(*t);
+    });
+
+    StudyResult remote = study_with(
+        ExecutionPolicy::Remote({"unix:" + path}, batch));
+    EXPECT_TRUE(histories_equal(reference.history, remote.history));
+    daemon.join();
+}
+
+TEST(ServeSocket, AttachedPolicyDrivesAnExternallyOwnedFleet)
+{
+    const int budget = 12;
+    const int batch = 4;
+    auto study_with = [&](ExecutionPolicy policy) {
+        return StudyBuilder()
+            .benchmark(kBench)
+            .method("baco")
+            .budget(budget)
+            .seed(6)
+            .execution(policy)
+            .build()
+            .run();
+    };
+    StudyResult reference =
+        study_with(ExecutionPolicy::Distributed(2, batch));
+
+    Coordinator fleet;
+    std::vector<std::thread> workers = attach_loopback_workers(fleet, 2);
+    StudyResult first = study_with(ExecutionPolicy::Attached(&fleet, batch));
+    // The fleet survives the study — a second one reuses it.
+    StudyResult second =
+        study_with(ExecutionPolicy::Attached(&fleet, batch));
+    EXPECT_TRUE(histories_equal(reference.history, first.history));
+    EXPECT_TRUE(histories_equal(reference.history, second.history));
+    fleet.shutdown();
+    for (std::thread& w : workers)
+        w.join();
+}
+
+TEST(ServeSocket, CmdWorkerAddressSpawnsAChildProcess)
+{
+    if (::access("./baco_worker", X_OK) != 0)
+        GTEST_SKIP() << "baco_worker binary not in the working directory";
+    const int budget = 8;
+    const int batch = 4;
+    auto study_with = [&](ExecutionPolicy policy) {
+        return StudyBuilder()
+            .benchmark(kBench)
+            .method("Uniform")
+            .budget(budget)
+            .seed(8)
+            .execution(policy)
+            .build()
+            .run();
+    };
+    StudyResult reference =
+        study_with(ExecutionPolicy::Distributed(1, batch));
+    StudyResult spawned = study_with(
+        ExecutionPolicy::Remote({"cmd:./baco_worker --capacity 2"}, batch));
+    EXPECT_TRUE(histories_equal(reference.history, spawned.history));
+}
+
+TEST(ServeSocket, UnreachableRemoteWorkerFailsLoudly)
+{
+    auto study = StudyBuilder()
+                     .benchmark(kBench)
+                     .method("Uniform")
+                     .budget(4)
+                     .execution(ExecutionPolicy::Remote(
+                         {"unix:" + unique_unix_path("nowhere")}))
+                     .build();
+    EXPECT_THROW(study.run(), std::runtime_error);
+}
+
+TEST(ServeSocket, AddressParsing)
+{
+    std::string error;
+    auto u = parse_socket_address("unix:/tmp/x.sock");
+    ASSERT_TRUE(u);
+    EXPECT_EQ(u->kind, SocketAddress::Kind::kUnix);
+    EXPECT_EQ(u->path, "/tmp/x.sock");
+    EXPECT_EQ(u->str(), "unix:/tmp/x.sock");
+
+    auto t = parse_socket_address("tcp:localhost:7070");
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->kind, SocketAddress::Kind::kTcp);
+    EXPECT_EQ(t->host, "localhost");
+    EXPECT_EQ(t->port, 7070);
+
+    auto v6 = parse_socket_address("tcp:[::1]:8080");
+    ASSERT_TRUE(v6);
+    EXPECT_EQ(v6->host, "::1");
+    EXPECT_EQ(v6->port, 8080);
+    EXPECT_EQ(v6->str(), "tcp:[::1]:8080");
+
+    EXPECT_FALSE(parse_socket_address("unix:", &error));
+    EXPECT_FALSE(parse_socket_address("tcp:nohost", &error));
+    EXPECT_FALSE(parse_socket_address("tcp:h:99999", &error));
+    EXPECT_FALSE(parse_socket_address("http://x", &error));
+    EXPECT_FALSE(parse_socket_address("tcp:h:12x", &error));
+}
+
+}  // namespace
+}  // namespace baco::serve

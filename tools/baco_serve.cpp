@@ -1,27 +1,41 @@
-// baco_serve: the distributed tuning service over stdin/stdout.
+// baco_serve: the distributed tuning service.
 //
-// Serves the JSONL session protocol on its standard streams (compose
-// with ssh/socat for networking). Evaluation workers either run
-// in-process (--workers N), or as child processes spawned from
-// --worker-cmd (each wired through pipes) — the worked README example
-// runs `baco_serve --workers 2 --worker-cmd ./baco_worker`.
+// By default it serves the JSONL session protocol on its standard
+// streams — one connection. With --listen unix:PATH or
+// --listen tcp:HOST:PORT it becomes a multi-client server: an accept
+// loop serves every connection against one shared SessionManager (and
+// worker fleet), so any number of clients tune concurrently, and
+// baco_worker --connect processes can join the fleet over the same
+// socket. --max-clients bounds concurrent connections; --max-sessions
+// caps the in-memory session registry (excess sessions spill their
+// checkpoints to disk and reload transparently on the next request —
+// requires --checkpoint-dir). SIGINT/SIGTERM stop the accept loop
+// gracefully: live connections are closed, sessions checkpointed.
+//
+// Evaluation workers either run in-process (--workers N), as child
+// processes spawned from --worker-cmd (each wired through pipes), or
+// attach over the --listen socket at runtime.
 //
 // --async drives every server-side run request tell-as-results-land
 // (Coordinator::drive_async / EvalEngine async mode), streaming one
 // result frame per landed evaluation; clients can also opt in per
 // request with "async":true on the run frame.
 //
-// --selftest runs the hermetic 2-worker end-to-end check (the same
-// parity contract the ctest suite enforces): a Study driven with
+// --selftest runs the hermetic end-to-end checks (the same parity
+// contracts the ctest suite enforces): a Study driven with
 // ExecutionPolicy::Distributed must reproduce the same-seed
-// ExecutionPolicy::Batched run bit-for-bit, and an async fleet drive
-// must complete the full budget without stalling.
+// ExecutionPolicy::Batched run bit-for-bit, an async fleet drive must
+// complete the full budget without stalling, and two concurrent
+// Unix-socket clients against one acceptor must produce bit-for-bit
+// the histories of two sequential stdio runs.
 //
 // --list enumerates the registered benchmarks and MethodRegistry
 // methods (the names open_session and Study accept) and exits.
 //
 // Usage:
-//   baco_serve [--checkpoint-dir DIR] [--cache FILE]
+//   baco_serve [--listen unix:PATH|tcp:HOST:PORT]
+//              [--max-clients N] [--max-sessions N]
+//              [--checkpoint-dir DIR] [--cache FILE]
 //              [--workers N] [--worker-cmd CMD]
 //              [--idle-timeout SECONDS] [--async]
 //   baco_serve --selftest [benchmark]
@@ -36,7 +50,10 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "api/baco.hpp"
+#include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
 #include "serve/session_manager.hpp"
@@ -44,6 +61,43 @@
 #include "serve/worker.hpp"
 
 namespace {
+
+/** SIGINT/SIGTERM target: flips the acceptor's stop flag (both calls on
+ *  the stop path — shutdown(2), unlink(2) — are async-signal-safe). */
+baco::serve::Acceptor* g_acceptor = nullptr;
+
+void
+stop_on_signal(int)
+{
+    if (g_acceptor)
+        g_acceptor->stop();
+}
+
+/**
+ * Socket leg: two clients tuning different sessions CONCURRENTLY over a
+ * Unix socket against one acceptor must produce bit-for-bit the same
+ * histories as two sequential single-connection (stdio-shaped) runs
+ * with the same seeds — serve::socket_parity_check, the same contract
+ * tests/test_serve_socket.cpp pins over unix AND tcp listeners.
+ */
+bool
+selftest_socket(const std::string& benchmark_name)
+{
+    using namespace baco::serve;
+    std::string path =
+        "/tmp/baco_selftest_" + std::to_string(::getpid()) + ".sock";
+    SocketParityResult parity = socket_parity_check(
+        "unix:" + path, benchmark_name, "baco", /*budget=*/12,
+        /*batch=*/3, /*seed1=*/21, /*seed2=*/22);
+    std::printf("baco_serve selftest: socket leg — 2 concurrent unix-"
+                "socket clients %s 2 sequential stdio runs (2 x %zu "
+                "evals) [%s]%s%s\n",
+                parity.ok ? "==" : "!=", parity.evals_per_client,
+                parity.ok ? "ok" : "FAILED",
+                parity.detail.empty() ? "" : ": ",
+                parity.detail.c_str());
+    return parity.ok;
+}
 
 int
 selftest(const std::string& benchmark_name)
@@ -86,7 +140,9 @@ selftest(const std::string& benchmark_name)
                 "best %.6g [%s]\n",
                 async.history.size(), budget, async.history.best_value,
                 async_ok ? "ok" : "FAILED");
-    return ok && async_ok ? 0 : 1;
+
+    bool socket_ok = selftest_socket(benchmark_name);
+    return ok && async_ok && socket_ok ? 0 : 1;
 }
 
 int
@@ -122,7 +178,10 @@ main(int argc, char** argv)
     std::string checkpoint_dir;
     std::string cache_file;
     std::string worker_cmd;
+    std::string listen_spec;
     int workers = 0;
+    int max_clients = 64;
+    long max_sessions = 0;
     double idle_timeout = 0.0;
     bool async_runs = false;
     bool run_selftest = false;
@@ -139,6 +198,12 @@ main(int argc, char** argv)
             workers = std::atoi(argv[++i]);
         } else if (arg == "--worker-cmd" && i + 1 < argc) {
             worker_cmd = argv[++i];
+        } else if (arg == "--listen" && i + 1 < argc) {
+            listen_spec = argv[++i];
+        } else if (arg == "--max-clients" && i + 1 < argc) {
+            max_clients = std::atoi(argv[++i]);
+        } else if (arg == "--max-sessions" && i + 1 < argc) {
+            max_sessions = std::atol(argv[++i]);
         } else if (arg == "--idle-timeout" && i + 1 < argc) {
             idle_timeout = std::atof(argv[++i]);
         } else if (arg == "--async") {
@@ -151,13 +216,22 @@ main(int argc, char** argv)
             run_list = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--checkpoint-dir DIR] [--cache FILE] "
+                         "usage: %s [--listen unix:PATH|tcp:HOST:PORT] "
+                         "[--max-clients N] [--max-sessions N] "
+                         "[--checkpoint-dir DIR] [--cache FILE] "
                          "[--workers N] [--worker-cmd CMD] "
                          "[--idle-timeout S] [--async] | "
                          "--selftest [benchmark] | --list\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (max_sessions > 0 && checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "baco_serve: --max-sessions requires "
+                     "--checkpoint-dir (spilled sessions live in their "
+                     "checkpoints)\n");
+        return 2;
     }
 
     if (run_list)
@@ -173,6 +247,8 @@ main(int argc, char** argv)
     sopt.checkpoint_dir = checkpoint_dir;
     sopt.idle_timeout_seconds = idle_timeout;
     sopt.cache = cache_file.empty() ? nullptr : &cache;
+    if (max_sessions > 0)
+        sopt.max_live_sessions = static_cast<std::size_t>(max_sessions);
     serve::SessionManager sessions(sopt);
 
     // --worker-cmd implies at least one worker.
@@ -206,12 +282,56 @@ main(int argc, char** argv)
                      worker_cmd.empty() ? "in-process" : worker_cmd.c_str());
     }
 
-    serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
     serve::ServerContext ctx;
     ctx.sessions = &sessions;
     ctx.coordinator = &coordinator;
     ctx.async_runs = async_runs;
-    serve::ServeStats stats = serve_connection(stdio, ctx);
+
+    serve::ServeStats stats;
+    if (!listen_spec.empty()) {
+        // ---- Multi-client socket server. ----
+        std::string error;
+        std::optional<serve::SocketAddress> addr =
+            serve::parse_socket_address(listen_spec, &error);
+        serve::Listener listener;
+        if (!addr || !listener.open(*addr, &error)) {
+            std::fprintf(stderr, "baco_serve: %s\n", error.c_str());
+            return 1;
+        }
+        serve::AcceptorOptions aopt;
+        aopt.max_clients = max_clients;
+        serve::Acceptor acceptor(std::move(listener), ctx, aopt);
+        g_acceptor = &acceptor;
+        std::signal(SIGINT, stop_on_signal);
+        std::signal(SIGTERM, stop_on_signal);
+        std::string limits = "max " + std::to_string(max_clients) +
+                             " clients";
+        if (max_sessions > 0) {
+            limits += ", max " + std::to_string(max_sessions) +
+                      " live sessions";
+        }
+        std::fprintf(stderr, "baco_serve: listening on %s (%s)\n",
+                     acceptor.address().str().c_str(), limits.c_str());
+        acceptor.run();
+        g_acceptor = nullptr;
+        serve::AcceptorStats astats = acceptor.stats();
+        stats.requests = astats.requests;
+        stats.errors = astats.errors;
+        std::fprintf(
+            stderr,
+            "baco_serve: %llu connections served, %llu workers "
+            "attached, %llu rejected; %llu sessions spilled, %llu "
+            "reloaded\n",
+            static_cast<unsigned long long>(astats.accepted),
+            static_cast<unsigned long long>(astats.workers_attached),
+            static_cast<unsigned long long>(astats.rejected),
+            static_cast<unsigned long long>(sessions.spill_count()),
+            static_cast<unsigned long long>(sessions.reload_count()));
+    } else {
+        // ---- Single connection on the standard streams. ----
+        serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
+        stats = serve_connection(stdio, ctx);
+    }
 
     sessions.checkpoint_all();
     coordinator.shutdown();

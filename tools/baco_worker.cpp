@@ -1,17 +1,30 @@
-// baco_worker: a serve-protocol evaluation worker over stdin/stdout.
+// baco_worker: a serve-protocol evaluation worker.
 //
-// Speaks JSONL frames on its standard streams, so a coordinator attaches
-// it through pipes directly (baco_serve --worker-cmd), or across hosts
-// through ssh/socat. Evaluates registry benchmarks under the
-// (seed, index)-derived noise streams, so any worker placement yields
-// identical tuning histories.
+// By default it speaks JSONL frames on its standard streams, so a
+// coordinator attaches it through pipes directly (baco_serve
+// --worker-cmd), or across hosts through ssh/socat. Two socket modes
+// remove the process-spawning relationship so fleets scale across
+// machines:
+//
+//   --connect unix:PATH|tcp:HOST:PORT   dial a `baco_serve --listen`
+//       server (or anything accepting worker hellos) and join its
+//       evaluation fleet;
+//   --listen unix:PATH|tcp:HOST:PORT    run as a worker daemon: serve
+//       one coordinator connection at a time (this is the endpoint
+//       ExecutionPolicy::Remote addresses name).
+//
+// Evaluates registry benchmarks under the (seed, index)-derived noise
+// streams, so any worker placement yields identical tuning histories.
 //
 // Usage: baco_worker [--capacity N]
+//                    [--connect ADDR | --listen ADDR [--once]]
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
@@ -22,17 +35,71 @@ main(int argc, char** argv)
     std::signal(SIGPIPE, SIG_IGN);
 
     baco::serve::WorkerOptions opt;
+    std::string connect_spec;
+    std::string listen_spec;
+    bool once = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
             opt.capacity = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--connect") == 0 &&
+                   i + 1 < argc) {
+            connect_spec = argv[++i];
+        } else if (std::strcmp(argv[i], "--listen") == 0 &&
+                   i + 1 < argc) {
+            listen_spec = argv[++i];
+        } else if (std::strcmp(argv[i], "--once") == 0) {
+            once = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--capacity N]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--capacity N] [--connect "
+                         "unix:PATH|tcp:HOST:PORT | --listen "
+                         "unix:PATH|tcp:HOST:PORT [--once]]\n",
+                         argv[0]);
             return 2;
         }
     }
+    if (!connect_spec.empty() && !listen_spec.empty()) {
+        std::fprintf(stderr,
+                     "baco_worker: --connect and --listen are mutually "
+                     "exclusive\n");
+        return 2;
+    }
 
-    baco::serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
-    std::uint64_t evaluated = baco::serve::run_worker_loop(stdio, opt);
+    std::uint64_t evaluated = 0;
+    if (!connect_spec.empty()) {
+        std::string error;
+        std::unique_ptr<baco::serve::Transport> transport =
+            baco::serve::connect_socket(connect_spec, &error);
+        if (!transport) {
+            std::fprintf(stderr, "baco_worker: %s\n", error.c_str());
+            return 1;
+        }
+        evaluated = baco::serve::run_worker_loop(*transport, opt);
+    } else if (!listen_spec.empty()) {
+        std::string error;
+        std::optional<baco::serve::SocketAddress> addr =
+            baco::serve::parse_socket_address(listen_spec, &error);
+        baco::serve::Listener listener;
+        if (!addr || !listener.open(*addr, &error)) {
+            std::fprintf(stderr, "baco_worker: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "baco_worker: listening on %s\n",
+                     listener.address().str().c_str());
+        // One coordinator at a time: a worker daemon outlives its
+        // coordinators (each disconnect just frees it for the next),
+        // unless --once asked for a single engagement.
+        do {
+            std::unique_ptr<baco::serve::Transport> transport =
+                listener.accept();
+            if (!transport)
+                break;
+            evaluated += baco::serve::run_worker_loop(*transport, opt);
+        } while (!once);
+    } else {
+        baco::serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
+        evaluated = baco::serve::run_worker_loop(stdio, opt);
+    }
     std::fprintf(stderr, "baco_worker: %llu evaluations served\n",
                  static_cast<unsigned long long>(evaluated));
     return 0;
