@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against committed baselines.
+
+Every bench harness writes a machine-readable summary with a "rows"
+array; rows carrying "gated": true name a "gate_metric" (the field to
+compare), a "gate_direction" ("higher_better" or "lower_better") and
+optionally a per-row "tolerance" (default --tolerance, 0.15). This
+script matches each gated row to the baseline row with the same "key"
+in bench/baselines/<same basename> and fails when the metric regressed
+past the tolerance:
+
+    higher_better: regression when new < base * (1 - tol)
+    lower_better:  regression when new > base * (1 + tol)
+
+Gated rows present in the baseline but missing from the new artifact
+fail too (a bench silently dropping its gate must not pass), as does a
+missing baseline file (run the bench once and commit the artifact to
+bench/baselines/ when adding a new harness).
+
+Usage: bench_diff.py NEW.json [NEW.json ...]
+                     [--baseline-dir bench/baselines] [--tolerance 0.15]
+
+Improvements are reported but never fail: the point is a ratchet
+against regressions, not a pin of exact numbers.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = row.get("key")
+        if key is not None:
+            rows[key] = row
+    return rows
+
+
+def check_artifact(new_path, baseline_dir, default_tol):
+    """Returns a list of (key, message, failed) verdicts."""
+    base_path = os.path.join(baseline_dir, os.path.basename(new_path))
+    if not os.path.exists(base_path):
+        return [("-", f"no baseline {base_path} — run the bench and "
+                 "commit its artifact there", True)]
+    new_rows = load_rows(new_path)
+    base_rows = load_rows(base_path)
+    verdicts = []
+
+    for key, base in sorted(base_rows.items()):
+        if not base.get("gated"):
+            continue
+        new = new_rows.get(key)
+        if new is None:
+            verdicts.append((key, "gated row missing from new artifact",
+                             True))
+            continue
+        metric = base.get("gate_metric")
+        direction = base.get("gate_direction", "higher_better")
+        tol = float(new.get("tolerance", base.get("tolerance",
+                                                  default_tol)))
+        if metric is None or metric not in base or metric not in new:
+            verdicts.append((key, f"gate_metric {metric!r} missing",
+                             True))
+            continue
+        b, n = float(base[metric]), float(new[metric])
+        if direction == "higher_better":
+            failed = n < b * (1.0 - tol)
+            change = (n - b) / b if b else 0.0
+        else:
+            failed = n > b * (1.0 + tol)
+            change = (b - n) / b if b else 0.0
+        word = "regressed" if failed else (
+            "improved" if change > 0 else "ok")
+        verdicts.append(
+            (key, f"{metric} {b:.4g} -> {n:.4g} "
+             f"({change:+.1%}, tol {tol:.0%}) {word}", failed))
+
+    # New gated rows without a baseline are informational: the next
+    # baseline refresh picks them up.
+    for key, new in sorted(new_rows.items()):
+        if new.get("gated") and key not in base_rows:
+            verdicts.append((key, "new gated row (no baseline yet)",
+                             False))
+    if not any(base.get("gated") for base in base_rows.values()):
+        verdicts.append(("-", "baseline has no gated rows", True))
+    return verdicts
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="gate BENCH_*.json against committed baselines")
+    ap.add_argument("artifacts", nargs="+")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    args = ap.parse_args()
+
+    failed = False
+    for path in args.artifacts:
+        print(f"== {path} vs {args.baseline_dir}/"
+              f"{os.path.basename(path)}")
+        for key, message, bad in check_artifact(path, args.baseline_dir,
+                                                args.tolerance):
+            print(f"  [{'FAIL' if bad else ' ok '}] {key}: {message}")
+            failed |= bad
+    print("bench_diff:", "FAILED" if failed else "ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,11 @@
 #             2 sequential stdio runs bit-for-bit)
 #   bench     bench_async_utilization with --json: tell-as-results-land
 #             must beat the batched engine >= 1.5x on heavy-tailed
-#             delays; the gate re-checks the machine-readable
-#             BENCH_async_utilization.json trajectory artifact
+#             delays; bench_suggest_latency: per-method suggest() p50/p99
+#             vs history length with the obs instrumentation pin; then
+#             scripts/bench_diff.py gates both BENCH_*.json artifacts
+#             against the committed bench/baselines/ (>15% regression on
+#             a gated row fails)
 #   tsan      ThreadSanitizer build (BACO_SANITIZE=thread) of the
 #             concurrency-heavy exec + serve tests
 #   asan      AddressSanitizer build (BACO_SANITIZE=address) of the
@@ -68,6 +71,19 @@ stage_bench() {
     # with the exit code, so a bench that stops writing it fails here.
     grep -q '"speedup_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
     grep -q '"quality_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
+    "./$BUILD_DIR/bench_suggest_latency" \
+        --json "$BUILD_DIR/BENCH_suggest_latency.json" \
+        --trace "$BUILD_DIR/trace_suggest_latency.json"
+    grep -q '"obs_ok": true' "$BUILD_DIR/BENCH_suggest_latency.json"
+    # Ratchet: gated rows must not regress >tolerance vs the committed
+    # baselines (dimensionless ratios only, so the gate is portable).
+    if command -v python3 >/dev/null 2>&1; then
+        python3 scripts/bench_diff.py \
+            "$BUILD_DIR/BENCH_async_utilization.json" \
+            "$BUILD_DIR/BENCH_suggest_latency.json"
+    else
+        echo "check.sh: python3 unavailable; skipping bench_diff gate"
+    fi
 }
 
 sanitizer_available() {
@@ -81,13 +97,15 @@ sanitizer_available() {
 }
 
 # The concurrency-heavy exec + serve surface (CmdWorkerAddress… in
-# test_serve_socket additionally spawns ./baco_worker).
+# test_serve_socket additionally spawns ./baco_worker), plus the obs
+# layer: its lock-free metric updates and per-thread trace buffers are
+# exactly what TSAN exists to check.
 SAN_TARGETS=(test_exec_engine test_exec_async test_exec_pool
-             test_exec_cache test_exec_checkpoint
+             test_exec_cache test_exec_checkpoint test_obs
              test_serve_protocol test_serve_session
              test_serve_distributed test_serve_fuzz test_serve_socket
              baco_worker)
-SAN_REGEX='test_exec_(engine|async|pool|cache|checkpoint)|test_serve_(protocol|session|distributed|fuzz|socket)'
+SAN_REGEX='test_exec_(engine|async|pool|cache|checkpoint)|test_obs|test_serve_(protocol|session|distributed|fuzz|socket)'
 
 stage_tsan() {
     if ! sanitizer_available thread; then

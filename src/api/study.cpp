@@ -9,6 +9,7 @@
 #include "api/method_registry.hpp"
 #include "exec/eval_cache.hpp"
 #include "exec/eval_engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
@@ -431,7 +432,13 @@ StudyResult
 Study::finalize(TuningHistory history)
 {
     finalized_ = true;
+    if (!trace_path_.empty()) {
+        obs::Trace::disable();
+        obs::Trace::export_chrome(trace_path_);
+    }
     StudyResult r;
+    r.metrics =
+        obs::MetricsRegistry::global().snapshot().delta_since(metrics0_);
     r.history = std::move(history);
     r.method = method_;
     r.benchmark = benchmark_ ? benchmark_->name : std::string{};
@@ -617,6 +624,13 @@ StudyBuilder::on_event(StudyEventFn fn)
     return *this;
 }
 
+StudyBuilder&
+StudyBuilder::trace(std::string path)
+{
+    trace_path_ = std::move(path);
+    return *this;
+}
+
 Study
 StudyBuilder::build()
 {
@@ -735,6 +749,13 @@ StudyBuilder::build()
     }
 
     study.on_event_ = on_event_;
+    study.trace_path_ = trace_path_;
+    // The metrics baseline is taken at build, not run: the delta then
+    // also covers ask/tell embedding, where the tuner works between
+    // build() and result() without a run() bracket.
+    study.metrics0_ = obs::MetricsRegistry::global().snapshot();
+    if (!trace_path_.empty())
+        obs::Trace::enable();
     return study;
 }
 

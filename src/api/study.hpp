@@ -38,6 +38,7 @@
 #include "api/execution_policy.hpp"
 #include "exec/ask_tell.hpp"
 #include "exec/checkpoint.hpp"
+#include "obs/metrics.hpp"
 #include "suite/benchmark.hpp"
 
 namespace baco {
@@ -120,6 +121,17 @@ struct StudyResult {
    */
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /**
+   * Per-phase observability during this study: the global obs registry
+   * as a delta between build() and finalization — counters and
+   * histogram buckets subtract, gauges keep their final value. Exact
+   * for a study with the process to itself; studies running
+   * concurrently in one process appear in each other's deltas (the
+   * registry is process-global). `metrics.value("tuner.suggest_seconds")`
+   * is the study's total suggest time; see README "Observability" for
+   * the metric reference.
+   */
+  obs::MetricsSnapshot metrics;
 };
 
 /** One configured tuning study. Move-only; built by StudyBuilder. */
@@ -185,6 +197,9 @@ class Study {
 
   void ensure_not_finalized() const;
   StudyResult finalize(TuningHistory history);
+
+  std::string trace_path_;        ///< empty = tracing stays off
+  obs::MetricsSnapshot metrics0_; ///< registry state at build()
 
   std::optional<Benchmark> benchmark_;  ///< copied; self-contained
   std::shared_ptr<SearchSpace> space_;
@@ -264,6 +279,15 @@ class StudyBuilder {
    *  re-dispatched under the original indices). */
   StudyBuilder& checkpoint(std::string path, bool resume = false);
   StudyBuilder& on_event(StudyEventFn fn);
+  /**
+   * Opt into tracing: spans recorded between build() and finalization
+   * are exported to `path` as Chrome trace_event JSON (load in
+   * chrome://tracing / Perfetto). Tracing is process-global — the
+   * export carries every span in the buffers, concurrent studies
+   * included — and is a no-op when the library was built with
+   * -DBACO_OBS_TRACE=OFF.
+   */
+  StudyBuilder& trace(std::string path);
 
   /**
    * Validate and construct the Study (resolving the method through
@@ -294,6 +318,7 @@ class StudyBuilder {
   std::string checkpoint_path_;
   bool resume_ = false;
   StudyEventFn on_event_;
+  std::string trace_path_;
 };
 
 }  // namespace baco

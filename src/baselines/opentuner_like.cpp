@@ -10,6 +10,8 @@
 #include <unordered_set>
 
 #include "core/chain_of_trees.hpp"
+#include "core/tuner_metrics.hpp"
+#include "obs/trace.hpp"
 #include "exec/jsonl.hpp"
 
 namespace baco {
@@ -88,6 +90,9 @@ OpenTunerLike::suggest(int n)
     std::vector<Configuration> out;
     if (n <= 0)
         return out;
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer suggest_timer(tm.suggest, "tuner.suggest", "tuner");
+    tm.suggestions.add(static_cast<std::uint64_t>(n));
     out.reserve(static_cast<std::size_t>(n));
 
     auto feasible_known = [&](const Configuration& c) {
@@ -313,6 +318,10 @@ OpenTunerLike::observe(const std::vector<Configuration>& configs,
                        const std::vector<EvalResult>& results)
 {
     auto start = Clock::now();
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer timer(tm.observe, "tuner.observe", "tuner");
+    tm.observations.add(static_cast<std::uint64_t>(
+        std::min(configs.size(), results.size())));
     State& st = state();
     for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i) {
         int technique = kSeedPhase;

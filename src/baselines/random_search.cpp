@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "core/chain_of_trees.hpp"
+#include "core/tuner_metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace baco {
 
@@ -66,6 +68,9 @@ RandomSearchTuner::suggest(int n)
     std::vector<Configuration> out;
     if (n <= 0)
         return out;
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer suggest_timer(tm.suggest, "tuner.suggest", "tuner");
+    tm.suggestions.add(static_cast<std::uint64_t>(n));
     out.reserve(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
         if (biased_walk_ && st.cot) {
@@ -89,8 +94,12 @@ void
 RandomSearchTuner::observe(const std::vector<Configuration>& configs,
                            const std::vector<EvalResult>& results)
 {
-    for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i)
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer timer(tm.observe, "tuner.observe", "tuner");
+    for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i) {
         history_.add(configs[i], results[i]);
+        tm.observations.add();
+    }
 }
 
 void

@@ -10,6 +10,8 @@
 
 #include "core/acquisition.hpp"
 #include "core/chain_of_trees.hpp"
+#include "core/tuner_metrics.hpp"
+#include "obs/trace.hpp"
 #include "gp/gp_model.hpp"
 #include "rf/random_forest.hpp"
 
@@ -80,6 +82,9 @@ YtoptLike::suggest(int n)
     std::vector<Configuration> out;
     if (n <= 0)
         return out;
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer suggest_timer(tm.suggest, "tuner.suggest", "tuner");
+    tm.suggestions.add(static_cast<std::uint64_t>(n));
     out.reserve(static_cast<std::size_t>(n));
 
     bool use_gp = opt_.surrogate == Surrogate::kGaussianProcess;
@@ -198,10 +203,13 @@ YtoptLike::observe(const std::vector<Configuration>& configs,
                    const std::vector<EvalResult>& results)
 {
     auto start = Clock::now();
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer timer(tm.observe, "tuner.observe", "tuner");
     State& st = state();
     for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i) {
         st.seen.insert(config_hash(configs[i]));
         history_.add(configs[i], results[i]);
+        tm.observations.add();
     }
     history_.tuner_seconds +=
         std::chrono::duration<double>(Clock::now() - start).count();

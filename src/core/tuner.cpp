@@ -11,6 +11,8 @@
 #include "core/acquisition.hpp"
 #include "core/chain_of_trees.hpp"
 #include "core/feasibility_model.hpp"
+#include "core/tuner_metrics.hpp"
+#include "obs/trace.hpp"
 #include "rf/random_forest.hpp"
 
 namespace baco {
@@ -133,19 +135,26 @@ Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
 
     // Fit the value model.
     bool use_gp = opt_.surrogate == TunerOptions::Surrogate::kGaussianProcess;
-    if (use_gp) {
-        st.gp.fit(xs, ys, st.rng);
-    } else {
-        std::vector<std::vector<double>> rf_x;
-        rf_x.reserve(xs.size());
-        for (const Configuration& c : xs)
-            rf_x.push_back(space.encode(c));
-        st.rf_surrogate.fit(rf_x, ys, st.rng);
+    {
+        obs::ScopedTimer timer(TunerMetrics::get().model_fit,
+                               "tuner.model_fit", "tuner");
+        if (use_gp) {
+            st.gp.fit(xs, ys, st.rng);
+        } else {
+            std::vector<std::vector<double>> rf_x;
+            rf_x.reserve(xs.size());
+            for (const Configuration& c : xs)
+                rf_x.push_back(space.encode(c));
+            st.rf_surrogate.fit(rf_x, ys, st.rng);
+        }
     }
 
     // Fit the feasibility model (on real observations only).
-    if (opt_.use_feasibility_model)
+    if (opt_.use_feasibility_model) {
+        obs::ScopedTimer timer(TunerMetrics::get().feasibility_fit,
+                               "tuner.feasibility_fit", "tuner");
         st.feasibility.fit(history_.observations, st.rng);
+    }
 
     // Minimum feasibility threshold eps_f, resampled each iteration
     // with P(eps_f = 0) > 0 (Sec. 4.2).
@@ -185,8 +194,12 @@ Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
     LocalSearchOptions ls = opt_.ls;
     ls.cot_uniform_leaves = opt_.cot_uniform_leaves;
     ls.hill_climb = opt_.local_search;
-    std::optional<Configuration> cand =
-        local_search_maximize(space, st.cot.get(), score, st.rng, ls);
+    std::optional<Configuration> cand;
+    {
+        obs::ScopedTimer timer(TunerMetrics::get().acquisition,
+                               "tuner.acquisition", "tuner");
+        cand = local_search_maximize(space, st.cot.get(), score, st.rng, ls);
+    }
 
     if (!cand || st.seen.count(config_hash(*cand)))
         return random_unique(st);
@@ -229,10 +242,13 @@ Tuner::suggest_with_pending(int n, const std::vector<Configuration>& pending)
     for (const Configuration& c : pending)
         st.seen.insert(config_hash(c));
 
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer suggest_timer(tm.suggest, "tuner.suggest", "tuner");
     for (int k = 0; k < n; ++k) {
         std::size_t virtual_evals = history_.size() + fantasies.size();
         Configuration c;
         if (virtual_evals < static_cast<std::size_t>(doe_target)) {
+            obs::ScopedTimer timer(tm.doe, "tuner.doe", "tuner");
             c = random_unique(st);
         } else {
             c = propose(st, fantasies, lie);
@@ -241,6 +257,7 @@ Tuner::suggest_with_pending(int n, const std::vector<Configuration>& pending)
         out.push_back(c);
         fantasies.push_back(std::move(c));
     }
+    tm.suggestions.add(static_cast<std::uint64_t>(out.size()));
     history_.tuner_seconds += seconds_since(t0);
     return out;
 }
@@ -250,10 +267,13 @@ Tuner::observe(const std::vector<Configuration>& configs,
                const std::vector<EvalResult>& results)
 {
     auto t0 = Clock::now();
+    TunerMetrics& tm = TunerMetrics::get();
+    obs::ScopedTimer observe_timer(tm.observe, "tuner.observe", "tuner");
     State& st = state();
     for (std::size_t i = 0; i < configs.size() && i < results.size(); ++i) {
         st.seen.insert(config_hash(configs[i]));
         history_.add(configs[i], results[i]);
+        tm.observations.add();
     }
     history_.tuner_seconds += seconds_since(t0);
 }

@@ -1,0 +1,52 @@
+#ifndef BACO_CORE_TUNER_METRICS_HPP_
+#define BACO_CORE_TUNER_METRICS_HPP_
+
+/**
+ * @file
+ * The tuner-layer instrumentation handles, shared by every AskTellTuner
+ * implementation — the model-based core tuner and the baseline tuners
+ * (random search, OpenTuner-like, Ytopt-like) all feed the same
+ * `tuner.*` metrics, so per-method latency accounting (and the
+ * suggest_latency bench's instrumentation pin) holds regardless of
+ * which method a study runs.
+ *
+ * The registry returns one stable object per name, so each translation
+ * unit's get() refers to the same counters; the struct only caches the
+ * references to keep the hot suggest/observe paths registration-free.
+ */
+
+#include "obs/metrics.hpp"
+
+namespace baco {
+
+/** Per-phase instrumentation handles, registered once per process. */
+struct TunerMetrics {
+  obs::Histogram& suggest = hist("tuner.suggest_seconds");
+  obs::Histogram& observe = hist("tuner.observe_seconds");
+  obs::Histogram& doe = hist("tuner.doe_seconds");
+  obs::Histogram& model_fit = hist("tuner.model_fit_seconds");
+  obs::Histogram& feasibility_fit = hist("tuner.feasibility_fit_seconds");
+  obs::Histogram& acquisition = hist("tuner.acquisition_seconds");
+  obs::Counter& suggestions = counter("tuner.suggestions_total");
+  obs::Counter& observations = counter("tuner.observations_total");
+
+  static TunerMetrics& get()
+  {
+      static TunerMetrics m;
+      return m;
+  }
+
+ private:
+  static obs::Histogram& hist(const char* name)
+  {
+      return obs::MetricsRegistry::global().histogram(name);
+  }
+  static obs::Counter& counter(const char* name)
+  {
+      return obs::MetricsRegistry::global().counter(name);
+  }
+};
+
+}  // namespace baco
+
+#endif  // BACO_CORE_TUNER_METRICS_HPP_

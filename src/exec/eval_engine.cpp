@@ -10,11 +10,44 @@
 
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
+#include "obs/trace.hpp"
 
 namespace baco {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/** Engine instrumentation handles, registered once per process. */
+struct EngineMetrics {
+  obs::Histogram& objective = hist("engine.objective_seconds");
+  obs::Histogram& queue_wait = hist("engine.queue_wait_seconds");
+  obs::Histogram& tell = hist("engine.tell_seconds");
+  obs::Counter& dispatched = counter("engine.dispatched_total");
+  obs::Counter& cache_hits = counter("engine.cache_hits_total");
+  obs::Counter& cache_misses = counter("engine.cache_misses_total");
+  obs::Gauge& inflight_peak = gauge("engine.inflight_peak");
+  obs::Gauge& queue_depth = gauge("engine.pool_queue_depth");
+
+  static EngineMetrics& get()
+  {
+      static EngineMetrics m;
+      return m;
+  }
+
+ private:
+  static obs::Histogram& hist(const char* name)
+  {
+      return obs::MetricsRegistry::global().histogram(name);
+  }
+  static obs::Counter& counter(const char* name)
+  {
+      return obs::MetricsRegistry::global().counter(name);
+  }
+  static obs::Gauge& gauge(const char* name)
+  {
+      return obs::MetricsRegistry::global().gauge(name);
+  }
+};
 
 /**
  * Pool lanes for the requested options. In batch mode the caller works
@@ -56,28 +89,40 @@ EvalEngine::evaluate_batch(const BlackBoxFn& objective,
     std::vector<std::size_t> to_run;
     to_run.reserve(configs.size());
 
+    EngineMetrics& em = EngineMetrics::get();
     for (std::size_t i = 0; i < configs.size(); ++i) {
         if (opt_.cache) {
             if (auto cached =
                     opt_.cache->lookup(opt_.cache_namespace, configs[i])) {
                 results[i] = *cached;
+                em.cache_hits.add();
                 continue;
             }
+            em.cache_misses.add();
         }
         to_run.push_back(i);
     }
 
     std::vector<std::function<void()>> tasks;
     tasks.reserve(to_run.size());
+    auto enqueue_time = Clock::now();
     for (std::size_t i : to_run) {
-        tasks.push_back([&, i] {
+        tasks.push_back([&, enqueue_time, i] {
             RngEngine rng = eval_rng_for(run_seed, first_index + i);
             auto t0 = Clock::now();
-            results[i] = objective(configs[i], rng);
+            em.queue_wait.record(
+                std::chrono::duration<double>(t0 - enqueue_time).count());
+            em.queue_depth.set_max(static_cast<double>(pool_.queue_depth()));
+            {
+                obs::ScopedTimer timer(em.objective, "engine.objective",
+                                       "engine");
+                results[i] = objective(configs[i], rng);
+            }
             durations[i] =
                 std::chrono::duration<double>(Clock::now() - t0).count();
         });
     }
+    em.dispatched.add(static_cast<std::uint64_t>(tasks.size()));
     pool_.run(std::move(tasks));
 
     if (opt_.cache) {
@@ -157,20 +202,31 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
     // Submitted lambdas reference `complete` (and through it the queue):
     // every dispatched evaluation MUST be awaited before returning, even
     // when aborting on an objective exception.
+    EngineMetrics& em = EngineMetrics::get();
     auto dispatch = [&](const Configuration& c, std::uint64_t index) {
         if (opt_.cache) {
             if (auto hit = opt_.cache->lookup(opt_.cache_namespace, c)) {
+                em.cache_hits.add();
                 complete(Landed{index, *hit, 0.0, true, nullptr});
                 return;
             }
+            em.cache_misses.add();
         }
         std::uint64_t seed = tuner.run_seed();
-        pool_.submit([&objective, &complete, c, index, seed] {
+        em.dispatched.add();
+        auto submit_time = Clock::now();
+        pool_.submit([&objective, &complete, &em, this, c, index, seed,
+                      submit_time] {
             Landed l;
             l.index = index;
             RngEngine rng = eval_rng_for(seed, index);
             auto t0 = Clock::now();
+            em.queue_wait.record(
+                std::chrono::duration<double>(t0 - submit_time).count());
+            em.queue_depth.set_max(static_cast<double>(pool_.queue_depth()));
             try {
+                obs::ScopedTimer timer(em.objective, "engine.objective",
+                                       "engine");
                 l.result = objective(c, rng);
             } catch (...) {
                 l.error = std::current_exception();
@@ -225,6 +281,8 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
                     break;
                 std::uint64_t index = next_index++;
                 inflight.push_back(InFlight{std::move(next.front()), index});
+                em.inflight_peak.set_max(
+                    static_cast<double>(inflight.size()));
                 dispatch(inflight.back().config, index);
             }
         } catch (...) {
@@ -267,9 +325,12 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
             ev.result = l.result;
             ev.eval_seconds = l.seconds;
             ev.from_cache = l.from_cache;
-            tell_async_result(tuner, std::move(ev), opt_.cache,
-                              opt_.cache_namespace, opt_.checkpoint_path,
-                              still_pending, on_result);
+            {
+                obs::ScopedTimer timer(em.tell, "engine.tell", "engine");
+                tell_async_result(tuner, std::move(ev), opt_.cache,
+                                  opt_.cache_namespace, opt_.checkpoint_path,
+                                  still_pending, on_result);
+            }
             ++told;
         } catch (...) {
             if (!error)

@@ -82,9 +82,21 @@ ThreadPool::finish_one()
         done_cv_.notify_all();
 }
 
+int
+ThreadPool::queue_depth() const
+{
+    int depth = 0;
+    for (const auto& q : queues_) {
+        std::lock_guard<std::mutex> lock(q->mutex);
+        depth += static_cast<int>(q->tasks.size());
+    }
+    return depth;
+}
+
 void
 ThreadPool::execute(std::function<void()>& task)
 {
+    busy_.fetch_add(1, std::memory_order_relaxed);
     try {
         task();
     } catch (...) {
@@ -92,6 +104,7 @@ ThreadPool::execute(std::function<void()>& task)
         if (!first_error_)
             first_error_ = std::current_exception();
     }
+    busy_.fetch_sub(1, std::memory_order_relaxed);
     finish_one();
 }
 

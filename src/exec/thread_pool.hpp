@@ -22,6 +22,7 @@
  * outstanding work has drained.
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -45,6 +46,20 @@ class ThreadPool {
 
   /** Total number of execution lanes (workers + the calling thread). */
   int size() const { return static_cast<int>(queues_.size()); }
+
+  /**
+   * Tasks enqueued but not yet picked up by any lane (sums the per-lane
+   * deques). A sample, not a fence: concurrent submits/steals may move
+   * tasks while the lanes are walked. Feeds the engine's queue gauges.
+   */
+  int queue_depth() const;
+
+  /** Lanes currently inside a task — worker threads plus the calling
+   *  thread while it participates in run(). */
+  int busy_workers() const
+  {
+      return busy_.load(std::memory_order_relaxed);
+  }
 
   /**
    * Run all tasks to completion. The calling thread executes tasks too and
@@ -72,7 +87,7 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
+    mutable std::mutex mutex;  ///< mutable: queue_depth() samples are const
     std::deque<std::function<void()>> tasks;
   };
 
@@ -93,6 +108,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   ///< wakes idle workers
   std::condition_variable done_cv_;   ///< wakes run() when a batch drains
   int outstanding_ = 0;               ///< submitted but unfinished tasks
+  std::atomic<int> busy_{0};          ///< lanes currently executing a task
   bool stop_ = false;
   std::size_t submit_rr_ = 0;         ///< round-robin lane for submit()
   std::exception_ptr first_error_;    ///< first exception a task threw

@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace baco::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::int64_t> g_origin_us{0};
+
+std::uint64_t
+now_us()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Bounded per-thread ring of trace events. Threads register their
+ * buffer in a global list on first use; the list keeps the buffers
+ * alive past thread exit (collect() after worker shutdown still sees
+ * their events) — acceptable because pools are long-lived and each
+ * buffer is bounded.
+ */
+struct ThreadBuffer {
+  std::mutex mutex;  ///< record vs collect/clear; uncontended in practice
+  std::vector<TraceEvent> events;  ///< ring storage, up to kBufferCapacity
+  std::size_t next = 0;            ///< ring write position
+  bool wrapped = false;
+  std::uint64_t thread_id = 0;
+
+  void push(const TraceEvent& e)
+  {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (events.size() < Trace::kBufferCapacity) {
+          events.push_back(e);
+          next = events.size() % Trace::kBufferCapacity;
+      } else {
+          events[next] = e;  // overwrite the oldest event
+          next = (next + 1) % Trace::kBufferCapacity;
+          wrapped = true;
+      }
+  }
+};
+
+struct BufferList {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;  ///< owned; live for process lifetime
+};
+
+BufferList&
+buffer_list()
+{
+    static BufferList* list = new BufferList();  // leaked: survives exit
+    return *list;
+}
+
+ThreadBuffer&
+local_buffer()
+{
+    thread_local ThreadBuffer* buf = [] {
+        auto* b = new ThreadBuffer();
+        static std::atomic<std::uint64_t> next_tid{1};
+        b->thread_id = next_tid.fetch_add(1);
+        BufferList& list = buffer_list();
+        std::lock_guard<std::mutex> lock(list.mutex);
+        list.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+std::string
+json_escape(const char* s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            out += '\\';
+        out += *s;
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+Trace::enable()
+{
+    g_origin_us.store(static_cast<std::int64_t>(now_us()),
+                      std::memory_order_relaxed);
+    g_enabled.store(true, std::memory_order_release);
+}
+
+void
+Trace::disable()
+{
+    g_enabled.store(false, std::memory_order_release);
+}
+
+bool
+Trace::enabled()
+{
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+void
+Trace::clear()
+{
+    BufferList& list = buffer_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    for (ThreadBuffer* b : list.buffers) {
+        std::lock_guard<std::mutex> block(b->mutex);
+        b->events.clear();
+        b->next = 0;
+        b->wrapped = false;
+    }
+}
+
+std::vector<TraceEvent>
+Trace::collect()
+{
+    std::vector<TraceEvent> out;
+    BufferList& list = buffer_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    for (ThreadBuffer* b : list.buffers) {
+        std::lock_guard<std::mutex> block(b->mutex);
+        if (b->wrapped) {
+            // Oldest-first: the ring wrapped, so start at the write head.
+            for (std::size_t i = 0; i < b->events.size(); ++i) {
+                out.push_back(
+                    b->events[(b->next + i) % b->events.size()]);
+            }
+        } else {
+            out.insert(out.end(), b->events.begin(), b->events.end());
+        }
+    }
+    return out;
+}
+
+bool
+Trace::export_chrome(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::vector<TraceEvent> events = collect();
+    std::fputs("{\"traceEvents\": [\n", f);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        std::fprintf(
+            f,
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": %llu, \"ts\": %llu, \"dur\": %llu}%s\n",
+            json_escape(e.name).c_str(), json_escape(e.category).c_str(),
+            static_cast<unsigned long long>(e.thread_id),
+            static_cast<unsigned long long>(e.start_us),
+            static_cast<unsigned long long>(e.duration_us),
+            i + 1 < events.size() ? "," : "");
+    }
+    std::fputs("]}\n", f);
+    bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+bool
+Trace::export_jsonl(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    for (const TraceEvent& e : collect()) {
+        std::fprintf(
+            f,
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"tid\": %llu, "
+            "\"ts_us\": %llu, \"dur_us\": %llu}\n",
+            json_escape(e.name).c_str(), json_escape(e.category).c_str(),
+            static_cast<unsigned long long>(e.thread_id),
+            static_cast<unsigned long long>(e.start_us),
+            static_cast<unsigned long long>(e.duration_us));
+    }
+    return std::fclose(f) == 0;
+}
+
+#if !defined(BACO_OBS_TRACE_OFF)
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category)
+{
+    if (name_ && g_enabled.load(std::memory_order_relaxed)) {
+        active_ = true;
+        start_us_ = now_us();
+    }
+}
+
+Span::~Span()
+{
+    if (!active_ || !g_enabled.load(std::memory_order_relaxed))
+        return;
+    std::uint64_t end = now_us();
+    std::int64_t origin = g_origin_us.load(std::memory_order_relaxed);
+    TraceEvent e;
+    e.name = name_;
+    e.category = category_;
+    ThreadBuffer& buf = local_buffer();
+    e.thread_id = buf.thread_id;
+    e.start_us = start_us_ >= static_cast<std::uint64_t>(origin)
+                     ? start_us_ - static_cast<std::uint64_t>(origin)
+                     : 0;
+    e.duration_us = end - start_us_;
+    buf.push(e);
+}
+
+#endif  // !BACO_OBS_TRACE_OFF
+
+ScopedTimer::ScopedTimer(Histogram& hist, const char* span_name,
+                         const char* category)
+    : hist_(hist),
+      start_ns_(now_ns())
+#if !defined(BACO_OBS_TRACE_OFF)
+      ,
+      span_(span_name, category)
+#endif
+{
+#if defined(BACO_OBS_TRACE_OFF)
+    (void)span_name;
+    (void)category;
+#endif
+}
+
+double
+ScopedTimer::elapsed() const
+{
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    hist_.record(elapsed());
+}
+
+}  // namespace baco::obs

@@ -115,6 +115,15 @@ SessionClient::close(const std::string& session)
     return rpc(std::move(m));
 }
 
+Message
+SessionClient::stats(const std::string& session)
+{
+    Message m;
+    m.type = MsgType::kStats;
+    m.session = session;
+    return rpc(std::move(m));
+}
+
 std::vector<double>
 drive_session(SessionClient& client, const std::string& session,
               const std::string& benchmark, const std::string& method,

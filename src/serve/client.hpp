@@ -49,6 +49,13 @@ class SessionClient {
                   std::vector<ObservedResult> results,
                   double eval_seconds = 0.0);
   Message close(const std::string& session);
+  /**
+   * Observability snapshot (kStatsReport): the named session's counters
+   * and suggest/observe latency histograms, or — with an empty session
+   * name — the server-wide metrics registry plus acceptor and
+   * session-manager totals.
+   */
+  Message stats(const std::string& session = std::string());
 
  private:
   Transport& transport_;

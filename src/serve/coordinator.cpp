@@ -10,6 +10,7 @@
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
 #include "exec/eval_engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 
@@ -20,6 +21,38 @@ using Clock = std::chrono::steady_clock;
 
 /** Give up on a task after this many worker error frames. */
 constexpr int kMaxTaskErrors = 3;
+
+/** Fleet-dispatch instrumentation handles, registered once per process. */
+struct CoordMetrics {
+  obs::Counter& dispatched = counter("coord.dispatched_total");
+  obs::Counter& results = counter("coord.results_total");
+  obs::Counter& worker_errors = counter("coord.worker_errors_total");
+  obs::Counter& workers_lost = counter("coord.workers_lost_total");
+  obs::Counter& redispatched = counter("coord.straggler_redispatch_total");
+  obs::Histogram& roundtrip = hist("coord.roundtrip_seconds");
+  obs::Gauge& inflight_peak = gauge("coord.inflight_peak");
+
+  static CoordMetrics& get()
+  {
+      static CoordMetrics m;
+      return m;
+  }
+
+ private:
+  static obs::Counter& counter(const char* name)
+  {
+      return obs::MetricsRegistry::global().counter(name);
+  }
+  static obs::Histogram& hist(const char* name)
+  {
+      return obs::MetricsRegistry::global().histogram(name);
+  }
+  static obs::Gauge& gauge(const char* name)
+  {
+      return obs::MetricsRegistry::global().gauge(name);
+  }
+};
+
 }  // namespace
 
 struct Coordinator::Worker {
@@ -144,6 +177,12 @@ Coordinator::dispatch_to(std::size_t w, std::size_t task,
         return false;
     workers_[w]->inflight += 1;
     workers_[w]->outstanding.insert(m.id);
+    CoordMetrics& cm = CoordMetrics::get();
+    cm.dispatched.add();
+    int inflight = 0;
+    for (const auto& wk : workers_)
+        inflight += wk->inflight;
+    cm.inflight_peak.set_max(static_cast<double>(inflight));
     return true;
 }
 
@@ -178,6 +217,7 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
     }
 
     auto mark_dead = [&](std::size_t w) {
+        CoordMetrics::get().workers_lost.add();
         workers_[w]->alive = false;
         workers_[w]->inflight = 0;
         workers_[w]->outstanding.clear();
@@ -284,6 +324,11 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                 TaskState& t = tasks[task];
                 drop_dispatch(t, w);
                 if (reply.type == MsgType::kResult) {
+                    CoordMetrics::get().results.add();
+                    CoordMetrics::get().roundtrip.record(
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t.last_sent)
+                            .count());
                     if (!t.done) {
                         t.done = true;
                         results[task] =
@@ -294,6 +339,7 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                     }
                 } else {
                     // Worker answered with an error frame.
+                    CoordMetrics::get().worker_errors.add();
                     if (!t.done) {
                         t.errors += 1;
                         if (t.errors >= kMaxTaskErrors) {
@@ -329,6 +375,7 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                                              w) != t.live_on.end();
                     if (!wk.alive || already || wk.inflight >= wk.capacity)
                         continue;
+                    CoordMetrics::get().redispatched.add();
                     send_task(w, i);
                     break;
                 }
@@ -439,6 +486,7 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
     };
 
     auto mark_dead = [&](std::size_t w) {
+        CoordMetrics::get().workers_lost.add();
         workers_[w]->alive = false;
         workers_[w]->inflight = 0;
         workers_[w]->outstanding.clear();
@@ -467,6 +515,12 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
         }
         workers_[w]->inflight += 1;
         workers_[w]->outstanding.insert(m.id);
+        CoordMetrics& cm = CoordMetrics::get();
+        cm.dispatched.add();
+        int inflight = 0;
+        for (const auto& wk : workers_)
+            inflight += wk->inflight;
+        cm.inflight_peak.set_max(static_cast<double>(inflight));
         id_to_index[m.id] = index;
         t.live_on.push_back(w);
         t.queued = false;
@@ -564,12 +618,18 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                     std::remove(t.live_on.begin(), t.live_on.end(), w),
                     t.live_on.end());
                 if (reply.type == MsgType::kResult) {
+                    CoordMetrics::get().results.add();
+                    CoordMetrics::get().roundtrip.record(
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t.last_sent)
+                            .count());
                     Configuration config = std::move(t.config);
                     active.erase(task_it);
                     tell(index, std::move(config),
                          EvalResult{reply.value, reply.feasible},
                          reply.eval_seconds, false);
                 } else {
+                    CoordMetrics::get().worker_errors.add();
                     t.errors += 1;
                     if (t.errors >= kMaxTaskErrors) {
                         throw std::runtime_error(
@@ -599,6 +659,7 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                                              w) != t.live_on.end();
                     if (!wk.alive || already || wk.inflight >= wk.capacity)
                         continue;
+                    CoordMetrics::get().redispatched.add();
                     send_task(w, index);
                     break;
                 }

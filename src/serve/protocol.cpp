@@ -217,6 +217,89 @@ parse_results_array(const std::string& s, std::size_t& at,
     return true;
 }
 
+/** Parse one JSON number token, quoted when non-finite (num_token). */
+bool
+parse_number_at(const std::string& s, std::size_t& at, double& out)
+{
+    bool quoted = at < s.size() && s[at] == '"';
+    if (quoted)
+        ++at;
+    if (!jsonl::parse_double_at(s, at, out))
+        return false;
+    if (quoted) {
+        if (at >= s.size() || s[at] != '"')
+            return false;
+        ++at;
+    }
+    return true;
+}
+
+/**
+ * Parse the stats array of a stats_report frame. Fixed shape, every
+ * field present in order (see StatEntry):
+ * [{"name":"...","kind":"...","value":v,"count":n,"sum":v,
+ *   "p50":v,"p90":v,"p99":v},...]
+ */
+bool
+parse_stats_array(const std::string& s, std::size_t& at,
+                  std::vector<StatEntry>& out)
+{
+    auto parse_quoted = [&](std::string& v) -> bool {
+        if (at >= s.size() || s[at] != '"')
+            return false;
+        ++at;
+        std::size_t end = s.find('"', at);
+        if (end == std::string::npos)
+            return false;
+        v = s.substr(at, end - at);
+        at = end + 1;
+        return true;
+    };
+    auto expect = [&](const char* lit) -> bool {
+        std::size_t len = std::char_traits<char>::length(lit);
+        if (s.compare(at, len, lit) != 0)
+            return false;
+        at += len;
+        return true;
+    };
+    if (at >= s.size() || s[at] != '[')
+        return false;
+    ++at;
+    out.clear();
+    if (at < s.size() && s[at] == ']') {
+        ++at;
+        return true;
+    }
+    while (at < s.size()) {
+        StatEntry e;
+        double count = 0.0;
+        if (!expect("{\"name\":") || !parse_quoted(e.name) ||
+            !expect(",\"kind\":") || !parse_quoted(e.kind) ||
+            !expect(",\"value\":") || !parse_number_at(s, at, e.value) ||
+            !expect(",\"count\":") || !parse_number_at(s, at, count) ||
+            !expect(",\"sum\":") || !parse_number_at(s, at, e.sum) ||
+            !expect(",\"p50\":") || !parse_number_at(s, at, e.p50) ||
+            !expect(",\"p90\":") || !parse_number_at(s, at, e.p90) ||
+            !expect(",\"p99\":") || !parse_number_at(s, at, e.p99) ||
+            !expect("}")) {
+            return false;
+        }
+        if (count < 0.0)
+            return false;
+        e.count = static_cast<std::uint64_t>(count);
+        out.push_back(std::move(e));
+        if (at < s.size() && s[at] == ',') {
+            ++at;
+            continue;
+        }
+        break;
+    }
+    if (at >= s.size() || s[at] != ']')
+        return false;
+    ++at;
+    return true;
+}
+
 bool
 fail(std::string* error, const std::string& why)
 {
@@ -245,6 +328,8 @@ msg_type_name(MsgType t)
       case MsgType::kDone: return "done";
       case MsgType::kEvaluate: return "evaluate";
       case MsgType::kResult: return "result";
+      case MsgType::kStats: return "stats";
+      case MsgType::kStatsReport: return "stats_report";
       case MsgType::kShutdown: return "shutdown";
       case MsgType::kError: return "error";
     }
@@ -360,6 +445,30 @@ encode(const Message& m)
         emit_u64(out, "evals", m.evals);
         emit_double(out, "best", m.best);
         break;
+      case MsgType::kStats:
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        break;
+      case MsgType::kStatsReport: {
+        emit_u64(out, "id", m.id);
+        emit_str(out, "session", m.session);
+        emit_int(out, "sv", m.stats_version);
+        out << ",\"stats\":[";
+        for (std::size_t i = 0; i < m.stats.size(); ++i) {
+            const StatEntry& e = m.stats[i];
+            if (i > 0)
+                out << ',';
+            out << "{\"name\":\"" << sanitize(e.name) << "\",\"kind\":\""
+                << sanitize(e.kind) << "\",\"value\":" << num_token(e.value)
+                << ",\"count\":" << e.count
+                << ",\"sum\":" << num_token(e.sum)
+                << ",\"p50\":" << num_token(e.p50)
+                << ",\"p90\":" << num_token(e.p90)
+                << ",\"p99\":" << num_token(e.p99) << '}';
+        }
+        out << ']';
+        break;
+      }
       case MsgType::kShutdown:
         break;
       case MsgType::kError:
@@ -505,6 +614,24 @@ decode(const std::string& line, Message& out, std::string* error)
         read_u64(line, "index", out.index);
         read_u64(line, "evals", out.evals);
         read_double(line, "best", out.best);
+        return true;
+    }
+    if (type == "stats") {
+        out.type = MsgType::kStats;
+        jsonl::field(line, "session", out.session);
+        return true;
+    }
+    if (type == "stats_report") {
+        out.type = MsgType::kStatsReport;
+        jsonl::field(line, "session", out.session);
+        if (!read_int(line, "sv", out.stats_version))
+            return fail(error, "stats_report without schema version");
+        std::size_t at = line.find("\"stats\":");
+        if (at == std::string::npos)
+            return fail(error, "stats_report without stats array");
+        at += 8;
+        if (!parse_stats_array(line, at, out.stats))
+            return fail(error, "malformed stats array");
         return true;
     }
     if (type == "shutdown") {

@@ -25,6 +25,13 @@
  *                              result frame per landed evaluation
  *                              (index/value/feasible/evals/best) before
  *                              the final done frame
+ *   stats -> stats_report      observability snapshot: with "session",
+ *                              the session's counters and latency
+ *                              histograms; with an empty session, the
+ *                              server-wide registry plus acceptor and
+ *                              session-manager totals. The report carries
+ *                              "sv" (stats schema version) and a typed
+ *                              entry array; see StatEntry.
  *   shutdown                   end the connection's serve loop
  *
  * Evaluation messages (coordinator <-> worker):
@@ -66,9 +73,14 @@ enum class MsgType {
   kDone,
   kEvaluate,
   kResult,
+  kStats,
+  kStatsReport,
   kShutdown,
   kError,
 };
+
+/** Schema version of the stats_report entry array ("sv"). */
+inline constexpr int kStatsVersion = 1;
 
 /** Wire name of a frame kind ("open_session", "configs", ...). */
 const char* msg_type_name(MsgType t);
@@ -78,6 +90,24 @@ struct ObservedResult {
   Configuration config;
   double value = 0.0;
   bool feasible = true;
+};
+
+/**
+ * One metric inside a stats_report frame. The wire shape is fixed —
+ * every field is always emitted in this order, zeros included — so the
+ * strict parser needs no optional-field logic. kind is "counter",
+ * "gauge" or "histogram"; counters/gauges use value, histograms use
+ * count/sum and the extracted percentiles (seconds).
+ */
+struct StatEntry {
+  std::string name;
+  std::string kind = "counter";
+  double value = 0.0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 /**
@@ -119,6 +149,9 @@ struct Message {
   Configuration config;                ///< evaluate
   std::vector<Configuration> configs;  ///< configs response
   std::vector<ObservedResult> results; ///< observe request
+
+  int stats_version = kStatsVersion;   ///< stats_report: entry schema ("sv")
+  std::vector<StatEntry> stats;        ///< stats_report payload
 };
 
 /** Serialize m as one JSONL frame (no trailing newline). */

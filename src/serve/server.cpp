@@ -6,7 +6,9 @@
 
 #include "api/study.hpp"
 #include "exec/eval_cache.hpp"
+#include "obs/metrics.hpp"
 #include "serve/coordinator.hpp"
+#include "serve/stats_util.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
 #include "suite/registry.hpp"
@@ -14,6 +16,74 @@
 namespace baco::serve {
 
 namespace {
+
+/**
+ * Live request totals across every connection (the Acceptor's
+ * AcceptorStats aggregates only finished connections, so the stats
+ * frame reports these registry counters for an always-current view).
+ */
+struct ConnMetrics {
+  obs::Counter& requests = counter("serve.requests_total");
+  obs::Counter& errors = counter("serve.errors_total");
+  obs::Counter& connections = counter("serve.connections_total");
+
+  static ConnMetrics& get()
+  {
+      static ConnMetrics m;
+      return m;
+  }
+
+ private:
+  static obs::Counter& counter(const char* name)
+  {
+      return obs::MetricsRegistry::global().counter(name);
+  }
+};
+
+/** The server-wide stats_report: global registry + registry/acceptor
+ *  totals (an empty-session stats request). */
+Message
+handle_server_stats(const Message& req, const ServerContext& ctx)
+{
+    Message reply;
+    reply.type = MsgType::kStatsReport;
+    reply.id = req.id;
+    reply.stats_version = kStatsVersion;
+    append_stats(obs::MetricsRegistry::global().snapshot(), reply.stats);
+    reply.stats.push_back(stat_gauge(
+        "sessions.live", static_cast<double>(ctx.sessions->size())));
+    reply.stats.push_back(stat_gauge(
+        "sessions.spilled",
+        static_cast<double>(ctx.sessions->spilled_sessions())));
+    reply.stats.push_back(stat_counter(
+        "sessions.spill_total",
+        static_cast<double>(ctx.sessions->spill_count())));
+    reply.stats.push_back(stat_counter(
+        "sessions.reload_total",
+        static_cast<double>(ctx.sessions->reload_count())));
+    if (ctx.acceptor) {
+        AcceptorStats a = ctx.acceptor->stats();
+        reply.stats.push_back(stat_counter(
+            "acceptor.accepted_total", static_cast<double>(a.accepted)));
+        reply.stats.push_back(
+            stat_counter("acceptor.workers_attached_total",
+                         static_cast<double>(a.workers_attached)));
+        reply.stats.push_back(stat_counter(
+            "acceptor.rejected_total", static_cast<double>(a.rejected)));
+        reply.stats.push_back(stat_counter(
+            "acceptor.finished_requests_total",
+            static_cast<double>(a.requests)));
+        reply.stats.push_back(stat_counter(
+            "acceptor.finished_errors_total",
+            static_cast<double>(a.errors)));
+        reply.stats.push_back(stat_gauge(
+            "acceptor.peak_clients", static_cast<double>(a.peak_clients)));
+        reply.stats.push_back(stat_gauge(
+            "acceptor.live_clients",
+            static_cast<double>(ctx.acceptor->live_clients())));
+    }
+    return reply;
+}
 
 /**
  * Exclusive use of the shared worker fleet for one run. The Coordinator
@@ -276,6 +346,7 @@ serve_connection(Transport& transport, const ServerContext& ctx,
     if (!transport.send(encode(welcome)))
         return stats;
     stats.handshake_ok = true;
+    ConnMetrics::get().connections.add();
 
     // ---- Request/response loop. ----
     auto last_sweep = std::chrono::steady_clock::now();
@@ -283,10 +354,12 @@ serve_connection(Transport& transport, const ServerContext& ctx,
         if (transport.recv(line) != RecvStatus::kOk)
             break;
         stats.requests += 1;
+        ConnMetrics::get().requests.add();
         Message req;
         std::string err;
         if (!decode(line, req, &err)) {
             stats.errors += 1;
+            ConnMetrics::get().errors.add();
             if (!transport.send(encode(make_error(0, err))))
                 break;
             continue;
@@ -295,7 +368,9 @@ serve_connection(Transport& transport, const ServerContext& ctx,
             break;
 
         Message reply;
-        if (req.type == MsgType::kRun) {
+        if (req.type == MsgType::kStats && req.session.empty()) {
+            reply = handle_server_stats(req, ctx);
+        } else if (req.type == MsgType::kRun) {
             try {
                 reply = (req.async || ctx.async_runs)
                             ? handle_run_async(req, ctx, transport)
@@ -306,8 +381,10 @@ serve_connection(Transport& transport, const ServerContext& ctx,
         } else {
             reply = ctx.sessions->handle(req);
         }
-        if (reply.type == MsgType::kError)
+        if (reply.type == MsgType::kError) {
             stats.errors += 1;
+            ConnMetrics::get().errors.add();
+        }
         if (!transport.send(encode(reply)))
             break;
         // Idle eviction is a full-registry sweep; time-gate it so busy
@@ -336,6 +413,9 @@ Acceptor::Acceptor(Listener listener, ServerContext ctx, AcceptorOptions opt)
     // sharded runs from different clients serialize instead of racing
     // the Coordinator.
     ctx_.fleet_mutex = &fleet_mutex_;
+    // Connections report the acceptor's aggregation in the server-wide
+    // stats frame.
+    ctx_.acceptor = this;
 }
 
 Acceptor::~Acceptor()

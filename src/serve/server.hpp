@@ -38,6 +38,7 @@
 
 namespace baco::serve {
 
+class Acceptor;
 class Coordinator;
 struct Message;
 
@@ -46,6 +47,12 @@ struct ServerContext {
   SessionManager* sessions = nullptr;
   /** Optional worker fleet for server-side run requests (not owned). */
   Coordinator* coordinator = nullptr;
+  /**
+   * The accept loop this connection belongs to (not owned; null for a
+   * single-connection server). Lets the server-wide stats frame report
+   * the acceptor's per-connection aggregation.
+   */
+  Acceptor* acceptor = nullptr;
   /** Treat every run request as async (baco_serve --async). */
   bool async_runs = false;
   /** In-flight cap of an async run when the request's n is 0. */

@@ -8,13 +8,36 @@
 #include "api/method_registry.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
+#include "obs/trace.hpp"
+#include "serve/stats_util.hpp"
 #include "suite/registry.hpp"
 
 namespace baco::serve {
 
 namespace {
 using Clock = std::chrono::steady_clock;
-}
+
+/** Serve-layer instrumentation handles, registered once per process. */
+struct ServeMetrics {
+  obs::Histogram& suggest = hist("serve.suggest_seconds");
+  obs::Histogram& observe = hist("serve.observe_seconds");
+  obs::Histogram& spill = hist("serve.spill_seconds");
+  obs::Histogram& reload = hist("serve.reload_seconds");
+
+  static ServeMetrics& get()
+  {
+      static ServeMetrics m;
+      return m;
+  }
+
+ private:
+  static obs::Histogram& hist(const char* name)
+  {
+      return obs::MetricsRegistry::global().histogram(name);
+  }
+};
+
+}  // namespace
 
 struct SessionManager::Session {
   std::mutex mutex;
@@ -30,6 +53,14 @@ struct SessionManager::Session {
   /** The suggested-but-unobserved batch (at most one per session). */
   std::vector<Configuration> pending;
   std::uint64_t pending_first = 0;
+
+  /**
+   * Per-session request latencies, served back over the stats frame.
+   * Reset on spill (the aggregate serve.* histograms persist): a
+   * reloaded session reports latencies since its reload.
+   */
+  obs::Histogram suggest_hist;
+  obs::Histogram observe_hist;
 
   Clock::time_point last_touch = Clock::now();
 };
@@ -102,6 +133,8 @@ SessionManager::find_or_reload(const std::string& name)
         // Rebuild the tuner outside all locks (registry + restore can
         // be slow). This is the same resume path open_session(resume)
         // takes, so a reloaded session continues bit-for-bit.
+        obs::ScopedTimer reload_timer(ServeMetrics::get().reload,
+                                      "serve.reload", "serve");
         const Benchmark& bench = suite::find_benchmark(meta.benchmark);
         auto session = std::make_shared<Session>();
         session->name = name;
@@ -192,6 +225,8 @@ SessionManager::spill_one(const std::string& name)
     // silently discard history.
     if (!guard.owns_lock() || !session->pending.empty())
         return false;
+    obs::ScopedTimer spill_timer(ServeMetrics::get().spill, "serve.spill",
+                                 "serve");
     // The session mutex already excludes concurrent mutation, so the
     // checkpoint I/O runs without the stripe lock — the stripe's other
     // sessions keep serving during the disk write. (Holding a session
@@ -273,6 +308,7 @@ SessionManager::handle(const Message& request)
           case MsgType::kObserve: return observe(request);
           case MsgType::kCheckpoint: return checkpoint(request);
           case MsgType::kClose: return close_session(request);
+          case MsgType::kStats: return session_stats(request);
           default:
             return make_error(request.id,
                               std::string("unsupported request type ") +
@@ -368,6 +404,9 @@ SessionManager::suggest(const Message& req)
         return make_error(req.id, "no such session: " + req.session);
     session->last_touch = Clock::now();
 
+    obs::ScopedTimer session_timer(session->suggest_hist);
+    obs::ScopedTimer serve_timer(ServeMetrics::get().suggest,
+                                 "serve.suggest", "serve");
     if (session->pending.empty()) {
         int n = std::max(1, req.n);
         session->pending_first = session->tuner->history().size();
@@ -392,6 +431,9 @@ SessionManager::observe(const Message& req)
         return make_error(req.id, "no such session: " + req.session);
     session->last_touch = Clock::now();
 
+    obs::ScopedTimer session_timer(session->observe_hist);
+    obs::ScopedTimer serve_timer(ServeMetrics::get().observe,
+                                 "serve.observe", "serve");
     if (session->pending.empty())
         return make_error(req.id, "observe with no batch outstanding");
     if (req.results.size() != session->pending.size())
@@ -515,6 +557,37 @@ SessionManager::close_session(const Message& req)
     reply.id = req.id;
     reply.evals = session->tuner->history().size();
     reply.best = session->tuner->history().best_value;
+    return reply;
+}
+
+Message
+SessionManager::session_stats(const Message& req)
+{
+    std::unique_lock<std::mutex> lock;
+    std::shared_ptr<Session> session = acquire(req.session, lock);
+    if (!session)
+        return make_error(req.id, "no such session: " + req.session);
+    // Deliberately not touching last_touch: polling stats must not keep
+    // an otherwise idle session from being evicted or spilled.
+
+    Message reply;
+    reply.type = MsgType::kStatsReport;
+    reply.id = req.id;
+    reply.session = session->name;
+    reply.stats_version = kStatsVersion;
+    reply.stats.push_back(stat_counter(
+        "session.evals",
+        static_cast<double>(session->tuner->history().size())));
+    reply.stats.push_back(
+        stat_gauge("session.best", session->tuner->history().best_value));
+    reply.stats.push_back(stat_gauge(
+        "session.budget", static_cast<double>(session->budget)));
+    reply.stats.push_back(stat_gauge(
+        "session.pending", static_cast<double>(session->pending.size())));
+    reply.stats.push_back(stat_histogram("session.suggest_seconds",
+                                         session->suggest_hist.snapshot()));
+    reply.stats.push_back(stat_histogram("session.observe_seconds",
+                                         session->observe_hist.snapshot()));
     return reply;
 }
 

@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace baco {
@@ -198,6 +199,7 @@ class SessionManager {
   Message observe(const Message& req);
   Message checkpoint(const Message& req);
   Message close_session(const Message& req);
+  Message session_stats(const Message& req);
 
   SessionManagerOptions opt_;
   std::unique_ptr<Stripe[]> stripes_;

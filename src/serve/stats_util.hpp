@@ -1,0 +1,77 @@
+#ifndef BACO_SERVE_STATS_UTIL_HPP_
+#define BACO_SERVE_STATS_UTIL_HPP_
+
+/**
+ * @file
+ * Converters from obs metric snapshots to the typed StatEntry array of
+ * the stats_report frame, shared by the per-session handler
+ * (SessionManager) and the server-wide handler (serve_connection).
+ */
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace baco::serve {
+
+/** A gauge-kind entry carrying one number. */
+inline StatEntry
+stat_gauge(const std::string& name, double value)
+{
+    StatEntry e;
+    e.name = name;
+    e.kind = "gauge";
+    e.value = value;
+    return e;
+}
+
+/** A counter-kind entry carrying one monotonic total. */
+inline StatEntry
+stat_counter(const std::string& name, double value)
+{
+    StatEntry e;
+    e.name = name;
+    e.kind = "counter";
+    e.value = value;
+    return e;
+}
+
+/** A histogram-kind entry: count/sum plus extracted percentiles. */
+inline StatEntry
+stat_histogram(const std::string& name, const obs::HistogramSnapshot& h)
+{
+    StatEntry e;
+    e.name = name;
+    e.kind = "histogram";
+    e.count = h.count;
+    e.sum = h.sum;
+    e.p50 = h.percentile(0.50);
+    e.p90 = h.percentile(0.90);
+    e.p99 = h.percentile(0.99);
+    return e;
+}
+
+/** Every metric of a registry snapshot, appended in snapshot order. */
+inline void
+append_stats(const obs::MetricsSnapshot& snap, std::vector<StatEntry>& out)
+{
+    for (const obs::MetricValue& m : snap.metrics) {
+        switch (m.kind) {
+          case obs::MetricValue::Kind::kCounter:
+            out.push_back(stat_counter(m.name, m.value));
+            break;
+          case obs::MetricValue::Kind::kGauge:
+            out.push_back(stat_gauge(m.name, m.value));
+            break;
+          case obs::MetricValue::Kind::kHistogram:
+            out.push_back(stat_histogram(m.name, m.histogram));
+            break;
+        }
+    }
+}
+
+}  // namespace baco::serve
+
+#endif  // BACO_SERVE_STATS_UTIL_HPP_

@@ -114,6 +114,67 @@ TEST(ThreadPoolContention, SingleLanePoolRunsSubmitsInline)
     EXPECT_EQ(count, 1);
 }
 
+TEST(ThreadPoolContention, QueueDepthAndBusyWorkersObserveLoad)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.queue_depth(), 0);
+    EXPECT_EQ(pool.busy_workers(), 0);
+
+    // Park every worker lane on a latch, then pile up queued work:
+    // queue_depth() must see the backlog and busy_workers() the parked
+    // lanes. (The caller lane is not parked — submit() never runs
+    // inline on a multi-lane pool.)
+    std::atomic<bool> release{false};
+    std::atomic<int> parked{0};
+    const int kWorkers = 2;  // pool size 3 = 2 workers + caller lane
+    for (int i = 0; i < kWorkers; ++i) {
+        pool.submit([&] {
+            parked.fetch_add(1);
+            while (!release.load())
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+        });
+    }
+    while (parked.load() < kWorkers)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    EXPECT_EQ(pool.busy_workers(), kWorkers);
+
+    const int kQueued = 10;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < kQueued; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    // Both blockers are mid-task, so everything else is still queued.
+    EXPECT_EQ(pool.queue_depth(), kQueued);
+
+    release.store(true);
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), kQueued);
+    EXPECT_EQ(pool.queue_depth(), 0);
+    EXPECT_EQ(pool.busy_workers(), 0);
+}
+
+TEST(ThreadPoolContention, BusyWorkersCountsCallerInsideRun)
+{
+    ThreadPool pool(2);
+    std::atomic<int> peak{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back([&] {
+            int busy = pool.busy_workers();
+            int prev = peak.load();
+            while (busy > prev &&
+                   !peak.compare_exchange_weak(prev, busy)) {
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        });
+    }
+    pool.run(std::move(tasks));
+    // run() has the caller participate, so with enough tasks both lanes
+    // are inside execute() at once at some point.
+    EXPECT_GE(peak.load(), 2);
+    EXPECT_LE(peak.load(), pool.size());
+    EXPECT_EQ(pool.busy_workers(), 0);
+}
+
 TEST(ThreadPoolContention, SubmitsAndRunBatchesInterleave)
 {
     ThreadPool pool(4);

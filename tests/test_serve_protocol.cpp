@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 
 #include "serve/protocol.hpp"
@@ -229,6 +231,115 @@ TEST(ServeProtocol, RemainingTypesRoundtrip)
     bye.type = MsgType::kShutdown;
     out = roundtrip(bye);
     EXPECT_EQ(out.type, MsgType::kShutdown);
+}
+
+TEST(ServeProtocol, StatsRequestRoundtrip)
+{
+    Message m;
+    m.type = MsgType::kStats;
+    m.id = 11;
+    m.session = "sess";
+    Message out = roundtrip(m);
+    EXPECT_EQ(out.type, MsgType::kStats);
+    EXPECT_EQ(out.id, 11u);
+    EXPECT_EQ(out.session, "sess");
+
+    // Empty session (the server-wide report request) survives too.
+    m.session.clear();
+    out = roundtrip(m);
+    EXPECT_EQ(out.type, MsgType::kStats);
+    EXPECT_TRUE(out.session.empty());
+}
+
+TEST(ServeProtocol, StatsReportRoundtripPreservesEntries)
+{
+    Message m;
+    m.type = MsgType::kStatsReport;
+    m.id = 12;
+    m.session = "sess";
+
+    StatEntry counter;
+    counter.name = "serve.requests_total";
+    counter.kind = "counter";
+    counter.value = 1234;
+    m.stats.push_back(counter);
+
+    StatEntry gauge;
+    gauge.name = "sessions.live";
+    gauge.kind = "gauge";
+    gauge.value = 3.5;
+    m.stats.push_back(gauge);
+
+    // The per-session latency shape the serve tests pin: count/sum plus
+    // exact p50/p90/p99 doubles must survive the wire bit-for-bit.
+    StatEntry hist;
+    hist.name = "session.suggest_seconds";
+    hist.kind = "histogram";
+    hist.count = 42;
+    hist.sum = 0.125;
+    hist.p50 = 0.00170898437500012;
+    hist.p90 = 0.0312;
+    hist.p99 = 1.5e-3;
+    m.stats.push_back(hist);
+
+    Message out = roundtrip(m);
+    EXPECT_EQ(out.type, MsgType::kStatsReport);
+    EXPECT_EQ(out.stats_version, kStatsVersion);
+    ASSERT_EQ(out.stats.size(), 3u);
+    EXPECT_EQ(out.stats[0].name, "serve.requests_total");
+    EXPECT_EQ(out.stats[0].kind, "counter");
+    EXPECT_DOUBLE_EQ(out.stats[0].value, 1234.0);
+    EXPECT_EQ(out.stats[1].kind, "gauge");
+    EXPECT_DOUBLE_EQ(out.stats[1].value, 3.5);
+    EXPECT_EQ(out.stats[2].kind, "histogram");
+    EXPECT_EQ(out.stats[2].count, 42u);
+    EXPECT_DOUBLE_EQ(out.stats[2].sum, 0.125);
+    EXPECT_DOUBLE_EQ(out.stats[2].p50, 0.00170898437500012);
+    EXPECT_DOUBLE_EQ(out.stats[2].p90, 0.0312);
+    EXPECT_DOUBLE_EQ(out.stats[2].p99, 1.5e-3);
+
+    // An empty report (a fresh server) round-trips as well.
+    Message empty;
+    empty.type = MsgType::kStatsReport;
+    empty.id = 13;
+    out = roundtrip(empty);
+    EXPECT_EQ(out.type, MsgType::kStatsReport);
+    EXPECT_TRUE(out.stats.empty());
+}
+
+TEST(ServeProtocol, StatsReportNonFiniteValuesSurvive)
+{
+    Message m;
+    m.type = MsgType::kStatsReport;
+    m.id = 14;
+    StatEntry e;
+    e.name = "weird";
+    e.kind = "gauge";
+    e.value = std::numeric_limits<double>::infinity();
+    m.stats.push_back(e);
+    Message out = roundtrip(m);
+    ASSERT_EQ(out.stats.size(), 1u);
+    EXPECT_TRUE(std::isinf(out.stats[0].value));
+}
+
+TEST(ServeProtocol, MalformedStatsFramesAreRejected)
+{
+    Message out;
+    std::string err;
+    // stats_report requires the version field.
+    EXPECT_FALSE(decode("{\"type\":\"stats_report\",\"id\":1,"
+                        "\"stats\":[]}",
+                        out, &err));
+    // Truncated entry array.
+    EXPECT_FALSE(decode("{\"type\":\"stats_report\",\"id\":1,\"sv\":1,"
+                        "\"stats\":[{\"name\":\"x\",\"kind\":\"counter\"",
+                        out, &err));
+    // Negative histogram count.
+    EXPECT_FALSE(decode(
+        "{\"type\":\"stats_report\",\"id\":1,\"sv\":1,\"stats\":"
+        "[{\"name\":\"x\",\"kind\":\"histogram\",\"value\":0,"
+        "\"count\":-4,\"sum\":0,\"p50\":0,\"p90\":0,\"p99\":0}]}",
+        out, &err));
 }
 
 TEST(ServeProtocol, ErrorTextIsSanitizedForFraming)

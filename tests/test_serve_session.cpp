@@ -11,6 +11,7 @@
 
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/session_manager.hpp"
 #include "serve/transport.hpp"
@@ -554,6 +555,138 @@ TEST(ServeConnection, AsyncRunStreamsResultFramesBeforeDone)
     Message bye;
     bye.type = MsgType::kShutdown;
     ASSERT_TRUE(client->send(encode(bye)));
+    srv.join();
+}
+
+const StatEntry*
+find_stat(const Message& report, const std::string& name)
+{
+    for (const StatEntry& e : report.stats)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+TEST(ServeSession, SessionStatsReportsLatencyHistograms)
+{
+    SessionManager sm;
+    Message opened = sm.handle(open_request("obs-me", "Uniform", 20, 5));
+    ASSERT_EQ(opened.type, MsgType::kOpened) << opened.text;
+
+    const int kBatches = 4;
+    drive_session(sm, "obs-me", /*batch=*/3, /*max_evals=*/3 * kBatches);
+
+    Message req;
+    req.type = MsgType::kStats;
+    req.id = 9;
+    req.session = "obs-me";
+    Message report = sm.handle(req);
+    ASSERT_EQ(report.type, MsgType::kStatsReport) << report.text;
+    EXPECT_EQ(report.stats_version, kStatsVersion);
+
+    const StatEntry* evals = find_stat(report, "session.evals");
+    ASSERT_NE(evals, nullptr);
+    EXPECT_DOUBLE_EQ(evals->value, 12.0);
+
+    // drive_session issues one suggest + one observe per batch; the
+    // per-session histograms must have counted each with a nonzero
+    // latency and ordered percentiles.
+    for (const char* name :
+         {"session.suggest_seconds", "session.observe_seconds"}) {
+        const StatEntry* h = find_stat(report, name);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_EQ(h->kind, "histogram") << name;
+        EXPECT_EQ(h->count, static_cast<std::uint64_t>(kBatches)) << name;
+        EXPECT_GT(h->sum, 0.0) << name;
+        EXPECT_GT(h->p50, 0.0) << name;
+        EXPECT_LE(h->p50, h->p99) << name;
+    }
+
+    // Unknown session: an error frame, exactly like other handlers.
+    req.session = "never-opened";
+    Message err = sm.handle(req);
+    EXPECT_EQ(err.type, MsgType::kError);
+}
+
+TEST(ServeConnection, ServerStatsFrameMatchesClientRequestCounts)
+{
+    SessionManager sm;
+    ServerContext ctx;
+    ctx.sessions = &sm;
+
+    auto [client_t, server] = loopback_pair();
+    std::thread srv(
+        [&, s = std::shared_ptr<Transport>(std::move(server))] {
+            serve_connection(*s, ctx);
+        });
+    SessionClient client(*client_t);
+    ASSERT_TRUE(client.handshake());
+
+    // Baseline: serve.requests_total is a process-global counter (other
+    // tests in this binary feed it too), so the pin is the DELTA
+    // between two stats frames issued by this client.
+    Message before = client.stats();
+    ASSERT_EQ(before.type, MsgType::kStatsReport) << before.text;
+    const StatEntry* req0 = find_stat(before, "serve.requests_total");
+    ASSERT_NE(req0, nullptr);
+
+    Message opened = client.open("count-me", kBench, "Uniform",
+                                 /*budget=*/12, /*seed=*/3);
+    ASSERT_EQ(opened.type, MsgType::kOpened) << opened.text;
+    const int kSuggests = 3;
+    std::uint64_t client_requests = 1;  // the open
+    for (int i = 0; i < kSuggests; ++i) {
+        Message configs = client.suggest("count-me", 2);
+        ASSERT_EQ(configs.type, MsgType::kConfigs) << configs.text;
+        ++client_requests;
+        std::vector<ObservedResult> results;
+        for (std::size_t k = 0; k < configs.configs.size(); ++k) {
+            ObservedResult r;
+            r.config = configs.configs[k];
+            r.value = 1.0 + static_cast<double>(k);
+            r.feasible = true;
+            results.push_back(r);
+        }
+        Message ok = client.observe("count-me", std::move(results));
+        ASSERT_EQ(ok.type, MsgType::kOk) << ok.text;
+        ++client_requests;
+    }
+
+    Message after = client.stats();
+    ASSERT_EQ(after.type, MsgType::kStatsReport) << after.text;
+    const StatEntry* req1 = find_stat(after, "serve.requests_total");
+    ASSERT_NE(req1, nullptr);
+
+    // Every frame this client sent since the baseline — the opens,
+    // suggests, observes, and the second stats request itself — must be
+    // in the server's live counter: totals equal client-side counts.
+    EXPECT_DOUBLE_EQ(req1->value - req0->value,
+                     static_cast<double>(client_requests + 1));
+
+    // The server-wide report also carries the session registry gauges
+    // and the aggregate serve-layer latency histograms.
+    const StatEntry* live = find_stat(after, "sessions.live");
+    ASSERT_NE(live, nullptr);
+    EXPECT_GE(live->value, 1.0);
+    const StatEntry* suggest_h = find_stat(after, "serve.suggest_seconds");
+    ASSERT_NE(suggest_h, nullptr);
+    EXPECT_GE(suggest_h->count, static_cast<std::uint64_t>(kSuggests));
+
+    // Named-session stats over the wire: the per-session histograms
+    // report exactly this client's suggest/observe traffic.
+    Message session_report = client.stats("count-me");
+    ASSERT_EQ(session_report.type, MsgType::kStatsReport)
+        << session_report.text;
+    const StatEntry* sh = find_stat(session_report,
+                                    "session.suggest_seconds");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->count, static_cast<std::uint64_t>(kSuggests));
+    EXPECT_GT(sh->p50, 0.0);
+    EXPECT_LE(sh->p50, sh->p99);
+
+    Message bye;
+    bye.type = MsgType::kShutdown;
+    ASSERT_TRUE(client_t->send(encode(bye)));
     srv.join();
 }
 

@@ -32,19 +32,29 @@
 // --list enumerates the registered benchmarks and MethodRegistry
 // methods (the names open_session and Study accept) and exits.
 //
+// Observability: --metrics-interval N appends one JSONL line with the
+// full metrics registry (counters, gauges, histogram percentiles) every
+// N seconds to --metrics-file (default stderr); SIGUSR1 triggers an
+// immediate dump at any time. Clients can also pull the same registry
+// over the wire with a stats frame (SessionClient::stats()).
+//
 // Usage:
 //   baco_serve [--listen unix:PATH|tcp:HOST:PORT]
 //              [--max-clients N] [--max-sessions N]
 //              [--checkpoint-dir DIR] [--cache FILE]
 //              [--workers N] [--worker-cmd CMD]
 //              [--idle-timeout SECONDS] [--async]
+//              [--metrics-interval SECONDS] [--metrics-file PATH]
 //   baco_serve --selftest [benchmark]
 //   baco_serve --list
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <thread>
@@ -53,6 +63,7 @@
 #include <unistd.h>
 
 #include "api/baco.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
@@ -72,6 +83,96 @@ stop_on_signal(int)
     if (g_acceptor)
         g_acceptor->stop();
 }
+
+/** SIGUSR1 target: ask the metrics publisher for an immediate dump
+ *  (checked by its poll loop — nothing happens in signal context). */
+volatile std::sig_atomic_t g_dump_metrics = 0;
+
+void
+dump_on_signal(int)
+{
+    g_dump_metrics = 1;
+}
+
+/**
+ * Background metrics publisher: appends one JSONL line with the full
+ * registry snapshot every `interval` seconds (0 = on demand only) and
+ * whenever SIGUSR1 raised g_dump_metrics, to `path` ("" or "-" =
+ * stderr). The poll loop wakes every 200ms, so a SIGUSR1 dump lands
+ * within that latency and stop() returns promptly.
+ */
+class MetricsPublisher {
+ public:
+    void
+    start(double interval_seconds, std::string path)
+    {
+        interval_ = interval_seconds;
+        path_ = std::move(path);
+        start_time_ = std::chrono::steady_clock::now();
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    void
+    stop()
+    {
+        if (!thread_.joinable())
+            return;
+        stop_.store(true);
+        thread_.join();
+    }
+
+    void
+    dump(const char* reason)
+    {
+        using std::chrono::duration;
+        using std::chrono::steady_clock;
+        double uptime =
+            duration<double>(steady_clock::now() - start_time_).count();
+        char extra[128];
+        std::snprintf(extra, sizeof extra,
+                      "\"ts\":%lld,\"uptime_s\":%.3f,\"reason\":\"%s\"",
+                      static_cast<long long>(std::time(nullptr)), uptime,
+                      reason);
+        std::string line =
+            baco::obs::MetricsRegistry::global().snapshot().to_json(extra);
+        if (path_.empty() || path_ == "-") {
+            std::fprintf(stderr, "%s\n", line.c_str());
+            return;
+        }
+        if (FILE* f = std::fopen(path_.c_str(), "a")) {
+            std::fprintf(f, "%s\n", line.c_str());
+            std::fclose(f);
+        }
+    }
+
+ private:
+    void
+    loop()
+    {
+        using std::chrono::duration;
+        using std::chrono::steady_clock;
+        auto last = steady_clock::now();
+        while (!stop_.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+            if (g_dump_metrics) {
+                g_dump_metrics = 0;
+                dump("sigusr1");
+            }
+            if (interval_ > 0 &&
+                duration<double>(steady_clock::now() - last).count() >=
+                    interval_) {
+                last = steady_clock::now();
+                dump("interval");
+            }
+        }
+    }
+
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+    double interval_ = 0.0;
+    std::string path_;
+    std::chrono::steady_clock::time_point start_time_;
+};
 
 /**
  * Socket leg: two clients tuning different sessions CONCURRENTLY over a
@@ -183,6 +284,8 @@ main(int argc, char** argv)
     int max_clients = 64;
     long max_sessions = 0;
     double idle_timeout = 0.0;
+    double metrics_interval = 0.0;
+    std::string metrics_file;
     bool async_runs = false;
     bool run_selftest = false;
     bool run_list = false;
@@ -206,6 +309,10 @@ main(int argc, char** argv)
             max_sessions = std::atol(argv[++i]);
         } else if (arg == "--idle-timeout" && i + 1 < argc) {
             idle_timeout = std::atof(argv[++i]);
+        } else if (arg == "--metrics-interval" && i + 1 < argc) {
+            metrics_interval = std::atof(argv[++i]);
+        } else if (arg == "--metrics-file" && i + 1 < argc) {
+            metrics_file = argv[++i];
         } else if (arg == "--async") {
             async_runs = true;
         } else if (arg == "--selftest") {
@@ -220,7 +327,8 @@ main(int argc, char** argv)
                          "[--max-clients N] [--max-sessions N] "
                          "[--checkpoint-dir DIR] [--cache FILE] "
                          "[--workers N] [--worker-cmd CMD] "
-                         "[--idle-timeout S] [--async] | "
+                         "[--idle-timeout S] [--async] "
+                         "[--metrics-interval S] [--metrics-file PATH] | "
                          "--selftest [benchmark] | --list\n",
                          argv[0]);
             return 2;
@@ -287,6 +395,12 @@ main(int argc, char** argv)
     ctx.coordinator = &coordinator;
     ctx.async_runs = async_runs;
 
+    // The publisher runs in every serving mode: --metrics-interval
+    // makes it periodic, and SIGUSR1 forces a dump either way.
+    MetricsPublisher metrics;
+    metrics.start(metrics_interval, metrics_file);
+    std::signal(SIGUSR1, dump_on_signal);
+
     serve::ServeStats stats;
     if (!listen_spec.empty()) {
         // ---- Multi-client socket server. ----
@@ -319,12 +433,16 @@ main(int argc, char** argv)
         stats.errors = astats.errors;
         std::fprintf(
             stderr,
-            "baco_serve: %llu connections served, %llu workers "
-            "attached, %llu rejected; %llu sessions spilled, %llu "
-            "reloaded\n",
+            "baco_serve: %llu connections served (peak %llu "
+            "concurrent), %llu workers attached, %llu rejected; "
+            "%llu requests (%llu errors); %llu sessions spilled, "
+            "%llu reloaded\n",
             static_cast<unsigned long long>(astats.accepted),
+            static_cast<unsigned long long>(astats.peak_clients),
             static_cast<unsigned long long>(astats.workers_attached),
             static_cast<unsigned long long>(astats.rejected),
+            static_cast<unsigned long long>(astats.requests),
+            static_cast<unsigned long long>(astats.errors),
             static_cast<unsigned long long>(sessions.spill_count()),
             static_cast<unsigned long long>(sessions.reload_count()));
     } else {
@@ -333,6 +451,9 @@ main(int argc, char** argv)
         stats = serve_connection(stdio, ctx);
     }
 
+    metrics.stop();
+    if (metrics_interval > 0 || !metrics_file.empty())
+        metrics.dump("shutdown");
     sessions.checkpoint_all();
     coordinator.shutdown();
     for (std::thread& t : worker_threads)
