@@ -1,0 +1,437 @@
+// Serve-load harness: the socket serving stack under multi-client
+// contention. Three phases against one Acceptor each:
+//
+//   solo    1 client x 1 session       — the uncontended baseline;
+//   loaded  4 clients x 2 sessions     — 8 sessions tuning concurrently,
+//           measuring aggregate run throughput and client-observed
+//           suggest p50/p99 under contention;
+//   spill   1 client x 4 sessions with max_live_sessions=1 — every
+//           session switch forces a spill+reload round trip, measuring
+//           the bounded registry's overhead from the serve.spill/.reload
+//           histograms.
+//
+// The gated quantity is the dimensionless THROUGHPUT SCALING ratio
+// (loaded aggregate evals/s over solo evals/s) — contention behaviour,
+// which transfers across machines where absolute evals/s do not.
+// Absolute rows ride along for the trajectory but are not gated.
+//
+// --trace additionally runs the distributed-trace leg: two baco_worker
+// CHILD PROCESSES (path from --worker-bin, default ./baco_worker) are
+// attached to a Coordinator, a sharded run is driven with tracing on,
+// and the merged Chrome timeline — server track plus one track per
+// worker process, all under one run id — is exported (default
+// trace_serve_distributed.json; load in chrome://tracing). trace_ok in
+// the JSON asserts both worker tracks and the run id made it into the
+// file.
+//
+// Usage: serve_load [--reps N] [--seed S] [--json [PATH]]
+//                   [--trace [PATH]] [--worker-bin PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+#include "serve/transport.hpp"
+#include "serve/worker.hpp"
+#include "suite/registry.hpp"
+#include "suite/report.hpp"
+#include "suite/runner.hpp"
+
+using namespace baco;
+using namespace baco::serve;
+using baco::bench::HarnessArgs;
+using baco::bench::JsonWriter;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kBench = "SDDMM/email-Enron";
+
+std::string
+unique_socket_path()
+{
+    static int counter = 0;
+    return "/tmp/baco_bench_load_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".sock";
+}
+
+/** Exact quantile of a sample set (sorted copy, linear interpolation). */
+double
+exact_percentile(std::vector<double> v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    double rank = q * static_cast<double>(v.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+/** Everything one load phase measures. */
+struct PhaseResult {
+  bool ok = true;
+  std::uint64_t evals = 0;
+  double wall_s = 0.0;
+  std::vector<double> suggest_ms;  ///< client-observed rpc latencies
+
+  double throughput() const { return evals / std::max(wall_s, 1e-9); }
+};
+
+/**
+ * Drive `sessions_per_client` sessions to `budget` evaluations each from
+ * every one of `clients` connections (one thread per client, sessions
+ * round-robin within a client, evaluation client-side — the
+ * suggest/observe exchange the protocol is built around). The server is
+ * one Acceptor on a fresh SessionManager configured by `sopt`.
+ */
+PhaseResult
+run_phase(int clients, int sessions_per_client, int budget, int batch,
+          std::uint64_t seed_base, const SessionManagerOptions& sopt,
+          bool expect_spill = false)
+{
+    PhaseResult phase;
+    std::string path = unique_socket_path();
+    Listener listener;
+    if (!listener.open(*parse_socket_address("unix:" + path))) {
+        phase.ok = false;
+        return phase;
+    }
+    SessionManager sessions(sopt);
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    Acceptor acceptor(std::move(listener), ctx);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    std::vector<std::thread> threads;
+    std::vector<PhaseResult> per_client(
+        static_cast<std::size_t>(clients));
+
+    auto t0 = Clock::now();
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            PhaseResult& mine = per_client[static_cast<std::size_t>(c)];
+            std::unique_ptr<Transport> t = connect_socket("unix:" + path);
+            if (!t) {
+                mine.ok = false;
+                return;
+            }
+            SessionClient client(*t);
+            if (!client.handshake()) {
+                mine.ok = false;
+                return;
+            }
+            std::vector<std::string> names;
+            std::vector<std::uint64_t> seeds;
+            for (int s = 0; s < sessions_per_client; ++s) {
+                names.push_back("c" + std::to_string(c) + "-s" +
+                                std::to_string(s));
+                seeds.push_back(seed_base + 10 * c + s);
+                if (client.open(names.back(), kBench, "Uniform", budget,
+                                seeds.back())
+                        .type != MsgType::kOpened) {
+                    mine.ok = false;
+                    return;
+                }
+            }
+            // Round-robin across this client's sessions so a bounded
+            // registry (the spill phase) keeps ping-ponging tuners.
+            for (int done = 0; done < budget; done += batch) {
+                for (int s = 0; s < sessions_per_client; ++s) {
+                    auto s0 = Clock::now();
+                    Message configs = client.suggest(names[s], batch);
+                    mine.suggest_ms.push_back(
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - s0)
+                            .count());
+                    if (configs.type != MsgType::kConfigs) {
+                        mine.ok = false;
+                        return;
+                    }
+                    std::vector<ObservedResult> results;
+                    for (std::size_t i = 0; i < configs.configs.size();
+                         ++i) {
+                        ObservedResult r;
+                        r.config = configs.configs[i];
+                        EvalResult e =
+                            evaluate_on(bench, r.config, seeds[s],
+                                        configs.index + i);
+                        r.value = e.value;
+                        r.feasible = e.feasible;
+                        results.push_back(std::move(r));
+                    }
+                    mine.evals += configs.configs.size();
+                    if (client.observe(names[s], std::move(results))
+                            .type != MsgType::kOk) {
+                        mine.ok = false;
+                        return;
+                    }
+                }
+            }
+            for (const std::string& name : names) {
+                if (client.close(name).type != MsgType::kOk)
+                    mine.ok = false;
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    phase.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    for (const PhaseResult& mine : per_client) {
+        phase.ok = phase.ok && mine.ok;
+        phase.evals += mine.evals;
+        phase.suggest_ms.insert(phase.suggest_ms.end(),
+                                mine.suggest_ms.begin(),
+                                mine.suggest_ms.end());
+    }
+    std::uint64_t expected =
+        static_cast<std::uint64_t>(clients) *
+        static_cast<std::uint64_t>(sessions_per_client) *
+        static_cast<std::uint64_t>(budget);
+    phase.ok = phase.ok && phase.evals == expected;
+    // The spill phase must actually have exercised the spill/reload
+    // ping-pong it claims to measure.
+    if (expect_spill)
+        phase.ok = phase.ok && sessions.spill_count() > 0 &&
+                   sessions.reload_count() > 0;
+    acceptor.stop();
+    server.join();
+    return phase;
+}
+
+/** Mean milliseconds of one registry histogram over a snapshot delta. */
+double
+hist_mean_ms(const obs::MetricsSnapshot& delta, const char* name)
+{
+    const obs::MetricValue* m = delta.find(name);
+    if (!m || m->histogram.count == 0)
+        return 0.0;
+    return 1e3 * m->histogram.sum /
+           static_cast<double>(m->histogram.count);
+}
+
+/**
+ * The distributed-trace leg: 2 baco_worker child processes, one traced
+ * sharded run, one merged Chrome timeline. True only when the exported
+ * file carries the run id and BOTH worker tracks.
+ */
+bool
+run_trace_leg(const std::string& worker_bin, const std::string& trace_path,
+              std::uint64_t seed)
+{
+    if (::access(worker_bin.c_str(), X_OK) != 0) {
+        std::cout << "trace leg: " << worker_bin
+                  << " not executable — cannot run\n";
+        return false;
+    }
+    obs::Trace::enable();
+    obs::Trace::set_run_id("serve-load-" + std::to_string(::getpid()));
+    {
+        Coordinator coordinator;
+        std::vector<int> pids;
+        for (int w = 0; w < 2; ++w) {
+            ChildProcess child = spawn_process(
+                {worker_bin, "--heartbeat-ms", "200", "--log-level",
+                 "error"});
+            if (!child.transport ||
+                coordinator.add_worker(std::move(child.transport)) < 0) {
+                std::cout << "trace leg: failed to attach worker " << w
+                          << "\n";
+                return false;
+            }
+            pids.push_back(child.pid);
+        }
+        const Benchmark& bench = suite::find_benchmark(kBench);
+        auto space = bench.make_space(SpaceVariant{});
+        std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+            *space, suite::Method::kUniform, /*budget=*/24,
+            /*doe_samples=*/8, seed);
+        BatchSpec spec;
+        spec.benchmark = kBench;
+        spec.run_seed = seed;
+        coordinator.drive(*tuner, spec, /*batch_size=*/4);
+        // shutdown() drains the workers' goodbye frames — the final
+        // span shipment — before the export below.
+        coordinator.shutdown();
+        for (int pid : pids)
+            wait_process(pid);
+    }
+    obs::Trace::disable();
+    if (!obs::Trace::export_chrome(trace_path)) {
+        std::cout << "trace leg: cannot write " << trace_path << "\n";
+        return false;
+    }
+    std::ifstream in(trace_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string trace = buf.str();
+    bool merged = trace.find("\"worker-0\"") != std::string::npos &&
+                  trace.find("\"worker-1\"") != std::string::npos &&
+                  trace.find(obs::Trace::run_id()) != std::string::npos &&
+                  trace.find("worker.evaluate") != std::string::npos;
+    std::cout << "trace leg: wrote " << trace_path
+              << " (server + 2 worker tracks, run "
+              << obs::Trace::run_id() << ") ["
+              << (merged ? "ok" : "FAILED") << "]\n";
+    return merged;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    HarnessArgs args = HarnessArgs::parse(argc, argv, /*default_reps=*/2,
+                                          "BENCH_serve_load.json");
+    std::string trace_path;
+    std::string worker_bin = "./baco_worker";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                trace_path = argv[++i];
+            else
+                trace_path = "trace_serve_distributed.json";
+        } else if (std::strcmp(argv[i], "--worker-bin") == 0 &&
+                   i + 1 < argc) {
+            worker_bin = argv[++i];
+        }
+    }
+
+    const int reps = std::max(1, args.reps);
+    const int batch = 4;
+    const int budget = 24 * reps;        // per session, solo and loaded
+    const int spill_budget = 8 * reps;   // per session, spill phase
+    const int clients = 4;
+    const int sessions_per_client = 2;
+
+    suite::print_banner(std::cout,
+                        "Serve load: socket serving under contention (" +
+                            std::to_string(clients) + " clients x " +
+                            std::to_string(sessions_per_client) +
+                            " sessions, budget " + std::to_string(budget) +
+                            "/session)");
+
+    SessionManagerOptions plain;
+    PhaseResult solo =
+        run_phase(1, 1, budget, batch, args.seed, plain);
+    PhaseResult loaded = run_phase(clients, sessions_per_client, budget,
+                                   batch, args.seed + 100, plain);
+
+    // Spill phase: a bounded registry that must ping-pong 4 sessions
+    // through 1 live slot. Overhead comes from the serve.spill/.reload
+    // histograms over this phase's registry delta.
+    std::string ckpt_dir =
+        "/tmp/baco_bench_spill_" + std::to_string(::getpid());
+    SessionManagerOptions bounded;
+    bounded.checkpoint_dir = ckpt_dir;
+    bounded.max_live_sessions = 1;
+    obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+    PhaseResult spill = run_phase(1, 4, spill_budget, batch,
+                                  args.seed + 200, bounded,
+                                  /*expect_spill=*/true);
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().delta_since(before);
+    double spill_ms = hist_mean_ms(delta, "serve.spill_seconds");
+    double reload_ms = hist_mean_ms(delta, "serve.reload_seconds");
+
+    double scaling_x = loaded.throughput() / std::max(solo.throughput(),
+                                                      1e-9);
+    bool serve_ok = solo.ok && loaded.ok && spill.ok;
+
+    suite::TextTable table({"Phase", "evals", "wall [s]", "evals/s",
+                            "suggest p50 [ms]", "suggest p99 [ms]"});
+    auto add_phase = [&](const char* name, const PhaseResult& p) {
+        table.add_row({name, std::to_string(p.evals),
+                       suite::fmt(p.wall_s, 3),
+                       suite::fmt(p.throughput(), 1),
+                       suite::fmt(exact_percentile(p.suggest_ms, 0.50), 3),
+                       suite::fmt(exact_percentile(p.suggest_ms, 0.99), 3)});
+    };
+    add_phase("solo", solo);
+    add_phase("loaded", loaded);
+    add_phase("spill", spill);
+    table.print(std::cout);
+    std::cout << "throughput scaling loaded/solo = "
+              << suite::fmt(scaling_x, 2) << "x; spill "
+              << suite::fmt(spill_ms, 3) << " ms, reload "
+              << suite::fmt(reload_ms, 3) << " ms ["
+              << (serve_ok ? "ok" : "FAILED") << "]\n";
+
+    bool trace_ok = true;
+    if (!trace_path.empty())
+        trace_ok = run_trace_leg(worker_bin, trace_path, args.seed);
+
+    if (!args.json_path.empty()) {
+        std::vector<std::string> rows;
+        auto phase_row = [&](const char* name, const PhaseResult& p) {
+            JsonWriter row;
+            row.field("key", std::string("phase/") + name)
+                .field("gated", false)
+                .field("evals", p.evals)
+                .field("wall_s", p.wall_s)
+                .field("throughput_eps", p.throughput())
+                .field("suggest_p50_ms",
+                       exact_percentile(p.suggest_ms, 0.50))
+                .field("suggest_p99_ms",
+                       exact_percentile(p.suggest_ms, 0.99));
+            rows.push_back(row.str());
+        };
+        phase_row("solo", solo);
+        phase_row("loaded", loaded);
+        phase_row("spill", spill);
+        JsonWriter overhead;
+        overhead.field("key", std::string("spill_overhead"))
+            .field("gated", false)
+            .field("spill_ms", spill_ms)
+            .field("reload_ms", reload_ms);
+        rows.push_back(overhead.str());
+        // The gate: dimensionless contention scaling. higher_better —
+        // the committed baseline comes from a small machine, so more
+        // parallel hardware only improves the ratio; a regression means
+        // the serving stack itself got worse at handling contention.
+        JsonWriter gate;
+        gate.field("key", std::string("scaling"))
+            .field("gated", true)
+            .field("gate_metric", std::string("scaling_x"))
+            .field("gate_direction", std::string("higher_better"))
+            .field("tolerance", 0.45)
+            .field("scaling_x", scaling_x);
+        rows.push_back(gate.str());
+
+        JsonWriter json;
+        json.field("bench", std::string("serve_load"))
+            .field("reps", reps)
+            .field("clients", clients)
+            .field("sessions_per_client", sessions_per_client)
+            .field("budget_per_session", budget)
+            .field("serve_ok", serve_ok)
+            .field("trace_ok", trace_ok)
+            .raw_field("rows", JsonWriter::array(rows));
+        if (!baco::bench::write_json(args.json_path, json)) {
+            std::cout << "cannot write " << args.json_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << args.json_path << "\n";
+    }
+    return serve_ok && trace_ok ? 0 : 1;
+}

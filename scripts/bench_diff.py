@@ -19,9 +19,17 @@ bench/baselines/ when adding a new harness).
 
 Usage: bench_diff.py NEW.json [NEW.json ...]
                      [--baseline-dir bench/baselines] [--tolerance 0.15]
+                     [--update-baselines]
 
 Improvements are reported but never fail: the point is a ratchet
 against regressions, not a pin of exact numbers.
+
+--update-baselines replaces the committed baselines with the given
+artifacts instead of gating against them. Before copying it prints,
+per gated row, the old -> new gate-metric movement the refresh locks
+in, so the diff is reviewable in the same terminal (and in the git
+diff of bench/baselines/ afterwards). New artifacts without a prior
+baseline are installed verbatim.
 """
 
 import argparse
@@ -91,13 +99,56 @@ def check_artifact(new_path, baseline_dir, default_tol):
     return verdicts
 
 
+def update_baselines(artifacts, baseline_dir):
+    """Install artifacts as the new baselines, printing what moves."""
+    os.makedirs(baseline_dir, exist_ok=True)
+    for path in artifacts:
+        base_path = os.path.join(baseline_dir, os.path.basename(path))
+        new_rows = load_rows(path)
+        old_rows = load_rows(base_path) if os.path.exists(base_path) \
+            else {}
+        print(f"== updating {base_path} from {path}")
+        for key, new in sorted(new_rows.items()):
+            if not new.get("gated"):
+                continue
+            metric = new.get("gate_metric")
+            if metric is None or metric not in new:
+                print(f"  [warn] {key}: gate_metric {metric!r} missing "
+                      "from new artifact")
+                continue
+            old = old_rows.get(key)
+            if old is not None and metric in old:
+                print(f"  {key}: {metric} {float(old[metric]):.4g} -> "
+                      f"{float(new[metric]):.4g}")
+            else:
+                print(f"  {key}: {metric} (new) -> "
+                      f"{float(new[metric]):.4g}")
+        for key, old in sorted(old_rows.items()):
+            if old.get("gated") and key not in new_rows:
+                print(f"  [warn] {key}: gated row dropped by refresh")
+        with open(path) as f:
+            doc = f.read()
+        with open(base_path, "w") as f:
+            f.write(doc)
+    print(f"bench_diff: {len(artifacts)} baseline(s) updated — review "
+          f"the git diff of {baseline_dir}/ before committing")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="gate BENCH_*.json against committed baselines")
     ap.add_argument("artifacts", nargs="+")
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--update-baselines", action="store_true",
+                    help="install the artifacts as the new baselines "
+                    "(prints the per-gate old -> new diff) instead of "
+                    "gating against them")
     args = ap.parse_args()
+
+    if args.update_baselines:
+        return update_baselines(args.artifacts, args.baseline_dir)
 
     failed = False
     for path in args.artifacts:

@@ -11,10 +11,14 @@
 #   bench     bench_async_utilization with --json: tell-as-results-land
 #             must beat the batched engine >= 1.5x on heavy-tailed
 #             delays; bench_suggest_latency: per-method suggest() p50/p99
-#             vs history length with the obs instrumentation pin; then
-#             scripts/bench_diff.py gates both BENCH_*.json artifacts
-#             against the committed bench/baselines/ (>15% regression on
-#             a gated row fails)
+#             vs history length with the obs instrumentation pin;
+#             bench_serve_load: the socket stack under multi-client
+#             contention (throughput scaling gate) plus the distributed
+#             trace leg (2 baco_worker child processes must land on one
+#             merged Chrome timeline); then scripts/bench_diff.py gates
+#             every BENCH_*.json artifact against the committed
+#             bench/baselines/ (regression past a row's tolerance fails;
+#             refresh deliberately with bench_diff.py --update-baselines)
 #   tsan      ThreadSanitizer build (BACO_SANITIZE=thread) of the
 #             concurrency-heavy exec + serve tests
 #   asan      AddressSanitizer build (BACO_SANITIZE=address) of the
@@ -75,12 +79,19 @@ stage_bench() {
         --json "$BUILD_DIR/BENCH_suggest_latency.json" \
         --trace "$BUILD_DIR/trace_suggest_latency.json"
     grep -q '"obs_ok": true' "$BUILD_DIR/BENCH_suggest_latency.json"
+    "./$BUILD_DIR/bench_serve_load" --reps 2 \
+        --json "$BUILD_DIR/BENCH_serve_load.json" \
+        --trace "$BUILD_DIR/trace_serve_distributed.json" \
+        --worker-bin "./$BUILD_DIR/baco_worker"
+    grep -q '"serve_ok": true' "$BUILD_DIR/BENCH_serve_load.json"
+    grep -q '"trace_ok": true' "$BUILD_DIR/BENCH_serve_load.json"
     # Ratchet: gated rows must not regress >tolerance vs the committed
     # baselines (dimensionless ratios only, so the gate is portable).
     if command -v python3 >/dev/null 2>&1; then
         python3 scripts/bench_diff.py \
             "$BUILD_DIR/BENCH_async_utilization.json" \
-            "$BUILD_DIR/BENCH_suggest_latency.json"
+            "$BUILD_DIR/BENCH_suggest_latency.json" \
+            "$BUILD_DIR/BENCH_serve_load.json"
     else
         echo "check.sh: python3 unavailable; skipping bench_diff gate"
     fi

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
+#include <iterator>
 #include <mutex>
 
 namespace baco::obs {
@@ -32,10 +34,11 @@ now_ns()
 
 /**
  * Bounded per-thread ring of trace events. Threads register their
- * buffer in a global list on first use; the list keeps the buffers
- * alive past thread exit (collect() after worker shutdown still sees
- * their events) — acceptable because pools are long-lived and each
- * buffer is bounded.
+ * buffer in a global list on first use; when the thread exits, the
+ * buffer's events are retired into a bounded global store and the
+ * buffer itself is freed, so collect() after a ThreadPool is joined
+ * and destroyed still sees its spans without the buffer list growing
+ * with every short-lived thread.
  */
 struct ThreadBuffer {
   std::mutex mutex;  ///< record vs collect/clear; uncontended in practice
@@ -70,19 +73,118 @@ buffer_list()
     return *list;
 }
 
+/**
+ * Events from exited threads, oldest first. Bounded: when a retirement
+ * would exceed the cap the oldest retired events are dropped (same
+ * overwrite-oldest policy as the rings themselves).
+ */
+struct RetiredEvents {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+constexpr std::size_t kRetiredCapacity = 64 * Trace::kBufferCapacity;
+
+RetiredEvents&
+retired_events()
+{
+    static RetiredEvents* r = new RetiredEvents();  // leaked: survives exit
+    return *r;
+}
+
+/** Spans imported from other processes, grouped by track. */
+struct RemoteStore {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, std::vector<RemoteSpan>>> tracks;
+};
+
+RemoteStore&
+remote_store()
+{
+    static RemoteStore* r = new RemoteStore();  // leaked: survives exit
+    return *r;
+}
+
+std::mutex g_run_mutex;
+std::string g_run_id;  // guarded by g_run_mutex
+
+/** Oldest-first snapshot of a ring (caller holds no lock on b). */
+std::vector<TraceEvent>
+unwind_ring(ThreadBuffer& b)
+{
+    std::lock_guard<std::mutex> lock(b.mutex);
+    std::vector<TraceEvent> out;
+    out.reserve(b.events.size());
+    if (b.wrapped) {
+        for (std::size_t i = 0; i < b.events.size(); ++i)
+            out.push_back(b.events[(b.next + i) % b.events.size()]);
+    } else {
+        out.insert(out.end(), b.events.begin(), b.events.end());
+    }
+    return out;
+}
+
+/** Move an exiting thread's events into the retired store; free the ring. */
+void
+retire_buffer(ThreadBuffer* b)
+{
+    {
+        BufferList& list = buffer_list();
+        std::lock_guard<std::mutex> lock(list.mutex);
+        for (std::size_t i = 0; i < list.buffers.size(); ++i) {
+            if (list.buffers[i] == b) {
+                list.buffers.erase(list.buffers.begin() + i);
+                break;
+            }
+        }
+    }
+    // The buffer is unreachable now: only its (exiting) owner thread and
+    // the list referenced it.
+    std::vector<TraceEvent> evs = unwind_ring(*b);
+    if (!evs.empty()) {
+        RetiredEvents& r = retired_events();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.events.insert(r.events.end(), evs.begin(), evs.end());
+        if (r.events.size() > kRetiredCapacity) {
+            r.events.erase(r.events.begin(),
+                           r.events.begin() +
+                               static_cast<std::ptrdiff_t>(r.events.size() -
+                                                           kRetiredCapacity));
+        }
+    }
+    delete b;
+}
+
+thread_local ThreadBuffer* t_buf = nullptr;
+
+/** Thread-exit hook: constructed alongside the buffer, retires it. */
+struct BufferRetirer {
+  ~BufferRetirer()
+  {
+      if (t_buf) {
+          retire_buffer(t_buf);
+          t_buf = nullptr;
+      }
+  }
+};
+thread_local BufferRetirer t_retirer;
+
 ThreadBuffer&
 local_buffer()
 {
-    thread_local ThreadBuffer* buf = [] {
+    if (!t_buf) {
         auto* b = new ThreadBuffer();
         static std::atomic<std::uint64_t> next_tid{1};
         b->thread_id = next_tid.fetch_add(1);
         BufferList& list = buffer_list();
-        std::lock_guard<std::mutex> lock(list.mutex);
-        list.buffers.push_back(b);
-        return b;
-    }();
-    return *buf;
+        {
+            std::lock_guard<std::mutex> lock(list.mutex);
+            list.buffers.push_back(b);
+        }
+        (void)&t_retirer;  // odr-use: arm the thread-exit retirement hook
+        t_buf = b;
+    }
+    return *t_buf;
 }
 
 std::string
@@ -104,6 +206,11 @@ Trace::enable()
 {
     g_origin_us.store(static_cast<std::int64_t>(now_us()),
                       std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(g_run_mutex);
+        if (g_run_id.empty())
+            g_run_id = "run-" + std::to_string(now_us());
+    }
     g_enabled.store(true, std::memory_order_release);
 }
 
@@ -119,16 +226,42 @@ Trace::enabled()
     return g_enabled.load(std::memory_order_acquire);
 }
 
+std::string
+Trace::run_id()
+{
+    std::lock_guard<std::mutex> lock(g_run_mutex);
+    return g_run_id;
+}
+
+void
+Trace::set_run_id(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(g_run_mutex);
+    g_run_id = id;
+}
+
 void
 Trace::clear()
 {
-    BufferList& list = buffer_list();
-    std::lock_guard<std::mutex> lock(list.mutex);
-    for (ThreadBuffer* b : list.buffers) {
-        std::lock_guard<std::mutex> block(b->mutex);
-        b->events.clear();
-        b->next = 0;
-        b->wrapped = false;
+    {
+        BufferList& list = buffer_list();
+        std::lock_guard<std::mutex> lock(list.mutex);
+        for (ThreadBuffer* b : list.buffers) {
+            std::lock_guard<std::mutex> block(b->mutex);
+            b->events.clear();
+            b->next = 0;
+            b->wrapped = false;
+        }
+    }
+    {
+        RetiredEvents& r = retired_events();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.events.clear();
+    }
+    {
+        RemoteStore& r = remote_store();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.tracks.clear();
     }
 }
 
@@ -136,6 +269,11 @@ std::vector<TraceEvent>
 Trace::collect()
 {
     std::vector<TraceEvent> out;
+    {
+        RetiredEvents& r = retired_events();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        out = r.events;
+    }
     BufferList& list = buffer_list();
     std::lock_guard<std::mutex> lock(list.mutex);
     for (ThreadBuffer* b : list.buffers) {
@@ -153,6 +291,32 @@ Trace::collect()
     return out;
 }
 
+void
+Trace::add_remote(const std::string& track, std::vector<RemoteSpan> spans)
+{
+    if (spans.empty())
+        return;
+    RemoteStore& r = remote_store();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& t : r.tracks) {
+        if (t.first == track) {
+            t.second.insert(t.second.end(),
+                            std::make_move_iterator(spans.begin()),
+                            std::make_move_iterator(spans.end()));
+            return;
+        }
+    }
+    r.tracks.emplace_back(track, std::move(spans));
+}
+
+std::vector<std::pair<std::string, std::vector<RemoteSpan>>>
+Trace::remote_tracks()
+{
+    RemoteStore& r = remote_store();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.tracks;
+}
+
 bool
 Trace::export_chrome(const std::string& path)
 {
@@ -160,20 +324,62 @@ Trace::export_chrome(const std::string& path)
     if (!f)
         return false;
     std::vector<TraceEvent> events = collect();
+    auto remote = remote_tracks();
+    std::string run = run_id();
     std::fputs("{\"traceEvents\": [\n", f);
-    for (std::size_t i = 0; i < events.size(); ++i) {
-        const TraceEvent& e = events[i];
+    bool first = true;
+    auto sep = [&]() -> const char* {
+        if (first) {
+            first = false;
+            return "";
+        }
+        return ",\n";
+    };
+    // Track metadata: the server is pid 1; each remote track (worker
+    // process) gets its own pid so the viewer renders distinct tracks.
+    std::fprintf(f,
+                 "%s{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"args\": {\"name\": \"server\"}}",
+                 sep());
+    if (!run.empty()) {
+        std::fprintf(f,
+                     "%s{\"name\": \"trace_run\", \"ph\": \"M\", \"pid\": 1, "
+                     "\"args\": {\"name\": \"%s\"}}",
+                     sep(), json_escape(run.c_str()).c_str());
+    }
+    for (const TraceEvent& e : events) {
         std::fprintf(
             f,
-            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-            "\"pid\": 1, \"tid\": %llu, \"ts\": %llu, \"dur\": %llu}%s\n",
-            json_escape(e.name).c_str(), json_escape(e.category).c_str(),
+            "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": %llu, \"ts\": %llu, \"dur\": %llu}",
+            sep(), json_escape(e.name).c_str(),
+            json_escape(e.category).c_str(),
             static_cast<unsigned long long>(e.thread_id),
             static_cast<unsigned long long>(e.start_us),
-            static_cast<unsigned long long>(e.duration_us),
-            i + 1 < events.size() ? "," : "");
+            static_cast<unsigned long long>(e.duration_us));
     }
-    std::fputs("]}\n", f);
+    for (std::size_t t = 0; t < remote.size(); ++t) {
+        unsigned long long pid = static_cast<unsigned long long>(t + 2);
+        std::fprintf(f,
+                     "%s{\"name\": \"process_name\", \"ph\": \"M\", "
+                     "\"pid\": %llu, \"args\": {\"name\": \"%s\"}}",
+                     sep(), pid,
+                     json_escape(remote[t].first.c_str()).c_str());
+        for (const RemoteSpan& s : remote[t].second) {
+            std::fprintf(
+                f,
+                "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                "\"pid\": %llu, \"tid\": %llu, \"ts\": %llu, \"dur\": %llu"
+                ", \"args\": {\"run\": \"%s\"}}",
+                sep(), json_escape(s.name.c_str()).c_str(),
+                json_escape(s.category.c_str()).c_str(), pid,
+                static_cast<unsigned long long>(s.thread_id),
+                static_cast<unsigned long long>(s.start_us),
+                static_cast<unsigned long long>(s.duration_us),
+                json_escape(s.run.c_str()).c_str());
+        }
+    }
+    std::fputs("\n]}\n", f);
     bool ok = std::fclose(f) == 0;
     return ok;
 }

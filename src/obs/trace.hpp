@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -29,6 +30,22 @@ namespace baco::obs {
 struct TraceEvent {
   const char* name = "";  ///< static string (span names are literals)
   const char* category = "";
+  std::uint64_t thread_id = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+};
+
+/**
+ * A span imported from another process (a worker shipping its buffer
+ * back over the wire). Unlike TraceEvent the strings are owned: wire
+ * names have no static lifetime. Timestamps are on the remote clock;
+ * each import track renders as its own process in the Chrome export,
+ * so no cross-process clock alignment is attempted.
+ */
+struct RemoteSpan {
+  std::string name;
+  std::string category;
+  std::string run;  ///< trace run id the span was recorded under
   std::uint64_t thread_id = 0;
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
@@ -45,19 +62,45 @@ class Trace {
   static void disable();
   static bool enabled();
 
-  /** Discard all captured events in every thread buffer. */
+  /**
+   * Run id stamped on propagated trace contexts. enable() generates one
+   * ("run-<us>") when none is set; set_run_id overrides it.
+   */
+  static std::string run_id();
+  static void set_run_id(const std::string& id);
+
+  /** Discard all captured events (local buffers, retired, remote). */
   static void clear();
 
-  /** All captured events, oldest first per thread (snapshot copy). */
+  /**
+   * All locally captured events, oldest first per thread (snapshot
+   * copy). Includes events retired from buffers of already-exited
+   * threads, so collect() after a ThreadPool is destroyed still sees
+   * its spans.
+   */
   static std::vector<TraceEvent> collect();
 
   /**
+   * Merge spans shipped from another process under a named track
+   * ("worker-0", ...). The merged Chrome export renders each track as
+   * its own process.
+   */
+  static void add_remote(const std::string& track,
+                         std::vector<RemoteSpan> spans);
+  /** Snapshot of the imported spans, grouped by track (insert order). */
+  static std::vector<std::pair<std::string, std::vector<RemoteSpan>>>
+  remote_tracks();
+
+  /**
    * Write the captured events to `path` as a Chrome trace_event JSON
-   * document ({"traceEvents": [...]}, complete "X" events). Returns
-   * false on I/O failure.
+   * document ({"traceEvents": [...]}, complete "X" events). Local
+   * events render as pid 1 ("server"); each remote track as its own
+   * pid with the track name as process name and the originating run id
+   * in the span args. Returns false on I/O failure.
    */
   static bool export_chrome(const std::string& path);
-  /** One JSON object per line: name, cat, tid, ts_us, dur_us. */
+  /** Local events only, one JSON object per line: name, cat, tid, ts_us,
+   *  dur_us. */
   static bool export_jsonl(const std::string& path);
 };
 

@@ -10,6 +10,7 @@
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
 #include "exec/eval_engine.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
@@ -31,6 +32,10 @@ struct CoordMetrics {
   obs::Counter& redispatched = counter("coord.straggler_redispatch_total");
   obs::Histogram& roundtrip = hist("coord.roundtrip_seconds");
   obs::Gauge& inflight_peak = gauge("coord.inflight_peak");
+  // Fleet-health surface (WorkerHealth registry).
+  obs::Counter& worker_dead = counter("coord.worker.dead");
+  obs::Counter& heartbeats = counter("coord.worker.heartbeats_total");
+  obs::Gauge& workers_alive = gauge("coord.worker.alive");
 
   static CoordMetrics& get()
   {
@@ -96,12 +101,13 @@ Coordinator::add_worker(std::unique_ptr<Transport> transport)
         hello.version != kProtocolVersion || hello.text != "worker") {
         return -1;
     }
-    return add_worker_registered(std::move(transport), hello.capacity);
+    return add_worker_registered(std::move(transport), hello.capacity,
+                                 hello.heartbeat_ms);
 }
 
 int
 Coordinator::add_worker_registered(std::unique_ptr<Transport> transport,
-                                   int capacity)
+                                   int capacity, int heartbeat_ms)
 {
     if (!transport)
         return -1;
@@ -110,15 +116,26 @@ Coordinator::add_worker_registered(std::unique_ptr<Transport> transport,
     w->capacity = std::clamp(capacity > 0 ? capacity : 1, 1,
                              opt_.max_inflight_per_worker);
     workers_.push_back(std::move(w));
-    return static_cast<int>(workers_.size()) - 1;
+    int id = static_cast<int>(workers_.size()) - 1;
+    health_register(heartbeat_ms > 0 ? heartbeat_ms : 0);
+    obs::log_info("coord", "worker_attached",
+                  obs::LogFields()
+                      .num("worker", id)
+                      .num("capacity", workers_.back()->capacity)
+                      .num("heartbeat_ms", heartbeat_ms));
+    return id;
 }
 
 std::size_t
 Coordinator::num_workers() const
 {
+    // Count from the health registry, not workers_: the Acceptor may be
+    // registering a late worker hello on its routing thread while a stats
+    // connection (or the Acceptor's own fleet-wait) polls this.
+    std::lock_guard<std::mutex> lock(health_mutex_);
     std::size_t n = 0;
-    for (const auto& w : workers_)
-        if (w->alive)
+    for (const HealthState& h : health_)
+        if (h.alive)
             ++n;
     return n;
 }
@@ -133,10 +150,223 @@ Coordinator::shutdown()
         if (!w->alive)
             continue;
         w->transport->send(frame);
-        w->transport->close();
-        w->alive = false;
-        w->inflight = 0;
     }
+    // Absorb each worker's goodbye frame — final eval count plus any
+    // unshipped trace spans — with a bounded wait so a wedged worker
+    // cannot hang shutdown. Results/heartbeats still in the pipe are
+    // skipped on the way.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker& wk = *workers_[i];
+        if (!wk.alive)
+            continue;
+        for (int hops = 0; hops < 64; ++hops) {
+            std::string line;
+            if (wk.transport->recv(line, 200) != RecvStatus::kOk)
+                break;
+            Message reply;
+            if (!decode(line, reply))
+                break;
+            if (reply.type == MsgType::kGoodbye) {
+                import_spans(i, reply);
+                obs::log_info("coord", "worker_goodbye",
+                              obs::LogFields()
+                                  .num("worker", static_cast<int>(i))
+                                  .num("evals", reply.evals));
+                break;
+            }
+        }
+        wk.transport->close();
+        wk.alive = false;
+        wk.inflight = 0;
+    }
+    {
+        std::lock_guard<std::mutex> lock(health_mutex_);
+        for (HealthState& h : health_) {
+            h.alive = false;
+            h.inflight = 0;
+        }
+    }
+    CoordMetrics::get().workers_alive.set(0.0);
+}
+
+std::vector<WorkerHealthSnapshot>
+Coordinator::health() const
+{
+    std::vector<WorkerHealthSnapshot> out;
+    auto now = Clock::now();
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    out.reserve(health_.size());
+    for (std::size_t i = 0; i < health_.size(); ++i) {
+        const HealthState& h = health_[i];
+        WorkerHealthSnapshot s;
+        s.worker = static_cast<int>(i);
+        s.inflight = h.inflight;
+        s.completed = h.completed;
+        s.heartbeats = h.heartbeats;
+        s.ewma_latency_s = h.ewma_latency_s;
+        s.last_seen_s =
+            std::chrono::duration<double>(now - h.last_seen).count();
+        s.heartbeat_ms = h.heartbeat_ms;
+        if (!h.alive) {
+            s.state = "dead";
+        } else if (h.heartbeat_ms > 0 && h.inflight > 0 &&
+                   now - h.last_seen >
+                       std::chrono::milliseconds(h.heartbeat_ms)) {
+            s.state = "slow";
+        } else {
+            s.state = "alive";
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+Coordinator::kill_worker(std::size_t w, const char* reason)
+{
+    Worker& wk = *workers_[w];
+    if (!wk.alive)
+        return;
+    CoordMetrics::get().workers_lost.add();
+    CoordMetrics::get().worker_dead.add();
+    wk.alive = false;
+    wk.inflight = 0;
+    wk.outstanding.clear();
+    wk.transport->close();
+    health_dead(w);
+    obs::log_warn("coord", "worker_dead",
+                  obs::LogFields()
+                      .num("worker", static_cast<int>(w))
+                      .str("reason", reason));
+}
+
+void
+Coordinator::stamp_trace(Message& m)
+{
+    if (!obs::Trace::enabled())
+        return;
+    m.trace_version = kTraceVersion;
+    m.trace_run = obs::Trace::run_id();
+    m.span_id = m.id;
+}
+
+void
+Coordinator::import_spans(std::size_t w, const Message& reply)
+{
+    if (reply.spans.empty())
+        return;
+    std::vector<obs::RemoteSpan> spans;
+    spans.reserve(reply.spans.size());
+    for (const WireSpan& s : reply.spans) {
+        obs::RemoteSpan r;
+        r.name = s.name;
+        r.category = s.category;
+        r.run = reply.trace_run;
+        r.thread_id = s.thread_id;
+        r.start_us = s.start_us;
+        r.duration_us = s.duration_us;
+        spans.push_back(std::move(r));
+    }
+    obs::Trace::add_remote("worker-" + std::to_string(w), std::move(spans));
+}
+
+void
+Coordinator::health_register(int heartbeat_ms)
+{
+    std::size_t alive = 0;
+    {
+        std::lock_guard<std::mutex> lock(health_mutex_);
+        HealthState h;
+        h.last_seen = Clock::now();
+        h.heartbeat_ms = heartbeat_ms;
+        health_.push_back(h);
+        for (const HealthState& hs : health_)
+            alive += hs.alive ? 1 : 0;
+    }
+    CoordMetrics::get().workers_alive.set(static_cast<double>(alive));
+}
+
+void
+Coordinator::health_touch(std::size_t w)
+{
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (w < health_.size())
+        health_[w].last_seen = Clock::now();
+}
+
+void
+Coordinator::health_dispatch(std::size_t w)
+{
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (w < health_.size())
+        health_[w].inflight += 1;
+}
+
+void
+Coordinator::health_reply(std::size_t w)
+{
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (w < health_.size())
+        health_[w].inflight = std::max(0, health_[w].inflight - 1);
+}
+
+void
+Coordinator::health_result(std::size_t w, double latency_s)
+{
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (w >= health_.size())
+        return;
+    HealthState& h = health_[w];
+    h.completed += 1;
+    h.ewma_latency_s = h.completed == 1
+                           ? latency_s
+                           : 0.3 * latency_s + 0.7 * h.ewma_latency_s;
+}
+
+void
+Coordinator::health_heartbeat(std::size_t w)
+{
+    CoordMetrics::get().heartbeats.add();
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (w < health_.size()) {
+        health_[w].heartbeats += 1;
+        health_[w].last_seen = Clock::now();
+    }
+}
+
+void
+Coordinator::health_dead(std::size_t w)
+{
+    std::size_t alive = 0;
+    {
+        std::lock_guard<std::mutex> lock(health_mutex_);
+        if (w < health_.size()) {
+            health_[w].alive = false;
+            health_[w].inflight = 0;
+        }
+        for (const HealthState& hs : health_)
+            alive += hs.alive ? 1 : 0;
+    }
+    CoordMetrics::get().workers_alive.set(static_cast<double>(alive));
+}
+
+std::vector<std::size_t>
+Coordinator::stale_workers() const
+{
+    std::vector<std::size_t> out;
+    auto now = Clock::now();
+    int grace = std::max(1, opt_.heartbeat_grace);
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    for (std::size_t i = 0; i < health_.size(); ++i) {
+        const HealthState& h = health_[i];
+        if (!h.alive || h.heartbeat_ms <= 0 || h.inflight <= 0)
+            continue;
+        if (now - h.last_seen >
+            std::chrono::milliseconds(h.heartbeat_ms) * grace) {
+            out.push_back(i);
+        }
+    }
+    return out;
 }
 
 namespace {
@@ -173,10 +403,12 @@ Coordinator::dispatch_to(std::size_t w, std::size_t task,
     m.seed = spec.run_seed;
     m.index = spec.first_index + task;
     m.config = configs[task];
+    stamp_trace(m);
     if (!workers_[w]->transport->send(encode(m)))
         return false;
     workers_[w]->inflight += 1;
     workers_[w]->outstanding.insert(m.id);
+    health_dispatch(w);
     CoordMetrics& cm = CoordMetrics::get();
     cm.dispatched.add();
     int inflight = 0;
@@ -195,6 +427,7 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
     std::vector<EvalResult> results(n);
     if (n == 0)
         return results;
+    obs::Span batch_span("coord.evaluate_batch", "coord");
 
     std::vector<TaskState> tasks(n);
     std::vector<std::size_t> pending;
@@ -216,12 +449,8 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
         pending.push_back(i);
     }
 
-    auto mark_dead = [&](std::size_t w) {
-        CoordMetrics::get().workers_lost.add();
-        workers_[w]->alive = false;
-        workers_[w]->inflight = 0;
-        workers_[w]->outstanding.clear();
-        workers_[w]->transport->close();
+    auto mark_dead = [&](std::size_t w, const char* reason) {
+        kill_worker(w, reason);
         for (std::size_t i = 0; i < n; ++i) {
             TaskState& t = tasks[i];
             drop_dispatch(t, w);
@@ -235,7 +464,7 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
     auto send_task = [&](std::size_t w, std::size_t task) -> bool {
         std::uint64_t id_before = next_msg_id_;
         if (!dispatch_to(w, task, spec, configs)) {
-            mark_dead(w);
+            mark_dead(w, "send_failed");
             return false;
         }
         id_to_task[id_before] = task;
@@ -287,7 +516,7 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                 if (rs == RecvStatus::kTimeout)
                     break;
                 if (rs == RecvStatus::kClosed) {
-                    mark_dead(w);
+                    mark_dead(w, "closed");
                     break;
                 }
                 received = true;
@@ -297,8 +526,19 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                     // A worker emitting undecodable frames is unreliable;
                     // killing it re-queues its tasks instead of leaving
                     // them in flight forever (which would wedge the batch).
-                    mark_dead(w);
+                    mark_dead(w, "bad_frame");
                     break;
+                }
+                health_touch(w);
+                if (reply.type == MsgType::kHeartbeat) {
+                    health_heartbeat(w);
+                    continue;
+                }
+                if (reply.type == MsgType::kGoodbye) {
+                    // Worker announcing a clean exit mid-run; keep its
+                    // spans, let the subsequent close re-queue its work.
+                    import_spans(w, reply);
+                    continue;
                 }
                 auto out_it = wk.outstanding.find(reply.id);
                 if (out_it == wk.outstanding.end()) {
@@ -306,11 +546,12 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                     // worker failed to decode a dispatch (its error
                     // frames carry id 0) or has a protocol bug. Same
                     // treatment as garbage.
-                    mark_dead(w);
+                    mark_dead(w, "protocol");
                     break;
                 }
                 wk.outstanding.erase(out_it);
                 wk.inflight = std::max(0, wk.inflight - 1);
+                health_reply(w);
                 auto it = id_to_task.find(reply.id);
                 if (it == id_to_task.end()) {
                     // A late reply from an earlier batch (a straggler
@@ -324,11 +565,14 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                 TaskState& t = tasks[task];
                 drop_dispatch(t, w);
                 if (reply.type == MsgType::kResult) {
-                    CoordMetrics::get().results.add();
-                    CoordMetrics::get().roundtrip.record(
+                    double latency =
                         std::chrono::duration<double>(Clock::now() -
                                                       t.last_sent)
-                            .count());
+                            .count();
+                    CoordMetrics::get().results.add();
+                    CoordMetrics::get().roundtrip.record(latency);
+                    health_result(w, latency);
+                    import_spans(w, reply);
                     if (!t.done) {
                         t.done = true;
                         results[task] =
@@ -355,6 +599,13 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
                 }
             }
         }
+
+        // ---- Dead-worker detection via missed heartbeats. ----
+        // A worker holding outstanding work that has gone silent past
+        // the grace window is killed here, re-queueing its shards,
+        // instead of the batch wedging until its transport closes.
+        for (std::size_t sw : stale_workers())
+            mark_dead(sw, "heartbeat");
 
         // ---- Straggler re-dispatch. ----
         if (opt_.straggler_ms > 0) {
@@ -437,6 +688,7 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
 {
     if (slots < 1)
         slots = 1;
+    obs::Span drive_span("coord.drive_async", "coord");
 
     /** One in-flight evaluation, keyed by its evaluation index. */
     struct AsyncTask {
@@ -485,12 +737,8 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
         ++told;
     };
 
-    auto mark_dead = [&](std::size_t w) {
-        CoordMetrics::get().workers_lost.add();
-        workers_[w]->alive = false;
-        workers_[w]->inflight = 0;
-        workers_[w]->outstanding.clear();
-        workers_[w]->transport->close();
+    auto mark_dead = [&](std::size_t w, const char* reason) {
+        kill_worker(w, reason);
         for (auto& [index, t] : active) {
             t.live_on.erase(
                 std::remove(t.live_on.begin(), t.live_on.end(), w),
@@ -509,12 +757,14 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
         m.seed = spec.run_seed;
         m.index = index;
         m.config = t.config;
+        stamp_trace(m);
         if (!workers_[w]->transport->send(encode(m))) {
-            mark_dead(w);
+            mark_dead(w, "send_failed");
             return false;
         }
         workers_[w]->inflight += 1;
         workers_[w]->outstanding.insert(m.id);
+        health_dispatch(w);
         CoordMetrics& cm = CoordMetrics::get();
         cm.dispatched.add();
         int inflight = 0;
@@ -586,7 +836,7 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                 if (rs == RecvStatus::kTimeout)
                     break;
                 if (rs == RecvStatus::kClosed) {
-                    mark_dead(w);
+                    mark_dead(w, "closed");
                     break;
                 }
                 received = true;
@@ -595,16 +845,26 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                 if (!decode(line, reply)) {
                     // Same policy as evaluate_batch: an undecodable
                     // frame marks the worker dead, re-queueing its work.
-                    mark_dead(w);
+                    mark_dead(w, "bad_frame");
                     break;
+                }
+                health_touch(w);
+                if (reply.type == MsgType::kHeartbeat) {
+                    health_heartbeat(w);
+                    continue;
+                }
+                if (reply.type == MsgType::kGoodbye) {
+                    import_spans(w, reply);
+                    continue;
                 }
                 auto out_it = wk.outstanding.find(reply.id);
                 if (out_it == wk.outstanding.end()) {
-                    mark_dead(w);
+                    mark_dead(w, "protocol");
                     break;
                 }
                 wk.outstanding.erase(out_it);
                 wk.inflight = std::max(0, wk.inflight - 1);
+                health_reply(w);
                 auto map_it = id_to_index.find(reply.id);
                 if (map_it == id_to_index.end())
                     continue;  // late reply from an earlier drive: benign
@@ -618,11 +878,14 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                     std::remove(t.live_on.begin(), t.live_on.end(), w),
                     t.live_on.end());
                 if (reply.type == MsgType::kResult) {
-                    CoordMetrics::get().results.add();
-                    CoordMetrics::get().roundtrip.record(
+                    double latency =
                         std::chrono::duration<double>(Clock::now() -
                                                       t.last_sent)
-                            .count());
+                            .count();
+                    CoordMetrics::get().results.add();
+                    CoordMetrics::get().roundtrip.record(latency);
+                    health_result(w, latency);
+                    import_spans(w, reply);
                     Configuration config = std::move(t.config);
                     active.erase(task_it);
                     tell(index, std::move(config),
@@ -640,6 +903,10 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                 }
             }
         }
+
+        // ---- Dead-worker detection via missed heartbeats. ----
+        for (std::size_t sw : stale_workers())
+            mark_dead(sw, "heartbeat");
 
         // ---- Straggler re-dispatch. ----
         if (opt_.straggler_ms > 0) {

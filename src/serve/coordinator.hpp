@@ -31,10 +31,21 @@
  * idles the rest of the fleet. Same determinism trade as
  * EvalEngine::drive_async: per-result reproducibility, but multi-slot
  * history order depends on arrival order.
+ *
+ * Fleet health: every received frame refreshes the worker's last-seen
+ * time in a WorkerHealth registry (its own mutex, so health() is safe
+ * from stats/dump threads while a drive runs). Workers advertising a
+ * heartbeat interval in their hello send heartbeat frames when idle
+ * between requests; a worker holding outstanding work that goes silent
+ * for heartbeat_grace intervals is declared dead inside the drive loop
+ * — its shards re-queue through the same path as a closed transport,
+ * instead of the batch wedging on a blocked read.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +58,7 @@ class EvalCache;
 
 namespace baco::serve {
 
+struct Message;
 class Transport;
 
 /** Coordinator knobs. */
@@ -62,6 +74,11 @@ struct CoordinatorOptions {
   int poll_ms = 20;
   /** Handshake timeout for add_worker(). */
   int handshake_ms = 10000;
+  /**
+   * Missed heartbeat intervals before a silent worker with outstanding
+   * work is declared dead (only workers advertising heartbeat_ms).
+   */
+  int heartbeat_grace = 2;
 };
 
 /** Everything identifying one sharded batch. */
@@ -73,6 +90,18 @@ struct BatchSpec {
   /** Optional shared cache consulted before dispatch (not owned). */
   EvalCache* cache = nullptr;
   std::string cache_namespace;
+};
+
+/** Point-in-time view of one worker's health (see Coordinator::health). */
+struct WorkerHealthSnapshot {
+  int worker = 0;
+  std::string state;  ///< "alive", "slow" (>1 missed interval), "dead"
+  int inflight = 0;
+  std::uint64_t completed = 0;   ///< result frames received
+  std::uint64_t heartbeats = 0;  ///< heartbeat frames received
+  double ewma_latency_s = 0.0;   ///< smoothed result round-trip
+  double last_seen_s = 0.0;      ///< seconds since the last frame
+  int heartbeat_ms = 0;          ///< advertised interval (0 = none)
 };
 
 /** Shards evaluation batches across registered workers. */
@@ -94,13 +123,24 @@ class Coordinator {
    * Register a worker whose hello frame was already consumed and
    * validated by the caller (the Acceptor routes worker connections
    * here after reading their first frame). capacity is the hello's
-   * advertised slot count (<= 0 falls back to 1).
+   * advertised slot count (<= 0 falls back to 1); heartbeat_ms its
+   * advertised beacon interval (0 = none).
    */
   int add_worker_registered(std::unique_ptr<Transport> transport,
-                            int capacity);
+                            int capacity, int heartbeat_ms = 0);
 
   /** Workers still believed alive. */
   std::size_t num_workers() const;
+
+  /**
+   * Health snapshot of every registered worker, alive or dead.
+   * Thread-safe against a concurrently running drive (the registry has
+   * its own mutex), so stats connections and periodic dumps can read it
+   * mid-run. Staleness ("slow") is only judged while the worker holds
+   * outstanding work — an idle worker's frames sit undrained in the
+   * socket buffer, which is not silence.
+   */
+  std::vector<WorkerHealthSnapshot> health() const;
 
   /**
    * Evaluate one batch across the worker fleet. Results are returned in
@@ -152,13 +192,51 @@ class Coordinator {
  private:
   struct Worker;
 
+  /** Mirror of one worker's liveness, guarded by health_mutex_. */
+  struct HealthState {
+    bool alive = true;
+    int inflight = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t heartbeats = 0;
+    double ewma_latency_s = 0.0;
+    std::chrono::steady_clock::time_point last_seen;
+    int heartbeat_ms = 0;
+  };
+
   /** Send task `task` to worker w; false when the send fails. */
   bool dispatch_to(std::size_t w, std::size_t task, const BatchSpec& spec,
                    const std::vector<Configuration>& configs);
 
+  /**
+   * Transport-level death: close, clear in-flight accounting, bump the
+   * coord.worker.dead counter, log the event. The drive loops' own
+   * mark_dead wrappers re-queue the worker's tasks on top of this.
+   */
+  void kill_worker(std::size_t w, const char* reason);
+
+  /** Stamp the trace context onto an outgoing evaluate frame. */
+  static void stamp_trace(Message& m);
+
+  /** Merge a reply's shipped spans into the trace as worker-w's track. */
+  static void import_spans(std::size_t w, const Message& reply);
+
+  // WorkerHealth registry updates (all take health_mutex_).
+  void health_register(int heartbeat_ms);
+  void health_touch(std::size_t w);
+  void health_dispatch(std::size_t w);
+  void health_reply(std::size_t w);
+  void health_result(std::size_t w, double latency_s);
+  void health_heartbeat(std::size_t w);
+  void health_dead(std::size_t w);
+  /** Workers holding outstanding work silent past the grace window. */
+  std::vector<std::size_t> stale_workers() const;
+
   CoordinatorOptions opt_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t next_msg_id_ = 1;
+
+  mutable std::mutex health_mutex_;
+  std::vector<HealthState> health_;  ///< index-parallel with workers_
 };
 
 }  // namespace baco::serve

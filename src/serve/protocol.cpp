@@ -308,6 +308,122 @@ fail(std::string* error, const std::string& why)
     return false;
 }
 
+/**
+ * Emit the optional trace context of an evaluate/result frame. Skipped
+ * entirely when no run id is set, so untraced frames are byte-identical
+ * to the pre-trace wire format.
+ */
+void
+emit_trace_context(std::ostream& out, const Message& m)
+{
+    if (m.trace_run.empty())
+        return;
+    emit_int(out, "tcv", kTraceVersion);
+    emit_str(out, "trace", m.trace_run);
+    emit_u64(out, "span", m.span_id);
+}
+
+/** Emit the "spans" array of a result/goodbye frame (skipped if empty). */
+void
+emit_spans(std::ostream& out, const std::vector<WireSpan>& spans)
+{
+    if (spans.empty())
+        return;
+    out << ",\"spans\":[";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const WireSpan& s = spans[i];
+        if (i > 0)
+            out << ',';
+        out << "{\"name\":\"" << sanitize(s.name) << "\",\"cat\":\""
+            << sanitize(s.category) << "\",\"tid\":" << s.thread_id
+            << ",\"ts\":" << s.start_us << ",\"dur\":" << s.duration_us
+            << '}';
+    }
+    out << ']';
+}
+
+/**
+ * Parse the spans array of a result/goodbye frame. Fixed shape, every
+ * field present in order (see WireSpan):
+ * [{"name":"...","cat":"...","tid":n,"ts":n,"dur":n},...]
+ */
+bool
+parse_spans_array(const std::string& s, std::size_t& at,
+                  std::vector<WireSpan>& out)
+{
+    auto parse_quoted = [&](std::string& v) -> bool {
+        if (at >= s.size() || s[at] != '"')
+            return false;
+        ++at;
+        std::size_t end = s.find('"', at);
+        if (end == std::string::npos)
+            return false;
+        v = s.substr(at, end - at);
+        at = end + 1;
+        return true;
+    };
+    auto expect = [&](const char* lit) -> bool {
+        std::size_t len = std::char_traits<char>::length(lit);
+        if (s.compare(at, len, lit) != 0)
+            return false;
+        at += len;
+        return true;
+    };
+    auto parse_u64_at = [&](std::uint64_t& v) -> bool {
+        double d = 0.0;
+        if (!jsonl::parse_double_at(s, at, d) || d < 0.0)
+            return false;
+        v = static_cast<std::uint64_t>(d);
+        return true;
+    };
+    if (at >= s.size() || s[at] != '[')
+        return false;
+    ++at;
+    out.clear();
+    if (at < s.size() && s[at] == ']') {
+        ++at;
+        return true;
+    }
+    while (at < s.size()) {
+        WireSpan e;
+        if (!expect("{\"name\":") || !parse_quoted(e.name) ||
+            !expect(",\"cat\":") || !parse_quoted(e.category) ||
+            !expect(",\"tid\":") || !parse_u64_at(e.thread_id) ||
+            !expect(",\"ts\":") || !parse_u64_at(e.start_us) ||
+            !expect(",\"dur\":") || !parse_u64_at(e.duration_us) ||
+            !expect("}")) {
+            return false;
+        }
+        out.push_back(std::move(e));
+        if (at < s.size() && s[at] == ',') {
+            ++at;
+            continue;
+        }
+        break;
+    }
+    if (at >= s.size() || s[at] != ']')
+        return false;
+    ++at;
+    return true;
+}
+
+/** Decode the optional trace context / spans of a result-like frame. */
+bool
+read_trace_fields(const std::string& line, Message& out, std::string* error)
+{
+    if (read_int(line, "tcv", out.trace_version)) {
+        jsonl::field(line, "trace", out.trace_run);
+        read_u64(line, "span", out.span_id);
+    }
+    std::size_t at = line.find("\"spans\":");
+    if (at != std::string::npos) {
+        at += 8;
+        if (!parse_spans_array(line, at, out.spans))
+            return fail(error, "malformed spans array");
+    }
+    return true;
+}
+
 }  // namespace
 
 const char*
@@ -330,6 +446,8 @@ msg_type_name(MsgType t)
       case MsgType::kResult: return "result";
       case MsgType::kStats: return "stats";
       case MsgType::kStatsReport: return "stats_report";
+      case MsgType::kHeartbeat: return "heartbeat";
+      case MsgType::kGoodbye: return "goodbye";
       case MsgType::kShutdown: return "shutdown";
       case MsgType::kError: return "error";
     }
@@ -347,6 +465,8 @@ encode(const Message& m)
         emit_str(out, "role", m.text.empty() ? "client" : m.text);
         if (m.capacity > 0)
             emit_int(out, "capacity", m.capacity);
+        if (m.heartbeat_ms > 0)
+            emit_int(out, "heartbeat_ms", m.heartbeat_ms);
         break;
       case MsgType::kWelcome:
         emit_int(out, "v", m.version);
@@ -431,6 +551,7 @@ encode(const Message& m)
         emit_str(out, "benchmark", m.benchmark);
         emit_u64(out, "seed", m.seed);
         emit_u64(out, "index", m.index);
+        emit_trace_context(out, m);
         out << ",\"config\":";
         jsonl::write_config(out, m.config);
         break;
@@ -444,6 +565,8 @@ encode(const Message& m)
         // extras on coordinator<->worker replies.
         emit_u64(out, "evals", m.evals);
         emit_double(out, "best", m.best);
+        emit_trace_context(out, m);
+        emit_spans(out, m.spans);
         break;
       case MsgType::kStats:
         emit_u64(out, "id", m.id);
@@ -469,6 +592,15 @@ encode(const Message& m)
         out << ']';
         break;
       }
+      case MsgType::kHeartbeat:
+        emit_u64(out, "id", m.id);
+        emit_u64(out, "evals", m.evals);
+        break;
+      case MsgType::kGoodbye:
+        emit_u64(out, "id", m.id);
+        emit_u64(out, "evals", m.evals);
+        emit_spans(out, m.spans);
+        break;
       case MsgType::kShutdown:
         break;
       case MsgType::kError:
@@ -498,6 +630,7 @@ decode(const std::string& line, Message& out, std::string* error)
             return fail(error, "hello without protocol version");
         jsonl::field(line, "role", out.text);
         read_int(line, "capacity", out.capacity);
+        read_int(line, "heartbeat_ms", out.heartbeat_ms);
         return true;
     }
     if (type == "welcome") {
@@ -596,6 +729,8 @@ decode(const std::string& line, Message& out, std::string* error)
             return fail(error, "evaluate without seed");
         if (!read_u64(line, "index", out.index))
             return fail(error, "evaluate without index");
+        if (!read_trace_fields(line, out, error))
+            return false;
         std::size_t at = line.find("\"config\":");
         if (at == std::string::npos)
             return fail(error, "evaluate without config");
@@ -614,7 +749,7 @@ decode(const std::string& line, Message& out, std::string* error)
         read_u64(line, "index", out.index);
         read_u64(line, "evals", out.evals);
         read_double(line, "best", out.best);
-        return true;
+        return read_trace_fields(line, out, error);
     }
     if (type == "stats") {
         out.type = MsgType::kStats;
@@ -633,6 +768,16 @@ decode(const std::string& line, Message& out, std::string* error)
         if (!parse_stats_array(line, at, out.stats))
             return fail(error, "malformed stats array");
         return true;
+    }
+    if (type == "heartbeat") {
+        out.type = MsgType::kHeartbeat;
+        read_u64(line, "evals", out.evals);
+        return true;
+    }
+    if (type == "goodbye") {
+        out.type = MsgType::kGoodbye;
+        read_u64(line, "evals", out.evals);
+        return read_trace_fields(line, out, error);
     }
     if (type == "shutdown") {
         out.type = MsgType::kShutdown;

@@ -35,9 +35,24 @@
  *   shutdown                   end the connection's serve loop
  *
  * Evaluation messages (coordinator <-> worker):
- *   hello (role=worker)        worker registration with capacity
+ *   hello (role=worker)        worker registration with capacity and an
+ *                              optional advertised heartbeat interval
+ *                              ("heartbeat_ms")
  *   evaluate -> result         evaluate one configuration of a registry
  *                              benchmark under eval_rng_for(seed, index)
+ *   heartbeat                  unsolicited worker liveness beacon (id 0)
+ *                              carrying the worker's completed-eval count;
+ *                              the coordinator folds it into WorkerHealth
+ *   goodbye                    worker's final frame before a clean exit:
+ *                              total evals plus any unshipped trace spans
+ *
+ * Trace context: when the server runs with tracing enabled, evaluate
+ * frames carry an optional versioned trace context ("tcv" =
+ * kTraceVersion, "trace" = run id, "span" = parent span id). Workers
+ * open child spans under it and ship their span buffers back as a
+ * "spans" array on result/goodbye frames (see WireSpan), which the
+ * coordinator merges into the server's Chrome trace as per-worker
+ * tracks.
  *
  * Any request can be answered with an error frame. Unknown trailing
  * fields are ignored, so adding optional fields is backward-compatible;
@@ -75,12 +90,17 @@ enum class MsgType {
   kResult,
   kStats,
   kStatsReport,
+  kHeartbeat,
+  kGoodbye,
   kShutdown,
   kError,
 };
 
 /** Schema version of the stats_report entry array ("sv"). */
 inline constexpr int kStatsVersion = 1;
+
+/** Schema version of the propagated trace context ("tcv"). */
+inline constexpr int kTraceVersion = 1;
 
 /** Wire name of a frame kind ("open_session", "configs", ...). */
 const char* msg_type_name(MsgType t);
@@ -111,6 +131,22 @@ struct StatEntry {
 };
 
 /**
+ * One completed span inside a result/goodbye frame's "spans" array.
+ * Like StatEntry the wire shape is fixed — every field always emitted in
+ * order — so the strict parser needs no optional-field logic.
+ * Timestamps are microseconds on the worker's own clock; the merged
+ * export renders each worker as its own track, so cross-process clock
+ * alignment is not required.
+ */
+struct WireSpan {
+  std::string name;
+  std::string category;
+  std::uint64_t thread_id = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+};
+
+/**
  * A decoded protocol frame: the superset of all message fields. encode()
  * emits only the fields its type defines; decode() fills only those it
  * finds. The protocol is small enough that one flat struct beats a
@@ -131,6 +167,7 @@ struct Message {
   int budget = 0;    ///< open_session: evaluations (0 = benchmark default)
   int doe = 0;       ///< open_session: DoE samples (0 = benchmark default)
   int capacity = 0;  ///< worker hello: concurrent evaluation slots
+  int heartbeat_ms = 0;  ///< worker hello: beacon interval (0 = none)
 
   bool resume = false;   ///< open_session: resume from checkpoint if present
   bool resumed = false;  ///< opened: whether a checkpoint was restored
@@ -152,6 +189,11 @@ struct Message {
 
   int stats_version = kStatsVersion;   ///< stats_report: entry schema ("sv")
   std::vector<StatEntry> stats;        ///< stats_report payload
+
+  int trace_version = 0;      ///< evaluate/result: "tcv"; 0 = no context
+  std::string trace_run;      ///< trace context: run id
+  std::uint64_t span_id = 0;  ///< trace context: parent span id
+  std::vector<WireSpan> spans;  ///< result/goodbye: worker span buffer
 };
 
 /** Serialize m as one JSONL frame (no trailing newline). */

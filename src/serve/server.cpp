@@ -6,6 +6,7 @@
 
 #include "api/study.hpp"
 #include "exec/eval_cache.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/stats_util.hpp"
@@ -81,6 +82,36 @@ handle_server_stats(const Message& req, const ServerContext& ctx)
         reply.stats.push_back(stat_gauge(
             "acceptor.live_clients",
             static_cast<double>(ctx.acceptor->live_clients())));
+    }
+    if (ctx.coordinator) {
+        // Fleet health from the WorkerHealth registry (its own mutex, so
+        // this is safe while a sharded run holds the fleet mutex). State
+        // is encoded numerically: 2 alive, 1 slow, 0 dead.
+        double alive = 0.0;
+        double slow = 0.0;
+        for (const WorkerHealthSnapshot& h : ctx.coordinator->health()) {
+            std::string prefix =
+                "coord.worker." + std::to_string(h.worker) + ".";
+            double state = h.state == "alive" ? 2.0
+                           : h.state == "slow" ? 1.0
+                                               : 0.0;
+            alive += h.state != "dead" ? 1.0 : 0.0;
+            slow += h.state == "slow" ? 1.0 : 0.0;
+            reply.stats.push_back(stat_gauge(prefix + "state", state));
+            reply.stats.push_back(stat_gauge(
+                prefix + "inflight", static_cast<double>(h.inflight)));
+            reply.stats.push_back(stat_counter(
+                prefix + "completed", static_cast<double>(h.completed)));
+            reply.stats.push_back(stat_counter(
+                prefix + "heartbeats",
+                static_cast<double>(h.heartbeats)));
+            reply.stats.push_back(
+                stat_gauge(prefix + "ewma_latency_s", h.ewma_latency_s));
+            reply.stats.push_back(
+                stat_gauge(prefix + "last_seen_s", h.last_seen_s));
+        }
+        reply.stats.push_back(stat_gauge("coord.fleet.alive", alive));
+        reply.stats.push_back(stat_gauge("coord.fleet.slow", slow));
     }
     return reply;
 }
@@ -550,7 +581,7 @@ Acceptor::route_connection(Connection* conn)
                 std::lock_guard<std::mutex> fleet(fleet_mutex_);
                 ctx_.coordinator->add_worker_registered(
                     std::make_unique<SharedTransport>(conn->transport),
-                    hello.capacity);
+                    hello.capacity, hello.heartbeat_ms);
             }
             conn->released.store(true);
             std::lock_guard<std::mutex> lock(mutex_);
@@ -569,6 +600,10 @@ Acceptor::route_connection(Connection* conn)
         if (live >= static_cast<std::size_t>(opt_.max_clients)) {
             stats_.rejected += 1;
             lock.unlock();
+            obs::log_warn("serve", "client_rejected",
+                          obs::LogFields()
+                              .str("reason", "server_full")
+                              .num("max_clients", opt_.max_clients));
             transport.send(encode(make_error(
                 0, "server full: " + std::to_string(opt_.max_clients) +
                        " clients connected")));

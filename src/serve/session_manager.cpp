@@ -8,6 +8,7 @@
 #include "api/method_registry.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "serve/stats_util.hpp"
 #include "suite/registry.hpp"
@@ -56,11 +57,15 @@ struct SessionManager::Session {
 
   /**
    * Per-session request latencies, served back over the stats frame.
-   * Reset on spill (the aggregate serve.* histograms persist): a
-   * reloaded session reports latencies since its reload.
+   * The live histograms die with the tuner on spill, so each spill
+   * folds their snapshot into the *_base totals (carried through the
+   * spill metadata); session_stats reports base merged with current,
+   * i.e. lifetime counts across every incarnation.
    */
   obs::Histogram suggest_hist;
   obs::Histogram observe_hist;
+  obs::HistogramSnapshot suggest_base;
+  obs::HistogramSnapshot observe_base;
 
   Clock::time_point last_touch = Clock::now();
 };
@@ -185,8 +190,13 @@ SessionManager::find_or_reload(const std::string& name)
                            // the newer one
             spilled_.erase(sit);
             ++reload_count_;
+            session->suggest_base = meta.suggest_hist;
+            session->observe_base = meta.observe_hist;
             stripe.sessions.emplace(name, session);
         }
+        obs::log_info("serve", "session_reloaded",
+                      obs::LogFields().str("session", name).num(
+                          "evals", session->tuner->history().size()));
         enforce_live_cap();
         return session;
     }
@@ -250,10 +260,19 @@ SessionManager::spill_one(const std::string& name)
         meta.seed = session->tuner->run_seed();
         meta.generation = ++spill_generation_;
         meta.spilled_at = Clock::now();
+        // Fold this incarnation's request latencies into the lifetime
+        // totals before the histograms die with the session object.
+        meta.suggest_hist = session->suggest_base;
+        meta.suggest_hist.merge(session->suggest_hist.snapshot());
+        meta.observe_hist = session->observe_base;
+        meta.observe_hist.merge(session->observe_hist.snapshot());
         spilled_.emplace(name, std::move(meta));
         ++spill_count_;
     }
     stripe.sessions.erase(it);
+    obs::log_info("serve", "session_spilled",
+                  obs::LogFields().str("session", name).num(
+                      "evals", session->tuner->history().size()));
     return true;
 }
 
@@ -584,10 +603,16 @@ SessionManager::session_stats(const Message& req)
         "session.budget", static_cast<double>(session->budget)));
     reply.stats.push_back(stat_gauge(
         "session.pending", static_cast<double>(session->pending.size())));
-    reply.stats.push_back(stat_histogram("session.suggest_seconds",
-                                         session->suggest_hist.snapshot()));
-    reply.stats.push_back(stat_histogram("session.observe_seconds",
-                                         session->observe_hist.snapshot()));
+    // Lifetime latencies: spill folds the live histograms into the
+    // *_base totals, so base + current spans every incarnation.
+    obs::HistogramSnapshot suggest_all = session->suggest_base;
+    suggest_all.merge(session->suggest_hist.snapshot());
+    obs::HistogramSnapshot observe_all = session->observe_base;
+    observe_all.merge(session->observe_hist.snapshot());
+    reply.stats.push_back(
+        stat_histogram("session.suggest_seconds", suggest_all));
+    reply.stats.push_back(
+        stat_histogram("session.observe_seconds", observe_all));
     return reply;
 }
 

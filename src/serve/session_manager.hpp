@@ -177,6 +177,14 @@ class SessionManager {
      */
     std::uint64_t generation = 0;
     std::chrono::steady_clock::time_point spilled_at;
+    /**
+     * Lifetime request-latency totals, folded in at every spill (the
+     * live per-session histograms reset with the tuner). A reload
+     * re-attaches these as the session's base, so stats on a reloaded
+     * session reports counts across all its incarnations.
+     */
+    obs::HistogramSnapshot suggest_hist;
+    obs::HistogramSnapshot observe_hist;
   };
 
   Stripe& stripe_for(const std::string& name) const;

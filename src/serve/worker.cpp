@@ -39,23 +39,60 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
     hello.type = MsgType::kHello;
     hello.text = "worker";
     hello.capacity = opt.capacity > 0 ? opt.capacity : 1;
+    hello.heartbeat_ms = opt.heartbeat_ms > 0 ? opt.heartbeat_ms : 0;
     if (!transport.send(encode(hello)))
         return 0;
 
+    const int hb_ms = hello.heartbeat_ms;
+    const auto loop_start = Clock::now();
+    auto last_beat = loop_start;
+    auto us_since_start = [&](Clock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                t - loop_start)
+                .count());
+    };
+
     std::uint64_t evaluated = 0;
+    bool saw_shutdown = false;
     std::string line;
     for (;;) {
-        RecvStatus rs = transport.recv(line);
-        if (rs != RecvStatus::kOk)
+        // With heartbeats on, wake in time for the next beat instead of
+        // blocking forever; a timeout is just "nothing to do yet".
+        int timeout_ms = -1;
+        if (hb_ms > 0) {
+            auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Clock::now() - last_beat)
+                             .count();
+            timeout_ms = static_cast<int>(
+                hb_ms > since ? hb_ms - since : 1);
+        }
+        RecvStatus rs = transport.recv(line, timeout_ms);
+        if (rs == RecvStatus::kClosed)
             break;
+        if (hb_ms > 0) {
+            auto now = Clock::now();
+            if (now - last_beat >= std::chrono::milliseconds(hb_ms)) {
+                Message beat;
+                beat.type = MsgType::kHeartbeat;
+                beat.evals = evaluated;
+                if (!transport.send(encode(beat)))
+                    break;
+                last_beat = now;
+            }
+        }
+        if (rs == RecvStatus::kTimeout)
+            continue;
         Message req;
         std::string err;
         if (!decode(line, req, &err)) {
             transport.send(encode(make_error(0, err)));
             continue;
         }
-        if (req.type == MsgType::kShutdown)
+        if (req.type == MsgType::kShutdown) {
+            saw_shutdown = true;
             break;
+        }
         if (req.type != MsgType::kEvaluate) {
             transport.send(encode(make_error(
                 req.id, std::string("worker cannot handle frame type ") +
@@ -66,6 +103,8 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
         reply.type = MsgType::kResult;
         reply.id = req.id;
         reply.index = req.index;  // lets observers correlate by evaluation
+        bool traced = req.trace_version > 0 && !req.trace_run.empty();
+        auto t0 = Clock::now();
         try {
             const Benchmark& b = suite::find_benchmark(req.benchmark);
             double seconds = 0.0;
@@ -78,8 +117,33 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
         } catch (const std::exception& e) {
             reply = make_error(req.id, e.what());
         }
+        if (traced && reply.type == MsgType::kResult) {
+            // The child span under the propagated context. Spans are
+            // built directly (not through the process-wide Trace rings)
+            // so a loopback worker sharing the server process never
+            // steals or double-counts the server's own spans.
+            reply.trace_version = kTraceVersion;
+            reply.trace_run = req.trace_run;
+            reply.span_id = req.span_id;
+            WireSpan span;
+            span.name = "worker.evaluate";
+            span.category = "worker";
+            span.thread_id = 1;
+            span.start_us = us_since_start(t0);
+            span.duration_us = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - t0)
+                    .count());
+            reply.spans.push_back(std::move(span));
+        }
         if (!transport.send(encode(reply)))
             break;
+    }
+    if (saw_shutdown) {
+        Message bye;
+        bye.type = MsgType::kGoodbye;
+        bye.evals = evaluated;
+        transport.send(encode(bye));
     }
     return evaluated;
 }

@@ -36,6 +36,13 @@ class Transport;
 struct WorkerOptions {
   /** Advertised concurrent evaluation slots (coordinator backpressure). */
   int capacity = 1;
+  /**
+   * Heartbeat interval: when > 0 the worker advertises it in the hello
+   * frame and sends a heartbeat frame whenever that long passes without
+   * other traffic, letting the coordinator's WorkerHealth registry spot
+   * a wedged worker without waiting on a blocked read. 0 disables.
+   */
+  int heartbeat_ms = 0;
 };
 
 /**
@@ -50,8 +57,11 @@ EvalResult evaluate_on(const Benchmark& b, const Configuration& c,
 /**
  * Run the worker loop: register, answer evaluate frames until a shutdown
  * frame or transport close. Unknown benchmarks are answered with error
- * frames (the worker keeps serving). Returns the number of evaluations
- * performed.
+ * frames (the worker keeps serving). Evaluate frames carrying a trace
+ * context get their evaluation wrapped in a child span shipped back on
+ * the result frame; a clean shutdown ends with a goodbye frame carrying
+ * the final eval count and any unshipped spans. Returns the number of
+ * evaluations performed.
  */
 std::uint64_t run_worker_loop(Transport& transport,
                               const WorkerOptions& opt = WorkerOptions{});

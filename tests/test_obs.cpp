@@ -192,6 +192,40 @@ TEST(MetricsRegistry_, SnapshotAndDelta)
     EXPECT_NE(json.find("\"lat.count\": 2"), std::string::npos);
 }
 
+TEST(HistogramMerge, FoldsLifetimeTotalsAcrossResets)
+{
+    // merge() is the inverse of delta_since: fold the pre-reset snapshot
+    // back in and the lifetime totals reappear — the mechanism session
+    // spill/reload uses to keep per-session stats monotonic.
+    Histogram first;
+    first.record(0.001);
+    first.record(0.010);
+    HistogramSnapshot base = first.snapshot();
+
+    Histogram second;  // the reloaded session's fresh histogram
+    second.record(0.100);
+
+    HistogramSnapshot lifetime = base;
+    lifetime.merge(second.snapshot());
+    EXPECT_EQ(lifetime.count, 3u);
+    EXPECT_NEAR(lifetime.sum, 0.111, 1e-9);
+    EXPECT_NEAR(lifetime.min, 0.001, 1e-12);
+    EXPECT_NEAR(lifetime.max, 0.100, 1e-12);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : lifetime.buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, 3u);
+
+    // Merging an empty snapshot is a no-op in both directions.
+    HistogramSnapshot empty;
+    lifetime.merge(empty);
+    EXPECT_EQ(lifetime.count, 3u);
+    HistogramSnapshot from_empty;
+    from_empty.merge(lifetime);
+    EXPECT_EQ(from_empty.count, 3u);
+    EXPECT_NEAR(from_empty.min, 0.001, 1e-12);
+}
+
 TEST(ScopedTimerTest, RecordsElapsedSecondsIntoHistogram)
 {
     Histogram h;
@@ -310,6 +344,83 @@ TEST(TraceBuffer, ChromeExportWritesWellFormedDocument)
     EXPECT_NE(doc.find("\"export.span\""), std::string::npos);
     EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
     Trace::clear();
+}
+
+TEST(TraceBuffer, SpansFromExitedThreadsSurviveCollection)
+{
+    Trace::clear();
+    Trace::enable();
+    // Short-lived workers (a ThreadPool sized down, a finished client
+    // thread) must not take their ring buffers' spans with them.
+    for (int t = 0; t < 3; ++t) {
+        std::thread worker([] {
+            Span span("short.lived", "test");
+        });
+        worker.join();
+    }
+    {
+        Span span("long.lived", "test");
+    }
+    Trace::disable();
+    std::vector<TraceEvent> events = Trace::collect();
+    Trace::clear();
+    int short_lived = 0;
+    int long_lived = 0;
+    for (const TraceEvent& e : events) {
+        if (std::string(e.name) == "short.lived")
+            ++short_lived;
+        if (std::string(e.name) == "long.lived")
+            ++long_lived;
+    }
+    EXPECT_EQ(short_lived, 3);
+    EXPECT_EQ(long_lived, 1);
+}
+
+TEST(TraceBuffer, RemoteTracksMergeIntoOneChromeDocument)
+{
+    Trace::clear();
+    Trace::enable();
+    Trace::set_run_id("run-merge-test");
+    {
+        Span span("server.span", "coord");
+    }
+    auto remote_span = [](const char* name, std::uint64_t ts) {
+        RemoteSpan s;
+        s.name = name;
+        s.category = "worker";
+        s.run = "run-merge-test";
+        s.thread_id = 1;
+        s.start_us = ts;
+        s.duration_us = 50;
+        return s;
+    };
+    Trace::add_remote("worker-0", {remote_span("worker.evaluate", 10)});
+    Trace::add_remote("worker-1", {remote_span("worker.evaluate", 20),
+                                   remote_span("worker.evaluate", 90)});
+    // A second shipment appends to the existing track, not a new one.
+    Trace::add_remote("worker-0", {remote_span("worker.evaluate", 200)});
+    Trace::disable();
+
+    auto tracks = Trace::remote_tracks();
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_EQ(tracks[0].first, "worker-0");
+    EXPECT_EQ(tracks[0].second.size(), 2u);
+    EXPECT_EQ(tracks[1].first, "worker-1");
+    EXPECT_EQ(tracks[1].second.size(), 2u);
+
+    std::string path = ::testing::TempDir() + "baco_trace_merged.json";
+    ASSERT_TRUE(Trace::export_chrome(path));
+    std::ifstream in(path);
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    Trace::clear();
+    // One timeline: the server's own track plus one process per worker,
+    // all carrying the run id.
+    EXPECT_NE(doc.find("\"server.span\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker-0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker-1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker.evaluate\""), std::string::npos);
+    EXPECT_NE(doc.find("run-merge-test"), std::string::npos);
 }
 
 #endif  // !BACO_OBS_TRACE_OFF

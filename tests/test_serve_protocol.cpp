@@ -233,6 +233,107 @@ TEST(ServeProtocol, RemainingTypesRoundtrip)
     EXPECT_EQ(out.type, MsgType::kShutdown);
 }
 
+TEST(ServeProtocol, WorkerHelloAdvertisesHeartbeatInterval)
+{
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.text = "worker";
+    hello.capacity = 2;
+    hello.heartbeat_ms = 250;
+    Message out = roundtrip(hello);
+    EXPECT_EQ(out.heartbeat_ms, 250);
+
+    // A beacon-less worker (heartbeat_ms 0) round-trips as 0, matching
+    // pre-heartbeat peers whose hellos omit the field entirely.
+    hello.heartbeat_ms = 0;
+    out = roundtrip(hello);
+    EXPECT_EQ(out.heartbeat_ms, 0);
+}
+
+TEST(ServeProtocol, HeartbeatRoundtripCarriesCompletedEvals)
+{
+    Message hb;
+    hb.type = MsgType::kHeartbeat;
+    hb.evals = 17;
+    Message out = roundtrip(hb);
+    EXPECT_EQ(out.type, MsgType::kHeartbeat);
+    EXPECT_EQ(out.id, 0u);  // unsolicited: not a reply to any request
+    EXPECT_EQ(out.evals, 17u);
+}
+
+TEST(ServeProtocol, EvaluateCarriesOptionalTraceContext)
+{
+    Message m;
+    m.type = MsgType::kEvaluate;
+    m.id = 9;
+    m.benchmark = "SDDMM/email-Enron";
+    m.config = mixed_config();
+    m.trace_version = kTraceVersion;
+    m.trace_run = "run-abc123";
+    m.span_id = 42;
+    Message out = roundtrip(m);
+    EXPECT_EQ(out.trace_version, kTraceVersion);
+    EXPECT_EQ(out.trace_run, "run-abc123");
+    EXPECT_EQ(out.span_id, 42u);
+
+    // Untraced evaluate: no context fields on the wire, decodes to 0.
+    m.trace_version = 0;
+    m.trace_run.clear();
+    m.span_id = 0;
+    std::string frame = encode(m);
+    EXPECT_EQ(frame.find("tcv"), std::string::npos) << frame;
+    out = roundtrip(m);
+    EXPECT_EQ(out.trace_version, 0);
+    EXPECT_TRUE(out.trace_run.empty());
+}
+
+TEST(ServeProtocol, ResultAndGoodbyeShipWorkerSpans)
+{
+    WireSpan s1;
+    s1.name = "worker.evaluate";
+    s1.category = "worker";
+    s1.thread_id = 1;
+    s1.start_us = 100;
+    s1.duration_us = 2500;
+    WireSpan s2;
+    s2.name = "worker.idle";
+    s2.category = "worker";
+    s2.thread_id = 1;
+    s2.start_us = 2600;
+    s2.duration_us = 0;
+
+    Message r;
+    r.type = MsgType::kResult;
+    r.id = 5;
+    r.value = 1.25;
+    r.spans = {s1, s2};
+    Message out = roundtrip(r);
+    ASSERT_EQ(out.spans.size(), 2u);
+    EXPECT_EQ(out.spans[0].name, "worker.evaluate");
+    EXPECT_EQ(out.spans[0].category, "worker");
+    EXPECT_EQ(out.spans[0].start_us, 100u);
+    EXPECT_EQ(out.spans[0].duration_us, 2500u);
+    EXPECT_EQ(out.spans[1].name, "worker.idle");
+    EXPECT_EQ(out.spans[1].duration_us, 0u);
+
+    Message bye;
+    bye.type = MsgType::kGoodbye;
+    bye.evals = 31;
+    bye.spans = {s1};
+    out = roundtrip(bye);
+    EXPECT_EQ(out.type, MsgType::kGoodbye);
+    EXPECT_EQ(out.evals, 31u);
+    ASSERT_EQ(out.spans.size(), 1u);
+    EXPECT_EQ(out.spans[0].name, "worker.evaluate");
+
+    // A span-less result emits no "spans" array at all.
+    Message plain;
+    plain.type = MsgType::kResult;
+    plain.id = 6;
+    plain.value = 0.5;
+    EXPECT_EQ(encode(plain).find("spans"), std::string::npos);
+}
+
 TEST(ServeProtocol, StatsRequestRoundtrip)
 {
     Message m;

@@ -10,25 +10,32 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "api/baco.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
 #include "serve/session_manager.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
+#include "suite/runner.hpp"
 
 namespace baco::serve {
 namespace {
@@ -257,6 +264,30 @@ TEST(ServeSocket, SessionsSpillAndReloadAcrossConcurrentClients)
         one_round(c1, "s1", 51, got1);
         one_round(c2, "s2", 52, got2);
     }
+
+    // Lifetime per-session stats: every spill folds the live histograms
+    // into the spilled metadata and a reload re-attaches them as the
+    // base, so the counts cover ALL incarnations — one entry per
+    // suggest/observe round despite the tuner having been rebuilt from
+    // its checkpoint in between.
+    Message s1_stats = c1.stats("s1");
+    ASSERT_EQ(s1_stats.type, MsgType::kStatsReport) << s1_stats.text;
+    const std::uint64_t rounds = budget / batch;
+    bool saw_suggest = false;
+    bool saw_observe = false;
+    for (const StatEntry& e : s1_stats.stats) {
+        if (e.name == "session.suggest_seconds") {
+            saw_suggest = true;
+            EXPECT_EQ(e.count, rounds);
+        }
+        if (e.name == "session.observe_seconds") {
+            saw_observe = true;
+            EXPECT_EQ(e.count, rounds);
+        }
+    }
+    EXPECT_TRUE(saw_suggest);
+    EXPECT_TRUE(saw_observe);
+
     EXPECT_EQ(c1.close("s1").type, MsgType::kOk);
     EXPECT_EQ(c2.close("s2").type, MsgType::kOk);
 
@@ -425,6 +456,252 @@ TEST(ServeSocket, CmdWorkerAddressSpawnsAChildProcess)
     StudyResult spawned = study_with(
         ExecutionPolicy::Remote({"cmd:./baco_worker --capacity 2"}, batch));
     EXPECT_TRUE(histories_equal(reference.history, spawned.history));
+}
+
+TEST(ServeSocket, DeadWorkerDetectedViaMissedHeartbeats)
+{
+    // Reroute the event log so the death is asserted in the record a
+    // fleet operator would read; restored on every exit path.
+    std::string log_path = testing::TempDir() + "baco_dead_worker_" +
+                           std::to_string(::getpid()) + ".jsonl";
+    struct LogGuard {
+        ~LogGuard()
+        {
+            obs::EventLog::global().configure(obs::LogLevel::kWarn, "");
+        }
+    } log_guard;
+    obs::EventLog::global().configure(obs::LogLevel::kInfo, log_path);
+
+    std::string path = unique_unix_path("dead");
+    Listener listener;
+    ASSERT_TRUE(listener.open(*parse_socket_address("unix:" + path)));
+    SessionManager sessions;
+    Coordinator coordinator;
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    ctx.coordinator = &coordinator;
+    Acceptor acceptor(std::move(listener), ctx);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    // A healthy worker beaconing every 50ms.
+    std::thread healthy([&path] {
+        std::unique_ptr<Transport> t = connect_socket("unix:" + path);
+        ASSERT_TRUE(t);
+        WorkerOptions opt;
+        opt.heartbeat_ms = 50;
+        run_worker_loop(*t, opt);
+    });
+    // A wedged worker: advertises the same beacon, accepts work, then
+    // goes silent WITHOUT closing its socket — the shape a hung
+    // evaluation (or a worker SIGSTOPped mid-run) presents. A kill(2)'d
+    // process would close the socket and take the cheap kClosed path;
+    // only missed heartbeats can catch this one.
+    std::atomic<bool> release{false};
+    std::thread wedged([&path, &release] {
+        std::unique_ptr<Transport> t = connect_socket("unix:" + path);
+        ASSERT_TRUE(t);
+        Message hello;
+        hello.type = MsgType::kHello;
+        hello.text = "worker";
+        hello.capacity = 1;
+        hello.heartbeat_ms = 50;
+        ASSERT_TRUE(t->send(encode(hello)));
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+    while (coordinator.num_workers() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+
+    // A sharded run across both workers. The wedged worker's shards go
+    // silent; after 2 missed 50ms heartbeat intervals the coordinator
+    // must declare it dead, requeue onto the healthy worker, and still
+    // finish the full budget (values are (seed, index)-derived, so the
+    // requeue changes nothing observable).
+    const int budget = 16;
+    const Benchmark& bench = suite::find_benchmark(kBench);
+    auto space = bench.make_space(SpaceVariant{});
+    std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+        *space, suite::Method::kUniform, budget, /*doe_samples=*/4,
+        /*seed=*/77);
+    BatchSpec spec;
+    spec.benchmark = kBench;
+    spec.run_seed = 77;
+    TuningHistory history = coordinator.run(*tuner, spec, /*batch=*/4);
+    EXPECT_EQ(history.size(), static_cast<std::size_t>(budget));
+
+    // The registry counted the death...
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().delta_since(before);
+    EXPECT_GE(delta.value("coord.worker.dead"), 1.0);
+    // ...the health registry agrees...
+    int dead = 0;
+    int alive = 0;
+    for (const WorkerHealthSnapshot& h : coordinator.health()) {
+        if (h.state == "dead")
+            ++dead;
+        if (h.state == "alive")
+            ++alive;
+    }
+    EXPECT_EQ(dead, 1);
+    EXPECT_EQ(alive, 1);
+    EXPECT_EQ(coordinator.num_workers(), 1u);
+    // ...and the event log recorded it with the heartbeat reason.
+    obs::EventLog::global().configure(obs::LogLevel::kWarn, "");
+    std::ifstream in(log_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("worker_dead"), std::string::npos)
+        << buf.str();
+    EXPECT_NE(buf.str().find("heartbeat"), std::string::npos);
+
+    release.store(true);
+    wedged.join();
+    acceptor.stop();
+    server.join();
+    coordinator.shutdown();
+    healthy.join();
+}
+
+TEST(ServeSocket, MetricsIntervalFileAndSigusr1Dump)
+{
+    if (::access("./baco_serve", X_OK) != 0)
+        GTEST_SKIP() << "baco_serve binary not in the working directory";
+    std::string sock = unique_unix_path("metrics");
+    std::string metrics_path = testing::TempDir() + "baco_metrics_" +
+                               std::to_string(::getpid()) + ".jsonl";
+    std::remove(metrics_path.c_str());
+    ChildProcess serve = spawn_process(
+        {"./baco_serve", "--listen", "unix:" + sock, "--metrics-interval",
+         "60", "--metrics-file", metrics_path, "--log-level", "error"});
+    ASSERT_TRUE(serve.transport);
+
+    std::unique_ptr<Transport> t;
+    for (int i = 0; i < 400 && !t; ++i) {
+        t = connect_socket("unix:" + sock);
+        if (!t)
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ASSERT_TRUE(t) << "server socket never came up";
+    SessionClient client(*t);
+    ASSERT_TRUE(client.handshake());
+    std::vector<double> values =
+        drive_session(client, "m", kBench, "Uniform", 6, 3, 2);
+    EXPECT_EQ(values.size(), 6u);
+
+    auto file_contains = [&](const char* needle) {
+        std::ifstream in(metrics_path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        return buf.str().find(needle) != std::string::npos;
+    };
+    // The 60s interval cannot have fired: only SIGUSR1 produces this.
+    ::kill(serve.pid, SIGUSR1);
+    for (int i = 0; i < 200 && !file_contains("\"reason\":\"sigusr1\"");
+         ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_TRUE(file_contains("\"reason\":\"sigusr1\""));
+
+    t->close();
+    ::kill(serve.pid, SIGTERM);
+    EXPECT_EQ(wait_process(serve.pid), 0);
+    // The graceful-exit dump always lands, and the dumps carry the
+    // registry itself, not just headers.
+    EXPECT_TRUE(file_contains("\"reason\":\"shutdown\""));
+    EXPECT_TRUE(file_contains("serve.requests_total"));
+}
+
+TEST(ServeSocket, DistributedTraceMergesServerAndWorkerTracks)
+{
+    if (::access("./baco_serve", X_OK) != 0 ||
+        ::access("./baco_worker", X_OK) != 0)
+        GTEST_SKIP() << "baco_serve/baco_worker not in working directory";
+    std::string sock = unique_unix_path("trace");
+    std::string trace_path = testing::TempDir() + "baco_trace_dist_" +
+                             std::to_string(::getpid()) + ".json";
+    std::remove(trace_path.c_str());
+    ChildProcess serve = spawn_process(
+        {"./baco_serve", "--listen", "unix:" + sock, "--trace", trace_path,
+         "--log-level", "error"});
+    ASSERT_TRUE(serve.transport);
+    std::unique_ptr<Transport> t;
+    for (int i = 0; i < 400 && !t; ++i) {
+        t = connect_socket("unix:" + sock);
+        if (!t)
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ASSERT_TRUE(t) << "server socket never came up";
+
+    ChildProcess w0 = spawn_process({"./baco_worker", "--connect",
+                                     "unix:" + sock, "--heartbeat-ms",
+                                     "200", "--log-level", "error"});
+    ChildProcess w1 = spawn_process({"./baco_worker", "--connect",
+                                     "unix:" + sock, "--heartbeat-ms",
+                                     "200", "--log-level", "error"});
+    ASSERT_TRUE(w0.transport && w1.transport);
+
+    SessionClient client(*t);
+    ASSERT_TRUE(client.handshake());
+    // Wait for both workers to show in the fleet-health stats.
+    for (int i = 0; i < 400; ++i) {
+        Message stats = client.stats();
+        double fleet_alive = 0.0;
+        for (const StatEntry& e : stats.stats) {
+            if (e.name == "coord.fleet.alive")
+                fleet_alive = e.value;
+        }
+        if (fleet_alive >= 2.0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+
+    // A server-side run: the coordinator shards evaluations over both
+    // worker processes, each stamped with the propagated trace context.
+    ASSERT_EQ(client.open("traced", kBench, "Uniform", 16, 11).type,
+              MsgType::kOpened);
+    Message run;
+    run.type = MsgType::kRun;
+    run.session = "traced";
+    run.n = 4;
+    Message done = client.rpc(std::move(run));
+    EXPECT_EQ(done.type, MsgType::kDone) << done.text;
+    EXPECT_EQ(client.close("traced").type, MsgType::kOk);
+    t->close();
+
+    // Graceful shutdown: goodbye drain, then the merged export.
+    ::kill(serve.pid, SIGTERM);
+    EXPECT_EQ(wait_process(serve.pid), 0);
+    wait_process(w0.pid);
+    wait_process(w1.pid);
+
+    std::ifstream in(trace_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string doc = buf.str();
+    ASSERT_FALSE(doc.empty()) << "no trace exported at " << trace_path;
+    // One timeline: the server track plus both worker processes' spans.
+    EXPECT_NE(doc.find("\"server\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker-0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker-1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker.evaluate\""), std::string::npos);
+    // Every imported span carries the SAME run id — the one the server
+    // stamped on its dispatches (also recorded as pid-1 metadata).
+    std::string first_run;
+    std::size_t at = 0;
+    int run_spans = 0;
+    while ((at = doc.find("\"run\": \"", at)) != std::string::npos) {
+        at += 8;
+        std::string id = doc.substr(at, doc.find('"', at) - at);
+        if (first_run.empty())
+            first_run = id;
+        EXPECT_EQ(id, first_run);
+        ++run_spans;
+    }
+    EXPECT_GE(run_spans, 2);  // both workers shipped spans
+    EXPECT_FALSE(first_run.empty());
+    EXPECT_NE(doc.find(first_run), std::string::npos);
 }
 
 TEST(ServeSocket, UnreachableRemoteWorkerFailsLoudly)

@@ -37,6 +37,14 @@
 // N seconds to --metrics-file (default stderr); SIGUSR1 triggers an
 // immediate dump at any time. Clients can also pull the same registry
 // over the wire with a stats frame (SessionClient::stats()).
+// --health-interval N appends one JSONL fleet-health line (per-worker
+// state/inflight/completed/EWMA latency from the coordinator's
+// WorkerHealth registry) every N seconds to --health-file. --trace FILE
+// records spans for the whole serving lifetime and exports one merged
+// Chrome timeline on shutdown — server spans on the "server" track plus
+// every span buffer the workers shipped back over the wire, each on its
+// own worker-N track. Status lines are structured events (JSONL on
+// stderr by default); --log-file redirects, --log-level filters.
 //
 // Usage:
 //   baco_serve [--listen unix:PATH|tcp:HOST:PORT]
@@ -45,6 +53,8 @@
 //              [--workers N] [--worker-cmd CMD]
 //              [--idle-timeout SECONDS] [--async]
 //              [--metrics-interval SECONDS] [--metrics-file PATH]
+//              [--health-interval SECONDS] [--health-file PATH]
+//              [--trace FILE] [--log-file PATH] [--log-level LEVEL]
 //   baco_serve --selftest [benchmark]
 //   baco_serve --list
 
@@ -63,7 +73,9 @@
 #include <unistd.h>
 
 #include "api/baco.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/server.hpp"
@@ -169,6 +181,100 @@ class MetricsPublisher {
 
     std::atomic<bool> stop_{false};
     std::thread thread_;
+    double interval_ = 0.0;
+    std::string path_;
+    std::chrono::steady_clock::time_point start_time_;
+};
+
+/**
+ * Background fleet-health publisher: every `interval` seconds appends
+ * one JSONL line with the coordinator's WorkerHealth registry (safe
+ * mid-run: health() has its own mutex) to `path` ("" or "-" = stderr).
+ */
+class HealthPublisher {
+ public:
+    void
+    start(baco::serve::Coordinator* coordinator, double interval_seconds,
+          std::string path)
+    {
+        if (!coordinator || interval_seconds <= 0)
+            return;
+        coordinator_ = coordinator;
+        interval_ = interval_seconds;
+        path_ = std::move(path);
+        start_time_ = std::chrono::steady_clock::now();
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    void
+    stop()
+    {
+        if (!thread_.joinable())
+            return;
+        stop_.store(true);
+        thread_.join();
+    }
+
+    void
+    dump()
+    {
+        using std::chrono::duration;
+        using std::chrono::steady_clock;
+        double uptime =
+            duration<double>(steady_clock::now() - start_time_).count();
+        char head[96];
+        std::snprintf(head, sizeof head,
+                      "{\"ts\":%lld,\"uptime_s\":%.3f,\"workers\":[",
+                      static_cast<long long>(std::time(nullptr)), uptime);
+        std::string line = head;
+        bool first = true;
+        for (const baco::serve::WorkerHealthSnapshot& h :
+             coordinator_->health()) {
+            char entry[256];
+            std::snprintf(
+                entry, sizeof entry,
+                "%s{\"worker\":%d,\"state\":\"%s\",\"inflight\":%d,"
+                "\"completed\":%llu,\"heartbeats\":%llu,"
+                "\"ewma_latency_s\":%.6g,\"last_seen_s\":%.3f,"
+                "\"heartbeat_ms\":%d}",
+                first ? "" : ",", h.worker, h.state.c_str(), h.inflight,
+                static_cast<unsigned long long>(h.completed),
+                static_cast<unsigned long long>(h.heartbeats),
+                h.ewma_latency_s, h.last_seen_s, h.heartbeat_ms);
+            line += entry;
+            first = false;
+        }
+        line += "]}";
+        if (path_.empty() || path_ == "-") {
+            std::fprintf(stderr, "%s\n", line.c_str());
+            return;
+        }
+        if (FILE* f = std::fopen(path_.c_str(), "a")) {
+            std::fprintf(f, "%s\n", line.c_str());
+            std::fclose(f);
+        }
+    }
+
+ private:
+    void
+    loop()
+    {
+        using std::chrono::duration;
+        using std::chrono::steady_clock;
+        auto last = steady_clock::now();
+        while (!stop_.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            if (duration<double>(steady_clock::now() - last).count() >=
+                interval_) {
+                last = steady_clock::now();
+                dump();
+            }
+        }
+    }
+
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+    baco::serve::Coordinator* coordinator_ = nullptr;
     double interval_ = 0.0;
     std::string path_;
     std::chrono::steady_clock::time_point start_time_;
@@ -286,6 +392,11 @@ main(int argc, char** argv)
     double idle_timeout = 0.0;
     double metrics_interval = 0.0;
     std::string metrics_file;
+    double health_interval = 0.0;
+    std::string health_file;
+    std::string trace_file;
+    std::string log_file;
+    std::string log_level = "info";
     bool async_runs = false;
     bool run_selftest = false;
     bool run_list = false;
@@ -313,6 +424,16 @@ main(int argc, char** argv)
             metrics_interval = std::atof(argv[++i]);
         } else if (arg == "--metrics-file" && i + 1 < argc) {
             metrics_file = argv[++i];
+        } else if (arg == "--health-interval" && i + 1 < argc) {
+            health_interval = std::atof(argv[++i]);
+        } else if (arg == "--health-file" && i + 1 < argc) {
+            health_file = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_file = argv[++i];
+        } else if (arg == "--log-file" && i + 1 < argc) {
+            log_file = argv[++i];
+        } else if (arg == "--log-level" && i + 1 < argc) {
+            log_level = argv[++i];
         } else if (arg == "--async") {
             async_runs = true;
         } else if (arg == "--selftest") {
@@ -328,7 +449,10 @@ main(int argc, char** argv)
                          "[--checkpoint-dir DIR] [--cache FILE] "
                          "[--workers N] [--worker-cmd CMD] "
                          "[--idle-timeout S] [--async] "
-                         "[--metrics-interval S] [--metrics-file PATH] | "
+                         "[--metrics-interval S] [--metrics-file PATH] "
+                         "[--health-interval S] [--health-file PATH] "
+                         "[--trace FILE] [--log-file PATH] "
+                         "[--log-level LEVEL] | "
                          "--selftest [benchmark] | --list\n",
                          argv[0]);
             return 2;
@@ -342,10 +466,23 @@ main(int argc, char** argv)
         return 2;
     }
 
+    {
+        obs::LogLevel level = obs::LogLevel::kInfo;
+        if (!obs::parse_log_level(log_level, level)) {
+            std::fprintf(stderr, "baco_serve: unknown log level '%s'\n",
+                         log_level.c_str());
+            return 2;
+        }
+        obs::EventLog::global().configure(level, log_file);
+    }
+
     if (run_list)
         return list_registry();
     if (run_selftest)
         return selftest(selftest_benchmark);
+
+    if (!trace_file.empty())
+        obs::Trace::enable();
 
     EvalCache cache;
     if (!cache_file.empty())
@@ -373,10 +510,10 @@ main(int argc, char** argv)
                     serve::spawn_process({worker_cmd});
                 if (!child.transport ||
                     coordinator.add_worker(std::move(child.transport)) < 0) {
-                    std::fprintf(stderr,
-                                 "baco_serve: failed to attach worker %d "
-                                 "(%s)\n",
-                                 w, worker_cmd.c_str());
+                    obs::log_error("serve", "worker_attach_failed",
+                                   obs::LogFields()
+                                       .num("worker", w)
+                                       .str("cmd", worker_cmd));
                     return 1;
                 }
                 worker_pids.push_back(child.pid);
@@ -385,9 +522,11 @@ main(int argc, char** argv)
             worker_threads =
                 serve::attach_loopback_workers(coordinator, workers);
         }
-        std::fprintf(stderr, "baco_serve: %zu workers attached (%s)\n",
-                     coordinator.num_workers(),
-                     worker_cmd.empty() ? "in-process" : worker_cmd.c_str());
+        obs::log_info("serve", "fleet_ready",
+                      obs::LogFields()
+                          .num("workers", coordinator.num_workers())
+                          .str("mode", worker_cmd.empty() ? "in-process"
+                                                          : worker_cmd));
     }
 
     serve::ServerContext ctx;
@@ -400,6 +539,8 @@ main(int argc, char** argv)
     MetricsPublisher metrics;
     metrics.start(metrics_interval, metrics_file);
     std::signal(SIGUSR1, dump_on_signal);
+    HealthPublisher health;
+    health.start(&coordinator, health_interval, health_file);
 
     serve::ServeStats stats;
     if (!listen_spec.empty()) {
@@ -409,7 +550,10 @@ main(int argc, char** argv)
             serve::parse_socket_address(listen_spec, &error);
         serve::Listener listener;
         if (!addr || !listener.open(*addr, &error)) {
-            std::fprintf(stderr, "baco_serve: %s\n", error.c_str());
+            obs::log_error("serve", "listen_failed",
+                           obs::LogFields()
+                               .str("address", listen_spec)
+                               .str("error", error));
             return 1;
         }
         serve::AcceptorOptions aopt;
@@ -418,33 +562,28 @@ main(int argc, char** argv)
         g_acceptor = &acceptor;
         std::signal(SIGINT, stop_on_signal);
         std::signal(SIGTERM, stop_on_signal);
-        std::string limits = "max " + std::to_string(max_clients) +
-                             " clients";
-        if (max_sessions > 0) {
-            limits += ", max " + std::to_string(max_sessions) +
-                      " live sessions";
-        }
-        std::fprintf(stderr, "baco_serve: listening on %s (%s)\n",
-                     acceptor.address().str().c_str(), limits.c_str());
+        obs::log_info("serve", "listening",
+                      obs::LogFields()
+                          .str("address", acceptor.address().str())
+                          .num("max_clients", max_clients)
+                          .num("max_sessions",
+                               static_cast<std::int64_t>(max_sessions)));
         acceptor.run();
         g_acceptor = nullptr;
         serve::AcceptorStats astats = acceptor.stats();
         stats.requests = astats.requests;
         stats.errors = astats.errors;
-        std::fprintf(
-            stderr,
-            "baco_serve: %llu connections served (peak %llu "
-            "concurrent), %llu workers attached, %llu rejected; "
-            "%llu requests (%llu errors); %llu sessions spilled, "
-            "%llu reloaded\n",
-            static_cast<unsigned long long>(astats.accepted),
-            static_cast<unsigned long long>(astats.peak_clients),
-            static_cast<unsigned long long>(astats.workers_attached),
-            static_cast<unsigned long long>(astats.rejected),
-            static_cast<unsigned long long>(astats.requests),
-            static_cast<unsigned long long>(astats.errors),
-            static_cast<unsigned long long>(sessions.spill_count()),
-            static_cast<unsigned long long>(sessions.reload_count()));
+        obs::log_info(
+            "serve", "acceptor_stopped",
+            obs::LogFields()
+                .num("connections", astats.accepted)
+                .num("peak_clients", astats.peak_clients)
+                .num("workers_attached", astats.workers_attached)
+                .num("rejected", astats.rejected)
+                .num("requests", astats.requests)
+                .num("errors", astats.errors)
+                .num("sessions_spilled", sessions.spill_count())
+                .num("sessions_reloaded", sessions.reload_count()));
     } else {
         // ---- Single connection on the standard streams. ----
         serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
@@ -454,7 +593,13 @@ main(int argc, char** argv)
     metrics.stop();
     if (metrics_interval > 0 || !metrics_file.empty())
         metrics.dump("shutdown");
+    health.stop();
+    if (health_interval > 0)
+        health.dump();
     sessions.checkpoint_all();
+    // Shutdown before the trace export: the coordinator's goodbye drain
+    // collects the workers' final span buffers, so the exported timeline
+    // has every track complete.
     coordinator.shutdown();
     for (std::thread& t : worker_threads)
         t.join();
@@ -462,10 +607,18 @@ main(int argc, char** argv)
         serve::wait_process(pid);
     if (!cache_file.empty())
         cache.save(cache_file);
+    if (!trace_file.empty()) {
+        bool exported = obs::Trace::export_chrome(trace_file);
+        obs::log_info("serve", "trace_exported",
+                      obs::LogFields()
+                          .str("file", trace_file)
+                          .flag("ok", exported)
+                          .str("run", obs::Trace::run_id()));
+    }
 
-    std::fprintf(stderr,
-                 "baco_serve: served %llu requests (%llu errors)\n",
-                 static_cast<unsigned long long>(stats.requests),
-                 static_cast<unsigned long long>(stats.errors));
+    obs::log_info("serve", "exit",
+                  obs::LogFields()
+                      .num("requests", stats.requests)
+                      .num("errors", stats.errors));
     return 0;
 }

@@ -16,8 +16,18 @@
 // Evaluates registry benchmarks under the (seed, index)-derived noise
 // streams, so any worker placement yields identical tuning histories.
 //
-// Usage: baco_worker [--capacity N]
+// --heartbeat-ms N (default 1000, 0 disables) advertises a beacon
+// interval in the hello frame and sends a heartbeat frame whenever that
+// long passes without other traffic, so the coordinator's health
+// registry spots a wedged worker without waiting on a blocked read.
+//
+// Status lines go through the structured event log (JSONL on stderr by
+// default); --log-file redirects it, --log-level (debug|info|warn|error)
+// filters it.
+//
+// Usage: baco_worker [--capacity N] [--heartbeat-ms N]
 //                    [--connect ADDR | --listen ADDR [--once]]
+//                    [--log-file PATH] [--log-level LEVEL]
 
 #include <csignal>
 #include <cstdio>
@@ -26,6 +36,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/log.hpp"
 #include "serve/transport.hpp"
 #include "serve/worker.hpp"
 
@@ -35,25 +46,38 @@ main(int argc, char** argv)
     std::signal(SIGPIPE, SIG_IGN);
 
     baco::serve::WorkerOptions opt;
+    opt.heartbeat_ms = 1000;
     std::string connect_spec;
     std::string listen_spec;
+    std::string log_file;
+    std::string log_level = "info";
     bool once = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
             opt.capacity = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 &&
+                   i + 1 < argc) {
+            opt.heartbeat_ms = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--connect") == 0 &&
                    i + 1 < argc) {
             connect_spec = argv[++i];
         } else if (std::strcmp(argv[i], "--listen") == 0 &&
                    i + 1 < argc) {
             listen_spec = argv[++i];
+        } else if (std::strcmp(argv[i], "--log-file") == 0 &&
+                   i + 1 < argc) {
+            log_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--log-level") == 0 &&
+                   i + 1 < argc) {
+            log_level = argv[++i];
         } else if (std::strcmp(argv[i], "--once") == 0) {
             once = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--capacity N] [--connect "
-                         "unix:PATH|tcp:HOST:PORT | --listen "
-                         "unix:PATH|tcp:HOST:PORT [--once]]\n",
+                         "usage: %s [--capacity N] [--heartbeat-ms N] "
+                         "[--connect unix:PATH|tcp:HOST:PORT | --listen "
+                         "unix:PATH|tcp:HOST:PORT [--once]] "
+                         "[--log-file PATH] [--log-level LEVEL]\n",
                          argv[0]);
             return 2;
         }
@@ -64,6 +88,13 @@ main(int argc, char** argv)
                      "exclusive\n");
         return 2;
     }
+    baco::obs::LogLevel level = baco::obs::LogLevel::kInfo;
+    if (!baco::obs::parse_log_level(log_level, level)) {
+        std::fprintf(stderr, "baco_worker: unknown log level '%s'\n",
+                     log_level.c_str());
+        return 2;
+    }
+    baco::obs::EventLog::global().configure(level, log_file);
 
     std::uint64_t evaluated = 0;
     if (!connect_spec.empty()) {
@@ -71,9 +102,17 @@ main(int argc, char** argv)
         std::unique_ptr<baco::serve::Transport> transport =
             baco::serve::connect_socket(connect_spec, &error);
         if (!transport) {
-            std::fprintf(stderr, "baco_worker: %s\n", error.c_str());
+            baco::obs::log_error("worker", "connect_failed",
+                                 baco::obs::LogFields()
+                                     .str("address", connect_spec)
+                                     .str("error", error));
             return 1;
         }
+        baco::obs::log_info("worker", "connected",
+                            baco::obs::LogFields()
+                                .str("address", connect_spec)
+                                .num("capacity", opt.capacity)
+                                .num("heartbeat_ms", opt.heartbeat_ms));
         evaluated = baco::serve::run_worker_loop(*transport, opt);
     } else if (!listen_spec.empty()) {
         std::string error;
@@ -81,11 +120,18 @@ main(int argc, char** argv)
             baco::serve::parse_socket_address(listen_spec, &error);
         baco::serve::Listener listener;
         if (!addr || !listener.open(*addr, &error)) {
-            std::fprintf(stderr, "baco_worker: %s\n", error.c_str());
+            baco::obs::log_error("worker", "listen_failed",
+                                 baco::obs::LogFields()
+                                     .str("address", listen_spec)
+                                     .str("error", error));
             return 1;
         }
-        std::fprintf(stderr, "baco_worker: listening on %s\n",
-                     listener.address().str().c_str());
+        baco::obs::log_info(
+            "worker", "listening",
+            baco::obs::LogFields()
+                .str("address", listener.address().str())
+                .num("capacity", opt.capacity)
+                .num("heartbeat_ms", opt.heartbeat_ms));
         // One coordinator at a time: a worker daemon outlives its
         // coordinators (each disconnect just frees it for the next),
         // unless --once asked for a single engagement.
@@ -100,7 +146,7 @@ main(int argc, char** argv)
         baco::serve::PipeTransport stdio(0, 1, /*owns_fds=*/false);
         evaluated = baco::serve::run_worker_loop(stdio, opt);
     }
-    std::fprintf(stderr, "baco_worker: %llu evaluations served\n",
-                 static_cast<unsigned long long>(evaluated));
+    baco::obs::log_info("worker", "exit",
+                        baco::obs::LogFields().num("evals", evaluated));
     return 0;
 }
