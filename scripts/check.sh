@@ -10,8 +10,13 @@
 #             2 sequential stdio runs bit-for-bit)
 #   bench     bench_async_utilization with --json: tell-as-results-land
 #             must beat the batched engine >= 1.5x on heavy-tailed
-#             delays; bench_suggest_latency: per-method suggest() p50/p99
-#             vs history length with the obs instrumentation pin;
+#             delays — for the Uniform mean AND the BaCO row with
+#             suggest-ahead pipelining; bench_suggest_latency:
+#             per-method suggest() p50/p99 vs history length with the
+#             obs instrumentation pin, plus the >= 5x incremental-vs-
+#             scratch p50 gate at the deepest history level;
+#             bench_micro_gp: GP substrate micro-costs with the gated
+#             append-vs-refactor speedup row;
 #             bench_serve_load: the socket stack under multi-client
 #             contention (throughput scaling gate) plus the distributed
 #             trace leg (2 baco_worker child processes must land on one
@@ -74,11 +79,15 @@ stage_bench() {
     # Re-check the artifact itself: the trajectory CI uploads must agree
     # with the exit code, so a bench that stops writing it fails here.
     grep -q '"speedup_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
+    grep -q '"baco_speedup_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
     grep -q '"quality_ok": true' "$BUILD_DIR/BENCH_async_utilization.json"
     "./$BUILD_DIR/bench_suggest_latency" \
         --json "$BUILD_DIR/BENCH_suggest_latency.json" \
         --trace "$BUILD_DIR/trace_suggest_latency.json"
     grep -q '"obs_ok": true' "$BUILD_DIR/BENCH_suggest_latency.json"
+    grep -q '"incremental_ok": true' "$BUILD_DIR/BENCH_suggest_latency.json"
+    "./$BUILD_DIR/bench_micro_gp" --reps 3 \
+        --json "$BUILD_DIR/BENCH_micro_gp.json"
     "./$BUILD_DIR/bench_serve_load" --reps 2 \
         --json "$BUILD_DIR/BENCH_serve_load.json" \
         --trace "$BUILD_DIR/trace_serve_distributed.json" \
@@ -91,7 +100,8 @@ stage_bench() {
         python3 scripts/bench_diff.py \
             "$BUILD_DIR/BENCH_async_utilization.json" \
             "$BUILD_DIR/BENCH_suggest_latency.json" \
-            "$BUILD_DIR/BENCH_serve_load.json"
+            "$BUILD_DIR/BENCH_serve_load.json" \
+            "$BUILD_DIR/BENCH_micro_gp.json"
     else
         echo "check.sh: python3 unavailable; skipping bench_diff gate"
     fi
@@ -110,13 +120,17 @@ sanitizer_available() {
 # The concurrency-heavy exec + serve surface (CmdWorkerAddress… in
 # test_serve_socket additionally spawns ./baco_worker), plus the obs
 # layer: its lock-free metric updates and per-thread trace buffers are
-# exactly what TSAN exists to check.
+# exactly what TSAN exists to check. test_exec_async rides along with
+# the suggest-ahead pipeline tests, and test_linalg_incremental puts
+# the Cholesky append path (raw pointer arithmetic over Matrix rows)
+# under the sanitizers too.
 SAN_TARGETS=(test_exec_engine test_exec_async test_exec_pool
              test_exec_cache test_exec_checkpoint test_obs
+             test_linalg_incremental
              test_serve_protocol test_serve_session
              test_serve_distributed test_serve_fuzz test_serve_socket
              baco_worker)
-SAN_REGEX='test_exec_(engine|async|pool|cache|checkpoint)|test_obs|test_serve_(protocol|session|distributed|fuzz|socket)'
+SAN_REGEX='test_exec_(engine|async|pool|cache|checkpoint)|test_obs|test_linalg_incremental|test_serve_(protocol|session|distributed|fuzz|socket)'
 
 stage_tsan() {
     if ! sanitizer_available thread; then

@@ -94,6 +94,18 @@ struct ExecutionPolicy {
   /** Distributed: straggler re-dispatch deadline in ms; <= 0 disables. */
   int straggler_ms = -1;
 
+  /**
+   * Async / Distributed(async=true): suggest-ahead pipelining — while
+   * evaluations are in flight, the next suggestion (surrogate refresh +
+   * acquisition search) is precomputed on a spare lane so freed slots
+   * refill immediately instead of idling on the tuner. The speculative
+   * suggestion treats the in-flight set as constant-liar fantasies
+   * exactly like a synchronous refill; it just runs one observation
+   * early. Ignored with fewer than two slots (nothing to overlap — the
+   * run stays bit-for-bit identical to the non-pipelined driver).
+   */
+  bool suggest_ahead = false;
+
   static ExecutionPolicy
   Serial()
   {
@@ -112,12 +124,13 @@ struct ExecutionPolicy {
 
   /** slots = concurrent in-flight evaluations. */
   static ExecutionPolicy
-  Async(int slots, int num_threads = 0)
+  Async(int slots, int num_threads = 0, bool suggest_ahead = false)
   {
       ExecutionPolicy p;
       p.mode = Mode::kAsync;
       p.batch_size = slots;
       p.num_threads = num_threads;
+      p.suggest_ahead = suggest_ahead;
       return p;
   }
 

@@ -73,6 +73,7 @@ engine_options(const ExecRequest& req)
                            : req.policy.num_threads;
     eopt.batch_size = std::max(1, req.policy.batch_size);
     eopt.async_mode = req.policy.mode == ExecutionPolicy::Mode::kAsync;
+    eopt.suggest_ahead = req.policy.suggest_ahead;
     eopt.cache = req.cache;
     eopt.cache_namespace = req.cache_namespace;
     eopt.checkpoint_path = req.checkpoint_path;
@@ -300,6 +301,7 @@ Study::run()
         serve::CoordinatorOptions copt;
         copt.max_inflight_per_worker = policy_.max_inflight_per_worker;
         copt.straggler_ms = policy_.straggler_ms;
+        copt.suggest_ahead = policy_.suggest_ahead;
         serve::Coordinator coordinator(copt);
         std::vector<std::thread> worker_threads;
         std::vector<int> worker_pids;

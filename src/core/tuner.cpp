@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -37,6 +39,22 @@ struct Tuner::State {
   GpModel gp;
   RandomForest rf_surrogate;
   FeasibilityModel feasibility;
+
+  // --- Incremental-refresh bookkeeping (TunerOptions::incremental_fit). ---
+  /** Feasible observations currently inside the GP (the model "base"). */
+  std::size_t model_real = 0;
+  /** Hashes of the fantasy rows appended past the base, in order. */
+  std::vector<std::size_t> model_fantasy_hashes;
+  /** New observations absorbed via extend() since the last full refit. */
+  int tells_since_refit = 0;
+  /** Per-point NLL right after the last full refit (drift reference). */
+  double nll_after_refit = 0.0;
+  /** Log-objective transform in effect at the last full fit. */
+  bool model_log = false;
+  /** False until the first full fit (and after any inconsistency). */
+  bool model_valid = false;
+  /** History size the feasibility model was last fit on. */
+  std::size_t feas_fitted_on = static_cast<std::size_t>(-1);
 
   State(const SearchSpace& space, const TunerOptions& opt)
       : rng(opt.seed),
@@ -132,13 +150,16 @@ Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
         for (double& y : ys)
             y = std::log(y);
     }
+    std::size_t n_real = xs.size() - fantasy_configs.size();
 
-    // Fit the value model.
+    // Fit / refresh the value model.
     bool use_gp = opt_.surrogate == TunerOptions::Surrogate::kGaussianProcess;
     {
         obs::ScopedTimer timer(TunerMetrics::get().model_fit,
                                "tuner.model_fit", "tuner");
-        if (use_gp) {
+        if (use_gp && opt_.incremental_fit) {
+            sync_gp(st, xs, ys, n_real, log_ok);
+        } else if (use_gp) {
             st.gp.fit(xs, ys, st.rng);
         } else {
             std::vector<std::vector<double>> rf_x;
@@ -149,11 +170,17 @@ Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
         }
     }
 
-    // Fit the feasibility model (on real observations only).
-    if (opt_.use_feasibility_model) {
+    // Fit the feasibility model (on real observations only). On the
+    // incremental path, skip the refit when no observation arrived since
+    // the last one — repeat calls inside one constant-liar batch would
+    // re-train the forest on identical data.
+    if (opt_.use_feasibility_model &&
+        (!opt_.incremental_fit ||
+         st.feas_fitted_on != history_.observations.size())) {
         obs::ScopedTimer timer(TunerMetrics::get().feasibility_fit,
                                "tuner.feasibility_fit", "tuner");
         st.feasibility.fit(history_.observations, st.rng);
+        st.feas_fitted_on = history_.observations.size();
     }
 
     // Minimum feasibility threshold eps_f, resampled each iteration
@@ -204,6 +231,98 @@ Tuner::propose(State& st, const std::vector<Configuration>& fantasy_configs,
     if (!cand || st.seen.count(config_hash(*cand)))
         return random_unique(st);
     return std::move(*cand);
+}
+
+void
+Tuner::sync_gp(State& st, const std::vector<Configuration>& xs,
+               const std::vector<double>& ys, std::size_t n_real, bool log_ok)
+{
+    TunerMetrics& tm = TunerMetrics::get();
+    std::size_t n_fant = xs.size() - n_real;
+
+    // Full refit on real observations only: fantasies are appended after,
+    // so the hyperparameters and the output standardization never depend
+    // on the constant-liar values.
+    auto full_refit = [&]() {
+        std::vector<Configuration> rx(xs.begin(),
+                                      xs.begin() + static_cast<long>(n_real));
+        std::vector<double> ry(ys.begin(),
+                               ys.begin() + static_cast<long>(n_real));
+        st.gp.fit(rx, ry, st.rng);
+        st.model_real = n_real;
+        st.model_fantasy_hashes.clear();
+        st.tells_since_refit = 0;
+        st.nll_after_refit = st.gp.data_nll_per_point();
+        st.model_log = log_ok;
+        st.model_valid = true;
+        tm.model_refits.add();
+    };
+
+    bool need_full =
+        !st.model_valid || st.model_log != log_ok ||
+        st.tells_since_refit >= opt_.refit_every ||
+        st.gp.size() != st.model_real + st.model_fantasy_hashes.size() ||
+        st.model_real > n_real;
+
+    if (!need_full) {
+        // Fantasy rows sit after the real block, so absorbing new real
+        // observations (or a diverged fantasy list) first rolls the model
+        // back to its real-only base.
+        std::size_t keep = 0;
+        if (n_real == st.model_real) {
+            while (keep < st.model_fantasy_hashes.size() && keep < n_fant &&
+                   st.model_fantasy_hashes[keep] ==
+                       config_hash(xs[n_real + keep]))
+                ++keep;
+        }
+        if (keep < st.model_fantasy_hashes.size()) {
+            st.gp.truncate(st.model_real + keep);
+            st.model_fantasy_hashes.resize(keep);
+        }
+
+        bool appended_real = false;
+        for (std::size_t i = st.model_real; i < n_real && !need_full; ++i) {
+            if (st.gp.extend(xs[i], ys[i])) {
+                st.model_real = i + 1;
+                ++st.tells_since_refit;
+                appended_real = true;
+                tm.model_extends.add();
+            } else {
+                need_full = true;  // bordered matrix not SPD: refit
+            }
+        }
+        // Hyperparameter-staleness check: the frozen-theta likelihood of
+        // the grown training set drifting past the threshold means the
+        // cheap path is no longer describing the data.
+        if (!need_full && appended_real &&
+            st.gp.data_nll_per_point() - st.nll_after_refit >
+                opt_.refit_nll_drift)
+            need_full = true;
+    }
+
+    if (need_full)
+        full_refit();
+
+    // Append the missing fantasy suffix. The model must stay a pure
+    // function of (real prefix, hyperparameters, appends) — restore_gp
+    // rebuilds it from exactly that — so a refusal never triggers a fit
+    // that mixes liar values into the hyperparameters or the output
+    // standardization. Instead, refit the real block once and retry; a
+    // fantasy that refuses even a fresh factor is a near-duplicate whose
+    // repulsive effect on the acquisition the existing rows already
+    // provide, so it is simply left out of the model.
+    bool refit_retry = false;
+    for (std::size_t i = st.model_fantasy_hashes.size(); i < n_fant; ++i) {
+        const Configuration& c = xs[n_real + i];
+        if (st.gp.extend(c, ys[n_real + i])) {
+            st.model_fantasy_hashes.push_back(config_hash(c));
+            tm.model_extends.add();
+        } else if (!refit_retry) {
+            refit_retry = true;
+            full_refit();  // drops fantasy rows; restart their appends
+            i = static_cast<std::size_t>(-1);
+        }
+    }
 }
 
 std::vector<Configuration>
@@ -257,6 +376,13 @@ Tuner::suggest_with_pending(int n, const std::vector<Configuration>& pending)
         out.push_back(c);
         fantasies.push_back(std::move(c));
     }
+    // Roll the incremental model back to its real-observation base: the
+    // leading factor block is untouched by appends, so dropping the fantasy
+    // rows restores the exact pre-batch posterior for free.
+    if (opt_.incremental_fit && !st.model_fantasy_hashes.empty()) {
+        st.gp.truncate(st.model_real);
+        st.model_fantasy_hashes.clear();
+    }
     tm.suggestions.add(static_cast<std::uint64_t>(out.size()));
     history_.tuner_seconds += seconds_since(t0);
     return out;
@@ -287,7 +413,108 @@ Tuner::reset_sampler()
 std::string
 Tuner::sampler_state() const
 {
-    return rng_state_string(state_ ? &state_->rng : nullptr);
+    // RNG stream position, then (incremental GP mode only) the surrogate
+    // bookkeeping: base size of the last full refit, appends since, the
+    // drift reference and the frozen hyperparameters. That is enough for
+    // restore() to rebuild the model bit-for-bit — without it a resumed
+    // run would be forced into an extra full refit, shifting the refit
+    // cadence (and the RNG draws refits consume) off the uninterrupted
+    // run's. Doubles travel as hexfloats so the round trip is exact.
+    std::string out = rng_state_string(state_ ? &state_->rng : nullptr);
+    if (!state_ || !opt_.incremental_fit ||
+        opt_.surrogate != TunerOptions::Surrogate::kGaussianProcess ||
+        !state_->model_valid) {
+        return out;
+    }
+    const State& st = *state_;
+    char buf[64];
+    auto hex = [&buf](double v) {
+        std::snprintf(buf, sizeof buf, "%a", v);
+        return std::string(buf);
+    };
+    out += ";gp=";
+    out += std::to_string(st.model_real) + ',';
+    out += std::to_string(st.tells_since_refit) + ',';
+    out += st.model_log ? "1," : "0,";
+    out += hex(st.nll_after_refit);
+    for (double v : st.gp.hyperparams().to_vector()) {
+        out += ',';
+        out += hex(v);
+    }
+    return out;
+}
+
+bool
+Tuner::restore_gp(State& st, const std::string& seg)
+{
+    std::vector<std::string> parts;
+    std::size_t at = 0;
+    while (at <= seg.size()) {
+        std::size_t comma = seg.find(',', at);
+        parts.push_back(seg.substr(
+            at, comma == std::string::npos ? std::string::npos : comma - at));
+        if (comma == std::string::npos)
+            break;
+        at = comma + 1;
+    }
+    std::size_t d = space_->num_params();
+    if (parts.size() != 4 + d + 2)
+        return false;
+
+    char* end = nullptr;
+    std::size_t model_real = std::strtoull(parts[0].c_str(), &end, 10);
+    if (end == parts[0].c_str() || *end != '\0')
+        return false;
+    long tells = std::strtol(parts[1].c_str(), &end, 10);
+    if (end == parts[1].c_str() || *end != '\0')
+        return false;
+    if (parts[2] != "0" && parts[2] != "1")
+        return false;
+    bool model_log = parts[2] == "1";
+    std::vector<double> nums;
+    for (std::size_t i = 3; i < parts.size(); ++i) {
+        double v = std::strtod(parts[i].c_str(), &end);
+        if (end == parts[i].c_str() || *end != '\0' || !std::isfinite(v))
+            return false;
+        nums.push_back(v);
+    }
+    if (tells < 0 || static_cast<std::size_t>(tells) > model_real ||
+        model_real < 2 || model_real - static_cast<std::size_t>(tells) < 2)
+        return false;
+
+    // The transformed feasible prefix the checkpointed model was built on.
+    std::vector<Configuration> xs;
+    std::vector<double> ys;
+    for (const Observation& o : history_.observations) {
+        if (!o.feasible)
+            continue;
+        if (model_log && o.value <= 0.0)
+            return false;
+        xs.push_back(o.config);
+        ys.push_back(model_log ? std::log(o.value) : o.value);
+        if (xs.size() == model_real)
+            break;
+    }
+    if (xs.size() < model_real)
+        return false;
+
+    std::size_t base = model_real - static_cast<std::size_t>(tells);
+    GpHyperparams hp = GpHyperparams::from_vector(
+        {nums.begin() + 1, nums.end()});
+    st.gp.fit_with_hyperparams(
+        {xs.begin(), xs.begin() + static_cast<long>(base)},
+        {ys.begin(), ys.begin() + static_cast<long>(base)}, hp);
+    for (std::size_t i = base; i < model_real; ++i) {
+        if (!st.gp.extend(xs[i], ys[i]))
+            return false;  // succeeded live; a failure here means corruption
+    }
+    st.model_real = model_real;
+    st.model_fantasy_hashes.clear();
+    st.tells_since_refit = static_cast<int>(tells);
+    st.nll_after_refit = nums[0];
+    st.model_log = model_log;
+    st.model_valid = true;
+    return true;
 }
 
 bool
@@ -298,7 +525,21 @@ Tuner::restore(const TuningHistory& history, const std::string& sampler_state)
     State& st = state();
     for (const Observation& o : history_.observations)
         st.seen.insert(config_hash(o.config));
-    if (!restore_rng(st.rng, sampler_state)) {
+    std::size_t semi = sampler_state.find(';');
+    bool ok = restore_rng(st.rng, sampler_state.substr(0, semi));
+    if (ok && semi != std::string::npos) {
+        std::string seg = sampler_state.substr(semi + 1);
+        if (seg.compare(0, 3, "gp=") == 0) {
+            // The segment only applies when this tuner runs the
+            // incremental GP path; otherwise it is valid but unused.
+            if (opt_.incremental_fit &&
+                opt_.surrogate == TunerOptions::Surrogate::kGaussianProcess)
+                ok = restore_gp(st, seg.substr(3));
+        } else {
+            ok = false;
+        }
+    }
+    if (!ok) {
         // Don't leave a half-restored tuner behind.
         state_.reset();
         history_ = TuningHistory{};

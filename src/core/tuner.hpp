@@ -54,6 +54,24 @@ struct TunerOptions {
   Surrogate surrogate = Surrogate::kGaussianProcess;
 
   /**
+   * Incremental surrogate refresh: append new observations and
+   * constant-liar fantasies to the existing GP Cholesky factor in O(n^2)
+   * (GpModel::extend) instead of refitting from scratch on every proposal.
+   * Full hyperparameter refits still happen on a cadence (refit_every) or
+   * when the per-point negative log likelihood drifts by more than
+   * refit_nll_drift nats since the last refit. Disable for the legacy
+   * always-refit path (debugging escape hatch; suggestions then match the
+   * pre-incremental behavior exactly). Only affects the GP surrogate.
+   */
+  bool incremental_fit = true;
+  /** Full hyperparameter refit cadence: refit after this many new
+   *  observations reach the model via the incremental path. */
+  int refit_every = 8;
+  /** Extra full-refit trigger: per-point NLL drift (nats) since the last
+   *  full refit that suggests the frozen hyperparameters have gone stale. */
+  double refit_nll_drift = 1.0;
+
+  /**
    * Optional expert prior over the optimum's location (the paper's Sec. 6
    * extension, after Souza et al.): a nonnegative weight pi(x). The
    * acquisition is multiplied by pi(x)^(prior_strength / #observations),
@@ -133,6 +151,25 @@ class Tuner : public AskTellBase {
   Configuration propose(State& st,
                         const std::vector<Configuration>& fantasy_configs,
                         double fantasy_value);
+  /**
+   * Bring the GP in line with (xs, ys) = [reals..., fantasies...] on the
+   * incremental path: extend the factor with new rows where possible, full
+   * hyperparameter refit on the cadence/drift/escape conditions. n_real is
+   * the number of leading real observations; log_ok records whether ys are
+   * log-transformed (a flip forces a full refit).
+   */
+  void sync_gp(State& st, const std::vector<Configuration>& xs,
+               const std::vector<double>& ys, std::size_t n_real,
+               bool log_ok);
+  /**
+   * Rebuild the incremental GP from a sampler_state() "gp=" segment:
+   * refit the saved base prefix under the saved hyperparameters, then
+   * replay the appends — reproducing the checkpointed model bit-for-bit
+   * so a resumed run keeps the refit cadence (and hence the RNG stream)
+   * of the uninterrupted one. False on a malformed or inconsistent
+   * segment.
+   */
+  bool restore_gp(State& st, const std::string& seg);
 
   const SearchSpace* space_;
   TunerOptions opt_;

@@ -29,6 +29,10 @@ struct TunerMetrics {
   obs::Histogram& acquisition = hist("tuner.acquisition_seconds");
   obs::Counter& suggestions = counter("tuner.suggestions_total");
   obs::Counter& observations = counter("tuner.observations_total");
+  /** Incremental surrogate refresh accounting: O(n^2) factor appends vs
+   *  full O(n^3) hyperparameter refits (core tuner only). */
+  obs::Counter& model_extends = counter("tuner.model_extends_total");
+  obs::Counter& model_refits = counter("tuner.model_refits_total");
 
   static TunerMetrics& get()
   {

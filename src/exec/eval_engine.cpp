@@ -1,6 +1,7 @@
 #include "exec/eval_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -27,6 +28,12 @@ struct EngineMetrics {
   obs::Counter& cache_misses = counter("engine.cache_misses_total");
   obs::Gauge& inflight_peak = gauge("engine.inflight_peak");
   obs::Gauge& queue_depth = gauge("engine.pool_queue_depth");
+  /** Suggest-ahead pipeline accounting: speculative suggests launched,
+   *  slots refilled from a prefetched suggestion, and how long the driver
+   *  blocked waiting for an unfinished speculation. */
+  obs::Counter& ahead_launched = counter("engine.suggest_ahead_total");
+  obs::Counter& ahead_used = counter("engine.suggest_ahead_used_total");
+  obs::Histogram& ahead_wait = hist("engine.suggest_ahead_wait_seconds");
 
   static EngineMetrics& get()
   {
@@ -64,10 +71,37 @@ pool_lanes(const EvalEngineOptions& opt)
                 ? opt.num_threads
                 : static_cast<int>(
                       std::max(1u, std::thread::hardware_concurrency()));
-    return n + 1;
+    // Suggest-ahead runs the speculative tuner call on its own lane so it
+    // can never be starved by (or starve) the evaluation lanes.
+    return n + 1 + (opt.suggest_ahead ? 1 : 0);
 }
 
 }  // namespace
+
+void
+SuggestAhead::launch(ThreadPool& pool, AskTellTuner& tuner,
+                     std::vector<Configuration> pending)
+{
+    assert(!active_);
+    auto prom = std::make_shared<std::promise<std::vector<Configuration>>>();
+    fut_ = prom->get_future();
+    active_ = true;
+    pool.submit([&tuner, prom, pending = std::move(pending)]() mutable {
+        try {
+            prom->set_value(tuner.suggest_with_pending(1, pending));
+        } catch (...) {
+            prom->set_exception(std::current_exception());
+        }
+    });
+}
+
+std::vector<Configuration>
+SuggestAhead::collect()
+{
+    assert(active_);
+    active_ = false;
+    return fut_.get();
+}
 
 EvalEngine::EvalEngine(EvalEngineOptions opt)
     : opt_(opt), pool_(pool_lanes(opt))
@@ -257,8 +291,47 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
         dispatch(f.config, f.index);
 
     const int slots = opt_.batch_size;
+    // With a single slot there is nothing to overlap — the pipeline is
+    // disabled outright so the code path (and the tuner's RNG stream) is
+    // bit-for-bit the legacy one.
+    const bool use_ahead = opt_.suggest_ahead && slots >= 2;
     int told = 0;
     std::exception_ptr error;
+    SuggestAhead ahead;
+    std::deque<Configuration> ready;  // prefetched, not yet dispatched
+    bool tuner_dry = false;
+
+    // The suggested-but-unobserved set: everything in flight plus any
+    // prefetched suggestion that has not been dispatched yet. This is the
+    // constant-liar fantasy set for every suggest call, speculative or not.
+    auto pending_snapshot = [&] {
+        std::vector<Configuration> pending;
+        pending.reserve(inflight.size() + ready.size());
+        for (const InFlight& f : inflight)
+            pending.push_back(f.config);
+        for (const Configuration& c : ready)
+            pending.push_back(c);
+        return pending;
+    };
+    // The tuner is single-threaded state: the driver must absorb the
+    // speculative call's result (or failure) before any tell/suggest.
+    auto collect_ahead = [&] {
+        if (!ahead.active())
+            return;
+        auto t0 = Clock::now();
+        try {
+            std::vector<Configuration> got = ahead.collect();
+            if (got.empty())
+                tuner_dry = true;
+            for (Configuration& c : got)
+                ready.push_back(std::move(c));
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+        em.ahead_wait.record(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+    };
 
     // Once `error` is set the loop stops suggesting and telling and only
     // drains: it must not unwind before every dispatched evaluation has
@@ -271,16 +344,22 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
             while (!error && static_cast<int>(inflight.size()) < slots &&
                    (max_evals < 0 ||
                     told + static_cast<int>(inflight.size()) < max_evals)) {
-                std::vector<Configuration> pending;
-                pending.reserve(inflight.size());
-                for (const InFlight& f : inflight)
-                    pending.push_back(f.config);
-                std::vector<Configuration> next =
-                    tuner.suggest_with_pending(1, pending);
-                if (next.empty())
+                Configuration next_config;
+                if (!ready.empty()) {
+                    next_config = std::move(ready.front());
+                    ready.pop_front();
+                    em.ahead_used.add();
+                } else if (!tuner_dry) {
+                    std::vector<Configuration> next =
+                        tuner.suggest_with_pending(1, pending_snapshot());
+                    if (next.empty())
+                        break;
+                    next_config = std::move(next.front());
+                } else {
                     break;
+                }
                 std::uint64_t index = next_index++;
-                inflight.push_back(InFlight{std::move(next.front()), index});
+                inflight.push_back(InFlight{std::move(next_config), index});
                 em.inflight_peak.set_max(
                     static_cast<double>(inflight.size()));
                 dispatch(inflight.back().config, index);
@@ -289,8 +368,28 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
             if (!error)
                 error = std::current_exception();
         }
-        if (inflight.empty())
+
+        // ---- Overlap the next suggestion with the running evaluations.
+        // Launched only when a prefetch could actually be consumed (budget
+        // and caps leave room for one more dispatch): a suggestion draws
+        // from the tuner's RNG and dedup state, so one that could never be
+        // dispatched would be silently lost from the search.
+        if (use_ahead && !error && !ahead.active() && !tuner_dry &&
+            !inflight.empty() && ready.empty() &&
+            (max_evals < 0 ||
+             told + static_cast<int>(inflight.size()) < max_evals) &&
+            tuner.remaining() > static_cast<int>(inflight.size())) {
+            em.ahead_launched.add();
+            ahead.launch(pool_, tuner, pending_snapshot());
+        }
+
+        if (inflight.empty()) {
+            if (ahead.active()) {
+                collect_ahead();
+                continue;  // the refill above may dispatch it
+            }
             break;
+        }
 
         // ---- Tell the next result the moment it lands. ----
         Landed l;
@@ -300,6 +399,7 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
             l = std::move(landed.front());
             landed.pop_front();
         }
+        collect_ahead();
         auto it = std::find_if(
             inflight.begin(), inflight.end(),
             [&](const InFlight& f) { return f.index == l.index; });

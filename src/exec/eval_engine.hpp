@@ -30,6 +30,7 @@
  */
 
 #include <cstdint>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,20 @@ struct EvalEngineOptions {
    * comment for the determinism trade-off).
    */
   bool async_mode = false;
+  /**
+   * Suggest-ahead pipelining (async mode only): while evaluations are in
+   * flight, the next suggestion — GP refresh plus acquisition search — is
+   * precomputed speculatively on a spare pool lane, so a freed slot is
+   * refilled immediately instead of idling on the tuner. The speculative
+   * call sees the in-flight set as constant-liar fantasies exactly like a
+   * synchronous refill would; the trade is that it runs one observation
+   * early (the result that frees the slot is still a fantasy, not a real
+   * observation, when the prefetched suggestion is computed). Ignored
+   * when fewer than two slots are configured: with one slot there is
+   * nothing to overlap, and the engine stays bit-for-bit identical to the
+   * non-pipelined driver.
+   */
+  bool suggest_ahead = false;
   /** Optional shared evaluation cache (not owned; may be null). */
   EvalCache* cache = nullptr;
   /**
@@ -126,6 +141,37 @@ class EvalEngine {
  private:
   EvalEngineOptions opt_;
   ThreadPool pool_;
+};
+
+/**
+ * One speculative suggest_with_pending(1, pending) call running on a
+ * thread-pool lane, shared by the async drivers (EvalEngine and the serve
+ * Coordinator) for their suggest-ahead pipelines.
+ *
+ * Protocol: the tuner is single-threaded state — between launch() and
+ * collect() the *only* code touching the tuner is the speculative task, so
+ * the driver MUST collect() before any tell/suggest/history access. The
+ * task traps its own exceptions into the future (collect() rethrows), so
+ * the pool's first-exception machinery never observes them.
+ */
+class SuggestAhead {
+ public:
+  /** Start the speculative call; requires !active(). pending must be the
+   *  full suggested-but-unobserved set (in-flight plus any prefetched
+   *  suggestions not yet dispatched). */
+  void launch(ThreadPool& pool, AskTellTuner& tuner,
+              std::vector<Configuration> pending);
+
+  /** Whether a launched call has not been collected yet. */
+  bool active() const { return active_; }
+
+  /** Block until the speculative call finishes and hand over its result;
+   *  rethrows whatever the tuner threw. */
+  std::vector<Configuration> collect();
+
+ private:
+  std::future<std::vector<Configuration>> fut_;
+  bool active_ = false;
 };
 
 /**

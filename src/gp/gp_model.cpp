@@ -128,7 +128,47 @@ GpModel::fit(const std::vector<Configuration>& xs,
     hp_.log_noise = std::clamp(hp_.log_noise, -kThetaBound * 2, kThetaBound);
     warm_start_ = hp_;
 
-    // ---- Posterior state. ----
+    refresh_posterior();
+}
+
+void
+GpModel::fit_with_hyperparams(const std::vector<Configuration>& xs,
+                              const std::vector<double>& ys,
+                              const GpHyperparams& hp)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        throw std::runtime_error(
+            "GpModel::fit_with_hyperparams needs >= 2 matching points");
+
+    xs_ = xs;
+    standardizer_.fit(ys);
+    ys_std_.resize(ys.size());
+    for (std::size_t i = 0; i < ys.size(); ++i)
+        ys_std_[i] = standardizer_.transform(ys[i]);
+
+    std::size_t n = xs_.size();
+    std::size_t d = space_->num_params();
+    tensor_.n = n;
+    tensor_.dists.assign(d, Matrix(n, n));
+    for (std::size_t k = 0; k < d; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                double v = space_->dim_distance(k, xs_[i], xs_[j]);
+                tensor_.dists[k](i, j) = v;
+                tensor_.dists[k](j, i) = v;
+            }
+        }
+    }
+
+    hp_ = hp;
+    warm_start_ = hp_;
+    refresh_posterior();
+}
+
+void
+GpModel::refresh_posterior()
+{
+    std::size_t d = space_->num_params();
     lengthscales_.resize(d);
     for (std::size_t k = 0; k < d; ++k)
         lengthscales_[k] = std::exp(hp_.log_lengthscales[k]);
@@ -139,12 +179,13 @@ GpModel::fit(const std::vector<Configuration>& xs,
     // sane on the standardized outputs.
     Matrix kmat = kernel_matrix(tensor_, hp_);
     double boost = 0.0;
+    double jitter = 0.0;
     double s2 = std::exp(hp_.log_outputscale);
     for (int attempt = 0; attempt < 10; ++attempt) {
         Matrix kj = kmat;
         for (std::size_t i = 0; i < kj.rows(); ++i)
             kj(i, i) += boost;
-        chol_ = cholesky_with_jitter(kj);
+        chol_ = cholesky_with_jitter(kj, 1e-10, 16, &jitter);
         alpha_ = chol_->solve(ys_std_);
         double amax = 0.0;
         bool finite = true;
@@ -156,7 +197,91 @@ GpModel::fit(const std::vector<Configuration>& xs,
             break;
         boost = boost == 0.0 ? 1e-4 * std::max(s2, 1.0) : boost * 10.0;
     }
+    // Record the total shift baked into the factored diagonal so extend()
+    // appends rows of the *same* matrix the factor represents.
+    diag_shift_ = boost + jitter;
     fitted_ = true;
+}
+
+std::vector<double>
+GpModel::cross_covariances(const Configuration& x) const
+{
+    std::size_t n = xs_.size();
+    std::size_t d = space_->num_params();
+    double s2 = std::exp(hp_.log_outputscale);
+    std::vector<double> kvec(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double r2 = 0.0;
+        for (std::size_t k = 0; k < d; ++k) {
+            double v = space_->dim_distance(k, x, xs_[i]) / lengthscales_[k];
+            r2 += v * v;
+        }
+        kvec[i] = s2 * matern52(std::sqrt(r2));
+    }
+    return kvec;
+}
+
+bool
+GpModel::extend(const Configuration& x, double y)
+{
+    if (!fitted_)
+        return false;
+    double s2 = std::exp(hp_.log_outputscale);
+    double noise = std::exp(hp_.log_noise);
+    std::vector<double> cross = cross_covariances(x);
+    double diag = s2 + noise + diag_shift_;
+
+    // Appending a near-duplicate of an existing point can make the bordered
+    // matrix numerically semidefinite even though the base factor is fine.
+    // Escalating jitter on the *new* diagonal entry only (extra observation
+    // noise on the new point) preserves the base factor and is enough in
+    // practice; if even that fails, tell the caller to refit from scratch.
+    double extra = 1e-8 * std::max(diag, 1.0);
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        if (chol_->append(cross, diag)) {
+            xs_.push_back(x);
+            ys_std_.push_back(standardizer_.transform(y));
+            alpha_ = chol_->solve(ys_std_);
+            bool finite = true;
+            for (double a : alpha_)
+                finite &= std::isfinite(a);
+            if (finite)
+                return true;
+            // Roll back the bad row and report failure.
+            chol_->shrink(chol_->size() - 1);
+            xs_.pop_back();
+            ys_std_.pop_back();
+            alpha_ = chol_->solve(ys_std_);
+            return false;
+        }
+        diag += extra;
+        extra *= 10.0;
+    }
+    return false;
+}
+
+void
+GpModel::truncate(std::size_t k)
+{
+    if (!fitted_ || k >= xs_.size())
+        return;
+    if (k < 2)
+        throw std::runtime_error("GpModel::truncate below 2 points");
+    xs_.resize(k);
+    ys_std_.resize(k);
+    chol_->shrink(k);
+    alpha_ = chol_->solve(ys_std_);
+}
+
+double
+GpModel::data_nll_per_point() const
+{
+    if (!fitted_ || ys_std_.empty())
+        return 0.0;
+    double n = static_cast<double>(ys_std_.size());
+    double nll_val = 0.5 * dot(ys_std_, alpha_) + 0.5 * chol_->log_det() +
+                     0.5 * n * kLogTwoPi;
+    return nll_val / n;
 }
 
 double
@@ -294,20 +419,8 @@ GpModel::predict(const Configuration& x) const
     if (!fitted_)
         throw std::runtime_error("GpModel::predict called before fit");
 
-    std::size_t n = xs_.size();
-    std::size_t d = space_->num_params();
     double s2 = std::exp(hp_.log_outputscale);
-
-    std::vector<double> kvec(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        double r2 = 0.0;
-        for (std::size_t k = 0; k < d; ++k) {
-            double v = space_->dim_distance(k, x, xs_[i]) / lengthscales_[k];
-            r2 += v * v;
-        }
-        kvec[i] = s2 * matern52(std::sqrt(r2));
-    }
-
+    std::vector<double> kvec = cross_covariances(x);
     double mean_std = dot(kvec, alpha_);
     std::vector<double> v = chol_->solve_lower(kvec);
     double var_std = s2 - dot(v, v);

@@ -68,6 +68,54 @@ class GpModel {
   void fit(const std::vector<Configuration>& xs,
            const std::vector<double>& ys, RngEngine& rng);
 
+  /**
+   * Rebuild the posterior for (xs, ys) under fixed hyperparameters —
+   * no multistart, no RNG. Used by parity tests to isolate the posterior
+   * math from hyperparameter optimization, and available as a cheap
+   * "refresh without refit" primitive.
+   */
+  void fit_with_hyperparams(const std::vector<Configuration>& xs,
+                            const std::vector<double>& ys,
+                            const GpHyperparams& hp);
+
+  /**
+   * Append one observation to the fitted model *without* re-optimizing
+   * hyperparameters or re-standardizing: the existing Cholesky factor is
+   * grown in place (O(n^2), see CholeskyFactor::append). y must be in the
+   * same space as the ys of the last fit() (i.e. the caller applies any
+   * log-objective transform); standardization is internal and frozen from
+   * the last full fit.
+   *
+   * Returns false — model untouched — when the bordered kernel matrix is
+   * not numerically SPD even after escalating extra jitter on the new
+   * diagonal entry; the caller should fall back to a full fit().
+   */
+  bool extend(const Configuration& x, double y);
+
+  /**
+   * Drop training points k..n-1, restoring the model to its state before
+   * the corresponding extend() calls (hyperparameters, standardizer and
+   * the leading factor block are unchanged by extend). Requires k >= 2
+   * and k <= size(). Used to roll back constant-liar fantasy points.
+   */
+  void truncate(std::size_t k);
+
+  /**
+   * Negative log marginal likelihood per training point of the *current*
+   * posterior state (frozen hyperparameters, standardized outputs).
+   * Cheap — reuses the stored factor and weights. The tuner compares this
+   * against its value right after the last full fit to detect drift that
+   * warrants re-optimizing hyperparameters.
+   */
+  double data_nll_per_point() const;
+
+  /** Diagonal shift (posterior boost + jitter) baked into the factor by
+   *  the last fit; extend() adds the same shift to appended diagonals. */
+  double diag_shift() const { return diag_shift_; }
+
+  /** Whether fit() has succeeded at least once. */
+  bool fitted() const { return fitted_; }
+
   /** Posterior latent mean/variance at x (requires a prior fit()). */
   GpPrediction predict(const Configuration& x) const;
 
@@ -92,6 +140,13 @@ class GpModel {
 
   GpHyperparams default_hyperparams() const;
 
+  /** Rebuild tensor_, chol_, alpha_ (and diag_shift_) from xs_/ys_std_
+   *  under the current hp_; shared tail of fit paths. */
+  void refresh_posterior();
+
+  /** Kernel cross-covariances k(x, xs_[i]) under the fitted scales. */
+  std::vector<double> cross_covariances(const Configuration& x) const;
+
   const SearchSpace* space_;
   GpOptions opt_;
 
@@ -105,6 +160,7 @@ class GpModel {
   std::optional<CholeskyFactor> chol_;
   std::vector<double> alpha_;
   std::vector<double> lengthscales_;  // exp of fitted log lengthscales
+  double diag_shift_ = 0.0;           // boost + jitter baked into chol_
   bool fitted_ = false;
 };
 

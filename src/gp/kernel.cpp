@@ -60,16 +60,27 @@ kernel_matrix(const DistanceTensor& t, const GpHyperparams& hp)
     std::size_t n = t.n;
     double s2 = std::exp(hp.log_outputscale);
     double noise = std::exp(hp.log_noise);
-    std::vector<double> ls(hp.log_lengthscales.size());
-    for (std::size_t d = 0; d < ls.size(); ++d)
-        ls[d] = std::exp(hp.log_lengthscales[d]);
 
-    Matrix k(n, n);
+    // Accumulate r^2 one dimension at a time: each pass streams a single
+    // distance matrix row-by-row instead of hopping across all D matrices
+    // per (i, j) entry, which thrashes the cache once D x N x N outgrows L2.
+    Matrix k(n, n, 0.0);
+    for (std::size_t d = 0; d < t.dists.size(); ++d) {
+        double inv = std::exp(-2.0 * hp.log_lengthscales[d]);
+        const Matrix& dist = t.dists[d];
+        for (std::size_t i = 0; i < n; ++i) {
+            const double* di = dist.row(i);
+            double* ki = k.row(i);
+            for (std::size_t j = i + 1; j < n; ++j)
+                ki[j] += di[j] * di[j] * inv;
+        }
+    }
     for (std::size_t i = 0; i < n; ++i) {
-        k(i, i) = s2 + noise;
+        double* ki = k.row(i);
+        ki[i] = s2 + noise;
         for (std::size_t j = i + 1; j < n; ++j) {
-            double v = s2 * matern52(scaled_distance(t, i, j, ls));
-            k(i, j) = v;
+            double v = s2 * matern52(std::sqrt(ki[j]));
+            ki[j] = v;
             k(j, i) = v;
         }
     }

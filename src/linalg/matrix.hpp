@@ -7,7 +7,9 @@
  *
  * Row-major dense matrix plus the handful of BLAS-like operations the GP
  * needs. Sizes in this library are small (kernel matrices up to a few
- * hundred rows), so clarity is preferred over blocking/vectorization tricks.
+ * hundred rows); the row-major layout is deliberate so the hot loops in
+ * cholesky.cpp and kernel.cpp stream rows contiguously — a compiler can
+ * vectorize the inner dot/saxpy kernels without any explicit intrinsics.
  */
 
 #include <cassert>
@@ -37,9 +39,27 @@ class Matrix {
     return data_[i * cols_ + j];
   }
 
+  /** Contiguous row i (row-major storage), for vectorizable inner loops. */
+  double* row(std::size_t i) {
+    assert(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  const double* row(std::size_t i) const {
+    assert(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
   /** Raw storage access (row-major). */
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
+
+  /**
+   * Grow (or shrink) in place to new_rows x new_cols, preserving the
+   * overlapping top-left block; new entries are zero. Row strides change,
+   * so this is an O(rows*cols) repack — used by the incremental Cholesky
+   * append, where an O(n^2) copy matches the cost of the update itself.
+   */
+  void resize_preserving(std::size_t new_rows, std::size_t new_cols);
 
   /** The n x n identity. */
   static Matrix identity(std::size_t n);
@@ -61,6 +81,10 @@ Matrix mat_mat(const Matrix& a, const Matrix& b);
 
 /** Dot product of two equal-length vectors. */
 double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/** Dot product over raw ranges (the inner kernel of the triangular
+ *  solves; unrolled 4-wide so the compiler emits vector FMAs). */
+double dot_n(const double* a, const double* b, std::size_t n);
 
 /** Elementwise a + s*b. */
 std::vector<double> axpy(const std::vector<double>& a, double s,

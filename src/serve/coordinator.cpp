@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
@@ -30,6 +31,9 @@ struct CoordMetrics {
   obs::Counter& worker_errors = counter("coord.worker_errors_total");
   obs::Counter& workers_lost = counter("coord.workers_lost_total");
   obs::Counter& redispatched = counter("coord.straggler_redispatch_total");
+  /** Suggest-ahead pipeline accounting (drive_async). */
+  obs::Counter& ahead_launched = counter("coord.suggest_ahead_total");
+  obs::Counter& ahead_used = counter("coord.suggest_ahead_used_total");
   obs::Histogram& roundtrip = hist("coord.roundtrip_seconds");
   obs::Gauge& inflight_peak = gauge("coord.inflight_peak");
   // Fleet-health surface (WorkerHealth registry).
@@ -702,6 +706,40 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
     std::unordered_map<std::uint64_t, std::uint64_t> id_to_index;
     int told = 0;
 
+    // ---- Suggest-ahead pipeline (opt_.suggest_ahead, slots >= 2). ----
+    // The speculative call runs on a dedicated side lane; the tuner is
+    // single-threaded state, so every tuner access below must absorb the
+    // speculation first (collect_ahead). The drain guard makes sure the
+    // side task has finished before this frame unwinds on any throw.
+    const bool use_ahead = opt_.suggest_ahead && slots >= 2;
+    std::unique_ptr<ThreadPool> ahead_pool;
+    if (use_ahead)
+        ahead_pool = std::make_unique<ThreadPool>(1);
+    SuggestAhead ahead;
+    std::deque<Configuration> ready;  // prefetched, not yet dispatched
+    bool tuner_dry = false;
+    auto collect_ahead = [&] {
+        if (!ahead.active())
+            return;
+        std::vector<Configuration> got = ahead.collect();
+        if (got.empty())
+            tuner_dry = true;
+        for (Configuration& c : got)
+            ready.push_back(std::move(c));
+    };
+    struct AheadDrain {
+        SuggestAhead& a;
+        ~AheadDrain()
+        {
+            if (a.active()) {
+                try {
+                    a.collect();
+                } catch (...) {
+                }
+            }
+        }
+    } ahead_drain{ahead};
+
     // Indices are dealt sequentially over the run: observed + in-flight
     // always cover a prefix of the index space.
     std::uint64_t next_index = tuner.history().size();
@@ -719,6 +757,7 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
     // same per-tell sequence as EvalEngine's async drive.
     auto tell = [&](std::uint64_t index, Configuration config,
                     const EvalResult& r, double seconds, bool from_cache) {
+        collect_ahead();  // serialize: never tell while a suggest runs
         std::vector<PendingEval> still_pending;
         if (!checkpoint_path.empty()) {
             still_pending.reserve(active.size());
@@ -783,15 +822,27 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
         while (static_cast<int>(active.size()) < slots &&
                (max_evals < 0 ||
                 told + static_cast<int>(active.size()) < max_evals)) {
-            std::vector<Configuration> pending;
-            pending.reserve(active.size());
-            for (const auto& [index, t] : active)
-                pending.push_back(t.config);
-            std::vector<Configuration> next =
-                tuner.suggest_with_pending(1, pending);
-            if (next.empty())
+            Configuration config;
+            if (!ready.empty()) {
+                config = std::move(ready.front());
+                ready.pop_front();
+                CoordMetrics::get().ahead_used.add();
+            } else if (!tuner_dry) {
+                collect_ahead();
+                if (!ready.empty())
+                    continue;  // re-check caps with the prefetched config
+                std::vector<Configuration> pending;
+                pending.reserve(active.size());
+                for (const auto& [index, t] : active)
+                    pending.push_back(t.config);
+                std::vector<Configuration> next =
+                    tuner.suggest_with_pending(1, pending);
+                if (next.empty())
+                    break;
+                config = std::move(next.front());
+            } else {
                 break;
-            Configuration config = std::move(next.front());
+            }
             std::uint64_t index = next_index++;
             if (spec.cache) {
                 if (auto hit =
@@ -822,6 +873,23 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
         }
         if (num_workers() == 0)
             throw std::runtime_error("coordinator: no live workers remain");
+
+        // ---- Overlap the next suggestion with the in-flight work. Only
+        // launched when the prefetch could actually be dispatched later
+        // (budget and caps leave room): a suggestion consumes tuner RNG
+        // and dedup state, so an undispatchable one would be lost.
+        if (use_ahead && !ahead.active() && !tuner_dry && !active.empty() &&
+            ready.empty() &&
+            (max_evals < 0 ||
+             told + static_cast<int>(active.size()) < max_evals) &&
+            tuner.remaining() > static_cast<int>(active.size())) {
+            std::vector<Configuration> pending;
+            pending.reserve(active.size());
+            for (const auto& [index, t] : active)
+                pending.push_back(t.config);
+            CoordMetrics::get().ahead_launched.add();
+            ahead.launch(*ahead_pool, tuner, std::move(pending));
+        }
 
         // ---- Drain arrivals; tell each one the moment it lands. ----
         bool received = false;

@@ -79,6 +79,14 @@ struct CoordinatorOptions {
    * work is declared dead (only workers advertising heartbeat_ms).
    */
   int heartbeat_grace = 2;
+  /**
+   * Suggest-ahead pipelining for drive_async(): precompute the next
+   * suggestion on a side thread while the fleet evaluates, so a freed
+   * slot refills without waiting on the tuner's refit + acquisition.
+   * Same semantics and caveats as EvalEngineOptions::suggest_ahead;
+   * ignored when slots < 2.
+   */
+  bool suggest_ahead = false;
 };
 
 /** Everything identifying one sharded batch. */

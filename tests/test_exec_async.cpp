@@ -21,6 +21,7 @@
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
 #include "exec/eval_engine.hpp"
+#include "obs/metrics.hpp"
 #include "suite/registry.hpp"
 #include "suite/runner.hpp"
 
@@ -440,6 +441,213 @@ TEST(AsyncEngine, CallbackExceptionIsRethrownAfterDraining)
     // The abort happened at the 3rd tell; nothing was told afterwards.
     EXPECT_EQ(told, 3);
     EXPECT_EQ(tuner.history().size(), 3u);
+}
+
+// ---- Suggest-ahead pipelining -------------------------------------------
+
+/**
+ * Audits the suggest-ahead discipline: every tuner entry asserts no other
+ * call is in progress (the engine must serialize ALL tuner access even
+ * though the speculative suggest runs on a pool lane), and every
+ * suggest_with_pending checks its pending set is exactly the
+ * suggested-but-not-yet-observed multiset — i.e. the speculation never
+ * runs against a stale or incomplete view of the in-flight work, and no
+ * result is ever told twice or dropped.
+ */
+class PendingAuditTuner : public AskTellTuner {
+ public:
+  explicit PendingAuditTuner(AskTellTuner& inner) : inner_(inner) {}
+
+  std::vector<Configuration>
+  suggest(int n) override
+  {
+      Guard g(this);
+      std::lock_guard<std::mutex> lock(mu_);
+      return record(inner_.suggest(n));
+  }
+  std::vector<Configuration>
+  suggest_with_pending(int n,
+                       const std::vector<Configuration>& pending) override
+  {
+      Guard g(this);
+      std::lock_guard<std::mutex> lock(mu_);
+      std::map<std::size_t, int> claimed;
+      for (const Configuration& c : pending)
+          claimed[config_hash(c)] += 1;
+      if (claimed != outstanding_)
+          stale_pending_.fetch_add(1);
+      return record(inner_.suggest_with_pending(n, pending));
+  }
+  void
+  observe(const std::vector<Configuration>& configs,
+          const std::vector<EvalResult>& results) override
+  {
+      Guard g(this);
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Configuration& c : configs) {
+          std::size_t h = config_hash(c);
+          observed_[h] += 1;
+          if (--outstanding_[h] <= 0)
+              outstanding_.erase(h);
+      }
+      inner_.observe(configs, results);
+  }
+  int remaining() const override { return inner_.remaining(); }
+  std::uint64_t run_seed() const override { return inner_.run_seed(); }
+  const TuningHistory& history() const override { return inner_.history(); }
+  TuningHistory& mutable_history() override
+  {
+      return inner_.mutable_history();
+  }
+  TuningHistory take_history() override { return inner_.take_history(); }
+
+  const std::map<std::size_t, int>& suggested() const { return suggested_; }
+  const std::map<std::size_t, int>& observed() const { return observed_; }
+  int concurrent_entries() const { return concurrent_.load(); }
+  int stale_pending_calls() const { return stale_pending_.load(); }
+
+ private:
+  struct Guard {
+    explicit Guard(PendingAuditTuner* t) : t_(t)
+    {
+        if (t_->depth_.fetch_add(1) != 0)
+            t_->concurrent_.fetch_add(1);
+    }
+    ~Guard() { t_->depth_.fetch_sub(1); }
+    PendingAuditTuner* t_;
+  };
+
+  std::vector<Configuration>
+  record(std::vector<Configuration> out)
+  {
+      for (const Configuration& c : out) {
+          std::size_t h = config_hash(c);
+          suggested_[h] += 1;
+          outstanding_[h] += 1;
+      }
+      return out;
+  }
+
+  AskTellTuner& inner_;
+  std::mutex mu_;
+  std::map<std::size_t, int> suggested_;
+  std::map<std::size_t, int> observed_;
+  std::map<std::size_t, int> outstanding_;
+  std::atomic<int> depth_{0};
+  std::atomic<int> concurrent_{0};
+  std::atomic<int> stale_pending_{0};
+};
+
+TEST(SuggestAhead, SingleSlotIsBitForBitIdenticalToSerial)
+{
+    // With one slot there is nothing to overlap: the knob must disable
+    // itself and reproduce the non-pipelined (== serial) run exactly.
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 24;
+    opt.doe_samples = 8;
+    opt.seed = 42;
+
+    TuningHistory serial = Tuner(s, opt).run(synthetic_eval);
+
+    Tuner tuner(s, opt);
+    EvalEngineOptions eopt;
+    eopt.num_threads = 3;
+    eopt.batch_size = 1;
+    eopt.async_mode = true;
+    eopt.suggest_ahead = true;
+    TuningHistory ahead = EvalEngine(eopt).run(tuner, synthetic_eval);
+
+    ASSERT_EQ(serial.size(), ahead.size());
+    EXPECT_TRUE(histories_equal(serial, ahead));
+}
+
+TEST(SuggestAhead, StressExactlyOnceUnderHeavyTailedDelays)
+{
+    // Heavy-tailed evaluation times (mostly sub-millisecond, a fat tail
+    // of 20-60 ms stragglers) drive maximal overlap between speculation
+    // and landing results. The audit wrapper must observe: zero
+    // concurrent tuner entries, zero stale pending snapshots, and a
+    // suggested multiset identical to the observed one (exactly-once
+    // tells, nothing dropped).
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 28;
+    opt.doe_samples = 8;
+    opt.seed = 17;
+    Tuner inner(s, opt);
+    PendingAuditTuner tuner(inner);
+
+    auto heavy_tailed = [](const Configuration& c, RngEngine& rng) {
+        EvalResult r = synthetic_eval(c, rng);
+        if (rng.uniform() < 0.2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<int>(rng.uniform(20.0, 60.0))));
+        else
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<int>(rng.uniform(100.0, 800.0))));
+        return r;
+    };
+
+    obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    eopt.suggest_ahead = true;
+    TuningHistory h = EvalEngine(eopt).run(tuner, heavy_tailed);
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().delta_since(before);
+
+    EXPECT_EQ(h.size(), 28u);
+    EXPECT_EQ(tuner.concurrent_entries(), 0);
+    EXPECT_EQ(tuner.stale_pending_calls(), 0);
+    EXPECT_EQ(tuner.suggested(), tuner.observed());
+    // The pipeline actually engaged: speculative suggests were launched
+    // and at least one refilled a slot.
+    EXPECT_GE(delta.value("engine.suggest_ahead_total"), 1.0);
+    EXPECT_GE(delta.value("engine.suggest_ahead_used_total"), 1.0);
+}
+
+TEST(SuggestAhead, MaxEvalsSplitLosesNoSuggestions)
+{
+    // Stopping a pipelined drive mid-stream (max_evals) and continuing
+    // with a second drive must not lose or re-tell the speculated
+    // suggestion that was in the ready queue at the cut: the launch gate
+    // only speculates when the result can still be dispatched within the
+    // caps.
+    SearchSpace s = synthetic_space();
+    TunerOptions opt;
+    opt.budget = 22;
+    opt.doe_samples = 6;
+    opt.seed = 31;
+    Tuner inner(s, opt);
+    PendingAuditTuner tuner(inner);
+
+    auto jittered = [](const Configuration& c, RngEngine& rng) {
+        EvalResult r = synthetic_eval(c, rng);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<int>(rng.uniform(100.0, 3000.0))));
+        return r;
+    };
+
+    EvalEngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.batch_size = 4;
+    eopt.async_mode = true;
+    eopt.suggest_ahead = true;
+    EvalEngine engine(eopt);
+    engine.drive_async(tuner, jittered, /*max_evals=*/9);
+    EXPECT_EQ(tuner.history().size(), 9u);
+    engine.drive_async(tuner, jittered);
+
+    TuningHistory h = tuner.take_history();
+    ASSERT_EQ(h.size(), 22u);
+    std::map<std::size_t, int> counts = config_multiset(h);
+    EXPECT_EQ(counts.size(), 22u);  // tuner dedups; nothing told twice
+    EXPECT_EQ(tuner.concurrent_entries(), 0);
+    EXPECT_EQ(tuner.stale_pending_calls(), 0);
+    EXPECT_EQ(tuner.suggested(), tuner.observed());
 }
 
 TEST(AsyncEngine, SuiteRunnerAsyncCompletesBudgetAcrossMethods)

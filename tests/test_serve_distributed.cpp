@@ -13,6 +13,7 @@
 
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
+#include "obs/metrics.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
@@ -193,6 +194,64 @@ TEST(ServeDistributed, AsyncDriveStreamsEveryResultAndKillResumeRecovers)
 
     std::remove(ckpt.c_str());
     std::remove(snapshot.c_str());
+}
+
+TEST(ServeDistributed, SuggestAheadSingleSlotMatchesSerialRun)
+{
+    // CoordinatorOptions::suggest_ahead is ignored at one slot — there
+    // is nothing to overlap — so the fleet must still reproduce the
+    // serial loop bit-for-bit, prefetch knob and all.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    TuningHistory serial =
+        suite::run_method(b, suite::Method::kBaco, 12, 17);
+
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+    CoordinatorOptions copt;
+    copt.suggest_ahead = true;
+    Fleet fleet(2, copt);
+    std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+        *space, suite::Method::kBaco, 12, b.doe_samples, 17);
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 17;
+    fleet.coordinator.drive_async(*tuner, spec, /*slots=*/1);
+    EXPECT_TRUE(histories_equal(serial, tuner->history()));
+}
+
+TEST(ServeDistributed, SuggestAheadFleetPrefetchesAndStaysExactlyOnce)
+{
+    // Multi-slot suggest-ahead across a real worker fleet: the drive
+    // must complete the budget with every suggestion told exactly once,
+    // and the coord.suggest_ahead_* counters must show the prefetch
+    // actually launched and was consumed.
+    const Benchmark& b = suite::find_benchmark(kBench);
+    std::shared_ptr<SearchSpace> space = b.make_space(SpaceVariant{});
+    const int budget = 18;
+
+    CoordinatorOptions copt;
+    copt.suggest_ahead = true;
+    Fleet fleet(3, copt);
+    std::unique_ptr<AskTellTuner> tuner = suite::make_ask_tell(
+        *space, suite::Method::kBaco, budget, b.doe_samples, 23);
+    BatchSpec spec;
+    spec.benchmark = b.name;
+    spec.run_seed = 23;
+
+    obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+    fleet.coordinator.drive_async(*tuner, spec, /*slots=*/4);
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::global().snapshot().delta_since(before);
+
+    const TuningHistory& h = tuner->history();
+    EXPECT_EQ(h.size(), static_cast<std::size_t>(budget));
+    std::map<std::size_t, int> counts;
+    for (const Observation& o : h.observations)
+        ++counts[config_hash(o.config)];
+    for (const auto& [hash, n] : counts)
+        EXPECT_EQ(n, 1) << "config told more than once (hash " << hash
+                        << ")";
+    EXPECT_GE(delta.value("coord.suggest_ahead_total"), 1.0);
+    EXPECT_GE(delta.value("coord.suggest_ahead_used_total"), 1.0);
 }
 
 TEST(ServeDistributed, EvaluateBatchAssemblesInInputOrder)
