@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# clang-tidy over every src/ translation unit, against the compilation
+# database of the given build dir (CMake exports compile_commands.json
+# unconditionally — see CMakeLists.txt). The check set lives in the
+# repo-root .clang-tidy; violations are errors (WarningsAsErrors: '*'
+# there), so this script failing IS the gate — suppressions happen at
+# the offending line via NOLINT(check-name) with a reason comment,
+# never by loosening the config.
+#
+# Usage: run_clang_tidy.sh [build-dir]     (default: build-tidy)
+#
+# Self-skips (exit 0, loud message) when clang-tidy is not installed,
+# mirroring check.sh's sanitizer probes: the tidy stage must be
+# runnable everywhere and binding wherever clang exists (CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tidy}"
+
+TIDY=""
+if command -v clang-tidy >/dev/null 2>&1; then
+    TIDY=clang-tidy
+else
+    for ver in 20 19 18 17 16 15 14; do
+        if command -v "clang-tidy-$ver" >/dev/null 2>&1; then
+            TIDY="clang-tidy-$ver"
+            break
+        fi
+    done
+fi
+if [[ -z "$TIDY" ]]; then
+    echo "run_clang_tidy.sh: clang-tidy unavailable; skipping"
+    exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing" \
+         "— configure $BUILD_DIR first (check.sh --stage tidy does)" >&2
+    exit 1
+fi
+
+mapfile -t FILES < <(find src -name '*.cpp' | sort)
+echo "run_clang_tidy.sh: $TIDY over ${#FILES[@]} files (config: .clang-tidy)"
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+echo "run_clang_tidy.sh: clean"

@@ -27,9 +27,10 @@
  *    acceptor over the network).
  */
 
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace baco {
 
@@ -83,7 +84,7 @@ struct ExecutionPolicy {
    * workers at runtime (pass &acceptor.fleet_mutex()); the Coordinator
    * itself is a single-driver object with no internal locking.
    */
-  std::mutex* fleet_lock = nullptr;
+  Mutex* fleet_lock = nullptr;
 
   /** Distributed: drive tell-as-results-land across the fleet. */
   bool async = false;
@@ -163,7 +164,7 @@ struct ExecutionPolicy {
    *  touch the fleet while the study runs. */
   static ExecutionPolicy
   Attached(serve::Coordinator* fleet, int batch_size = 4,
-           bool async = false, std::mutex* fleet_lock = nullptr)
+           bool async = false, Mutex* fleet_lock = nullptr)
   {
       ExecutionPolicy p;
       p.mode = Mode::kDistributed;

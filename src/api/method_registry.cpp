@@ -89,7 +89,7 @@ MethodRegistry::add(const std::string& name, MethodFactory factory,
 {
     if (name.empty() || !factory)
         throw std::invalid_argument("method name and factory required");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Validate every claim before writing any, so a conflicting alias
     // cannot leave the method half-registered (resolvable but without
     // a factory).
@@ -118,7 +118,7 @@ MethodRegistry::contains(const std::string& name) const
 std::optional<std::string>
 MethodRegistry::resolve(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = index_.find(fold_name(name));
     if (it == index_.end())
         return std::nullopt;
@@ -131,7 +131,7 @@ MethodRegistry::make(const std::string& name, const SearchSpace& space,
 {
     MethodFactory factory;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = index_.find(fold_name(name));
         if (it != index_.end())
             factory = factories_.at(it->second.canonical);
@@ -158,7 +158,7 @@ MethodRegistry::make(const std::string& name, const SearchSpace& space,
 std::vector<std::string>
 MethodRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [name, factory] : factories_) {
@@ -171,7 +171,7 @@ MethodRegistry::names() const
 std::vector<std::pair<std::string, std::string>>
 MethodRegistry::aliases() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::pair<std::string, std::string>> out;
     for (const auto& [key, entry] : index_) {
         if (key != fold_name(entry.canonical))

@@ -19,12 +19,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "exec/ask_tell.hpp"
 
 namespace baco {
@@ -89,11 +89,11 @@ class MethodRegistry {
     std::string spelling;  ///< the name/alias as registered
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /** canonical name -> factory. */
-  std::map<std::string, MethodFactory> factories_;
+  std::map<std::string, MethodFactory> factories_ BACO_GUARDED_BY(mutex_);
   /** case-folded name or alias -> canonical + registered spelling. */
-  std::map<std::string, IndexEntry> index_;
+  std::map<std::string, IndexEntry> index_ BACO_GUARDED_BY(mutex_);
 };
 
 }  // namespace baco

@@ -123,7 +123,7 @@ std::optional<EvalResult>
 EvalCache::lookup(const std::string& ns, const Configuration& c) const
 {
     std::string key = namespaced_key(ns, c);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++misses_;
@@ -147,7 +147,7 @@ EvalCache::insert(const std::string& ns, const Configuration& c,
                   const EvalResult& r)
 {
     std::string key = namespaced_key(ns, c);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     insert_locked(std::move(key), r);
 }
 
@@ -180,7 +180,7 @@ EvalCache::enforce_bound_locked()
 void
 EvalCache::set_max_entries(std::size_t n)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     max_entries_ = n;
     enforce_bound_locked();
 }
@@ -188,49 +188,49 @@ EvalCache::set_max_entries(std::size_t n)
 std::size_t
 EvalCache::max_entries() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return max_entries_;
 }
 
 std::uint64_t
 EvalCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return evictions_;
 }
 
 std::uint64_t
 EvalCache::evicted_hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return evicted_hits_;
 }
 
 std::size_t
 EvalCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
 }
 
 std::uint64_t
 EvalCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return hits_;
 }
 
 std::uint64_t
 EvalCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return misses_;
 }
 
 void
 EvalCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries_.clear();
     lru_.clear();
     hits_ = 0;
@@ -245,7 +245,7 @@ EvalCache::save(const std::string& path) const
     std::ofstream out(path, std::ios::trunc);
     if (!out)
         return false;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Least-recently-used first: load() inserts in file order, so the
     // hottest entries end up most recent and survive a bounded reload.
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -280,7 +280,7 @@ EvalCache::load(const std::string& path, std::size_t* corrupt_lines)
         EvalResult r;
         r.value = std::strtod(value.c_str(), nullptr);
         r.feasible = feasible == "true";
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         insert_locked(std::move(key), r);
     }
     return true;

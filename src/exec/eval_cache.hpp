@@ -30,11 +30,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "core/thread_annotations.hpp"
 #include "core/types.hpp"
 
 namespace baco {
@@ -133,22 +133,24 @@ class EvalCache {
     std::list<const std::string*>::iterator lru_it;
   };
 
-  /** Insert under the LRU bound. Caller holds mutex_. */
-  void insert_locked(std::string key, const EvalResult& r);
-  /** Evict LRU entries until the bound holds. Caller holds mutex_. */
-  void enforce_bound_locked();
+  /** Insert under the LRU bound. */
+  void insert_locked(std::string key, const EvalResult& r)
+      BACO_REQUIRES(mutex_);
+  /** Evict LRU entries until the bound holds. */
+  void enforce_bound_locked() BACO_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  mutable std::unordered_map<std::string, Entry> entries_
+      BACO_GUARDED_BY(mutex_);
   /** Recency order, most recently used first. Points at entries_'s own
    *  keys (stable under rehash and unrelated erases) so the bound does
    *  not double every key's memory. */
-  mutable std::list<const std::string*> lru_;
-  std::size_t max_entries_ = 0;  ///< 0 = unbounded
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t evicted_hits_ = 0;
+  mutable std::list<const std::string*> lru_ BACO_GUARDED_BY(mutex_);
+  std::size_t max_entries_ BACO_GUARDED_BY(mutex_) = 0;  ///< 0 = unbounded
+  mutable std::uint64_t hits_ BACO_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t misses_ BACO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ BACO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evicted_hits_ BACO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace baco

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "core/thread_annotations.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
 #include "obs/trace.hpp"
@@ -54,6 +53,50 @@ struct EngineMetrics {
   {
       return obs::MetricsRegistry::global().gauge(name);
   }
+};
+
+/** One completed evaluation, handed back from a pool worker. */
+struct Landed {
+  std::uint64_t index = 0;
+  EvalResult result;
+  double seconds = 0.0;
+  bool from_cache = false;
+  std::exception_ptr error;
+};
+
+/**
+ * The async drive loop's landing strip: pool workers push completed
+ * evaluations, the driver pops them in arrival order. push() notifies
+ * while still holding the lock — the queue lives on drive_async's stack
+ * and the loop returns as soon as it has popped the last in-flight
+ * result, so an unlocked notify could touch a destroyed cv.
+ */
+class LandedQueue {
+ public:
+  void
+  push(Landed l) BACO_EXCLUDES(mutex_)
+  {
+      MutexLock lock(mutex_);
+      landed_.push_back(std::move(l));
+      cv_.notify_one();
+  }
+
+  /** Block until a result lands, then take the oldest one. */
+  Landed
+  pop() BACO_EXCLUDES(mutex_)
+  {
+      MutexLock lock(mutex_);
+      while (landed_.empty())
+          cv_.wait(mutex_);
+      Landed l = std::move(landed_.front());
+      landed_.pop_front();
+      return l;
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Landed> landed_ BACO_GUARDED_BY(mutex_);
 };
 
 /**
@@ -211,27 +254,9 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
                         int max_evals, const AsyncResultFn& on_result,
                         std::vector<PendingEval> resume_pending)
 {
-    /** One completed evaluation, handed back from a pool worker. */
-    struct Landed {
-        std::uint64_t index = 0;
-        EvalResult result;
-        double seconds = 0.0;
-        bool from_cache = false;
-        std::exception_ptr error;
-    };
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Landed> landed;
+    LandedQueue landed;
 
-    auto complete = [&](Landed l) {
-        // Notify while still holding the lock: the queue, mutex and cv
-        // live on this function's stack, and the drive loop returns as
-        // soon as it has popped the last in-flight result — an unlocked
-        // notify could touch the cv after it was destroyed.
-        std::lock_guard<std::mutex> lock(mu);
-        landed.push_back(std::move(l));
-        cv.notify_one();
-    };
+    auto complete = [&](Landed l) { landed.push(std::move(l)); };
 
     // Submitted lambdas reference `complete` (and through it the queue):
     // every dispatched evaluation MUST be awaited before returning, even
@@ -392,13 +417,7 @@ EvalEngine::drive_async(AskTellTuner& tuner, const BlackBoxFn& objective,
         }
 
         // ---- Tell the next result the moment it lands. ----
-        Landed l;
-        {
-            std::unique_lock<std::mutex> lock(mu);
-            cv.wait(lock, [&] { return !landed.empty(); });
-            l = std::move(landed.front());
-            landed.pop_front();
-        }
+        Landed l = landed.pop();
         collect_ahead();
         auto it = std::find_if(
             inflight.begin(), inflight.end(),

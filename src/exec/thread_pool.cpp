@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(int num_threads)
             // workers already spawned before rethrowing — leaving them
             // joinable would std::terminate in the vector's destructor.
             {
-                std::lock_guard<std::mutex> lock(state_mutex_);
+                MutexLock lock(state_mutex_);
                 stop_ = true;
             }
             work_cv_.notify_all();
@@ -36,7 +36,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -55,7 +55,7 @@ ThreadPool::take(std::size_t self)
     // batch order roughly intact), then steal from victims' backs.
     {
         WorkerQueue& q = *queues_[self];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        MutexLock lock(q.mutex);
         if (!q.tasks.empty()) {
             auto task = std::move(q.tasks.front());
             q.tasks.pop_front();
@@ -64,7 +64,7 @@ ThreadPool::take(std::size_t self)
     }
     for (std::size_t i = 1; i < queues_.size(); ++i) {
         WorkerQueue& q = *queues_[(self + i) % queues_.size()];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        MutexLock lock(q.mutex);
         if (!q.tasks.empty()) {
             auto task = std::move(q.tasks.back());
             q.tasks.pop_back();
@@ -77,7 +77,7 @@ ThreadPool::take(std::size_t self)
 void
 ThreadPool::finish_one()
 {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (--outstanding_ == 0)
         done_cv_.notify_all();
 }
@@ -87,10 +87,21 @@ ThreadPool::queue_depth() const
 {
     int depth = 0;
     for (const auto& q : queues_) {
-        std::lock_guard<std::mutex> lock(q->mutex);
+        MutexLock lock(q->mutex);
         depth += static_cast<int>(q->tasks.size());
     }
     return depth;
+}
+
+bool
+ThreadPool::work_queued() const
+{
+    for (const auto& q : queues_) {
+        MutexLock lock(q->mutex);
+        if (!q->tasks.empty())
+            return true;
+    }
+    return false;
 }
 
 void
@@ -100,7 +111,7 @@ ThreadPool::execute(std::function<void()>& task)
     try {
         task();
     } catch (...) {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         if (!first_error_)
             first_error_ = std::current_exception();
     }
@@ -116,21 +127,17 @@ ThreadPool::worker_loop(std::size_t id)
             execute(task);
             continue;
         }
-        std::unique_lock<std::mutex> lock(state_mutex_);
-        work_cv_.wait(lock, [this, id] {
-            if (stop_)
-                return true;
-            // Re-check under the state lock: new work is announced after
-            // being enqueued, so a wakeup guarantees visibility.
-            for (const auto& q : queues_) {
-                std::lock_guard<std::mutex> qlock(q->mutex);
-                if (!q->tasks.empty())
-                    return true;
-            }
-            return false;
-        });
-        if (stop_) {
-            lock.unlock();
+        bool stopping = false;
+        {
+            MutexLock lock(state_mutex_);
+            // Re-check the queues under the state lock: new work is
+            // announced after being enqueued, so a wakeup guarantees
+            // visibility.
+            while (!stop_ && !work_queued())
+                work_cv_.wait(state_mutex_);
+            stopping = stop_;
+        }
+        if (stopping) {
             // Drain queued work on shutdown instead of dropping it: a
             // destructor racing pending submits still runs every task.
             while (auto task = take(id))
@@ -141,15 +148,17 @@ ThreadPool::worker_loop(std::size_t id)
 }
 
 void
-ThreadPool::drain_and_rethrow(std::unique_lock<std::mutex>& lock)
+ThreadPool::drain_and_rethrow()
 {
-    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
-    if (first_error_) {
-        std::exception_ptr error;
+    std::exception_ptr error;
+    {
+        MutexLock lock(state_mutex_);
+        while (outstanding_ != 0)
+            done_cv_.wait(state_mutex_);
         std::swap(error, first_error_);
-        lock.unlock();
-        std::rethrow_exception(error);
     }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -160,11 +169,11 @@ ThreadPool::run(std::vector<std::function<void()>> tasks)
     {
         // Enqueue and notify under state_mutex_ so the notification
         // synchronizes with a worker mid-predicate (no lost wakeups).
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         outstanding_ += static_cast<int>(tasks.size());
         for (std::size_t i = 0; i < tasks.size(); ++i) {
             WorkerQueue& q = *queues_[i % queues_.size()];
-            std::lock_guard<std::mutex> qlock(q.mutex);
+            MutexLock qlock(q.mutex);
             q.tasks.push_back(std::move(tasks[i]));
         }
         work_cv_.notify_all();
@@ -173,8 +182,7 @@ ThreadPool::run(std::vector<std::function<void()>> tasks)
     // The caller works its own lane and steals like any worker.
     while (auto task = take(0))
         execute(task);
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    drain_and_rethrow(lock);
+    drain_and_rethrow();
 }
 
 void
@@ -184,20 +192,20 @@ ThreadPool::submit(std::function<void()> task)
         // No worker threads to hand off to: run inline so the task still
         // executes exactly once (and a single-lane pipeline stays serial).
         {
-            std::lock_guard<std::mutex> lock(state_mutex_);
+            MutexLock lock(state_mutex_);
             ++outstanding_;
         }
         execute(task);
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         ++outstanding_;
         // Deal across the worker-owned lanes (1..); lane 0 has no thread
         // behind it in submit mode, though idle workers would steal from it.
         std::size_t lane = 1 + (submit_rr_++ % workers_.size());
         WorkerQueue& q = *queues_[lane];
-        std::lock_guard<std::mutex> qlock(q.mutex);
+        MutexLock qlock(q.mutex);
         q.tasks.push_back(std::move(task));
     }
     work_cv_.notify_all();
@@ -206,8 +214,7 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait_idle()
 {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    drain_and_rethrow(lock);
+    drain_and_rethrow();
 }
 
 }  // namespace baco

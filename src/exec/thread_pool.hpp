@@ -23,14 +23,14 @@
  */
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace baco {
 
@@ -87,8 +87,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    mutable std::mutex mutex;  ///< mutable: queue_depth() samples are const
-    std::deque<std::function<void()>> tasks;
+    mutable Mutex mutex;  ///< mutable: queue_depth() samples are const
+    std::deque<std::function<void()>> tasks BACO_GUARDED_BY(mutex);
   };
 
   /** Pop from our own queue, else steal; empty function when none left. */
@@ -97,21 +97,30 @@ class ThreadPool {
   void execute(std::function<void()>& task);
   void worker_loop(std::size_t id);
   void finish_one();
-  /** Wait for outstanding_ == 0, then surface any captured exception. */
-  void drain_and_rethrow(std::unique_lock<std::mutex>& lock);
+  /** Any lane's deque non-empty? (Workers re-check this under
+   *  state_mutex_ before sleeping; locks each queue mutex in turn.) */
+  bool work_queued() const;
+  /** Wait for outstanding_ == 0, then surface any captured exception
+   *  (rethrown after the lock is dropped). */
+  void drain_and_rethrow() BACO_EXCLUDES(state_mutex_);
 
   // queues_[0] belongs to the calling thread; workers own the rest.
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex state_mutex_;
-  std::condition_variable work_cv_;   ///< wakes idle workers
-  std::condition_variable done_cv_;   ///< wakes run() when a batch drains
-  int outstanding_ = 0;               ///< submitted but unfinished tasks
+  // Lock order: state_mutex_ before any WorkerQueue::mutex (run(),
+  // submit() and the workers' sleep predicate all nest that way; no
+  // path takes them in reverse).
+  Mutex state_mutex_;
+  CondVar work_cv_;                   ///< wakes idle workers
+  CondVar done_cv_;                   ///< wakes run() when a batch drains
+  int outstanding_ BACO_GUARDED_BY(state_mutex_) = 0;  ///< unfinished tasks
   std::atomic<int> busy_{0};          ///< lanes currently executing a task
-  bool stop_ = false;
-  std::size_t submit_rr_ = 0;         ///< round-robin lane for submit()
-  std::exception_ptr first_error_;    ///< first exception a task threw
+  bool stop_ BACO_GUARDED_BY(state_mutex_) = false;
+  /** Round-robin lane for submit(). */
+  std::size_t submit_rr_ BACO_GUARDED_BY(state_mutex_) = 0;
+  /** First exception a task threw. */
+  std::exception_ptr first_error_ BACO_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace baco

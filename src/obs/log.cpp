@@ -3,7 +3,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 #include "obs/metrics.hpp"
 
@@ -142,13 +143,15 @@ LogFields::flag(const char* key, bool value)
 }
 
 struct EventLog::Impl {
-  std::mutex mutex;
-  LogLevel min_level = LogLevel::kWarn;
-  std::FILE* file = nullptr;  ///< nullptr = stderr (never closed)
-  int rate_limit = 500;       ///< events/second below kError; <=0 unlimited
-  std::uint64_t window_start_s = 0;
-  int window_count = 0;
-  std::uint64_t dropped = 0;
+  Mutex mutex;
+  LogLevel min_level BACO_GUARDED_BY(mutex) = LogLevel::kWarn;
+  /** nullptr = stderr (never closed). */
+  std::FILE* file BACO_GUARDED_BY(mutex) = nullptr;
+  /** events/second below kError; <=0 unlimited. */
+  int rate_limit BACO_GUARDED_BY(mutex) = 500;
+  std::uint64_t window_start_s BACO_GUARDED_BY(mutex) = 0;
+  int window_count BACO_GUARDED_BY(mutex) = 0;
+  std::uint64_t dropped BACO_GUARDED_BY(mutex) = 0;
 };
 
 EventLog::EventLog() : impl_(new Impl()) {}
@@ -169,7 +172,7 @@ EventLog::global()
 void
 EventLog::configure(LogLevel min_level, const std::string& path)
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     if (impl_->file) {
         std::fclose(impl_->file);
         impl_->file = nullptr;
@@ -182,14 +185,14 @@ EventLog::configure(LogLevel min_level, const std::string& path)
 void
 EventLog::set_rate_limit(int events_per_second)
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->rate_limit = events_per_second;
 }
 
 bool
 EventLog::enabled(LogLevel level) const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     return level >= impl_->min_level;
 }
 
@@ -199,7 +202,7 @@ EventLog::write(LogLevel level, const char* component, const char* event,
 {
     std::string line;
     {
-        std::lock_guard<std::mutex> lock(impl_->mutex);
+        MutexLock lock(impl_->mutex);
         if (level < impl_->min_level)
             return;
         // Per-second budget; errors always pass.
@@ -238,14 +241,14 @@ EventLog::write(LogLevel level, const char* component, const char* event,
 std::uint64_t
 EventLog::dropped() const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     return impl_->dropped;
 }
 
 void
 EventLog::close()
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     if (impl_->file) {
         std::fclose(impl_->file);
         impl_->file = nullptr;

@@ -289,7 +289,7 @@ MetricsRegistry::global()
 MetricsRegistry::Entry&
 MetricsRegistry::entry(const std::string& name, MetricValue::Kind kind)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it != entries_.end()) {
         if (it->second.kind != kind) {
@@ -337,7 +337,7 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot s;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     s.metrics.reserve(entries_.size());
     for (const auto& [name, e] : entries_) {
         MetricValue m;

@@ -33,9 +33,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace baco::obs {
 
@@ -200,10 +201,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& entry(const std::string& name, MetricValue::Kind kind);
+  Entry& entry(const std::string& name, MetricValue::Kind kind)
+      BACO_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable baco::Mutex mutex_;
+  std::map<std::string, Entry> entries_ BACO_GUARDED_BY(mutex_);
 };
 
 }  // namespace baco::obs

@@ -5,7 +5,8 @@
 #include <cstddef>
 #include <cstdio>
 #include <iterator>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 namespace baco::obs {
 
@@ -41,15 +42,16 @@ now_ns()
  * with every short-lived thread.
  */
 struct ThreadBuffer {
-  std::mutex mutex;  ///< record vs collect/clear; uncontended in practice
-  std::vector<TraceEvent> events;  ///< ring storage, up to kBufferCapacity
-  std::size_t next = 0;            ///< ring write position
-  bool wrapped = false;
-  std::uint64_t thread_id = 0;
+  Mutex mutex;  ///< record vs collect/clear; uncontended in practice
+  /** Ring storage, up to kBufferCapacity. */
+  std::vector<TraceEvent> events BACO_GUARDED_BY(mutex);
+  std::size_t next BACO_GUARDED_BY(mutex) = 0;  ///< ring write position
+  bool wrapped BACO_GUARDED_BY(mutex) = false;
+  std::uint64_t thread_id = 0;  ///< set once at registration, then read-only
 
   void push(const TraceEvent& e)
   {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (events.size() < Trace::kBufferCapacity) {
           events.push_back(e);
           next = events.size() % Trace::kBufferCapacity;
@@ -62,8 +64,9 @@ struct ThreadBuffer {
 };
 
 struct BufferList {
-  std::mutex mutex;
-  std::vector<ThreadBuffer*> buffers;  ///< owned; live for process lifetime
+  Mutex mutex;
+  /** Owned; live until their thread exits (then retired + freed). */
+  std::vector<ThreadBuffer*> buffers BACO_GUARDED_BY(mutex);
 };
 
 BufferList&
@@ -79,8 +82,8 @@ buffer_list()
  * overwrite-oldest policy as the rings themselves).
  */
 struct RetiredEvents {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
+  Mutex mutex;
+  std::vector<TraceEvent> events BACO_GUARDED_BY(mutex);
 };
 
 constexpr std::size_t kRetiredCapacity = 64 * Trace::kBufferCapacity;
@@ -94,8 +97,9 @@ retired_events()
 
 /** Spans imported from other processes, grouped by track. */
 struct RemoteStore {
-  std::mutex mutex;
-  std::vector<std::pair<std::string, std::vector<RemoteSpan>>> tracks;
+  Mutex mutex;
+  std::vector<std::pair<std::string, std::vector<RemoteSpan>>> tracks
+      BACO_GUARDED_BY(mutex);
 };
 
 RemoteStore&
@@ -105,14 +109,14 @@ remote_store()
     return *r;
 }
 
-std::mutex g_run_mutex;
-std::string g_run_id;  // guarded by g_run_mutex
+Mutex g_run_mutex;
+std::string g_run_id BACO_GUARDED_BY(g_run_mutex);
 
 /** Oldest-first snapshot of a ring (caller holds no lock on b). */
 std::vector<TraceEvent>
 unwind_ring(ThreadBuffer& b)
 {
-    std::lock_guard<std::mutex> lock(b.mutex);
+    MutexLock lock(b.mutex);
     std::vector<TraceEvent> out;
     out.reserve(b.events.size());
     if (b.wrapped) {
@@ -130,7 +134,7 @@ retire_buffer(ThreadBuffer* b)
 {
     {
         BufferList& list = buffer_list();
-        std::lock_guard<std::mutex> lock(list.mutex);
+        MutexLock lock(list.mutex);
         for (std::size_t i = 0; i < list.buffers.size(); ++i) {
             if (list.buffers[i] == b) {
                 list.buffers.erase(list.buffers.begin() + i);
@@ -143,7 +147,7 @@ retire_buffer(ThreadBuffer* b)
     std::vector<TraceEvent> evs = unwind_ring(*b);
     if (!evs.empty()) {
         RetiredEvents& r = retired_events();
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         r.events.insert(r.events.end(), evs.begin(), evs.end());
         if (r.events.size() > kRetiredCapacity) {
             r.events.erase(r.events.begin(),
@@ -178,7 +182,7 @@ local_buffer()
         b->thread_id = next_tid.fetch_add(1);
         BufferList& list = buffer_list();
         {
-            std::lock_guard<std::mutex> lock(list.mutex);
+            MutexLock lock(list.mutex);
             list.buffers.push_back(b);
         }
         (void)&t_retirer;  // odr-use: arm the thread-exit retirement hook
@@ -207,7 +211,7 @@ Trace::enable()
     g_origin_us.store(static_cast<std::int64_t>(now_us()),
                       std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(g_run_mutex);
+        MutexLock lock(g_run_mutex);
         if (g_run_id.empty())
             g_run_id = "run-" + std::to_string(now_us());
     }
@@ -229,14 +233,14 @@ Trace::enabled()
 std::string
 Trace::run_id()
 {
-    std::lock_guard<std::mutex> lock(g_run_mutex);
+    MutexLock lock(g_run_mutex);
     return g_run_id;
 }
 
 void
 Trace::set_run_id(const std::string& id)
 {
-    std::lock_guard<std::mutex> lock(g_run_mutex);
+    MutexLock lock(g_run_mutex);
     g_run_id = id;
 }
 
@@ -245,9 +249,9 @@ Trace::clear()
 {
     {
         BufferList& list = buffer_list();
-        std::lock_guard<std::mutex> lock(list.mutex);
+        MutexLock lock(list.mutex);
         for (ThreadBuffer* b : list.buffers) {
-            std::lock_guard<std::mutex> block(b->mutex);
+            MutexLock block(b->mutex);
             b->events.clear();
             b->next = 0;
             b->wrapped = false;
@@ -255,12 +259,12 @@ Trace::clear()
     }
     {
         RetiredEvents& r = retired_events();
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         r.events.clear();
     }
     {
         RemoteStore& r = remote_store();
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         r.tracks.clear();
     }
 }
@@ -271,13 +275,13 @@ Trace::collect()
     std::vector<TraceEvent> out;
     {
         RetiredEvents& r = retired_events();
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         out = r.events;
     }
     BufferList& list = buffer_list();
-    std::lock_guard<std::mutex> lock(list.mutex);
+    MutexLock lock(list.mutex);
     for (ThreadBuffer* b : list.buffers) {
-        std::lock_guard<std::mutex> block(b->mutex);
+        MutexLock block(b->mutex);
         if (b->wrapped) {
             // Oldest-first: the ring wrapped, so start at the write head.
             for (std::size_t i = 0; i < b->events.size(); ++i) {
@@ -297,7 +301,7 @@ Trace::add_remote(const std::string& track, std::vector<RemoteSpan> spans)
     if (spans.empty())
         return;
     RemoteStore& r = remote_store();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     for (auto& t : r.tracks) {
         if (t.first == track) {
             t.second.insert(t.second.end(),
@@ -313,7 +317,7 @@ std::vector<std::pair<std::string, std::vector<RemoteSpan>>>
 Trace::remote_tracks()
 {
     RemoteStore& r = remote_store();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     return r.tracks;
 }
 

@@ -136,7 +136,7 @@ Coordinator::num_workers() const
     // Count from the health registry, not workers_: the Acceptor may be
     // registering a late worker hello on its routing thread while a stats
     // connection (or the Acceptor's own fleet-wait) polls this.
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     std::size_t n = 0;
     for (const HealthState& h : health_)
         if (h.alive)
@@ -184,7 +184,7 @@ Coordinator::shutdown()
         wk.inflight = 0;
     }
     {
-        std::lock_guard<std::mutex> lock(health_mutex_);
+        MutexLock lock(health_mutex_);
         for (HealthState& h : health_) {
             h.alive = false;
             h.inflight = 0;
@@ -198,7 +198,7 @@ Coordinator::health() const
 {
     std::vector<WorkerHealthSnapshot> out;
     auto now = Clock::now();
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     out.reserve(health_.size());
     for (std::size_t i = 0; i < health_.size(); ++i) {
         const HealthState& h = health_[i];
@@ -279,7 +279,7 @@ Coordinator::health_register(int heartbeat_ms)
 {
     std::size_t alive = 0;
     {
-        std::lock_guard<std::mutex> lock(health_mutex_);
+        MutexLock lock(health_mutex_);
         HealthState h;
         h.last_seen = Clock::now();
         h.heartbeat_ms = heartbeat_ms;
@@ -293,7 +293,7 @@ Coordinator::health_register(int heartbeat_ms)
 void
 Coordinator::health_touch(std::size_t w)
 {
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     if (w < health_.size())
         health_[w].last_seen = Clock::now();
 }
@@ -301,7 +301,7 @@ Coordinator::health_touch(std::size_t w)
 void
 Coordinator::health_dispatch(std::size_t w)
 {
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     if (w < health_.size())
         health_[w].inflight += 1;
 }
@@ -309,7 +309,7 @@ Coordinator::health_dispatch(std::size_t w)
 void
 Coordinator::health_reply(std::size_t w)
 {
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     if (w < health_.size())
         health_[w].inflight = std::max(0, health_[w].inflight - 1);
 }
@@ -317,7 +317,7 @@ Coordinator::health_reply(std::size_t w)
 void
 Coordinator::health_result(std::size_t w, double latency_s)
 {
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     if (w >= health_.size())
         return;
     HealthState& h = health_[w];
@@ -331,7 +331,7 @@ void
 Coordinator::health_heartbeat(std::size_t w)
 {
     CoordMetrics::get().heartbeats.add();
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     if (w < health_.size()) {
         health_[w].heartbeats += 1;
         health_[w].last_seen = Clock::now();
@@ -343,7 +343,7 @@ Coordinator::health_dead(std::size_t w)
 {
     std::size_t alive = 0;
     {
-        std::lock_guard<std::mutex> lock(health_mutex_);
+        MutexLock lock(health_mutex_);
         if (w < health_.size()) {
             health_[w].alive = false;
             health_[w].inflight = 0;
@@ -360,7 +360,7 @@ Coordinator::stale_workers() const
     std::vector<std::size_t> out;
     auto now = Clock::now();
     int grace = std::max(1, opt_.heartbeat_grace);
-    std::lock_guard<std::mutex> lock(health_mutex_);
+    MutexLock lock(health_mutex_);
     for (std::size_t i = 0; i < health_.size(); ++i) {
         const HealthState& h = health_[i];
         if (!h.alive || h.heartbeat_ms <= 0 || h.inflight <= 0)

@@ -45,10 +45,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "exec/ask_tell.hpp"
 #include "exec/checkpoint.hpp"
 
@@ -228,23 +228,27 @@ class Coordinator {
   /** Merge a reply's shipped spans into the trace as worker-w's track. */
   static void import_spans(std::size_t w, const Message& reply);
 
-  // WorkerHealth registry updates (all take health_mutex_).
-  void health_register(int heartbeat_ms);
-  void health_touch(std::size_t w);
-  void health_dispatch(std::size_t w);
-  void health_reply(std::size_t w);
-  void health_result(std::size_t w, double latency_s);
-  void health_heartbeat(std::size_t w);
-  void health_dead(std::size_t w);
+  // WorkerHealth registry updates (all take health_mutex_ themselves,
+  // which is why stats/dump threads can call health() mid-drive).
+  void health_register(int heartbeat_ms) BACO_EXCLUDES(health_mutex_);
+  void health_touch(std::size_t w) BACO_EXCLUDES(health_mutex_);
+  void health_dispatch(std::size_t w) BACO_EXCLUDES(health_mutex_);
+  void health_reply(std::size_t w) BACO_EXCLUDES(health_mutex_);
+  void health_result(std::size_t w, double latency_s)
+      BACO_EXCLUDES(health_mutex_);
+  void health_heartbeat(std::size_t w) BACO_EXCLUDES(health_mutex_);
+  void health_dead(std::size_t w) BACO_EXCLUDES(health_mutex_);
   /** Workers holding outstanding work silent past the grace window. */
-  std::vector<std::size_t> stale_workers() const;
+  std::vector<std::size_t> stale_workers() const
+      BACO_EXCLUDES(health_mutex_);
 
   CoordinatorOptions opt_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t next_msg_id_ = 1;
 
-  mutable std::mutex health_mutex_;
-  std::vector<HealthState> health_;  ///< index-parallel with workers_
+  mutable Mutex health_mutex_;
+  /** Index-parallel with workers_. */
+  std::vector<HealthState> health_ BACO_GUARDED_BY(health_mutex_);
 };
 
 }  // namespace baco::serve

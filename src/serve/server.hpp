@@ -29,10 +29,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "serve/session_manager.hpp"
 #include "serve/transport.hpp"
 
@@ -64,7 +64,7 @@ struct ServerContext {
    * null. Connections whose runs evaluate in-process never take it, so
    * only fleet-driven runs queue up behind each other.
    */
-  std::mutex* fleet_mutex = nullptr;
+  Mutex* fleet_mutex = nullptr;
 };
 
 /** Connection counters, for logs and tests. */
@@ -149,7 +149,7 @@ class Acceptor {
   const SocketAddress& address() const { return listener_.address(); }
 
   /** The mutex handed to connections for coordinator serialization. */
-  std::mutex& fleet_mutex() { return fleet_mutex_; }
+  Mutex& fleet_mutex() { return fleet_mutex_; }
 
   AcceptorStats stats() const;
   std::size_t live_clients() const;
@@ -172,12 +172,13 @@ class Acceptor {
   Listener listener_;
   ServerContext ctx_;
   AcceptorOptions opt_;
-  std::mutex fleet_mutex_;
+  Mutex fleet_mutex_;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex mutex_;  ///< guards connections_ and stats_
-  std::vector<std::unique_ptr<Connection>> connections_;
-  AcceptorStats stats_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      BACO_GUARDED_BY(mutex_);
+  AcceptorStats stats_ BACO_GUARDED_BY(mutex_);
 };
 
 }  // namespace baco::serve

@@ -41,6 +41,11 @@ struct ServeMetrics {
 }  // namespace
 
 struct SessionManager::Session {
+  // Deliberately a raw std::mutex, not baco::Mutex: acquire() hands the
+  // held lock to its caller through a std::unique_lock out-parameter — a
+  // dynamic ownership transfer the static analysis cannot express. The
+  // session-level discipline stays TSAN's job; everything registry-level
+  // (stripes, spill state) is statically checked.
   std::mutex mutex;
   std::string name;
   const Benchmark* benchmark = nullptr;
@@ -71,8 +76,9 @@ struct SessionManager::Session {
 };
 
 struct SessionManager::Stripe {
-  mutable std::mutex mutex;
-  std::unordered_map<std::string, std::shared_ptr<Session>> sessions;
+  mutable Mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions
+      BACO_GUARDED_BY(mutex);
 };
 
 bool
@@ -114,7 +120,7 @@ std::shared_ptr<SessionManager::Session>
 SessionManager::find(const std::string& name) const
 {
     Stripe& s = stripe_for(name);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     auto it = s.sessions.find(name);
     return it == s.sessions.end() ? nullptr : it->second;
 }
@@ -128,7 +134,7 @@ SessionManager::find_or_reload(const std::string& name)
 
         SpilledSession meta;
         {
-            std::lock_guard<std::mutex> lock(spill_mutex_);
+            MutexLock lock(spill_mutex_);
             auto it = spilled_.find(name);
             if (it == spilled_.end())
                 return nullptr;
@@ -176,11 +182,11 @@ SessionManager::find_or_reload(const std::string& name)
 
         Stripe& stripe = stripe_for(name);
         {
-            std::lock_guard<std::mutex> lock(stripe.mutex);
+            MutexLock lock(stripe.mutex);
             auto it = stripe.sessions.find(name);
             if (it != stripe.sessions.end())
                 return it->second;  // a concurrent reload won the race
-            std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+            MutexLock spill_lock(spill_mutex_);
             auto sit = spilled_.find(name);
             if (sit == spilled_.end())
                 return nullptr;  // closed while we were rebuilding
@@ -246,12 +252,12 @@ SessionManager::spill_one(const std::string& name)
     if (!save_checkpoint(checkpoint_path(name), *session->tuner))
         return false;
     Stripe& stripe = stripe_for(name);
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    MutexLock lock(stripe.mutex);
     auto it = stripe.sessions.find(name);
     if (it == stripe.sessions.end() || it->second != session)
         return false;  // closed while we were checkpointing
     {
-        std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+        MutexLock spill_lock(spill_mutex_);
         SpilledSession meta;
         meta.benchmark = session->benchmark->name;
         meta.method = session->method;
@@ -291,8 +297,9 @@ SessionManager::enforce_live_cap()
     // or reload enforces again.
     std::vector<std::pair<Clock::time_point, std::string>> candidates;
     for (int s = 0; s < opt_.stripes; ++s) {
-        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
-        for (auto& [name, session] : stripes_[s].sessions) {
+        Stripe& stripe = stripes_[s];
+        MutexLock lock(stripe.mutex);
+        for (auto& [name, session] : stripe.sessions) {
             std::unique_lock<std::mutex> guard(session->mutex,
                                                std::try_to_lock);
             if (guard.owns_lock() && session->pending.empty())
@@ -388,13 +395,13 @@ SessionManager::open_session(const Message& req)
 
     Stripe& stripe = stripe_for(req.session);
     {
-        std::lock_guard<std::mutex> lock(stripe.mutex);
+        MutexLock lock(stripe.mutex);
         if (stripe.sessions.count(req.session))
             return make_error(req.id,
                               "session already open: " + req.session);
         {
             // A spilled session is still open — only disk-resident.
-            std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+            MutexLock spill_lock(spill_mutex_);
             if (spilled_.count(req.session))
                 return make_error(req.id, "session already open "
                                           "(spilled to disk): " +
@@ -536,10 +543,10 @@ SessionManager::close_session(const Message& req)
         // spill_one moves a name from the stripe map to the spill map
         // with the stripe mutex held, so holding it here gives an
         // atomic view of both.
-        std::lock_guard<std::mutex> lock(stripe.mutex);
+        MutexLock lock(stripe.mutex);
         auto it = stripe.sessions.find(req.session);
         if (it == stripe.sessions.end()) {
-            std::lock_guard<std::mutex> spill_lock(spill_mutex_);
+            MutexLock spill_lock(spill_mutex_);
             auto sit = spilled_.find(req.session);
             if (sit == spilled_.end())
                 return make_error(req.id,
@@ -665,8 +672,9 @@ SessionManager::size() const
 {
     std::size_t n = 0;
     for (int s = 0; s < opt_.stripes; ++s) {
-        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
-        n += stripes_[s].sessions.size();
+        Stripe& stripe = stripes_[s];
+        MutexLock lock(stripe.mutex);
+        n += stripe.sessions.size();
     }
     return n;
 }
@@ -674,21 +682,21 @@ SessionManager::size() const
 std::size_t
 SessionManager::spilled_sessions() const
 {
-    std::lock_guard<std::mutex> lock(spill_mutex_);
+    MutexLock lock(spill_mutex_);
     return spilled_.size();
 }
 
 std::uint64_t
 SessionManager::spill_count() const
 {
-    std::lock_guard<std::mutex> lock(spill_mutex_);
+    MutexLock lock(spill_mutex_);
     return spill_count_;
 }
 
 std::uint64_t
 SessionManager::reload_count() const
 {
-    std::lock_guard<std::mutex> lock(spill_mutex_);
+    MutexLock lock(spill_mutex_);
     return reload_count_;
 }
 
@@ -703,7 +711,7 @@ SessionManager::evict_idle()
         // Spilled sessions are idle by construction (no live tuner);
         // once past the timeout they are closed outright — checkpoint
         // stays on disk, clients re-open with resume=true.
-        std::lock_guard<std::mutex> lock(spill_mutex_);
+        MutexLock lock(spill_mutex_);
         for (auto it = spilled_.begin(); it != spilled_.end();) {
             if (std::chrono::duration<double>(now - it->second.spilled_at)
                     .count() > opt_.idle_timeout_seconds) {
@@ -715,9 +723,10 @@ SessionManager::evict_idle()
         }
     }
     for (int s = 0; s < opt_.stripes; ++s) {
-        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
-        for (auto it = stripes_[s].sessions.begin();
-             it != stripes_[s].sessions.end();) {
+        Stripe& stripe = stripes_[s];
+        MutexLock lock(stripe.mutex);
+        for (auto it = stripe.sessions.begin();
+             it != stripe.sessions.end();) {
             // last_touch is written under the session mutex; a session
             // whose mutex is held is mid-request — by definition not
             // idle — so skipping on try_lock failure is both the race
@@ -730,7 +739,7 @@ SessionManager::evict_idle()
             if (guard.owns_lock() && session->pending.empty() &&
                 std::chrono::duration<double>(now - session->last_touch)
                         .count() > opt_.idle_timeout_seconds) {
-                it = stripes_[s].sessions.erase(it);
+                it = stripe.sessions.erase(it);
                 ++evicted;
             } else {
                 ++it;
@@ -748,8 +757,9 @@ SessionManager::checkpoint_all()
     for (int s = 0; s < opt_.stripes; ++s) {
         std::vector<std::shared_ptr<Session>> sessions;
         {
-            std::lock_guard<std::mutex> lock(stripes_[s].mutex);
-            for (auto& [name, session] : stripes_[s].sessions)
+            Stripe& stripe = stripes_[s];
+            MutexLock lock(stripe.mutex);
+            for (auto& [name, session] : stripe.sessions)
                 sessions.push_back(session);
         }
         for (auto& session : sessions) {

@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
@@ -212,11 +213,15 @@ class SessionManager {
   SessionManagerOptions opt_;
   std::unique_ptr<Stripe[]> stripes_;
 
-  mutable std::mutex spill_mutex_;
-  std::unordered_map<std::string, SpilledSession> spilled_;
-  std::uint64_t spill_count_ = 0;
-  std::uint64_t reload_count_ = 0;
-  std::uint64_t spill_generation_ = 0;
+  // Lock order: a Session's mutex may be held while taking a Stripe's
+  // mutex and then spill_mutex_ (spill_one); stripe holders only ever
+  // try_lock sessions, so the inverse never blocks.
+  mutable Mutex spill_mutex_;
+  std::unordered_map<std::string, SpilledSession> spilled_
+      BACO_GUARDED_BY(spill_mutex_);
+  std::uint64_t spill_count_ BACO_GUARDED_BY(spill_mutex_) = 0;
+  std::uint64_t reload_count_ BACO_GUARDED_BY(spill_mutex_) = 0;
+  std::uint64_t spill_generation_ BACO_GUARDED_BY(spill_mutex_) = 0;
 };
 
 /** True when name is a valid session name ([A-Za-z0-9_.-]+, <= 128). */

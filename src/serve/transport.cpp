@@ -2,10 +2,11 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+
+#include "core/thread_annotations.hpp"
 
 #include <fcntl.h>
 #include <netdb.h>
@@ -24,15 +25,15 @@ using Clock = std::chrono::steady_clock;
 
 /** One direction of a loopback link. */
 struct Channel {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::string> queue;
-  bool closed = false;
+  Mutex mutex;
+  CondVar cv;
+  std::deque<std::string> queue BACO_GUARDED_BY(mutex);
+  bool closed BACO_GUARDED_BY(mutex) = false;
 
   void
-  close()
+  close() BACO_EXCLUDES(mutex)
   {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       closed = true;
       cv.notify_all();
   }
@@ -50,7 +51,7 @@ class LoopbackTransport : public Transport {
   bool
   send(const std::string& line) override
   {
-      std::lock_guard<std::mutex> lock(out_->mutex);
+      MutexLock lock(out_->mutex);
       if (out_->closed)
           return false;
       out_->queue.push_back(line);
@@ -61,13 +62,19 @@ class LoopbackTransport : public Transport {
   RecvStatus
   recv(std::string& line, int timeout_ms) override
   {
-      std::unique_lock<std::mutex> lock(in_->mutex);
-      auto ready = [this] { return !in_->queue.empty() || in_->closed; };
+      MutexLock lock(in_->mutex);
       if (timeout_ms < 0) {
-          in_->cv.wait(lock, ready);
-      } else if (!in_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                                   ready)) {
-          return RecvStatus::kTimeout;
+          while (in_->queue.empty() && !in_->closed)
+              in_->cv.wait(in_->mutex);
+      } else {
+          auto deadline =
+              Clock::now() + std::chrono::milliseconds(timeout_ms);
+          while (in_->queue.empty() && !in_->closed) {
+              if (!in_->cv.wait_until(in_->mutex, deadline) &&
+                  in_->queue.empty() && !in_->closed) {
+                  return RecvStatus::kTimeout;
+              }
+          }
       }
       if (in_->queue.empty())
           return RecvStatus::kClosed;  // closed and drained
@@ -118,7 +125,7 @@ PipeTransport::write_bytes(int fd, const char* data, std::size_t n)
 bool
 PipeTransport::send(const std::string& line)
 {
-    std::lock_guard<std::mutex> lock(write_mutex_);
+    MutexLock lock(write_mutex_);
     if (closed_ || write_fd_ < 0)
         return false;
     std::string frame = line;
@@ -189,7 +196,7 @@ PipeTransport::recv(std::string& line, int timeout_ms)
 void
 PipeTransport::close()
 {
-    std::lock_guard<std::mutex> lock(write_mutex_);
+    MutexLock lock(write_mutex_);
     if (closed_)
         return;
     closed_ = true;

@@ -28,11 +28,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace baco::serve {
 
@@ -84,12 +85,17 @@ class PipeTransport : public Transport {
   virtual long write_bytes(int fd, const char* data, std::size_t n);
 
  private:
+  // write_mutex_ serializes writers (send is thread-safe per the class
+  // contract); recv() is single-consumer and reads read_fd_/closed_/
+  // buffer_ without it by design, so those fields carry no GUARDED_BY —
+  // the cross-thread close() race is resolved at the fd layer (see
+  // SocketTransport::close).
   int read_fd_;
   int write_fd_;
   bool owns_;
   bool closed_ = false;
   std::string buffer_;  ///< bytes read but not yet framed
-  std::mutex write_mutex_;
+  Mutex write_mutex_;
 };
 
 /**

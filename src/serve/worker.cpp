@@ -1,10 +1,12 @@
 #include "serve/worker.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "exec/ask_tell.hpp"
 #include "serve/coordinator.hpp"
 #include "serve/protocol.hpp"
@@ -15,7 +17,79 @@ namespace baco::serve {
 
 namespace {
 using Clock = std::chrono::steady_clock;
-}
+
+/**
+ * Background heartbeat sender: one beat every interval for the life of
+ * the worker loop, regardless of what the loop itself is doing. The
+ * beats MUST come from their own thread — the loop is synchronous, so
+ * a beat woven into it goes silent for the length of an evaluation,
+ * and the coordinator's missed-heartbeat detection would kill any
+ * worker whose black box outruns the grace window (sanitizer builds
+ * hit this constantly). Transport::send is thread-safe per endpoint,
+ * so beating concurrently with result sends is within contract.
+ */
+class Beacon {
+ public:
+  Beacon(Transport& transport, int interval_ms,
+         const std::atomic<std::uint64_t>& evaluated)
+      : transport_(transport), interval_ms_(interval_ms),
+        evaluated_(evaluated)
+  {
+      if (interval_ms_ > 0)
+          thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Beacon() { stop(); }
+
+  void
+  stop() BACO_EXCLUDES(mutex_)
+  {
+      if (!thread_.joinable())
+          return;
+      {
+          MutexLock lock(mutex_);
+          stopped_ = true;
+          cv_.notify_one();
+      }
+      thread_.join();
+  }
+
+ private:
+  void
+  loop() BACO_EXCLUDES(mutex_)
+  {
+      MutexLock lock(mutex_);
+      while (!stopped_) {
+          auto deadline =
+              Clock::now() + std::chrono::milliseconds(interval_ms_);
+          bool expired = false;
+          while (!stopped_ && !expired) {
+              if (!cv_.wait_until(mutex_, deadline))
+                  expired = true;
+          }
+          if (stopped_)
+              break;
+          Message beat;
+          beat.type = MsgType::kHeartbeat;
+          beat.evals = evaluated_.load(std::memory_order_relaxed);
+          lock.unlock();
+          bool sent = transport_.send(encode(beat));
+          lock.lock();
+          if (!sent)
+              break;  // peer gone; the main loop sees kClosed and exits
+      }
+  }
+
+  Transport& transport_;
+  const int interval_ms_;
+  const std::atomic<std::uint64_t>& evaluated_;
+  Mutex mutex_;
+  CondVar cv_;
+  bool stopped_ BACO_GUARDED_BY(mutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 EvalResult
 evaluate_on(const Benchmark& b, const Configuration& c,
@@ -43,9 +117,7 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
     if (!transport.send(encode(hello)))
         return 0;
 
-    const int hb_ms = hello.heartbeat_ms;
     const auto loop_start = Clock::now();
-    auto last_beat = loop_start;
     auto us_since_start = [&](Clock::time_point t) {
         return static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -53,36 +125,16 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
                 .count());
     };
 
-    std::uint64_t evaluated = 0;
+    std::atomic<std::uint64_t> evaluated{0};
+    // Beats flow from the beacon's own thread (see above) so they keep
+    // arriving mid-evaluation; the loop itself just serves frames.
+    Beacon beacon(transport, hello.heartbeat_ms, evaluated);
     bool saw_shutdown = false;
     std::string line;
     for (;;) {
-        // With heartbeats on, wake in time for the next beat instead of
-        // blocking forever; a timeout is just "nothing to do yet".
-        int timeout_ms = -1;
-        if (hb_ms > 0) {
-            auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             Clock::now() - last_beat)
-                             .count();
-            timeout_ms = static_cast<int>(
-                hb_ms > since ? hb_ms - since : 1);
-        }
-        RecvStatus rs = transport.recv(line, timeout_ms);
-        if (rs == RecvStatus::kClosed)
+        RecvStatus rs = transport.recv(line, -1);
+        if (rs != RecvStatus::kOk)
             break;
-        if (hb_ms > 0) {
-            auto now = Clock::now();
-            if (now - last_beat >= std::chrono::milliseconds(hb_ms)) {
-                Message beat;
-                beat.type = MsgType::kHeartbeat;
-                beat.evals = evaluated;
-                if (!transport.send(encode(beat)))
-                    break;
-                last_beat = now;
-            }
-        }
-        if (rs == RecvStatus::kTimeout)
-            continue;
         Message req;
         std::string err;
         if (!decode(line, req, &err)) {
@@ -139,13 +191,15 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
         if (!transport.send(encode(reply)))
             break;
     }
+    // Stop beating before the goodbye so it is the last frame on the wire.
+    beacon.stop();
     if (saw_shutdown) {
         Message bye;
         bye.type = MsgType::kGoodbye;
-        bye.evals = evaluated;
+        bye.evals = evaluated.load();
         transport.send(encode(bye));
     }
-    return evaluated;
+    return evaluated.load();
 }
 
 std::vector<std::thread>

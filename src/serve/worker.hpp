@@ -38,9 +38,11 @@ struct WorkerOptions {
   int capacity = 1;
   /**
    * Heartbeat interval: when > 0 the worker advertises it in the hello
-   * frame and sends a heartbeat frame whenever that long passes without
-   * other traffic, letting the coordinator's WorkerHealth registry spot
-   * a wedged worker without waiting on a blocked read. 0 disables.
+   * frame and a dedicated beacon thread sends a heartbeat frame every
+   * interval — including while an evaluation is running, so a worker
+   * busy on a slow black box never looks wedged to the coordinator's
+   * missed-heartbeat dead-worker detection (only a genuinely silent
+   * worker does). 0 disables.
    */
   int heartbeat_ms = 0;
 };

@@ -1,0 +1,36 @@
+// Negative-compile case: calling a BACO_REQUIRES function without
+// holding the required mutex. tests/test_static_analysis.cmake asserts
+// this file FAILS to compile under clang -Werror=thread-safety-analysis.
+
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void
+  set_locked(int v) BACO_REQUIRES(mutex_)
+  {
+      value_ = v;
+  }
+
+  void
+  set_unlocked(int v)
+  {
+      set_locked(v);  // BAD: mutex_ not held
+  }
+
+ private:
+  baco::Mutex mutex_;
+  int value_ BACO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Guarded g;
+    g.set_unlocked(1);
+    return 0;
+}

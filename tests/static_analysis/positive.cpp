@@ -1,0 +1,63 @@
+// Control for the negative-compile checks in
+// tests/test_static_analysis.cmake: correct lock discipline over the
+// annotated primitives. If THIS file fails to compile under
+// -Werror=thread-safety-analysis the checker setup itself is broken,
+// and the two negative cases prove nothing.
+
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void
+  set(int v)
+  {
+      baco::MutexLock lock(mutex_);
+      value_ = v;
+  }
+
+  int
+  get()
+  {
+      baco::MutexLock lock(mutex_);
+      return value_;
+  }
+
+  void
+  set_locked(int v) BACO_REQUIRES(mutex_)
+  {
+      value_ = v;
+  }
+
+  void
+  update(int v)
+  {
+      baco::MutexLock lock(mutex_);
+      set_locked(v);
+  }
+
+  void
+  wait_nonzero()
+  {
+      baco::MutexLock lock(mutex_);
+      while (value_ == 0)
+          cv_.wait(mutex_);
+  }
+
+ private:
+  baco::Mutex mutex_;
+  baco::CondVar cv_;
+  int value_ BACO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Guarded g;
+    g.set(1);
+    g.update(2);
+    return g.get() == 2 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Negative-compile case: reading a BACO_GUARDED_BY field without its
+// mutex. tests/test_static_analysis.cmake asserts this file FAILS to
+// compile under clang -Werror=thread-safety-analysis — if it ever
+// compiles, the annotations have rotted into no-ops.
+
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  int
+  get_racy()
+  {
+      return value_;  // BAD: mutex_ not held
+  }
+
+ private:
+  baco::Mutex mutex_;
+  int value_ BACO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Guarded g;
+    return g.get_racy();
+}

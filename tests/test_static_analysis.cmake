@@ -1,0 +1,75 @@
+# Negative-compile proofs for the thread-safety annotations
+# (src/core/thread_annotations.hpp), run at configure time via
+# try_compile:
+#
+#   positive.cpp          correct locking       -> MUST compile
+#   unguarded_access.cpp  guarded field, no lock -> MUST NOT compile
+#   missing_requires.cpp  REQUIRES fn, no lock   -> MUST NOT compile
+#
+# The capability analysis only exists in clang, so under any other
+# compiler the checks self-skip (the annotations are no-ops there).
+# scripts/check.sh --stage tidy configures with clang and therefore
+# exercises them on every tidy run; if a negative case ever starts
+# compiling, configuration fails hard — annotations that stopped
+# rejecting bad code are worse than none, because they document a
+# guarantee that is no longer checked.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(STATUS
+    "thread-safety negative-compile checks: skipped "
+    "(${CMAKE_CXX_COMPILER_ID} has no capability analysis; run "
+    "scripts/check.sh --stage tidy with clang available)")
+  return()
+endif()
+
+set(BACO_SA_SRC_DIR ${CMAKE_CURRENT_SOURCE_DIR}/tests/static_analysis)
+set(BACO_SA_BIN_DIR ${CMAKE_CURRENT_BINARY_DIR}/static_analysis_checks)
+set(BACO_SA_FLAGS
+    -Wthread-safety
+    -Werror=thread-safety-analysis
+    -Werror=thread-safety-attributes
+    -Werror=thread-safety-precise)
+
+# try_compile needs project context (it configures a one-file child
+# project), which is why this file is include()d from CMakeLists.txt
+# instead of running in script mode.
+macro(baco_sa_try_compile result_var source_file)
+  try_compile(${result_var}
+    ${BACO_SA_BIN_DIR}/${source_file}
+    ${BACO_SA_SRC_DIR}/${source_file}
+    COMPILE_DEFINITIONS "${BACO_SA_FLAGS}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=17"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE ${result_var}_output)
+endmacro()
+
+baco_sa_try_compile(BACO_SA_POSITIVE positive.cpp)
+if(NOT BACO_SA_POSITIVE)
+  message(FATAL_ERROR
+    "thread-safety check: the correctly locked control case "
+    "(tests/static_analysis/positive.cpp) failed to compile — the "
+    "annotation macros or the checker flags are broken:\n"
+    "${BACO_SA_POSITIVE_output}")
+endif()
+
+baco_sa_try_compile(BACO_SA_UNGUARDED unguarded_access.cpp)
+if(BACO_SA_UNGUARDED)
+  message(FATAL_ERROR
+    "thread-safety check: unguarded access to a BACO_GUARDED_BY field "
+    "(tests/static_analysis/unguarded_access.cpp) COMPILED — the "
+    "capability analysis is no longer rejecting bad code")
+endif()
+
+baco_sa_try_compile(BACO_SA_MISSING_REQUIRES missing_requires.cpp)
+if(BACO_SA_MISSING_REQUIRES)
+  message(FATAL_ERROR
+    "thread-safety check: calling a BACO_REQUIRES function without the "
+    "lock (tests/static_analysis/missing_requires.cpp) COMPILED — the "
+    "capability analysis is no longer rejecting bad code")
+endif()
+
+message(STATUS
+  "thread-safety negative-compile checks: passed "
+  "(positive compiles; unguarded_access and missing_requires rejected)")

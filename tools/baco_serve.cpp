@@ -59,6 +59,7 @@
 //   baco_serve --list
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -86,24 +87,34 @@
 namespace {
 
 /** SIGINT/SIGTERM target: flips the acceptor's stop flag (both calls on
- *  the stop path — shutdown(2), unlink(2) — are async-signal-safe). */
+ *  the stop path — shutdown(2), unlink(2) — are async-signal-safe, but
+ *  they can clobber errno, which the interrupted syscall's caller is
+ *  about to read — hence the save/restore). */
 baco::serve::Acceptor* g_acceptor = nullptr;
 
 void
 stop_on_signal(int)
 {
+    const int saved_errno = errno;
     if (g_acceptor)
         g_acceptor->stop();
+    errno = saved_errno;
 }
 
 /** SIGUSR1 target: ask the metrics publisher for an immediate dump
- *  (checked by its poll loop — nothing happens in signal context). */
-volatile std::sig_atomic_t g_dump_metrics = 0;
+ *  (nothing happens in signal context). An atomic, not a volatile
+ *  sig_atomic_t: the flag is read by the publisher THREAD, not by the
+ *  interrupted code, and sig_atomic_t is only a handler-to-same-thread
+ *  contract — cross-thread visibility needs the atomic (lock-free for
+ *  int everywhere we build, so the store stays async-signal-safe). */
+std::atomic<int> g_dump_metrics{0};
 
 void
 dump_on_signal(int)
 {
-    g_dump_metrics = 1;
+    const int saved_errno = errno;
+    g_dump_metrics.store(1, std::memory_order_relaxed);
+    errno = saved_errno;
 }
 
 /**
@@ -166,10 +177,8 @@ class MetricsPublisher {
         auto last = steady_clock::now();
         while (!stop_.load()) {
             std::this_thread::sleep_for(std::chrono::milliseconds(200));
-            if (g_dump_metrics) {
-                g_dump_metrics = 0;
+            if (g_dump_metrics.exchange(0, std::memory_order_relaxed))
                 dump("sigusr1");
-            }
             if (interval_ > 0 &&
                 duration<double>(steady_clock::now() - last).count() >=
                     interval_) {
