@@ -10,10 +10,19 @@
 //           the bounded registry's overhead from the serve.spill/.reload
 //           histograms.
 //
-// The gated quantity is the dimensionless THROUGHPUT SCALING ratio
-// (loaded aggregate evals/s over solo evals/s) — contention behaviour,
-// which transfers across machines where absolute evals/s do not.
-// Absolute rows ride along for the trajectory but are not gated.
+// Plus the CONCURRENT-RUNS scenario: 4 clients each issue one fleet
+// `run` frame against a shared 4-worker fleet — first sequentially
+// (one run at a time), then all 4 overlapping. The run-multiplexed
+// Coordinator leases workers to every active run, so the overlapping
+// leg must finish in a fraction of the serial wall; the ratio
+// (serial wall / concurrent wall) is gated as
+// concurrent_runs_scaling_x.
+//
+// The gated quantities are dimensionless ratios (loaded/solo eval
+// throughput, serial/concurrent fleet-run wall) — contention
+// behaviour, which transfers across machines where absolute evals/s
+// do not. Absolute rows ride along for the trajectory but are not
+// gated.
 //
 // --trace additionally runs the distributed-trace leg: two baco_worker
 // CHILD PROCESSES (path from --worker-bin, default ./baco_worker) are
@@ -219,6 +228,151 @@ run_phase(int clients, int sessions_per_client, int budget, int batch,
     return phase;
 }
 
+/** One leg of the concurrent-runs scenario. */
+struct FleetRunsResult {
+  bool ok = true;
+  std::uint64_t evals = 0;
+  double wall_s = 0.0;
+};
+
+/**
+ * A loopback worker whose every evaluation costs `delay_ms` of wall
+ * clock on top of the real (deterministic) value — the shape of an
+ * actual compile-and-run black box. Without the delay a loopback
+ * evaluation is sub-microsecond and the scenario measures only frame
+ * plumbing; with it the runs are latency-bound, which is the regime
+ * the run multiplexing exists for.
+ */
+void
+delayed_worker_loop(std::shared_ptr<Transport> t, int delay_ms)
+{
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.text = "worker";
+    hello.capacity = 1;
+    if (!t->send(encode(hello)))
+        return;
+    std::string line;
+    std::uint64_t evaluated = 0;
+    while (t->recv(line) == RecvStatus::kOk) {
+        Message req;
+        if (!decode(line, req))
+            continue;
+        if (req.type == MsgType::kShutdown) {
+            Message bye;
+            bye.type = MsgType::kGoodbye;
+            bye.evals = evaluated;
+            t->send(encode(bye));
+            break;
+        }
+        if (req.type != MsgType::kEvaluate)
+            continue;
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        const Benchmark& b = suite::find_benchmark(req.benchmark);
+        EvalResult r = evaluate_on(b, req.config, req.seed, req.index);
+        Message reply;
+        reply.type = MsgType::kResult;
+        reply.id = req.id;
+        reply.index = req.index;
+        reply.run = req.run;
+        reply.value = r.value;
+        reply.feasible = r.feasible;
+        reply.eval_seconds = delay_ms / 1e3;
+        ++evaluated;
+        if (!t->send(encode(reply)))
+            break;
+    }
+}
+
+/**
+ * `clients` fleet-driven run frames against one Acceptor backed by a
+ * shared 4-worker loopback fleet — sequentially (the serial baseline)
+ * or all overlapping (the multiplexed Coordinator's case). Each run is
+ * latency-bound (n=1 with a per-eval worker delay), so the serial leg
+ * leaves the fleet almost idle and overlapping runs reclaim that idle
+ * capacity.
+ */
+FleetRunsResult
+run_fleet_phase(int clients, bool concurrent, int budget,
+                std::uint64_t seed_base)
+{
+    FleetRunsResult out;
+    std::string path = unique_socket_path();
+    Listener listener;
+    if (!listener.open(*parse_socket_address("unix:" + path))) {
+        out.ok = false;
+        return out;
+    }
+    SessionManager sessions;
+    Coordinator coordinator;
+    constexpr int kEvalDelayMs = 1;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        auto [coordinator_end, worker_end] = loopback_pair();
+        workers.emplace_back(
+            delayed_worker_loop,
+            std::shared_ptr<Transport>(std::move(worker_end)),
+            kEvalDelayMs);
+        if (coordinator.add_worker(std::move(coordinator_end)) < 0)
+            out.ok = false;
+    }
+    ServerContext ctx;
+    ctx.sessions = &sessions;
+    ctx.coordinator = &coordinator;
+    Acceptor acceptor(std::move(listener), ctx);
+    std::thread server([&acceptor] { acceptor.run(); });
+
+    std::vector<char> ok(static_cast<std::size_t>(clients), 1);
+    auto one_client = [&](int c) {
+        std::unique_ptr<Transport> t = connect_socket("unix:" + path);
+        if (!t) {
+            ok[static_cast<std::size_t>(c)] = 0;
+            return;
+        }
+        SessionClient client(*t);
+        std::string name = "run" + std::to_string(c);
+        bool fine =
+            client.handshake() &&
+            client.open(name, kBench, "Uniform", budget, seed_base + c)
+                    .type == MsgType::kOpened;
+        if (fine) {
+            Message run;
+            run.type = MsgType::kRun;
+            run.session = name;
+            run.n = 1;
+            Message done = client.rpc(std::move(run));
+            fine = done.type == MsgType::kDone &&
+                   done.evals == static_cast<std::uint64_t>(budget);
+        }
+        fine = fine && client.close(name).type == MsgType::kOk;
+        ok[static_cast<std::size_t>(c)] = fine ? 1 : 0;
+    };
+
+    auto t0 = Clock::now();
+    if (concurrent) {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back(one_client, c);
+        for (std::thread& t : threads)
+            t.join();
+    } else {
+        for (int c = 0; c < clients; ++c)
+            one_client(c);
+    }
+    out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    for (char fine : ok)
+        out.ok = out.ok && fine;
+    out.evals = static_cast<std::uint64_t>(clients) *
+                static_cast<std::uint64_t>(budget);
+    acceptor.stop();
+    server.join();
+    coordinator.shutdown();
+    for (std::thread& w : workers)
+        w.join();
+    return out;
+}
+
 /** Mean milliseconds of one registry histogram over a snapshot delta. */
 double
 hist_mean_ms(const obs::MetricsSnapshot& delta, const char* name)
@@ -356,7 +510,22 @@ main(int argc, char** argv)
 
     double scaling_x = loaded.throughput() / std::max(solo.throughput(),
                                                       1e-9);
-    bool serve_ok = solo.ok && loaded.ok && spill.ok;
+
+    // Concurrent-runs scenario: 4 overlapping fleet `run`s on a shared
+    // 4-worker fleet versus the same 4 runs one at a time.
+    const int fleet_clients = 4;
+    const int fleet_budget = 16 * reps;
+    FleetRunsResult serial_runs = run_fleet_phase(
+        fleet_clients, /*concurrent=*/false, fleet_budget,
+        args.seed + 300);
+    FleetRunsResult concurrent_runs = run_fleet_phase(
+        fleet_clients, /*concurrent=*/true, fleet_budget,
+        args.seed + 300);
+    double concurrent_runs_scaling_x =
+        serial_runs.wall_s / std::max(concurrent_runs.wall_s, 1e-9);
+
+    bool serve_ok = solo.ok && loaded.ok && spill.ok && serial_runs.ok &&
+                    concurrent_runs.ok;
 
     suite::TextTable table({"Phase", "evals", "wall [s]", "evals/s",
                             "suggest p50 [ms]", "suggest p99 [ms]"});
@@ -376,6 +545,12 @@ main(int argc, char** argv)
               << suite::fmt(spill_ms, 3) << " ms, reload "
               << suite::fmt(reload_ms, 3) << " ms ["
               << (serve_ok ? "ok" : "FAILED") << "]\n";
+    std::cout << "concurrent fleet runs: serial "
+              << suite::fmt(serial_runs.wall_s, 3) << " s, overlapped "
+              << suite::fmt(concurrent_runs.wall_s, 3) << " s — "
+              << suite::fmt(concurrent_runs_scaling_x, 2)
+              << "x aggregate speedup over " << fleet_clients
+              << " tenants\n";
 
     bool trace_ok = true;
     if (!trace_path.empty())
@@ -417,6 +592,21 @@ main(int argc, char** argv)
             .field("tolerance", 0.45)
             .field("scaling_x", scaling_x);
         rows.push_back(gate.str());
+        // The run-multiplexing gate: overlapping fleet runs must beat
+        // serializing them. Also dimensionless and higher_better.
+        JsonWriter cgate;
+        cgate.field("key", std::string("concurrent_runs"))
+            .field("gated", true)
+            .field("gate_metric",
+                   std::string("concurrent_runs_scaling_x"))
+            .field("gate_direction", std::string("higher_better"))
+            .field("tolerance", 0.45)
+            .field("concurrent_runs_scaling_x", concurrent_runs_scaling_x)
+            .field("serial_wall_s", serial_runs.wall_s)
+            .field("concurrent_wall_s", concurrent_runs.wall_s)
+            .field("fleet_clients", fleet_clients)
+            .field("fleet_budget_per_run", fleet_budget);
+        rows.push_back(cgate.str());
 
         JsonWriter json;
         json.field("bench", std::string("serve_load"))

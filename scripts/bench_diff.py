@@ -19,7 +19,11 @@ bench/baselines/ when adding a new harness).
 
 Usage: bench_diff.py NEW.json [NEW.json ...]
                      [--baseline-dir bench/baselines] [--tolerance 0.15]
-                     [--update-baselines]
+                     [--update-baselines] [--markdown FILE]
+
+--markdown FILE additionally appends the verdicts as a GitHub-flavored
+markdown table (one row per gate) — pass "$GITHUB_STEP_SUMMARY" in CI
+to surface the diff on the workflow run page.
 
 Improvements are reported but never fail: the point is a ratchet
 against regressions, not a pin of exact numbers.
@@ -135,6 +139,21 @@ def update_baselines(artifacts, baseline_dir):
     return 0
 
 
+def write_markdown(path, results):
+    """Append the verdicts as one GFM table (CI step summaries)."""
+    with open(path, "a") as f:
+        f.write("## Bench gates\n\n")
+        f.write("| Artifact | Gate | Verdict | Status |\n")
+        f.write("|---|---|---|---|\n")
+        for artifact, key, message, bad in results:
+            status = ":x: FAIL" if bad else ":white_check_mark: ok"
+            cells = [os.path.basename(artifact), key,
+                     message.replace("|", "\\|"), status]
+            f.write("| " + " | ".join(cells) + " |\n")
+        overall = any(bad for _, _, _, bad in results)
+        f.write(f"\n**bench_diff: {'FAILED' if overall else 'ok'}**\n")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="gate BENCH_*.json against committed baselines")
@@ -145,19 +164,26 @@ def main():
                     help="install the artifacts as the new baselines "
                     "(prints the per-gate old -> new diff) instead of "
                     "gating against them")
+    ap.add_argument("--markdown", metavar="FILE",
+                    help="append the verdicts as a markdown table to "
+                    "FILE (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
     if args.update_baselines:
         return update_baselines(args.artifacts, args.baseline_dir)
 
     failed = False
+    results = []
     for path in args.artifacts:
         print(f"== {path} vs {args.baseline_dir}/"
               f"{os.path.basename(path)}")
         for key, message, bad in check_artifact(path, args.baseline_dir,
                                                 args.tolerance):
             print(f"  [{'FAIL' if bad else ' ok '}] {key}: {message}")
+            results.append((path, key, message, bad))
             failed |= bad
+    if args.markdown:
+        write_markdown(args.markdown, results)
     print("bench_diff:", "FAILED" if failed else "ok")
     return 1 if failed else 0
 

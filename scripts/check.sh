@@ -36,8 +36,14 @@
 #             ctest suite
 #   ubsan     UndefinedBehaviorSanitizer build (BACO_SANITIZE=undefined,
 #             -fno-sanitize-recover), full ctest suite
+#   soak      the nightly tier (NOT part of `all` — CI runs it on a
+#             schedule, not per PR): TSAN build when available, the
+#             stress+integration ctest suites at their long timeouts,
+#             then an extended bench_serve_load soak (8x the PR reps,
+#             concurrent fleet runs included) whose serve_ok flag must
+#             hold after the long haul
 #
-# Usage: check.sh [--stage tier1|selftest|bench|tidy|tsan|asan|ubsan|all]...
+# Usage: check.sh [--stage tier1|selftest|bench|tidy|tsan|asan|ubsan|soak|all]...
 #        (repeatable; default: all — with a pass/fail summary table)
 #
 # Environment: BACO_BUILD_TYPE (default Release), BACO_BUILD_DIR
@@ -58,7 +64,7 @@ if command -v ccache >/dev/null 2>&1; then
 fi
 
 usage() {
-    echo "usage: $0 [--stage tier1|selftest|bench|tidy|tsan|asan|ubsan|all]..." >&2
+    echo "usage: $0 [--stage tier1|selftest|bench|tidy|tsan|asan|ubsan|soak|all]..." >&2
     exit 2
 }
 
@@ -203,6 +209,32 @@ stage_ubsan() {
     run_sanitizer_suite ubsan undefined
 }
 
+stage_soak() {
+    # The nightly tier: long-running races only surface under sustained
+    # load, so soak the serving stack under TSAN (plain RelWithDebInfo
+    # when TSAN is unavailable) instead of the PR-sized smoke runs.
+    local soak_flags=()
+    if sanitizer_available thread; then
+        soak_flags+=(-DBACO_SANITIZE=thread)
+    else
+        echo "check.sh: thread sanitizer unavailable; soaking without TSAN"
+    fi
+    cmake -B build-soak -S . "${soak_flags[@]}" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${CMAKE_EXTRA[@]}"
+    cmake --build build-soak -j
+    # The suites already labeled long-running (TIMEOUT 600/900s), run
+    # whole — the concurrency/serving surface lives in these.
+    (cd build-soak && ctest --output-on-failure -j 2 -L 'stress|integration')
+    # Extended serve_load soak: 8x the PR-gate reps, which multiplies
+    # every phase's budget — including the overlapping fleet runs — and
+    # keeps the acceptor/coordinator under load long enough for slow
+    # leaks and rare interleavings to show. The artifact's own ok flag
+    # is the verdict; no baseline gate (soak boxes vary too much).
+    "./build-soak/bench_serve_load" --reps 8 \
+        --json build-soak/BENCH_serve_load_soak.json
+    grep -q '"serve_ok": true' build-soak/BENCH_serve_load_soak.json
+}
+
 # ---- Driver. --------------------------------------------------------------
 # Each stage runs as a child `check.sh --run-one <stage>` process: that
 # keeps `set -e` live inside stage bodies (an `if stage_x; ...` in this
@@ -212,7 +244,7 @@ stage_ubsan() {
 if [[ "${1:-}" == "--run-one" ]]; then
     [[ $# -eq 2 ]] || usage
     case "$2" in
-      tier1|selftest|bench|tidy|tsan|asan|ubsan) "stage_$2" ;;
+      tier1|selftest|bench|tidy|tsan|asan|ubsan|soak) "stage_$2" ;;
       *) usage ;;
     esac
     exit 0
@@ -236,8 +268,9 @@ done
 EXPANDED=()
 for stage in "${STAGES[@]}"; do
     case "$stage" in
+      # soak is deliberately not in `all`: it is the nightly tier.
       all) EXPANDED+=(tier1 selftest bench tidy tsan asan ubsan) ;;
-      tier1|selftest|bench|tidy|tsan|asan|ubsan) EXPANDED+=("$stage") ;;
+      tier1|selftest|bench|tidy|tsan|asan|ubsan|soak) EXPANDED+=("$stage") ;;
       *) usage ;;
     esac
 done

@@ -78,11 +78,13 @@ struct ExecutionPolicy {
   serve::Coordinator* fleet = nullptr;
 
   /**
-   * Distributed(Attached): serializes fleet use for the run's whole
-   * duration. REQUIRED whenever the fleet can be touched concurrently —
-   * another study driving it, or a serve Acceptor attaching socket
-   * workers at runtime (pass &acceptor.fleet_mutex()); the Coordinator
-   * itself is a single-driver object with no internal locking.
+   * Distributed(Attached): optional strict serialization of fleet use
+   * for the run's whole duration. The Coordinator multiplexes
+   * concurrent runs internally (fair scheduling + admission control),
+   * so sharing a fleet no longer requires a lock — pass one only when
+   * this study must observe the fleet with no other tenant's work in
+   * flight (e.g. wall-clock benchmarking against an otherwise idle
+   * fleet).
    */
   Mutex* fleet_lock = nullptr;
 
@@ -159,9 +161,10 @@ struct ExecutionPolicy {
       return p;
   }
 
-  /** Sharded over an externally owned, pre-registered fleet.
-   *  fleet_lock (see the field) is mandatory when anything else can
-   *  touch the fleet while the study runs. */
+  /** Sharded over an externally owned, pre-registered fleet. The
+   *  Coordinator schedules concurrent tenants fairly on its own;
+   *  fleet_lock (see the field) is only for runs that need the fleet
+   *  exclusively. */
   static ExecutionPolicy
   Attached(serve::Coordinator* fleet, int batch_size = 4,
            bool async = false, Mutex* fleet_lock = nullptr)

@@ -287,9 +287,10 @@ Study::run()
         req.benchmark = benchmark_ ? benchmark_->name : std::string{};
         if (policy_.fleet) {
             // Attached fleet: externally owned — drive it, don't shut
-            // it down (other studies/clients may share it). The policy's
-            // fleet_lock excludes concurrent drivers and runtime worker
-            // attachment for the run's duration.
+            // it down (other studies/clients may share it). The
+            // Coordinator multiplexes concurrent tenants itself; the
+            // optional fleet_lock is only for runs that need the fleet
+            // with nothing else in flight.
             // std::unique_lock over the annotated Mutex: conditional
             // acquisition is outside what the static analysis can
             // express, so this site trades the compile-time proof for

@@ -5,8 +5,10 @@
 #include <deque>
 #include <map>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "exec/checkpoint.hpp"
 #include "exec/eval_cache.hpp"
@@ -24,6 +26,9 @@ using Clock = std::chrono::steady_clock;
 /** Give up on a task after this many worker error frames. */
 constexpr int kMaxTaskErrors = 3;
 
+/** How long shutdown() waits for the fleet's goodbye frames. */
+constexpr int kGoodbyeWaitMs = 1000;
+
 /** Fleet-dispatch instrumentation handles, registered once per process. */
 struct CoordMetrics {
   obs::Counter& dispatched = counter("coord.dispatched_total");
@@ -36,6 +41,12 @@ struct CoordMetrics {
   obs::Counter& ahead_used = counter("coord.suggest_ahead_used_total");
   obs::Histogram& roundtrip = hist("coord.roundtrip_seconds");
   obs::Gauge& inflight_peak = gauge("coord.inflight_peak");
+  // Run-multiplexing surface (admission control + scheduler).
+  obs::Counter& runs_admitted = counter("coord.runs.admitted_total");
+  obs::Counter& runs_rejected = counter("coord.runs.rejected_total");
+  obs::Counter& runs_completed = counter("coord.runs.completed_total");
+  obs::Gauge& runs_active = gauge("coord.runs.active");
+  obs::Histogram& run_seconds = hist("coord.run.seconds");
   // Fleet-health surface (WorkerHealth registry).
   obs::Counter& worker_dead = counter("coord.worker.dead");
   obs::Counter& heartbeats = counter("coord.worker.heartbeats_total");
@@ -62,21 +73,59 @@ struct CoordMetrics {
   }
 };
 
+void
+drop_worker(std::vector<std::size_t>& live_on, std::size_t w)
+{
+    live_on.erase(std::remove(live_on.begin(), live_on.end(), w),
+                  live_on.end());
+}
+
 }  // namespace
 
+/**
+ * One registered worker. The transport itself is internally synchronized
+ * (send is thread-safe; the reader thread is its single receiver); the
+ * dispatch-accounting fields are guarded by Coordinator::mu_.
+ */
 struct Coordinator::Worker {
   std::unique_ptr<Transport> transport;
+  std::thread reader;
   int capacity = 1;
   int inflight = 0;
   bool alive = true;
+  bool goodbye = false;  ///< clean-exit frame received (shutdown wait)
   /**
    * Dispatch ids awaiting a reply from this worker. Persists across
-   * evaluate_batch calls: a batch can complete with a straggler's
-   * duplicated dispatch still in flight, and its late reply (arriving
-   * during a later batch) must be recognized as benign — only a reply
-   * whose id was never dispatched marks the worker dead.
+   * batches: a run can complete with a straggler's duplicated dispatch
+   * still in flight, and its late reply must be recognized as benign —
+   * only a reply whose id was never dispatched marks the worker dead.
    */
   std::unordered_set<std::uint64_t> outstanding;
+};
+
+/** One in-flight or queued evaluation of a run, keyed by wire index. */
+struct Coordinator::RunState {
+  /** Bookkeeping for one evaluation task. */
+  struct TaskRec {
+    Configuration config;
+    bool queued = true;  ///< in the ready queue, not on a worker
+    int errors = 0;
+    std::vector<std::size_t> live_on;  ///< workers with a dispatch out
+    Clock::time_point last_sent;
+  };
+
+  std::uint64_t id = 0;
+  std::string benchmark;
+  std::uint64_t run_seed = 0;
+  int max_inflight = 0;  ///< per-run live-task cap; 0 = fleet-bound only
+  int inflight = 0;      ///< live tasks (duplicates count once)
+  std::uint64_t landed_total = 0;
+  std::map<std::uint64_t, TaskRec> tasks;
+  std::deque<std::uint64_t> ready;  ///< task keys awaiting a worker slot
+  std::deque<LandedEval> landed;    ///< completed, not yet collected
+  /** Signaled on every landing, kill and fleet change (waits on mu_). */
+  CondVar cv;
+  Clock::time_point started;
 };
 
 Coordinator::Coordinator(CoordinatorOptions opt) : opt_(opt)
@@ -115,18 +164,42 @@ Coordinator::add_worker_registered(std::unique_ptr<Transport> transport,
 {
     if (!transport)
         return -1;
-    auto w = std::make_unique<Worker>();
-    w->transport = std::move(transport);
-    w->capacity = std::clamp(capacity > 0 ? capacity : 1, 1,
-                             opt_.max_inflight_per_worker);
-    workers_.push_back(std::move(w));
-    int id = static_cast<int>(workers_.size()) - 1;
-    health_register(heartbeat_ms > 0 ? heartbeat_ms : 0);
+    int id = -1;
+    int clamped = 1;
+    std::size_t active = 0;
+    {
+        MutexLock lock(mu_);
+        if (shutting_down_) {
+            transport->close();
+            return -1;
+        }
+        auto w = std::make_unique<Worker>();
+        w->transport = std::move(transport);
+        w->capacity = std::clamp(capacity > 0 ? capacity : 1, 1,
+                                 opt_.max_inflight_per_worker);
+        clamped = w->capacity;
+        Worker* raw = w.get();
+        workers_.push_back(std::move(w));
+        id = static_cast<int>(workers_.size()) - 1;
+        // Registered under mu_ so workers_ and health_ stay
+        // index-parallel when attaches race (lock order mu_ -> health).
+        health_register(heartbeat_ms > 0 ? heartbeat_ms : 0);
+        raw->reader = std::thread(
+            [this, raw, idx = static_cast<std::size_t>(id)] {
+                reader_loop(raw, idx);
+            });
+        active = runs_.size();
+        // Re-registration redispatch: a worker re-attaching after a
+        // heartbeat death is leased to active runs right away, so their
+        // re-queued shards drain onto it without waiting for a reply.
+        dispatch_ready();
+    }
     obs::log_info("coord", "worker_attached",
                   obs::LogFields()
                       .num("worker", id)
-                      .num("capacity", workers_.back()->capacity)
-                      .num("heartbeat_ms", heartbeat_ms));
+                      .num("capacity", clamped)
+                      .num("heartbeat_ms", heartbeat_ms)
+                      .num("active_runs", static_cast<int>(active)));
     return id;
 }
 
@@ -144,44 +217,75 @@ Coordinator::num_workers() const
     return n;
 }
 
+std::size_t
+Coordinator::active_runs() const
+{
+    MutexLock lock(mu_);
+    return runs_.size();
+}
+
+std::vector<RunStatsSnapshot>
+Coordinator::run_stats() const
+{
+    std::vector<RunStatsSnapshot> out;
+    MutexLock lock(mu_);
+    out.reserve(runs_.size());
+    for (const auto& [id, run] : runs_) {
+        RunStatsSnapshot s;
+        s.run = id;
+        s.inflight = run->inflight;
+        s.queued = run->ready.size();
+        s.landed = run->landed_total;
+        out.push_back(s);
+    }
+    return out;
+}
+
 void
 Coordinator::shutdown()
 {
-    Message bye;
-    bye.type = MsgType::kShutdown;
-    std::string frame = encode(bye);
-    for (auto& w : workers_) {
-        if (!w->alive)
-            continue;
-        w->transport->send(frame);
-    }
-    // Absorb each worker's goodbye frame — final eval count plus any
-    // unshipped trace spans — with a bounded wait so a wedged worker
-    // cannot hang shutdown. Results/heartbeats still in the pipe are
-    // skipped on the way.
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-        Worker& wk = *workers_[i];
-        if (!wk.alive)
-            continue;
-        for (int hops = 0; hops < 64; ++hops) {
-            std::string line;
-            if (wk.transport->recv(line, 200) != RecvStatus::kOk)
-                break;
-            Message reply;
-            if (!decode(line, reply))
-                break;
-            if (reply.type == MsgType::kGoodbye) {
-                import_spans(i, reply);
-                obs::log_info("coord", "worker_goodbye",
-                              obs::LogFields()
-                                  .num("worker", static_cast<int>(i))
-                                  .num("evals", reply.evals));
-                break;
-            }
+    std::vector<std::thread> readers;
+    {
+        MutexLock lock(mu_);
+        if (!shutting_down_) {
+            shutting_down_ = true;
+            Message bye;
+            bye.type = MsgType::kShutdown;
+            std::string frame = encode(bye);
+            for (auto& w : workers_)
+                if (w->alive)
+                    w->transport->send(frame);
         }
-        wk.transport->close();
-        wk.alive = false;
-        wk.inflight = 0;
+        // Wait (bounded) for the fleet's goodbye frames — final eval
+        // counts plus any unshipped trace spans, absorbed by the reader
+        // threads — so a wedged worker cannot hang shutdown.
+        auto deadline =
+            Clock::now() + std::chrono::milliseconds(kGoodbyeWaitMs);
+        for (;;) {
+            bool waiting = false;
+            for (auto& w : workers_)
+                if (w->alive && !w->goodbye)
+                    waiting = true;
+            if (!waiting || Clock::now() >= deadline)
+                break;
+            shutdown_cv_.wait_until(mu_, deadline);
+        }
+        for (auto& w : workers_) {
+            if (!w->alive)
+                continue;
+            w->alive = false;
+            w->inflight = 0;
+            w->outstanding.clear();
+            w->transport->close();
+        }
+        dispatches_.clear();
+        notify_runs();
+        admission_cv_.notify_all();
+        // Collect the reader handles for joining outside the lock (the
+        // readers need mu_ for their final bookkeeping before exiting).
+        for (auto& w : workers_)
+            if (w->reader.joinable())
+                readers.push_back(std::move(w->reader));
     }
     {
         MutexLock lock(health_mutex_);
@@ -191,6 +295,8 @@ Coordinator::shutdown()
         }
     }
     CoordMetrics::get().workers_alive.set(0.0);
+    for (std::thread& t : readers)
+        t.join();
 }
 
 std::vector<WorkerHealthSnapshot>
@@ -225,6 +331,298 @@ Coordinator::health() const
     return out;
 }
 
+// ---------------------------------------------------------------------
+// Run lifecycle: admission, landing queues, completion.
+// ---------------------------------------------------------------------
+
+Coordinator::RunLease
+Coordinator::begin_run(int max_inflight)
+{
+    return RunLease(this, begin_run_id(max_inflight));
+}
+
+std::uint64_t
+Coordinator::begin_run_id(int max_inflight)
+{
+    MutexLock lock(mu_);
+    if (opt_.max_active_runs > 0) {
+        auto cap = static_cast<std::size_t>(opt_.max_active_runs);
+        if (runs_.size() >= cap && opt_.admission_wait_ms > 0) {
+            auto deadline =
+                Clock::now() +
+                std::chrono::milliseconds(opt_.admission_wait_ms);
+            while (runs_.size() >= cap && !shutting_down_ &&
+                   Clock::now() < deadline) {
+                admission_cv_.wait_until(mu_, deadline);
+            }
+        }
+        if (runs_.size() >= cap) {
+            CoordMetrics::get().runs_rejected.add();
+            obs::log_warn("coord", "run_rejected",
+                          obs::LogFields()
+                              .num("active", static_cast<int>(runs_.size()))
+                              .num("max_active_runs", opt_.max_active_runs));
+            throw CoordinatorBusy(
+                "coordinator busy: " + std::to_string(runs_.size()) +
+                " active runs (cap " +
+                std::to_string(opt_.max_active_runs) + ")");
+        }
+    }
+    std::uint64_t id = next_run_id_++;
+    auto run = std::make_unique<RunState>();
+    run->id = id;
+    run->max_inflight = max_inflight > 0 ? max_inflight : 0;
+    run->started = Clock::now();
+    runs_.emplace(id, std::move(run));
+    CoordMetrics::get().runs_admitted.add();
+    CoordMetrics::get().runs_active.set(static_cast<double>(runs_.size()));
+    obs::log_info("coord", "run_admitted",
+                  obs::LogFields()
+                      .num("run", id)
+                      .num("active", static_cast<int>(runs_.size()))
+                      .num("max_inflight", max_inflight));
+    return id;
+}
+
+void
+Coordinator::end_run(std::uint64_t run_id)
+{
+    double seconds = 0.0;
+    std::size_t active = 0;
+    {
+        MutexLock lock(mu_);
+        auto it = runs_.find(run_id);
+        if (it == runs_.end())
+            return;
+        // Unlink the run's outstanding dispatch ids: the worker-side
+        // outstanding sets keep them, so late replies drain as benign
+        // slot-frees instead of protocol violations.
+        for (auto d = dispatches_.begin(); d != dispatches_.end();) {
+            if (d->second.run == run_id)
+                d = dispatches_.erase(d);
+            else
+                ++d;
+        }
+        seconds = std::chrono::duration<double>(Clock::now() -
+                                                it->second->started)
+                      .count();
+        runs_.erase(it);
+        active = runs_.size();
+        CoordMetrics::get().runs_active.set(static_cast<double>(active));
+        admission_cv_.notify_all();
+    }
+    CoordMetrics::get().runs_completed.add();
+    CoordMetrics::get().run_seconds.record(seconds);
+    obs::log_info("coord", "run_completed",
+                  obs::LogFields()
+                      .num("run", run_id)
+                      .num("seconds", seconds)
+                      .num("active", static_cast<int>(active)));
+}
+
+void
+Coordinator::submit_tasks(
+    std::uint64_t run_id, const BatchSpec& spec,
+    std::vector<std::pair<std::uint64_t, Configuration>> tasks)
+{
+    MutexLock lock(mu_);
+    auto it = runs_.find(run_id);
+    if (it == runs_.end())
+        throw std::logic_error("coordinator: submit on an ended run");
+    RunState& run = *it->second;
+    run.benchmark = spec.benchmark;
+    run.run_seed = spec.run_seed;
+    for (auto& [key, config] : tasks) {
+        RunState::TaskRec t;
+        t.config = std::move(config);
+        run.tasks.emplace(key, std::move(t));
+        run.ready.push_back(key);
+    }
+    dispatch_ready();
+}
+
+std::vector<Coordinator::LandedEval>
+Coordinator::wait_landed(std::uint64_t run_id, int timeout_ms)
+{
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(std::max(1, timeout_ms));
+    MutexLock lock(mu_);
+    auto it = runs_.find(run_id);
+    if (it == runs_.end())
+        return {};
+    RunState& run = *it->second;
+    for (;;) {
+        if (!run.landed.empty()) {
+            std::vector<LandedEval> out(
+                std::make_move_iterator(run.landed.begin()),
+                std::make_move_iterator(run.landed.end()));
+            run.landed.clear();
+            return out;
+        }
+        if (run.tasks.empty())
+            return {};
+        if (alive_workers() == 0)
+            throw std::runtime_error("coordinator: no live workers remain");
+        if (!run.cv.wait_until(mu_, deadline))
+            return {};  // timeout: the driver sweeps and re-waits
+    }
+}
+
+void
+Coordinator::sweep()
+{
+    // Stale-worker detection reads only the health registry; collect the
+    // victims before taking mu_ so the lock order stays mu_ -> health.
+    std::vector<std::size_t> stale = stale_workers();
+    MutexLock lock(mu_);
+    for (std::size_t w : stale)
+        if (w < workers_.size() && workers_[w]->alive)
+            kill_worker(w, "heartbeat");
+
+    // Straggler re-dispatch: duplicate an old outstanding task onto a
+    // free worker outside its live set; first result wins (harmless —
+    // evaluation is deterministic).
+    if (opt_.straggler_ms > 0) {
+        auto now = Clock::now();
+        for (auto& [run_id, runp] : runs_) {
+            RunState& run = *runp;
+            for (auto& [key, t] : run.tasks) {
+                if (t.queued || t.live_on.empty())
+                    continue;
+                auto age = std::chrono::duration_cast<
+                               std::chrono::milliseconds>(now - t.last_sent)
+                               .count();
+                if (age < opt_.straggler_ms)
+                    continue;
+                for (std::size_t w = 0; w < workers_.size(); ++w) {
+                    Worker& wk = *workers_[w];
+                    bool already =
+                        std::find(t.live_on.begin(), t.live_on.end(), w) !=
+                        t.live_on.end();
+                    if (!wk.alive || already ||
+                        wk.inflight >= wk.capacity) {
+                        continue;
+                    }
+                    CoordMetrics::get().redispatched.add();
+                    dispatch_one(run, key, w, /*duplicate=*/true);
+                    break;
+                }
+            }
+        }
+    }
+    dispatch_ready();
+}
+
+// ---------------------------------------------------------------------
+// Scheduler: fair worker leasing across active runs.
+// ---------------------------------------------------------------------
+
+std::size_t
+Coordinator::alive_workers() const
+{
+    std::size_t n = 0;
+    for (const auto& w : workers_)
+        if (w->alive)
+            ++n;
+    return n;
+}
+
+void
+Coordinator::notify_runs()
+{
+    for (auto& [id, run] : runs_)
+        run->cv.notify_all();
+}
+
+void
+Coordinator::dispatch_ready()
+{
+    if (runs_.empty())
+        return;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        // One dispatch per eligible run per pass, visiting runs in id
+        // order starting after the fairness cursor — a run with a deep
+        // queue cannot monopolize freed slots.
+        std::vector<RunState*> order;
+        order.reserve(runs_.size());
+        for (auto it = runs_.upper_bound(rr_cursor_); it != runs_.end();
+             ++it)
+            order.push_back(it->second.get());
+        for (auto it = runs_.begin();
+             it != runs_.end() && it->first <= rr_cursor_; ++it)
+            order.push_back(it->second.get());
+        for (RunState* runp : order) {
+            RunState& run = *runp;
+            if (run.ready.empty())
+                continue;
+            if (run.max_inflight > 0 && run.inflight >= run.max_inflight)
+                continue;
+            std::size_t w = workers_.size();
+            for (std::size_t cand = 0; cand < workers_.size(); ++cand) {
+                Worker& wk = *workers_[cand];
+                if (wk.alive && wk.inflight < wk.capacity) {
+                    w = cand;
+                    break;
+                }
+            }
+            if (w == workers_.size())
+                return;  // fleet saturated (or empty)
+            std::uint64_t key = run.ready.front();
+            run.ready.pop_front();
+            rr_cursor_ = run.id;
+            dispatch_one(run, key, w, /*duplicate=*/false);
+            progress = true;
+        }
+    }
+}
+
+bool
+Coordinator::dispatch_one(RunState& run, std::uint64_t key, std::size_t w,
+                          bool duplicate)
+{
+    auto task_it = run.tasks.find(key);
+    if (task_it == run.tasks.end())
+        return false;
+    RunState::TaskRec& t = task_it->second;
+    Message m;
+    m.type = MsgType::kEvaluate;
+    m.id = next_msg_id_++;
+    m.run = run.id;
+    m.benchmark = run.benchmark;
+    m.seed = run.run_seed;
+    m.index = key;
+    m.config = t.config;
+    stamp_trace(m);
+    Worker& wk = *workers_[w];
+    if (!wk.transport->send(encode(m))) {
+        // The transport died under the send: kill the worker (re-queueing
+        // its other tasks) and put this task back in line.
+        kill_worker(w, "send_failed");
+        if (!duplicate && t.queued)
+            run.ready.push_back(key);
+        return false;
+    }
+    wk.inflight += 1;
+    wk.outstanding.insert(m.id);
+    dispatches_[m.id] = DispatchRec{run.id, key};
+    if (!duplicate) {
+        t.queued = false;
+        run.inflight += 1;
+    }
+    t.live_on.push_back(w);
+    t.last_sent = Clock::now();
+    health_dispatch(w);
+    CoordMetrics& cm = CoordMetrics::get();
+    cm.dispatched.add();
+    int inflight = 0;
+    for (const auto& each : workers_)
+        inflight += each->inflight;
+    cm.inflight_peak.set_max(static_cast<double>(inflight));
+    return true;
+}
+
 void
 Coordinator::kill_worker(std::size_t w, const char* reason)
 {
@@ -235,13 +633,179 @@ Coordinator::kill_worker(std::size_t w, const char* reason)
     CoordMetrics::get().worker_dead.add();
     wk.alive = false;
     wk.inflight = 0;
-    wk.outstanding.clear();
     wk.transport->close();
+    // Re-queue every task whose only live dispatch was on this worker.
+    for (std::uint64_t id : wk.outstanding) {
+        auto d_it = dispatches_.find(id);
+        if (d_it == dispatches_.end())
+            continue;
+        DispatchRec d = d_it->second;
+        dispatches_.erase(d_it);
+        auto run_it = runs_.find(d.run);
+        if (run_it == runs_.end())
+            continue;
+        RunState& run = *run_it->second;
+        auto task_it = run.tasks.find(d.key);
+        if (task_it == run.tasks.end())
+            continue;
+        RunState::TaskRec& t = task_it->second;
+        drop_worker(t.live_on, w);
+        if (!t.queued && t.live_on.empty()) {
+            t.queued = true;
+            run.ready.push_back(d.key);
+        }
+    }
+    wk.outstanding.clear();
     health_dead(w);
     obs::log_warn("coord", "worker_dead",
                   obs::LogFields()
                       .num("worker", static_cast<int>(w))
                       .str("reason", reason));
+    // Waiters re-check fleet liveness; the scheduler re-leases the
+    // re-queued shards (possibly to a later re-registered worker).
+    notify_runs();
+}
+
+// ---------------------------------------------------------------------
+// Per-worker reader: demultiplexes the fleet's frames into run queues.
+// ---------------------------------------------------------------------
+
+void
+Coordinator::reader_loop(Worker* wk, std::size_t w)
+{
+    std::string line;
+    for (;;) {
+        RecvStatus rs = wk->transport->recv(line, -1);
+        if (rs != RecvStatus::kOk) {
+            MutexLock lock(mu_);
+            if (wk->alive) {
+                if (shutting_down_) {
+                    // Clean teardown: not a death worth alarming about.
+                    wk->alive = false;
+                    wk->inflight = 0;
+                    wk->outstanding.clear();
+                    health_dead(w);
+                } else {
+                    kill_worker(w, "closed");
+                    dispatch_ready();
+                }
+            }
+            notify_runs();
+            shutdown_cv_.notify_all();
+            return;
+        }
+        Message reply;
+        if (!decode(line, reply)) {
+            // A worker emitting undecodable frames is unreliable; killing
+            // it re-queues its tasks instead of leaving them in flight
+            // forever (which would wedge its runs).
+            MutexLock lock(mu_);
+            if (wk->alive && !shutting_down_) {
+                kill_worker(w, "bad_frame");
+                dispatch_ready();
+            }
+            shutdown_cv_.notify_all();
+            return;
+        }
+        health_touch(w);
+        if (reply.type == MsgType::kHeartbeat) {
+            health_heartbeat(w);
+            continue;
+        }
+        if (reply.type == MsgType::kGoodbye) {
+            import_spans(w, reply);
+            obs::log_info("coord", "worker_goodbye",
+                          obs::LogFields()
+                              .num("worker", static_cast<int>(w))
+                              .num("evals", reply.evals));
+            MutexLock lock(mu_);
+            wk->goodbye = true;
+            shutdown_cv_.notify_all();
+            continue;  // the close (ours or the worker's) ends the loop
+        }
+
+        MutexLock lock(mu_);
+        if (!wk->alive)
+            continue;  // killed concurrently; the close ends the loop
+        auto out_it = wk->outstanding.find(reply.id);
+        if (out_it == wk->outstanding.end()) {
+            // Reply to an id this worker was never sent: the worker
+            // failed to decode a dispatch (its error frames carry id 0)
+            // or has a protocol bug. Same treatment as garbage.
+            if (!shutting_down_) {
+                kill_worker(w, "protocol");
+                dispatch_ready();
+            }
+            return;
+        }
+        wk->outstanding.erase(out_it);
+        wk->inflight = std::max(0, wk->inflight - 1);
+        health_reply(w);
+        auto d_it = dispatches_.find(reply.id);
+        if (d_it == dispatches_.end()) {
+            // A late reply to a dispatch of an already-ended run (or a
+            // straggler duplicate that lost): benign, frees the slot.
+            dispatch_ready();
+            continue;
+        }
+        DispatchRec d = d_it->second;
+        dispatches_.erase(d_it);
+        auto run_it = runs_.find(d.run);
+        if (run_it == runs_.end()) {
+            dispatch_ready();
+            continue;
+        }
+        RunState& run = *run_it->second;
+        if (reply.run != 0 && reply.run != run.id) {
+            // The worker echoed a different run's tag on this dispatch
+            // id: cross-run state corruption, not recoverable.
+            kill_worker(w, "protocol");
+            dispatch_ready();
+            return;
+        }
+        auto task_it = run.tasks.find(d.key);
+        if (task_it == run.tasks.end()) {
+            dispatch_ready();
+            continue;  // straggler duplicate; first result won
+        }
+        RunState::TaskRec& t = task_it->second;
+        drop_worker(t.live_on, w);
+        if (reply.type == MsgType::kResult) {
+            double latency =
+                std::chrono::duration<double>(Clock::now() - t.last_sent)
+                    .count();
+            CoordMetrics::get().results.add();
+            CoordMetrics::get().roundtrip.record(latency);
+            health_result(w, latency);
+            import_spans(w, reply);
+            LandedEval landed;
+            landed.key = d.key;
+            landed.result = EvalResult{reply.value, reply.feasible};
+            landed.eval_seconds = reply.eval_seconds;
+            run.tasks.erase(task_it);
+            run.inflight = std::max(0, run.inflight - 1);
+            run.landed_total += 1;
+            run.landed.push_back(std::move(landed));
+            run.cv.notify_all();
+        } else if (reply.type == MsgType::kError) {
+            CoordMetrics::get().worker_errors.add();
+            t.errors += 1;
+            if (t.errors >= kMaxTaskErrors) {
+                LandedEval landed;
+                landed.key = d.key;
+                landed.failed = true;
+                landed.error = reply.text;
+                run.tasks.erase(task_it);
+                run.inflight = std::max(0, run.inflight - 1);
+                run.landed.push_back(std::move(landed));
+                run.cv.notify_all();
+            } else if (!t.queued && t.live_on.empty()) {
+                t.queued = true;
+                run.ready.push_back(d.key);
+            }
+        }
+        dispatch_ready();
+    }
 }
 
 void
@@ -373,57 +937,21 @@ Coordinator::stale_workers() const
     return out;
 }
 
-namespace {
-
-/** Per-batch bookkeeping for one evaluation task. */
-struct TaskState {
-  bool done = false;
-  bool from_cache = false;
-  bool queued = false;
-  int errors = 0;
-  EvalResult result;
-  std::vector<std::size_t> live_on;  ///< workers with a dispatch in flight
-  Clock::time_point last_sent;
-};
-
-void
-drop_dispatch(TaskState& t, std::size_t w)
-{
-    t.live_on.erase(std::remove(t.live_on.begin(), t.live_on.end(), w),
-                    t.live_on.end());
-}
-
-}  // namespace
-
-bool
-Coordinator::dispatch_to(std::size_t w, std::size_t task,
-                         const BatchSpec& spec,
-                         const std::vector<Configuration>& configs)
-{
-    Message m;
-    m.type = MsgType::kEvaluate;
-    m.id = next_msg_id_++;
-    m.benchmark = spec.benchmark;
-    m.seed = spec.run_seed;
-    m.index = spec.first_index + task;
-    m.config = configs[task];
-    stamp_trace(m);
-    if (!workers_[w]->transport->send(encode(m)))
-        return false;
-    workers_[w]->inflight += 1;
-    workers_[w]->outstanding.insert(m.id);
-    health_dispatch(w);
-    CoordMetrics& cm = CoordMetrics::get();
-    cm.dispatched.add();
-    int inflight = 0;
-    for (const auto& wk : workers_)
-        inflight += wk->inflight;
-    cm.inflight_peak.set_max(static_cast<double>(inflight));
-    return true;
-}
+// ---------------------------------------------------------------------
+// Drivers: batch, round-driven and fully asynchronous runs.
+// ---------------------------------------------------------------------
 
 std::vector<EvalResult>
 Coordinator::evaluate_batch(const BatchSpec& spec,
+                            const std::vector<Configuration>& configs,
+                            double* eval_seconds)
+{
+    RunLease lease = begin_run();
+    return evaluate_batch(lease, spec, configs, eval_seconds);
+}
+
+std::vector<EvalResult>
+Coordinator::evaluate_batch(const RunLease& lease, const BatchSpec& spec,
                             const std::vector<Configuration>& configs,
                             double* eval_seconds)
 {
@@ -431,216 +959,52 @@ Coordinator::evaluate_batch(const BatchSpec& spec,
     std::vector<EvalResult> results(n);
     if (n == 0)
         return results;
+    if (!lease)
+        throw std::logic_error("coordinator: evaluate_batch without a run");
     obs::Span batch_span("coord.evaluate_batch", "coord");
 
-    std::vector<TaskState> tasks(n);
-    std::vector<std::size_t> pending;
-    std::unordered_map<std::uint64_t, std::size_t> id_to_task;
+    std::vector<char> from_cache(n, 0);
     std::size_t done_count = 0;
-
+    std::vector<std::pair<std::uint64_t, Configuration>> misses;
     for (std::size_t i = 0; i < n; ++i) {
         if (spec.cache) {
-            if (auto hit = spec.cache->lookup(spec.cache_namespace,
-                                              configs[i])) {
-                tasks[i].done = true;
-                tasks[i].from_cache = true;
+            if (auto hit =
+                    spec.cache->lookup(spec.cache_namespace, configs[i])) {
+                from_cache[i] = 1;
                 results[i] = *hit;
                 ++done_count;
                 continue;
             }
         }
-        tasks[i].queued = true;
-        pending.push_back(i);
+        misses.emplace_back(spec.first_index + i, configs[i]);
     }
-
-    auto mark_dead = [&](std::size_t w, const char* reason) {
-        kill_worker(w, reason);
-        for (std::size_t i = 0; i < n; ++i) {
-            TaskState& t = tasks[i];
-            drop_dispatch(t, w);
-            if (!t.done && !t.queued && t.live_on.empty()) {
-                t.queued = true;
-                pending.push_back(i);
-            }
-        }
-    };
-
-    auto send_task = [&](std::size_t w, std::size_t task) -> bool {
-        std::uint64_t id_before = next_msg_id_;
-        if (!dispatch_to(w, task, spec, configs)) {
-            mark_dead(w, "send_failed");
-            return false;
-        }
-        id_to_task[id_before] = task;
-        tasks[task].live_on.push_back(w);
-        tasks[task].last_sent = Clock::now();
-        return true;
-    };
+    if (!misses.empty())
+        submit_tasks(lease.id(), spec, std::move(misses));
 
     while (done_count < n) {
-        // ---- Backpressure-limited assignment of queued tasks. ----
-        for (std::size_t w = 0; w < workers_.size() && !pending.empty();
-             ++w) {
-            Worker& wk = *workers_[w];
-            while (wk.alive && wk.inflight < wk.capacity &&
-                   !pending.empty()) {
-                std::size_t task = pending.back();
-                pending.pop_back();
-                tasks[task].queued = false;
-                if (!send_task(w, task)) {
-                    // Worker died on send; the task was re-queued by
-                    // mark_dead only if it had no other live dispatch.
-                    break;
-                }
-            }
-        }
-
-        bool any_inflight = false;
-        for (const auto& w : workers_)
-            any_inflight = any_inflight || w->inflight > 0;
-        if (!any_inflight) {
-            if (num_workers() == 0) {
+        std::vector<LandedEval> landed =
+            wait_landed(lease.id(), opt_.poll_ms);
+        if (landed.empty())
+            sweep();
+        for (LandedEval& l : landed) {
+            if (l.failed) {
                 throw std::runtime_error(
-                    "coordinator: no live workers remain");
+                    "coordinator: evaluation failed: " + l.error);
             }
-            if (!pending.empty())
-                continue;  // free slots opened up; assign again
-        }
-
-        // ---- Drain results; block briefly on the first busy worker. ----
-        bool received = false;
-        for (std::size_t w = 0; w < workers_.size(); ++w) {
-            Worker& wk = *workers_[w];
-            if (!wk.alive || wk.inflight == 0)
+            std::size_t i =
+                static_cast<std::size_t>(l.key - spec.first_index);
+            if (i >= n || from_cache[i])
                 continue;
-            int timeout = received ? 0 : opt_.poll_ms;
-            for (;;) {
-                std::string line;
-                RecvStatus rs = wk.transport->recv(line, timeout);
-                if (rs == RecvStatus::kTimeout)
-                    break;
-                if (rs == RecvStatus::kClosed) {
-                    mark_dead(w, "closed");
-                    break;
-                }
-                received = true;
-                timeout = 0;  // drain without blocking
-                Message reply;
-                if (!decode(line, reply)) {
-                    // A worker emitting undecodable frames is unreliable;
-                    // killing it re-queues its tasks instead of leaving
-                    // them in flight forever (which would wedge the batch).
-                    mark_dead(w, "bad_frame");
-                    break;
-                }
-                health_touch(w);
-                if (reply.type == MsgType::kHeartbeat) {
-                    health_heartbeat(w);
-                    continue;
-                }
-                if (reply.type == MsgType::kGoodbye) {
-                    // Worker announcing a clean exit mid-run; keep its
-                    // spans, let the subsequent close re-queue its work.
-                    import_spans(w, reply);
-                    continue;
-                }
-                auto out_it = wk.outstanding.find(reply.id);
-                if (out_it == wk.outstanding.end()) {
-                    // Reply to an id this worker was never sent: the
-                    // worker failed to decode a dispatch (its error
-                    // frames carry id 0) or has a protocol bug. Same
-                    // treatment as garbage.
-                    mark_dead(w, "protocol");
-                    break;
-                }
-                wk.outstanding.erase(out_it);
-                wk.inflight = std::max(0, wk.inflight - 1);
-                health_reply(w);
-                auto it = id_to_task.find(reply.id);
-                if (it == id_to_task.end()) {
-                    // A late reply from an earlier batch (a straggler
-                    // duplicate that outlived its evaluate_batch call, or
-                    // leftover work from an aborted batch): benign, just
-                    // frees the worker slot.
-                    continue;
-                }
-                std::size_t task = it->second;
-                id_to_task.erase(it);
-                TaskState& t = tasks[task];
-                drop_dispatch(t, w);
-                if (reply.type == MsgType::kResult) {
-                    double latency =
-                        std::chrono::duration<double>(Clock::now() -
-                                                      t.last_sent)
-                            .count();
-                    CoordMetrics::get().results.add();
-                    CoordMetrics::get().roundtrip.record(latency);
-                    health_result(w, latency);
-                    import_spans(w, reply);
-                    if (!t.done) {
-                        t.done = true;
-                        results[task] =
-                            EvalResult{reply.value, reply.feasible};
-                        if (eval_seconds)
-                            *eval_seconds += reply.eval_seconds;
-                        ++done_count;
-                    }
-                } else {
-                    // Worker answered with an error frame.
-                    CoordMetrics::get().worker_errors.add();
-                    if (!t.done) {
-                        t.errors += 1;
-                        if (t.errors >= kMaxTaskErrors) {
-                            throw std::runtime_error(
-                                "coordinator: evaluation failed: " +
-                                reply.text);
-                        }
-                        if (!t.queued && t.live_on.empty()) {
-                            t.queued = true;
-                            pending.push_back(task);
-                        }
-                    }
-                }
-            }
-        }
-
-        // ---- Dead-worker detection via missed heartbeats. ----
-        // A worker holding outstanding work that has gone silent past
-        // the grace window is killed here, re-queueing its shards,
-        // instead of the batch wedging until its transport closes.
-        for (std::size_t sw : stale_workers())
-            mark_dead(sw, "heartbeat");
-
-        // ---- Straggler re-dispatch. ----
-        if (opt_.straggler_ms > 0) {
-            auto now = Clock::now();
-            for (std::size_t i = 0; i < n; ++i) {
-                TaskState& t = tasks[i];
-                if (t.done || t.queued || t.live_on.empty())
-                    continue;
-                auto age = std::chrono::duration_cast<
-                               std::chrono::milliseconds>(now - t.last_sent)
-                               .count();
-                if (age < opt_.straggler_ms)
-                    continue;
-                for (std::size_t w = 0; w < workers_.size(); ++w) {
-                    Worker& wk = *workers_[w];
-                    bool already = std::find(t.live_on.begin(),
-                                             t.live_on.end(),
-                                             w) != t.live_on.end();
-                    if (!wk.alive || already || wk.inflight >= wk.capacity)
-                        continue;
-                    CoordMetrics::get().redispatched.add();
-                    send_task(w, i);
-                    break;
-                }
-            }
+            results[i] = l.result;
+            if (eval_seconds)
+                *eval_seconds += l.eval_seconds;
+            ++done_count;
         }
     }
 
     if (spec.cache) {
         for (std::size_t i = 0; i < n; ++i) {
-            if (!tasks[i].from_cache)
+            if (!from_cache[i])
                 spec.cache->insert(spec.cache_namespace, configs[i],
                                    results[i]);
         }
@@ -655,6 +1019,10 @@ Coordinator::drive(AskTellTuner& tuner, const BatchSpec& spec,
 {
     if (batch_size < 1)
         batch_size = 1;
+    // One run (one admission slot, one wire run id) for the whole drive:
+    // rounds share the lease so a multi-round drive cannot be starved
+    // between its own batches by admission control.
+    RunLease lease = begin_run();
     int done = 0;
     while (tuner.remaining() > 0 && (max_evals < 0 || done < max_evals)) {
         int want = batch_size;
@@ -667,7 +1035,7 @@ Coordinator::drive(AskTellTuner& tuner, const BatchSpec& spec,
         round.first_index = tuner.history().size();
         double eval_seconds = 0.0;
         std::vector<EvalResult> results =
-            evaluate_batch(round, batch, &eval_seconds);
+            evaluate_batch(lease, round, batch, &eval_seconds);
         tuner.observe(batch, results);
         tuner.mutable_history().eval_seconds += eval_seconds;
         done += static_cast<int>(batch.size());
@@ -693,17 +1061,12 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
     if (slots < 1)
         slots = 1;
     obs::Span drive_span("coord.drive_async", "coord");
+    RunLease lease = begin_run(/*max_inflight=*/slots);
 
-    /** One in-flight evaluation, keyed by its evaluation index. */
-    struct AsyncTask {
-      Configuration config;
-      bool queued = true;  ///< awaiting (re-)dispatch to a worker
-      int errors = 0;
-      std::vector<std::size_t> live_on;  ///< workers with a dispatch out
-      Clock::time_point last_sent;
-    };
-    std::map<std::uint64_t, AsyncTask> active;
-    std::unordered_map<std::uint64_t, std::uint64_t> id_to_index;
+    // Driver-side view of the in-flight evaluations (the checkpoint
+    // payload and the constant-liar pending list); the scheduler core
+    // owns the dispatch state.
+    std::map<std::uint64_t, Configuration> active;
     int told = 0;
 
     // ---- Suggest-ahead pipeline (opt_.suggest_ahead, slots >= 2). ----
@@ -743,14 +1106,16 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
     // Indices are dealt sequentially over the run: observed + in-flight
     // always cover a prefix of the index space.
     std::uint64_t next_index = tuner.history().size();
+    std::vector<std::pair<std::uint64_t, Configuration>> initial;
     for (PendingEval& p : resume_pending) {
-        AsyncTask t;
-        t.config = std::move(p.config);
         next_index = std::max(next_index, p.index + 1);
-        active.emplace(p.index, std::move(t));
+        active.emplace(p.index, p.config);
+        initial.emplace_back(p.index, std::move(p.config));
     }
     next_index =
         std::max(next_index, tuner.history().size() + active.size());
+    if (!initial.empty())
+        submit_tasks(lease.id(), spec, std::move(initial));
 
     // Observe one landed result: cache it, tell the tuner, checkpoint
     // the run with the work still in flight, notify the caller — the
@@ -761,8 +1126,8 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
         std::vector<PendingEval> still_pending;
         if (!checkpoint_path.empty()) {
             still_pending.reserve(active.size());
-            for (const auto& [i, t] : active)
-                still_pending.push_back(PendingEval{i, t.config});
+            for (const auto& [i, c] : active)
+                still_pending.push_back(PendingEval{i, c});
         }
         AsyncEvent ev;
         ev.index = index;
@@ -774,47 +1139,6 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                           spec.cache_namespace, checkpoint_path,
                           still_pending, on_result);
         ++told;
-    };
-
-    auto mark_dead = [&](std::size_t w, const char* reason) {
-        kill_worker(w, reason);
-        for (auto& [index, t] : active) {
-            t.live_on.erase(
-                std::remove(t.live_on.begin(), t.live_on.end(), w),
-                t.live_on.end());
-            if (t.live_on.empty())
-                t.queued = true;
-        }
-    };
-
-    auto send_task = [&](std::size_t w, std::uint64_t index) -> bool {
-        AsyncTask& t = active.at(index);
-        Message m;
-        m.type = MsgType::kEvaluate;
-        m.id = next_msg_id_++;
-        m.benchmark = spec.benchmark;
-        m.seed = spec.run_seed;
-        m.index = index;
-        m.config = t.config;
-        stamp_trace(m);
-        if (!workers_[w]->transport->send(encode(m))) {
-            mark_dead(w, "send_failed");
-            return false;
-        }
-        workers_[w]->inflight += 1;
-        workers_[w]->outstanding.insert(m.id);
-        health_dispatch(w);
-        CoordMetrics& cm = CoordMetrics::get();
-        cm.dispatched.add();
-        int inflight = 0;
-        for (const auto& wk : workers_)
-            inflight += wk->inflight;
-        cm.inflight_peak.set_max(static_cast<double>(inflight));
-        id_to_index[m.id] = index;
-        t.live_on.push_back(w);
-        t.queued = false;
-        t.last_sent = Clock::now();
-        return true;
     };
 
     for (;;) {
@@ -833,8 +1157,8 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                     continue;  // re-check caps with the prefetched config
                 std::vector<Configuration> pending;
                 pending.reserve(active.size());
-                for (const auto& [index, t] : active)
-                    pending.push_back(t.config);
+                for (const auto& [index, c] : active)
+                    pending.push_back(c);
                 std::vector<Configuration> next =
                     tuner.suggest_with_pending(1, pending);
                 if (next.empty())
@@ -852,27 +1176,11 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
                     continue;
                 }
             }
-            AsyncTask t;
-            t.config = std::move(config);
-            active.emplace(index, std::move(t));
+            active.emplace(index, config);
+            submit_tasks(lease.id(), spec, {{index, std::move(config)}});
         }
         if (active.empty())
             break;
-
-        // ---- Assign queued tasks under per-worker backpressure. ----
-        for (std::size_t w = 0; w < workers_.size(); ++w) {
-            Worker& wk = *workers_[w];
-            if (!wk.alive)
-                continue;
-            for (auto& [index, t] : active) {
-                if (wk.inflight >= wk.capacity || !wk.alive)
-                    break;
-                if (t.queued)
-                    send_task(w, index);
-            }
-        }
-        if (num_workers() == 0)
-            throw std::runtime_error("coordinator: no live workers remain");
 
         // ---- Overlap the next suggestion with the in-flight work. Only
         // launched when the prefetch could actually be dispatched later
@@ -885,120 +1193,29 @@ Coordinator::drive_async(AskTellTuner& tuner, const BatchSpec& spec,
             tuner.remaining() > static_cast<int>(active.size())) {
             std::vector<Configuration> pending;
             pending.reserve(active.size());
-            for (const auto& [index, t] : active)
-                pending.push_back(t.config);
+            for (const auto& [index, c] : active)
+                pending.push_back(c);
             CoordMetrics::get().ahead_launched.add();
             ahead.launch(*ahead_pool, tuner, std::move(pending));
         }
 
-        // ---- Drain arrivals; tell each one the moment it lands. ----
-        bool received = false;
-        for (std::size_t w = 0; w < workers_.size(); ++w) {
-            Worker& wk = *workers_[w];
-            if (!wk.alive || wk.inflight == 0)
+        // ---- Collect arrivals; tell each one the moment it lands. ----
+        std::vector<LandedEval> landed =
+            wait_landed(lease.id(), opt_.poll_ms);
+        if (landed.empty())
+            sweep();
+        for (LandedEval& l : landed) {
+            if (l.failed) {
+                throw std::runtime_error(
+                    "coordinator: evaluation failed: " + l.error);
+            }
+            auto it = active.find(l.key);
+            if (it == active.end())
                 continue;
-            int timeout = received ? 0 : opt_.poll_ms;
-            for (;;) {
-                std::string line;
-                RecvStatus rs = wk.transport->recv(line, timeout);
-                if (rs == RecvStatus::kTimeout)
-                    break;
-                if (rs == RecvStatus::kClosed) {
-                    mark_dead(w, "closed");
-                    break;
-                }
-                received = true;
-                timeout = 0;  // drain without blocking
-                Message reply;
-                if (!decode(line, reply)) {
-                    // Same policy as evaluate_batch: an undecodable
-                    // frame marks the worker dead, re-queueing its work.
-                    mark_dead(w, "bad_frame");
-                    break;
-                }
-                health_touch(w);
-                if (reply.type == MsgType::kHeartbeat) {
-                    health_heartbeat(w);
-                    continue;
-                }
-                if (reply.type == MsgType::kGoodbye) {
-                    import_spans(w, reply);
-                    continue;
-                }
-                auto out_it = wk.outstanding.find(reply.id);
-                if (out_it == wk.outstanding.end()) {
-                    mark_dead(w, "protocol");
-                    break;
-                }
-                wk.outstanding.erase(out_it);
-                wk.inflight = std::max(0, wk.inflight - 1);
-                health_reply(w);
-                auto map_it = id_to_index.find(reply.id);
-                if (map_it == id_to_index.end())
-                    continue;  // late reply from an earlier drive: benign
-                std::uint64_t index = map_it->second;
-                id_to_index.erase(map_it);
-                auto task_it = active.find(index);
-                if (task_it == active.end())
-                    continue;  // straggler duplicate; first result won
-                AsyncTask& t = task_it->second;
-                t.live_on.erase(
-                    std::remove(t.live_on.begin(), t.live_on.end(), w),
-                    t.live_on.end());
-                if (reply.type == MsgType::kResult) {
-                    double latency =
-                        std::chrono::duration<double>(Clock::now() -
-                                                      t.last_sent)
-                            .count();
-                    CoordMetrics::get().results.add();
-                    CoordMetrics::get().roundtrip.record(latency);
-                    health_result(w, latency);
-                    import_spans(w, reply);
-                    Configuration config = std::move(t.config);
-                    active.erase(task_it);
-                    tell(index, std::move(config),
-                         EvalResult{reply.value, reply.feasible},
-                         reply.eval_seconds, false);
-                } else {
-                    CoordMetrics::get().worker_errors.add();
-                    t.errors += 1;
-                    if (t.errors >= kMaxTaskErrors) {
-                        throw std::runtime_error(
-                            "coordinator: evaluation failed: " + reply.text);
-                    }
-                    if (t.live_on.empty())
-                        t.queued = true;
-                }
-            }
-        }
-
-        // ---- Dead-worker detection via missed heartbeats. ----
-        for (std::size_t sw : stale_workers())
-            mark_dead(sw, "heartbeat");
-
-        // ---- Straggler re-dispatch. ----
-        if (opt_.straggler_ms > 0) {
-            auto now = Clock::now();
-            for (auto& [index, t] : active) {
-                if (t.queued || t.live_on.empty())
-                    continue;
-                auto age = std::chrono::duration_cast<
-                               std::chrono::milliseconds>(now - t.last_sent)
-                               .count();
-                if (age < opt_.straggler_ms)
-                    continue;
-                for (std::size_t w = 0; w < workers_.size(); ++w) {
-                    Worker& wk = *workers_[w];
-                    bool already = std::find(t.live_on.begin(),
-                                             t.live_on.end(),
-                                             w) != t.live_on.end();
-                    if (!wk.alive || already || wk.inflight >= wk.capacity)
-                        continue;
-                    CoordMetrics::get().redispatched.add();
-                    send_task(w, index);
-                    break;
-                }
-            }
+            Configuration config = std::move(it->second);
+            active.erase(it);
+            tell(l.key, std::move(config), l.result, l.eval_seconds,
+                 false);
         }
     }
 }

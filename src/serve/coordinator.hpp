@@ -3,26 +3,42 @@
 
 /**
  * @file
- * The multi-worker evaluation coordinator.
+ * The run-multiplexed multi-worker evaluation coordinator.
  *
- * A Coordinator owns transports to registered workers and shards each
- * suggest(n) batch across them — the batch itself is produced by the
- * tuner's constant-liar machinery, so the coordinator is a drop-in
- * replacement for EvalEngine::evaluate_batch across process/host
- * boundaries.
+ * A Coordinator owns transports to registered workers and shards
+ * evaluation batches across them — each batch is produced by a tuner's
+ * constant-liar machinery, so the coordinator is a drop-in replacement
+ * for EvalEngine::evaluate_batch across process/host boundaries.
  *
- * Scheduling is shard-deterministic: results are assembled in batch
- * order and each evaluation's noise stream is derived worker-side from
- * (run seed, evaluation index), so the assembled history is independent
- * of which worker ran what and in which order — a coordinator-driven run
- * reproduces the same-seed EvalEngine run bit-for-bit.
+ * Concurrency model: the coordinator multiplexes any number of
+ * concurrent *runs* over one shared fleet. A run is opened with
+ * begin_run() (an RAII RunLease), its evaluate frames are tagged with
+ * the run id on the wire, and one reader thread per worker demultiplexes
+ * landed results into per-run completion queues. A small scheduler
+ * leases worker slots to runs fairly — round-robin over active runs,
+ * one dispatch per run per pass, honoring per-worker capacity and each
+ * run's own in-flight cap — so a slow tenant can no longer starve the
+ * rest (the old design serialized whole runs behind a fleet mutex).
+ * Admission control (max_active_runs) refuses runs past the cap with a
+ * CoordinatorBusy error after an optional bounded wait.
+ *
+ * Scheduling stays shard-deterministic per run: results are assembled
+ * in batch order and each evaluation's noise stream is derived
+ * worker-side from (run seed, evaluation index), so the assembled
+ * history is independent of which worker ran what, in which order, and
+ * of whatever other runs shared the fleet — a coordinator-driven run
+ * reproduces the same-seed EvalEngine run bit-for-bit, concurrent or
+ * not.
  *
  * Robustness: per-worker backpressure (at most `capacity` frames in
  * flight per worker), straggler re-dispatch (a task outstanding longer
  * than straggler_ms is duplicated onto a free worker; first result
  * wins — duplicates are harmless because evaluation is deterministic),
- * and dead-worker recovery (tasks whose only live dispatch was on a
- * closed transport are re-queued).
+ * dead-worker recovery (tasks whose only live dispatch was on a closed
+ * transport are re-queued), and worker re-registration (a worker killed
+ * by heartbeat loss can reconnect through add_worker_registered — the
+ * late-hello path — and is immediately re-leased to active runs, which
+ * is how their re-queued shards drain).
  *
  * drive_async() is the tell-as-results-land counterpart of drive(): the
  * fleet never barriers on a full batch — each result frame is told to
@@ -37,15 +53,20 @@
  * from stats/dump threads while a drive runs). Workers advertising a
  * heartbeat interval in their hello send heartbeat frames when idle
  * between requests; a worker holding outstanding work that goes silent
- * for heartbeat_grace intervals is declared dead inside the drive loop
+ * for heartbeat_grace intervals is declared dead by the drivers' sweep
  * — its shards re-queue through the same path as a closed transport,
- * instead of the batch wedging on a blocked read.
+ * instead of the run wedging on a blocked read.
  */
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/thread_annotations.hpp"
@@ -87,6 +108,17 @@ struct CoordinatorOptions {
    * ignored when slots < 2.
    */
   bool suggest_ahead = false;
+  /**
+   * Admission control: maximum concurrently active runs; a begin_run()
+   * past the cap throws CoordinatorBusy. 0 = unlimited.
+   */
+  int max_active_runs = 0;
+  /**
+   * How long begin_run() may wait for a slot before throwing
+   * CoordinatorBusy when the run cap is reached; <= 0 rejects
+   * immediately.
+   */
+  int admission_wait_ms = 0;
 };
 
 /** Everything identifying one sharded batch. */
@@ -112,7 +144,21 @@ struct WorkerHealthSnapshot {
   int heartbeat_ms = 0;          ///< advertised interval (0 = none)
 };
 
-/** Shards evaluation batches across registered workers. */
+/** Point-in-time view of one active run (see Coordinator::run_stats). */
+struct RunStatsSnapshot {
+  std::uint64_t run = 0;
+  int inflight = 0;           ///< tasks live on the fleet
+  std::size_t queued = 0;     ///< tasks waiting for a worker slot
+  std::uint64_t landed = 0;   ///< results landed so far
+};
+
+/** begin_run() refusal: the run cap (max_active_runs) is reached. */
+class CoordinatorBusy : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/** Shards evaluation batches of concurrent runs across a worker fleet. */
 class Coordinator {
  public:
   explicit Coordinator(CoordinatorOptions opt = CoordinatorOptions{});
@@ -120,6 +166,58 @@ class Coordinator {
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
+
+  /**
+   * RAII lease on one multiplexed run: holds the run's admission slot
+   * and per-run completion queue; destruction (or reset()) ends the run
+   * and wakes admission waiters. Movable, not copyable. A
+   * default-constructed lease is empty (operator bool is false).
+   */
+  class RunLease {
+   public:
+    RunLease() = default;
+    RunLease(RunLease&& o) noexcept : coordinator_(o.coordinator_),
+                                      id_(o.id_)
+    {
+        o.coordinator_ = nullptr;
+        o.id_ = 0;
+    }
+    RunLease&
+    operator=(RunLease&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            coordinator_ = o.coordinator_;
+            id_ = o.id_;
+            o.coordinator_ = nullptr;
+            o.id_ = 0;
+        }
+        return *this;
+    }
+    ~RunLease() { reset(); }
+
+    /** The run id stamped on this run's wire frames. */
+    std::uint64_t id() const { return id_; }
+    explicit operator bool() const { return coordinator_ != nullptr; }
+    /** End the run now (idempotent). */
+    void
+    reset()
+    {
+        if (coordinator_ != nullptr)
+            coordinator_->end_run(id_);
+        coordinator_ = nullptr;
+        id_ = 0;
+    }
+
+   private:
+    friend class Coordinator;
+    RunLease(Coordinator* coordinator, std::uint64_t id)
+        : coordinator_(coordinator), id_(id)
+    {
+    }
+    Coordinator* coordinator_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
 
   /**
    * Register a worker: waits for its hello frame (capacity handshake).
@@ -132,7 +230,10 @@ class Coordinator {
    * validated by the caller (the Acceptor routes worker connections
    * here after reading their first frame). capacity is the hello's
    * advertised slot count (<= 0 falls back to 1); heartbeat_ms its
-   * advertised beacon interval (0 = none).
+   * advertised beacon interval (0 = none). This is also the
+   * re-registration path: a worker killed by heartbeat loss or a broken
+   * transport reconnects here under a fresh worker id and is
+   * immediately leased to active runs.
    */
   int add_worker_registered(std::unique_ptr<Transport> transport,
                             int capacity, int heartbeat_ms = 0);
@@ -142,7 +243,7 @@ class Coordinator {
 
   /**
    * Health snapshot of every registered worker, alive or dead.
-   * Thread-safe against a concurrently running drive (the registry has
+   * Thread-safe against concurrently running drives (the registry has
    * its own mutex), so stats connections and periodic dumps can read it
    * mid-run. Staleness ("slow") is only judged while the worker holds
    * outstanding work — an idle worker's frames sit undrained in the
@@ -151,11 +252,38 @@ class Coordinator {
   std::vector<WorkerHealthSnapshot> health() const;
 
   /**
-   * Evaluate one batch across the worker fleet. Results are returned in
-   * input order; evaluation i uses eval_rng_for(run_seed, first_index+i)
-   * worker-side. Cache hits skip dispatch entirely. *eval_seconds
-   * (optional) accumulates the summed per-evaluation durations.
-   * @throws std::runtime_error when no live worker remains.
+   * Open a multiplexed run. max_inflight caps how many of this run's
+   * tasks may be live on the fleet at once (0 = bounded only by fleet
+   * capacity). Thread-safe: any number of threads can hold leases and
+   * drive their runs concurrently over the shared fleet.
+   * @throws CoordinatorBusy when max_active_runs is reached and no slot
+   * frees within admission_wait_ms.
+   */
+  RunLease begin_run(int max_inflight = 0) BACO_EXCLUDES(mu_);
+
+  /** Number of currently active (leased) runs. */
+  std::size_t active_runs() const BACO_EXCLUDES(mu_);
+
+  /** Per-run scheduler counters for stats endpoints. */
+  std::vector<RunStatsSnapshot> run_stats() const BACO_EXCLUDES(mu_);
+
+  /**
+   * Evaluate one batch across the worker fleet under `lease`'s run.
+   * Results are returned in input order; evaluation i uses
+   * eval_rng_for(run_seed, first_index+i) worker-side. Cache hits skip
+   * dispatch entirely. *eval_seconds (optional) accumulates the summed
+   * per-evaluation durations.
+   * @throws std::runtime_error when no live worker remains or an
+   * evaluation keeps failing.
+   */
+  std::vector<EvalResult> evaluate_batch(
+      const RunLease& lease, const BatchSpec& spec,
+      const std::vector<Configuration>& configs,
+      double* eval_seconds = nullptr);
+
+  /**
+   * evaluate_batch under a transient single-batch run (subject to
+   * admission control like any other run).
    */
   std::vector<EvalResult> evaluate_batch(
       const BatchSpec& spec, const std::vector<Configuration>& configs,
@@ -163,7 +291,8 @@ class Coordinator {
 
   /**
    * Drive an ask-tell tuner through the worker fleet, batch_size
-   * configurations per round, like EvalEngine::drive. When
+   * configurations per round, like EvalEngine::drive. The whole drive
+   * is one run (one admission slot, one wire run id). When
    * checkpoint_path is nonempty a resume checkpoint is rewritten after
    * every observed batch.
    */
@@ -178,6 +307,7 @@ class Coordinator {
    * Fully asynchronous drive: keep up to `slots` evaluations in flight
    * across the fleet (per-worker capacity still applies), tell each
    * result as it arrives, refill freed slots via suggest_with_pending().
+   * The whole drive is one run with max_inflight = slots.
    * Checkpoints (when checkpoint_path is nonempty) record the in-flight
    * evaluations; resume_pending re-dispatches those of a killed run.
    * on_result (optional) fires after every tell, in arrival order.
@@ -194,11 +324,31 @@ class Coordinator {
   TuningHistory run_async(AskTellTuner& tuner, const BatchSpec& spec,
                           int slots);
 
-  /** Send shutdown to every live worker and close the transports. */
+  /**
+   * Send shutdown to every live worker, wait briefly for their goodbye
+   * frames (final eval counts + trace spans), close the transports and
+   * join the reader threads. Idempotent.
+   */
   void shutdown();
 
  private:
   struct Worker;
+  struct RunState;
+
+  /** One landed evaluation, demultiplexed into its run's queue. */
+  struct LandedEval {
+    std::uint64_t key = 0;  ///< wire evaluation index
+    EvalResult result;
+    double eval_seconds = 0.0;
+    bool failed = false;  ///< kMaxTaskErrors exceeded; see error
+    std::string error;
+  };
+
+  /** Maps an outstanding dispatch id to its run and task key. */
+  struct DispatchRec {
+    std::uint64_t run = 0;
+    std::uint64_t key = 0;
+  };
 
   /** Mirror of one worker's liveness, guarded by health_mutex_. */
   struct HealthState {
@@ -211,16 +361,59 @@ class Coordinator {
     int heartbeat_ms = 0;
   };
 
-  /** Send task `task` to worker w; false when the send fails. */
-  bool dispatch_to(std::size_t w, std::size_t task, const BatchSpec& spec,
-                   const std::vector<Configuration>& configs);
+  /** begin_run() body; returns the new run id. */
+  std::uint64_t begin_run_id(int max_inflight) BACO_EXCLUDES(mu_);
+
+  /** Close a run: drop its state, wake admission waiters (RunLease). */
+  void end_run(std::uint64_t run) BACO_EXCLUDES(mu_);
+
+  /** Add tasks to a run's queue and kick the scheduler. */
+  void submit_tasks(
+      std::uint64_t run, const BatchSpec& spec,
+      std::vector<std::pair<std::uint64_t, Configuration>> tasks)
+      BACO_EXCLUDES(mu_);
 
   /**
-   * Transport-level death: close, clear in-flight accounting, bump the
-   * coord.worker.dead counter, log the event. The drive loops' own
-   * mark_dead wrappers re-queue the worker's tasks on top of this.
+   * Move the run's landed results out, waiting up to timeout_ms for the
+   * first one. Returns empty on timeout or when the run has no tasks
+   * left. @throws std::runtime_error when tasks remain but no live
+   * worker does.
    */
-  void kill_worker(std::size_t w, const char* reason);
+  std::vector<LandedEval> wait_landed(std::uint64_t run, int timeout_ms)
+      BACO_EXCLUDES(mu_);
+
+  /**
+   * Driver-side maintenance: kill heartbeat-stale workers (re-queueing
+   * their shards) and duplicate straggling tasks onto free workers.
+   */
+  void sweep() BACO_EXCLUDES(mu_);
+
+  /** Per-worker reader: demultiplexes frames until the transport dies. */
+  void reader_loop(Worker* wk, std::size_t w) BACO_EXCLUDES(mu_);
+
+  /**
+   * Fair scheduler: round-robin over active runs (one dispatch per run
+   * per pass) until no run has both a queued task and a free worker
+   * slot. Runs with inflight >= their cap are skipped.
+   */
+  void dispatch_ready() BACO_REQUIRES(mu_);
+
+  /** Send task `key` of `run` to worker w; false when the send fails. */
+  bool dispatch_one(RunState& run, std::uint64_t key, std::size_t w,
+                    bool duplicate) BACO_REQUIRES(mu_);
+
+  /**
+   * Transport-level death: close, clear in-flight accounting, re-queue
+   * every task whose only live dispatch was on this worker, bump the
+   * coord.worker.dead counter, log the event, wake run waiters.
+   */
+  void kill_worker(std::size_t w, const char* reason) BACO_REQUIRES(mu_);
+
+  /** Workers currently able to take dispatches. */
+  std::size_t alive_workers() const BACO_REQUIRES(mu_);
+
+  /** Wake every run's completion waiters (fleet topology changed). */
+  void notify_runs() BACO_REQUIRES(mu_);
 
   /** Stamp the trace context onto an outgoing evaluate frame. */
   static void stamp_trace(Message& m);
@@ -230,6 +423,7 @@ class Coordinator {
 
   // WorkerHealth registry updates (all take health_mutex_ themselves,
   // which is why stats/dump threads can call health() mid-drive).
+  // Lock order: mu_ before health_mutex_, never the reverse.
   void health_register(int heartbeat_ms) BACO_EXCLUDES(health_mutex_);
   void health_touch(std::size_t w) BACO_EXCLUDES(health_mutex_);
   void health_dispatch(std::size_t w) BACO_EXCLUDES(health_mutex_);
@@ -243,8 +437,30 @@ class Coordinator {
       BACO_EXCLUDES(health_mutex_);
 
   CoordinatorOptions opt_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::uint64_t next_msg_id_ = 1;
+
+  /**
+   * The scheduler mutex: guards the worker table's mutable dispatch
+   * state, the run table and the dispatch-id map. Reader threads and
+   * driver threads meet here; per-run condition variables (inside
+   * RunState) and the admission/shutdown CVs all wait on it.
+   */
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Worker>> workers_ BACO_GUARDED_BY(mu_);
+  /** Active runs by id (ordered: the scheduler round-robins over it). */
+  std::map<std::uint64_t, std::unique_ptr<RunState>> runs_
+      BACO_GUARDED_BY(mu_);
+  /** Outstanding dispatch ids -> (run, task key). */
+  std::unordered_map<std::uint64_t, DispatchRec> dispatches_
+      BACO_GUARDED_BY(mu_);
+  std::uint64_t next_msg_id_ BACO_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_run_id_ BACO_GUARDED_BY(mu_) = 1;
+  /** Last run id served by the scheduler (fairness cursor). */
+  std::uint64_t rr_cursor_ BACO_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ BACO_GUARDED_BY(mu_) = false;
+  /** Signaled when a run ends (admission waiters re-check the cap). */
+  CondVar admission_cv_;
+  /** Signaled on goodbye frames and reader exits during shutdown(). */
+  CondVar shutdown_cv_;
 
   mutable Mutex health_mutex_;
   /** Index-parallel with workers_. */

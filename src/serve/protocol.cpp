@@ -551,6 +551,10 @@ encode(const Message& m)
         emit_str(out, "benchmark", m.benchmark);
         emit_u64(out, "seed", m.seed);
         emit_u64(out, "index", m.index);
+        // Run tag only when multiplexed: untagged frames stay
+        // byte-identical to the pre-multiplexing wire format.
+        if (m.run > 0)
+            emit_u64(out, "run", m.run);
         emit_trace_context(out, m);
         out << ",\"config\":";
         jsonl::write_config(out, m.config);
@@ -565,6 +569,8 @@ encode(const Message& m)
         // extras on coordinator<->worker replies.
         emit_u64(out, "evals", m.evals);
         emit_double(out, "best", m.best);
+        if (m.run > 0)
+            emit_u64(out, "run", m.run);
         emit_trace_context(out, m);
         emit_spans(out, m.spans);
         break;
@@ -595,10 +601,14 @@ encode(const Message& m)
       case MsgType::kHeartbeat:
         emit_u64(out, "id", m.id);
         emit_u64(out, "evals", m.evals);
+        if (m.run > 0)
+            emit_u64(out, "run", m.run);
         break;
       case MsgType::kGoodbye:
         emit_u64(out, "id", m.id);
         emit_u64(out, "evals", m.evals);
+        if (m.run > 0)
+            emit_u64(out, "run", m.run);
         emit_spans(out, m.spans);
         break;
       case MsgType::kShutdown:
@@ -606,6 +616,8 @@ encode(const Message& m)
       case MsgType::kError:
         emit_u64(out, "id", m.id);
         emit_str(out, "message", m.text);
+        if (!m.code.empty())
+            emit_str(out, "code", m.code);
         break;
     }
     out << '}';
@@ -729,6 +741,7 @@ decode(const std::string& line, Message& out, std::string* error)
             return fail(error, "evaluate without seed");
         if (!read_u64(line, "index", out.index))
             return fail(error, "evaluate without index");
+        read_u64(line, "run", out.run);  // optional run tag
         if (!read_trace_fields(line, out, error))
             return false;
         std::size_t at = line.find("\"config\":");
@@ -749,6 +762,7 @@ decode(const std::string& line, Message& out, std::string* error)
         read_u64(line, "index", out.index);
         read_u64(line, "evals", out.evals);
         read_double(line, "best", out.best);
+        read_u64(line, "run", out.run);  // optional run tag
         return read_trace_fields(line, out, error);
     }
     if (type == "stats") {
@@ -772,11 +786,13 @@ decode(const std::string& line, Message& out, std::string* error)
     if (type == "heartbeat") {
         out.type = MsgType::kHeartbeat;
         read_u64(line, "evals", out.evals);
+        read_u64(line, "run", out.run);  // optional run tag
         return true;
     }
     if (type == "goodbye") {
         out.type = MsgType::kGoodbye;
         read_u64(line, "evals", out.evals);
+        read_u64(line, "run", out.run);  // optional run tag
         return read_trace_fields(line, out, error);
     }
     if (type == "shutdown") {
@@ -786,6 +802,7 @@ decode(const std::string& line, Message& out, std::string* error)
     if (type == "error") {
         out.type = MsgType::kError;
         jsonl::field(line, "message", out.text);
+        jsonl::field(line, "code", out.code);  // optional machine code
         return true;
     }
     return fail(error, "unknown frame type: " + type);

@@ -46,6 +46,16 @@
  *   goodbye                    worker's final frame before a clean exit:
  *                              total evals plus any unshipped trace spans
  *
+ * Run multiplexing: evaluate frames dispatched on behalf of a concurrent
+ * run carry an optional "run" tag (the coordinator's run id), which the
+ * worker echoes on the matching result; heartbeat/goodbye frames carry
+ * the last run the worker served. The tag is emitted only when nonzero,
+ * so single-run traffic stays byte-identical to the untagged wire
+ * format and pre-tag workers remain compatible (the coordinator
+ * correlates by dispatch id; the tag is validation + observability).
+ * Error frames may carry an optional machine-readable "code" — "busy"
+ * marks a run refused by admission control (--max-active-runs).
+ *
  * Trace context: when the server runs with tracing enabled, evaluate
  * frames carry an optional versioned trace context ("tcv" =
  * kTraceVersion, "trace" = run id, "span" = parent span id). Workers
@@ -177,6 +187,10 @@ struct Message {
   std::uint64_t index = 0;  ///< evaluate/result: evaluation index;
                             ///< configs: first index of the batch
   std::uint64_t evals = 0;  ///< responses: history size so far
+  std::uint64_t run = 0;    ///< evaluate/result: coordinator run id;
+                            ///< heartbeat/goodbye: last run served.
+                            ///< 0 = untagged (omitted on the wire)
+  std::string code;  ///< error: optional machine-readable code ("busy")
 
   double value = 0.0;   ///< result: measured objective
   bool feasible = true; ///< result: hidden-constraint outcome

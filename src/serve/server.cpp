@@ -84,9 +84,23 @@ handle_server_stats(const Message& req, const ServerContext& ctx)
             static_cast<double>(ctx.acceptor->live_clients())));
     }
     if (ctx.coordinator) {
+        // Per-run scheduler counters: one gauge triple per active run,
+        // so a stats poll shows who is on the fleet right now.
+        std::vector<RunStatsSnapshot> runs = ctx.coordinator->run_stats();
+        reply.stats.push_back(stat_gauge(
+            "coord.runs.active.now", static_cast<double>(runs.size())));
+        for (const RunStatsSnapshot& r : runs) {
+            std::string prefix = "coord.run." + std::to_string(r.run) + ".";
+            reply.stats.push_back(stat_gauge(
+                prefix + "inflight", static_cast<double>(r.inflight)));
+            reply.stats.push_back(stat_gauge(
+                prefix + "queued", static_cast<double>(r.queued)));
+            reply.stats.push_back(stat_counter(
+                prefix + "landed", static_cast<double>(r.landed)));
+        }
         // Fleet health from the WorkerHealth registry (its own mutex, so
-        // this is safe while a sharded run holds the fleet mutex). State
-        // is encoded numerically: 2 alive, 1 slow, 0 dead.
+        // this is safe while sharded runs are in flight). State is
+        // encoded numerically: 2 alive, 1 slow, 0 dead.
         double alive = 0.0;
         double slow = 0.0;
         for (const WorkerHealthSnapshot& h : ctx.coordinator->health()) {
@@ -117,48 +131,12 @@ handle_server_stats(const Message& req, const ServerContext& ctx)
 }
 
 /**
- * Exclusive use of the shared worker fleet for one run. The Coordinator
- * is a single-driver object, so concurrent connections must take the
- * context's fleet mutex before even counting workers (the Acceptor's
- * attach path grows the worker vector concurrently). Runs that turn out
- * to evaluate in-process release() immediately — they never touch the
- * fleet, and holding the lock would needlessly serialize them.
- */
-class FleetGuard {
- public:
-    // NO_THREAD_SAFETY_ANALYSIS: the guard locks only when the context
-    // supplies a fleet mutex — conditional acquisition on a nullable
-    // pointer is outside what the capability analysis can express, and
-    // annotating ACQUIRE here would be a lie on the null path.
-    explicit FleetGuard(const ServerContext& ctx)
-        BACO_NO_THREAD_SAFETY_ANALYSIS : mu_(ctx.fleet_mutex)
-    {
-        if (mu_)
-            mu_->lock();
-    }
-
-    ~FleetGuard() BACO_NO_THREAD_SAFETY_ANALYSIS { release(); }
-
-    FleetGuard(const FleetGuard&) = delete;
-    FleetGuard& operator=(const FleetGuard&) = delete;
-
-    void
-    release() BACO_NO_THREAD_SAFETY_ANALYSIS
-    {
-        if (mu_) {
-            mu_->unlock();
-            mu_ = nullptr;
-        }
-    }
-
- private:
-    Mutex* mu_;
-};
-
-/**
  * Async server-side drive of one session: tell-as-results-land over the
  * coordinator's fleet (or the in-process EvalEngine without workers),
- * streaming one result frame per landed evaluation to the client.
+ * streaming one result frame per landed evaluation to the client. The
+ * Coordinator multiplexes concurrent runs itself — drive_async opens
+ * its own run lease (subject to admission control), so nothing here
+ * serializes connections against each other.
  */
 Message
 handle_run_async(const Message& req, const ServerContext& ctx,
@@ -172,10 +150,7 @@ handle_run_async(const Message& req, const ServerContext& ctx,
         req.n > 0 ? req.n : std::max(1, ctx.async_slots), 1,
         kMaxAsyncSlots);
     const int max_evals = req.budget > 0 ? req.budget : -1;
-    FleetGuard fleet(ctx);
     bool sharded = ctx.coordinator && ctx.coordinator->num_workers() > 0;
-    if (!sharded)
-        fleet.release();
 
     Message done;
     done.type = MsgType::kDone;
@@ -254,10 +229,14 @@ handle_run(const Message& req, const ServerContext& ctx)
 
     const int batch = std::max(1, req.n);
     const int max_evals = req.budget > 0 ? req.budget : -1;
-    FleetGuard fleet(ctx);
     bool sharded = ctx.coordinator && ctx.coordinator->num_workers() > 0;
-    if (!sharded)
-        fleet.release();
+    // One run lease for the whole request: every round of this run is
+    // scheduled fairly against other tenants' rounds, and admission
+    // control (CoordinatorBusy → "busy" error frame) happens here, up
+    // front, not halfway through the run.
+    Coordinator::RunLease lease;
+    if (sharded)
+        lease = ctx.coordinator->begin_run(/*max_inflight=*/batch);
     const Benchmark* local_bench = nullptr;
     if (!sharded)
         local_bench = &suite::find_benchmark(info->benchmark);
@@ -307,8 +286,8 @@ handle_run(const Message& req, const ServerContext& ctx)
             spec.first_index = configs.index;
             spec.cache = cache;
             spec.cache_namespace = info->cache_namespace;
-            results = ctx.coordinator->evaluate_batch(spec, configs.configs,
-                                                      &eval_seconds);
+            results = ctx.coordinator->evaluate_batch(
+                lease, spec, configs.configs, &eval_seconds);
         } else {
             results.reserve(configs.configs.size());
             for (std::size_t i = 0; i < configs.configs.size(); ++i) {
@@ -418,6 +397,11 @@ serve_connection(Transport& transport, const ServerContext& ctx,
                 reply = (req.async || ctx.async_runs)
                             ? handle_run_async(req, ctx, transport)
                             : handle_run(req, ctx);
+            } catch (const CoordinatorBusy& e) {
+                // Admission refusal: a machine-readable code so clients
+                // can back off and retry instead of parsing the text.
+                reply = make_error(req.id, e.what());
+                reply.code = "busy";
             } catch (const std::exception& e) {
                 reply = make_error(req.id, e.what());
             }
@@ -452,10 +436,6 @@ Acceptor::Acceptor(Listener listener, ServerContext ctx, AcceptorOptions opt)
         opt_.max_clients = 1;
     if (opt_.poll_ms < 1)
         opt_.poll_ms = 1;
-    // Every connection of this acceptor shares one fleet mutex, so
-    // sharded runs from different clients serialize instead of racing
-    // the Coordinator.
-    ctx_.fleet_mutex = &fleet_mutex_;
     // Connections report the acceptor's aggregation in the server-wide
     // stats frame.
     ctx_.acceptor = this;
@@ -513,9 +493,9 @@ Acceptor::reap(bool all)
             }
         }
     }
-    // Close everything first, join second: connection threads can block
-    // on EACH OTHER (a sharded run queued on the fleet mutex only wakes
-    // when the mutex holder's own transport dies), so an interleaved
+    // Close everything first, join second: a connection thread can be
+    // mid-run waiting on coordinator results, and only its own
+    // transport closing unsticks the streaming path — an interleaved
     // close-then-join could join a thread whose unblocker comes later
     // in the list. Transports whose ownership moved on (attached
     // workers) are left open — the coordinator shuts them down.
@@ -587,14 +567,13 @@ Acceptor::route_connection(Connection* conn)
         } else if (hello.version != kProtocolVersion) {
             reject = "protocol version mismatch";
         } else {
-            // May wait out a long sharded run on the fleet mutex; only
-            // this worker's attach is delayed, not the accept loop.
-            {
-                MutexLock fleet(fleet_mutex_);
-                ctx_.coordinator->add_worker_registered(
-                    std::make_unique<SharedTransport>(conn->transport),
-                    hello.capacity, hello.heartbeat_ms);
-            }
+            // Attach (or re-attach — a worker killed for heartbeat loss
+            // reconnects through this same path) mid-run is safe: the
+            // Coordinator synchronizes internally and re-leases the new
+            // worker to whatever runs have queued work.
+            ctx_.coordinator->add_worker_registered(
+                std::make_unique<SharedTransport>(conn->transport),
+                hello.capacity, hello.heartbeat_ms);
             conn->released.store(true);
             MutexLock lock(mutex_);
             stats_.workers_attached += 1;

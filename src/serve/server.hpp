@@ -57,14 +57,6 @@ struct ServerContext {
   bool async_runs = false;
   /** In-flight cap of an async run when the request's n is 0. */
   int async_slots = 4;
-  /**
-   * Serializes coordinator use across concurrent connections (the
-   * Coordinator is a single-driver object: one sharded run at a time).
-   * The Acceptor supplies one; a single-connection server leaves it
-   * null. Connections whose runs evaluate in-process never take it, so
-   * only fleet-driven runs queue up behind each other.
-   */
-  Mutex* fleet_mutex = nullptr;
 };
 
 /** Connection counters, for logs and tests. */
@@ -114,15 +106,17 @@ struct AcceptorStats {
  * itself with its hello frame — session clients get their own
  * serve_connection thread against the shared SessionManager; worker
  * hellos (role=worker) are attached to the shared Coordinator, growing
- * the evaluation fleet at runtime. The session registry is lock-striped
- * and the fleet mutex serializes sharded runs, so any number of clients
- * can tune concurrently against one server.
+ * the evaluation fleet at runtime (including a worker re-registering
+ * after a heartbeat death). The session registry is lock-striped and
+ * the Coordinator multiplexes concurrent fleet-driven runs over the
+ * shared workers (fair scheduling + admission control), so any number
+ * of clients can tune concurrently against one server without
+ * serializing behind each other's runs.
  *
  * The accept thread never blocks on a connection: each accepted socket
  * immediately gets its own thread, which reads the first frame (with
  * the hello timeout), routes on it and then serves — so a client that
- * connects and sends nothing, or a worker attach waiting out a long
- * sharded run on the fleet mutex, delays only its own thread, never the
+ * connects and sends nothing delays only its own thread, never the
  * accept loop.
  *
  * run() blocks until stop(). stop() is safe from any thread and from a
@@ -148,9 +142,6 @@ class Acceptor {
   /** The listening address (TCP port resolved after ephemeral bind). */
   const SocketAddress& address() const { return listener_.address(); }
 
-  /** The mutex handed to connections for coordinator serialization. */
-  Mutex& fleet_mutex() { return fleet_mutex_; }
-
   AcceptorStats stats() const;
   std::size_t live_clients() const;
 
@@ -172,7 +163,6 @@ class Acceptor {
   Listener listener_;
   ServerContext ctx_;
   AcceptorOptions opt_;
-  Mutex fleet_mutex_;
   std::atomic<bool> stopping_{false};
 
   mutable Mutex mutex_;

@@ -109,11 +109,28 @@ loopback_pair()
 PipeTransport::PipeTransport(int read_fd, int write_fd, bool owns_fds)
     : read_fd_(read_fd), write_fd_(write_fd), owns_(owns_fds)
 {
+    // Self-pipe wake channel for cross-thread close(); on the (rare)
+    // pipe() failure the transport still works, close() just cannot
+    // interrupt a reader blocked in an unbounded poll().
+    if (::pipe(wake_fds_) != 0) {
+        wake_fds_[0] = -1;
+        wake_fds_[1] = -1;
+    }
 }
 
 PipeTransport::~PipeTransport()
 {
     close();
+    // The read descriptor is only released here, once no reader thread
+    // can still be inside poll()/read() (the owner joins its reader
+    // before destroying the transport), so close() never recycles an
+    // fd number out from under a concurrent recv().
+    if (owns_ && read_fd_ >= 0)
+        ::close(read_fd_);
+    if (wake_fds_[0] >= 0)
+        ::close(wake_fds_[0]);
+    if (wake_fds_[1] >= 0)
+        ::close(wake_fds_[1]);
 }
 
 long
@@ -126,7 +143,7 @@ bool
 PipeTransport::send(const std::string& line)
 {
     MutexLock lock(write_mutex_);
-    if (closed_ || write_fd_ < 0)
+    if (closed_.load(std::memory_order_acquire) || write_fd_ < 0)
         return false;
     std::string frame = line;
     frame += '\n';
@@ -156,7 +173,7 @@ PipeTransport::recv(std::string& line, int timeout_ms)
             buffer_.erase(0, nl + 1);
             return RecvStatus::kOk;
         }
-        if (closed_ || read_fd_ < 0)
+        if (closed_.load(std::memory_order_acquire) || read_fd_ < 0)
             return RecvStatus::kClosed;
 
         int wait_ms = -1;
@@ -168,10 +185,13 @@ PipeTransport::recv(std::string& line, int timeout_ms)
                 return RecvStatus::kTimeout;
             wait_ms = static_cast<int>(left);
         }
-        struct pollfd pfd = {};
-        pfd.fd = read_fd_;
-        pfd.events = POLLIN;
-        int pr = ::poll(&pfd, 1, wait_ms);
+        struct pollfd pfds[2] = {};
+        pfds[0].fd = read_fd_;
+        pfds[0].events = POLLIN;
+        pfds[1].fd = wake_fds_[0];
+        pfds[1].events = POLLIN;
+        nfds_t npfds = wake_fds_[0] >= 0 ? 2 : 1;
+        int pr = ::poll(pfds, npfds, wait_ms);
         if (pr < 0) {
             if (errno == EINTR)
                 continue;
@@ -179,6 +199,10 @@ PipeTransport::recv(std::string& line, int timeout_ms)
         }
         if (pr == 0)
             return RecvStatus::kTimeout;
+        if (npfds == 2 && pfds[1].revents != 0)
+            return RecvStatus::kClosed;  // woken by a concurrent close()
+        if (pfds[0].revents == 0)
+            continue;
 
         char chunk[4096];
         ssize_t n = ::read(read_fd_, chunk, sizeof chunk);
@@ -196,18 +220,22 @@ PipeTransport::recv(std::string& line, int timeout_ms)
 void
 PipeTransport::close()
 {
-    MutexLock lock(write_mutex_);
-    if (closed_)
+    // Safe against a concurrent recv() on another thread: flag first,
+    // then poke the self-pipe so a blocked poll() wakes and re-checks.
+    if (closed_.exchange(true, std::memory_order_acq_rel))
         return;
-    closed_ = true;
-    if (owns_) {
-        if (read_fd_ >= 0)
-            ::close(read_fd_);
-        // A SocketTransport carries both directions on one descriptor.
-        if (write_fd_ >= 0 && write_fd_ != read_fd_)
-            ::close(write_fd_);
+    if (wake_fds_[1] >= 0) {
+        char byte = 0;
+        while (::write(wake_fds_[1], &byte, 1) < 0 && errno == EINTR) {
+        }
     }
-    read_fd_ = -1;
+    // Closing the write side delivers EOF to the peer; the read side
+    // stays open until destruction (see ~PipeTransport). A
+    // SocketTransport carries both directions on one descriptor and
+    // signals the peer via shutdown(2) instead (its close() override).
+    MutexLock lock(write_mutex_);
+    if (owns_ && write_fd_ >= 0 && write_fd_ != read_fd_)
+        ::close(write_fd_);
     write_fd_ = -1;
 }
 

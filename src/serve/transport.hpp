@@ -86,14 +86,19 @@ class PipeTransport : public Transport {
 
  private:
   // write_mutex_ serializes writers (send is thread-safe per the class
-  // contract); recv() is single-consumer and reads read_fd_/closed_/
-  // buffer_ without it by design, so those fields carry no GUARDED_BY —
-  // the cross-thread close() race is resolved at the fd layer (see
-  // SocketTransport::close).
+  // contract); recv() is single-consumer and reads read_fd_/buffer_
+  // without it by design, so those carry no GUARDED_BY. close() is
+  // safe against a concurrent recv(): it flips the atomic closed_
+  // flag, pokes the self-pipe so a reader blocked in poll() wakes and
+  // re-checks it, and closes only the write descriptor (peer EOF) —
+  // the read descriptor is released at destruction, after the owner
+  // joined any reader thread, so a woken reader never races a
+  // recycled fd number.
   int read_fd_;
   int write_fd_;
   bool owns_;
-  bool closed_ = false;
+  std::atomic<bool> closed_{false};
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe; close() writes one byte
   std::string buffer_;  ///< bytes read but not yet framed
   Mutex write_mutex_;
 };

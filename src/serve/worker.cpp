@@ -31,9 +31,10 @@ using Clock = std::chrono::steady_clock;
 class Beacon {
  public:
   Beacon(Transport& transport, int interval_ms,
-         const std::atomic<std::uint64_t>& evaluated)
+         const std::atomic<std::uint64_t>& evaluated,
+         const std::atomic<std::uint64_t>& last_run)
       : transport_(transport), interval_ms_(interval_ms),
-        evaluated_(evaluated)
+        evaluated_(evaluated), last_run_(last_run)
   {
       if (interval_ms_ > 0)
           thread_ = std::thread([this] { loop(); });
@@ -72,6 +73,7 @@ class Beacon {
           Message beat;
           beat.type = MsgType::kHeartbeat;
           beat.evals = evaluated_.load(std::memory_order_relaxed);
+          beat.run = last_run_.load(std::memory_order_relaxed);
           lock.unlock();
           bool sent = transport_.send(encode(beat));
           lock.lock();
@@ -83,6 +85,7 @@ class Beacon {
   Transport& transport_;
   const int interval_ms_;
   const std::atomic<std::uint64_t>& evaluated_;
+  const std::atomic<std::uint64_t>& last_run_;
   Mutex mutex_;
   CondVar cv_;
   bool stopped_ BACO_GUARDED_BY(mutex_) = false;
@@ -126,9 +129,12 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
     };
 
     std::atomic<std::uint64_t> evaluated{0};
+    // Last run id served, echoed on heartbeats/goodbyes so a multiplexed
+    // coordinator can attribute the beacon to a tenant.
+    std::atomic<std::uint64_t> last_run{0};
     // Beats flow from the beacon's own thread (see above) so they keep
     // arriving mid-evaluation; the loop itself just serves frames.
-    Beacon beacon(transport, hello.heartbeat_ms, evaluated);
+    Beacon beacon(transport, hello.heartbeat_ms, evaluated, last_run);
     bool saw_shutdown = false;
     std::string line;
     for (;;) {
@@ -155,6 +161,9 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
         reply.type = MsgType::kResult;
         reply.id = req.id;
         reply.index = req.index;  // lets observers correlate by evaluation
+        reply.run = req.run;      // echo the run tag on the result
+        if (req.run > 0)
+            last_run.store(req.run, std::memory_order_relaxed);
         bool traced = req.trace_version > 0 && !req.trace_run.empty();
         auto t0 = Clock::now();
         try {
@@ -197,6 +206,7 @@ run_worker_loop(Transport& transport, const WorkerOptions& opt)
         Message bye;
         bye.type = MsgType::kGoodbye;
         bye.evals = evaluated.load();
+        bye.run = last_run.load();
         transport.send(encode(bye));
     }
     return evaluated.load();

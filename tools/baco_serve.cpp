@@ -6,7 +6,11 @@
 // loop serves every connection against one shared SessionManager (and
 // worker fleet), so any number of clients tune concurrently, and
 // baco_worker --connect processes can join the fleet over the same
-// socket. --max-clients bounds concurrent connections; --max-sessions
+// socket. The Coordinator multiplexes concurrent fleet-driven runs with
+// fair round-robin scheduling; --max-active-runs caps how many run
+// requests may share the fleet at once (further runs get a structured
+// "busy" error frame, optionally after waiting --admission-wait-ms).
+// --max-clients bounds concurrent connections; --max-sessions
 // caps the in-memory session registry (excess sessions spill their
 // checkpoints to disk and reload transparently on the next request —
 // requires --checkpoint-dir). SIGINT/SIGTERM stop the accept loop
@@ -49,6 +53,7 @@
 // Usage:
 //   baco_serve [--listen unix:PATH|tcp:HOST:PORT]
 //              [--max-clients N] [--max-sessions N]
+//              [--max-active-runs N] [--admission-wait-ms N]
 //              [--checkpoint-dir DIR] [--cache FILE]
 //              [--workers N] [--worker-cmd CMD]
 //              [--idle-timeout SECONDS] [--async]
@@ -397,6 +402,8 @@ main(int argc, char** argv)
     std::string listen_spec;
     int workers = 0;
     int max_clients = 64;
+    int max_active_runs = 0;
+    int admission_wait_ms = 0;
     long max_sessions = 0;
     double idle_timeout = 0.0;
     double metrics_interval = 0.0;
@@ -427,6 +434,10 @@ main(int argc, char** argv)
             max_clients = std::atoi(argv[++i]);
         } else if (arg == "--max-sessions" && i + 1 < argc) {
             max_sessions = std::atol(argv[++i]);
+        } else if (arg == "--max-active-runs" && i + 1 < argc) {
+            max_active_runs = std::atoi(argv[++i]);
+        } else if (arg == "--admission-wait-ms" && i + 1 < argc) {
+            admission_wait_ms = std::atoi(argv[++i]);
         } else if (arg == "--idle-timeout" && i + 1 < argc) {
             idle_timeout = std::atof(argv[++i]);
         } else if (arg == "--metrics-interval" && i + 1 < argc) {
@@ -455,6 +466,7 @@ main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: %s [--listen unix:PATH|tcp:HOST:PORT] "
                          "[--max-clients N] [--max-sessions N] "
+                         "[--max-active-runs N] [--admission-wait-ms N] "
                          "[--checkpoint-dir DIR] [--cache FILE] "
                          "[--workers N] [--worker-cmd CMD] "
                          "[--idle-timeout S] [--async] "
@@ -509,7 +521,10 @@ main(int argc, char** argv)
     if (!worker_cmd.empty() && workers <= 0)
         workers = 1;
 
-    serve::Coordinator coordinator;
+    serve::CoordinatorOptions copt;
+    copt.max_active_runs = max_active_runs;
+    copt.admission_wait_ms = admission_wait_ms;
+    serve::Coordinator coordinator(copt);
     std::vector<std::thread> worker_threads;
     std::vector<int> worker_pids;
     if (workers > 0) {
